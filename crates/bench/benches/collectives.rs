@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the virtual MPI layer: alltoall/alltoallv
+//! throughput across rank counts and payload sizes, barrier latency, and
+//! communicator management.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fftx_vmpi::World;
+use std::hint::black_box;
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoall");
+    group.sample_size(10);
+    for &(ranks, count) in &[(4usize, 1024usize), (8, 1024), (8, 16 * 1024)] {
+        group.throughput(Throughput::Bytes((ranks * count * 16) as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("r{ranks}"), count),
+            &count,
+            |b, &count| {
+                b.iter(|| {
+                    let out = World::new(ranks).run(|comm| {
+                        let send = vec![comm.rank() as f64; ranks * count];
+                        let mut acc = 0.0;
+                        for tag in 0..4 {
+                            let recv = comm.alltoall(&send, tag);
+                            acc += recv[0];
+                        }
+                        acc
+                    });
+                    black_box(out);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoallv");
+    group.sample_size(10);
+    for ranks in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("ragged", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let out = World::new(ranks).run(|comm| {
+                    let send: Vec<Vec<u64>> = (0..ranks)
+                        .map(|dst| vec![comm.rank() as u64; 256 * (dst + 1)])
+                        .collect();
+                    let recv = comm.alltoallv(send, 0);
+                    recv.iter().map(|v| v.len()).sum::<usize>()
+                });
+                black_box(out);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier");
+    group.sample_size(10);
+    for ranks in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("x100", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::new(ranks).run(|comm| {
+                    for _ in 0..100 {
+                        comm.barrier();
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_mgmt");
+    group.sample_size(10);
+    group.bench_function("split_8_ranks", |b| {
+        b.iter(|| {
+            let out = World::new(8).run(|comm| {
+                let sub = comm.split((comm.rank() % 2) as u64, comm.rank());
+                sub.size()
+            });
+            black_box(out);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alltoall, bench_alltoallv, bench_barrier, bench_split);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the FFT engine: 1-D transforms across the
+//! size classes (powers of two, QE good sizes, Bluestein primes), the
+//! batched stick/plane kernels, and the dense 3-D transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fftx_fft::{c64, cft_1z, cft_2xy, Complex64, Direction, Fft, Fft3};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for n in [64usize, 120, 128, 243, 250, 512, 1000, 1024] {
+        let plan = Fft::new(n);
+        let data = signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            let mut buf = data.clone();
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                plan.process_with(black_box(&mut buf), &mut scratch, Direction::Forward);
+            });
+        });
+    }
+    // A Bluestein prime for contrast.
+    for n in [127usize, 509] {
+        let plan = Fft::new(n);
+        let data = signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("bluestein", n), &n, |b, _| {
+            let mut buf = data.clone();
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                plan.process_with(black_box(&mut buf), &mut scratch, Direction::Forward);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stick_batch(c: &mut Criterion) {
+    // The z-FFT batch of the 8x8 configuration: ~318 sticks of length 120.
+    let mut group = c.benchmark_group("cft_1z");
+    let nz = 120;
+    for nsl in [32usize, 318] {
+        let plan = Fft::new(nz);
+        let data = signal(nsl * nz);
+        group.throughput(Throughput::Elements((nsl * nz) as u64));
+        group.bench_with_input(BenchmarkId::new("sticks", nsl), &nsl, |b, _| {
+            let mut buf = data.clone();
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                cft_1z(
+                    &plan,
+                    black_box(&mut buf),
+                    nsl,
+                    nz,
+                    Direction::Inverse,
+                    &mut scratch,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_plane_batch(c: &mut Criterion) {
+    // The xy-FFT slab of the 8x8 configuration: 15 planes of 120x120.
+    let mut group = c.benchmark_group("cft_2xy");
+    group.sample_size(20);
+    let (nx, ny) = (120usize, 120usize);
+    for nzl in [1usize, 15] {
+        let px = Fft::new(nx);
+        let py = Fft::new(ny);
+        let data = signal(nzl * nx * ny);
+        group.throughput(Throughput::Elements((nzl * nx * ny) as u64));
+        group.bench_with_input(BenchmarkId::new("planes", nzl), &nzl, |b, _| {
+            let mut buf = data.clone();
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                cft_2xy(
+                    &px,
+                    &py,
+                    black_box(&mut buf),
+                    nzl,
+                    nx,
+                    ny,
+                    Direction::Inverse,
+                    &mut scratch,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_3d");
+    group.sample_size(10);
+    for n in [24usize, 48] {
+        let plan = Fft3::new(n, n, n);
+        let data = signal(n * n * n);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("cube", n), &n, |b, _| {
+            let mut buf = data.clone();
+            b.iter(|| {
+                plan.inverse(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft_1d,
+    bench_stick_batch,
+    bench_plane_batch,
+    bench_fft_3d
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmark of the discrete-event simulator's own throughput:
+//! events per second for static and task-scheduled programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fftx_knlsim::{simulate, CommModel, ContentionModel, KnlConfig, RankTasks, Segment, TaskSpec};
+use fftx_trace::{CommOp, StateClass};
+use std::hint::black_box;
+
+fn static_programs(ranks: usize, iters: usize) -> Vec<RankTasks> {
+    (0..ranks)
+        .map(|_| {
+            let mut segs = Vec::new();
+            for k in 0..iters {
+                segs.push(Segment::compute_keyed(StateClass::FftXy, 1e7, k as u64));
+                segs.push(Segment::Collective {
+                    op: CommOp::Alltoall,
+                    comm_key: 1,
+                    size: ranks,
+                    bytes: 4096,
+                    tag: 0,
+                });
+            }
+            RankTasks::static_program(segs)
+        })
+        .collect()
+}
+
+fn task_programs(ranks: usize, tasks: usize, workers: usize) -> Vec<RankTasks> {
+    (0..ranks)
+        .map(|_| RankTasks {
+            tasks: (0..tasks)
+                .map(|t| {
+                    TaskSpec::new(
+                        format!("t{t}"),
+                        t as u64,
+                        vec![
+                            Segment::compute_keyed(StateClass::FftXy, 1e7, t as u64),
+                            Segment::Collective {
+                                op: CommOp::Alltoall,
+                                comm_key: 2,
+                                size: ranks,
+                                bytes: 4096,
+                                tag: t as u64,
+                            },
+                        ],
+                    )
+                })
+                .collect(),
+            workers,
+        })
+        .collect()
+}
+
+fn bench_des(c: &mut Criterion) {
+    let knl = KnlConfig::paper();
+    let cont = ContentionModel::paper();
+    let comm = CommModel::paper();
+    let mut group = c.benchmark_group("des");
+    group.sample_size(10);
+    for ranks in [16usize, 64] {
+        let progs = static_programs(ranks, 32);
+        group.bench_with_input(BenchmarkId::new("static", ranks), &ranks, |b, _| {
+            b.iter(|| {
+                let r = simulate(&progs, &knl, &cont, &comm);
+                black_box(r.runtime);
+            });
+        });
+    }
+    for ranks in [8usize, 16] {
+        let progs = task_programs(ranks, 64, 8);
+        group.bench_with_input(BenchmarkId::new("tasks", ranks), &ranks, |b, _| {
+            b.iter(|| {
+                let r = simulate(&progs, &knl, &cont, &comm);
+                black_box(r.runtime);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des);
+criterion_main!(benches);

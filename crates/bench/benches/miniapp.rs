@@ -1,0 +1,43 @@
+//! Criterion benchmark of the real (laptop-scale) miniapp executions: all
+//! three modes on a small problem, exercising the full stack — plane-wave
+//! setup, virtual MPI, task runtime, and the actual FFT math.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fftx_core::{run, FftxConfig, Mode, Problem};
+use std::hint::black_box;
+
+fn bench_real_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miniapp_real");
+    group.sample_size(10);
+    for mode in [Mode::Original, Mode::TaskPerFft, Mode::TaskPerStep] {
+        group.bench_with_input(
+            BenchmarkId::new("small_2x2", mode.name()),
+            &mode,
+            |b, &mode| {
+                let cfg = FftxConfig::small(2, 2, mode);
+                b.iter(|| {
+                    let problem = Problem::new(cfg);
+                    let out = run(&problem);
+                    black_box(out.fft_phase_s);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_modeled_run(c: &mut Criterion) {
+    // How fast is the simulator itself? (One full 8x8 original run.)
+    let mut group = c.benchmark_group("miniapp_modeled");
+    group.sample_size(10);
+    group.bench_function("simulate_8x8_original", |b| {
+        b.iter(|| {
+            let run = fftx_core::run_modeled(FftxConfig::paper(8, Mode::Original));
+            black_box(run.runtime);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_modes, bench_modeled_run);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the task runtime: spawn/drain throughput,
+//! dependency-chain overhead, and taskloop dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fftx_taskrt::{Runtime, Shared};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn bench_spawn_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spawn_drain");
+    group.sample_size(10);
+    for tasks in [100usize, 1000] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(BenchmarkId::new("independent", tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let rt = Runtime::new(2);
+                let acc = Arc::new(AtomicU64::new(0));
+                for i in 0..tasks {
+                    let acc = Arc::clone(&acc);
+                    rt.spawn("t", &[], move || {
+                        acc.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                }
+                rt.taskwait();
+                black_box(acc.load(Ordering::Relaxed));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dependency_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_chain");
+    group.sample_size(10);
+    for len in [64usize, 512] {
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("serial", len), &len, |b, &len| {
+            b.iter(|| {
+                let rt = Runtime::new(2);
+                let data = Shared::new(0u64);
+                for _ in 0..len {
+                    let d = data.clone();
+                    rt.spawn("inc", &[data.dep_inout()], move || {
+                        *d.write() += 1;
+                    });
+                }
+                rt.taskwait();
+                black_box(*data.read());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_taskloop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taskloop");
+    group.sample_size(10);
+    for grain in [10usize, 200] {
+        group.bench_with_input(BenchmarkId::new("grain", grain), &grain, |b, &grain| {
+            b.iter(|| {
+                let rt = Runtime::new(2);
+                let acc = Arc::new(AtomicU64::new(0));
+                let a = Arc::clone(&acc);
+                rt.taskloop("l", 0..2000, grain, move |r| {
+                    a.fetch_add(r.len() as u64, Ordering::Relaxed);
+                });
+                rt.taskwait();
+                black_box(acc.load(Ordering::Relaxed));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spawn_drain, bench_dependency_chain, bench_taskloop);
+criterion_main!(benches);

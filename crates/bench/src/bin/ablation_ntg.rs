@@ -1,0 +1,113 @@
+//! Ablation A: the task-group trade-off of Section II. At a fixed total of
+//! 64 ranks, sweep the number of FFT task groups T from 1 (all collective
+//! cost in the scatter, involving all ranks) to 64 (all cost in pack/unpack,
+//! each rank FFTs whole bands alone). The paper: "All the options between
+//! these two extreme cases should be benchmarked" — this binary does.
+
+use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_core::{run_modeled, FftxConfig, Mode};
+use fftx_trace::{render_bar_chart, CommOp};
+
+fn main() {
+    println!("=== Ablation A: number of FFT task groups at fixed 64 ranks ===\n");
+    let total = 64usize;
+    let ntgs = [1usize, 2, 4, 8, 16, 32, 64];
+
+    let mut labels = Vec::new();
+    let mut runtimes = Vec::new();
+    let mut rows = String::from("ntg,r,runtime_s,scatter_time_s,pack_time_s\n");
+    let mut pack_times = Vec::new();
+    let mut scatter_times = Vec::new();
+    for &ntg in &ntgs {
+        let cfg = FftxConfig {
+            ecutwfc: 80.0,
+            alat: 20.0,
+            nbnd: 128,
+            nr: total / ntg,
+            ntg,
+            mode: Mode::Original,
+            seed: 2017,
+        };
+        let run = run_modeled(cfg);
+        // Decompose communication time by operation (scatter = Alltoall,
+        // pack/unpack = Alltoallv), averaged per rank.
+        let lanes = run.trace.lanes().len() as f64;
+        let scatter: f64 = run
+            .trace
+            .comm
+            .iter()
+            .filter(|r| r.op == CommOp::Alltoall)
+            .map(|r| r.duration())
+            .sum::<f64>()
+            / lanes;
+        let pack: f64 = run
+            .trace
+            .comm
+            .iter()
+            .filter(|r| r.op == CommOp::Alltoallv)
+            .map(|r| r.duration())
+            .sum::<f64>()
+            / lanes;
+        println!(
+            "ntg {ntg:>2} ({}x{ntg:<2}): runtime {:.4}s  scatter/rank {:.4}s  pack/rank {:.4}s",
+            total / ntg,
+            run.runtime,
+            scatter,
+            pack
+        );
+        rows.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6}\n",
+            ntg,
+            total / ntg,
+            run.runtime,
+            scatter,
+            pack
+        ));
+        labels.push(format!("ntg={ntg}"));
+        runtimes.push(run.runtime);
+        pack_times.push(pack);
+        scatter_times.push(scatter);
+    }
+    println!();
+    print!(
+        "{}",
+        render_bar_chart("runtime vs task-group count (64 ranks)", &labels, &[("orig".into(), runtimes.clone())], 40)
+    );
+    write_artifact("ablation_ntg.csv", &rows);
+
+    let best = runtimes
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let checks = vec![
+        ShapeCheck::new(
+            "with ntg=1 the scatter dominates the communication",
+            scatter_times[0] > 5.0 * pack_times[0].max(1e-12),
+            format!("scatter {:.4}s vs pack {:.4}s", scatter_times[0], pack_times[0]),
+        ),
+        ShapeCheck::new(
+            "with ntg=64 the pack/unpack dominates the communication",
+            pack_times[6] > 5.0 * scatter_times[6].max(1e-12),
+            format!("pack {:.4}s vs scatter {:.4}s", pack_times[6], scatter_times[6]),
+        ),
+        ShapeCheck::new(
+            "task groups beat the no-task-group baseline (ntg=1)",
+            best < runtimes[0],
+            format!("best {best:.4}s vs ntg=1 {:.4}s", runtimes[0]),
+        ),
+        ShapeCheck::new(
+            "the paper's default ntg=8 is within 10% of the sweep's best",
+            runtimes[3] < 1.10 * best,
+            format!("ntg=8 {:.4}s vs best {best:.4}s", runtimes[3]),
+        ),
+        ShapeCheck::new(
+            "scatter time per rank shrinks as task groups grow",
+            scatter_times[0] > scatter_times[3] && scatter_times[3] > scatter_times[6],
+            format!(
+                "{:.4}s -> {:.4}s -> {:.4}s",
+                scatter_times[0], scatter_times[3], scatter_times[6]
+            ),
+        ),
+    ];
+    std::process::exit(report_checks(&checks));
+}

@@ -1,0 +1,66 @@
+//! Figure 2: runtime of the FFT phase with increasing number of MPI ranks,
+//! original version, 1×8 .. 32×8 (the last two entries use 2× and 4×
+//! hyper-threading). Paper claims: poor scaling with rank count, and no
+//! benefit — in fact a slowdown — from hyper-threading.
+
+use fftx_bench::{report_checks, sweep, write_artifact, ShapeCheck};
+use fftx_core::Mode;
+use fftx_trace::render_bar_chart;
+
+fn main() {
+    println!("=== Figure 2: FFT phase runtime vs MPI ranks (original) ===");
+    println!("parameters: ecutwfc 80 Ry, alat 20 bohr, 128 bands, ntg 8\n");
+
+    let points = sweep(Mode::Original, &[1, 2, 4, 8, 16, 32]);
+    let configs: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+    let runtimes: Vec<f64> = points.iter().map(|p| p.run.runtime).collect();
+
+    print!(
+        "{}",
+        render_bar_chart(
+            "FFT phase runtime (simulated KNL node, seconds)",
+            &configs,
+            &[("original".to_string(), runtimes.clone())],
+            50,
+        )
+    );
+
+    let mut csv = String::from("config,lanes,runtime_s,speedup_vs_1x8\n");
+    for p in &points {
+        csv.push_str(&format!(
+            "{},{},{:.6},{:.3}\n",
+            p.label,
+            p.nr * 8,
+            p.run.runtime,
+            points[0].run.runtime / p.run.runtime
+        ));
+    }
+    write_artifact("fig2_runtime.csv", &csv);
+
+    // Shape criteria from the paper's discussion of Fig. 2.
+    let r = |i: usize| points[i].run.runtime;
+    let speedup_8x8 = r(0) / r(3);
+    let checks = vec![
+        ShapeCheck::new(
+            "runtime decreases up to 8 x 8",
+            r(0) > r(1) && r(1) > r(2) && r(2) > r(3),
+            format!("{:.3} > {:.3} > {:.3} > {:.3}", r(0), r(1), r(2), r(3)),
+        ),
+        ShapeCheck::new(
+            "FFT phase does not scale well (speedup at 64 lanes << 8x)",
+            speedup_8x8 < 6.0,
+            format!("speedup 1x8 -> 8x8 = {speedup_8x8:.2} (ideal 8.0)"),
+        ),
+        ShapeCheck::new(
+            "2x hyper-threading brings no benefit (16 x 8 >= 8 x 8)",
+            r(4) >= r(3) * 0.995,
+            format!("16x8 {:.3}s vs 8x8 {:.3}s", r(4), r(3)),
+        ),
+        ShapeCheck::new(
+            "4x hyper-threading is worse again (32 x 8 >= 16 x 8)",
+            r(5) >= r(4) * 0.995,
+            format!("32x8 {:.3}s vs 16x8 {:.3}s", r(5), r(4)),
+        ),
+    ];
+    std::process::exit(report_checks(&checks));
+}

@@ -1,0 +1,151 @@
+//! Figure 3: timeline of the FFT phase (8×8 original) with a zoom into one
+//! repeating sub-phase, showing the phase structure (psi prep → pack →
+//! z FFT → scatter → xy FFT/VOFR → and back), the per-phase IPC levels, the
+//! MPI calls, and the two sub-communicator families.
+
+use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_core::{run_modeled, FftxConfig, Mode};
+use fftx_trace::{
+    communicator_summary, render_timeline, timeline_csv, CommOp, StateClass, TimelineOptions,
+};
+
+fn main() {
+    println!("=== Figure 3: FFT-phase timeline, 8 x 8 original ===\n");
+    let run = run_modeled(FftxConfig::paper(8, Mode::Original));
+    let trace = &run.trace;
+
+    // Full phase (top of Fig. 3): 16 repeating iterations are visible as
+    // repeating compute blocks.
+    let full = render_timeline(
+        trace,
+        &TimelineOptions {
+            width: 110,
+            window: None,
+            show_comm: true,
+        },
+    );
+    println!("Full FFT phase (all 64 ranks, 16 iterations):");
+    // Print only a subset of rows to keep the console readable.
+    for (i, line) in full.lines().enumerate() {
+        if i < 18 || line.starts_with("legend") {
+            println!("{line}");
+        }
+    }
+    println!("  ... ({} more rank rows)\n", 64usize.saturating_sub(16));
+
+    // Zoom into the third repeating sub-phase (like the paper).
+    let iter_len = run.runtime / 16.0;
+    let zoom = (2.0 * iter_len, 3.2 * iter_len);
+    let zoomed = render_timeline(
+        trace,
+        &TimelineOptions {
+            width: 110,
+            window: Some(zoom),
+            show_comm: true,
+        },
+    );
+    println!("Zoom into the third sub-phase:");
+    for (i, line) in zoomed.lines().enumerate() {
+        if i < 18 || line.starts_with("legend") {
+            println!("{line}");
+        }
+    }
+    println!();
+
+    // Phase IPC table (the zoomed IPC timeline of the paper).
+    println!("Per-phase IPC (duration-weighted means, model):");
+    let mut ipc_rows = String::from("phase,mean_ipc,total_seconds\n");
+    for class in StateClass::ALL {
+        let t: f64 = trace
+            .compute
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.duration())
+            .sum();
+        if t > 0.0 {
+            println!("  {:<9} IPC {:.2}  ({:.3}s total)", class.name(), trace.mean_ipc(class), t);
+            ipc_rows.push_str(&format!("{},{:.4},{:.6}\n", class.name(), trace.mean_ipc(class), t));
+        }
+    }
+    println!();
+
+    // Communicator structure (bottom-right of Fig. 3).
+    let comms = communicator_summary(trace);
+    println!("Communicator usage (first ranks):");
+    for line in comms.lines().take(10) {
+        println!("{line}");
+    }
+    println!("  ...\n");
+
+    write_artifact("fig3_timeline.csv", &timeline_csv(trace));
+    write_artifact("fig3_phase_ipc.csv", &ipc_rows);
+
+    // Shape checks: phase IPC ordering and communicator families.
+    let prep = trace.mean_ipc(StateClass::PsiPrep);
+    let z = trace.mean_ipc(StateClass::FftZ);
+    let xy = trace.mean_ipc(StateClass::FftXy);
+    use std::collections::BTreeSet;
+    let pack_comms: BTreeSet<u64> = trace
+        .comm
+        .iter()
+        .filter(|r| r.op == CommOp::Alltoallv)
+        .map(|r| r.comm_id)
+        .collect();
+    let scatter_comms: BTreeSet<u64> = trace
+        .comm
+        .iter()
+        .filter(|r| r.op == CommOp::Alltoall)
+        .map(|r| r.comm_id)
+        .collect();
+    let pack_sizes: BTreeSet<usize> = trace
+        .comm
+        .iter()
+        .filter(|r| r.op == CommOp::Alltoallv)
+        .map(|r| r.comm_size)
+        .collect();
+    let scatter_sizes: BTreeSet<usize> = trace
+        .comm
+        .iter()
+        .filter(|r| r.op == CommOp::Alltoall)
+        .map(|r| r.comm_size)
+        .collect();
+
+    let checks = vec![
+        ShapeCheck::new(
+            "psi preparation has very low IPC (paper: ~0.06)",
+            prep < 0.15,
+            format!("model {prep:.3}"),
+        ),
+        ShapeCheck::new(
+            "z-FFT IPC sits between prep and the main phase (paper: ~0.52)",
+            prep < z && z < xy,
+            format!("prep {prep:.2} < z {z:.2} < xy {xy:.2}"),
+        ),
+        ShapeCheck::new(
+            "main xy/VOFR phase is the high-IPC phase (paper: ~0.77)",
+            (0.6..1.0).contains(&xy),
+            format!("model {xy:.3}"),
+        ),
+        ShapeCheck::new(
+            "pack/unpack runs on 8 sub-communicators of 8 neighbouring ranks",
+            pack_comms.len() == 8 && pack_sizes == BTreeSet::from([8usize]),
+            format!("{} communicators, sizes {pack_sizes:?}", pack_comms.len()),
+        ),
+        ShapeCheck::new(
+            "scatter runs on 8 sub-communicators of 8 strided ranks",
+            scatter_comms.len() == 8 && scatter_sizes == BTreeSet::from([8usize]),
+            format!("{} communicators, sizes {scatter_sizes:?}", scatter_comms.len()),
+        ),
+        ShapeCheck::new(
+            "64 FFT executions in groups of 8 (16 repeating phases here: 128 bands)",
+            trace
+                .comm
+                .iter()
+                .filter(|r| r.op == CommOp::Alltoall && r.lane.rank == 0)
+                .count()
+                == 2 * 16,
+            "2 scatters per iteration x 16 iterations on rank 0".to_string(),
+        ),
+    ];
+    std::process::exit(report_checks(&checks));
+}

@@ -1,0 +1,121 @@
+//! Figure 7: the effect of de-synchronising the compute phases — timelines
+//! (left) and IPC × duration histograms (right) for the original 8×8 vs the
+//! OmpSs 8×8 execution. Paper claims: the original runs its phases in
+//! synchronised blocks, the OmpSs version scatters them; the main compute
+//! phase's IPC rises from ~0.75 to ~0.85.
+
+use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_core::{run_modeled, FftxConfig, Mode, ModeledRun};
+use fftx_trace::{render_timeline, IpcHistogram, StateClass, TimelineOptions};
+
+/// Duration-weighted mean count of main-phase co-runners observed by a
+/// main-phase burst — 64 in perfect lockstep, ~(main-phase time share)·64
+/// when fully de-synchronised.
+fn concentration(run: &ModeledRun) -> f64 {
+    let trace = &run.trace;
+    let (t0, t1) = (run.runtime * 0.1, run.runtime * 0.9);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..400 {
+        let t = t0 + (t1 - t0) * (i as f64 + 0.5) / 400.0;
+        let mut xy = 0.0;
+        for r in &trace.compute {
+            if r.t_start <= t
+                && t < r.t_end
+                && (r.class == StateClass::FftXy || r.class == StateClass::Vofr)
+            {
+                xy += 1.0;
+            }
+        }
+        num += xy * xy;
+        den += xy;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    println!("=== Figure 7: de-synchronisation, original 8x8 vs OmpSs 8x8 ===\n");
+    let orig = run_modeled(FftxConfig::paper(8, Mode::Original));
+    let ompss = run_modeled(FftxConfig::paper(8, Mode::TaskPerFft));
+
+    for (name, run) in [("original", &orig), ("ompss", &ompss)] {
+        println!("--- {name} (runtime {:.4}s) ---", run.runtime);
+        // A mid-run window, a few iterations wide, like the paper's crop.
+        let window = (run.runtime * 0.35, run.runtime * 0.65);
+        let tl = render_timeline(
+            &run.trace,
+            &TimelineOptions {
+                width: 100,
+                window: Some(window),
+                show_comm: false,
+            },
+        );
+        for (i, line) in tl.lines().enumerate() {
+            if i < 18 || line.starts_with("legend") {
+                println!("{line}");
+            }
+        }
+        println!("  ...");
+
+        let hist = IpcHistogram::from_trace(&run.trace, Some(StateClass::FftXy), 40, 0.0, 1.2);
+        println!("\nIPC histogram of the main (xy-FFT) phase:");
+        print!("{}", {
+            // Only show a subset of lanes for readability.
+            let rendered = hist.render();
+            rendered
+                .lines()
+                .take(14)
+                .chain(rendered.lines().filter(|l| l.trim_start().starts_with("ipc:")))
+                .collect::<Vec<_>>()
+                .join("\n")
+        });
+        println!("\n  main-phase mean IPC: {:.3}, spread (stddev): {:.3}\n",
+            hist.weighted_mean_ipc(), hist.ipc_spread());
+        write_artifact(
+            &format!("fig7_hist_{name}.csv"),
+            &hist.to_csv(),
+        );
+    }
+
+    let ipc_orig = orig.trace.mean_ipc(StateClass::FftXy);
+    let ipc_ompss = ompss.trace.mean_ipc(StateClass::FftXy);
+    let conc_orig = concentration(&orig);
+    let conc_ompss = concentration(&ompss);
+    let spread_orig = IpcHistogram::from_trace(&orig.trace, Some(StateClass::FftXy), 60, 0.0, 1.2)
+        .ipc_spread();
+    let spread_ompss =
+        IpcHistogram::from_trace(&ompss.trace, Some(StateClass::FftXy), 60, 0.0, 1.2).ipc_spread();
+
+    let mut csv = String::from("version,main_ipc,ipc_spread,main_phase_concentration\n");
+    csv.push_str(&format!("original,{ipc_orig:.4},{spread_orig:.4},{conc_orig:.2}\n"));
+    csv.push_str(&format!("ompss,{ipc_ompss:.4},{spread_ompss:.4},{conc_ompss:.2}\n"));
+    write_artifact("fig7_summary.csv", &csv);
+
+    let checks = vec![
+        ShapeCheck::new(
+            "main-phase IPC rises with de-synchronisation (paper: 0.75 -> 0.85)",
+            ipc_ompss > ipc_orig + 0.03,
+            format!("original {ipc_orig:.3} -> ompss {ipc_ompss:.3}"),
+        ),
+        ShapeCheck::new(
+            "OmpSs main-phase IPC lands near the paper's 0.85",
+            (0.78..0.95).contains(&ipc_ompss),
+            format!("model {ipc_ompss:.3}"),
+        ),
+        ShapeCheck::new(
+            "phases are de-synchronised (lower main-phase concentration)",
+            conc_ompss < conc_orig - 4.0,
+            format!("co-runners during main phase: {conc_orig:.1} -> {conc_ompss:.1} (of 64 lanes)"),
+        ),
+        ShapeCheck::new(
+            "OmpSs IPC distribution is more scattered (the 'chaotic' histogram)",
+            spread_ompss > spread_orig,
+            format!("IPC stddev {spread_orig:.3} -> {spread_ompss:.3}"),
+        ),
+    ];
+    std::process::exit(report_checks(&checks));
+}

@@ -1,0 +1,85 @@
+//! Extension: the paper's future work (Section VI) — "overlap communication
+//! and computation with asynchronously scheduled tasks … using MPI
+//! communication within OmpSs tasks" (Marjanović et al.). This binary
+//! compares, on the modeled KNL node:
+//!
+//! * strategy 1 (task-per-step, blocking collectives inside tasks),
+//! * strategy 2 (task-per-FFT),
+//! * the future-work mode: strategy 1 with *split-phase* collectives
+//!   (post/wait in separate tasks), so transfers overlap other bands'
+//!   compute automatically.
+
+use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_core::{run_modeled, FftxConfig, Mode};
+use fftx_trace::StateClass;
+
+fn comm_wait_per_lane(run: &fftx_core::ModeledRun) -> f64 {
+    let lanes = run.trace.lanes().len() as f64;
+    run.trace.comm.iter().map(|r| r.duration()).sum::<f64>() / lanes
+}
+
+fn main() {
+    println!("=== Future work: split-phase collectives inside tasks ===\n");
+    let mut rows = String::from("config,mode,runtime_s,comm_wait_per_lane_s,main_ipc\n");
+    let mut results = Vec::new();
+    for nr in [8usize, 16] {
+        for mode in [Mode::Original, Mode::TaskPerStep, Mode::TaskPerFft, Mode::TaskAsync] {
+            let run = run_modeled(FftxConfig::paper(nr, mode));
+            let wait = comm_wait_per_lane(&run);
+            println!(
+                "{:>2} x 8  {:<12} runtime {:.4}s   comm wait/lane {:.4}s   main IPC {:.3}",
+                nr,
+                mode.name(),
+                run.runtime,
+                wait,
+                run.trace.mean_ipc(StateClass::FftXy)
+            );
+            rows.push_str(&format!(
+                "{} x 8,{},{:.6},{:.6},{:.4}\n",
+                nr,
+                mode.name(),
+                run.runtime,
+                wait,
+                run.trace.mean_ipc(StateClass::FftXy)
+            ));
+            results.push((nr, mode, run.runtime, wait));
+        }
+        println!();
+    }
+    write_artifact("future_overlap.csv", &rows);
+
+    let get = |nr: usize, mode: Mode| {
+        results
+            .iter()
+            .find(|(n, m, _, _)| *n == nr && *m == mode)
+            .map(|(_, _, rt, w)| (*rt, *w))
+            .expect("present")
+    };
+    let (steps8, steps8_wait) = get(8, Mode::TaskPerStep);
+    let (async8, async8_wait) = get(8, Mode::TaskAsync);
+    let (orig8, _) = get(8, Mode::Original);
+    let (steps16, _) = get(16, Mode::TaskPerStep);
+    let (async16, _) = get(16, Mode::TaskAsync);
+
+    let checks = vec![
+        ShapeCheck::new(
+            "split-phase collectives cut the per-lane communication wait",
+            async8_wait < 0.8 * steps8_wait,
+            format!("steps {steps8_wait:.4}s -> async {async8_wait:.4}s per lane"),
+        ),
+        ShapeCheck::new(
+            "the future-work mode is at least as fast as strategy 1",
+            async8 <= steps8 * 1.005 && async16 <= steps16 * 1.005,
+            format!("8x8: {async8:.4}s vs {steps8:.4}s; 16x8: {async16:.4}s vs {steps16:.4}s"),
+        ),
+        ShapeCheck::new(
+            "the future-work mode beats the original",
+            async8 < orig8,
+            format!(
+                "{async8:.4}s vs {orig8:.4}s ({:+.1}%)",
+                (1.0 - async8 / orig8) * 100.0
+            ),
+        ),
+    ];
+    std::process::exit(report_checks(&checks));
+}

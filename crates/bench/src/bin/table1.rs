@@ -1,0 +1,101 @@
+//! Table I: efficiency and scalability factors for the original version,
+//! 1×8 .. 16×8. Printed in the paper's layout plus a side-by-side model-vs-
+//! paper comparison and shape checks on every column trend.
+
+use fftx_bench::{
+    render_comparison, report_checks, sweep, sweep_csv, write_artifact, ShapeCheck, PAPER_TABLE1,
+};
+use fftx_core::Mode;
+use fftx_trace::render_efficiency_table;
+
+fn main() {
+    println!("=== Table I: efficiency/scalability factors (original) ===\n");
+    let points = sweep(Mode::Original, &[1, 2, 4, 8, 16]);
+
+    let columns: Vec<(String, fftx_trace::EfficiencyFactors)> = points
+        .iter()
+        .map(|p| (p.label.clone(), p.factors))
+        .collect();
+    print!(
+        "{}",
+        render_efficiency_table(
+            "EFFICIENCY AND SCALABILITY FACTORS FOR EXECUTIONS WITH 1-16 RANKS WITH 8 FFT TASK GROUPS EACH (model)",
+            &columns
+        )
+    );
+    println!();
+    print!("{}", render_comparison("Model vs paper:", &points, &PAPER_TABLE1));
+    write_artifact("table1_factors.csv", &sweep_csv(&points));
+
+    let f = |i: usize| &points[i].factors;
+    let checks = vec![
+        ShapeCheck::new(
+            "communication efficiency decreases with rank count",
+            f(4).intra.comm_efficiency < f(0).intra.comm_efficiency,
+            format!(
+                "1x8 {:.1}% -> 16x8 {:.1}%",
+                f(0).intra.comm_efficiency * 100.0,
+                f(4).intra.comm_efficiency * 100.0
+            ),
+        ),
+        ShapeCheck::new(
+            "computation scalability collapses (the key finding)",
+            f(3).scal.computation < 0.70 && f(4).scal.computation < 0.40,
+            format!(
+                "8x8 {:.1}%, 16x8 {:.1}% (paper: 54.7%, 27.3%)",
+                f(3).scal.computation * 100.0,
+                f(4).scal.computation * 100.0
+            ),
+        ),
+        ShapeCheck::new(
+            "IPC scalability tracks the paper column within 8 points",
+            (1..5).all(|i| {
+                (points[i].factors.scal.ipc - PAPER_TABLE1[i].ipc).abs() < 0.08
+            }),
+            format!(
+                "model [{}] vs paper [{}]",
+                points
+                    .iter()
+                    .map(|p| format!("{:.2}", p.factors.scal.ipc))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                PAPER_TABLE1
+                    .iter()
+                    .map(|c| format!("{:.2}", c.ipc))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ),
+        ShapeCheck::new(
+            "IPC roughly halves under 2x hyper-threading (8x8 -> 16x8)",
+            {
+                let ratio = f(4).scal.ipc / f(3).scal.ipc;
+                (0.40..0.62).contains(&ratio)
+            },
+            format!("ratio {:.2} (paper 0.50)", f(4).scal.ipc / f(3).scal.ipc),
+        ),
+        ShapeCheck::new(
+            "load balance stays high (the code is well balanced)",
+            points.iter().all(|p| p.factors.intra.load_balance > 0.92),
+            format!(
+                "min LB {:.1}%",
+                points
+                    .iter()
+                    .map(|p| p.factors.intra.load_balance)
+                    .fold(f64::INFINITY, f64::min)
+                    * 100.0
+            ),
+        ),
+        ShapeCheck::new(
+            "instruction scalability stays near 100% (no work replication)",
+            points.iter().all(|p| (p.factors.scal.instructions - 1.0).abs() < 0.03),
+            "all within 3% of 100%".to_string(),
+        ),
+        ShapeCheck::new(
+            "global efficiency collapses to ~quarter at 16x8",
+            f(4).global < 0.40,
+            format!("16x8 global {:.1}% (paper 23.5%)", f(4).global * 100.0),
+        ),
+    ];
+    std::process::exit(report_checks(&checks));
+}

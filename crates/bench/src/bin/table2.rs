@@ -1,0 +1,93 @@
+//! Table II: efficiency and scalability factors for the OmpSs (task-per-FFT)
+//! version, 1×8 .. 16×8, plus the cross-table comparison against Table I
+//! that carries the paper's argument: better computation/IPC scalability at
+//! the cost of some parallel efficiency.
+
+use fftx_bench::{
+    render_comparison, report_checks, sweep, sweep_csv, write_artifact, ShapeCheck, PAPER_TABLE2,
+};
+use fftx_core::Mode;
+use fftx_trace::render_efficiency_table;
+
+fn main() {
+    println!("=== Table II: efficiency/scalability factors (OmpSs task-per-FFT) ===\n");
+    let points = sweep(Mode::TaskPerFft, &[1, 2, 4, 8, 16]);
+    let original = sweep(Mode::Original, &[1, 2, 4, 8, 16]);
+
+    let columns: Vec<(String, fftx_trace::EfficiencyFactors)> = points
+        .iter()
+        .map(|p| (p.label.clone(), p.factors))
+        .collect();
+    print!(
+        "{}",
+        render_efficiency_table(
+            "EFFICIENCY AND SCALABILITY FACTORS FOR EXECUTIONS WITH 1-16 RANKS WITH 8 OMPSS TASKS EACH (model)",
+            &columns
+        )
+    );
+    println!();
+    print!("{}", render_comparison("Model vs paper:", &points, &PAPER_TABLE2));
+    write_artifact("table2_factors.csv", &sweep_csv(&points));
+
+    let t2 = |i: usize| &points[i].factors;
+    let t1 = |i: usize| &original[i].factors;
+    let checks = vec![
+        ShapeCheck::new(
+            "computation scalability beats the original at full node",
+            t2(3).scal.computation > t1(3).scal.computation
+                && t2(4).scal.computation > t1(4).scal.computation * 0.97,
+            format!(
+                "8x8: {:.1}% vs {:.1}% | 16x8: {:.1}% vs {:.1}% (paper: 61.4/54.7, 37.3/27.3)",
+                t2(3).scal.computation * 100.0,
+                t1(3).scal.computation * 100.0,
+                t2(4).scal.computation * 100.0,
+                t1(4).scal.computation * 100.0
+            ),
+        ),
+        ShapeCheck::new(
+            "IPC scalability beats the original at full node",
+            t2(3).scal.ipc > t1(3).scal.ipc,
+            format!(
+                "8x8: {:.1}% vs {:.1}% (paper: 66.1 vs 56.3)",
+                t2(3).scal.ipc * 100.0,
+                t1(3).scal.ipc * 100.0
+            ),
+        ),
+        ShapeCheck::new(
+            "2x hyper-threading hurts IPC less than in the original",
+            t2(4).scal.ipc / t2(3).scal.ipc > t1(4).scal.ipc / t1(3).scal.ipc,
+            format!(
+                "ompss ratio {:.2} vs original {:.2} (paper: 0.64 vs 0.50)",
+                t2(4).scal.ipc / t2(3).scal.ipc,
+                t1(4).scal.ipc / t1(3).scal.ipc
+            ),
+        ),
+        ShapeCheck::new(
+            "communication efficiency still decreases with rank count",
+            t2(4).intra.comm_efficiency < t2(0).intra.comm_efficiency,
+            format!(
+                "1x8 {:.1}% -> 16x8 {:.1}%",
+                t2(0).intra.comm_efficiency * 100.0,
+                t2(4).intra.comm_efficiency * 100.0
+            ),
+        ),
+        ShapeCheck::new(
+            "1x8 reference is near-perfect (ParEff ~99%)",
+            t2(0).intra.parallel_efficiency > 0.97,
+            format!(
+                "{:.1}% (paper 99.1%)",
+                t2(0).intra.parallel_efficiency * 100.0
+            ),
+        ),
+        ShapeCheck::new(
+            "global efficiency at 8x8 beats the original's",
+            t2(3).global > t1(3).global,
+            format!(
+                "{:.1}% vs {:.1}% (paper: 51.1 vs 49.8)",
+                t2(3).global * 100.0,
+                t1(3).global * 100.0
+            ),
+        ),
+    ];
+    std::process::exit(report_checks(&checks));
+}

@@ -1,0 +1,193 @@
+//! Benchmark configuration: the knobs of the FFTXlib miniapp plus the
+//! execution mode (original static code vs the two task-based strategies).
+
+/// Execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The original FFTXlib: static parallelisation over R×T MPI ranks with
+    /// T FFT task groups (Fig. 1 of the paper).
+    Original,
+    /// Optimisation strategy 1 (Fig. 4): every step of the FFT pipeline is
+    /// a task with flow dependencies; R ranks × T worker threads, ntg = 1.
+    TaskPerStep,
+    /// Optimisation strategy 2 (Fig. 5): every FFT (loop iteration) is one
+    /// independent task; R ranks × T worker threads, ntg = 1.
+    TaskPerFft,
+    /// The paper's future work (Section VI): strategy 1's step tasks with
+    /// *split-phase* collectives — the scatter posts a nonblocking
+    /// alltoall in one task and a separate task completes it, so the
+    /// runtime automatically overlaps the transfer with other bands'
+    /// compute (cf. Marjanović et al., hybrid MPI/SMPSs).
+    TaskAsync,
+}
+
+impl Mode {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Original => "original",
+            Mode::TaskPerStep => "ompss-steps",
+            Mode::TaskPerFft => "ompss-ffts",
+            Mode::TaskAsync => "ompss-async",
+        }
+    }
+}
+
+/// Full configuration of one miniapp execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FftxConfig {
+    /// Plane-wave kinetic-energy cutoff (Ry). Paper benchmark: 80.
+    pub ecutwfc: f64,
+    /// Cubic lattice parameter (bohr). Paper benchmark: 20.
+    pub alat: f64,
+    /// Number of Kohn–Sham bands. Paper benchmark: 128.
+    pub nbnd: usize,
+    /// First parallel dimension R ("MPI ranks" axis of the paper's R × T).
+    pub nr: usize,
+    /// Second dimension T: FFT task groups (original) or worker threads per
+    /// rank (task modes). Paper benchmark: 8.
+    pub ntg: usize,
+    /// Execution strategy.
+    pub mode: Mode,
+    /// Seed for the synthetic bands and potential.
+    pub seed: u64,
+}
+
+impl FftxConfig {
+    /// The paper's benchmark parameters (Figs. 2 and 6): cutoff 80 Ry,
+    /// lattice parameter 20 bohr, 128 bands, 8 task groups.
+    pub fn paper(nr: usize, mode: Mode) -> Self {
+        FftxConfig {
+            ecutwfc: 80.0,
+            alat: 20.0,
+            nbnd: 128,
+            nr,
+            ntg: 8,
+            mode,
+            seed: 2017,
+        }
+    }
+
+    /// A laptop-scale configuration for tests and the real execution engine
+    /// (grid ~24^3, a handful of bands).
+    pub fn small(nr: usize, ntg: usize, mode: Mode) -> Self {
+        FftxConfig {
+            ecutwfc: 6.0,
+            alat: 8.0,
+            nbnd: 2 * ntg.max(1),
+            nr,
+            ntg,
+            mode,
+            seed: 42,
+        }
+    }
+
+    /// MPI ranks the execution uses: R×T for the original static code,
+    /// R for the task modes (threads replace the task groups).
+    pub fn vmpi_ranks(&self) -> usize {
+        match self.mode {
+            Mode::Original => self.nr * self.ntg,
+            Mode::TaskPerStep | Mode::TaskPerFft | Mode::TaskAsync => self.nr,
+        }
+    }
+
+    /// Execution lanes (hardware threads) the configuration occupies.
+    pub fn lanes(&self) -> usize {
+        self.nr * self.ntg
+    }
+
+    /// Task-group count of the data layout: T for the original mode, 1 for
+    /// the task modes (the paper's OmpSs runs use ntg = 1).
+    pub fn layout_ntg(&self) -> usize {
+        match self.mode {
+            Mode::Original => self.ntg,
+            Mode::TaskPerStep | Mode::TaskPerFft | Mode::TaskAsync => 1,
+        }
+    }
+
+    /// Outer-loop iterations: bands are processed `layout_ntg` at a time.
+    pub fn iterations(&self) -> usize {
+        self.nbnd / self.layout_ntg()
+    }
+
+    /// Checks structural requirements.
+    ///
+    /// # Panics
+    /// Panics when the band count is not divisible by the task-group count
+    /// or any dimension is zero.
+    pub fn validate(&self) {
+        assert!(self.nr > 0 && self.ntg > 0, "FftxConfig: nr/ntg must be positive");
+        assert!(self.nbnd > 0, "FftxConfig: need at least one band");
+        assert_eq!(
+            self.nbnd % self.layout_ntg(),
+            0,
+            "FftxConfig: nbnd ({}) must be divisible by the task-group count ({})",
+            self.nbnd,
+            self.layout_ntg()
+        );
+        assert!(self.ecutwfc > 0.0 && self.alat > 0.0, "FftxConfig: bad cutoff/cell");
+    }
+
+    /// Configuration label in the paper's "R x T" notation.
+    pub fn label(&self) -> String {
+        format!("{} x {}", self.nr, self.ntg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_benchmark() {
+        let c = FftxConfig::paper(8, Mode::Original);
+        assert_eq!(c.ecutwfc, 80.0);
+        assert_eq!(c.alat, 20.0);
+        assert_eq!(c.nbnd, 128);
+        assert_eq!(c.ntg, 8);
+        assert_eq!(c.vmpi_ranks(), 64);
+        assert_eq!(c.lanes(), 64);
+        assert_eq!(c.layout_ntg(), 8);
+        assert_eq!(c.iterations(), 16);
+        assert_eq!(c.label(), "8 x 8");
+        c.validate();
+    }
+
+    #[test]
+    fn task_modes_trade_ranks_for_threads() {
+        let c = FftxConfig::paper(8, Mode::TaskPerFft);
+        assert_eq!(c.vmpi_ranks(), 8);
+        assert_eq!(c.lanes(), 64);
+        assert_eq!(c.layout_ntg(), 1);
+        assert_eq!(c.iterations(), 128);
+        c.validate();
+    }
+
+    #[test]
+    fn small_preset_is_valid_for_all_modes() {
+        for mode in [
+            Mode::Original,
+            Mode::TaskPerStep,
+            Mode::TaskPerFft,
+            Mode::TaskAsync,
+        ] {
+            FftxConfig::small(2, 2, mode).validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_bands_rejected() {
+        let mut c = FftxConfig::small(1, 3, Mode::Original);
+        c.nbnd = 4;
+        c.validate();
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Mode::Original.name(), "original");
+        assert_eq!(Mode::TaskPerStep.name(), "ompss-steps");
+        assert_eq!(Mode::TaskPerFft.name(), "ompss-ffts");
+        assert_eq!(Mode::TaskAsync.name(), "ompss-async");
+    }
+}

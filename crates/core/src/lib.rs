@@ -1,0 +1,30 @@
+//! # fftx-core
+//!
+//! The FFTXlib miniapp itself: the distributed FFT kernel of Quantum
+//! ESPRESSO that applies a real-space-diagonal operator to plane-wave
+//! wavefunctions, in the three variants the paper studies:
+//!
+//! * [`original`] — the static two-layer MPI code with FFT task groups;
+//! * [`taskmodes`] — the two OmpSs optimisation strategies (task-per-step
+//!   with flow dependencies, task-per-FFT with independent tasks);
+//! * [`modelplan`] — lowering of the same kernel onto the KNL discrete-event
+//!   simulator for the paper's node-scale experiments.
+//!
+//! Every real execution is verifiable against the serial reference pipeline
+//! in `fftx-pw` ([`verify`]).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod modelplan;
+pub mod original;
+pub mod problem;
+pub mod recorder;
+pub mod steps;
+pub mod taskmodes;
+
+pub use config::{FftxConfig, Mode};
+pub use original::{run_original, RunOutput};
+pub use problem::Problem;
+pub use modelplan::{build_programs, run_modeled, run_modeled_with, ModeledRun};
+pub use taskmodes::run;

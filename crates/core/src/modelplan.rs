@@ -1,0 +1,510 @@
+//! Lowering of the miniapp onto the KNL discrete-event simulator.
+//!
+//! The same kernel the real engines execute is re-expressed as per-rank
+//! task lists of classified compute bursts and collectives, with work
+//! volumes taken from the actual layout (stick/plane counts, padded chunk
+//! sizes) and the FFT op-count model. This is what regenerates the paper's
+//! node-scale experiments (Figs. 2/3/6/7, Tables I/II) on hardware we do
+//! not have: the mechanisms the paper measures — IPC collapse under
+//! contention and growing collective cost — live in `fftx-knlsim`'s models.
+
+use crate::config::{FftxConfig, Mode};
+use crate::original::StepFlops;
+use crate::problem::Problem;
+use fftx_knlsim::{simulate, CommModel, ContentionModel, KnlConfig, RankTasks, Segment, SimResult, TaskSpec};
+use fftx_trace::{CommOp, StateClass, Trace};
+use std::sync::Arc;
+
+/// Communicator-key blocks (stable ids for the trace / matching).
+const PACK_KEY_BASE: u64 = 1_000;
+const SCATTER_KEY_BASE: u64 = 2_000;
+const WORLD_KEY: u64 = 3_000;
+
+/// Builds the per-rank simulator programs for the problem's mode.
+pub fn build_programs(problem: &Problem) -> Vec<RankTasks> {
+    match problem.config.mode {
+        Mode::Original => build_original(problem),
+        Mode::TaskPerFft => build_task_per_fft(problem),
+        Mode::TaskPerStep => build_task_per_step(problem),
+        Mode::TaskAsync => build_task_async(problem),
+    }
+}
+
+/// Noise key of step `ordinal` of band `b`: ties the systematic per-band
+/// work variation together across ranks (see `ContentionModel::band_noise`).
+fn nkey(b: usize, ordinal: u64) -> u64 {
+    (b as u64) * 64 + ordinal
+}
+
+/// The transform core as segments (z FFT → scatter → xy FFT → VOFR → back),
+/// shared by all three lowerings. `scatter_key`/`size` describe the scatter
+/// communicator; `tag` disambiguates concurrent bands; `band` keys the
+/// systematic work variation.
+fn core_segments(
+    flops: &StepFlops,
+    scatter_key: u64,
+    scatter_size: usize,
+    scatter_bytes: usize,
+    tag: u64,
+    band: usize,
+) -> Vec<Segment> {
+    let scatter = |t: u64| Segment::Collective {
+        op: CommOp::Alltoall,
+        comm_key: scatter_key,
+        size: scatter_size,
+        bytes: scatter_bytes,
+        tag: t,
+    };
+    vec![
+        Segment::compute_keyed(StateClass::FftZ, flops.fft_z, nkey(band, 10)),
+        Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 2.0, nkey(band, 11)),
+        scatter(tag),
+        Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 2.0, nkey(band, 12)),
+        Segment::compute_keyed(StateClass::FftXy, flops.fft_xy, nkey(band, 13)),
+        Segment::compute_keyed(StateClass::Vofr, flops.vofr, nkey(band, 14)),
+        Segment::compute_keyed(StateClass::FftXy, flops.fft_xy, nkey(band, 15)),
+        Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 2.0, nkey(band, 16)),
+        scatter(tag),
+        Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 2.0, nkey(band, 17)),
+        Segment::compute_keyed(StateClass::FftZ, flops.fft_z, nkey(band, 18)),
+    ]
+}
+
+fn build_original(problem: &Problem) -> Vec<RankTasks> {
+    let cfg = problem.config;
+    let l = &problem.layout;
+    let (r, t) = (l.r, l.t);
+    (0..r * t)
+        .map(|w| {
+            let g = l.task_group_of(w);
+            let i = l.member_of(w);
+            let flops = StepFlops::for_group(problem, g);
+            let pack = |tag: u64| Segment::Collective {
+                op: CommOp::Alltoallv,
+                comm_key: PACK_KEY_BASE + g as u64,
+                size: t,
+                bytes: l.pack_bytes(w),
+                tag,
+            };
+            let mut segments = Vec::new();
+            for k in 0..cfg.iterations() {
+                // Rank g*T+i handles band k*T+i of this iteration: its
+                // compute carries that band's systematic work factor, so
+                // band-to-band variation shows up as intra-group imbalance
+                // the collectives must absorb — exactly the static code's
+                // handicap the paper identifies.
+                let band = k * t + i;
+                segments.push(Segment::compute_keyed(
+                    StateClass::PsiPrep,
+                    flops.prep,
+                    nkey(band, 0),
+                ));
+                segments.push(Segment::compute_keyed(
+                    StateClass::Pack,
+                    flops.pack / 2.0,
+                    nkey(band, 1),
+                ));
+                segments.push(pack(0));
+                segments.push(Segment::compute_keyed(
+                    StateClass::Pack,
+                    flops.pack / 2.0,
+                    nkey(band, 2),
+                ));
+                segments.extend(core_segments(
+                    &flops,
+                    SCATTER_KEY_BASE + i as u64,
+                    r,
+                    l.scatter_bytes(),
+                    0,
+                    band,
+                ));
+                segments.push(Segment::compute_keyed(
+                    StateClass::Unpack,
+                    flops.pack / 2.0,
+                    nkey(band, 3),
+                ));
+                segments.push(pack(1));
+                segments.push(Segment::compute_keyed(
+                    StateClass::Unpack,
+                    flops.pack / 2.0,
+                    nkey(band, 4),
+                ));
+            }
+            RankTasks::static_program(segments)
+        })
+        .collect()
+}
+
+/// Task-runtime overhead per task: dependency bookkeeping, scheduling, and
+/// argument marshalling — the reason Table II's instructions-scalability
+/// column sits below the original's.
+fn runtime_overhead(flops: &StepFlops) -> f64 {
+    0.01 * (2.0 * flops.fft_xy + 2.0 * flops.fft_z + flops.vofr)
+}
+
+fn band_task(problem: &Problem, g: usize, b: usize, flops: &StepFlops) -> TaskSpec {
+    let l = &problem.layout;
+    let mut segments = vec![
+        Segment::compute(StateClass::Runtime, runtime_overhead(flops)),
+        Segment::compute_keyed(StateClass::PsiPrep, flops.prep, nkey(b, 0)),
+        Segment::compute_keyed(StateClass::Pack, flops.pack, nkey(b, 1)),
+    ];
+    segments.extend(core_segments(
+        flops,
+        WORLD_KEY,
+        l.r,
+        l.scatter_bytes(),
+        b as u64,
+        b,
+    ));
+    segments.push(Segment::compute_keyed(StateClass::Unpack, flops.pack, nkey(b, 3)));
+    let _ = g;
+    TaskSpec::new(format!("fft-band-{b}"), b as u64, segments)
+}
+
+fn build_task_per_fft(problem: &Problem) -> Vec<RankTasks> {
+    let cfg = problem.config;
+    (0..cfg.nr)
+        .map(|g| {
+            let flops = StepFlops::for_group(problem, g);
+            let tasks = (0..cfg.nbnd).map(|b| band_task(problem, g, b, &flops)).collect();
+            RankTasks {
+                tasks,
+                workers: cfg.ntg,
+            }
+        })
+        .collect()
+}
+
+fn build_task_per_step(problem: &Problem) -> Vec<RankTasks> {
+    let cfg = problem.config;
+    let l = &problem.layout;
+    (0..cfg.nr)
+        .map(|g| {
+            let flops = StepFlops::for_group(problem, g);
+            let mut tasks: Vec<TaskSpec> = Vec::with_capacity(cfg.nbnd * 9);
+            for b in 0..cfg.nbnd {
+                let prio = b as u64;
+                let base = tasks.len();
+                let scatter = |tag: u64| Segment::Collective {
+                    op: CommOp::Alltoall,
+                    comm_key: WORLD_KEY,
+                    size: l.r,
+                    bytes: l.scatter_bytes(),
+                    tag,
+                };
+                // The chain mirrors Fig. 4: one task per step, flow deps.
+                let chain: Vec<(String, Vec<Segment>)> = vec![
+                    (
+                        format!("pack[{b}]"),
+                        vec![
+                            Segment::compute(StateClass::Runtime, runtime_overhead(&flops)),
+                            Segment::compute_keyed(StateClass::PsiPrep, flops.prep, nkey(b, 0)),
+                            Segment::compute_keyed(StateClass::Pack, flops.pack, nkey(b, 1)),
+                        ],
+                    ),
+                    (
+                        format!("fftz-inv[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::FftZ, flops.fft_z, nkey(b, 10))],
+                    ),
+                    (
+                        format!("scatter-fw[{b}]"),
+                        vec![
+                            Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 2.0, nkey(b, 11)),
+                            scatter(2 * b as u64),
+                            Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 2.0, nkey(b, 12)),
+                        ],
+                    ),
+                    (
+                        format!("fftxy-inv[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::FftXy, flops.fft_xy, nkey(b, 13))],
+                    ),
+                    (
+                        format!("vofr[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::Vofr, flops.vofr, nkey(b, 14))],
+                    ),
+                    (
+                        format!("fftxy-fw[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::FftXy, flops.fft_xy, nkey(b, 15))],
+                    ),
+                    (
+                        format!("scatter-bw[{b}]"),
+                        vec![
+                            Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 2.0, nkey(b, 16)),
+                            scatter(2 * b as u64 + 1),
+                            Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 2.0, nkey(b, 17)),
+                        ],
+                    ),
+                    (
+                        format!("fftz-fw[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::FftZ, flops.fft_z, nkey(b, 18))],
+                    ),
+                    (
+                        format!("unpack[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::Unpack, flops.pack, nkey(b, 3))],
+                    ),
+                ];
+                for (n, (label, segments)) in chain.into_iter().enumerate() {
+                    let mut task = TaskSpec::new(label, prio, segments);
+                    if n > 0 {
+                        task = task.with_deps(vec![base + n - 1]);
+                    }
+                    tasks.push(task);
+                }
+            }
+            RankTasks {
+                tasks,
+                workers: cfg.ntg,
+            }
+        })
+        .collect()
+}
+
+fn build_task_async(problem: &Problem) -> Vec<RankTasks> {
+    let cfg = problem.config;
+    let l = &problem.layout;
+    (0..cfg.nr)
+        .map(|g| {
+            let flops = StepFlops::for_group(problem, g);
+            let mut tasks: Vec<TaskSpec> = Vec::with_capacity(cfg.nbnd * 11);
+            for b in 0..cfg.nbnd {
+                let prio = b as u64;
+                let base = tasks.len();
+                let post = |tag: u64| Segment::CollectivePost {
+                    op: CommOp::Alltoall,
+                    comm_key: WORLD_KEY,
+                    size: l.r,
+                    bytes: l.scatter_bytes(),
+                    tag,
+                };
+                let wait = |tag: u64| Segment::CollectiveWait {
+                    comm_key: WORLD_KEY,
+                    tag,
+                };
+                // Strategy 1's chain with the scatters split into a post
+                // task (never blocks) and a wait task (blocks only for the
+                // unoverlapped remainder) — the paper's future work.
+                let chain: Vec<(String, Vec<Segment>)> = vec![
+                    (
+                        format!("pack[{b}]"),
+                        vec![
+                            Segment::compute(StateClass::Runtime, runtime_overhead(&flops)),
+                            Segment::compute_keyed(StateClass::PsiPrep, flops.prep, nkey(b, 0)),
+                            Segment::compute_keyed(StateClass::Pack, flops.pack, nkey(b, 1)),
+                        ],
+                    ),
+                    (
+                        format!("fftz-inv[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::FftZ, flops.fft_z, nkey(b, 10))],
+                    ),
+                    (
+                        format!("scatter-fw-post[{b}]"),
+                        vec![
+                            Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 4.0, nkey(b, 11)),
+                            post(2 * b as u64),
+                        ],
+                    ),
+                    (
+                        format!("scatter-fw-wait[{b}]"),
+                        vec![
+                            wait(2 * b as u64),
+                            Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 4.0, nkey(b, 12)),
+                        ],
+                    ),
+                    (
+                        format!("fftxy-inv[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::FftXy, flops.fft_xy, nkey(b, 13))],
+                    ),
+                    (
+                        format!("vofr[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::Vofr, flops.vofr, nkey(b, 14))],
+                    ),
+                    (
+                        format!("fftxy-fw[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::FftXy, flops.fft_xy, nkey(b, 15))],
+                    ),
+                    (
+                        format!("scatter-bw-post[{b}]"),
+                        vec![
+                            Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 4.0, nkey(b, 16)),
+                            post(2 * b as u64 + 1),
+                        ],
+                    ),
+                    (
+                        format!("scatter-bw-wait[{b}]"),
+                        vec![
+                            wait(2 * b as u64 + 1),
+                            Segment::compute_keyed(StateClass::Other, flops.scatter_copy / 4.0, nkey(b, 17)),
+                        ],
+                    ),
+                    (
+                        format!("fftz-fw[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::FftZ, flops.fft_z, nkey(b, 18))],
+                    ),
+                    (
+                        format!("unpack[{b}]"),
+                        vec![Segment::compute_keyed(StateClass::Unpack, flops.pack, nkey(b, 3))],
+                    ),
+                ];
+                for (n, (label, segments)) in chain.into_iter().enumerate() {
+                    // Wait tasks defer behind every band's compute
+                    // (priority b + nbnd): the transfer progresses on its
+                    // own, so workers should prefer useful work.
+                    let p = if segments
+                        .iter()
+                        .any(|s| matches!(s, Segment::CollectiveWait { .. }))
+                    {
+                        prio + cfg.nbnd as u64
+                    } else {
+                        prio
+                    };
+                    let mut task = TaskSpec::new(label, p, segments);
+                    if n > 0 {
+                        task = task.with_deps(vec![base + n - 1]);
+                    }
+                    tasks.push(task);
+                }
+            }
+            RankTasks {
+                tasks,
+                workers: cfg.ntg,
+            }
+        })
+        .collect()
+}
+
+/// A modeled execution: runtime, trace, and the ideal-network replay.
+pub struct ModeledRun {
+    /// The configuration.
+    pub config: FftxConfig,
+    /// Virtual FFT-phase runtime (s).
+    pub runtime: f64,
+    /// Runtime of the zero-transfer replay (for the sync/transfer split).
+    pub ideal_runtime: f64,
+    /// The simulated trace.
+    pub trace: Trace,
+}
+
+/// Simulates `config` on the modeled KNL node (paper-calibrated models),
+/// including the zero-transfer replay.
+pub fn run_modeled(config: FftxConfig) -> ModeledRun {
+    run_modeled_with(config, &KnlConfig::paper(), &ContentionModel::paper(), &CommModel::paper())
+}
+
+/// Simulates `config` with explicit architecture/model parameters (used by
+/// the ablation benches).
+pub fn run_modeled_with(
+    config: FftxConfig,
+    knl: &KnlConfig,
+    contention: &ContentionModel,
+    comm: &CommModel,
+) -> ModeledRun {
+    let problem = Problem::new(config);
+    let programs = build_programs(&problem);
+    let real = simulate(&programs, knl, contention, comm);
+    let ideal = simulate(&programs, knl, contention, &comm.idealized());
+    ModeledRun {
+        config,
+        runtime: real.runtime,
+        ideal_runtime: ideal.runtime,
+        trace: real.trace,
+    }
+}
+
+/// Simulates only the real network (no ideal replay), returning the raw
+/// simulator result.
+pub fn simulate_config(
+    config: FftxConfig,
+    knl: &KnlConfig,
+    contention: &ContentionModel,
+    comm: &CommModel,
+) -> SimResult {
+    let problem = Problem::new(config);
+    let programs = build_programs(&problem);
+    simulate(&programs, knl, contention, comm)
+}
+
+/// Convenience used by tests: total flops of all programs of a problem.
+pub fn total_program_flops(problem: &Arc<Problem>) -> f64 {
+    build_programs(problem).iter().map(|r| r.total_flops()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(nr: usize, ntg: usize, mode: Mode) -> FftxConfig {
+        FftxConfig::small(nr, ntg, mode)
+    }
+
+    #[test]
+    fn program_shapes_per_mode() {
+        let p = Problem::new(small(2, 2, Mode::Original));
+        let progs = build_programs(&p);
+        assert_eq!(progs.len(), 4);
+        for pr in &progs {
+            assert_eq!(pr.workers, 1);
+            assert_eq!(pr.tasks.len(), 1);
+            // 4 collectives per iteration (2 pack + 2 scatter).
+            assert_eq!(pr.collective_count(), 4 * p.config.iterations());
+        }
+
+        let p = Problem::new(small(2, 2, Mode::TaskPerFft));
+        let progs = build_programs(&p);
+        assert_eq!(progs.len(), 2);
+        for pr in &progs {
+            assert_eq!(pr.workers, 2);
+            assert_eq!(pr.tasks.len(), p.config.nbnd);
+            assert_eq!(pr.collective_count(), 2 * p.config.nbnd);
+        }
+
+        let p = Problem::new(small(2, 2, Mode::TaskPerStep));
+        let progs = build_programs(&p);
+        for pr in &progs {
+            assert_eq!(pr.tasks.len(), 9 * p.config.nbnd);
+            // Each chain: 8 deps.
+            let dep_count: usize = pr.tasks.iter().map(|t| t.deps.len()).sum();
+            assert_eq!(dep_count, 8 * p.config.nbnd);
+        }
+    }
+
+    #[test]
+    fn work_is_mode_invariant_per_lane_total() {
+        // All three modes perform the same FFT work in total (instructions
+        // scalability ~ 1 across modes in the paper).
+        let o = Problem::new(small(2, 2, Mode::Original));
+        let f = Problem::new(small(2, 2, Mode::TaskPerFft));
+        let s = Problem::new(small(2, 2, Mode::TaskPerStep));
+        let fo = total_program_flops(&o);
+        let ff = total_program_flops(&f);
+        let fs = total_program_flops(&s);
+        // FFT-batch work identical; copy/prep bookkeeping differs by layout
+        // (task modes have R groups instead of R*T ranks) — allow 25%.
+        assert!((ff / fo - 1.0).abs() < 0.25, "fft {ff} vs orig {fo}");
+        assert!((fs / ff - 1.0).abs() < 1e-9, "steps {fs} vs fft {ff}");
+    }
+
+    #[test]
+    fn modeled_runs_complete_for_all_modes() {
+        for mode in [Mode::Original, Mode::TaskPerFft, Mode::TaskPerStep] {
+            let run = run_modeled(small(2, 2, mode));
+            assert!(run.runtime > 0.0, "{mode:?}");
+            assert!(run.ideal_runtime <= run.runtime * (1.0 + 1e-9), "{mode:?}");
+            assert!(!run.trace.compute.is_empty());
+            assert!(!run.trace.comm.is_empty());
+        }
+    }
+
+    #[test]
+    fn uncontended_node_is_faster() {
+        let cfg = small(2, 2, Mode::Original);
+        let contended = run_modeled(cfg);
+        let free = run_modeled_with(
+            cfg,
+            &KnlConfig::paper(),
+            &ContentionModel::uncontended(),
+            &CommModel::paper(),
+        );
+        assert!(free.runtime <= contended.runtime + 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! The original FFTXlib kernel: static two-layer MPI parallelisation with
+//! FFT task groups (Fig. 1 of the paper), executed for real on virtual MPI
+//! ranks with actual FFT math and data movement.
+//!
+//! Per outer iteration k (bands `kT .. (k+1)T`), every rank `g*T + i` runs:
+//!
+//! ```text
+//! pack    : Alltoallv in the task group  (band shares -> band k*T+i on U_g)
+//! FFT z   : inverse 1-D FFTs over the group's sticks
+//! scatter : padded Alltoall in the strided family (sticks -> plane slab)
+//! FFT xy  : inverse 2-D FFTs over the owned planes
+//! VOFR    : psi(r) *= V(r)
+//! FFT xy  : forward
+//! scatter : Alltoall back (planes -> sticks)
+//! FFT z   : forward
+//! unpack  : Alltoallv back (band k*T+i -> band shares)
+//! ```
+
+use crate::problem::Problem;
+use crate::recorder::Recorder;
+use crate::steps;
+use fftx_fft::opcount;
+use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction, Fft};
+use fftx_pw::{apply_potential_slab, assemble_shares};
+use fftx_trace::{StateClass, Trace, TraceSink};
+use fftx_vmpi::{Communicator, World};
+use std::sync::Arc;
+
+/// Result of a real execution.
+pub struct RunOutput {
+    /// Updated bands, reassembled into canonical order.
+    pub bands: Vec<Vec<Complex64>>,
+    /// The recorded trace (compute bursts, MPI calls, tasks).
+    pub trace: Trace,
+    /// FFT-phase wall time: max over ranks of the barrier-to-barrier span.
+    pub fft_phase_s: f64,
+}
+
+/// FFT plans shared by the steps of one rank.
+pub struct Plans {
+    /// Along x.
+    pub x: Fft,
+    /// Along y.
+    pub y: Fft,
+    /// Along z.
+    pub z: Fft,
+}
+
+impl Plans {
+    /// Builds the three 1-D plans for the problem grid.
+    pub fn new(problem: &Problem) -> Self {
+        let g = problem.grid();
+        Plans {
+            x: Fft::new(g.nr1),
+            y: Fft::new(g.nr2),
+            z: Fft::new(g.nr3),
+        }
+    }
+}
+
+/// Per-iteration flop estimates used for trace counters.
+pub struct StepFlops {
+    /// PsiPrep (buffer clearing).
+    pub prep: f64,
+    /// Pack/unpack deposit copies.
+    pub pack: f64,
+    /// The z-FFT batch.
+    pub fft_z: f64,
+    /// Local copies around the scatter.
+    pub scatter_copy: f64,
+    /// The xy-FFT batch.
+    pub fft_xy: f64,
+    /// The VOFR point-wise multiply.
+    pub vofr: f64,
+}
+
+impl StepFlops {
+    /// Estimates for the rank in task group `g`.
+    pub fn for_group(problem: &Problem, g: usize) -> Self {
+        let l = &problem.layout;
+        let grid = problem.grid();
+        let nst = l.nst_group(g);
+        let npp = l.npp(g);
+        let plane = grid.nr1 * grid.nr2;
+        StepFlops {
+            // The prep phase clears/initialises both work buffers (the
+            // paper's conspicuous low-IPC "psi preparation" segment).
+            prep: opcount::copy_flops(nst * grid.nr3 + npp * plane),
+            pack: opcount::copy_flops(l.ngw_group(g)),
+            fft_z: opcount::fft_z_batch_flops(grid.nr3, nst),
+            scatter_copy: opcount::copy_flops(nst * grid.nr3 + npp * plane),
+            fft_xy: opcount::fft_xy_batch_flops(grid.nr1, grid.nr2, npp),
+            vofr: opcount::pointwise_mul_flops(npp * plane),
+        }
+    }
+}
+
+/// State one rank carries through the pipeline of one band group.
+pub struct BandPipeline {
+    /// z-stick buffer (`nst_group * nr3`).
+    pub zbuf: Vec<Complex64>,
+    /// Plane slab (`npp * nr1 * nr2`).
+    pub planes: Vec<Complex64>,
+    /// FFT scratch.
+    pub scratch: Vec<Complex64>,
+}
+
+impl BandPipeline {
+    /// Allocates buffers for task group `g`.
+    pub fn new(problem: &Problem, g: usize) -> Self {
+        let l = &problem.layout;
+        let grid = problem.grid();
+        BandPipeline {
+            zbuf: vec![Complex64::ZERO; l.nst_group(g) * grid.nr3],
+            planes: vec![Complex64::ZERO; l.npp(g) * grid.nr1 * grid.nr2],
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// The body of one iteration *after* the pack deposit and *before* the
+/// unpack extraction: z-FFT, scatter, xy-FFT, VOFR and the way back.
+/// Shared verbatim by all three execution modes. `tag` keeps concurrent
+/// scatters of different bands apart.
+#[allow(clippy::too_many_arguments)]
+pub fn transform_core(
+    problem: &Problem,
+    g: usize,
+    scatter_comm: &Communicator,
+    tag: u32,
+    pipe: &mut BandPipeline,
+    plans: &Plans,
+    flops: &StepFlops,
+    rec: &Recorder,
+) {
+    let l = &problem.layout;
+    let grid = problem.grid();
+    let nst = l.nst_group(g);
+    let npp = l.npp(g);
+    let (z0, _) = l.plane_range[g];
+
+    // Inverse FFT along z (G -> r on the stick columns).
+    rec.compute(StateClass::FftZ, flops.fft_z, || {
+        cft_1z(
+            &plans.z,
+            &mut pipe.zbuf,
+            nst,
+            grid.nr3,
+            Direction::Inverse,
+            &mut pipe.scratch,
+        );
+    });
+
+    // Forward scatter: sticks -> planes.
+    let send = rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
+        steps::scatter_pack(l, g, &pipe.zbuf)
+    });
+    let recv = scatter_comm.alltoall(&send, tag);
+    rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
+        steps::scatter_unpack_to_planes(l, g, &recv, &mut pipe.planes);
+    });
+
+    // Inverse FFT in the xy planes.
+    rec.compute(StateClass::FftXy, flops.fft_xy, || {
+        cft_2xy(
+            &plans.x,
+            &plans.y,
+            &mut pipe.planes,
+            npp,
+            grid.nr1,
+            grid.nr2,
+            Direction::Inverse,
+            &mut pipe.scratch,
+        );
+    });
+
+    // VOFR: apply the local potential on the owned slab.
+    rec.compute(StateClass::Vofr, flops.vofr, || {
+        apply_potential_slab(&mut pipe.planes, &problem.v, &grid, z0, npp);
+    });
+
+    // Forward FFT in the xy planes.
+    rec.compute(StateClass::FftXy, flops.fft_xy, || {
+        cft_2xy(
+            &plans.x,
+            &plans.y,
+            &mut pipe.planes,
+            npp,
+            grid.nr1,
+            grid.nr2,
+            Direction::Forward,
+            &mut pipe.scratch,
+        );
+    });
+
+    // Backward scatter: planes -> sticks.
+    let send = rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
+        steps::planes_to_scatter_sends(l, g, &pipe.planes)
+    });
+    let recv = scatter_comm.alltoall(&send, tag);
+    rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
+        steps::zbuf_from_scatter_recv(l, g, &recv, &mut pipe.zbuf);
+    });
+
+    // Forward FFT along z.
+    rec.compute(StateClass::FftZ, flops.fft_z, || {
+        cft_1z(
+            &plans.z,
+            &mut pipe.zbuf,
+            nst,
+            grid.nr3,
+            Direction::Forward,
+            &mut pipe.scratch,
+        );
+    });
+}
+
+/// Runs the original static kernel on R×T virtual MPI ranks and returns the
+/// reassembled bands, trace and FFT-phase time.
+pub fn run_original(problem: &Arc<Problem>) -> RunOutput {
+    let cfg = problem.config;
+    assert!(
+        matches!(cfg.mode, crate::config::Mode::Original),
+        "run_original: config mode mismatch"
+    );
+    let p = cfg.vmpi_ranks();
+    let sink = TraceSink::new();
+    let world = World::new(p).with_trace(sink.clone());
+    let results = world.run(|comm| rank_original(problem, comm));
+    finish_run(problem, sink, results)
+}
+
+/// Per-rank body of the original kernel.
+fn rank_original(problem: &Problem, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
+    let cfg = problem.config;
+    let l = &problem.layout;
+    let w = comm.rank();
+    let g = l.task_group_of(w);
+    let i = l.member_of(w);
+    let t = l.t;
+
+    let pack_comm = comm.split(g as u64, i);
+    let scatter_comm = comm.split(i as u64, g);
+    let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
+    let plans = Plans::new(problem);
+    let flops = StepFlops::for_group(problem, g);
+    let mut shares = problem.initial_shares(w);
+    let mut pipe = BandPipeline::new(problem, g);
+
+    comm.barrier();
+    let t_start = comm.now();
+    for k in 0..cfg.iterations() {
+        // PsiPrep: clear the work buffers. The z buffer must be zero off
+        // the sphere entries before the deposit; the plane slab must be
+        // zero at non-stick xy positions before the forward scatter, or
+        // stale values from the previous band group leak in.
+        rec.compute(StateClass::PsiPrep, flops.prep, || {
+            pipe.zbuf.fill(Complex64::ZERO);
+            pipe.planes.fill(Complex64::ZERO);
+        });
+
+        // Pack: every member contributes its share of each of the T bands.
+        let sends = rec.compute(StateClass::Pack, flops.pack / 2.0, || {
+            let refs: Vec<&[Complex64]> = (0..t).map(|j| shares[k * t + j].as_slice()).collect();
+            steps::pack_sends(&refs)
+        });
+        let recv = pack_comm.alltoallv(sends, 0);
+        rec.compute(StateClass::Pack, flops.pack / 2.0, || {
+            steps::deposit_pack_recv(l, g, &recv, &mut pipe.zbuf);
+        });
+
+        transform_core(problem, g, &scatter_comm, 0, &mut pipe, &plans, &flops, &rec);
+
+        // Unpack: give every member back its share of its band.
+        let sends = rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
+            steps::extract_unpack_sends(l, g, &pipe.zbuf)
+        });
+        let recv = pack_comm.alltoallv(sends, 1);
+        rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
+            for (j, share) in recv.into_iter().enumerate() {
+                shares[k * t + j] = share;
+            }
+        });
+    }
+    comm.barrier();
+    let t_end = comm.now();
+    (shares, t_end - t_start)
+}
+
+/// Reassembles bands from per-rank shares and closes the trace.
+pub fn finish_run(
+    problem: &Problem,
+    sink: TraceSink,
+    results: Vec<(Vec<Vec<Complex64>>, f64)>,
+) -> RunOutput {
+    let fft_phase_s = results
+        .iter()
+        .map(|(_, t)| *t)
+        .fold(0.0_f64, f64::max);
+    let nbnd = problem.config.nbnd;
+    let bands = (0..nbnd)
+        .map(|b| {
+            let shares: Vec<Vec<Complex64>> =
+                results.iter().map(|(s, _)| s[b].clone()).collect();
+            assemble_shares(&problem.layout.set, &problem.layout.dist, &shares)
+        })
+        .collect();
+    RunOutput {
+        bands,
+        trace: sink.finish(),
+        fft_phase_s,
+    }
+}

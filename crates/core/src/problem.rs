@@ -1,0 +1,122 @@
+//! Problem setup shared by every execution engine: grid, layout, potential,
+//! and per-rank band shares — all deterministic from the configuration, so
+//! each rank builds an identical copy with no communication (exactly how
+//! FFTXlib initialises its descriptor on every process).
+
+use crate::config::FftxConfig;
+use fftx_fft::Complex64;
+use fftx_pw::{
+    extract_share, generate_band, generate_potential, Cell, FftGrid, GSphere, StickSet,
+    TaskGroupLayout, DUAL,
+};
+use std::sync::Arc;
+
+/// Immutable problem state shared by all ranks of one run.
+pub struct Problem {
+    /// The configuration it was built from.
+    pub config: FftxConfig,
+    /// The simulation cell.
+    pub cell: Cell,
+    /// The distributed layout (grid, sticks, groups, planes).
+    pub layout: TaskGroupLayout,
+    /// Dense real-space potential.
+    pub v: Vec<f64>,
+}
+
+impl Problem {
+    /// Builds the problem for `config` (validates it first).
+    pub fn new(config: FftxConfig) -> Arc<Self> {
+        config.validate();
+        let cell = Cell::cubic(config.alat);
+        let grid = FftGrid::from_cutoff(&cell, DUAL * config.ecutwfc);
+        let sphere = GSphere::generate(&cell, config.ecutwfc, &grid);
+        let set = StickSet::build(&sphere, &grid);
+        let layout = TaskGroupLayout::new(grid, set, config.nr, config.layout_ntg());
+        layout.validate();
+        let v = generate_potential(&grid, config.seed);
+        Arc::new(Problem {
+            config,
+            cell,
+            layout,
+            v,
+        })
+    }
+
+    /// Canonical coefficients of band `b`.
+    pub fn band(&self, b: usize) -> Vec<Complex64> {
+        generate_band(&self.layout.set, b, self.config.seed)
+    }
+
+    /// Rank `rank`'s share of every band (the initial distributed state).
+    pub fn initial_shares(&self, rank: usize) -> Vec<Vec<Complex64>> {
+        (0..self.config.nbnd)
+            .map(|b| extract_share(&self.layout.set, &self.layout.dist, rank, &self.band(b)))
+            .collect()
+    }
+
+    /// The slab of V(r) owned by task group `g` (planes
+    /// `plane_range(g)`), referenced into the dense potential.
+    pub fn v_slab(&self, g: usize) -> &[f64] {
+        let plane = self.layout.grid.nr1 * self.layout.grid.nr2;
+        let (z0, z1) = self.layout.plane_range[g];
+        &self.v[z0 * plane..z1 * plane]
+    }
+
+    /// Grid dimensions.
+    pub fn grid(&self) -> FftGrid {
+        self.layout.grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use fftx_pw::assemble_shares;
+
+    #[test]
+    fn problem_setup_is_deterministic() {
+        let c = FftxConfig::small(2, 2, Mode::Original);
+        let p1 = Problem::new(c);
+        let p2 = Problem::new(c);
+        assert_eq!(p1.v, p2.v);
+        assert_eq!(p1.band(1), p2.band(1));
+        assert_eq!(p1.layout.group_sticks, p2.layout.group_sticks);
+    }
+
+    #[test]
+    fn shares_reassemble_to_bands() {
+        let c = FftxConfig::small(2, 2, Mode::Original);
+        let p = Problem::new(c);
+        let all: Vec<Vec<Vec<Complex64>>> = (0..c.vmpi_ranks())
+            .map(|r| p.initial_shares(r))
+            .collect();
+        for b in 0..c.nbnd {
+            let shares: Vec<Vec<Complex64>> = all.iter().map(|r| r[b].clone()).collect();
+            let band = assemble_shares(&p.layout.set, &p.layout.dist, &shares);
+            assert_eq!(band, p.band(b));
+        }
+    }
+
+    #[test]
+    fn v_slabs_tile_the_grid() {
+        let c = FftxConfig::small(3, 1, Mode::Original);
+        let p = Problem::new(c);
+        let total: usize = (0..3).map(|g| p.v_slab(g).len()).sum();
+        assert_eq!(total, p.grid().volume());
+        // Concatenation equals the dense potential.
+        let mut cat = Vec::new();
+        for g in 0..3 {
+            cat.extend_from_slice(p.v_slab(g));
+        }
+        assert_eq!(cat, p.v);
+    }
+
+    #[test]
+    fn task_mode_layout_has_one_group_member() {
+        let c = FftxConfig::small(4, 2, Mode::TaskPerFft);
+        let p = Problem::new(c);
+        assert_eq!(p.layout.t, 1);
+        assert_eq!(p.layout.r, 4);
+    }
+}

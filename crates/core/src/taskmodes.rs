@@ -1,0 +1,666 @@
+//! The two OmpSs optimisation strategies of Section IV, executed for real:
+//! R virtual MPI ranks, each with a T-worker task runtime replacing the FFT
+//! task groups (the layout runs with ntg = 1, exactly like the paper's
+//! OmpSs configuration).
+//!
+//! * **Strategy 1, task-per-step** (Fig. 4): every pipeline step of every
+//!   band is a task with `in`/`out`/`inout` dependencies on the band's
+//!   buffers; steps of one band chain, different bands are independent, so
+//!   a band's Alltoall overlaps other bands' FFTs — communication/
+//!   computation overlap.
+//! * **Strategy 2, task-per-FFT** (Fig. 5): the whole pipeline of one band
+//!   is a single independent task — dynamic scheduling de-synchronises the
+//!   compute phases across ranks, softening resource contention.
+//!
+//! Both give every task of band `b` scheduler priority `b`. Together with
+//! the runtime's priority queue this makes every rank drain bands in the
+//! same order, which is the deadlock-freedom invariant for the blocking
+//! collectives inside tasks (tags keep concurrent collectives apart).
+
+use crate::config::Mode;
+use crate::original::{finish_run, transform_core, BandPipeline, Plans, RunOutput, StepFlops};
+use crate::problem::Problem;
+use crate::recorder::Recorder;
+use crate::steps;
+use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction};
+use fftx_pw::apply_potential_slab;
+use fftx_taskrt::{Runtime, Shared};
+use fftx_trace::{StateClass, TraceSink};
+use fftx_vmpi::{AlltoallRequest, Communicator, World};
+use std::sync::Arc;
+
+/// Runs strategy 2 (one task per FFT/band) on R ranks × T workers.
+pub fn run_task_per_fft(problem: &Arc<Problem>) -> RunOutput {
+    let cfg = problem.config;
+    assert!(
+        matches!(cfg.mode, Mode::TaskPerFft),
+        "run_task_per_fft: config mode mismatch"
+    );
+    let sink = TraceSink::new();
+    let world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    let results = world.run(|comm| rank_task_per_fft(problem, comm));
+    finish_run(problem, sink, results)
+}
+
+fn rank_task_per_fft(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
+    let cfg = problem.config;
+    let w = comm.rank();
+    let g = w; // layout has t = 1: every rank is its own task group
+    let plans = Arc::new(Plans::new(problem));
+    let flops = Arc::new(StepFlops::for_group(problem, g));
+    let shares: Vec<Shared<Vec<Complex64>>> = problem
+        .initial_shares(w)
+        .into_iter()
+        .map(Shared::new)
+        .collect();
+
+    let mut builder = Runtime::builder(cfg.ntg).clock(comm.clock()).rank(w);
+    if let Some(sink) = comm.trace_sink() {
+        builder = builder.trace(sink);
+    }
+    let rt = builder.build();
+
+    comm.barrier();
+    let t_start = comm.now();
+    for (b, share) in shares.iter().enumerate() {
+        let problem = Arc::clone(problem);
+        let comm = comm.clone();
+        let plans = Arc::clone(&plans);
+        let flops = Arc::clone(&flops);
+        let share = share.clone();
+        rt.spawn_prio(
+            &format!("fft-band-{b}"),
+            Some(b as u64),
+            &[share.dep_inout()],
+            move || {
+                let rec = Recorder::new(comm.trace_sink(), comm.clock(), comm.rank());
+                let mut pipe = BandPipeline::new(&problem, g);
+                // PsiPrep: buffers are freshly zeroed; the burst still
+                // exists in the original code, so record the touch.
+                rec.compute(StateClass::PsiPrep, flops.prep, || {
+                    pipe.zbuf.fill(Complex64::ZERO);
+                    pipe.planes.fill(Complex64::ZERO);
+                });
+                // Pack: t = 1, the "redistribution" is a local deposit.
+                rec.compute(StateClass::Pack, flops.pack, || {
+                    steps::deposit_member_share(&problem.layout, g, 0, &share.read(), &mut pipe.zbuf);
+                });
+                transform_core(
+                    &problem,
+                    g,
+                    &comm,
+                    b as u32,
+                    &mut pipe,
+                    &plans,
+                    &flops,
+                    &rec,
+                );
+                // Unpack: back to the band share.
+                rec.compute(StateClass::Unpack, flops.pack, || {
+                    *share.write() = steps::extract_member_share(&problem.layout, g, 0, &pipe.zbuf);
+                });
+            },
+        );
+    }
+    rt.taskwait();
+    comm.barrier();
+    let t_end = comm.now();
+    rt.shutdown();
+
+    let shares = shares
+        .into_iter()
+        .map(|s| s.try_unwrap().ok().expect("share uniquely owned after taskwait"))
+        .collect();
+    (shares, t_end - t_start)
+}
+
+/// Runs strategy 1 (one task per pipeline step, flow dependencies) on
+/// R ranks × T workers.
+pub fn run_task_per_step(problem: &Arc<Problem>) -> RunOutput {
+    let cfg = problem.config;
+    assert!(
+        matches!(cfg.mode, Mode::TaskPerStep),
+        "run_task_per_step: config mode mismatch"
+    );
+    let sink = TraceSink::new();
+    let world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    let results = world.run(|comm| rank_task_per_step(problem, comm));
+    finish_run(problem, sink, results)
+}
+
+/// Context cloned into every step task of one band.
+struct StepCtx {
+    problem: Arc<Problem>,
+    comm: Communicator,
+    plans: Arc<Plans>,
+    flops: Arc<StepFlops>,
+    g: usize,
+    zbuf: Shared<Vec<Complex64>>,
+    planes: Shared<Vec<Complex64>>,
+}
+
+impl StepCtx {
+    fn recorder(&self) -> Recorder {
+        Recorder::new(self.comm.trace_sink(), self.comm.clock(), self.comm.rank())
+    }
+}
+
+impl Clone for StepCtx {
+    fn clone(&self) -> Self {
+        StepCtx {
+            problem: Arc::clone(&self.problem),
+            comm: self.comm.clone(),
+            plans: Arc::clone(&self.plans),
+            flops: Arc::clone(&self.flops),
+            g: self.g,
+            zbuf: self.zbuf.clone(),
+            planes: self.planes.clone(),
+        }
+    }
+}
+
+fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
+    let cfg = problem.config;
+    let w = comm.rank();
+    let g = w;
+    let grid = problem.grid();
+    let l = &problem.layout;
+    let plans = Arc::new(Plans::new(problem));
+    let flops = Arc::new(StepFlops::for_group(problem, g));
+    let shares: Vec<Shared<Vec<Complex64>>> = problem
+        .initial_shares(w)
+        .into_iter()
+        .map(Shared::new)
+        .collect();
+
+    let mut builder = Runtime::builder(cfg.ntg).clock(comm.clock()).rank(w);
+    if let Some(sink) = comm.trace_sink() {
+        builder = builder.trace(sink);
+    }
+    let rt = builder.build();
+
+    comm.barrier();
+    let t_start = comm.now();
+    let nst = l.nst_group(g);
+    let npp = l.npp(g);
+    let plane = grid.nr1 * grid.nr2;
+    for (b, share) in shares.iter().enumerate() {
+        let prio = Some(b as u64);
+        let ctx = StepCtx {
+            problem: Arc::clone(problem),
+            comm: comm.clone(),
+            plans: Arc::clone(&plans),
+            flops: Arc::clone(&flops),
+            g,
+            zbuf: Shared::new(vec![Complex64::ZERO; nst * grid.nr3]),
+            planes: Shared::new(vec![Complex64::ZERO; npp * plane]),
+        };
+        let share = share.clone();
+
+        // 1. pack: in(share) out(zbuf)   [fresh zbuf is already zeroed,
+        //    which covers the PsiPrep step of Fig. 4's task list]
+        let c = ctx.clone();
+        let sh = share.clone();
+        rt.spawn_prio(
+            &format!("pack[{b}]"),
+            prio,
+            &[sh.dep_in(), ctx.zbuf.dep_out()],
+            move || {
+                let rec = c.recorder();
+                rec.compute(StateClass::Pack, c.flops.pack, || {
+                    steps::deposit_member_share(
+                        &c.problem.layout,
+                        c.g,
+                        0,
+                        &sh.read(),
+                        &mut c.zbuf.write(),
+                    );
+                });
+            },
+        );
+
+        // 2. forward FFT along z: inout(zbuf)
+        let c = ctx.clone();
+        rt.spawn_prio(
+            &format!("fftz-inv[{b}]"),
+            prio,
+            &[ctx.zbuf.dep_inout()],
+            move || {
+                let rec = c.recorder();
+                rec.compute(StateClass::FftZ, c.flops.fft_z, || {
+                    let mut scratch = Vec::new();
+                    cft_1z(
+                        &c.plans.z,
+                        &mut c.zbuf.write(),
+                        nst,
+                        grid.nr3,
+                        Direction::Inverse,
+                        &mut scratch,
+                    );
+                });
+            },
+        );
+
+        // 3. forward scatter: in(zbuf) inout(planes) — the communication
+        //    task that overlaps other bands' compute tasks.
+        let c = ctx.clone();
+        rt.spawn_prio(
+            &format!("scatter-fw[{b}]"),
+            prio,
+            &[ctx.zbuf.dep_in(), ctx.planes.dep_inout()],
+            move || {
+                let rec = c.recorder();
+                let send = rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
+                    steps::scatter_pack(&c.problem.layout, c.g, &c.zbuf.read())
+                });
+                let recv = c.comm.alltoall(&send, (2 * b) as u32);
+                rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
+                    steps::scatter_unpack_to_planes(
+                        &c.problem.layout,
+                        c.g,
+                        &recv,
+                        &mut c.planes.write(),
+                    );
+                });
+            },
+        );
+
+        // 4-6. xy FFT, VOFR, xy FFT back: inout(planes)
+        for (label, dir_fwd, is_vofr) in [
+            ("fftxy-inv", false, false),
+            ("vofr", false, true),
+            ("fftxy-fw", true, false),
+        ] {
+            let c = ctx.clone();
+            rt.spawn_prio(
+                &format!("{label}[{b}]"),
+                prio,
+                &[ctx.planes.dep_inout()],
+                move || {
+                    let rec = c.recorder();
+                    if is_vofr {
+                        let (z0, _) = c.problem.layout.plane_range[c.g];
+                        rec.compute(StateClass::Vofr, c.flops.vofr, || {
+                            apply_potential_slab(
+                                &mut c.planes.write(),
+                                &c.problem.v,
+                                &grid,
+                                z0,
+                                npp,
+                            );
+                        });
+                    } else {
+                        let dir = if dir_fwd { Direction::Forward } else { Direction::Inverse };
+                        rec.compute(StateClass::FftXy, c.flops.fft_xy, || {
+                            let mut scratch = Vec::new();
+                            cft_2xy(
+                                &c.plans.x,
+                                &c.plans.y,
+                                &mut c.planes.write(),
+                                npp,
+                                grid.nr1,
+                                grid.nr2,
+                                dir,
+                                &mut scratch,
+                            );
+                        });
+                    }
+                },
+            );
+        }
+
+        // 7. backward scatter: in(planes) inout(zbuf)
+        let c = ctx.clone();
+        rt.spawn_prio(
+            &format!("scatter-bw[{b}]"),
+            prio,
+            &[ctx.planes.dep_in(), ctx.zbuf.dep_inout()],
+            move || {
+                let rec = c.recorder();
+                let send = rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
+                    steps::planes_to_scatter_sends(&c.problem.layout, c.g, &c.planes.read())
+                });
+                let recv = c.comm.alltoall(&send, (2 * b + 1) as u32);
+                rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
+                    steps::zbuf_from_scatter_recv(
+                        &c.problem.layout,
+                        c.g,
+                        &recv,
+                        &mut c.zbuf.write(),
+                    );
+                });
+            },
+        );
+
+        // 8. backward FFT along z: inout(zbuf)
+        let c = ctx.clone();
+        rt.spawn_prio(
+            &format!("fftz-fw[{b}]"),
+            prio,
+            &[ctx.zbuf.dep_inout()],
+            move || {
+                let rec = c.recorder();
+                rec.compute(StateClass::FftZ, c.flops.fft_z, || {
+                    let mut scratch = Vec::new();
+                    cft_1z(
+                        &c.plans.z,
+                        &mut c.zbuf.write(),
+                        nst,
+                        grid.nr3,
+                        Direction::Forward,
+                        &mut scratch,
+                    );
+                });
+            },
+        );
+
+        // 9. unpack: in(zbuf) out(share)
+        let c = ctx.clone();
+        let sh = share.clone();
+        rt.spawn_prio(
+            &format!("unpack[{b}]"),
+            prio,
+            &[ctx.zbuf.dep_in(), sh.dep_out()],
+            move || {
+                let rec = c.recorder();
+                rec.compute(StateClass::Unpack, c.flops.pack, || {
+                    *sh.write() =
+                        steps::extract_member_share(&c.problem.layout, c.g, 0, &c.zbuf.read());
+                });
+            },
+        );
+    }
+    rt.taskwait();
+    comm.barrier();
+    let t_end = comm.now();
+    rt.shutdown();
+
+    let shares = shares
+        .into_iter()
+        .map(|s| s.try_unwrap().ok().expect("share uniquely owned after taskwait"))
+        .collect();
+    (shares, t_end - t_start)
+}
+
+/// Runs the future-work mode (split-phase collectives inside step tasks)
+/// on R ranks × T workers: the scatter is split into a *post* task that
+/// issues a nonblocking alltoall and a *wait* task that completes it, so
+/// other bands' compute overlaps the transfer automatically.
+pub fn run_task_async(problem: &Arc<Problem>) -> RunOutput {
+    let cfg = problem.config;
+    assert!(
+        matches!(cfg.mode, Mode::TaskAsync),
+        "run_task_async: config mode mismatch"
+    );
+    let sink = TraceSink::new();
+    let world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    let results = world.run(|comm| rank_task_async(problem, comm));
+    finish_run(problem, sink, results)
+}
+
+fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
+    type Req = Shared<Option<AlltoallRequest<Complex64>>>;
+    let cfg = problem.config;
+    let w = comm.rank();
+    let g = w;
+    let grid = problem.grid();
+    let l = &problem.layout;
+    let plans = Arc::new(Plans::new(problem));
+    let flops = Arc::new(StepFlops::for_group(problem, g));
+    let shares: Vec<Shared<Vec<Complex64>>> = problem
+        .initial_shares(w)
+        .into_iter()
+        .map(Shared::new)
+        .collect();
+
+    let mut builder = Runtime::builder(cfg.ntg).clock(comm.clock()).rank(w);
+    if let Some(sink) = comm.trace_sink() {
+        builder = builder.trace(sink);
+    }
+    let rt = builder.build();
+
+    comm.barrier();
+    let t_start = comm.now();
+    let nst = l.nst_group(g);
+    let npp = l.npp(g);
+    let plane = grid.nr1 * grid.nr2;
+    for (b, share) in shares.iter().enumerate() {
+        let prio = Some(b as u64);
+        let ctx = StepCtx {
+            problem: Arc::clone(problem),
+            comm: comm.clone(),
+            plans: Arc::clone(&plans),
+            flops: Arc::clone(&flops),
+            g,
+            zbuf: Shared::new(vec![Complex64::ZERO; nst * grid.nr3]),
+            planes: Shared::new(vec![Complex64::ZERO; npp * plane]),
+        };
+        let req_fw: Req = Shared::new(None);
+        let req_bw: Req = Shared::new(None);
+        let share = share.clone();
+
+        // pack: in(share) out(zbuf)
+        let c = ctx.clone();
+        let sh = share.clone();
+        rt.spawn_prio(
+            &format!("pack[{b}]"),
+            prio,
+            &[sh.dep_in(), ctx.zbuf.dep_out()],
+            move || {
+                let rec = c.recorder();
+                rec.compute(StateClass::Pack, c.flops.pack, || {
+                    steps::deposit_member_share(
+                        &c.problem.layout,
+                        c.g,
+                        0,
+                        &sh.read(),
+                        &mut c.zbuf.write(),
+                    );
+                });
+            },
+        );
+
+        // z FFT: inout(zbuf)
+        let c = ctx.clone();
+        rt.spawn_prio(
+            &format!("fftz-inv[{b}]"),
+            prio,
+            &[ctx.zbuf.dep_inout()],
+            move || {
+                let rec = c.recorder();
+                rec.compute(StateClass::FftZ, c.flops.fft_z, || {
+                    let mut scratch = Vec::new();
+                    cft_1z(
+                        &c.plans.z,
+                        &mut c.zbuf.write(),
+                        nst,
+                        grid.nr3,
+                        Direction::Inverse,
+                        &mut scratch,
+                    );
+                });
+            },
+        );
+
+        // scatter-fw POST: in(zbuf) out(req_fw) — never blocks.
+        let c = ctx.clone();
+        let rq = req_fw.clone();
+        rt.spawn_prio(
+            &format!("scatter-fw-post[{b}]"),
+            prio,
+            &[ctx.zbuf.dep_in(), req_fw.dep_out()],
+            move || {
+                let rec = c.recorder();
+                let send = rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
+                    steps::scatter_pack(&c.problem.layout, c.g, &c.zbuf.read())
+                });
+                *rq.write() = Some(c.comm.ialltoall(&send, (2 * b) as u32));
+            },
+        );
+
+        // scatter-fw WAIT: inout(req_fw) inout(planes) — blocks only for
+        // the unoverlapped remainder of the transfer. Deferred priority
+        // (b + nbnd) lets the workers run other bands' compute while the
+        // transfer is in flight; it can never deadlock because posts are
+        // plain compute tasks and always preferred.
+        let c = ctx.clone();
+        let rq = req_fw.clone();
+        rt.spawn_prio(
+            &format!("scatter-fw-wait[{b}]"),
+            Some((b + cfg.nbnd) as u64),
+            &[req_fw.dep_inout(), ctx.planes.dep_inout()],
+            move || {
+                let rec = c.recorder();
+                let recv = rq.write().take().expect("posted request").wait();
+                rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
+                    steps::scatter_unpack_to_planes(
+                        &c.problem.layout,
+                        c.g,
+                        &recv,
+                        &mut c.planes.write(),
+                    );
+                });
+            },
+        );
+
+        // xy FFT, VOFR, xy FFT back: inout(planes)
+        for (label, dir_fwd, is_vofr) in [
+            ("fftxy-inv", false, false),
+            ("vofr", false, true),
+            ("fftxy-fw", true, false),
+        ] {
+            let c = ctx.clone();
+            rt.spawn_prio(
+                &format!("{label}[{b}]"),
+                prio,
+                &[ctx.planes.dep_inout()],
+                move || {
+                    let rec = c.recorder();
+                    if is_vofr {
+                        let (z0, _) = c.problem.layout.plane_range[c.g];
+                        rec.compute(StateClass::Vofr, c.flops.vofr, || {
+                            apply_potential_slab(
+                                &mut c.planes.write(),
+                                &c.problem.v,
+                                &grid,
+                                z0,
+                                npp,
+                            );
+                        });
+                    } else {
+                        let dir = if dir_fwd { Direction::Forward } else { Direction::Inverse };
+                        rec.compute(StateClass::FftXy, c.flops.fft_xy, || {
+                            let mut scratch = Vec::new();
+                            cft_2xy(
+                                &c.plans.x,
+                                &c.plans.y,
+                                &mut c.planes.write(),
+                                npp,
+                                grid.nr1,
+                                grid.nr2,
+                                dir,
+                                &mut scratch,
+                            );
+                        });
+                    }
+                },
+            );
+        }
+
+        // scatter-bw POST: in(planes) out(req_bw)
+        let c = ctx.clone();
+        let rq = req_bw.clone();
+        rt.spawn_prio(
+            &format!("scatter-bw-post[{b}]"),
+            prio,
+            &[ctx.planes.dep_in(), req_bw.dep_out()],
+            move || {
+                let rec = c.recorder();
+                let send = rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
+                    steps::planes_to_scatter_sends(&c.problem.layout, c.g, &c.planes.read())
+                });
+                *rq.write() = Some(c.comm.ialltoall(&send, (2 * b + 1) as u32));
+            },
+        );
+
+        // scatter-bw WAIT: inout(req_bw) inout(zbuf) — deferred like the
+        // forward wait.
+        let c = ctx.clone();
+        let rq = req_bw.clone();
+        rt.spawn_prio(
+            &format!("scatter-bw-wait[{b}]"),
+            Some((b + cfg.nbnd) as u64),
+            &[req_bw.dep_inout(), ctx.zbuf.dep_inout()],
+            move || {
+                let rec = c.recorder();
+                let recv = rq.write().take().expect("posted request").wait();
+                rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
+                    steps::zbuf_from_scatter_recv(
+                        &c.problem.layout,
+                        c.g,
+                        &recv,
+                        &mut c.zbuf.write(),
+                    );
+                });
+            },
+        );
+
+        // backward z FFT: inout(zbuf)
+        let c = ctx.clone();
+        rt.spawn_prio(
+            &format!("fftz-fw[{b}]"),
+            prio,
+            &[ctx.zbuf.dep_inout()],
+            move || {
+                let rec = c.recorder();
+                rec.compute(StateClass::FftZ, c.flops.fft_z, || {
+                    let mut scratch = Vec::new();
+                    cft_1z(
+                        &c.plans.z,
+                        &mut c.zbuf.write(),
+                        nst,
+                        grid.nr3,
+                        Direction::Forward,
+                        &mut scratch,
+                    );
+                });
+            },
+        );
+
+        // unpack: in(zbuf) out(share)
+        let c = ctx.clone();
+        let sh = share.clone();
+        rt.spawn_prio(
+            &format!("unpack[{b}]"),
+            prio,
+            &[ctx.zbuf.dep_in(), sh.dep_out()],
+            move || {
+                let rec = c.recorder();
+                rec.compute(StateClass::Unpack, c.flops.pack, || {
+                    *sh.write() =
+                        steps::extract_member_share(&c.problem.layout, c.g, 0, &c.zbuf.read());
+                });
+            },
+        );
+    }
+    rt.taskwait();
+    comm.barrier();
+    let t_end = comm.now();
+    rt.shutdown();
+
+    let shares = shares
+        .into_iter()
+        .map(|s| s.try_unwrap().ok().expect("share uniquely owned after taskwait"))
+        .collect();
+    (shares, t_end - t_start)
+}
+
+/// Dispatches to the engine matching the configuration's mode.
+pub fn run(problem: &Arc<Problem>) -> RunOutput {
+    match problem.config.mode {
+        Mode::Original => crate::original::run_original(problem),
+        Mode::TaskPerStep => run_task_per_step(problem),
+        Mode::TaskPerFft => run_task_per_fft(problem),
+        Mode::TaskAsync => run_task_async(problem),
+    }
+}

@@ -1,0 +1,222 @@
+//! Batched strided transforms mirroring FFTXlib's `fft_scalar` entry points.
+//!
+//! * [`cft_1z`] — many independent 1-D transforms along z over contiguous
+//!   "sticks" (the per-rank pencil batch between `pack` and `scatter`).
+//! * [`cft_2xy`] — 2-D transforms over whole xy planes (the per-rank slab
+//!   batch after `scatter`).
+//!
+//! Scaling follows Quantum ESPRESSO's convention: the *forward* direction
+//! (r-space → G-space) carries the normalisation — `1/nz` in `cft_1z` and
+//! `1/(nx*ny)` in `cft_2xy`, so a full forward 3-D pass scales by `1/N` and
+//! the backward pass is unnormalised.
+
+use crate::complex::Complex64;
+use crate::dft::Direction;
+use crate::fft1d::Fft;
+
+/// Transforms `nsl` sticks of logical length `plan.len()` stored with leading
+/// dimension `ldz` (`data[s*ldz .. s*ldz + plan.len()]` is stick `s`).
+///
+/// Forward transforms are scaled by `1/nz`.
+///
+/// # Panics
+/// Panics when `ldz < plan.len()` or `data` is shorter than `nsl * ldz`.
+pub fn cft_1z(
+    plan: &Fft,
+    data: &mut [Complex64],
+    nsl: usize,
+    ldz: usize,
+    dir: Direction,
+    scratch: &mut Vec<Complex64>,
+) {
+    let nz = plan.len();
+    assert!(ldz >= nz, "cft_1z: ldz ({ldz}) < nz ({nz})");
+    assert!(
+        data.len() >= nsl * ldz,
+        "cft_1z: buffer too small: {} < {}",
+        data.len(),
+        nsl * ldz
+    );
+    let scale = 1.0 / nz.max(1) as f64;
+    for s in 0..nsl {
+        let stick = &mut data[s * ldz..s * ldz + nz];
+        plan.process_with(stick, scratch, dir);
+        if dir == Direction::Forward {
+            for v in stick.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+}
+
+/// Transforms `nzl` xy planes in place. Each plane occupies `ldx * ldy`
+/// elements with x fastest; rows are `plan_x.len()` long, columns
+/// `plan_y.len()`.
+///
+/// Forward transforms are scaled by `1/(nx*ny)`.
+#[allow(clippy::too_many_arguments)] // mirrors QE's cft_2xy signature
+pub fn cft_2xy(
+    plan_x: &Fft,
+    plan_y: &Fft,
+    data: &mut [Complex64],
+    nzl: usize,
+    ldx: usize,
+    ldy: usize,
+    dir: Direction,
+    scratch: &mut Vec<Complex64>,
+) {
+    let nx = plan_x.len();
+    let ny = plan_y.len();
+    assert!(ldx >= nx, "cft_2xy: ldx ({ldx}) < nx ({nx})");
+    assert!(ldy >= ny, "cft_2xy: ldy ({ldy}) < ny ({ny})");
+    let plane_len = ldx * ldy;
+    assert!(
+        data.len() >= nzl * plane_len,
+        "cft_2xy: buffer too small: {} < {}",
+        data.len(),
+        nzl * plane_len
+    );
+    let scale = 1.0 / (nx.max(1) * ny.max(1)) as f64;
+    let mut col = vec![Complex64::ZERO; ny];
+    for z in 0..nzl {
+        let plane = &mut data[z * plane_len..(z + 1) * plane_len];
+        // Rows along x are contiguous.
+        for y in 0..ny {
+            plan_x.process_with(&mut plane[y * ldx..y * ldx + nx], scratch, dir);
+        }
+        // Columns along y are strided by ldx: gather, transform, scatter.
+        for x in 0..nx {
+            for (y, slot) in col.iter_mut().enumerate() {
+                *slot = plane[x + y * ldx];
+            }
+            plan_y.process_with(&mut col, scratch, dir);
+            for (y, &v) in col.iter().enumerate() {
+                plane[x + y * ldx] = v;
+            }
+        }
+        if dir == Direction::Forward {
+            for y in 0..ny {
+                for v in plane[y * ldx..y * ldx + nx].iter_mut() {
+                    *v = v.scale(scale);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, max_dist};
+    use crate::dft::naive_dft;
+
+    fn ramp(n: usize, seed: f64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| c64((i as f64 * seed).sin(), (i as f64 * seed * 0.5).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn cft_1z_matches_per_stick_dft() {
+        let nz = 12;
+        let ldz = 16;
+        let nsl = 5;
+        let mut data = ramp(nsl * ldz, 0.41);
+        let orig = data.clone();
+        let plan = Fft::new(nz);
+        let mut scratch = Vec::new();
+        cft_1z(&plan, &mut data, nsl, ldz, Direction::Forward, &mut scratch);
+        for s in 0..nsl {
+            let expect: Vec<_> = naive_dft(&orig[s * ldz..s * ldz + nz], Direction::Forward)
+                .into_iter()
+                .map(|v| v / nz as f64)
+                .collect();
+            assert!(
+                max_dist(&data[s * ldz..s * ldz + nz], &expect) < 1e-10,
+                "stick {s}"
+            );
+            // Padding beyond nz must be untouched.
+            assert_eq!(&data[s * ldz + nz..(s + 1) * ldz], &orig[s * ldz + nz..(s + 1) * ldz]);
+        }
+    }
+
+    #[test]
+    fn cft_1z_roundtrip() {
+        let nz = 20;
+        let nsl = 3;
+        let mut data = ramp(nsl * nz, 0.7);
+        let orig = data.clone();
+        let plan = Fft::new(nz);
+        let mut scratch = Vec::new();
+        cft_1z(&plan, &mut data, nsl, nz, Direction::Forward, &mut scratch);
+        cft_1z(&plan, &mut data, nsl, nz, Direction::Inverse, &mut scratch);
+        assert!(max_dist(&data, &orig) < 1e-10);
+    }
+
+    #[test]
+    fn cft_2xy_matches_naive_2d() {
+        let (nx, ny) = (6, 4);
+        let (ldx, ldy) = (8, 4);
+        let mut data = ramp(ldx * ldy, 0.3);
+        let orig = data.clone();
+        let px = Fft::new(nx);
+        let py = Fft::new(ny);
+        let mut scratch = Vec::new();
+        cft_2xy(&px, &py, &mut data, 1, ldx, ldy, Direction::Forward, &mut scratch);
+
+        // Reference: rows then columns, scaled 1/(nx*ny).
+        let mut expect = orig.clone();
+        for y in 0..ny {
+            let row = naive_dft(&expect[y * ldx..y * ldx + nx], Direction::Forward);
+            expect[y * ldx..y * ldx + nx].copy_from_slice(&row);
+        }
+        for x in 0..nx {
+            let col: Vec<_> = (0..ny).map(|y| expect[x + y * ldx]).collect();
+            let out = naive_dft(&col, Direction::Forward);
+            for (y, v) in out.into_iter().enumerate() {
+                expect[x + y * ldx] = v;
+            }
+        }
+        for y in 0..ny {
+            for x in 0..nx {
+                expect[x + y * ldx] /= (nx * ny) as f64;
+            }
+        }
+        for y in 0..ny {
+            assert!(
+                max_dist(&data[y * ldx..y * ldx + nx], &expect[y * ldx..y * ldx + nx]) < 1e-10,
+                "row {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn cft_2xy_multi_plane_roundtrip() {
+        let (nx, ny, nzl) = (5, 6, 3);
+        let mut data = ramp(nx * ny * nzl, 0.9);
+        let orig = data.clone();
+        let px = Fft::new(nx);
+        let py = Fft::new(ny);
+        let mut scratch = Vec::new();
+        cft_2xy(&px, &py, &mut data, nzl, nx, ny, Direction::Forward, &mut scratch);
+        cft_2xy(&px, &py, &mut data, nzl, nx, ny, Direction::Inverse, &mut scratch);
+        assert!(max_dist(&data, &orig) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn cft_1z_checks_length() {
+        let plan = Fft::new(8);
+        let mut data = vec![Complex64::ZERO; 15];
+        cft_1z(&plan, &mut data, 2, 8, Direction::Forward, &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "ldx")]
+    fn cft_2xy_checks_ld() {
+        let px = Fft::new(8);
+        let py = Fft::new(4);
+        let mut data = vec![Complex64::ZERO; 4 * 4];
+        cft_2xy(&px, &py, &mut data, 1, 4, 4, Direction::Forward, &mut Vec::new());
+    }
+}

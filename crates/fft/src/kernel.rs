@@ -1,0 +1,336 @@
+//! Mixed-radix Cooley–Tukey engine.
+//!
+//! The plan is a recursive decimation-in-time decomposition following the
+//! radix schedule from [`crate::planner::radix_schedule`]: radix-4 stages
+//! first (fused pairs of 2s), then 2/3 and generic odd radices. Twiddle
+//! factors are precomputed per recursion level for both directions, so one
+//! plan serves forward and inverse transforms — exactly how the FFTXlib
+//! reuses one `fft_scalar` plan for `fwfft`/`invfft`.
+
+use crate::complex::Complex64;
+use crate::dft::Direction;
+use crate::planner::radix_schedule;
+use std::f64::consts::PI;
+
+/// One recursion level of the decomposition.
+struct Stage {
+    /// Transform length at this level.
+    len: usize,
+    /// Radix split applied at this level.
+    radix: usize,
+    /// `len / radix`.
+    sub: usize,
+    /// Forward twiddles `w(len, j*k)` for `j in 1..radix`, `k in 0..sub`,
+    /// stored as `tw[(j-1)*sub + k]`.
+    tw_fwd: Vec<Complex64>,
+    /// Inverse twiddles (conjugates of `tw_fwd`).
+    tw_inv: Vec<Complex64>,
+    /// Radix-point DFT roots `w(radix, t)` for the generic butterfly,
+    /// forward direction; empty for specialised radices 2/3/4.
+    roots_fwd: Vec<Complex64>,
+    /// Inverse roots.
+    roots_inv: Vec<Complex64>,
+}
+
+/// A reusable plan for transforms of one length with only "direct" prime
+/// factors (see [`crate::planner::MAX_DIRECT_PRIME`]).
+pub struct MixedRadixPlan {
+    n: usize,
+    stages: Vec<Stage>,
+    max_radix: usize,
+}
+
+impl MixedRadixPlan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` contains a prime factor larger than
+    /// [`crate::planner::MAX_DIRECT_PRIME`]; such sizes must go through
+    /// Bluestein instead.
+    pub fn new(n: usize) -> Self {
+        let schedule = radix_schedule(n);
+        assert!(
+            schedule
+                .iter()
+                .all(|&r| r <= crate::planner::MAX_DIRECT_PRIME || r == 4),
+            "MixedRadixPlan: size {n} has a prime factor too large for direct FFT"
+        );
+        let mut stages = Vec::with_capacity(schedule.len());
+        let mut len = n;
+        for &radix in &schedule {
+            let sub = len / radix;
+            let mut tw_fwd = Vec::with_capacity((radix - 1) * sub);
+            for j in 1..radix {
+                for k in 0..sub {
+                    let phase = -2.0 * PI * ((j * k) % len) as f64 / len as f64;
+                    tw_fwd.push(Complex64::cis(phase));
+                }
+            }
+            let tw_inv: Vec<_> = tw_fwd.iter().map(|w| w.conj()).collect();
+            let (roots_fwd, roots_inv) = if radix > 4 {
+                let rf: Vec<_> = (0..radix)
+                    .map(|t| Complex64::cis(-2.0 * PI * t as f64 / radix as f64))
+                    .collect();
+                let ri: Vec<_> = rf.iter().map(|w| w.conj()).collect();
+                (rf, ri)
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            stages.push(Stage {
+                len,
+                radix,
+                sub,
+                tw_fwd,
+                tw_inv,
+                roots_fwd,
+                roots_inv,
+            });
+            len = sub;
+        }
+        debug_assert!(len <= 1, "radix schedule did not consume all factors");
+        let max_radix = schedule.iter().copied().max().unwrap_or(1);
+        MixedRadixPlan {
+            n,
+            stages,
+            max_radix,
+        }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-0 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Executes the transform in place. `scratch` is resized to `n` as
+    /// needed; passing the same buffer across calls avoids reallocation.
+    pub fn process(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>, dir: Direction) {
+        assert_eq!(data.len(), self.n, "MixedRadixPlan: buffer length mismatch");
+        if self.n <= 1 {
+            return;
+        }
+        scratch.clear();
+        scratch.extend_from_slice(data);
+        // The generic butterfly needs a gather buffer of max_radix points;
+        // keep it on the stack of this call instead of per-combine allocs.
+        let mut gather = vec![Complex64::ZERO; self.max_radix];
+        self.recurse(0, scratch, 1, data, dir, &mut gather);
+    }
+
+    /// Recursive DIT step: reads `sub`-strided input from `src`, writes the
+    /// length-`stages[idx].len` spectrum contiguously into `dst`.
+    fn recurse(
+        &self,
+        idx: usize,
+        src: &[Complex64],
+        stride: usize,
+        dst: &mut [Complex64],
+        dir: Direction,
+        gather: &mut [Complex64],
+    ) {
+        if idx == self.stages.len() {
+            dst[0] = src[0];
+            return;
+        }
+        let stage = &self.stages[idx];
+        let r = stage.radix;
+        let m = stage.sub;
+        debug_assert_eq!(dst.len(), stage.len);
+        if m == 1 && idx + 1 == self.stages.len() {
+            // Leaf: a bare radix-r DFT of r strided points.
+            for (j, g) in gather[..r].iter_mut().enumerate() {
+                *g = src[j * stride];
+            }
+        } else {
+            for j in 0..r {
+                self.recurse(
+                    idx + 1,
+                    &src[j * stride..],
+                    stride * r,
+                    &mut dst[j * m..(j + 1) * m],
+                    dir,
+                    gather,
+                );
+            }
+        }
+        let tw = match dir {
+            Direction::Forward => &stage.tw_fwd,
+            Direction::Inverse => &stage.tw_inv,
+        };
+        let roots = match dir {
+            Direction::Forward => &stage.roots_fwd,
+            Direction::Inverse => &stage.roots_inv,
+        };
+        for k in 0..m {
+            if !(m == 1 && idx + 1 == self.stages.len()) {
+                gather[0] = dst[k];
+                for j in 1..r {
+                    gather[j] = dst[j * m + k] * tw[(j - 1) * m + k];
+                }
+            }
+            // `gather[..r]` now holds the r inputs of the radix-r butterfly.
+            match r {
+                2 => {
+                    let (a, b) = (gather[0], gather[1]);
+                    dst[k] = a + b;
+                    dst[m + k] = a - b;
+                }
+                3 => {
+                    butterfly3(gather, dir.sign(), &mut dst[k..], m);
+                }
+                4 => {
+                    butterfly4(gather, dir.sign(), &mut dst[k..], m);
+                }
+                _ => {
+                    // Generic O(r^2) DFT across the gathered points.
+                    for q in 0..r {
+                        let mut acc = Complex64::ZERO;
+                        for (j, &g) in gather[..r].iter().enumerate() {
+                            acc += g * roots[(j * q) % r];
+                        }
+                        dst[q * m + k] = acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Radix-3 butterfly writing outputs at `out[0]`, `out[m]`, `out[2m]`.
+#[inline]
+fn butterfly3(v: &[Complex64], sign: f64, out: &mut [Complex64], m: usize) {
+    const SQRT3_2: f64 = 0.866_025_403_784_438_6;
+    let s = v[1] + v[2];
+    let d = v[1] - v[2];
+    let t = v[0] - s.scale(0.5);
+    // i * sign * (sqrt(3)/2) * d
+    let rot = d.mul_i().scale(sign * SQRT3_2);
+    out[0] = v[0] + s;
+    out[m] = t + rot;
+    out[2 * m] = t - rot;
+}
+
+/// Radix-4 butterfly writing outputs at `out[0]`, `out[m]`, `out[2m]`, `out[3m]`.
+#[inline]
+fn butterfly4(v: &[Complex64], sign: f64, out: &mut [Complex64], m: usize) {
+    let t0 = v[0] + v[2];
+    let t1 = v[0] - v[2];
+    let t2 = v[1] + v[3];
+    // w(4,1) = e^{sign*i*pi/2} = sign * i
+    let t3 = (v[1] - v[3]).mul_i().scale(sign);
+    out[0] = t0 + t2;
+    out[m] = t1 + t3;
+    out[2 * m] = t0 - t2;
+    out[3 * m] = t1 - t3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, max_dist};
+    use crate::dft::naive_dft;
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.21).cos()))
+            .collect()
+    }
+
+    fn check_against_naive(n: usize) {
+        let x = ramp(n);
+        let expect_f = naive_dft(&x, Direction::Forward);
+        let expect_i = naive_dft(&x, Direction::Inverse);
+        let plan = MixedRadixPlan::new(n);
+        let mut scratch = Vec::new();
+
+        let mut data = x.clone();
+        plan.process(&mut data, &mut scratch, Direction::Forward);
+        let tol = 1e-9 * (n as f64);
+        assert!(
+            max_dist(&data, &expect_f) < tol,
+            "forward mismatch for n={n}: {}",
+            max_dist(&data, &expect_f)
+        );
+
+        let mut data = x;
+        plan.process(&mut data, &mut scratch, Direction::Inverse);
+        assert!(
+            max_dist(&data, &expect_i) < tol,
+            "inverse mismatch for n={n}"
+        );
+    }
+
+    #[test]
+    fn power_of_two_sizes() {
+        for n in [1, 2, 4, 8, 16, 32, 64, 128] {
+            check_against_naive(n);
+        }
+    }
+
+    #[test]
+    fn composite_good_sizes() {
+        for n in [3, 5, 6, 7, 9, 10, 12, 15, 20, 24, 30, 45, 60, 90, 120] {
+            check_against_naive(n);
+        }
+    }
+
+    #[test]
+    fn sizes_with_larger_direct_primes() {
+        for n in [11, 13, 17, 22, 26, 33, 37, 74] {
+            check_against_naive(n);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_input() {
+        for n in [8, 12, 35, 120] {
+            let x = ramp(n);
+            let plan = MixedRadixPlan::new(n);
+            let mut scratch = Vec::new();
+            let mut data = x.clone();
+            plan.process(&mut data, &mut scratch, Direction::Forward);
+            plan.process(&mut data, &mut scratch, Direction::Inverse);
+            for v in data.iter_mut() {
+                *v /= n as f64;
+            }
+            assert!(max_dist(&data, &x) < 1e-10, "roundtrip failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 24;
+        let a = ramp(n);
+        let b: Vec<_> = ramp(n).iter().map(|v| v.mul_i()).collect();
+        let plan = MixedRadixPlan::new(n);
+        let mut scratch = Vec::new();
+        let mut fa = a.clone();
+        plan.process(&mut fa, &mut scratch, Direction::Forward);
+        let mut fb = b.clone();
+        plan.process(&mut fb, &mut scratch, Direction::Forward);
+        let mut fab: Vec<_> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        plan.process(&mut fab, &mut scratch, Direction::Forward);
+        let sum: Vec<_> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_dist(&fab, &sum) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn wrong_length_panics() {
+        let plan = MixedRadixPlan::new(8);
+        let mut data = vec![Complex64::ZERO; 7];
+        plan.process(&mut data, &mut Vec::new(), Direction::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "prime factor too large")]
+    fn rejects_big_primes() {
+        MixedRadixPlan::new(41);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the FFT engine: every size class against the
+//! naive DFT oracle, plus algebraic invariants (round trip, linearity,
+//! Parseval, shift theorem).
+
+use fftx_fft::complex::{c64, max_dist, Complex64};
+use fftx_fft::dft::{naive_dft, Direction};
+use fftx_fft::fft1d::{scale_in_place, Fft};
+use fftx_fft::planner::{factorize, good_fft_order, is_good_size};
+use proptest::prelude::*;
+
+fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n..=n)
+        .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_matches_naive_dft(n in 1usize..200, seed in 0u64..1000) {
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed.wrapping_add(1)) as f64;
+                c64((t * 0.001).sin(), (t * 0.0007).cos())
+            })
+            .collect();
+        let plan = Fft::new(n);
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let expect = naive_dft(&x, dir);
+            let mut data = x.clone();
+            plan.process(&mut data, dir);
+            prop_assert!(max_dist(&data, &expect) < 1e-7 * n as f64,
+                "n={n} dir={dir:?} err={}", max_dist(&data, &expect));
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity(x in (1usize..256).prop_flat_map(complex_vec)) {
+        let n = x.len();
+        let plan = Fft::new(n);
+        let mut data = x.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        scale_in_place(&mut data, 1.0 / n as f64);
+        prop_assert!(max_dist(&data, &x) < 1e-8);
+    }
+
+    #[test]
+    fn linearity(pair in (2usize..128).prop_flat_map(|n| (complex_vec(n), complex_vec(n))),
+                 a in -2.0f64..2.0) {
+        let (x, y) = pair;
+        let n = x.len();
+        let plan = Fft::new(n);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let mut fy = y.clone();
+        plan.forward(&mut fy);
+        let mut fz: Vec<Complex64> = x.iter().zip(&y).map(|(u, v)| u.scale(a) + *v).collect();
+        plan.forward(&mut fz);
+        let combined: Vec<Complex64> = fx.iter().zip(&fy).map(|(u, v)| u.scale(a) + *v).collect();
+        prop_assert!(max_dist(&fz, &combined) < 1e-8 * n as f64);
+    }
+
+    #[test]
+    fn parseval(x in (2usize..128).prop_flat_map(complex_vec)) {
+        let n = x.len();
+        let plan = Fft::new(n);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let e_time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let e_freq: f64 = fx.iter().map(|v| v.norm_sqr()).sum();
+        // Unnormalised forward: sum |X|^2 = n * sum |x|^2.
+        prop_assert!((e_freq - n as f64 * e_time).abs() < 1e-7 * (e_freq.abs() + 1.0));
+    }
+
+    #[test]
+    fn circular_shift_theorem(x in (4usize..96).prop_flat_map(complex_vec), s in 0usize..96) {
+        let n = x.len();
+        let s = s % n;
+        let plan = Fft::new(n);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let shifted: Vec<Complex64> = (0..n).map(|i| x[(i + s) % n]).collect();
+        let mut fshift = shifted;
+        plan.forward(&mut fshift);
+        // DFT(x[(i+s) mod n])[k] = X[k] * e^{-2 pi i (-s) k / n}^{-1} — with
+        // the forward sign convention, shift by +s multiplies by e^{+2pi i s k/n}.
+        for k in 0..n {
+            let w = Complex64::cis(2.0 * std::f64::consts::PI * ((s * k) % n) as f64 / n as f64);
+            let expect = fx[k] * w;
+            prop_assert!(fshift[k].dist(expect) < 1e-7 * n as f64,
+                "k={k} s={s} n={n}");
+        }
+    }
+
+    #[test]
+    fn factorize_is_sound(n in 2usize..100_000) {
+        let f = factorize(n);
+        prop_assert_eq!(f.iter().product::<usize>(), n);
+        for w in f.windows(2) {
+            prop_assert!(w[0] <= w[1], "factors not sorted");
+        }
+        for &p in &f {
+            // Each reported factor is prime.
+            prop_assert!((2..p).take_while(|d| d * d <= p).all(|d| p % d != 0));
+        }
+    }
+
+    #[test]
+    fn good_fft_order_is_minimal_good(n in 1usize..5000) {
+        let g = good_fft_order(n);
+        prop_assert!(g >= n);
+        prop_assert!(is_good_size(g));
+        for m in n..g {
+            prop_assert!(!is_good_size(m), "{m} was good but skipped");
+        }
+    }
+}

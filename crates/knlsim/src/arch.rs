@@ -1,0 +1,105 @@
+//! The modeled Knights Landing node: core count, frequency, SMT, and the
+//! lane → core placement.
+
+/// Architecture parameters of the simulated node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnlConfig {
+    /// Physical cores (the BSC test system has 68).
+    pub cores: usize,
+    /// Core clock in Hz (1.4 GHz).
+    pub freq_hz: f64,
+    /// Hardware threads per core (4-way hyper-threading).
+    pub max_smt: usize,
+}
+
+impl KnlConfig {
+    /// The BSC test system of Section III: 68 cores @ 1.4 GHz, 4-way SMT.
+    pub fn paper() -> Self {
+        KnlConfig {
+            cores: 68,
+            freq_hz: 1.4e9,
+            max_smt: 4,
+        }
+    }
+
+    /// Number of cores actually used for `nlanes` lanes: the smallest SMT
+    /// level is chosen and lanes are packed evenly (128 lanes → 64 cores ×
+    /// 2 hyper-threads, the way the paper pins its 16×8 runs — not 60×2+8×1).
+    pub fn cores_used(&self, nlanes: usize) -> usize {
+        let smt_level = nlanes.div_ceil(self.cores).max(1);
+        nlanes.div_ceil(smt_level).min(self.cores)
+    }
+
+    /// Core index a global lane is pinned to: *compact* placement — lanes
+    /// `smt*k .. smt*(k+1)` share core `k`, so hyper-thread siblings are
+    /// adjacent lanes (the same process's neighbouring threads, as a
+    /// per-process pinning mask produces).
+    #[inline]
+    pub fn core_of(&self, lane: usize, nlanes: usize) -> usize {
+        let smt_level = nlanes.div_ceil(self.cores).max(1);
+        (lane / smt_level).min(self.cores_used(nlanes) - 1)
+    }
+
+    /// How many of `nlanes` land on each core (used for capacity checks).
+    pub fn threads_per_core(&self, nlanes: usize) -> Vec<usize> {
+        let mut v = vec![0usize; self.cores];
+        for lane in 0..nlanes {
+            v[self.core_of(lane, nlanes)] += 1;
+        }
+        v
+    }
+
+    /// Checks the lane count fits the node.
+    ///
+    /// # Panics
+    /// Panics when `nlanes` exceeds `cores * max_smt`.
+    pub fn check_capacity(&self, nlanes: usize) {
+        assert!(
+            nlanes <= self.cores * self.max_smt,
+            "KnlConfig: {nlanes} lanes exceed node capacity {} x {}",
+            self.cores,
+            self.max_smt
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset() {
+        let k = KnlConfig::paper();
+        assert_eq!(k.cores, 68);
+        assert_eq!(k.freq_hz, 1.4e9);
+        assert_eq!(k.max_smt, 4);
+        k.check_capacity(68 * 4);
+    }
+
+    #[test]
+    fn round_robin_placement() {
+        let k = KnlConfig::paper();
+        assert_eq!(k.core_of(0, 64), 0);
+        assert_eq!(k.core_of(63, 64), 63);
+        assert_eq!(k.cores_used(64), 64);
+        // Compact: at 2x SMT, lanes 0 and 1 are siblings on core 0.
+        assert_eq!(k.core_of(0, 128), 0);
+        assert_eq!(k.core_of(1, 128), 0);
+        assert_eq!(k.core_of(2, 128), 1);
+        // 128 lanes pack evenly: 64 cores x 2 hyper-threads.
+        assert_eq!(k.cores_used(128), 64);
+        let tpc = k.threads_per_core(128);
+        assert_eq!(tpc.iter().sum::<usize>(), 128);
+        assert_eq!(tpc.iter().filter(|&&c| c == 2).count(), 64);
+        assert_eq!(tpc.iter().filter(|&&c| c == 0).count(), 4);
+        // 256 lanes: 64 cores x 4.
+        assert_eq!(k.cores_used(256), 64);
+        assert!(k.threads_per_core(256).iter().all(|&c| c == 4 || c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed node capacity")]
+    fn capacity_enforced() {
+        KnlConfig::paper().check_capacity(68 * 4 + 1);
+    }
+}

@@ -1,0 +1,988 @@
+//! The discrete-event engine.
+//!
+//! Lanes (rank × worker) execute task segments; compute segments progress at
+//! a *rate* given by the contention model (re-evaluated at every event, like
+//! a processor-sharing queue), collectives rendezvous across ranks and then
+//! occupy the network for the modeled transfer time. The engine is fully
+//! deterministic: all scheduling ties break on (priority, creation index)
+//! and all iteration is in lane order.
+
+use crate::arch::KnlConfig;
+use crate::model::{CommModel, ContentionModel};
+use crate::program::{RankTasks, Segment};
+use fftx_trace::{CommRecord, ComputeRecord, Lane, StateClass, TaskRecord, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Simulation output.
+pub struct SimResult {
+    /// The synthetic trace (same record types the real engines produce).
+    pub trace: Trace,
+    /// Virtual makespan in seconds.
+    pub runtime: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LState {
+    Idle,
+    Computing,
+    WaitColl(usize),
+    Done,
+}
+
+struct LaneSt {
+    rank: usize,
+    worker: usize,
+    core: usize,
+    /// Global lane index (noise seeding).
+    index: usize,
+    /// Per-lane count of compute segments started (noise seeding).
+    seg_counter: u64,
+    state: LState,
+    task: usize,
+    seg_idx: usize,
+    class: StateClass,
+    remaining_instr: f64,
+    total_instr: f64,
+    seg_start: f64,
+    cycles_acc: f64,
+    task_start: f64,
+}
+
+struct CollInst {
+    comm_key: u64,
+    op: fftx_trace::CommOp,
+    size: usize,
+    bytes: usize,
+    /// Ranks that have posted their contribution.
+    posts: usize,
+    /// Lanes blocked on completion, with their wait-start times.
+    waiters: Vec<(usize, f64)>,
+    /// Set once the transfer occupies a channel.
+    release_at: Option<f64>,
+    /// All participants posted, waiting for a free channel.
+    queued: bool,
+    done: bool,
+}
+
+/// Shared-mesh state: at most `channels` transfers progress at once, the
+/// rest queue FIFO (this is what serialises simultaneous sub-communicator
+/// collectives and staggers the task-based version's bands).
+struct Network {
+    channels: usize,
+    active: usize,
+    queue: VecDeque<usize>,
+}
+
+struct RankSched {
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    pending: Vec<usize>,
+    successors: Vec<Vec<usize>>,
+    remaining: usize,
+}
+
+/// Runs the simulation of `ranks` on the modeled node.
+///
+/// # Panics
+/// Panics on a simulated deadlock (mismatched collectives), capacity
+/// violations, or malformed dependency graphs.
+pub fn simulate(
+    ranks: &[RankTasks],
+    knl: &KnlConfig,
+    contention: &ContentionModel,
+    comm: &CommModel,
+) -> SimResult {
+    let nlanes: usize = ranks.iter().map(|r| r.workers).sum();
+    knl.check_capacity(nlanes);
+
+    // Lanes in (rank, worker) order; core placement round-robin over the
+    // global lane index (hyper-threads appear once lanes exceed cores).
+    let mut lanes: Vec<LaneSt> = Vec::with_capacity(nlanes);
+    for (rank, rt) in ranks.iter().enumerate() {
+        for worker in 0..rt.workers {
+            let idx = lanes.len();
+            lanes.push(LaneSt {
+                rank,
+                worker,
+                core: knl.core_of(idx, nlanes),
+                index: idx,
+                seg_counter: 0,
+                state: LState::Idle,
+                task: usize::MAX,
+                seg_idx: 0,
+                class: StateClass::Other,
+                remaining_instr: 0.0,
+                total_instr: 0.0,
+                seg_start: 0.0,
+                cycles_acc: 0.0,
+                task_start: 0.0,
+            });
+        }
+    }
+
+    // Per-rank schedulers.
+    let mut scheds: Vec<RankSched> = ranks
+        .iter()
+        .map(|rt| {
+            let n = rt.tasks.len();
+            let mut pending = vec![0usize; n];
+            let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for (i, t) in rt.tasks.iter().enumerate() {
+                for &d in &t.deps {
+                    assert!(d < i, "task {i} depends on later task {d}");
+                    successors[d].push(i);
+                    pending[i] += 1;
+                }
+            }
+            let mut ready = BinaryHeap::new();
+            for (i, t) in rt.tasks.iter().enumerate() {
+                if pending[i] == 0 {
+                    ready.push(Reverse((t.priority, i)));
+                }
+            }
+            RankSched {
+                ready,
+                pending,
+                successors,
+                remaining: n,
+            }
+        })
+        .collect();
+
+    // Collective matching.
+    let mut colls: Vec<CollInst> = Vec::new();
+    let mut coll_index: HashMap<(u64, u64, u64), usize> = HashMap::new();
+    let mut seq: HashMap<(usize, u64, u64), u64> = HashMap::new();
+    let mut seq_wait: HashMap<(usize, u64, u64), u64> = HashMap::new();
+
+    let mut network = Network {
+        channels: comm.channels.max(1),
+        active: 0,
+        queue: VecDeque::new(),
+    };
+    let mut trace = Trace::default();
+    let mut now = 0.0_f64;
+    let freq = knl.freq_hz;
+    let mut events: u64 = 0;
+
+    /// Registers one rank's contribution to a collective instance; starts
+    /// the transfer (or queues it on the mesh) once all ranks have posted.
+    /// Returns the instance index.
+    #[allow(clippy::too_many_arguments)]
+    fn register_post(
+        rank: usize,
+        op: fftx_trace::CommOp,
+        comm_key: u64,
+        size: usize,
+        bytes: usize,
+        tag: u64,
+        colls: &mut Vec<CollInst>,
+        coll_index: &mut HashMap<(u64, u64, u64), usize>,
+        seq: &mut HashMap<(usize, u64, u64), u64>,
+        network: &mut Network,
+        comm: &CommModel,
+        now: f64,
+    ) -> usize {
+        let s = seq.entry((rank, comm_key, tag)).or_insert(0);
+        let my_seq = *s;
+        *s += 1;
+        let key = (comm_key, tag, my_seq);
+        let ci = *coll_index.entry(key).or_insert_with(|| {
+            colls.push(CollInst {
+                comm_key,
+                op,
+                size,
+                bytes,
+                posts: 0,
+                waiters: Vec::new(),
+                release_at: None,
+                queued: false,
+                done: false,
+            });
+            colls.len() - 1
+        });
+        let inst = &mut colls[ci];
+        assert_eq!(inst.size, size, "collective size mismatch at {key:?}");
+        inst.posts += 1;
+        assert!(inst.posts <= size, "too many posts at collective {key:?}");
+        if inst.posts == size {
+            let dur = comm.duration(op, size, bytes);
+            if dur <= 0.0 {
+                // Size-1 or ideal-network transfers bypass the channel
+                // arbitration entirely.
+                inst.release_at = Some(now);
+            } else if network.active < network.channels {
+                network.active += 1;
+                inst.release_at = Some(now + dur);
+            } else {
+                inst.queued = true;
+                network.queue.push_back(ci);
+            }
+        }
+        ci
+    }
+
+    // Starts the current segment of `lane`; returns true when the lane's
+    // task finished and it went idle (so dispatch must run again).
+    // Implemented as a macro-like closure via explicit fn to satisfy the
+    // borrow checker (needs several disjoint &muts).
+    #[allow(clippy::too_many_arguments)]
+    fn start_segment(
+        li: usize,
+        lanes: &mut [LaneSt],
+        ranks: &[RankTasks],
+        scheds: &mut [RankSched],
+        colls: &mut Vec<CollInst>,
+        coll_index: &mut HashMap<(u64, u64, u64), usize>,
+        seq: &mut HashMap<(usize, u64, u64), u64>,
+        seq_wait: &mut HashMap<(usize, u64, u64), u64>,
+        network: &mut Network,
+        contention: &ContentionModel,
+        comm: &CommModel,
+        trace: &mut Trace,
+        now: f64,
+    ) {
+        loop {
+            let lane = &mut lanes[li];
+            let task = &ranks[lane.rank].tasks[lane.task];
+            if lane.seg_idx >= task.segments.len() {
+                // Task complete.
+                trace.tasks.push(TaskRecord {
+                    lane: Lane::new(lane.rank, lane.worker),
+                    task_id: lane.task as u64,
+                    label: task.label.clone(),
+                    t_created: 0.0,
+                    t_start: lane.task_start,
+                    t_end: now,
+                });
+                let rank = lane.rank;
+                let tidx = lane.task;
+                lane.state = LState::Idle;
+                lane.task = usize::MAX;
+                let sched = &mut scheds[rank];
+                sched.remaining -= 1;
+                let succs = sched.successors[tidx].clone();
+                for s in succs {
+                    sched.pending[s] -= 1;
+                    if sched.pending[s] == 0 {
+                        let p = ranks[rank].tasks[s].priority;
+                        sched.ready.push(Reverse((p, s)));
+                    }
+                }
+                return;
+            }
+            match &task.segments[lane.seg_idx] {
+                Segment::Compute {
+                    class,
+                    flops,
+                    noise_key,
+                } => {
+                    lane.seg_counter += 1;
+                    let instr = flops
+                        * contention.instructions_per_flop(*class)
+                        * contention.noise_factor(lane.index, lane.seg_counter)
+                        * contention.band_factor(*noise_key);
+                    if instr <= 0.0 {
+                        lane.seg_idx += 1;
+                        continue;
+                    }
+                    lane.state = LState::Computing;
+                    lane.class = *class;
+                    lane.remaining_instr = instr;
+                    lane.total_instr = instr;
+                    lane.seg_start = now;
+                    lane.cycles_acc = 0.0;
+                    return;
+                }
+                Segment::Collective {
+                    op,
+                    comm_key,
+                    size,
+                    bytes,
+                    tag,
+                } => {
+                    let (op, comm_key, size, bytes, tag) = (*op, *comm_key, *size, *bytes, *tag);
+                    let rank = lane.rank;
+                    let ci = register_post(
+                        rank, op, comm_key, size, bytes, tag, colls, coll_index, seq, network,
+                        comm, now,
+                    );
+                    colls[ci].waiters.push((li, now));
+                    lane.state = LState::WaitColl(ci);
+                    return;
+                }
+                Segment::CollectivePost {
+                    op,
+                    comm_key,
+                    size,
+                    bytes,
+                    tag,
+                } => {
+                    let (op, comm_key, size, bytes, tag) = (*op, *comm_key, *size, *bytes, *tag);
+                    let rank = lane.rank;
+                    register_post(
+                        rank, op, comm_key, size, bytes, tag, colls, coll_index, seq, network,
+                        comm, now,
+                    );
+                    // The lane continues immediately — that is the point.
+                    lane.seg_idx += 1;
+                    continue;
+                }
+                Segment::CollectiveWait { comm_key, tag } => {
+                    let (comm_key, tag) = (*comm_key, *tag);
+                    let rank = lane.rank;
+                    let s = seq_wait.entry((rank, comm_key, tag)).or_insert(0);
+                    let my_seq = *s;
+                    *s += 1;
+                    let key = (comm_key, tag, my_seq);
+                    let ci = *coll_index
+                        .get(&key)
+                        .unwrap_or_else(|| panic!("CollectiveWait before its post at {key:?}"));
+                    if colls[ci].done {
+                        // The transfer finished while we computed: fully
+                        // overlapped, zero wait recorded.
+                        trace.comm.push(CommRecord {
+                            lane: Lane::new(lane.rank, lane.worker),
+                            op: colls[ci].op,
+                            comm_id: colls[ci].comm_key,
+                            comm_size: colls[ci].size,
+                            bytes: colls[ci].bytes,
+                            t_start: now,
+                            t_end: now,
+                        });
+                        lane.seg_idx += 1;
+                        continue;
+                    }
+                    colls[ci].waiters.push((li, now));
+                    lane.state = LState::WaitColl(ci);
+                    return;
+                }
+            }
+        }
+    }
+
+    loop {
+        events += 1;
+        assert!(events < 200_000_000, "simulation event limit exceeded");
+
+        // Dispatch ready tasks to idle lanes (lane order => deterministic).
+        for li in 0..lanes.len() {
+            if lanes[li].state != LState::Idle {
+                continue;
+            }
+            let rank = lanes[li].rank;
+            if let Some(Reverse((_p, tidx))) = scheds[rank].ready.pop() {
+                lanes[li].task = tidx;
+                lanes[li].seg_idx = 0;
+                lanes[li].task_start = now;
+                start_segment(
+                    li,
+                    &mut lanes,
+                    ranks,
+                    &mut scheds,
+                    &mut colls,
+                    &mut coll_index,
+                    &mut seq,
+                    &mut seq_wait,
+                    &mut network,
+                    contention,
+                    comm,
+                    &mut trace,
+                    now,
+                );
+            } else if scheds[rank].remaining == 0 {
+                lanes[li].state = LState::Done;
+            }
+        }
+        // A completed zero-length task may have readied successors for
+        // other idle lanes within the same instant; loop dispatch until
+        // stable.
+        let any_dispatchable = lanes.iter().any(|l| {
+            l.state == LState::Idle && !scheds[l.rank].ready.is_empty()
+        });
+        if any_dispatchable {
+            continue;
+        }
+
+        if scheds.iter().all(|s| s.remaining == 0) {
+            break;
+        }
+
+        // Node state: active compute lanes per core and total demand load.
+        let mut core_active = vec![0usize; knl.cores];
+        let mut core_demand_max = vec![0.0f64; knl.cores];
+        let mut core_demand_sum = vec![0.0f64; knl.cores];
+        for l in &lanes {
+            if l.state == LState::Computing {
+                core_active[l.core] += 1;
+                let d = contention.bw_demand(l.class);
+                core_demand_sum[l.core] += d;
+                if d > core_demand_max[l.core] {
+                    core_demand_max[l.core] = d;
+                }
+            }
+        }
+        let load: f64 = core_demand_max.iter().sum();
+        let co_demand = |l: &LaneSt| -> f64 {
+            let n = core_active[l.core];
+            if n <= 1 {
+                return 1.0;
+            }
+            (core_demand_sum[l.core] - contention.bw_demand(l.class)) / (n - 1) as f64
+        };
+
+        // Candidate time step.
+        let mut dt = f64::INFINITY;
+        for l in &lanes {
+            if l.state == LState::Computing {
+                let ipc =
+                    contention.effective_ipc(l.class, core_active[l.core], co_demand(l), load);
+                let speed = freq * ipc;
+                dt = dt.min(l.remaining_instr / speed);
+            }
+        }
+        for c in &colls {
+            if let (Some(r), false) = (c.release_at, c.done) {
+                dt = dt.min((r - now).max(0.0));
+            }
+        }
+        if !dt.is_finite() {
+            // Nothing can progress: diagnose the deadlock.
+            let stuck: Vec<String> = lanes
+                .iter()
+                .filter_map(|l| match l.state {
+                    LState::WaitColl(ci) => Some(format!(
+                        "rank {} worker {} waiting on comm_key {} ({}/{} posted)",
+                        l.rank,
+                        l.worker,
+                        colls[ci].comm_key,
+                        colls[ci].posts,
+                        colls[ci].size
+                    )),
+                    _ => None,
+                })
+                .collect();
+            panic!("simulated deadlock: no runnable lane; waiting: {stuck:?}");
+        }
+
+        // Advance time and progress compute lanes.
+        now += dt;
+        let mut finished_compute = Vec::new();
+        for (li, l) in lanes.iter_mut().enumerate() {
+            if l.state == LState::Computing {
+                let n = core_active[l.core];
+                let co = if n <= 1 {
+                    1.0
+                } else {
+                    (core_demand_sum[l.core] - contention.bw_demand(l.class)) / (n - 1) as f64
+                };
+                let ipc = contention.effective_ipc(l.class, n, co, load);
+                let speed = freq * ipc;
+                l.remaining_instr -= dt * speed;
+                l.cycles_acc += dt * freq;
+                if l.remaining_instr <= 1e-6 {
+                    finished_compute.push(li);
+                }
+            }
+        }
+        for li in finished_compute {
+            let l = &mut lanes[li];
+            trace.compute.push(ComputeRecord {
+                lane: Lane::new(l.rank, l.worker),
+                class: l.class,
+                t_start: l.seg_start,
+                t_end: now,
+                instructions: l.total_instr,
+                cycles: l.cycles_acc,
+            });
+            l.seg_idx += 1;
+            start_segment(
+                li,
+                &mut lanes,
+                ranks,
+                &mut scheds,
+                &mut colls,
+                &mut coll_index,
+                &mut seq,
+                &mut seq_wait,
+                &mut network,
+                contention,
+                comm,
+                &mut trace,
+                now,
+            );
+        }
+
+        // Release finished collectives.
+        for ci in 0..colls.len() {
+            let ready = matches!(colls[ci].release_at, Some(r) if r <= now + 1e-15)
+                && !colls[ci].done;
+            if !ready {
+                continue;
+            }
+            colls[ci].done = true;
+            // Free the channel and start the next queued transfer, if any.
+            let dur_this = comm.duration(colls[ci].op, colls[ci].size, colls[ci].bytes);
+            if dur_this > 0.0 {
+                network.active -= 1;
+                if let Some(next) = network.queue.pop_front() {
+                    network.active += 1;
+                    colls[next].queued = false;
+                    let d = comm.duration(colls[next].op, colls[next].size, colls[next].bytes);
+                    colls[next].release_at = Some(now + d);
+                }
+            }
+            let waiters = std::mem::take(&mut colls[ci].waiters);
+            let (op, comm_key, size, bytes) = (
+                colls[ci].op,
+                colls[ci].comm_key,
+                colls[ci].size,
+                colls[ci].bytes,
+            );
+            for (li, t_arrive) in waiters {
+                let l = &mut lanes[li];
+                trace.comm.push(CommRecord {
+                    lane: Lane::new(l.rank, l.worker),
+                    op,
+                    comm_id: comm_key,
+                    comm_size: size,
+                    bytes,
+                    t_start: t_arrive,
+                    t_end: now,
+                });
+                l.seg_idx += 1;
+                start_segment(
+                    li,
+                    &mut lanes,
+                    ranks,
+                    &mut scheds,
+                    &mut colls,
+                    &mut coll_index,
+                    &mut seq,
+                    &mut seq_wait,
+                    &mut network,
+                    contention,
+                    comm,
+                    &mut trace,
+                    now,
+                );
+            }
+        }
+    }
+
+    trace.sort();
+    SimResult {
+        trace,
+        runtime: now,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::TaskSpec;
+    use fftx_trace::CommOp;
+
+    fn knl() -> KnlConfig {
+        KnlConfig::paper()
+    }
+
+    /// The paper model without system noise, for exact-duration asserts.
+    fn quiet() -> ContentionModel {
+        ContentionModel {
+            noise: 0.0,
+            band_noise: 0.0,
+            ..ContentionModel::paper()
+        }
+    }
+
+    fn compute(flops: f64) -> Segment {
+        Segment::compute(StateClass::FftXy, flops)
+    }
+
+    fn coll(key: u64, size: usize, tag: u64) -> Segment {
+        Segment::Collective {
+            op: CommOp::Alltoall,
+            comm_key: key,
+            size,
+            bytes: 1 << 16,
+            tag,
+        }
+    }
+
+    #[test]
+    fn single_lane_compute_duration() {
+        let m = quiet();
+        let flops = 1.4e9; // one second at IPC 1 and 1.4 GHz
+        let r = simulate(
+            &[RankTasks::static_program(vec![compute(flops)])],
+            &knl(),
+            &m,
+            &CommModel::paper(),
+        );
+        let expect = flops * m.instructions_per_flop(StateClass::FftXy)
+            / (1.4e9 * m.base_ipc(StateClass::FftXy));
+        assert!(
+            (r.runtime - expect).abs() < 1e-9,
+            "runtime {} vs {expect}",
+            r.runtime
+        );
+        assert_eq!(r.trace.compute.len(), 1);
+        let burst = &r.trace.compute[0];
+        assert!((burst.ipc() - m.base_ipc(StateClass::FftXy)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lockstep_collective_synchronises() {
+        // Rank 1 computes twice as long before the collective; rank 0 waits.
+        let progs = vec![
+            RankTasks::static_program(vec![compute(1e9), coll(7, 2, 0), compute(1e9)]),
+            RankTasks::static_program(vec![compute(2e9), coll(7, 2, 0), compute(1e9)]),
+        ];
+        let r = simulate(&progs, &knl(), &ContentionModel::paper(), &CommModel::paper());
+        assert_eq!(r.trace.comm.len(), 2);
+        let w0 = r.trace.comm.iter().find(|c| c.lane.rank == 0).unwrap();
+        let w1 = r.trace.comm.iter().find(|c| c.lane.rank == 1).unwrap();
+        // Rank 0 arrived earlier and waited longer.
+        assert!(w0.duration() > w1.duration());
+        assert!((w0.t_end - w1.t_end).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_slows_parallel_lanes() {
+        let m = quiet();
+        let one = simulate(
+            &[RankTasks::static_program(vec![compute(1e9)])],
+            &knl(),
+            &m,
+            &CommModel::paper(),
+        );
+        let many: Vec<RankTasks> = (0..64)
+            .map(|_| RankTasks::static_program(vec![compute(1e9)]))
+            .collect();
+        let r64 = simulate(&many, &knl(), &m, &CommModel::paper());
+        assert!(
+            r64.runtime > 1.5 * one.runtime,
+            "64 lanes {} vs 1 lane {}",
+            r64.runtime,
+            one.runtime
+        );
+        // Uncontended model: no slowdown at all (distinct cores).
+        let r64_ideal = simulate(&many, &knl(), &ContentionModel::uncontended(), &CommModel::paper());
+        assert!((r64_ideal.runtime - one.runtime).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hyperthreading_shares_the_core() {
+        let m = quiet();
+        // 128 lanes pack onto 64 cores x 2 hyper-threads; compare against
+        // a 64-lane run where every lane has a core to itself.
+        let shared: Vec<RankTasks> = (0..128)
+            .map(|_| RankTasks::static_program(vec![compute(1e9)]))
+            .collect();
+        let alone: Vec<RankTasks> = (0..64)
+            .map(|_| RankTasks::static_program(vec![compute(1e9)]))
+            .collect();
+        let r_shared = simulate(&shared, &knl(), &m, &CommModel::paper());
+        let r_alone = simulate(&alone, &knl(), &m, &CommModel::paper());
+        let ipc_shared = r_shared.trace.aggregate_ipc(None);
+        let ipc_alone = r_alone.trace.aggregate_ipc(None);
+        assert!(
+            ipc_shared < 0.7 * ipc_alone,
+            "shared {ipc_shared} vs alone {ipc_alone}"
+        );
+    }
+
+    #[test]
+    fn task_mode_runs_tasks_on_workers() {
+        // One rank, 4 workers, 8 independent tasks: must take ~2 serial
+        // rounds, not 8.
+        let tasks: Vec<TaskSpec> = (0..8)
+            .map(|i| TaskSpec::new(format!("t{i}"), i, vec![compute(1.4e9)]))
+            .collect();
+        let rt = RankTasks { tasks, workers: 4 };
+        let m = ContentionModel::uncontended();
+        let r = simulate(&[rt], &knl(), &m, &CommModel::paper());
+        let serial = 8.0 * 1.4e9 * m.instructions_per_flop(StateClass::FftXy)
+            / (1.4e9 * m.base_ipc(StateClass::FftXy));
+        assert!((r.runtime - serial / 4.0).abs() < 1e-9, "runtime {}", r.runtime);
+        assert_eq!(r.trace.tasks.len(), 8);
+    }
+
+    #[test]
+    fn dependencies_serialise_tasks() {
+        let tasks = vec![
+            TaskSpec::new("a", 0, vec![compute(1e9)]),
+            TaskSpec::new("b", 1, vec![compute(1e9)]).with_deps(vec![0]),
+            TaskSpec::new("c", 2, vec![compute(1e9)]).with_deps(vec![1]),
+        ];
+        let rt = RankTasks { tasks, workers: 4 };
+        let m = ContentionModel::uncontended();
+        let r = simulate(&[rt], &knl(), &m, &CommModel::paper());
+        let one = 1e9 * m.instructions_per_flop(StateClass::FftXy)
+            / (1.4e9 * m.base_ipc(StateClass::FftXy));
+        assert!((r.runtime - 3.0 * one).abs() < 1e-9);
+        // Task records must be strictly ordered.
+        let mut t = r.trace.tasks.clone();
+        t.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        assert!(t[0].t_end <= t[1].t_start + 1e-12);
+        assert!(t[1].t_end <= t[2].t_start + 1e-12);
+    }
+
+    #[test]
+    fn tagged_collectives_cross_match_in_task_mode() {
+        // 2 ranks x 2 workers, 2 bands; each band does an alltoall with its
+        // own tag. Must complete without deadlock, 4 comm records.
+        let mk = |_rank: usize| {
+            let tasks: Vec<TaskSpec> = (0..2u64)
+                .map(|b| {
+                    TaskSpec::new(
+                        format!("band{b}"),
+                        b,
+                        vec![compute(1e8), coll(3, 2, b), compute(1e8)],
+                    )
+                })
+                .collect();
+            RankTasks { tasks, workers: 2 }
+        };
+        let r = simulate(
+            &[mk(0), mk(1)],
+            &knl(),
+            &ContentionModel::paper(),
+            &CommModel::paper(),
+        );
+        assert_eq!(r.trace.comm.len(), 4);
+    }
+
+    #[test]
+    fn determinism() {
+        let mk = || {
+            let tasks: Vec<TaskSpec> = (0..6u64)
+                .map(|b| {
+                    TaskSpec::new(
+                        format!("band{b}"),
+                        b,
+                        vec![compute(3e8 + b as f64 * 1e7), coll(3, 2, b), compute(2e8)],
+                    )
+                })
+                .collect();
+            vec![
+                RankTasks { tasks: tasks.clone(), workers: 3 },
+                RankTasks { tasks, workers: 3 },
+            ]
+        };
+        let a = simulate(&mk(), &knl(), &ContentionModel::paper(), &CommModel::paper());
+        let b = simulate(&mk(), &knl(), &ContentionModel::paper(), &CommModel::paper());
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.trace.compute.len(), b.trace.compute.len());
+        for (x, y) in a.trace.compute.iter().zip(&b.trace.compute) {
+            assert_eq!(x.t_start, y.t_start);
+            assert_eq!(x.t_end, y.t_end);
+        }
+    }
+
+    #[test]
+    fn conservation_all_segments_execute() {
+        let tasks: Vec<TaskSpec> = (0..5u64)
+            .map(|b| TaskSpec::new(format!("t{b}"), b, vec![compute(1e8), compute(2e8)]))
+            .collect();
+        let rt = RankTasks { tasks, workers: 2 };
+        let total: f64 = rt.total_flops();
+        let m = quiet();
+        let r = simulate(&[rt], &knl(), &m, &CommModel::paper());
+        let instr_expect = total * m.instructions_per_flop(StateClass::FftXy);
+        let instr_got: f64 = r.trace.compute.iter().map(|c| c.instructions).sum();
+        assert!((instr_got - instr_expect).abs() < 1.0);
+        assert_eq!(r.trace.compute.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated deadlock")]
+    fn mismatched_collective_deadlocks_loudly() {
+        let progs = vec![
+            RankTasks::static_program(vec![coll(1, 2, 0)]),
+            RankTasks::static_program(vec![coll(2, 2, 0)]),
+        ];
+        simulate(&progs, &knl(), &ContentionModel::paper(), &CommModel::paper());
+    }
+
+    #[test]
+    fn ideal_network_removes_transfer_only() {
+        let progs = vec![
+            RankTasks::static_program(vec![compute(1e9), coll(7, 2, 0)]),
+            RankTasks::static_program(vec![compute(2e9), coll(7, 2, 0)]),
+        ];
+        let real = simulate(&progs, &knl(), &ContentionModel::paper(), &CommModel::paper());
+        let ideal = simulate(
+            &progs,
+            &knl(),
+            &ContentionModel::paper(),
+            &CommModel::paper().idealized(),
+        );
+        assert!(ideal.runtime < real.runtime);
+        // The slow rank's wait (sync) remains in the ideal replay: rank 0
+        // still waits for rank 1.
+        let w0 = ideal.trace.comm.iter().find(|c| c.lane.rank == 0).unwrap();
+        assert!(w0.duration() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod split_phase_tests {
+    use super::*;
+    use crate::program::TaskSpec;
+    use fftx_trace::CommOp;
+
+    fn quiet() -> ContentionModel {
+        ContentionModel {
+            noise: 0.0,
+            band_noise: 0.0,
+            ..ContentionModel::paper()
+        }
+    }
+
+    fn compute(flops: f64) -> Segment {
+        Segment::compute(StateClass::FftXy, flops)
+    }
+
+    fn post(key: u64, size: usize, tag: u64) -> Segment {
+        Segment::CollectivePost {
+            op: CommOp::Alltoall,
+            comm_key: key,
+            size,
+            bytes: 1 << 20,
+            tag,
+        }
+    }
+
+    fn wait(key: u64, tag: u64) -> Segment {
+        Segment::CollectiveWait { comm_key: key, tag }
+    }
+
+    /// A transfer fully covered by overlapped compute costs no wait time:
+    /// post -> long compute -> wait must equal the compute-only runtime.
+    #[test]
+    fn fully_overlapped_transfer_is_free() {
+        let knl = KnlConfig::paper();
+        let m = quiet();
+        let cm = CommModel::paper();
+        let transfer = cm.duration(CommOp::Alltoall, 2, 1 << 20);
+        assert!(transfer > 0.0);
+        // Compute long enough to cover the transfer several times.
+        let long_flops = 20.0 * transfer * knl.freq_hz * m.base_ipc(StateClass::FftXy)
+            / m.instructions_per_flop(StateClass::FftXy);
+        let split = vec![
+            RankTasks::static_program(vec![post(1, 2, 0), compute(long_flops), wait(1, 0)]),
+            RankTasks::static_program(vec![post(1, 2, 0), compute(long_flops), wait(1, 0)]),
+        ];
+        let blocking = vec![
+            RankTasks::static_program(vec![
+                Segment::Collective {
+                    op: CommOp::Alltoall,
+                    comm_key: 1,
+                    size: 2,
+                    bytes: 1 << 20,
+                    tag: 0,
+                },
+                compute(long_flops),
+            ]),
+            RankTasks::static_program(vec![
+                Segment::Collective {
+                    op: CommOp::Alltoall,
+                    comm_key: 1,
+                    size: 2,
+                    bytes: 1 << 20,
+                    tag: 0,
+                },
+                compute(long_flops),
+            ]),
+        ];
+        let r_split = simulate(&split, &knl, &m, &cm);
+        let r_block = simulate(&blocking, &knl, &m, &cm);
+        // Split-phase hides the transfer behind the compute entirely.
+        assert!(
+            r_split.runtime < r_block.runtime - 0.5 * transfer,
+            "split {} vs blocking {} (transfer {})",
+            r_split.runtime,
+            r_block.runtime,
+            transfer
+        );
+        // The recorded wait is (near) zero for both ranks.
+        for c in &r_split.trace.comm {
+            assert!(c.duration() < 1e-12, "overlapped wait must be free");
+        }
+    }
+
+    /// With no compute between post and wait, split-phase degenerates to
+    /// the blocking collective.
+    #[test]
+    fn unoverlapped_split_equals_blocking() {
+        let knl = KnlConfig::paper();
+        let m = quiet();
+        let cm = CommModel::paper();
+        let mk_split = || {
+            RankTasks::static_program(vec![compute(1e8), post(1, 2, 0), wait(1, 0)])
+        };
+        let mk_block = || {
+            RankTasks::static_program(vec![
+                compute(1e8),
+                Segment::Collective {
+                    op: CommOp::Alltoall,
+                    comm_key: 1,
+                    size: 2,
+                    bytes: 1 << 20,
+                    tag: 0,
+                },
+            ])
+        };
+        let r_split = simulate(&[mk_split(), mk_split()], &knl, &m, &cm);
+        let r_block = simulate(&[mk_block(), mk_block()], &knl, &m, &cm);
+        assert!((r_split.runtime - r_block.runtime).abs() < 1e-12);
+    }
+
+    /// The wait of a slower rank's partner accounts the rendezvous time.
+    #[test]
+    fn partner_skew_shows_up_in_the_wait() {
+        let knl = KnlConfig::paper();
+        let m = quiet();
+        let cm = CommModel::paper();
+        let fast = RankTasks::static_program(vec![compute(1e8), post(1, 2, 0), wait(1, 0)]);
+        let slow = RankTasks::static_program(vec![compute(1e9), post(1, 2, 0), wait(1, 0)]);
+        let r = simulate(&[fast, slow], &knl, &m, &cm);
+        let w0 = r.trace.comm.iter().find(|c| c.lane.rank == 0).unwrap();
+        let w1 = r.trace.comm.iter().find(|c| c.lane.rank == 1).unwrap();
+        assert!(w0.duration() > w1.duration());
+    }
+
+    /// Split-phase inside tasks: posts from one task generation overlap
+    /// compute of the next.
+    #[test]
+    fn split_phase_in_task_mode() {
+        let knl = KnlConfig::paper();
+        let m = quiet();
+        let cm = CommModel::paper();
+        let mk = || {
+            let tasks: Vec<TaskSpec> = (0..4u64)
+                .flat_map(|b| {
+                    let base = (2 * b) as usize;
+                    vec![
+                        TaskSpec::new(format!("post{b}"), b, vec![compute(1e8), post(9, 2, b)]),
+                        TaskSpec::new(format!("wait{b}"), b, vec![wait(9, b), compute(1e8)])
+                            .with_deps(vec![base]),
+                    ]
+                })
+                .collect();
+            RankTasks { tasks, workers: 2 }
+        };
+        let r = simulate(&[mk(), mk()], &knl, &m, &cm);
+        assert_eq!(r.trace.comm.len(), 8); // 4 waits x 2 ranks
+        assert_eq!(r.trace.tasks.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "CollectiveWait before its post")]
+    fn wait_without_post_is_rejected() {
+        let progs = vec![RankTasks::static_program(vec![wait(5, 0)])];
+        simulate(&progs, &KnlConfig::paper(), &quiet(), &CommModel::paper());
+    }
+}

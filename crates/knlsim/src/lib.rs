@@ -1,0 +1,22 @@
+//! # fftx-knlsim
+//!
+//! A discrete-event performance simulator of a Knights Landing node — the
+//! substitute for the paper's testbed (68 cores @ 1.4 GHz, 4-way SMT).
+//! Rank programs (compute bursts classified by phase, and collectives) are
+//! executed either in *static* lockstep (the original FFTXlib) or through a
+//! simulated per-rank *task scheduler* (the OmpSs versions). Compute speed
+//! is governed by a calibrated phase-IPC + SMT + node-contention model, and
+//! collectives by a latency/bandwidth model; a zero-transfer replay yields
+//! the Dimemas-style ideal runtime used for the sync/transfer split.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod des;
+pub mod model;
+pub mod program;
+
+pub use arch::KnlConfig;
+pub use des::{simulate, SimResult};
+pub use model::{CommModel, ContentionModel};
+pub use program::{RankTasks, Segment, TaskSpec};

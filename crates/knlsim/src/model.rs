@@ -1,0 +1,364 @@
+//! The performance models: per-phase IPC with SMT sharing and node-level
+//! resource contention, and the collective cost model.
+//!
+//! These are *calibrated shape models*, not cycle-accurate simulations: the
+//! constants are chosen so the simulated original kernel reproduces the
+//! efficiency-factor columns of Table I (IPC scalability 1.00 → 0.93 → 0.79
+//! → 0.56 → 0.28 over 8 → 128 lanes, halving under 2× hyper-threading, and
+//! the transfer-efficiency decay), and the predictions for the task-based
+//! version are then read off the same model (Table II, Figs. 6/7). See
+//! DESIGN.md §6 and EXPERIMENTS.md for paper-vs-model numbers.
+
+use fftx_trace::{CommOp, StateClass};
+
+/// Per-phase IPC / bandwidth-demand model plus node contention.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionModel {
+    /// Node load (in demand units ≈ busy cores) where degradation begins.
+    pub sat_load: f64,
+    /// Strength of the superlinear degradation term.
+    pub slope: f64,
+    /// Exponent of the degradation term.
+    pub power: f64,
+    /// Issue share per hardware thread when 1..=4 threads are active on a
+    /// core.
+    pub smt_share: [f64; 4],
+    /// System-noise amplitude: every compute segment's work is multiplied
+    /// by a deterministic pseudo-random factor in `[1-noise, 1+noise]`.
+    /// Real nodes exhibit this run-to-run variability — it is what the
+    /// paper's own load-balance rows (95-98% for a perfectly balanced
+    /// kernel) measure.
+    pub noise: f64,
+    /// Systematic per-work-item (band × step) duration variability,
+    /// *identical on every rank*: data/cache/locality effects make some
+    /// bands consistently cheaper than others. The static code pays for it
+    /// with synchronisation waits at every collective (each member of a
+    /// task group handles a different band); the dynamic scheduler absorbs
+    /// it — and the accumulated differences are what de-synchronise the
+    /// compute phases (Fig. 7). Calibrated against the LB/sync rows of
+    /// Tables I and II.
+    pub band_noise: f64,
+    /// Globally disable contention (ablation).
+    pub enabled: bool,
+}
+
+impl ContentionModel {
+    /// Calibrated against Table I (see module docs).
+    pub fn paper() -> Self {
+        ContentionModel {
+            sat_load: 8.0,
+            slope: 0.0080,
+            power: 1.2,
+            smt_share: [1.0, 0.44, 0.26, 0.19],
+            noise: 0.03,
+            band_noise: 0.20,
+            enabled: true,
+        }
+    }
+
+    /// An idealised node without any contention (ablation study).
+    pub fn uncontended() -> Self {
+        ContentionModel {
+            enabled: false,
+            noise: 0.0,
+            band_noise: 0.0,
+            ..Self::paper()
+        }
+    }
+
+    /// Deterministic per-lane hardware-noise factor for one compute
+    /// segment, identified by the executing lane and its per-lane segment
+    /// counter (splitmix64 hash).
+    pub fn noise_factor(&self, lane: usize, segment: u64) -> f64 {
+        Self::hash_factor(
+            (lane as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(segment),
+            self.noise,
+        )
+    }
+
+    /// Deterministic systematic work-variation factor for a work item
+    /// (same value on every rank). `u64::MAX` disables it.
+    pub fn band_factor(&self, noise_key: u64) -> f64 {
+        if noise_key == u64::MAX {
+            return 1.0;
+        }
+        Self::hash_factor(
+            noise_key.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            self.band_noise,
+        )
+    }
+
+    fn hash_factor(seed: u64, amp: f64) -> f64 {
+        if amp == 0.0 {
+            return 1.0;
+        }
+        let mut z = seed.wrapping_add(0x1234_5678_9ABC_DEF0);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + amp * (2.0 * u - 1.0)
+    }
+
+    /// Uncontended single-thread IPC of a phase class. The relative values
+    /// mirror the Fig. 3 measurements (psi prep ~0.06, z FFT ~0.52, main
+    /// xy/vofr phase ~0.77 — those are 64-lane contended values; the bases
+    /// here are the model inputs that produce them under load).
+    pub fn base_ipc(&self, class: StateClass) -> f64 {
+        match class {
+            StateClass::PsiPrep => 0.11,
+            StateClass::Pack | StateClass::Unpack => 0.80,
+            StateClass::FftZ => 0.98,
+            StateClass::FftXy => 1.48,
+            StateClass::Vofr => 1.32,
+            StateClass::Runtime => 1.00,
+            StateClass::Other => 0.90,
+        }
+    }
+
+    /// Relative shared-resource (bandwidth/L2) demand of a phase class;
+    /// enters the node-load sum. High-intensity phases press harder.
+    pub fn bw_demand(&self, class: StateClass) -> f64 {
+        match class {
+            StateClass::PsiPrep => 0.35,
+            StateClass::Pack | StateClass::Unpack => 0.40,
+            StateClass::FftZ => 0.90,
+            StateClass::FftXy => 1.00,
+            StateClass::Vofr => 1.00,
+            StateClass::Runtime => 0.10,
+            StateClass::Other => 0.45,
+        }
+    }
+
+    /// Node-level slowdown factor for a given total load (sum of per-core
+    /// demands of active compute lanes) as experienced by a phase with
+    /// shared-resource demand 1.0.
+    pub fn node_factor(&self, load: f64) -> f64 {
+        self.node_factor_for(1.0, load)
+    }
+
+    /// Node-level slowdown factor experienced by a phase of demand
+    /// `sensitivity`: phases that barely touch the shared resources are
+    /// proportionally less sensitive to node load. (This is why overlapping
+    /// a copy-bound prep phase with other ranks' FFTs costs the prep phase
+    /// little while relieving the FFTs a lot — the asymmetry the task-based
+    /// de-synchronisation exploits.)
+    pub fn node_factor_for(&self, sensitivity: f64, load: f64) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        let excess = (load - self.sat_load).max(0.0);
+        1.0 / (1.0 + sensitivity * self.slope * excess.powf(self.power))
+    }
+
+    /// Effective IPC of a lane executing `class` while `active_on_core`
+    /// threads (including itself) compute on its core whose *other* threads
+    /// have average demand `co_demand`, and the node carries `load` demand
+    /// units.
+    ///
+    /// The SMT share improves when the siblings run low-intensity
+    /// (stall-heavy) phases — hyper-threading's latency hiding. In the
+    /// lockstep original all siblings run the same high-demand phase and
+    /// the share stays at its floor; the de-synchronised task version mixes
+    /// phases on a core and recovers issue slots, which is how it profits
+    /// from hyper-threading (the paper's extra ~3 % at 16×8).
+    pub fn effective_ipc(
+        &self,
+        class: StateClass,
+        active_on_core: usize,
+        co_demand: f64,
+        load: f64,
+    ) -> f64 {
+        let smt = if self.enabled {
+            let floor = self.smt_share[(active_on_core.max(1) - 1).min(3)];
+            if active_on_core > 1 {
+                // Sub-linear in the siblings' idleness: even lightly
+                // stalled co-runners free a disproportionate share of
+                // issue slots. The recoverable share shrinks at higher SMT
+                // levels (4 threads split front-end resources statically on
+                // KNL, so there is less to reclaim).
+                let recover = [0.0, 1.0, 0.45, 0.30][(active_on_core - 1).min(3)];
+                floor + (1.0 - floor) * recover * (1.0 - co_demand.clamp(0.0, 1.0)).powf(0.7)
+            } else {
+                floor
+            }
+        } else {
+            1.0
+        };
+        self.base_ipc(class) * smt * self.node_factor_for(self.bw_demand(class), load)
+    }
+
+    /// Instruction expansion: flops → retired instructions per class
+    /// (loads/stores/address arithmetic on top of the arithmetic count).
+    pub fn instructions_per_flop(&self, class: StateClass) -> f64 {
+        match class {
+            // Copy-dominated phases retire mostly memory instructions.
+            StateClass::PsiPrep | StateClass::Pack | StateClass::Unpack | StateClass::Other => 1.6,
+            StateClass::FftZ | StateClass::FftXy => 1.15,
+            StateClass::Vofr => 1.3,
+            StateClass::Runtime => 1.0,
+        }
+    }
+}
+
+/// Cost model for on-node collectives.
+#[derive(Debug, Clone, Copy)]
+pub struct CommModel {
+    /// Per-stage latency (s); a P-rank collective pays `ceil(log2 P)` stages.
+    pub alpha: f64,
+    /// Effective per-rank exchange bandwidth (bytes/s).
+    pub beta: f64,
+    /// Extra per-peer message cost (s) — alltoall sends P-1 messages.
+    pub per_msg: f64,
+    /// Concurrent collectives the mesh sustains at full speed; further
+    /// transfers queue FIFO. This is what makes communication cost grow
+    /// with the number of simultaneously active sub-communicators (the
+    /// paper's decaying transfer efficiency) and what staggers the bands
+    /// of the task-based version (the de-synchronisation of Fig. 7).
+    pub channels: usize,
+    /// Zero out transfer time (the Dimemas-style ideal-network replay used
+    /// to split communication efficiency into sync × transfer).
+    pub ideal: bool,
+}
+
+impl CommModel {
+    /// Calibrated against Table I's communication/transfer columns.
+    pub fn paper() -> Self {
+        CommModel {
+            alpha: 2.0e-5,
+            beta: 1.5e9,
+            per_msg: 8.0e-6,
+            channels: 1,
+            ideal: false,
+        }
+    }
+
+    /// The ideal-network variant of this model.
+    pub fn idealized(self) -> Self {
+        CommModel {
+            ideal: true,
+            ..self
+        }
+    }
+
+    /// Transfer duration of one collective once all participants arrived.
+    /// `bytes` is the per-rank contribution.
+    pub fn duration(&self, op: CommOp, comm_size: usize, bytes: usize) -> f64 {
+        if self.ideal || comm_size <= 1 {
+            return 0.0;
+        }
+        let p = comm_size as f64;
+        let stages = p.log2().ceil().max(1.0);
+        let volume = bytes as f64 * (p - 1.0) / p;
+        let msgs = match op {
+            CommOp::Alltoall | CommOp::Alltoallv => p - 1.0,
+            CommOp::Barrier => 0.0,
+            _ => stages,
+        };
+        self.alpha * stages + self.per_msg * msgs + volume / self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_factor_is_monotone_nonincreasing() {
+        let m = ContentionModel::paper();
+        let mut prev = m.node_factor(0.0);
+        for load in [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
+            let f = m.node_factor(load);
+            assert!(f <= prev + 1e-12, "load {load}");
+            assert!(f > 0.0 && f <= 1.0);
+            prev = f;
+        }
+        assert_eq!(m.node_factor(0.0), 1.0);
+        assert_eq!(m.node_factor(8.0), 1.0);
+    }
+
+    #[test]
+    fn calibration_is_in_the_papers_regime() {
+        // The end-to-end calibration lives in the table1/table2 harness
+        // binaries (they FAIL if the simulated columns drift off the
+        // paper); this test pins the raw curve's regime so refactors that
+        // change its meaning are caught early.
+        let m = ContentionModel::paper();
+        let f8 = m.node_factor(8.0);
+        assert!((f8 - 1.0).abs() < 1e-12, "no degradation at 8 lanes");
+        let r64 = m.node_factor(64.0) / f8;
+        assert!(
+            (0.40..0.60).contains(&r64),
+            "main-phase slowdown at full node: {r64:.3}"
+        );
+        // Low-demand phases are proportionally less sensitive.
+        let light = m.node_factor_for(0.35, 64.0);
+        assert!(light > m.node_factor(64.0));
+        assert!(light < 1.0);
+    }
+
+    #[test]
+    fn smt_sharing_decreases() {
+        let m = ContentionModel::paper();
+        for w in m.smt_share.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        let a = m.effective_ipc(StateClass::FftXy, 1, 1.0, 8.0);
+        let b = m.effective_ipc(StateClass::FftXy, 2, 1.0, 8.0);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn smt_latency_hiding_helps_with_light_siblings() {
+        let m = ContentionModel::paper();
+        let heavy_sib = m.effective_ipc(StateClass::FftXy, 2, 1.0, 8.0);
+        let light_sib = m.effective_ipc(StateClass::FftXy, 2, 0.4, 8.0);
+        assert!(light_sib > heavy_sib);
+        // Still below running alone.
+        assert!(light_sib < m.effective_ipc(StateClass::FftXy, 1, 1.0, 8.0));
+    }
+
+    #[test]
+    fn uncontended_model_is_flat() {
+        let m = ContentionModel::uncontended();
+        assert_eq!(m.node_factor(1000.0), 1.0);
+        assert_eq!(
+            m.effective_ipc(StateClass::FftXy, 4, 1.0, 1000.0),
+            m.base_ipc(StateClass::FftXy)
+        );
+    }
+
+    #[test]
+    fn phase_ordering_matches_fig3() {
+        // Under 64-lane load the contended IPCs must order like Fig. 3:
+        // psi-prep << z FFT < main xy phase.
+        let m = ContentionModel::paper();
+        let load = 64.0;
+        let prep = m.effective_ipc(StateClass::PsiPrep, 1, 1.0, load);
+        let z = m.effective_ipc(StateClass::FftZ, 1, 1.0, load);
+        let xy = m.effective_ipc(StateClass::FftXy, 1, 1.0, load);
+        assert!(prep < 0.15, "psi prep {prep}");
+        assert!(z > 0.3 && z < xy, "z {z} xy {xy}");
+        assert!((0.6..1.0).contains(&xy), "main phase {xy}");
+    }
+
+    #[test]
+    fn comm_duration_scales_with_size_and_bytes() {
+        let c = CommModel::paper();
+        let small = c.duration(CommOp::Alltoall, 8, 1024);
+        let bigger_p = c.duration(CommOp::Alltoall, 64, 1024);
+        let bigger_b = c.duration(CommOp::Alltoall, 8, 1 << 20);
+        assert!(small > 0.0);
+        assert!(bigger_p > small);
+        assert!(bigger_b > small);
+        assert_eq!(c.duration(CommOp::Alltoall, 1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let c = CommModel::paper().idealized();
+        assert_eq!(c.duration(CommOp::Alltoall, 64, 1 << 20), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Simulator input: per-rank task lists of compute/collective segments.
+//!
+//! The static (original) execution is the special case of one task per rank
+//! executed by one worker; the task-based modes give every band its own
+//! task (or chain of tasks) executed by several workers per rank.
+
+use fftx_trace::{CommOp, StateClass};
+
+/// One unit of work inside a task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// A classified compute burst of `flops` floating-point operations
+    /// (converted to instructions and cycles by the contention model).
+    Compute {
+        /// Phase classification.
+        class: StateClass,
+        /// Work volume.
+        flops: f64,
+        /// Identity of the work item (band × step). Segments with the same
+        /// key get the same systematic work-variation factor on every rank
+        /// — see [`crate::model::ContentionModel::band_noise`]. `u64::MAX`
+        /// disables the variation.
+        noise_key: u64,
+    },
+    /// A blocking collective. All `size` participating ranks must arrive at
+    /// a matching `(comm_key, tag, seq)` before the transfer starts.
+    Collective {
+        /// Operation kind (for the trace and cost model).
+        op: CommOp,
+        /// Stable identifier of the communicator (shared by participants).
+        comm_key: u64,
+        /// Number of participating ranks.
+        size: usize,
+        /// Bytes contributed per rank.
+        bytes: usize,
+        /// Match tag (e.g. the band index), disambiguating concurrent
+        /// collectives on one communicator.
+        tag: u64,
+    },
+    /// The posting half of a split-phase collective (`MPI_Ialltoall`): the
+    /// lane contributes and continues immediately; the transfer starts once
+    /// every rank has posted. Must be paired with a later
+    /// [`Segment::CollectiveWait`] with the same `(comm_key, tag)` on the
+    /// same rank, in matching order.
+    CollectivePost {
+        /// Operation kind.
+        op: CommOp,
+        /// Communicator identifier.
+        comm_key: u64,
+        /// Number of participating ranks.
+        size: usize,
+        /// Bytes contributed per rank.
+        bytes: usize,
+        /// Match tag.
+        tag: u64,
+    },
+    /// The completion half of a split-phase collective: blocks until the
+    /// matching posted transfer has finished (zero time if it already has —
+    /// the overlap the paper's future-work section is after).
+    CollectiveWait {
+        /// Communicator identifier (must match the post).
+        comm_key: u64,
+        /// Match tag (must match the post).
+        tag: u64,
+    },
+}
+
+impl Segment {
+    /// Compute segment without systematic work variation.
+    pub fn compute(class: StateClass, flops: f64) -> Self {
+        Segment::Compute {
+            class,
+            flops,
+            noise_key: u64::MAX,
+        }
+    }
+
+    /// Compute segment tied to a work item (band/step) for the systematic
+    /// per-band variation model.
+    pub fn compute_keyed(class: StateClass, flops: f64, noise_key: u64) -> Self {
+        Segment::Compute {
+            class,
+            flops,
+            noise_key,
+        }
+    }
+}
+
+/// A schedulable task: a sequence of segments plus scheduling metadata.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Display label (lands in the trace).
+    pub label: String,
+    /// Scheduler priority: lower runs first, ties in creation order.
+    pub priority: u64,
+    /// Indices (within the same rank's task list) of tasks that must finish
+    /// before this one becomes ready.
+    pub deps: Vec<usize>,
+    /// The work.
+    pub segments: Vec<Segment>,
+}
+
+impl TaskSpec {
+    /// A dependency-free task.
+    pub fn new(label: impl Into<String>, priority: u64, segments: Vec<Segment>) -> Self {
+        TaskSpec {
+            label: label.into(),
+            priority,
+            deps: Vec::new(),
+            segments,
+        }
+    }
+
+    /// Adds predecessor task indices.
+    pub fn with_deps(mut self, deps: Vec<usize>) -> Self {
+        self.deps = deps;
+        self
+    }
+}
+
+/// All tasks of one rank plus its worker count.
+#[derive(Debug, Clone)]
+pub struct RankTasks {
+    /// Tasks in creation order (dependency indices refer to this order).
+    pub tasks: Vec<TaskSpec>,
+    /// Worker lanes executing this rank's tasks (1 = static execution).
+    pub workers: usize,
+}
+
+impl RankTasks {
+    /// A static program: one worker running one task containing `segments`.
+    pub fn static_program(segments: Vec<Segment>) -> Self {
+        RankTasks {
+            tasks: vec![TaskSpec::new("main", 0, segments)],
+            workers: 1,
+        }
+    }
+
+    /// Total flops across all tasks (conservation checks).
+    pub fn total_flops(&self) -> f64 {
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.segments)
+            .map(|s| match s {
+                Segment::Compute { flops, .. } => *flops,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Number of collective segments (conservation checks).
+    pub fn collective_count(&self) -> usize {
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.segments)
+            .filter(|s| matches!(s, Segment::Collective { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_program_shape() {
+        let p = RankTasks::static_program(vec![
+            Segment::compute(StateClass::FftXy, 100.0),
+            Segment::Collective {
+                op: CommOp::Alltoall,
+                comm_key: 1,
+                size: 4,
+                bytes: 64,
+                tag: 0,
+            },
+            Segment::compute(StateClass::FftZ, 50.0),
+        ]);
+        assert_eq!(p.workers, 1);
+        assert_eq!(p.tasks.len(), 1);
+        assert_eq!(p.total_flops(), 150.0);
+        assert_eq!(p.collective_count(), 1);
+    }
+
+    #[test]
+    fn task_with_deps() {
+        let t = TaskSpec::new("b", 3, vec![]).with_deps(vec![0, 1]);
+        assert_eq!(t.deps, vec![0, 1]);
+        assert_eq!(t.priority, 3);
+    }
+}

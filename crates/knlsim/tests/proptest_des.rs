@@ -1,0 +1,175 @@
+//! Property tests of the discrete-event engine: conservation, determinism,
+//! and monotonicity under randomly generated programs.
+
+use fftx_knlsim::{simulate, CommModel, ContentionModel, KnlConfig, RankTasks, Segment, TaskSpec};
+use fftx_trace::{CommOp, StateClass};
+use proptest::prelude::*;
+
+fn quiet() -> ContentionModel {
+    ContentionModel {
+        noise: 0.0,
+        band_noise: 0.0,
+        ..ContentionModel::paper()
+    }
+}
+
+/// Random per-rank programs: every rank gets the same number of tagged
+/// collectives (so they match) interleaved with random compute.
+fn programs(ranks: usize, bands: usize, workers: usize, flops: &[f64]) -> Vec<RankTasks> {
+    (0..ranks)
+        .map(|_| {
+            let tasks = (0..bands)
+                .map(|b| {
+                    TaskSpec::new(
+                        format!("b{b}"),
+                        b as u64,
+                        vec![
+                            Segment::compute_keyed(
+                                StateClass::FftXy,
+                                flops[b % flops.len()],
+                                b as u64,
+                            ),
+                            Segment::Collective {
+                                op: CommOp::Alltoall,
+                                comm_key: 7,
+                                size: ranks,
+                                bytes: 64 * 1024,
+                                tag: b as u64,
+                            },
+                            Segment::compute_keyed(
+                                StateClass::FftZ,
+                                flops[(b + 1) % flops.len()],
+                                b as u64 + 1000,
+                            ),
+                        ],
+                    )
+                })
+                .collect();
+            RankTasks { tasks, workers }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every planned compute segment and collective executes exactly once.
+    #[test]
+    fn conservation(
+        ranks in 1usize..5,
+        bands in 1usize..8,
+        workers in 1usize..4,
+        flops in proptest::collection::vec(1e6f64..1e8, 1..4),
+    ) {
+        let progs = programs(ranks, bands, workers, &flops);
+        let planned_flops: f64 = progs.iter().map(|p| p.total_flops()).sum();
+        let planned_colls: usize = progs.iter().map(|p| p.collective_count()).sum();
+        let m = quiet();
+        let r = simulate(&progs, &KnlConfig::paper(), &m, &CommModel::paper());
+        let got_instr: f64 = r.trace.compute.iter().map(|c| c.instructions).sum();
+        // All segments here are FftXy/FftZ with known expansion.
+        let expect: f64 = progs
+            .iter()
+            .flat_map(|p| &p.tasks)
+            .flat_map(|t| &t.segments)
+            .map(|s| match s {
+                Segment::Compute { class, flops, .. } => {
+                    flops * m.instructions_per_flop(*class)
+                }
+                _ => 0.0,
+            })
+            .sum();
+        prop_assert!((got_instr - expect).abs() < 1.0, "{got_instr} vs {expect}");
+        prop_assert_eq!(r.trace.comm.len(), planned_colls);
+        prop_assert!(planned_flops > 0.0);
+        prop_assert!(r.runtime > 0.0);
+    }
+
+    /// Bit-identical reruns.
+    #[test]
+    fn determinism(ranks in 1usize..4, bands in 1usize..6, workers in 1usize..3) {
+        let flops = [5e7f64, 2e7];
+        let a = simulate(
+            &programs(ranks, bands, workers, &flops),
+            &KnlConfig::paper(),
+            &ContentionModel::paper(),
+            &CommModel::paper(),
+        );
+        let b = simulate(
+            &programs(ranks, bands, workers, &flops),
+            &KnlConfig::paper(),
+            &ContentionModel::paper(),
+            &CommModel::paper(),
+        );
+        prop_assert_eq!(a.runtime, b.runtime);
+        prop_assert_eq!(a.trace.compute.len(), b.trace.compute.len());
+    }
+
+    /// More expensive communication can never make the simulated run
+    /// faster.
+    #[test]
+    fn comm_cost_monotonicity(ranks in 2usize..5, bands in 1usize..6, beta_div in 1u32..8) {
+        let flops = [3e7f64];
+        let progs = programs(ranks, bands, 2, &flops);
+        let m = quiet();
+        let cheap = CommModel::paper();
+        let expensive = CommModel {
+            beta: cheap.beta / beta_div as f64,
+            alpha: cheap.alpha * beta_div as f64,
+            ..cheap
+        };
+        let fast = simulate(&progs, &KnlConfig::paper(), &m, &cheap);
+        let slow = simulate(&progs, &KnlConfig::paper(), &m, &expensive);
+        prop_assert!(
+            slow.runtime >= fast.runtime - 1e-12,
+            "more expensive comm made the run faster: {} < {}",
+            slow.runtime,
+            fast.runtime
+        );
+    }
+
+    /// Adding workers never slows a rank down (work conservation with a
+    /// contention-free node).
+    #[test]
+    fn workers_monotonicity(bands in 2usize..8) {
+        let flops = [4e7f64, 1e7];
+        let m = ContentionModel::uncontended();
+        let one = simulate(
+            &programs(1, bands, 1, &flops),
+            &KnlConfig::paper(),
+            &m,
+            &CommModel::paper(),
+        );
+        let four = simulate(
+            &programs(1, bands, 4, &flops),
+            &KnlConfig::paper(),
+            &m,
+            &CommModel::paper(),
+        );
+        prop_assert!(four.runtime <= one.runtime + 1e-12);
+    }
+
+    /// Trace timestamps are well-formed: every record has t_end >= t_start
+    /// and lies within [0, runtime].
+    #[test]
+    fn trace_timestamps_are_sane(ranks in 1usize..4, bands in 1usize..5) {
+        let r = simulate(
+            &programs(ranks, bands, 2, &[2e7]),
+            &KnlConfig::paper(),
+            &ContentionModel::paper(),
+            &CommModel::paper(),
+        );
+        for c in &r.trace.compute {
+            prop_assert!(c.t_end >= c.t_start);
+            prop_assert!(c.t_start >= 0.0 && c.t_end <= r.runtime + 1e-9);
+            prop_assert!(c.instructions > 0.0 && c.cycles > 0.0);
+        }
+        for c in &r.trace.comm {
+            prop_assert!(c.t_end >= c.t_start);
+            prop_assert!(c.t_end <= r.runtime + 1e-9);
+        }
+        for t in &r.trace.tasks {
+            prop_assert!(t.t_end >= t.t_start);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Γ-point (real-wavefunction) machinery.
+//!
+//! At the Γ point of the Brillouin zone the Kohn–Sham orbitals can be chosen
+//! real in r-space, which makes their plane-wave coefficients Hermitian:
+//! `c(-G) = conj(c(G))`. Quantum ESPRESSO (and FFTXlib's `gamma_only` path)
+//! exploits this twice:
+//!
+//! 1. **Half storage:** only one member of every ±G pair is stored (the
+//!    "positive half" of the sphere, plus G = 0).
+//! 2. **The Γ trick:** two real bands ride one complex FFT. Loading
+//!    `c = c1 + i*c2` onto the grid and transforming gives
+//!    `psi(r) = phi1(r) + i*phi2(r)` with both φ real, so after the
+//!    point-wise `V(r)` multiply a single forward FFT returns both bands,
+//!    separated with `c1(G) = (c(G) + conj(c(-G)))/2` and
+//!    `c2(G) = (c(G) - conj(c(-G)))/(2i)`.
+//!
+//! This halves the FFT count of the miniapp kernel for real-orbital
+//! calculations — the dominant production case for the Quantum ESPRESSO
+//! workloads FFTXlib represents.
+
+use crate::grid::FftGrid;
+use crate::gvec::GSphere;
+use crate::potential::apply_potential;
+use fftx_fft::{c64, Complex64, Fft3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The positive half of a cutoff sphere: exactly one representative of each
+/// ±G pair (G = 0 counts as its own representative).
+#[derive(Debug, Clone)]
+pub struct HalfSphere {
+    /// Miller triples of the stored half, canonically ordered (ascending
+    /// norm, then triple), G = 0 first.
+    pub millers: Vec<(i32, i32, i32)>,
+    /// Number of plane waves of the *full* sphere this half represents.
+    pub full_len: usize,
+}
+
+/// True when `m` is the canonical representative of its ±pair: the first
+/// non-zero component is positive (QE's `gstart` convention up to ordering).
+pub fn is_positive_half(m: (i32, i32, i32)) -> bool {
+    let (h, k, l) = m;
+    if h != 0 {
+        return h > 0;
+    }
+    if k != 0 {
+        return k > 0;
+    }
+    l >= 0
+}
+
+impl HalfSphere {
+    /// Extracts the positive half of a full sphere.
+    pub fn from_sphere(sphere: &GSphere) -> Self {
+        let millers: Vec<(i32, i32, i32)> = sphere
+            .vectors
+            .iter()
+            .map(|v| v.miller)
+            .filter(|&m| is_positive_half(m))
+            .collect();
+        HalfSphere {
+            millers,
+            full_len: sphere.len(),
+        }
+    }
+
+    /// Number of stored coefficients.
+    pub fn len(&self) -> usize {
+        self.millers.len()
+    }
+
+    /// True when the half sphere stores nothing (empty input sphere).
+    pub fn is_empty(&self) -> bool {
+        self.millers.is_empty()
+    }
+}
+
+/// A real (Γ-point) band stored on the half sphere. Hermitian symmetry
+/// requires the G = 0 coefficient to be real; the constructor enforces it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GammaBand {
+    /// Coefficients over [`HalfSphere::millers`], G = 0 first (real).
+    pub coeffs: Vec<Complex64>,
+}
+
+impl GammaBand {
+    /// Wraps coefficients, checking the G = 0 reality condition.
+    pub fn new(half: &HalfSphere, coeffs: Vec<Complex64>) -> Self {
+        assert_eq!(coeffs.len(), half.len(), "GammaBand: length mismatch");
+        if let (Some(&(0, 0, 0)), Some(c0)) = (half.millers.first(), coeffs.first()) {
+            assert!(
+                c0.im.abs() < 1e-12,
+                "GammaBand: the G=0 coefficient must be real (got {c0})"
+            );
+        }
+        GammaBand { coeffs }
+    }
+
+    /// Deterministic synthetic band with the physical `1/(1+|G|^2)` falloff.
+    pub fn generate(half: &HalfSphere, band: usize, seed: u64) -> Self {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (band as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let coeffs = half
+            .millers
+            .iter()
+            .map(|&(h, k, l)| {
+                let norm2 = (h * h + k * k + l * l) as f64;
+                let amp = 1.0 / (1.0 + norm2);
+                if (h, k, l) == (0, 0, 0) {
+                    c64(rng.gen_range(-1.0..1.0) * amp, 0.0)
+                } else {
+                    c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)).scale(amp)
+                }
+            })
+            .collect();
+        GammaBand { coeffs }
+    }
+
+    /// Expands to the full sphere in the canonical [`GSphere`] order,
+    /// applying the Hermitian symmetry for the negative half.
+    pub fn to_full(&self, half: &HalfSphere, sphere: &GSphere) -> Vec<Complex64> {
+        use std::collections::HashMap;
+        let index: HashMap<(i32, i32, i32), usize> = half
+            .millers
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, i))
+            .collect();
+        sphere
+            .vectors
+            .iter()
+            .map(|v| {
+                let m = v.miller;
+                if let Some(&i) = index.get(&m) {
+                    self.coeffs[i]
+                } else {
+                    let neg = (-m.0, -m.1, -m.2);
+                    let i = index[&neg];
+                    self.coeffs[i].conj()
+                }
+            })
+            .collect()
+    }
+}
+
+/// Spreads `c1 + i*c2` onto the dense G-space grid using the Hermitian
+/// symmetry (each half coefficient fills both ±G slots).
+pub fn load_two_bands(
+    half: &HalfSphere,
+    grid: &FftGrid,
+    b1: &GammaBand,
+    b2: &GammaBand,
+) -> Vec<Complex64> {
+    assert_eq!(b1.coeffs.len(), half.len());
+    assert_eq!(b2.coeffs.len(), half.len());
+    let mut dense = vec![Complex64::ZERO; grid.volume()];
+    for (i, &(h, k, l)) in half.millers.iter().enumerate() {
+        let c = b1.coeffs[i] + b2.coeffs[i].mul_i();
+        let (x, y, z) = grid.index_of(h, k, l);
+        dense[grid.linear(x, y, z)] = c;
+        if (h, k, l) != (0, 0, 0) {
+            // c(-G) = conj(c1(G)) + i*conj(c2(G))
+            let cm = b1.coeffs[i].conj() + b2.coeffs[i].conj().mul_i();
+            let (x, y, z) = grid.index_of(-h, -k, -l);
+            dense[grid.linear(x, y, z)] = cm;
+        }
+    }
+    dense
+}
+
+/// Separates the two bands back out of a transformed grid (inverse of the
+/// Γ trick): `c1(G) = (c(G)+conj(c(-G)))/2`, `c2(G) = (c(G)-conj(c(-G)))/2i`.
+pub fn extract_two_bands(
+    half: &HalfSphere,
+    grid: &FftGrid,
+    dense: &[Complex64],
+) -> (GammaBand, GammaBand) {
+    let mut c1 = Vec::with_capacity(half.len());
+    let mut c2 = Vec::with_capacity(half.len());
+    for &(h, k, l) in &half.millers {
+        let (x, y, z) = grid.index_of(h, k, l);
+        let cp = dense[grid.linear(x, y, z)];
+        let (x, y, z) = grid.index_of(-h, -k, -l);
+        let cm = dense[grid.linear(x, y, z)];
+        let a = (cp + cm.conj()).scale(0.5);
+        let b = (cp - cm.conj()).mul_neg_i().scale(0.5);
+        c1.push(a);
+        c2.push(b);
+    }
+    (GammaBand { coeffs: c1 }, GammaBand { coeffs: c2 })
+}
+
+/// Applies the real-space-diagonal operator to a batch of Γ-point bands,
+/// two per complex FFT (the last band pairs with a zero band when the count
+/// is odd). Returns the updated half-sphere bands.
+pub fn apply_vloc_gamma(
+    half: &HalfSphere,
+    grid: &FftGrid,
+    v: &[f64],
+    bands: &[GammaBand],
+) -> Vec<GammaBand> {
+    let plan = Fft3::new(grid.nr1, grid.nr2, grid.nr3);
+    let zero = GammaBand {
+        coeffs: vec![Complex64::ZERO; half.len()],
+    };
+    let mut out = Vec::with_capacity(bands.len());
+    let mut i = 0;
+    while i < bands.len() {
+        let b1 = &bands[i];
+        let b2 = bands.get(i + 1).unwrap_or(&zero);
+        let mut dense = load_two_bands(half, grid, b1, b2);
+        plan.inverse(&mut dense);
+        apply_potential(&mut dense, v, grid);
+        plan.forward(&mut dense);
+        let (o1, o2) = extract_two_bands(half, grid, &dense);
+        out.push(o1);
+        if i + 1 < bands.len() {
+            out.push(o2);
+        }
+        i += 2;
+    }
+    out
+}
+
+/// FFT count of the Γ path for `n` bands (vs `n` for the complex path):
+/// `ceil(n/2)` complex transforms each way.
+pub fn gamma_fft_count(nbnd: usize) -> usize {
+    nbnd.div_ceil(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, DUAL};
+    use crate::reference::apply_vloc;
+    use fftx_fft::max_dist;
+
+    fn setup() -> (FftGrid, GSphere, HalfSphere) {
+        let cell = Cell::cubic(7.0);
+        let grid = FftGrid::from_cutoff(&cell, DUAL * 6.0);
+        let sphere = GSphere::generate(&cell, 6.0, &grid);
+        let half = HalfSphere::from_sphere(&sphere);
+        (grid, sphere, half)
+    }
+
+    #[test]
+    fn half_sphere_is_exactly_half_plus_gamma() {
+        let (_, sphere, half) = setup();
+        assert_eq!(half.full_len, sphere.len());
+        // Full sphere = 2 * (half without G=0) + 1.
+        assert_eq!(sphere.len(), 2 * (half.len() - 1) + 1);
+        assert_eq!(half.millers[0], (0, 0, 0));
+        for &m in &half.millers {
+            assert!(is_positive_half(m), "{m:?} not canonical");
+        }
+    }
+
+    #[test]
+    fn positive_half_convention() {
+        assert!(is_positive_half((0, 0, 0)));
+        assert!(is_positive_half((1, -5, -5)));
+        assert!(!is_positive_half((-1, 5, 5)));
+        assert!(is_positive_half((0, 2, -9)));
+        assert!(!is_positive_half((0, -2, 9)));
+        assert!(is_positive_half((0, 0, 3)));
+        assert!(!is_positive_half((0, 0, -3)));
+    }
+
+    #[test]
+    fn expansion_is_hermitian() {
+        let (_, sphere, half) = setup();
+        let band = GammaBand::generate(&half, 0, 7);
+        let full = band.to_full(&half, &sphere);
+        use std::collections::HashMap;
+        let by_miller: HashMap<(i32, i32, i32), Complex64> = sphere
+            .vectors
+            .iter()
+            .zip(&full)
+            .map(|(v, &c)| (v.miller, c))
+            .collect();
+        for (&m, &c) in &by_miller {
+            let neg = by_miller[&(-m.0, -m.1, -m.2)];
+            assert!(c.dist(neg.conj()) < 1e-14, "not Hermitian at {m:?}");
+        }
+    }
+
+    #[test]
+    fn hermitian_coeffs_give_real_field() {
+        let (grid, _, half) = setup();
+        let b1 = GammaBand::generate(&half, 1, 3);
+        let zero = GammaBand {
+            coeffs: vec![Complex64::ZERO; half.len()],
+        };
+        let mut dense = load_two_bands(&half, &grid, &b1, &zero);
+        Fft3::new(grid.nr1, grid.nr2, grid.nr3).inverse(&mut dense);
+        let max_im = dense.iter().map(|c| c.im.abs()).fold(0.0_f64, f64::max);
+        let max_re = dense.iter().map(|c| c.re.abs()).fold(0.0_f64, f64::max);
+        assert!(max_im < 1e-10 * max_re.max(1.0), "field not real: {max_im}");
+    }
+
+    #[test]
+    fn load_extract_roundtrip() {
+        let (grid, _, half) = setup();
+        let b1 = GammaBand::generate(&half, 0, 11);
+        let b2 = GammaBand::generate(&half, 1, 11);
+        let dense = load_two_bands(&half, &grid, &b1, &b2);
+        let (o1, o2) = extract_two_bands(&half, &grid, &dense);
+        assert!(max_dist(&o1.coeffs, &b1.coeffs) < 1e-13);
+        assert!(max_dist(&o2.coeffs, &b2.coeffs) < 1e-13);
+    }
+
+    #[test]
+    fn gamma_trick_matches_the_complex_path() {
+        // Applying V via the two-bands-per-FFT trick must equal applying V
+        // to each band expanded to the full sphere through the ordinary
+        // complex pipeline.
+        let (grid, sphere, half) = setup();
+        let set = crate::sticks::StickSet::build(&sphere, &grid);
+        let v = crate::potential::generate_potential(&grid, 5);
+        let bands: Vec<GammaBand> = (0..4).map(|b| GammaBand::generate(&half, b, 21)).collect();
+
+        let gamma_out = apply_vloc_gamma(&half, &grid, &v, &bands);
+
+        // Reference: full-sphere complex path. The canonical coefficient
+        // order of the complex path is stick-major; build it per band.
+        for (b, band) in bands.iter().enumerate() {
+            let full = band.to_full(&half, &sphere);
+            // Reorder canonical sphere order -> stick-major order.
+            let stickwise = reorder_sphere_to_sticks(&sphere, &set, &full);
+            let expect = apply_vloc(&set, &grid, &v, &[stickwise]);
+            let got_full = gamma_out[b].to_full(&half, &sphere);
+            let got_stickwise = reorder_sphere_to_sticks(&sphere, &set, &got_full);
+            assert!(
+                max_dist(&got_stickwise, &expect[0]) < 1e-9,
+                "band {b} mismatch"
+            );
+        }
+    }
+
+    /// Reorders canonical-sphere-ordered coefficients into the stick-major
+    /// order used by the distributed pipeline.
+    fn reorder_sphere_to_sticks(
+        sphere: &GSphere,
+        set: &crate::sticks::StickSet,
+        coeffs: &[Complex64],
+    ) -> Vec<Complex64> {
+        use std::collections::HashMap;
+        let by_miller: HashMap<(i32, i32, i32), Complex64> = sphere
+            .vectors
+            .iter()
+            .zip(coeffs)
+            .map(|(v, &c)| (v.miller, c))
+            .collect();
+        let mut out = Vec::with_capacity(set.ngw);
+        for stick in &set.sticks {
+            for &l in &stick.lz {
+                out.push(by_miller[&(stick.hk.0, stick.hk.1, l)]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn odd_band_count_pads_with_zero() {
+        let (grid, _, half) = setup();
+        let v = vec![1.5; grid.volume()];
+        let bands: Vec<GammaBand> = (0..3).map(|b| GammaBand::generate(&half, b, 9)).collect();
+        let out = apply_vloc_gamma(&half, &grid, &v, &bands);
+        assert_eq!(out.len(), 3);
+        // Constant potential scales each band by 1.5.
+        for (b, o) in out.iter().enumerate() {
+            let expect: Vec<Complex64> =
+                bands[b].coeffs.iter().map(|c| c.scale(1.5)).collect();
+            assert!(max_dist(&o.coeffs, &expect) < 1e-10, "band {b}");
+        }
+    }
+
+    #[test]
+    fn fft_count_is_halved() {
+        assert_eq!(gamma_fft_count(128), 64);
+        assert_eq!(gamma_fft_count(7), 4);
+        assert_eq!(gamma_fft_count(1), 1);
+        assert_eq!(gamma_fft_count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be real")]
+    fn complex_g0_rejected() {
+        let (_, _, half) = setup();
+        let mut coeffs = vec![Complex64::ZERO; half.len()];
+        coeffs[0] = c64(1.0, 0.5);
+        GammaBand::new(&half, coeffs);
+    }
+}

@@ -1,0 +1,131 @@
+//! The dense FFT grid and Miller-index ↔ grid-index wrapping.
+
+use crate::cell::Cell;
+use fftx_fft::good_fft_order;
+
+/// Dimensions of the dense real-space / G-space grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftGrid {
+    /// Points along x.
+    pub nr1: usize,
+    /// Points along y.
+    pub nr2: usize,
+    /// Points along z.
+    pub nr3: usize,
+}
+
+impl FftGrid {
+    /// Builds the grid for a density cutoff `ecut_rho` (Ry) the way QE's
+    /// `realspace_grid_init` does: `nr = 2*floor(sqrt(gcut2)) + 1`, rounded
+    /// up to a good FFT order.
+    pub fn from_cutoff(cell: &Cell, ecut_rho: f64) -> Self {
+        let gmax = cell.gcut2(ecut_rho).sqrt();
+        let nr = good_fft_order(2 * gmax.floor() as usize + 1);
+        FftGrid {
+            nr1: nr,
+            nr2: nr,
+            nr3: nr,
+        }
+    }
+
+    /// Explicit dimensions (each rounded up to a good FFT order).
+    pub fn new(nr1: usize, nr2: usize, nr3: usize) -> Self {
+        FftGrid {
+            nr1: good_fft_order(nr1),
+            nr2: good_fft_order(nr2),
+            nr3: good_fft_order(nr3),
+        }
+    }
+
+    /// Total number of grid points.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.nr1 * self.nr2 * self.nr3
+    }
+
+    /// Largest Miller index representable without aliasing along each axis.
+    pub fn max_miller(&self) -> (i32, i32, i32) {
+        (
+            ((self.nr1 - 1) / 2) as i32,
+            ((self.nr2 - 1) / 2) as i32,
+            ((self.nr3 - 1) / 2) as i32,
+        )
+    }
+
+    /// Wraps a (possibly negative) Miller index onto `[0, n)`.
+    #[inline]
+    pub fn wrap(m: i32, n: usize) -> usize {
+        let n = n as i32;
+        debug_assert!(m > -n && m < n, "Miller index {m} out of grid range {n}");
+        if m >= 0 {
+            m as usize
+        } else {
+            (m + n) as usize
+        }
+    }
+
+    /// Grid indices of Miller triple `(h, k, l)`.
+    #[inline]
+    pub fn index_of(&self, h: i32, k: i32, l: i32) -> (usize, usize, usize) {
+        (
+            Self::wrap(h, self.nr1),
+            Self::wrap(k, self.nr2),
+            Self::wrap(l, self.nr3),
+        )
+    }
+
+    /// Linear index into the dense array (x fastest):
+    /// `x + nr1*(y + nr2*z)`.
+    #[inline]
+    pub fn linear(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nr1 && y < self.nr2 && z < self.nr3);
+        x + self.nr1 * (y + self.nr2 * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, DUAL};
+
+    #[test]
+    fn paper_grid_is_120_cubed() {
+        // ecutwfc = 80 Ry, dual 4, alat = 20 bohr -> sqrt(gcutm) = 56.94,
+        // 2*56+1 = 113, good order = 120 (2^3 * 3 * 5).
+        let cell = Cell::cubic(20.0);
+        let grid = FftGrid::from_cutoff(&cell, DUAL * 80.0);
+        assert_eq!(grid, FftGrid { nr1: 120, nr2: 120, nr3: 120 });
+        assert_eq!(grid.volume(), 1_728_000);
+    }
+
+    #[test]
+    fn new_rounds_to_good_orders() {
+        let g = FftGrid::new(13, 115, 8);
+        assert_eq!((g.nr1, g.nr2, g.nr3), (14, 120, 8));
+    }
+
+    #[test]
+    fn wrap_is_inverse_of_signed_index() {
+        let n = 12;
+        for m in -5i32..=5 {
+            let w = FftGrid::wrap(m, n);
+            assert!(w < n);
+            // Unwrapped: indices > n/2 map back to negatives.
+            let back = if w as i32 > (n as i32) / 2 {
+                w as i32 - n as i32
+            } else {
+                w as i32
+            };
+            assert_eq!(back, m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn index_of_and_linear() {
+        let g = FftGrid { nr1: 4, nr2: 6, nr3: 8 };
+        assert_eq!(g.index_of(0, 0, 0), (0, 0, 0));
+        assert_eq!(g.index_of(-1, 2, -3), (3, 2, 5));
+        assert_eq!(g.linear(3, 2, 5), 3 + 4 * (2 + 6 * 5));
+        assert_eq!(g.max_miller(), (1, 2, 3));
+    }
+}

@@ -1,0 +1,178 @@
+//! G-vector sphere generation. In a plane-wave DFT code the kinetic-energy
+//! cutoff restricts the wavefunction expansion to Miller triples inside a
+//! sphere — this is why the FFT domain "is shaped as a sphere rather than a
+//! 3D cube" (paper, Section II.A) and why the data must be redistributed
+//! before the parallel FFT.
+
+use crate::cell::Cell;
+use crate::grid::FftGrid;
+
+/// One plane wave: the Miller triple and its squared norm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GVector {
+    /// Miller indices.
+    pub miller: (i32, i32, i32),
+    /// `h^2 + k^2 + l^2` (kinetic energy in units of `tpiba^2` Ry).
+    pub norm2: f64,
+}
+
+/// The set of G-vectors inside a cutoff sphere, in canonical order
+/// (ascending `norm2`, ties broken by Miller triple).
+#[derive(Debug, Clone)]
+pub struct GSphere {
+    /// Squared cutoff in Miller units.
+    pub gcut2: f64,
+    /// The vectors, canonically ordered.
+    pub vectors: Vec<GVector>,
+}
+
+impl GSphere {
+    /// Enumerates all Miller triples with `|m|^2 <= gcut2` for a cutoff
+    /// `ecut` (Ry). The `grid` bounds guard against aliasing (every vector
+    /// must be representable on the grid).
+    pub fn generate(cell: &Cell, ecut_ry: f64, grid: &FftGrid) -> Self {
+        let gcut2 = cell.gcut2(ecut_ry);
+        let nmax = gcut2.sqrt().floor() as i32;
+        let (mx, my, mz) = grid.max_miller();
+        assert!(
+            nmax <= mx && nmax <= my && nmax <= mz,
+            "GSphere: cutoff sphere (radius {nmax}) exceeds the FFT grid \
+             ({mx},{my},{mz}) — use a denser grid"
+        );
+        let mut vectors = Vec::new();
+        for h in -nmax..=nmax {
+            for k in -nmax..=nmax {
+                let hk2 = (h * h + k * k) as f64;
+                if hk2 > gcut2 {
+                    continue;
+                }
+                let lmax = ((gcut2 - hk2).sqrt()).floor() as i32;
+                for l in -lmax..=lmax {
+                    let norm2 = hk2 + (l * l) as f64;
+                    vectors.push(GVector {
+                        miller: (h, k, l),
+                        norm2,
+                    });
+                }
+            }
+        }
+        vectors.sort_by(|a, b| {
+            a.norm2
+                .total_cmp(&b.norm2)
+                .then(a.miller.cmp(&b.miller))
+        });
+        GSphere { gcut2, vectors }
+    }
+
+    /// Number of plane waves (QE's `ngw` / `ngm`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when no vector is inside the cutoff (cannot happen for positive
+    /// cutoffs: G = 0 is always included).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::DUAL;
+
+    fn setup(ecut: f64, alat: f64) -> (Cell, FftGrid, GSphere) {
+        let cell = Cell::cubic(alat);
+        let grid = FftGrid::from_cutoff(&cell, DUAL * ecut);
+        let sphere = GSphere::generate(&cell, ecut, &grid);
+        (cell, grid, sphere)
+    }
+
+    #[test]
+    fn gamma_point_always_included() {
+        let (_, _, s) = setup(4.0, 6.0);
+        assert_eq!(s.vectors[0].miller, (0, 0, 0));
+        assert_eq!(s.vectors[0].norm2, 0.0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn count_matches_sphere_volume_estimate() {
+        let (cell, _, s) = setup(20.0, 10.0);
+        let r = cell.gcut2(20.0).sqrt();
+        let estimate = 4.0 / 3.0 * std::f64::consts::PI * r.powi(3);
+        let ratio = s.len() as f64 / estimate;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "count {} vs estimate {estimate}",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn all_vectors_inside_cutoff_and_none_missed() {
+        let (cell, _, s) = setup(10.0, 8.0);
+        let gcut2 = cell.gcut2(10.0);
+        for v in &s.vectors {
+            let (h, k, l) = v.miller;
+            assert!(v.norm2 <= gcut2 + 1e-12);
+            assert_eq!(v.norm2, (h * h + k * k + l * l) as f64);
+        }
+        // Exhaustive recount.
+        let nmax = gcut2.sqrt().ceil() as i32 + 1;
+        let mut count = 0;
+        for h in -nmax..=nmax {
+            for k in -nmax..=nmax {
+                for l in -nmax..=nmax {
+                    if ((h * h + k * k + l * l) as f64) <= gcut2 {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, s.len());
+    }
+
+    #[test]
+    fn inversion_symmetric() {
+        let (_, _, s) = setup(12.0, 7.0);
+        use std::collections::HashSet;
+        let set: HashSet<(i32, i32, i32)> = s.vectors.iter().map(|v| v.miller).collect();
+        for v in &s.vectors {
+            let (h, k, l) = v.miller;
+            assert!(set.contains(&(-h, -k, -l)));
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_by_norm_then_miller() {
+        let (_, _, s) = setup(9.0, 9.0);
+        for w in s.vectors.windows(2) {
+            assert!(
+                w[0].norm2 < w[1].norm2
+                    || (w[0].norm2 == w[1].norm2 && w[0].miller < w[1].miller)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        // ecut 80 Ry, alat 20 bohr: ~96-97k wavefunction G-vectors.
+        let (_, _, s) = setup(80.0, 20.0);
+        assert!(
+            (90_000..105_000).contains(&s.len()),
+            "ngw = {} out of expected band",
+            s.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the FFT grid")]
+    fn aliasing_grid_rejected() {
+        let cell = Cell::cubic(10.0);
+        let tiny = FftGrid::new(4, 4, 4);
+        GSphere::generate(&cell, 50.0, &tiny);
+    }
+}

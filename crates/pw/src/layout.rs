@@ -1,0 +1,292 @@
+//! The two-layer distributed data layout with FFT task groups.
+//!
+//! P = R × T ranks. Rank `r = g*T + i` belongs to *task group* `g`
+//! (T neighbouring ranks — the pack/unpack `MPI_Alltoallv` family, "R
+//! sub-communicators with T ranks each") and to *scatter family* `i`
+//! (R ranks strided by T — the scatter `MPI_Alltoall` family, "T
+//! sub-communicators with R ranks each", the paper's "1, 9, 17, …").
+//!
+//! Data placement:
+//! * wavefunction sticks are balance-distributed over all P ranks
+//!   (share `W_r` per rank);
+//! * iteration k processes bands `kT .. (k+1)T`; the *pack* inside task
+//!   group g sends each member's share of band `kT+i` to member i, so rank
+//!   `g*T+i` ends up with band `kT+i` on the group's stick union
+//!   `U_g = ∪_j W_{g*T+j}`;
+//! * the scatter family i jointly holds all sticks of band `kT+i`
+//!   (`∪_g U_g` = everything) and transposes them into z-plane slabs:
+//!   all ranks of task group g own the plane range `P_g`.
+//!
+//! T = 1 makes the pack local and the scatter span all P ranks; T = P makes
+//! the scatter local and the pack span all P ranks — the two extremes of
+//! Section II of the paper.
+
+use crate::grid::FftGrid;
+use crate::sticks::{StickDist, StickSet};
+
+/// The complete distributed layout for one (grid, sphere, R×T) choice.
+/// Construction is deterministic, so every rank computes an identical copy
+/// without communication.
+#[derive(Debug, Clone)]
+pub struct TaskGroupLayout {
+    /// Dense grid dimensions.
+    pub grid: FftGrid,
+    /// Stick set of the wavefunction sphere.
+    pub set: StickSet,
+    /// Stick distribution over all P ranks.
+    pub dist: StickDist,
+    /// Scatter-family size (ranks sharing one band's FFT).
+    pub r: usize,
+    /// Task-group size == number of bands per outer iteration (QE's `ntg`).
+    pub t: usize,
+    /// Per task group g: stick ids of `U_g`, ordered member-major
+    /// (member 0's sticks ascending, then member 1's, …).
+    pub group_sticks: Vec<Vec<usize>>,
+    /// Per task group g: owned z-plane range `[z0, z1)`.
+    pub plane_range: Vec<(usize, usize)>,
+}
+
+impl TaskGroupLayout {
+    /// Builds the layout for `r * t` ranks.
+    pub fn new(grid: FftGrid, set: StickSet, r: usize, t: usize) -> Self {
+        assert!(r > 0 && t > 0, "TaskGroupLayout: r and t must be positive");
+        let p = r * t;
+        let dist = StickDist::balance(&set, p);
+        let group_sticks: Vec<Vec<usize>> = (0..r)
+            .map(|g| {
+                let mut sticks = Vec::new();
+                for j in 0..t {
+                    sticks.extend_from_slice(&dist.per_rank[g * t + j]);
+                }
+                sticks
+            })
+            .collect();
+        let base = grid.nr3 / r;
+        let extra = grid.nr3 % r;
+        let mut plane_range = Vec::with_capacity(r);
+        let mut z0 = 0;
+        for g in 0..r {
+            let npp = base + usize::from(g < extra);
+            plane_range.push((z0, z0 + npp));
+            z0 += npp;
+        }
+        debug_assert_eq!(z0, grid.nr3);
+        TaskGroupLayout {
+            grid,
+            set,
+            dist,
+            r,
+            t,
+            group_sticks,
+            plane_range,
+        }
+    }
+
+    /// Total number of ranks P = R × T.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.r * self.t
+    }
+
+    /// Task group of a rank (`rank / T`).
+    #[inline]
+    pub fn task_group_of(&self, rank: usize) -> usize {
+        rank / self.t
+    }
+
+    /// Position of a rank inside its task group (`rank % T`) — also its
+    /// scatter-family index.
+    #[inline]
+    pub fn member_of(&self, rank: usize) -> usize {
+        rank % self.t
+    }
+
+    /// Plane waves owned by `rank` (its share `W_r`).
+    #[inline]
+    pub fn ngw_rank(&self, rank: usize) -> usize {
+        self.dist.ngw_per_rank[rank]
+    }
+
+    /// Number of sticks in `U_g`.
+    #[inline]
+    pub fn nst_group(&self, g: usize) -> usize {
+        self.group_sticks[g].len()
+    }
+
+    /// Number of z planes owned by task group `g`.
+    #[inline]
+    pub fn npp(&self, g: usize) -> usize {
+        let (z0, z1) = self.plane_range[g];
+        z1 - z0
+    }
+
+    /// Maximum `nst_group` over groups (padding unit of the scatter).
+    pub fn max_nst_group(&self) -> usize {
+        (0..self.r).map(|g| self.nst_group(g)).max().unwrap_or(0)
+    }
+
+    /// Maximum `npp` over groups (padding unit of the scatter).
+    pub fn max_npp(&self) -> usize {
+        (0..self.r).map(|g| self.npp(g)).max().unwrap_or(0)
+    }
+
+    /// Offset of member `j`'s sticks inside the member-major `U_g` ordering.
+    pub fn group_stick_offset(&self, g: usize, j: usize) -> usize {
+        (0..j)
+            .map(|jj| self.dist.per_rank[g * self.t + jj].len())
+            .sum()
+    }
+
+    /// Plane waves in `U_g` (the coefficient count a rank holds after pack).
+    pub fn ngw_group(&self, g: usize) -> usize {
+        (0..self.t).map(|j| self.ngw_rank(g * self.t + j)).sum()
+    }
+
+    /// Bytes one rank contributes to the pack `MPI_Alltoallv` per iteration
+    /// (its whole share, once per destination band).
+    pub fn pack_bytes(&self, rank: usize) -> usize {
+        self.ngw_rank(rank) * std::mem::size_of::<fftx_fft::Complex64>() * self.t
+    }
+
+    /// Bytes one rank contributes to the (padded) scatter `MPI_Alltoall`
+    /// per direction: R chunks of `max_nst × max_npp` complex values.
+    pub fn scatter_bytes(&self) -> usize {
+        self.r
+            * self.max_nst_group()
+            * self.max_npp()
+            * std::mem::size_of::<fftx_fft::Complex64>()
+    }
+
+    /// Sanity-checks all structural invariants (used by tests and on
+    /// construction in debug builds).
+    pub fn validate(&self) {
+        assert_eq!(self.dist.nranks(), self.nranks());
+        // Every stick appears in exactly one group, and groups partition
+        // the stick set.
+        let mut seen = vec![false; self.set.nst()];
+        for g in 0..self.r {
+            for &s in &self.group_sticks[g] {
+                assert!(!seen[s], "stick {s} in two groups");
+                seen[s] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b), "stick missing from groups");
+        // Plane ranges partition [0, nr3).
+        let mut z = 0;
+        for g in 0..self.r {
+            let (z0, z1) = self.plane_range[g];
+            assert_eq!(z0, z);
+            assert!(z1 >= z0);
+            z = z1;
+        }
+        assert_eq!(z, self.grid.nr3);
+        // Member-major group ordering is consistent with offsets.
+        for g in 0..self.r {
+            for j in 0..self.t {
+                let off = self.group_stick_offset(g, j);
+                let mine = &self.dist.per_rank[g * self.t + j];
+                assert_eq!(
+                    &self.group_sticks[g][off..off + mine.len()],
+                    mine.as_slice()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, DUAL};
+    use crate::gvec::GSphere;
+
+    fn layout(ecut: f64, alat: f64, r: usize, t: usize) -> TaskGroupLayout {
+        let cell = Cell::cubic(alat);
+        let grid = FftGrid::from_cutoff(&cell, DUAL * ecut);
+        let sphere = GSphere::generate(&cell, ecut, &grid);
+        let set = StickSet::build(&sphere, &grid);
+        TaskGroupLayout::new(grid, set, r, t)
+    }
+
+    #[test]
+    fn invariants_hold_across_shapes() {
+        for (r, t) in [(1, 1), (4, 1), (1, 4), (2, 3), (4, 2), (3, 4)] {
+            let l = layout(8.0, 8.0, r, t);
+            l.validate();
+            assert_eq!(l.nranks(), r * t);
+        }
+    }
+
+    #[test]
+    fn group_union_has_all_coefficients() {
+        let l = layout(10.0, 9.0, 3, 2);
+        let total: usize = (0..l.r).map(|g| l.ngw_group(g)).sum();
+        assert_eq!(total, l.set.ngw);
+        for g in 0..l.r {
+            let by_sticks: usize = l.group_sticks[g]
+                .iter()
+                .map(|&s| l.set.sticks[s].len())
+                .sum();
+            assert_eq!(by_sticks, l.ngw_group(g));
+        }
+    }
+
+    #[test]
+    fn rank_group_and_member_arithmetic() {
+        let l = layout(6.0, 7.0, 3, 4);
+        for rank in 0..12 {
+            assert_eq!(l.task_group_of(rank), rank / 4);
+            assert_eq!(l.member_of(rank), rank % 4);
+        }
+    }
+
+    #[test]
+    fn plane_ranges_balanced() {
+        let l = layout(8.0, 8.0, 7, 1);
+        let max = (0..7).map(|g| l.npp(g)).max().unwrap();
+        let min = (0..7).map(|g| l.npp(g)).min().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!((0..7).map(|g| l.npp(g)).sum::<usize>(), l.grid.nr3);
+        assert_eq!(l.max_npp(), max);
+    }
+
+    #[test]
+    fn extremes_match_paper_description() {
+        // T = 1: every group has exactly one rank's sticks; scatter spans P.
+        let l1 = layout(8.0, 8.0, 4, 1);
+        for g in 0..4 {
+            assert_eq!(l1.group_sticks[g], l1.dist.per_rank[g]);
+        }
+        // T = P: single group holding everything; scatter family size 1.
+        let l2 = layout(8.0, 8.0, 1, 4);
+        assert_eq!(l2.nst_group(0), l2.set.nst());
+        assert_eq!(l2.ngw_group(0), l2.set.ngw);
+        assert_eq!(l2.npp(0), l2.grid.nr3);
+    }
+
+    #[test]
+    fn byte_accounting_is_positive_and_scales() {
+        let l = layout(10.0, 10.0, 2, 4);
+        for rank in 0..l.nranks() {
+            assert!(l.pack_bytes(rank) >= 16 * l.ngw_rank(rank));
+        }
+        assert!(l.scatter_bytes() >= 16 * l.max_nst_group() * l.max_npp());
+        // With T = 1 there is no pack traffic beyond the local copy
+        // (one destination: itself).
+        let l1 = layout(10.0, 10.0, 8, 1);
+        for rank in 0..8 {
+            assert_eq!(l1.pack_bytes(rank), 16 * l1.ngw_rank(rank));
+        }
+    }
+
+    #[test]
+    fn more_groups_shrink_scatter_grow_pack() {
+        // Fixed P = 8: compare T=1 vs T=8.
+        let all_scatter = layout(10.0, 10.0, 8, 1);
+        let all_pack = layout(10.0, 10.0, 1, 8);
+        // T=P: scatter family has a single member -> the padded chunk covers
+        // the whole grid but goes to itself only.
+        assert_eq!(all_pack.r, 1);
+        assert!(all_pack.pack_bytes(0) > all_scatter.pack_bytes(0));
+    }
+}

@@ -1,0 +1,257 @@
+//! Sticks: the z-columns of the G-space grid that intersect the cutoff
+//! sphere, and their load-balanced distribution over ranks.
+//!
+//! Because the G-vectors fill a sphere, only ~pi/4 of the (x, y) columns
+//! carry data; the parallel 3-D FFT therefore works on *sticks* (full
+//! z-columns at occupied (x, y) positions), does the 1-D transforms along
+//! z there, and only then scatters to dense xy planes. Sticks are
+//! distributed over ranks balancing the number of plane waves per rank,
+//! exactly like QE's `sticks_map`.
+
+use crate::grid::FftGrid;
+use crate::gvec::GSphere;
+
+/// One stick: a z-column of the G-space grid inside the cutoff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stick {
+    /// Miller (h, k) of the column.
+    pub hk: (i32, i32),
+    /// Wrapped grid x index.
+    pub ix: usize,
+    /// Wrapped grid y index.
+    pub iy: usize,
+    /// Miller l values of the plane waves on this stick, ascending.
+    pub lz: Vec<i32>,
+    /// Wrapped grid z indices, parallel to `lz`.
+    pub iz: Vec<usize>,
+}
+
+impl Stick {
+    /// Number of plane waves on the stick.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lz.len()
+    }
+
+    /// True when the stick carries no plane wave (never constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lz.is_empty()
+    }
+}
+
+/// All sticks of a cutoff sphere, in canonical order (ascending
+/// `h^2 + k^2`, ties by `(h, k)`), plus the canonical coefficient layout:
+/// wavefunction coefficients are stored stick-major, z-ascending.
+#[derive(Debug, Clone)]
+pub struct StickSet {
+    /// Sticks in canonical order.
+    pub sticks: Vec<Stick>,
+    /// Coefficient offset of each stick in the canonical band layout.
+    pub offsets: Vec<usize>,
+    /// Total number of plane waves (== sphere size).
+    pub ngw: usize,
+}
+
+impl StickSet {
+    /// Groups a sphere's vectors into sticks.
+    pub fn build(sphere: &GSphere, grid: &FftGrid) -> Self {
+        use std::collections::BTreeMap;
+        let mut columns: BTreeMap<(i64, i32, i32), Vec<i32>> = BTreeMap::new();
+        for v in &sphere.vectors {
+            let (h, k, l) = v.miller;
+            let key = ((h as i64) * (h as i64) + (k as i64) * (k as i64), h, k);
+            columns.entry(key).or_default().push(l);
+        }
+        let mut sticks = Vec::with_capacity(columns.len());
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut off = 0;
+        for ((_, h, k), mut lz) in columns {
+            lz.sort_unstable();
+            let iz: Vec<usize> = lz.iter().map(|&l| FftGrid::wrap(l, grid.nr3)).collect();
+            offsets.push(off);
+            off += lz.len();
+            sticks.push(Stick {
+                hk: (h, k),
+                ix: FftGrid::wrap(h, grid.nr1),
+                iy: FftGrid::wrap(k, grid.nr2),
+                lz,
+                iz,
+            });
+        }
+        StickSet {
+            sticks,
+            offsets,
+            ngw: off,
+        }
+    }
+
+    /// Number of sticks (QE's `nst`).
+    #[inline]
+    pub fn nst(&self) -> usize {
+        self.sticks.len()
+    }
+
+    /// Coefficient range of stick `s` in the canonical band layout.
+    #[inline]
+    pub fn coeff_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.offsets[s]..self.offsets[s] + self.sticks[s].len()
+    }
+}
+
+/// A distribution of sticks over `nranks` ranks.
+#[derive(Debug, Clone)]
+pub struct StickDist {
+    /// Owner rank of each stick (canonical stick order).
+    pub owner: Vec<usize>,
+    /// Stick ids per rank, each ascending.
+    pub per_rank: Vec<Vec<usize>>,
+    /// Plane waves per rank.
+    pub ngw_per_rank: Vec<usize>,
+}
+
+impl StickDist {
+    /// Balanced distribution: sticks sorted by length descending are
+    /// assigned greedily to the rank with the fewest plane waves (ties:
+    /// fewest sticks, then lowest rank) — QE's `sticks_dist` strategy.
+    pub fn balance(set: &StickSet, nranks: usize) -> Self {
+        assert!(nranks > 0, "StickDist: need at least one rank");
+        let mut order: Vec<usize> = (0..set.nst()).collect();
+        order.sort_by_key(|&s| (std::cmp::Reverse(set.sticks[s].len()), s));
+        let mut owner = vec![0usize; set.nst()];
+        let mut per_rank: Vec<Vec<usize>> = vec![Vec::new(); nranks];
+        let mut ngw_per_rank = vec![0usize; nranks];
+        for s in order {
+            let best = (0..nranks)
+                .min_by_key(|&r| (ngw_per_rank[r], per_rank[r].len(), r))
+                .expect("nranks > 0");
+            owner[s] = best;
+            per_rank[best].push(s);
+            ngw_per_rank[best] += set.sticks[s].len();
+        }
+        for list in per_rank.iter_mut() {
+            list.sort_unstable();
+        }
+        StickDist {
+            owner,
+            per_rank,
+            ngw_per_rank,
+        }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.per_rank.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, DUAL};
+    use crate::grid::FftGrid;
+    use crate::gvec::GSphere;
+
+    fn setup(ecut: f64, alat: f64) -> (FftGrid, GSphere, StickSet) {
+        let cell = Cell::cubic(alat);
+        let grid = FftGrid::from_cutoff(&cell, DUAL * ecut);
+        let sphere = GSphere::generate(&cell, ecut, &grid);
+        let set = StickSet::build(&sphere, &grid);
+        (grid, sphere, set)
+    }
+
+    #[test]
+    fn sticks_cover_the_sphere_exactly() {
+        let (_, sphere, set) = setup(12.0, 8.0);
+        assert_eq!(set.ngw, sphere.len());
+        let total: usize = set.sticks.iter().map(|s| s.len()).sum();
+        assert_eq!(total, sphere.len());
+        // Column count is ~ pi * r^2 (disc in the hk plane).
+        let r2 = sphere.gcut2;
+        let est = std::f64::consts::PI * r2;
+        let ratio = set.nst() as f64 / est;
+        assert!((0.85..1.15).contains(&ratio), "nst={} est={est}", set.nst());
+    }
+
+    #[test]
+    fn offsets_partition_coefficients() {
+        let (_, _, set) = setup(9.0, 7.0);
+        let mut expected = 0;
+        for s in 0..set.nst() {
+            let range = set.coeff_range(s);
+            assert_eq!(range.start, expected);
+            expected = range.end;
+        }
+        assert_eq!(expected, set.ngw);
+    }
+
+    #[test]
+    fn stick_z_lists_sorted_and_wrapped() {
+        let (grid, _, set) = setup(10.0, 6.0);
+        for st in &set.sticks {
+            assert!(!st.is_empty());
+            assert!(st.lz.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(st.lz.len(), st.iz.len());
+            for (&l, &iz) in st.lz.iter().zip(&st.iz) {
+                assert_eq!(iz, FftGrid::wrap(l, grid.nr3));
+                assert!(iz < grid.nr3);
+            }
+            assert!(st.ix < grid.nr1 && st.iy < grid.nr2);
+        }
+    }
+
+    #[test]
+    fn distribution_covers_all_sticks_once() {
+        let (_, _, set) = setup(12.0, 8.0);
+        for nranks in [1, 2, 3, 7, 16] {
+            let dist = StickDist::balance(&set, nranks);
+            assert_eq!(dist.nranks(), nranks);
+            let mut seen = vec![false; set.nst()];
+            for (r, list) in dist.per_rank.iter().enumerate() {
+                for &s in list {
+                    assert!(!seen[s], "stick {s} assigned twice");
+                    seen[s] = true;
+                    assert_eq!(dist.owner[s], r);
+                }
+            }
+            assert!(seen.into_iter().all(|b| b));
+            let total: usize = dist.ngw_per_rank.iter().sum();
+            assert_eq!(total, set.ngw);
+        }
+    }
+
+    #[test]
+    fn distribution_is_balanced() {
+        let (_, _, set) = setup(16.0, 10.0);
+        let dist = StickDist::balance(&set, 8);
+        let max = *dist.ngw_per_rank.iter().max().unwrap();
+        let min = *dist.ngw_per_rank.iter().min().unwrap();
+        // Greedy balance should be within one longest stick.
+        let longest = set.sticks.iter().map(|s| s.len()).max().unwrap();
+        assert!(max - min <= longest, "max={max} min={min} longest={longest}");
+    }
+
+    #[test]
+    fn more_ranks_than_sticks_leaves_empties() {
+        let cell = Cell::cubic(4.0);
+        let grid = FftGrid::from_cutoff(&cell, DUAL * 1.0);
+        let sphere = GSphere::generate(&cell, 1.0, &grid);
+        let set = StickSet::build(&sphere, &grid);
+        let n = set.nst() + 3;
+        let dist = StickDist::balance(&set, n);
+        let empty = dist.per_rank.iter().filter(|l| l.is_empty()).count();
+        assert_eq!(empty, 3);
+    }
+
+    #[test]
+    fn gamma_stick_contains_g0() {
+        let (_, _, set) = setup(8.0, 8.0);
+        let g0 = set
+            .sticks
+            .iter()
+            .find(|s| s.hk == (0, 0))
+            .expect("gamma stick exists");
+        assert!(g0.lz.contains(&0));
+    }
+}

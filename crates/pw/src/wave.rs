@@ -1,0 +1,143 @@
+//! Synthetic Kohn–Sham band coefficients.
+//!
+//! The paper's benchmark applies the FFT kernel to 128 bands; the physical
+//! content of the coefficients is irrelevant to the kernel's performance and
+//! data flow, so we generate a deterministic, physically shaped spectrum:
+//! random phases with amplitudes decaying as `1 / (1 + |G|^2)`, the typical
+//! falloff of smooth wavefunctions. Coefficients are stored in the canonical
+//! stick-major order of [`crate::sticks::StickSet`].
+
+use crate::sticks::{StickDist, StickSet};
+use fftx_fft::{c64, Complex64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the canonical coefficient vector of one band.
+pub fn generate_band(set: &StickSet, band: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (band as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut coeffs = vec![Complex64::ZERO; set.ngw];
+    for (s, stick) in set.sticks.iter().enumerate() {
+        let base = set.offsets[s];
+        let (h, k) = stick.hk;
+        let hk2 = (h * h + k * k) as f64;
+        for (idx, &l) in stick.lz.iter().enumerate() {
+            let norm2 = hk2 + (l * l) as f64;
+            let amp = 1.0 / (1.0 + norm2);
+            let re: f64 = rng.gen_range(-1.0..1.0);
+            let im: f64 = rng.gen_range(-1.0..1.0);
+            coeffs[base + idx] = c64(re, im).scale(amp);
+        }
+    }
+    coeffs
+}
+
+/// Generates `nbnd` bands.
+pub fn generate_bands(set: &StickSet, nbnd: usize, seed: u64) -> Vec<Vec<Complex64>> {
+    (0..nbnd).map(|b| generate_band(set, b, seed)).collect()
+}
+
+/// Extracts rank `rank`'s share of a canonical band vector: the slices of
+/// its sticks, concatenated in ascending stick order.
+pub fn extract_share(set: &StickSet, dist: &StickDist, rank: usize, band: &[Complex64]) -> Vec<Complex64> {
+    assert_eq!(band.len(), set.ngw, "extract_share: band length mismatch");
+    let mut out = Vec::with_capacity(dist.ngw_per_rank[rank]);
+    for &s in &dist.per_rank[rank] {
+        out.extend_from_slice(&band[set.coeff_range(s)]);
+    }
+    out
+}
+
+/// Reassembles a canonical band vector from all per-rank shares (inverse of
+/// [`extract_share`] applied to every rank).
+pub fn assemble_shares(set: &StickSet, dist: &StickDist, shares: &[Vec<Complex64>]) -> Vec<Complex64> {
+    assert_eq!(shares.len(), dist.nranks(), "assemble_shares: rank count");
+    let mut out = vec![Complex64::ZERO; set.ngw];
+    for (rank, share) in shares.iter().enumerate() {
+        let mut off = 0;
+        for &s in &dist.per_rank[rank] {
+            let range = set.coeff_range(s);
+            let len = range.len();
+            out[range].copy_from_slice(&share[off..off + len]);
+            off += len;
+        }
+        assert_eq!(off, share.len(), "assemble_shares: share {rank} length");
+    }
+    out
+}
+
+/// Norm-squared of a coefficient vector (plane-wave "charge").
+pub fn band_norm2(band: &[Complex64]) -> f64 {
+    band.iter().map(|c| c.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, DUAL};
+    use crate::grid::FftGrid;
+    use crate::gvec::GSphere;
+
+    fn setup() -> (StickSet, StickDist) {
+        let cell = Cell::cubic(8.0);
+        let grid = FftGrid::from_cutoff(&cell, DUAL * 8.0);
+        let sphere = GSphere::generate(&cell, 8.0, &grid);
+        let set = StickSet::build(&sphere, &grid);
+        let dist = StickDist::balance(&set, 4);
+        (set, dist)
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_band_and_seed() {
+        let (set, _) = setup();
+        let a = generate_band(&set, 3, 42);
+        let b = generate_band(&set, 3, 42);
+        assert_eq!(a, b);
+        let c = generate_band(&set, 4, 42);
+        assert_ne!(a, c);
+        let d = generate_band(&set, 3, 43);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn amplitudes_decay_with_norm() {
+        let (set, _) = setup();
+        let band = generate_band(&set, 0, 7);
+        // G = 0 coefficient has amplitude scale 1; find a high-|G| stick.
+        let (far_s, far) = set
+            .sticks
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.hk.0 * s.hk.0 + s.hk.1 * s.hk.1)
+            .unwrap();
+        let hk2 = (far.hk.0 * far.hk.0 + far.hk.1 * far.hk.1) as f64;
+        let idx = set.offsets[far_s];
+        assert!(band[idx].abs() <= 2.0_f64.sqrt() / (1.0 + hk2) + 1e-12);
+    }
+
+    #[test]
+    fn share_extract_assemble_roundtrip() {
+        let (set, dist) = setup();
+        let band = generate_band(&set, 1, 99);
+        let shares: Vec<Vec<Complex64>> = (0..dist.nranks())
+            .map(|r| extract_share(&set, &dist, r, &band))
+            .collect();
+        let total: usize = shares.iter().map(|s| s.len()).sum();
+        assert_eq!(total, set.ngw);
+        for (r, s) in shares.iter().enumerate() {
+            assert_eq!(s.len(), dist.ngw_per_rank[r]);
+        }
+        let back = assemble_shares(&set, &dist, &shares);
+        assert_eq!(back, band);
+    }
+
+    #[test]
+    fn generate_bands_count() {
+        let (set, _) = setup();
+        let bands = generate_bands(&set, 5, 1);
+        assert_eq!(bands.len(), 5);
+        for b in &bands {
+            assert_eq!(b.len(), set.ngw);
+            assert!(band_norm2(b) > 0.0);
+        }
+    }
+}

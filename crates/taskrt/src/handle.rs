@@ -1,0 +1,308 @@
+//! Data regions and dependency declarations — the `in`/`out`/`inout`
+//! clauses of OmpSs's `task` construct.
+//!
+//! [`Shared<T>`] is the storage a task operates on. Access goes through
+//! runtime-checked read/write guards: the dependency graph is what
+//! *schedules* conflicting tasks apart; the guards *verify* the annotations
+//! were right (a wrong `in` where `inout` was needed panics instead of
+//! racing, which is how we keep the `unsafe` sound).
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_HANDLE: AtomicU64 = AtomicU64::new(1);
+
+/// Identifier of a data region, used by the dependency tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle(pub u64);
+
+/// Access mode of a task on a data region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Read-only (`in` clause): orders after the region's last writer.
+    In,
+    /// Write-only (`out` clause): orders after the last writer and all
+    /// readers since (anti-dependency).
+    Out,
+    /// Read-write (`inout` clause): same ordering as `Out`.
+    InOut,
+}
+
+impl Access {
+    /// True when the access writes the region.
+    pub fn writes(self) -> bool {
+        matches!(self, Access::Out | Access::InOut)
+    }
+}
+
+/// One dependency declaration of a task.
+#[derive(Debug, Clone, Copy)]
+pub struct Dep {
+    /// Region.
+    pub handle: Handle,
+    /// Mode.
+    pub access: Access,
+}
+
+struct SharedInner<T: ?Sized> {
+    /// `> 0`: number of readers; `-1`: one writer; `0`: free.
+    state: AtomicI64,
+    handle: Handle,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: access to `cell` is mediated by the atomic `state` protocol below
+// (multiple readers xor one writer); a protocol violation panics before any
+// aliasing access is handed out.
+unsafe impl<T: ?Sized + Send> Send for SharedInner<T> {}
+unsafe impl<T: ?Sized + Send> Sync for SharedInner<T> {}
+
+/// A task-shared data region with runtime-verified reader/writer discipline.
+pub struct Shared<T> {
+    inner: Arc<SharedInner<T>>,
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Shared<T> {
+    /// Wraps `value` in a new region with a fresh handle.
+    pub fn new(value: T) -> Self {
+        Shared {
+            inner: Arc::new(SharedInner {
+                state: AtomicI64::new(0),
+                handle: Handle(NEXT_HANDLE.fetch_add(1, Ordering::Relaxed)),
+                cell: UnsafeCell::new(value),
+            }),
+        }
+    }
+
+    /// The region's dependency handle.
+    pub fn handle(&self) -> Handle {
+        self.inner.handle
+    }
+
+    /// `in` dependency on this region.
+    pub fn dep_in(&self) -> Dep {
+        Dep {
+            handle: self.handle(),
+            access: Access::In,
+        }
+    }
+
+    /// `out` dependency on this region.
+    pub fn dep_out(&self) -> Dep {
+        Dep {
+            handle: self.handle(),
+            access: Access::Out,
+        }
+    }
+
+    /// `inout` dependency on this region.
+    pub fn dep_inout(&self) -> Dep {
+        Dep {
+            handle: self.handle(),
+            access: Access::InOut,
+        }
+    }
+
+    /// Acquires shared read access.
+    ///
+    /// # Panics
+    /// Panics if a writer currently holds the region — that means a task's
+    /// dependency annotations were wrong.
+    pub fn read(&self) -> ReadGuard<'_, T> {
+        let mut cur = self.inner.state.load(Ordering::Acquire);
+        loop {
+            assert!(
+                cur >= 0,
+                "Shared: read while a writer is active — missing in/inout dependency \
+                 (handle {:?})",
+                self.inner.handle
+            );
+            match self.inner.state.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        ReadGuard { shared: self }
+    }
+
+    /// Acquires exclusive write access.
+    ///
+    /// # Panics
+    /// Panics if any reader or writer holds the region.
+    pub fn write(&self) -> WriteGuard<'_, T> {
+        let prev =
+            self.inner
+                .state
+                .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Acquire);
+        assert!(
+            prev.is_ok(),
+            "Shared: write while {} active — missing out/inout dependency (handle {:?})",
+            match prev {
+                Err(n) if n > 0 => "readers are",
+                _ => "a writer is",
+            },
+            self.inner.handle
+        );
+        WriteGuard { shared: self }
+    }
+
+    /// Consumes the region and returns the inner value if this is the last
+    /// clone; otherwise returns `Err(self)`.
+    pub fn try_unwrap(self) -> Result<T, Self> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.cell.into_inner()),
+            Err(inner) => Err(Shared { inner }),
+        }
+    }
+}
+
+/// Shared read guard; derefs to `&T`.
+pub struct ReadGuard<'a, T> {
+    shared: &'a Shared<T>,
+}
+
+impl<T> Deref for ReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: state > 0 guarantees no writer exists.
+        unsafe { &*self.shared.inner.cell.get() }
+    }
+}
+
+impl<T> Drop for ReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.shared.inner.state.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Exclusive write guard; derefs to `&mut T`.
+pub struct WriteGuard<'a, T> {
+    shared: &'a Shared<T>,
+}
+
+impl<T> Deref for WriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: state == -1 guarantees exclusivity.
+        unsafe { &*self.shared.inner.cell.get() }
+    }
+}
+
+impl<T> DerefMut for WriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: state == -1 guarantees exclusivity.
+        unsafe { &mut *self.shared.inner.cell.get() }
+    }
+}
+
+impl<T> Drop for WriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.shared.inner.state.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_unique() {
+        let a = Shared::new(0u32);
+        let b = Shared::new(0u32);
+        assert_ne!(a.handle(), b.handle());
+        assert_eq!(a.handle(), a.clone().handle());
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let s = Shared::new(vec![1, 2, 3]);
+        {
+            let mut w = s.write();
+            w.push(4);
+        }
+        let r = s.read();
+        assert_eq!(*r, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multiple_readers_allowed() {
+        let s = Shared::new(5u64);
+        let r1 = s.read();
+        let r2 = s.read();
+        assert_eq!(*r1 + *r2, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing out/inout dependency")]
+    fn write_under_reader_panics() {
+        let s = Shared::new(0u8);
+        let _r = s.read();
+        let _w = s.write();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing in/inout dependency")]
+    fn read_under_writer_panics() {
+        let s = Shared::new(0u8);
+        let _w = s.write();
+        let _r = s.read();
+    }
+
+    #[test]
+    fn guards_release_on_drop() {
+        let s = Shared::new(0u8);
+        drop(s.write());
+        drop(s.read());
+        drop(s.write());
+    }
+
+    #[test]
+    fn dep_constructors() {
+        let s = Shared::new(());
+        assert_eq!(s.dep_in().access, Access::In);
+        assert_eq!(s.dep_out().access, Access::Out);
+        assert_eq!(s.dep_inout().access, Access::InOut);
+        assert!(Access::Out.writes() && Access::InOut.writes() && !Access::In.writes());
+        assert_eq!(s.dep_in().handle, s.handle());
+    }
+
+    #[test]
+    fn try_unwrap_returns_value_when_unique() {
+        let s = Shared::new(7i32);
+        assert_eq!(s.try_unwrap().ok(), Some(7));
+        let s = Shared::new(7i32);
+        let s2 = s.clone();
+        assert!(s.try_unwrap().is_err());
+        assert_eq!(*s2.read(), 7);
+    }
+
+    #[test]
+    fn concurrent_readers_from_threads() {
+        let s = Shared::new(42u64);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        assert_eq!(*s.read(), 42);
+                    }
+                });
+            }
+        });
+    }
+}

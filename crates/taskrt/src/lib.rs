@@ -1,0 +1,20 @@
+//! # fftx-taskrt
+//!
+//! A task-based runtime in the style of OmpSs/Nanos++: tasks declare
+//! `in`/`out`/`inout` dependencies on data regions, the runtime builds the
+//! dependency graph dynamically and dispatches ready tasks FIFO onto a
+//! worker-thread pool. This is the programming-model substrate for the two
+//! optimisation strategies of the paper (task-per-step with flow
+//! dependencies, and task-per-FFT with independent tasks).
+//!
+//! * [`handle::Shared`] — a data region with runtime-verified reader/writer
+//!   discipline (wrong dependency annotations panic instead of racing);
+//! * [`runtime::Runtime`] — the scheduler: `spawn`, `taskloop`, `taskwait`.
+
+#![warn(missing_docs)]
+
+pub mod handle;
+pub mod runtime;
+
+pub use handle::{Access, Dep, Handle, Shared};
+pub use runtime::{Runtime, RuntimeBuilder};

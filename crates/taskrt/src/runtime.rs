@@ -1,0 +1,514 @@
+//! The task scheduler — the Nanos++ role: dynamic dependency resolution and
+//! FIFO dispatch onto a worker-thread pool.
+//!
+//! Tasks are submitted with a list of [`Dep`]s; the runtime builds the
+//! dependency graph on the fly (flow, anti and output dependencies, exactly
+//! the OmpSs rules) and runs every task whose predecessors have finished on
+//! the first free worker. FIFO order is load-bearing: together with
+//! identical task-creation order on every rank it gives the deadlock-freedom
+//! argument for blocking collectives inside tasks (see `fftx-vmpi`).
+
+use crate::handle::{Dep, Handle};
+use fftx_trace::{set_current_thread, Lane, TaskRecord, TraceSink, WallClock};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type TaskClosure = Box<dyn FnOnce() + Send>;
+
+struct TaskState {
+    label: String,
+    priority: u64,
+    closure: Option<TaskClosure>,
+    /// Unfinished predecessors.
+    pending: usize,
+    /// Tasks to release when this one finishes.
+    successors: Vec<u64>,
+    t_created: f64,
+}
+
+#[derive(Default)]
+struct HandleState {
+    last_writer: Option<u64>,
+    readers_since_write: Vec<u64>,
+}
+
+#[derive(Default)]
+struct Sched {
+    tasks: HashMap<u64, TaskState>,
+    /// Min-heap on (priority, id): lowest priority value runs first; ties
+    /// resolve to creation order, so the default (priority == id) is FIFO.
+    ready: BinaryHeap<Reverse<(u64, u64)>>,
+    handles: HashMap<Handle, HandleState>,
+    next_id: u64,
+    unfinished: usize,
+    shutdown: bool,
+    /// First panic payload captured from a task.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Inner {
+    sched: Mutex<Sched>,
+    cv_ready: Condvar,
+    cv_done: Condvar,
+    trace: Option<TraceSink>,
+    clock: WallClock,
+    rank: usize,
+}
+
+/// Builder for [`Runtime`].
+pub struct RuntimeBuilder {
+    nthreads: usize,
+    trace: Option<TraceSink>,
+    clock: WallClock,
+    rank: usize,
+}
+
+impl RuntimeBuilder {
+    /// Attaches a trace sink; task lifecycles are recorded into it.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Uses an external clock (e.g. the vmpi world clock) for timestamps.
+    pub fn clock(mut self, clock: WallClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the rank recorded in trace lanes (default 0).
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Starts the worker pool.
+    pub fn build(self) -> Runtime {
+        let inner = Arc::new(Inner {
+            sched: Mutex::new(Sched::default()),
+            cv_ready: Condvar::new(),
+            cv_done: Condvar::new(),
+            trace: self.trace,
+            clock: self.clock,
+            rank: self.rank,
+        });
+        let workers = (0..self.nthreads)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("taskrt-r{}w{}", self.rank, w))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Runtime { inner, workers }
+    }
+}
+
+/// A per-rank task runtime with `nthreads` workers.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Builder with `nthreads` worker threads.
+    pub fn builder(nthreads: usize) -> RuntimeBuilder {
+        assert!(nthreads > 0, "Runtime: need at least one worker");
+        RuntimeBuilder {
+            nthreads,
+            trace: None,
+            clock: WallClock::new(),
+            rank: 0,
+        }
+    }
+
+    /// Convenience: a plain runtime with `nthreads` workers.
+    pub fn new(nthreads: usize) -> Runtime {
+        Self::builder(nthreads).build()
+    }
+
+    /// Number of worker threads.
+    pub fn nthreads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a task. `deps` declare the regions it touches; the runtime
+    /// orders it after every conflicting earlier task (flow/anti/output
+    /// dependencies) and otherwise runs it as soon as a worker is free.
+    pub fn spawn<F>(&self, label: &str, deps: &[Dep], body: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.spawn_prio(label, None, deps, body)
+    }
+
+    /// Like [`Runtime::spawn`] with an explicit scheduling priority (lower
+    /// runs first; equal priorities run in creation order). The miniapp
+    /// gives every task of band `b` priority `b`, which makes every rank
+    /// drain bands in the same order — the invariant behind the
+    /// deadlock-freedom argument for blocking collectives inside tasks.
+    pub fn spawn_prio<F>(&self, label: &str, priority: Option<u64>, deps: &[Dep], body: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let t_created = self.inner.clock.now();
+        let mut sched = self.inner.sched.lock();
+        assert!(!sched.shutdown, "Runtime: spawn after shutdown");
+        let id = sched.next_id;
+        let priority = priority.unwrap_or(id);
+        sched.next_id += 1;
+        sched.unfinished += 1;
+
+        // Dependency edges per the OmpSs rules.
+        let mut pending = 0;
+        let predecessor_of = |sched: &mut Sched, pred: u64, id: u64, pending: &mut usize| {
+            if let Some(t) = sched.tasks.get_mut(&pred) {
+                if !t.successors.contains(&id) {
+                    t.successors.push(id);
+                    *pending += 1;
+                }
+            }
+        };
+        for dep in deps {
+            // Collect predecessor ids first to appease the borrow checker.
+            let (writer, readers): (Option<u64>, Vec<u64>) = {
+                let hs = sched.handles.entry(dep.handle).or_default();
+                (hs.last_writer, hs.readers_since_write.clone())
+            };
+            if dep.access.writes() {
+                if let Some(w) = writer {
+                    predecessor_of(&mut sched, w, id, &mut pending);
+                }
+                for r in readers {
+                    if r != id {
+                        predecessor_of(&mut sched, r, id, &mut pending);
+                    }
+                }
+                let hs = sched.handles.get_mut(&dep.handle).expect("handle present");
+                hs.last_writer = Some(id);
+                hs.readers_since_write.clear();
+            } else {
+                if let Some(w) = writer {
+                    predecessor_of(&mut sched, w, id, &mut pending);
+                }
+                let hs = sched.handles.get_mut(&dep.handle).expect("handle present");
+                if !hs.readers_since_write.contains(&id) {
+                    hs.readers_since_write.push(id);
+                }
+            }
+        }
+
+        sched.tasks.insert(
+            id,
+            TaskState {
+                label: label.to_string(),
+                priority,
+                closure: Some(Box::new(body)),
+                pending,
+                successors: Vec::new(),
+                t_created,
+            },
+        );
+        if pending == 0 {
+            sched.ready.push(Reverse((priority, id)));
+            drop(sched);
+            self.inner.cv_ready.notify_one();
+        }
+    }
+
+    /// OmpSs `taskloop`: splits `range` into chunks of `grain` iterations
+    /// and submits one dependency-free task per chunk.
+    pub fn taskloop<F>(&self, label: &str, range: std::ops::Range<usize>, grain: usize, body: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Send + Sync + 'static,
+    {
+        assert!(grain > 0, "taskloop: grain must be positive");
+        let body = Arc::new(body);
+        let mut start = range.start;
+        let mut chunk_idx = 0;
+        while start < range.end {
+            let end = (start + grain).min(range.end);
+            let body = Arc::clone(&body);
+            self.spawn(&format!("{label}[{chunk_idx}]"), &[], move || body(start..end));
+            start = end;
+            chunk_idx += 1;
+        }
+    }
+
+    /// Blocks until every task submitted so far has finished (`taskwait`).
+    /// Re-raises the first panic that occurred in any task.
+    pub fn taskwait(&self) {
+        let mut sched = self.inner.sched.lock();
+        while sched.unfinished > 0 && sched.panic.is_none() {
+            self.inner.cv_done.wait(&mut sched);
+        }
+        if let Some(p) = sched.panic.take() {
+            drop(sched);
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    /// Stops the workers after draining outstanding work.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        {
+            let mut sched = self.inner.sched.lock();
+            sched.shutdown = true;
+        }
+        self.inner.cv_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, worker_idx: usize) {
+    set_current_thread(worker_idx);
+    loop {
+        let (id, closure, label, t_created) = {
+            let mut sched = inner.sched.lock();
+            loop {
+                if let Some(Reverse((_prio, id))) = sched.ready.pop() {
+                    let t = sched.tasks.get_mut(&id).expect("ready task exists");
+                    let closure = t.closure.take().expect("task not yet run");
+                    break (id, closure, t.label.clone(), t.t_created);
+                }
+                if sched.shutdown {
+                    return;
+                }
+                inner.cv_ready.wait(&mut sched);
+            }
+        };
+
+        let t_start = inner.clock.now();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(closure));
+        let t_end = inner.clock.now();
+
+        if let Some(sink) = &inner.trace {
+            sink.task(TaskRecord {
+                lane: Lane::new(inner.rank, worker_idx),
+                task_id: id,
+                label,
+                t_created,
+                t_start,
+                t_end,
+            });
+        }
+
+        let mut sched = inner.sched.lock();
+        if let Err(p) = result {
+            if sched.panic.is_none() {
+                sched.panic = Some(p);
+            }
+        }
+        let task = sched.tasks.remove(&id).expect("task exists");
+        let mut woke = 0;
+        for succ in task.successors {
+            if let Some(s) = sched.tasks.get_mut(&succ) {
+                s.pending -= 1;
+                if s.pending == 0 {
+                    let p = s.priority;
+                    sched.ready.push(Reverse((p, succ)));
+                    woke += 1;
+                }
+            }
+        }
+        sched.unfinished -= 1;
+        let done = sched.unfinished == 0 || sched.panic.is_some();
+        drop(sched);
+        for _ in 0..woke {
+            inner.cv_ready.notify_one();
+        }
+        if done {
+            inner.cv_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::Shared;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_independent_tasks() {
+        let rt = Runtime::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            rt.spawn("inc", &[], move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.taskwait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn flow_dependency_orders_tasks() {
+        let rt = Runtime::new(4);
+        let data = Shared::new(Vec::<u32>::new());
+        for i in 0..50u32 {
+            let d = data.clone();
+            rt.spawn("append", &[data.dep_inout()], move || {
+                d.write().push(i);
+            });
+        }
+        rt.taskwait();
+        assert_eq!(*data.read(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn readers_run_concurrently_between_writers() {
+        let rt = Runtime::new(4);
+        let data = Shared::new(1u64);
+        let sum = Shared::new(0u64);
+        let d = data.clone();
+        rt.spawn("write", &[data.dep_out()], move || {
+            *d.write() = 10;
+        });
+        for _ in 0..8 {
+            let d = data.clone();
+            let s = sum.clone();
+            rt.spawn("read", &[data.dep_in(), sum.dep_inout()], move || {
+                let v = *d.read();
+                *s.write() += v;
+            });
+        }
+        let d = data.clone();
+        rt.spawn("write2", &[data.dep_out()], move || {
+            *d.write() = 99;
+        });
+        rt.taskwait();
+        // All 8 readers must have seen 10 (after write, before write2).
+        assert_eq!(*sum.read(), 80);
+        assert_eq!(*data.read(), 99);
+    }
+
+    #[test]
+    fn taskwait_then_more_tasks() {
+        let rt = Runtime::new(2);
+        let c = Arc::new(AtomicUsize::new(0));
+        let c1 = Arc::clone(&c);
+        rt.spawn("a", &[], move || {
+            c1.fetch_add(1, Ordering::Relaxed);
+        });
+        rt.taskwait();
+        assert_eq!(c.load(Ordering::Relaxed), 1);
+        let c2 = Arc::clone(&c);
+        rt.spawn("b", &[], move || {
+            c2.fetch_add(10, Ordering::Relaxed);
+        });
+        rt.taskwait();
+        assert_eq!(c.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn taskloop_covers_range_in_grains() {
+        let rt = Runtime::new(4);
+        let hits = Arc::new(Mutex::new(vec![0u32; 103]));
+        let h = Arc::clone(&hits);
+        rt.taskloop("loop", 0..103, 10, move |r| {
+            let mut g = h.lock();
+            for i in r {
+                g[i] += 1;
+            }
+        });
+        rt.taskwait();
+        assert!(hits.lock().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "task exploded")]
+    fn task_panic_reaches_taskwait() {
+        let rt = Runtime::new(2);
+        rt.spawn("bad", &[], || panic!("task exploded"));
+        rt.taskwait();
+    }
+
+    #[test]
+    fn shutdown_drains_work() {
+        let rt = Runtime::new(2);
+        let c = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&c);
+            rt.spawn("t", &[], move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.taskwait();
+        rt.shutdown();
+        assert_eq!(c.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn trace_records_task_lifecycle() {
+        let sink = TraceSink::new();
+        let rt = Runtime::builder(2).trace(sink.clone()).rank(3).build();
+        rt.spawn("traced", &[], || {});
+        rt.taskwait();
+        rt.shutdown();
+        let t = sink.finish();
+        assert_eq!(t.tasks.len(), 1);
+        let rec = &t.tasks[0];
+        assert_eq!(rec.label, "traced");
+        assert_eq!(rec.lane.rank, 3);
+        assert!(rec.t_start >= rec.t_created);
+        assert!(rec.t_end >= rec.t_start);
+    }
+
+    #[test]
+    fn fifo_start_order_for_independent_tasks() {
+        // With one worker, independent tasks must start in creation order.
+        let rt = Runtime::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..20 {
+            let o = Arc::clone(&order);
+            rt.spawn("t", &[], move || o.lock().push(i));
+        }
+        rt.taskwait();
+        assert_eq!(*order.lock(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn diamond_dependency() {
+        // a -> (b, c) -> d
+        let rt = Runtime::new(4);
+        let x = Shared::new(0u64);
+        let y = Shared::new(0u64);
+        let z = Shared::new(0u64);
+        let xs = x.clone();
+        rt.spawn("a", &[x.dep_out()], move || *xs.write() = 5);
+        let (xr, yw) = (x.clone(), y.clone());
+        rt.spawn("b", &[x.dep_in(), y.dep_out()], move || {
+            *yw.write() = *xr.read() * 2
+        });
+        let (xr, zw) = (x.clone(), z.clone());
+        rt.spawn("c", &[x.dep_in(), z.dep_out()], move || {
+            *zw.write() = *xr.read() + 1
+        });
+        let (yr, zr, xw) = (y.clone(), z.clone(), x.clone());
+        rt.spawn("d", &[y.dep_in(), z.dep_in(), x.dep_inout()], move || {
+            *xw.write() = *yr.read() + *zr.read()
+        });
+        rt.taskwait();
+        assert_eq!(*x.read(), 16);
+    }
+}

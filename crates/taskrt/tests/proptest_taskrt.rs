@@ -1,0 +1,122 @@
+//! Property tests: randomly generated task graphs must respect the
+//! OmpSs dependency semantics regardless of worker count and timing.
+
+use fftx_taskrt::{Dep, Runtime, Shared};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random task spec: which of `H` handles it touches and how.
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    /// (handle index, writes?)
+    touches: Vec<(usize, bool)>,
+}
+
+fn task_spec(handles: usize) -> impl Strategy<Value = TaskSpec> {
+    proptest::collection::btree_set((0..handles, any::<bool>()), 1..=3.min(handles)).prop_map(|s| {
+        // Deduplicate handle indices (a task declares each region once;
+        // writing wins when both were drawn).
+        let mut touches: Vec<(usize, bool)> = Vec::new();
+        for (h, w) in s {
+            if let Some(e) = touches.iter_mut().find(|e| e.0 == h) {
+                e.1 |= w;
+            } else {
+                touches.push((h, w));
+            }
+        }
+        TaskSpec { touches }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sequential-consistency oracle: executing the same task list serially
+    /// must produce the same per-handle value sequence, because the
+    /// dependency rules serialise every pair of conflicting tasks in
+    /// submission order.
+    #[test]
+    fn random_dags_match_serial_execution(
+        specs in proptest::collection::vec(task_spec(4), 1..40),
+        nthreads in 1usize..6,
+    ) {
+        let handles = 4;
+        // Serial oracle: each handle accumulates the ids of writers.
+        let mut oracle: Vec<Vec<usize>> = vec![Vec::new(); handles];
+        for (id, spec) in specs.iter().enumerate() {
+            for &(h, writes) in &spec.touches {
+                if writes {
+                    oracle[h].push(id);
+                }
+            }
+        }
+
+        let rt = Runtime::new(nthreads);
+        let regions: Vec<Shared<Vec<usize>>> =
+            (0..handles).map(|_| Shared::new(Vec::new())).collect();
+        for (id, spec) in specs.iter().enumerate() {
+            let deps: Vec<Dep> = spec
+                .touches
+                .iter()
+                .map(|&(h, w)| if w { regions[h].dep_inout() } else { regions[h].dep_in() })
+                .collect();
+            let my_regions: Vec<(Shared<Vec<usize>>, bool)> = spec
+                .touches
+                .iter()
+                .map(|&(h, w)| (regions[h].clone(), w))
+                .collect();
+            rt.spawn(&format!("t{id}"), &deps, move || {
+                for (r, writes) in &my_regions {
+                    if *writes {
+                        r.write().push(id);
+                    } else {
+                        // Reads exercise the reader/writer checker.
+                        let _ = r.read().len();
+                    }
+                }
+            });
+        }
+        rt.taskwait();
+        for (h, region) in regions.iter().enumerate() {
+            prop_assert_eq!(&*region.read(), &oracle[h], "handle {}", h);
+        }
+    }
+
+    /// Readers between two writers all observe the first writer's value.
+    #[test]
+    fn readers_see_preceding_writer(nreaders in 1usize..12, nthreads in 1usize..6) {
+        let rt = Runtime::new(nthreads);
+        let data = Shared::new(0u64);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let d = data.clone();
+        rt.spawn("w1", &[data.dep_out()], move || *d.write() = 1);
+        for _ in 0..nreaders {
+            let d = data.clone();
+            let s = Arc::clone(&seen);
+            rt.spawn("r", &[data.dep_in()], move || s.lock().push(*d.read()));
+        }
+        let d = data.clone();
+        rt.spawn("w2", &[data.dep_out()], move || *d.write() = 2);
+        rt.taskwait();
+        prop_assert_eq!(seen.lock().len(), nreaders);
+        prop_assert!(seen.lock().iter().all(|&v| v == 1));
+        prop_assert_eq!(*data.read(), 2);
+    }
+
+    /// taskloop covers each index exactly once for arbitrary range/grain.
+    #[test]
+    fn taskloop_partition(len in 0usize..200, grain in 1usize..50, nthreads in 1usize..5) {
+        let rt = Runtime::new(nthreads);
+        let hits = Arc::new(Mutex::new(vec![0u8; len]));
+        let h = Arc::clone(&hits);
+        rt.taskloop("l", 0..len, grain, move |r| {
+            let mut g = h.lock();
+            for i in r {
+                g[i] += 1;
+            }
+        });
+        rt.taskwait();
+        prop_assert!(hits.lock().iter().all(|&v| v == 1));
+    }
+}

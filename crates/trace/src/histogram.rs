@@ -1,0 +1,237 @@
+//! IPC × duration histograms — the right-hand side of the paper's Fig. 7.
+//! Each compute burst is categorised by lane (vertical axis) and IPC
+//! (horizontal axis); bursts in the same cell accumulate their duration.
+
+use crate::event::StateClass;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// A 2-D histogram: `cells[lane_index][ipc_bin] = accumulated seconds`.
+#[derive(Debug, Clone)]
+pub struct IpcHistogram {
+    /// Lane labels in row order.
+    pub lane_labels: Vec<String>,
+    /// Inclusive lower bound of the IPC axis.
+    pub ipc_min: f64,
+    /// Exclusive upper bound of the IPC axis.
+    pub ipc_max: f64,
+    /// Number of IPC bins.
+    pub bins: usize,
+    /// Accumulated duration per cell.
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl IpcHistogram {
+    /// Builds the histogram from all compute bursts (optionally restricted
+    /// to one state class, e.g. the main FftXy phase).
+    pub fn from_trace(
+        trace: &Trace,
+        class: Option<StateClass>,
+        bins: usize,
+        ipc_min: f64,
+        ipc_max: f64,
+    ) -> Self {
+        assert!(bins > 0, "IpcHistogram: bins must be > 0");
+        assert!(ipc_max > ipc_min, "IpcHistogram: empty IPC range");
+        let lanes = trace.lanes();
+        let mut cells = vec![vec![0.0; bins]; lanes.len()];
+        let scale = bins as f64 / (ipc_max - ipc_min);
+        for r in &trace.compute {
+            if let Some(c) = class {
+                if r.class != c {
+                    continue;
+                }
+            }
+            let li = lanes.iter().position(|&l| l == r.lane).expect("lane exists");
+            let ipc = r.ipc().clamp(ipc_min, ipc_max - 1e-12);
+            let bi = ((ipc - ipc_min) * scale) as usize;
+            cells[li][bi.min(bins - 1)] += r.duration();
+        }
+        IpcHistogram {
+            lane_labels: lanes
+                .iter()
+                .map(|l| format!("r{}t{}", l.rank, l.thread))
+                .collect(),
+            ipc_min,
+            ipc_max,
+            bins,
+            cells,
+        }
+    }
+
+    /// Duration-weighted mean IPC across all cells.
+    pub fn weighted_mean_ipc(&self) -> f64 {
+        let bin_w = (self.ipc_max - self.ipc_min) / self.bins as f64;
+        let mut t = 0.0;
+        let mut acc = 0.0;
+        for row in &self.cells {
+            for (b, &d) in row.iter().enumerate() {
+                let centre = self.ipc_min + (b as f64 + 0.5) * bin_w;
+                acc += centre * d;
+                t += d;
+            }
+        }
+        if t > 0.0 {
+            acc / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Measures horizontal scatter: the duration-weighted standard deviation
+    /// of IPC. De-synchronised executions (the paper's OmpSs version) show a
+    /// visibly larger spread than the lock-step original.
+    pub fn ipc_spread(&self) -> f64 {
+        let mean = self.weighted_mean_ipc();
+        let bin_w = (self.ipc_max - self.ipc_min) / self.bins as f64;
+        let mut t = 0.0;
+        let mut acc = 0.0;
+        for row in &self.cells {
+            for (b, &d) in row.iter().enumerate() {
+                let centre = self.ipc_min + (b as f64 + 0.5) * bin_w;
+                acc += (centre - mean).powi(2) * d;
+                t += d;
+            }
+        }
+        if t > 0.0 {
+            (acc / t).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// ASCII rendering: rows = lanes, columns = IPC bins, character density
+    /// ∝ accumulated duration.
+    pub fn render(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let max = self
+            .cells
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0_f64, f64::max);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "IPC histogram: [{:.2}, {:.2}) in {} bins; max cell {:.3e}s",
+            self.ipc_min, self.ipc_max, self.bins, max
+        );
+        for (label, row) in self.lane_labels.iter().zip(&self.cells) {
+            let mut line = String::with_capacity(self.bins);
+            for &d in row {
+                let idx = if max > 0.0 {
+                    ((d / max) * (SHADES.len() - 1) as f64).round() as usize
+                } else {
+                    0
+                };
+                line.push(SHADES[idx.min(SHADES.len() - 1)] as char);
+            }
+            let _ = writeln!(out, "{label:>7}|{line}|");
+        }
+        // Axis line with min / max annotation.
+        let _ = writeln!(
+            out,
+            "{:>7} {:<width$.2}{:>.2}",
+            "ipc:",
+            self.ipc_min,
+            self.ipc_max,
+            width = self.bins.saturating_sub(4).max(1)
+        );
+        out
+    }
+
+    /// CSV export: `lane,ipc_bin_low,ipc_bin_high,seconds`.
+    pub fn to_csv(&self) -> String {
+        let bin_w = (self.ipc_max - self.ipc_min) / self.bins as f64;
+        let mut out = String::from("lane,ipc_low,ipc_high,seconds\n");
+        for (label, row) in self.lane_labels.iter().zip(&self.cells) {
+            for (b, &d) in row.iter().enumerate() {
+                if d > 0.0 {
+                    let lo = self.ipc_min + b as f64 * bin_w;
+                    let _ = writeln!(out, "{label},{:.4},{:.4},{:.9}", lo, lo + bin_w, d);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ComputeRecord, Lane};
+
+    fn burst(rank: usize, ipc: f64, dur: f64, class: StateClass) -> ComputeRecord {
+        ComputeRecord {
+            lane: Lane::new(rank, 0),
+            class,
+            t_start: 0.0,
+            t_end: dur,
+            instructions: ipc * dur * 1e9,
+            cycles: dur * 1e9,
+        }
+    }
+
+    #[test]
+    fn bins_by_ipc() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 0.25, 1.0, StateClass::FftXy));
+        t.compute.push(burst(0, 0.75, 2.0, StateClass::FftXy));
+        let h = IpcHistogram::from_trace(&t, None, 2, 0.0, 1.0);
+        assert_eq!(h.cells.len(), 1);
+        assert!((h.cells[0][0] - 1.0).abs() < 1e-9);
+        assert!((h.cells[0][1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_filter() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 0.25, 1.0, StateClass::FftZ));
+        t.compute.push(burst(0, 0.75, 2.0, StateClass::FftXy));
+        let h = IpcHistogram::from_trace(&t, Some(StateClass::FftXy), 4, 0.0, 1.0);
+        let total: f64 = h.cells[0].iter().sum();
+        assert!((total - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_mean_and_spread() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 0.5, 1.0, StateClass::FftXy));
+        let h = IpcHistogram::from_trace(&t, None, 100, 0.0, 1.0);
+        assert!((h.weighted_mean_ipc() - 0.505).abs() < 0.01);
+        assert!(h.ipc_spread() < 0.01);
+
+        let mut t2 = Trace::default();
+        t2.compute.push(burst(0, 0.2, 1.0, StateClass::FftXy));
+        t2.compute.push(burst(0, 0.8, 1.0, StateClass::FftXy));
+        let h2 = IpcHistogram::from_trace(&t2, None, 100, 0.0, 1.0);
+        assert!(h2.ipc_spread() > 0.25);
+    }
+
+    #[test]
+    fn out_of_range_ipc_clamps() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 5.0, 1.0, StateClass::FftXy));
+        let h = IpcHistogram::from_trace(&t, None, 10, 0.0, 1.0);
+        assert!((h.cells[0][9] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 0.3, 1.0, StateClass::FftXy));
+        t.compute.push(burst(1, 0.9, 0.5, StateClass::FftXy));
+        let h = IpcHistogram::from_trace(&t, None, 10, 0.0, 1.0);
+        let r = h.render();
+        assert!(r.contains("r0t0"));
+        assert!(r.contains("r1t0"));
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 3); // header + 2 non-empty cells
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must be > 0")]
+    fn zero_bins_rejected() {
+        IpcHistogram::from_trace(&Trace::default(), None, 0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Thread-local lane context: lets the task runtime tell the communication
+//! layer which worker thread is executing, so records carry the right
+//! [`crate::event::Lane`] without threading an id through every call.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_THREAD: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Sets the worker-thread index of the current OS thread (task-runtime
+/// workers call this once at startup; plain MPI ranks leave it at 0).
+pub fn set_current_thread(t: usize) {
+    CURRENT_THREAD.with(|c| c.set(t));
+}
+
+/// Worker-thread index of the current OS thread.
+pub fn current_thread() -> usize {
+    CURRENT_THREAD.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_zero() {
+        assert_eq!(current_thread(), 0);
+    }
+
+    #[test]
+    fn set_is_thread_local() {
+        set_current_thread(3);
+        assert_eq!(current_thread(), 3);
+        std::thread::spawn(|| {
+            assert_eq!(current_thread(), 0);
+            set_current_thread(7);
+            assert_eq!(current_thread(), 7);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_thread(), 3);
+        set_current_thread(0);
+    }
+}

@@ -1,0 +1,242 @@
+//! The POP (Performance Optimisation and Productivity) efficiency model used
+//! in Section III of the paper, after Rosas, Giménez & Labarta, "Scalability
+//! Prediction for Fundamental Performance Factors".
+//!
+//! * parallel efficiency = load balance × communication efficiency
+//! * communication efficiency = synchronisation × transfer
+//! * computation scalability = IPC scalability × instruction scalability
+//! * global efficiency = parallel efficiency × computation scalability
+//!
+//! All factors are fractions in `[0, 1]`-ish (they can exceed 1 for
+//! super-linear effects) and are printed as percentages by the table
+//! renderer, matching Tables I and II.
+
+use crate::trace::Trace;
+
+/// Intra-run factors derived from a single trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntraFactors {
+    /// Load balance: mean over lanes of compute time / max over lanes.
+    pub load_balance: f64,
+    /// Communication efficiency: max lane compute time / runtime.
+    pub comm_efficiency: f64,
+    /// Parallel efficiency: load balance × communication efficiency.
+    pub parallel_efficiency: f64,
+    /// Transfer efficiency: ideal (zero-transfer) runtime / runtime, when an
+    /// ideal replay was provided.
+    pub transfer: Option<f64>,
+    /// Synchronisation efficiency: comm efficiency / transfer efficiency.
+    pub sync: Option<f64>,
+}
+
+/// Inter-run scalability factors of a run relative to a reference run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalFactors {
+    /// Accumulated compute time of the reference / accumulated compute time
+    /// of this run (assuming the same useful work).
+    pub computation: f64,
+    /// Aggregate IPC of this run / aggregate IPC of the reference.
+    pub ipc: f64,
+    /// Total instructions of the reference / total instructions of this run.
+    pub instructions: f64,
+}
+
+/// The complete factor set of one row of Table I / Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyFactors {
+    /// See [`IntraFactors`].
+    pub intra: IntraFactors,
+    /// See [`ScalFactors`].
+    pub scal: ScalFactors,
+    /// Global efficiency = parallel efficiency × computation scalability.
+    pub global: f64,
+}
+
+/// Computes intra-run factors. `runtime` overrides the trace extent (the
+/// simulator knows the exact FFT-phase duration); `ideal_runtime` is the
+/// runtime of a zero-transfer-cost replay (Dimemas-style) and enables the
+/// sync/transfer split.
+pub fn intra_factors(trace: &Trace, runtime: Option<f64>, ideal_runtime: Option<f64>) -> IntraFactors {
+    let runtime = runtime.unwrap_or_else(|| trace.runtime());
+    let lanes = trace.lanes();
+    let compute: Vec<f64> = lanes.iter().map(|&l| trace.compute_time(l)).collect();
+    let max_c = compute.iter().copied().fold(0.0_f64, f64::max);
+    let mean_c = if compute.is_empty() {
+        0.0
+    } else {
+        compute.iter().sum::<f64>() / compute.len() as f64
+    };
+    let load_balance = if max_c > 0.0 { mean_c / max_c } else { 1.0 };
+    let comm_efficiency = if runtime > 0.0 { max_c / runtime } else { 1.0 };
+    let transfer = ideal_runtime.map(|ideal| if runtime > 0.0 { ideal / runtime } else { 1.0 });
+    let sync = transfer.map(|t| if t > 0.0 { comm_efficiency / t } else { 0.0 });
+    IntraFactors {
+        load_balance,
+        comm_efficiency,
+        parallel_efficiency: load_balance * comm_efficiency,
+        transfer,
+        sync,
+    }
+}
+
+/// Computes scalability factors of `run` against `reference` (which is the
+/// smallest configuration, 1×8 in the paper).
+pub fn scalability_factors(reference: &Trace, run: &Trace) -> ScalFactors {
+    let acc_ref: f64 = reference
+        .lanes()
+        .iter()
+        .map(|&l| reference.compute_time(l))
+        .sum();
+    let acc_run: f64 = run.lanes().iter().map(|&l| run.compute_time(l)).sum();
+    let computation = if acc_run > 0.0 { acc_ref / acc_run } else { 1.0 };
+    let ipc_ref = reference.aggregate_ipc(None);
+    let ipc_run = run.aggregate_ipc(None);
+    let ipc = if ipc_ref > 0.0 { ipc_run / ipc_ref } else { 1.0 };
+    let ins_ref = reference.total_instructions(None);
+    let ins_run = run.total_instructions(None);
+    let instructions = if ins_run > 0.0 { ins_ref / ins_run } else { 1.0 };
+    ScalFactors {
+        computation,
+        ipc,
+        instructions,
+    }
+}
+
+/// Computes the full factor set for one run.
+pub fn efficiency_factors(
+    reference: &Trace,
+    run: &Trace,
+    runtime: Option<f64>,
+    ideal_runtime: Option<f64>,
+) -> EfficiencyFactors {
+    let intra = intra_factors(run, runtime, ideal_runtime);
+    let scal = scalability_factors(reference, run);
+    EfficiencyFactors {
+        intra,
+        scal,
+        global: intra.parallel_efficiency * scal.computation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CommOp, CommRecord, ComputeRecord, Lane, StateClass};
+
+    fn burst(rank: usize, t0: f64, t1: f64, ins: f64, cyc: f64) -> ComputeRecord {
+        ComputeRecord {
+            lane: Lane::new(rank, 0),
+            class: StateClass::FftXy,
+            t_start: t0,
+            t_end: t1,
+            instructions: ins,
+            cycles: cyc,
+        }
+    }
+
+    fn comm(rank: usize, t0: f64, t1: f64) -> CommRecord {
+        CommRecord {
+            lane: Lane::new(rank, 0),
+            op: CommOp::Alltoall,
+            comm_id: 0,
+            comm_size: 2,
+            bytes: 8,
+            t_start: t0,
+            t_end: t1,
+        }
+    }
+
+    #[test]
+    fn perfectly_balanced_compute_only() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 0.0, 1.0, 10.0, 10.0));
+        t.compute.push(burst(1, 0.0, 1.0, 10.0, 10.0));
+        let f = intra_factors(&t, None, None);
+        assert!((f.load_balance - 1.0).abs() < 1e-12);
+        assert!((f.comm_efficiency - 1.0).abs() < 1e-12);
+        assert!((f.parallel_efficiency - 1.0).abs() < 1e-12);
+        assert!(f.transfer.is_none() && f.sync.is_none());
+    }
+
+    #[test]
+    fn imbalance_shows_in_lb() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 0.0, 2.0, 10.0, 10.0)); // 2 s
+        t.compute.push(burst(1, 0.0, 1.0, 10.0, 10.0)); // 1 s
+        let f = intra_factors(&t, None, None);
+        // mean 1.5, max 2.0 -> LB = 0.75; runtime 2.0, max compute 2.0 -> comm 1.0
+        assert!((f.load_balance - 0.75).abs() < 1e-12);
+        assert!((f.comm_efficiency - 1.0).abs() < 1e-12);
+        assert!((f.parallel_efficiency - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_time_lowers_comm_efficiency() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 0.0, 1.0, 10.0, 10.0));
+        t.comm.push(comm(0, 1.0, 2.0));
+        t.compute.push(burst(1, 0.0, 1.0, 10.0, 10.0));
+        t.comm.push(comm(1, 1.0, 2.0));
+        let f = intra_factors(&t, None, None);
+        assert!((f.comm_efficiency - 0.5).abs() < 1e-12);
+        assert!((f.load_balance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_sync_split() {
+        let mut t = Trace::default();
+        t.compute.push(burst(0, 0.0, 1.0, 10.0, 10.0));
+        t.comm.push(comm(0, 1.0, 2.0));
+        let f = intra_factors(&t, Some(2.0), Some(1.5));
+        // transfer = 1.5/2.0 = 0.75; comm eff = 1.0/2.0 = 0.5; sync = 0.5/0.75
+        assert!((f.transfer.unwrap() - 0.75).abs() < 1e-12);
+        assert!((f.sync.unwrap() - 0.5 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalability_against_reference() {
+        let mut reference = Trace::default();
+        reference.compute.push(burst(0, 0.0, 1.0, 100.0, 100.0)); // IPC 1.0
+        let mut run = Trace::default();
+        run.compute.push(burst(0, 0.0, 1.0, 50.0, 100.0)); // IPC 0.5
+        run.compute.push(burst(1, 0.0, 1.0, 50.0, 100.0));
+        let s = scalability_factors(&reference, &run);
+        // accumulated compute: 1.0 vs 2.0
+        assert!((s.computation - 0.5).abs() < 1e-12);
+        assert!((s.ipc - 0.5).abs() < 1e-12);
+        assert!((s.instructions - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposition_identity() {
+        // CompScal == IPCscal * InsScal when durations equal cycles/freq
+        // (here freq = 1: duration == cycles).
+        let mut reference = Trace::default();
+        reference.compute.push(burst(0, 0.0, 2.0, 10.0, 2.0));
+        let mut run = Trace::default();
+        run.compute.push(burst(0, 0.0, 3.0, 12.0, 3.0));
+        let s = scalability_factors(&reference, &run);
+        assert!((s.computation - s.ipc * s.instructions).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_factor_set() {
+        let mut reference = Trace::default();
+        reference.compute.push(burst(0, 0.0, 1.0, 10.0, 10.0));
+        let mut run = Trace::default();
+        run.compute.push(burst(0, 0.0, 1.0, 10.0, 10.0));
+        run.comm.push(comm(0, 1.0, 1.25));
+        let f = efficiency_factors(&reference, &run, None, None);
+        assert!((f.intra.comm_efficiency - 0.8).abs() < 1e-12);
+        assert!((f.global - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_traces_do_not_divide_by_zero() {
+        let t = Trace::default();
+        let f = efficiency_factors(&t, &t, None, None);
+        assert!(f.global.is_finite());
+        assert!(f.intra.load_balance.is_finite());
+        assert!(f.scal.ipc.is_finite());
+    }
+}

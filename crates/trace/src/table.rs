@@ -1,0 +1,197 @@
+//! Paper-style table rendering for the efficiency factors (Tables I & II).
+
+use crate::pop::EfficiencyFactors;
+use std::fmt::Write as _;
+
+/// Formats a fraction as the paper prints it: `95.75 %`.
+pub fn pct(v: f64) -> String {
+    format!("{:.2} %", v * 100.0)
+}
+
+/// One table row: label plus value extractor.
+type Row = (&'static str, Box<dyn Fn(&EfficiencyFactors) -> String>);
+
+/// Renders a Table-I/II-shaped table: one column per configuration, one row
+/// per factor, with the arrow indentation of the paper.
+pub fn render_efficiency_table(title: &str, columns: &[(String, EfficiencyFactors)]) -> String {
+    let rows: Vec<Row> = vec![
+        ("Parallel efficiency", Box::new(|f: &EfficiencyFactors| pct(f.intra.parallel_efficiency))),
+        ("-> Load Balance", Box::new(|f: &EfficiencyFactors| pct(f.intra.load_balance))),
+        ("-> Communication Efficiency", Box::new(|f: &EfficiencyFactors| pct(f.intra.comm_efficiency))),
+        ("   -> Synchronization", Box::new(|f: &EfficiencyFactors| f.intra.sync.map(pct).unwrap_or_else(|| "-".into()))),
+        ("   -> Transfer", Box::new(|f: &EfficiencyFactors| f.intra.transfer.map(pct).unwrap_or_else(|| "-".into()))),
+        ("Computation Scalability", Box::new(|f: &EfficiencyFactors| pct(f.scal.computation))),
+        ("-> IPC Scalability", Box::new(|f: &EfficiencyFactors| pct(f.scal.ipc))),
+        ("-> Instructions Scalability", Box::new(|f: &EfficiencyFactors| pct(f.scal.instructions))),
+        ("Global Efficiency", Box::new(|f: &EfficiencyFactors| pct(f.global))),
+    ];
+
+    let label_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let col_w = columns
+        .iter()
+        .map(|(h, _)| h.len())
+        .max()
+        .unwrap_or(0)
+        .max(9);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:label_w$}", "");
+    for (h, _) in columns {
+        let _ = write!(out, "  {h:>col_w$}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(label_w + columns.len() * (col_w + 2)));
+    for (name, getter) in &rows {
+        let _ = write!(out, "{name:label_w$}");
+        for (_, f) in columns {
+            let _ = write!(out, "  {:>col_w$}", getter(f));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a simple two-column (label, value) runtime table, used for the
+/// Fig. 2 / Fig. 6 runtime series.
+pub fn render_runtime_table(title: &str, rows: &[(String, Vec<(String, f64)>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (config, series) in rows {
+        let _ = write!(out, "{config:>10}");
+        for (name, v) in series {
+            let _ = write!(out, "  {name}={v:.4}s");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ASCII bar chart of runtimes: one bar per configuration; when
+/// several series are given, bars are grouped (Fig. 6's original-vs-OmpSs).
+pub fn render_bar_chart(
+    title: &str,
+    configs: &[String],
+    series: &[(String, Vec<f64>)],
+    width: usize,
+) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0_f64, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if max <= 0.0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let label_w = configs.iter().map(|c| c.len()).max().unwrap_or(4);
+    let series_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+    for (ci, cfg) in configs.iter().enumerate() {
+        for (si, (sname, vals)) in series.iter().enumerate() {
+            let v = vals.get(ci).copied().unwrap_or(0.0);
+            let bar_len = ((v / max) * width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{:>label_w$} {:>series_w$} |{}{} {:.4}s",
+                if si == 0 { cfg.as_str() } else { "" },
+                sname,
+                "#".repeat(bar_len),
+                " ".repeat(width.saturating_sub(bar_len)),
+                v
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pop::{IntraFactors, ScalFactors};
+
+    fn factors(p: f64) -> EfficiencyFactors {
+        EfficiencyFactors {
+            intra: IntraFactors {
+                load_balance: p,
+                comm_efficiency: p,
+                parallel_efficiency: p * p,
+                transfer: Some(p),
+                sync: Some(p),
+            },
+            scal: ScalFactors {
+                computation: p,
+                ipc: p,
+                instructions: 1.0,
+            },
+            global: p * p * p,
+        }
+    }
+
+    #[test]
+    fn pct_formats_like_paper() {
+        assert_eq!(pct(0.9575), "95.75 %");
+        assert_eq!(pct(1.0), "100.00 %");
+    }
+
+    #[test]
+    fn efficiency_table_has_all_rows() {
+        let cols = vec![("1 x 8".to_string(), factors(0.95)), ("2 x 8".to_string(), factors(0.9))];
+        let s = render_efficiency_table("TABLE I", &cols);
+        for needle in [
+            "Parallel efficiency",
+            "Load Balance",
+            "Communication Efficiency",
+            "Synchronization",
+            "Transfer",
+            "Computation Scalability",
+            "IPC Scalability",
+            "Instructions Scalability",
+            "Global Efficiency",
+            "1 x 8",
+            "2 x 8",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn missing_sync_prints_dash() {
+        let mut f = factors(0.5);
+        f.intra.sync = None;
+        f.intra.transfer = None;
+        let s = render_efficiency_table("T", &[("c".into(), f)]);
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn bar_chart_scales_bars() {
+        let s = render_bar_chart(
+            "fig",
+            &["1x8".into(), "2x8".into()],
+            &[("orig".into(), vec![2.0, 1.0])],
+            20,
+        );
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        let hashes0 = lines[0].matches('#').count();
+        let hashes1 = lines[1].matches('#').count();
+        assert_eq!(hashes0, 20);
+        assert_eq!(hashes1, 10);
+    }
+
+    #[test]
+    fn bar_chart_empty_data() {
+        let s = render_bar_chart("fig", &[], &[], 10);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn runtime_table_lists_entries() {
+        let s = render_runtime_table(
+            "Fig 2",
+            &[("8 x 8".into(), vec![("orig".into(), 1.25)])],
+        );
+        assert!(s.contains("8 x 8"));
+        assert!(s.contains("orig=1.2500s"));
+    }
+}

@@ -1,0 +1,262 @@
+//! ASCII/CSV timeline rendering — the Paraver role. Each lane becomes one
+//! row of characters; each character is the dominant activity inside its
+//! time bin: a compute-state tag, an MPI-operation tag, or `' '` for idle.
+
+use crate::event::{Lane, StateClass};
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Options for [`render_timeline`].
+#[derive(Debug, Clone)]
+pub struct TimelineOptions {
+    /// Number of character columns.
+    pub width: usize,
+    /// Optional explicit time window `(t0, t1)`; defaults to the trace span.
+    pub window: Option<(f64, f64)>,
+    /// Render communication records on top of compute records.
+    pub show_comm: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            width: 100,
+            window: None,
+            show_comm: true,
+        }
+    }
+}
+
+/// Renders the trace as an ASCII timeline, one row per lane, ordered by
+/// (rank, thread). Includes a legend of the state tags that appear.
+pub fn render_timeline(trace: &Trace, opts: &TimelineOptions) -> String {
+    let lanes = trace.lanes();
+    if lanes.is_empty() || opts.width == 0 {
+        return String::from("(empty trace)\n");
+    }
+    let (t0, t1) = opts.window.unwrap_or((trace.t_min(), trace.t_max()));
+    let span = (t1 - t0).max(f64::MIN_POSITIVE);
+    let bin = span / opts.width as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "timeline: {:.6}s .. {:.6}s  ({} bins of {:.3e}s)", t0, t1, opts.width, bin);
+    let mut used_states: Vec<StateClass> = Vec::new();
+    let mut used_comm: Vec<crate::event::CommOp> = Vec::new();
+
+    for &lane in &lanes {
+        // For every bin pick the record covering the most of it.
+        let mut row = vec![' '; opts.width];
+        let mut coverage = vec![0.0_f64; opts.width];
+        for r in trace.compute.iter().filter(|r| r.lane == lane) {
+            paint(&mut row, &mut coverage, t0, bin, r.t_start, r.t_end, r.class.tag());
+            if !used_states.contains(&r.class) {
+                used_states.push(r.class);
+            }
+        }
+        if opts.show_comm {
+            for r in trace.comm.iter().filter(|r| r.lane == lane) {
+                paint(&mut row, &mut coverage, t0, bin, r.t_start, r.t_end, r.op.tag());
+                if !used_comm.contains(&r.op) {
+                    used_comm.push(r.op);
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "r{:<3}t{:<2}|{}|",
+            lane.rank,
+            lane.thread,
+            row.into_iter().collect::<String>()
+        );
+    }
+
+    let _ = write!(out, "legend:");
+    used_states.sort_unstable();
+    for s in used_states {
+        let _ = write!(out, " {}={}", s.tag(), s.name());
+    }
+    for o in used_comm {
+        let _ = write!(out, " {}={}", o.tag(), o.name());
+    }
+    out.push('\n');
+    out
+}
+
+/// Paints `tag` into every bin the `[s, e)` interval covers more than any
+/// previous painter.
+fn paint(row: &mut [char], coverage: &mut [f64], t0: f64, bin: f64, s: f64, e: f64, tag: char) {
+    if e <= s {
+        return;
+    }
+    let width = row.len();
+    let first = (((s - t0) / bin).floor().max(0.0)) as usize;
+    let last = ((((e - t0) / bin).ceil()) as usize).min(width);
+    for idx in first..last {
+        let b0 = t0 + idx as f64 * bin;
+        let b1 = b0 + bin;
+        let overlap = (e.min(b1) - s.max(b0)).max(0.0);
+        if overlap > coverage[idx] {
+            coverage[idx] = overlap;
+            row[idx] = tag;
+        }
+    }
+}
+
+/// Exports every record as CSV (`kind,rank,thread,label,t_start,t_end,
+/// instructions,cycles,ipc,bytes`). Suitable for external plotting.
+pub fn timeline_csv(trace: &Trace) -> String {
+    let mut out = String::from("kind,rank,thread,label,t_start,t_end,instructions,cycles,ipc,bytes\n");
+    for r in &trace.compute {
+        let _ = writeln!(
+            out,
+            "compute,{},{},{},{:.9},{:.9},{:.0},{:.0},{:.4},",
+            r.lane.rank,
+            r.lane.thread,
+            r.class.name(),
+            r.t_start,
+            r.t_end,
+            r.instructions,
+            r.cycles,
+            r.ipc()
+        );
+    }
+    for r in &trace.comm {
+        let _ = writeln!(
+            out,
+            "comm,{},{},{},{:.9},{:.9},,,,{}",
+            r.lane.rank,
+            r.lane.thread,
+            r.op.name(),
+            r.t_start,
+            r.t_end,
+            r.bytes
+        );
+    }
+    for r in &trace.tasks {
+        let _ = writeln!(
+            out,
+            "task,{},{},{},{:.9},{:.9},,,,",
+            r.lane.rank, r.lane.thread, r.label, r.t_start, r.t_end
+        );
+    }
+    out
+}
+
+/// Per-lane communicator usage summary: which communicator ids a lane talked
+/// on and how often — the textual analogue of Fig. 3's communicator timeline.
+pub fn communicator_summary(trace: &Trace) -> String {
+    use std::collections::BTreeMap;
+    let mut per_lane: BTreeMap<Lane, BTreeMap<u64, (usize, usize)>> = BTreeMap::new();
+    for r in &trace.comm {
+        let e = per_lane
+            .entry(r.lane)
+            .or_default()
+            .entry(r.comm_id)
+            .or_insert((0, 0));
+        e.0 += 1;
+        e.1 = r.comm_size;
+    }
+    let mut out = String::from("lane -> communicator(id: calls x size)\n");
+    for (lane, comms) in per_lane {
+        let _ = write!(out, "r{:<3}t{:<2}:", lane.rank, lane.thread);
+        for (id, (calls, size)) in comms {
+            let _ = write!(out, " c{id}({calls}x{size})");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CommOp, CommRecord, ComputeRecord};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::default();
+        t.compute.push(ComputeRecord {
+            lane: Lane::new(0, 0),
+            class: StateClass::FftZ,
+            t_start: 0.0,
+            t_end: 0.5,
+            instructions: 1.0,
+            cycles: 2.0,
+        });
+        t.comm.push(CommRecord {
+            lane: Lane::new(0, 0),
+            op: CommOp::Alltoall,
+            comm_id: 3,
+            comm_size: 4,
+            bytes: 256,
+            t_start: 0.5,
+            t_end: 1.0,
+        });
+        t.compute.push(ComputeRecord {
+            lane: Lane::new(1, 0),
+            class: StateClass::FftXy,
+            t_start: 0.0,
+            t_end: 1.0,
+            instructions: 8.0,
+            cycles: 10.0,
+        });
+        t
+    }
+
+    #[test]
+    fn renders_rows_per_lane() {
+        let s = render_timeline(&sample_trace(), &TimelineOptions { width: 10, ..Default::default() });
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with('r')).collect();
+        assert_eq!(rows.len(), 2);
+        // Lane 0: first half FftZ, second half Alltoall.
+        assert!(rows[0].contains('Z'));
+        assert!(rows[0].contains('A'));
+        // Lane 1: full-width FftXy.
+        assert!(rows[1].contains('X'));
+        assert!(!rows[1].contains(' '.to_string().repeat(5).as_str()));
+        assert!(s.contains("legend:"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let s = render_timeline(&Trace::default(), &TimelineOptions::default());
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn comm_can_be_hidden() {
+        let s = render_timeline(
+            &sample_trace(),
+            &TimelineOptions { width: 10, show_comm: false, ..Default::default() },
+        );
+        let row0 = s.lines().find(|l| l.starts_with("r0")).unwrap();
+        assert!(!row0.contains('A'));
+    }
+
+    #[test]
+    fn csv_contains_all_records() {
+        let csv = timeline_csv(&sample_trace());
+        assert_eq!(csv.lines().count(), 1 + 3);
+        assert!(csv.lines().next().unwrap().starts_with("kind,"));
+        assert!(csv.contains("fft-z"));
+        assert!(csv.contains("Alltoall"));
+        assert!(csv.contains(",256"));
+    }
+
+    #[test]
+    fn communicator_summary_lists_comm_ids() {
+        let s = communicator_summary(&sample_trace());
+        assert!(s.contains("c3(1x4)"));
+    }
+
+    #[test]
+    fn window_restricts_view() {
+        let s = render_timeline(
+            &sample_trace(),
+            &TimelineOptions { width: 10, window: Some((0.0, 0.5)), show_comm: true },
+        );
+        let row0 = s.lines().find(|l| l.starts_with("r0")).unwrap();
+        // Everything in the window is the Z FFT; the alltoall lies outside,
+        // except possibly a boundary bin.
+        assert!(row0.matches('Z').count() >= 9, "{row0}");
+    }
+}

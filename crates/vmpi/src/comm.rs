@@ -1,0 +1,648 @@
+//! Communicators: rank identity, point-to-point messaging, collectives,
+//! `split`/`dup`. Collectives are *tag-qualified*: concurrent collectives on
+//! the same communicator from different tasks match by `(kind, tag, seq)`,
+//! which is what lets the task-based miniapp versions run several alltoalls
+//! in flight at once (one per in-flight FFT task).
+//!
+//! ## Deadlock-freedom with blocking collectives inside tasks
+//!
+//! A collective returns once all communicator members have deposited their
+//! contribution. With FIFO task scheduling and the same task-creation order
+//! on every rank, the set of tags a rank's workers can be blocked on is a
+//! window of the oldest unfinished tags; the globally oldest unfinished tag
+//! is inside every rank's window, so some worker on every rank eventually
+//! deposits for it and the system always makes progress. The
+//! [`crate::world::World`] timeout turns any violation of this discipline
+//! (mismatched tags, missing participants) into a loud panic instead of a
+//! hang.
+
+use crate::world::{CollKey, CollKind, CollSlot, P2pKey, WorldShared};
+use fftx_trace::{current_thread, CommOp, CommRecord, Lane};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A group of ranks with a private communication context.
+#[derive(Clone)]
+pub struct Communicator {
+    shared: Arc<WorldShared>,
+    id: u64,
+    /// World ranks of the members, in index order.
+    ranks: Arc<Vec<usize>>,
+    /// This rank's index within `ranks`.
+    index: usize,
+    /// Per-(kind, tag) sequence counters, shared among clones on this rank.
+    seq: Arc<Mutex<HashMap<(CollKind, u32), u64>>>,
+}
+
+impl Communicator {
+    pub(crate) fn world(shared: Arc<WorldShared>, ranks: Arc<Vec<usize>>, rank: usize) -> Self {
+        Communicator {
+            shared,
+            id: 0,
+            ranks,
+            index: rank,
+            seq: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Rank of the caller inside this communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.index
+    }
+
+    /// Number of ranks in this communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The caller's rank in the world communicator.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.ranks[self.index]
+    }
+
+    /// World ranks of all members, in communicator order.
+    pub fn members(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Stable communicator identifier (0 is the world communicator).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current time on the world clock (seconds since `World::run` began).
+    pub fn now(&self) -> f64 {
+        self.shared.clock.now()
+    }
+
+    /// A clone of the world clock, so other components (e.g. the task
+    /// runtime) can stamp trace records on the same time base.
+    pub fn clock(&self) -> fftx_trace::WallClock {
+        self.shared.clock.clone()
+    }
+
+    /// The trace sink attached to the world, if any.
+    pub fn trace_sink(&self) -> Option<fftx_trace::TraceSink> {
+        self.shared.trace.clone()
+    }
+
+    fn lane(&self) -> Lane {
+        Lane::new(self.world_rank(), current_thread())
+    }
+
+    pub(crate) fn record(&self, op: CommOp, bytes: usize, t0: f64, t1: f64) {
+        if let Some(sink) = &self.shared.trace {
+            sink.comm(CommRecord {
+                lane: self.lane(),
+                op,
+                comm_id: self.id,
+                comm_size: self.size(),
+                bytes,
+                t_start: t0,
+                t_end: t1,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Sends `data` to `dst` (communicator index) with `tag`. Non-blocking
+    /// in the buffered-send sense: the message is enqueued immediately.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u32, data: Vec<T>) {
+        assert!(dst < self.size(), "send: dst {dst} out of range");
+        let t0 = self.now();
+        let bytes = std::mem::size_of::<T>() * data.len();
+        let key = P2pKey {
+            comm_id: self.id,
+            src: self.index,
+            dst,
+            tag,
+        };
+        {
+            let mut boxes = self.shared.mailboxes.lock();
+            boxes.entry(key).or_default().push_back(Box::new(data));
+        }
+        self.shared.mail_cv.notify_all();
+        let t1 = self.now();
+        self.record(CommOp::SendRecv, bytes, t0, t1);
+    }
+
+    /// Receives a message from `src` (communicator index) with `tag`,
+    /// blocking until one arrives.
+    ///
+    /// # Panics
+    /// Panics on element-type mismatch with the sender, or after the world
+    /// timeout expires (deadlock diagnostic).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u32) -> Vec<T> {
+        assert!(src < self.size(), "recv: src {src} out of range");
+        let t0 = self.now();
+        let key = P2pKey {
+            comm_id: self.id,
+            src,
+            dst: self.index,
+            tag,
+        };
+        let deadline = Instant::now() + self.shared.timeout;
+        let mut boxes = self.shared.mailboxes.lock();
+        let data = loop {
+            if let Some(queue) = boxes.get_mut(&key) {
+                if let Some(msg) = queue.pop_front() {
+                    if queue.is_empty() {
+                        boxes.remove(&key);
+                    }
+                    break msg;
+                }
+            }
+            if self
+                .shared
+                .mail_cv
+                .wait_until(&mut boxes, deadline)
+                .timed_out()
+            {
+                panic!(
+                    "vmpi deadlock: rank {} (comm {}) stuck in recv(src={src}, tag={tag})",
+                    self.index, self.id
+                );
+            }
+        };
+        drop(boxes);
+        let data = *data
+            .downcast::<Vec<T>>()
+            .expect("recv: element type mismatch with sender");
+        let t1 = self.now();
+        let bytes = std::mem::size_of::<T>() * data.len();
+        self.record(CommOp::SendRecv, bytes, t0, t1);
+        data
+    }
+
+    // ------------------------------------------------------------------
+    // Generic collective machinery
+    // ------------------------------------------------------------------
+
+    /// Runs one collective instance: deposits `contribution`, and on the
+    /// last arrival runs `complete` over the contributions (in communicator
+    /// index order) to produce per-index results.
+    fn collective<C, R, F>(&self, kind: CollKind, tag: u32, contribution: C, complete: F) -> R
+    where
+        C: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(Vec<C>) -> Vec<R>,
+    {
+        self.collective_post(kind, tag, contribution, complete)
+            .wait_inner()
+    }
+
+    /// Posts one collective instance without waiting: deposits
+    /// `contribution` (completing the operation if this is the last
+    /// arrival) and returns a request to collect the result later — the
+    /// split-phase (`MPI_Ialltoall`-style) primitive that lets a task
+    /// overlap the transfer with other work.
+    fn collective_post<C, R, F>(
+        &self,
+        kind: CollKind,
+        tag: u32,
+        contribution: C,
+        complete: F,
+    ) -> CollRequest<R>
+    where
+        C: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(Vec<C>) -> Vec<R>,
+    {
+        let size = self.size();
+        let seq = {
+            let mut counters = self.seq.lock();
+            let c = counters.entry((kind, tag)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let key = CollKey {
+            comm_id: self.id,
+            kind,
+            tag,
+            seq,
+        };
+        let mut slots = self.shared.collectives.lock();
+        let slot = slots.entry(key).or_insert_with(|| CollSlot {
+            contributions: HashMap::new(),
+            results: HashMap::new(),
+            readers_left: size,
+            done: false,
+        });
+        let prev = slot
+            .contributions
+            .insert(self.index, Box::new(contribution));
+        assert!(
+            prev.is_none(),
+            "vmpi: duplicate contribution to {key:?} from index {} — two concurrent \
+             collectives on one communicator must use distinct tags",
+            self.index
+        );
+        if slot.contributions.len() == size {
+            // Completer: assemble inputs in index order and produce results.
+            let mut inputs = Vec::with_capacity(size);
+            for i in 0..size {
+                let boxed = slot
+                    .contributions
+                    .remove(&i)
+                    .expect("all contributions present");
+                inputs.push(*boxed.downcast::<C>().expect("collective type mismatch"));
+            }
+            let results = complete(inputs);
+            assert_eq!(results.len(), size, "collective completer arity mismatch");
+            let slot = slots.get_mut(&key).expect("slot exists");
+            for (i, r) in results.into_iter().enumerate() {
+                slot.results.insert(i, Box::new(r));
+            }
+            slot.done = true;
+            self.shared.coll_cv.notify_all();
+        }
+        drop(slots);
+        CollRequest {
+            shared: Arc::clone(&self.shared),
+            key,
+            index: self.index,
+            size,
+            t_post: self.now(),
+            taken: false,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Barrier over all members.
+    pub fn barrier(&self) {
+        self.barrier_tagged(0)
+    }
+
+    /// Tag-qualified barrier (for use inside concurrent tasks).
+    pub fn barrier_tagged(&self, tag: u32) {
+        let t0 = self.now();
+        let size = self.size();
+        self.collective(CollKind::Barrier, tag, (), |_c: Vec<()>| vec![(); size]);
+        let t1 = self.now();
+        self.record(CommOp::Barrier, 0, t0, t1);
+    }
+
+    /// Broadcast from `root` (communicator index). Non-root ranks pass any
+    /// vector (typically empty) and receive the root's data.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Vec<T>) -> Vec<T> {
+        assert!(root < self.size(), "bcast: root out of range");
+        let t0 = self.now();
+        let size = self.size();
+        let out = self.collective(
+            CollKind::Bcast,
+            0,
+            if self.index == root { Some(data) } else { None },
+            move |mut contribs: Vec<Option<Vec<T>>>| {
+                let payload = contribs[root].take().expect("root contributed");
+                (0..size).map(|_| payload.clone()).collect()
+            },
+        );
+        let t1 = self.now();
+        let bytes = std::mem::size_of::<T>() * out.len();
+        self.record(CommOp::Bcast, bytes, t0, t1);
+        out
+    }
+
+    /// Element-wise allreduce with a caller-supplied associative operation.
+    pub fn allreduce<T, F>(&self, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let t0 = self.now();
+        let size = self.size();
+        let bytes = std::mem::size_of::<T>() * data.len();
+        let out = self.collective(
+            CollKind::Allreduce,
+            0,
+            data,
+            move |contribs: Vec<Vec<T>>| {
+                let mut acc = contribs[0].clone();
+                for c in &contribs[1..] {
+                    assert_eq!(c.len(), acc.len(), "allreduce length mismatch");
+                    for (a, b) in acc.iter_mut().zip(c) {
+                        *a = op(a, b);
+                    }
+                }
+                (0..size).map(|_| acc.clone()).collect()
+            },
+        );
+        let t1 = self.now();
+        self.record(CommOp::Allreduce, bytes, t0, t1);
+        out
+    }
+
+    /// Sum-allreduce over `f64` values.
+    pub fn allreduce_sum(&self, data: Vec<f64>) -> Vec<f64> {
+        self.allreduce(data, |a, b| a + b)
+    }
+
+    /// Gathers every rank's vector; all ranks receive all vectors in
+    /// communicator index order (lengths may differ, like `MPI_Allgatherv`).
+    pub fn allgather<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        let t0 = self.now();
+        let size = self.size();
+        let bytes = std::mem::size_of::<T>() * data.len();
+        let out = self.collective(
+            CollKind::Allgather,
+            0,
+            data,
+            move |contribs: Vec<Vec<T>>| (0..size).map(|_| contribs.clone()).collect(),
+        );
+        let t1 = self.now();
+        self.record(CommOp::Gather, bytes, t0, t1);
+        out
+    }
+
+    /// `MPI_Alltoall`: `send.len()` must be `size * count`; chunk `j` goes to
+    /// rank `j`. The result holds chunk `j` received from rank `j`.
+    pub fn alltoall<T: Clone + Send + 'static>(&self, send: &[T], tag: u32) -> Vec<T> {
+        let size = self.size();
+        assert!(
+            send.len().is_multiple_of(size),
+            "alltoall: buffer length {} not divisible by communicator size {}",
+            send.len(),
+            size
+        );
+        let count = send.len() / size;
+        let t0 = self.now();
+        let bytes = std::mem::size_of_val(send);
+        let out = self.collective(
+            CollKind::Alltoall,
+            tag,
+            send.to_vec(),
+            move |contribs: Vec<Vec<T>>| {
+                (0..size)
+                    .map(|i| {
+                        let mut recv = Vec::with_capacity(size * count);
+                        for contrib in contribs.iter() {
+                            recv.extend_from_slice(&contrib[i * count..(i + 1) * count]);
+                        }
+                        recv
+                    })
+                    .collect()
+            },
+        );
+        let t1 = self.now();
+        self.record(CommOp::Alltoall, bytes, t0, t1);
+        out
+    }
+
+    /// `MPI_Alltoallv`: `send[j]` is the (arbitrary-length) slice for rank
+    /// `j`; the result's entry `j` is what rank `j` sent to the caller.
+    pub fn alltoallv<T: Clone + Send + 'static>(&self, send: Vec<Vec<T>>, tag: u32) -> Vec<Vec<T>> {
+        let size = self.size();
+        assert_eq!(send.len(), size, "alltoallv: need one slice per rank");
+        let t0 = self.now();
+        let bytes: usize = send
+            .iter()
+            .map(|v| std::mem::size_of::<T>() * v.len())
+            .sum();
+        let out = self.collective(
+            CollKind::Alltoallv,
+            tag,
+            send,
+            move |mut contribs: Vec<Vec<Vec<T>>>| {
+                let mut results: Vec<Vec<Vec<T>>> = (0..size).map(|_| Vec::new()).collect();
+                // contribs[j][i] is what rank j sends to rank i; result[i][j]
+                // is what rank i receives from rank j.
+                for (i, result) in results.iter_mut().enumerate() {
+                    result.reserve(size);
+                    for contrib in contribs.iter_mut() {
+                        result.push(std::mem::take(&mut contrib[i]));
+                    }
+                }
+                results
+            },
+        );
+        let t1 = self.now();
+        self.record(CommOp::Alltoallv, bytes, t0, t1);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// Splits the communicator: ranks passing the same `color` form a new
+    /// communicator, ordered by `(key, old index)` — `MPI_Comm_split`.
+    pub fn split(&self, color: u64, key: usize) -> Communicator {
+        let size = self.size();
+        let shared = Arc::clone(&self.shared);
+        let ranks = Arc::clone(&self.ranks);
+        let (new_id, members, my_index) = self.collective(
+            CollKind::Split,
+            0,
+            (color, key),
+            move |contribs: Vec<(u64, usize)>| {
+                // Group indices by color.
+                let mut colors: Vec<u64> = contribs.iter().map(|c| c.0).collect();
+                colors.sort_unstable();
+                colors.dedup();
+                // Allocate one fresh id per color, deterministically ordered.
+                let base = shared
+                    .next_comm_id
+                    .fetch_add(colors.len() as u64, Ordering::Relaxed);
+                let mut results: Vec<Option<(u64, Vec<usize>, usize)>> = vec![None; size];
+                for (ci, &col) in colors.iter().enumerate() {
+                    let mut group: Vec<usize> = (0..size).filter(|&i| contribs[i].0 == col).collect();
+                    group.sort_by_key(|&i| (contribs[i].1, i));
+                    let world_members: Vec<usize> = group.iter().map(|&i| ranks[i]).collect();
+                    for (pos, &i) in group.iter().enumerate() {
+                        results[i] = Some((base + ci as u64, world_members.clone(), pos));
+                    }
+                }
+                results.into_iter().map(|r| r.expect("all grouped")).collect()
+            },
+        );
+        Communicator {
+            shared: Arc::clone(&self.shared),
+            id: new_id,
+            ranks: Arc::new(members),
+            index: my_index,
+            seq: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Split-phase `MPI_Ialltoall`: posts the contribution and returns a
+    /// request; the transfer completes as soon as every rank has *posted*,
+    /// so the caller can compute while the exchange is in flight and
+    /// [`AlltoallRequest::wait`] later. Matching follows the same
+    /// `(tag, sequence)` rules as [`Communicator::alltoall`] — the two may
+    /// be mixed on one communicator as long as every rank issues them in
+    /// the same order per tag.
+    pub fn ialltoall<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        tag: u32,
+    ) -> AlltoallRequest<T> {
+        let size = self.size();
+        assert!(
+            send.len().is_multiple_of(size),
+            "ialltoall: buffer length {} not divisible by communicator size {}",
+            send.len(),
+            size
+        );
+        let count = send.len() / size;
+        let bytes = std::mem::size_of_val(send);
+        let inner = self.collective_post(
+            CollKind::Alltoall,
+            tag,
+            send.to_vec(),
+            move |contribs: Vec<Vec<T>>| {
+                (0..size)
+                    .map(|i| {
+                        let mut recv = Vec::with_capacity(size * count);
+                        for contrib in contribs.iter() {
+                            recv.extend_from_slice(&contrib[i * count..(i + 1) * count]);
+                        }
+                        recv
+                    })
+                    .collect()
+            },
+        );
+        AlltoallRequest {
+            inner,
+            comm: self.clone(),
+            bytes,
+        }
+    }
+
+    /// Duplicates the communicator into a fresh communication context
+    /// (`MPI_Comm_dup`): same group, independent matching space.
+    pub fn dup(&self) -> Communicator {
+        let size = self.size();
+        let shared = Arc::clone(&self.shared);
+        let new_id = self.collective(CollKind::Dup, 0, (), move |_c: Vec<()>| {
+            let id = shared.next_comm_id.fetch_add(1, Ordering::Relaxed);
+            vec![id; size]
+        });
+        Communicator {
+            shared: Arc::clone(&self.shared),
+            id: new_id,
+            ranks: Arc::clone(&self.ranks),
+            index: self.index,
+            seq: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+/// A pending split-phase collective: the typed result of a
+/// `collective_post`. Dropping an unconsumed request panics — every posted
+/// collective must be waited on (otherwise its peers hang).
+pub(crate) struct CollRequest<R> {
+    shared: Arc<WorldShared>,
+    key: CollKey,
+    index: usize,
+    size: usize,
+    t_post: f64,
+    taken: bool,
+    _marker: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R: Send + 'static> CollRequest<R> {
+    /// True once the collective has completed (all participants posted and
+    /// the result is ready). Never blocks.
+    pub(crate) fn test(&self) -> bool {
+        let slots = self.shared.collectives.lock();
+        slots.get(&self.key).map(|s| s.done).unwrap_or(true)
+    }
+
+    /// Blocks until completion and returns this rank's result.
+    fn wait_inner(mut self) -> R {
+        let deadline = Instant::now() + self.shared.timeout;
+        let mut slots = self.shared.collectives.lock();
+        loop {
+            if slots.get(&self.key).map(|s| s.done).unwrap_or(false) {
+                break;
+            }
+            if self
+                .shared
+                .coll_cv
+                .wait_until(&mut slots, deadline)
+                .timed_out()
+            {
+                let arrived = slots
+                    .get(&self.key)
+                    .map(|s| s.contributions.len())
+                    .unwrap_or(0);
+                panic!(
+                    "vmpi deadlock: rank {} stuck waiting on {:?}; {arrived}/{} arrived",
+                    self.index, self.key, self.size
+                );
+            }
+        }
+        let slot = slots.get_mut(&self.key).expect("slot exists");
+        let mine = slot
+            .results
+            .remove(&self.index)
+            .expect("result for this index");
+        slot.readers_left -= 1;
+        if slot.readers_left == 0 {
+            slots.remove(&self.key);
+        }
+        drop(slots);
+        self.taken = true;
+        *mine.downcast::<R>().expect("collective result type mismatch")
+    }
+}
+
+impl<R> Drop for CollRequest<R> {
+    fn drop(&mut self) {
+        assert!(
+            self.taken || std::thread::panicking(),
+            "vmpi: a split-phase collective request was dropped without wait() \
+             (key {:?}) — its peers would hang",
+            self.key
+        );
+    }
+}
+
+/// A pending nonblocking alltoall (see [`Communicator::ialltoall`]).
+pub struct AlltoallRequest<T> {
+    inner: CollRequest<Vec<T>>,
+    comm: Communicator,
+    bytes: usize,
+}
+
+impl<T: Clone + Send + 'static> AlltoallRequest<T> {
+    /// True once every rank has posted and the exchange is complete.
+    pub fn test(&self) -> bool {
+        self.inner.test()
+    }
+
+    /// Time the request was posted (world clock).
+    pub fn posted_at(&self) -> f64 {
+        self.inner.t_post
+    }
+
+    /// Blocks until the exchange completes and returns the received buffer
+    /// (chunk `j` came from rank `j`). Records the comm event spanning the
+    /// *wait* only — overlapped transfer time does not appear as
+    /// communication, exactly the accounting the overlap optimisation is
+    /// after.
+    pub fn wait(self) -> Vec<T> {
+        let t0 = self.comm.now();
+        let bytes = self.bytes;
+        let comm = self.comm.clone();
+        let out = self.inner.wait_inner();
+        let t1 = comm.now();
+        comm.record(CommOp::Alltoall, bytes, t0, t1);
+        out
+    }
+}

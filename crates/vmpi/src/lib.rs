@@ -1,0 +1,21 @@
+//! # fftx-vmpi
+//!
+//! Virtual MPI over threads — the communication substrate of the FFTXlib
+//! reproduction. One OS thread per rank inside a single process, real data
+//! movement through shared memory, and the MPI surface the miniapp needs:
+//! communicators with `split`/`dup`, point-to-point messaging, barriers,
+//! broadcast, allreduce, allgather, and the two collectives at the heart of
+//! the paper — `alltoall` (the stick↔plane scatter) and `alltoallv` (the
+//! band-group pack/unpack).
+//!
+//! Collectives are tag-qualified so that several can be in flight on one
+//! communicator at once (one per concurrently executing FFT task). Every
+//! operation can be recorded into an [`fftx_trace::TraceSink`].
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod world;
+
+pub use comm::{AlltoallRequest, Communicator};
+pub use world::World;

@@ -1,0 +1,188 @@
+//! The virtual MPI "universe": one OS thread per rank inside a single
+//! process, with shared-memory mailboxes and collective staging areas.
+//!
+//! This substitutes for the on-node Intel MPI of the paper's KNL testbed.
+//! Semantics (communicator topology, alltoall/alltoallv dataflow) are
+//! identical to MPI; on-node MPI implementations move bytes through shared
+//! memory just like this does.
+
+use crate::comm::Communicator;
+use fftx_trace::{TraceSink, WallClock};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Matching key for point-to-point messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct P2pKey {
+    pub comm_id: u64,
+    pub src: usize,
+    pub dst: usize,
+    pub tag: u32,
+}
+
+/// Collective operation kinds, part of the matching key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum CollKind {
+    Barrier,
+    Bcast,
+    Allreduce,
+    Allgather,
+    Alltoall,
+    Alltoallv,
+    Split,
+    Dup,
+}
+
+/// Matching key for collectives: every rank of `comm_id` calling the same
+/// kind with the same tag and per-(kind,tag) sequence number participates in
+/// the same operation instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CollKey {
+    pub comm_id: u64,
+    pub kind: CollKind,
+    pub tag: u32,
+    pub seq: u64,
+}
+
+/// One in-flight collective.
+pub(crate) struct CollSlot {
+    /// Per-participant contribution, keyed by index within the communicator.
+    pub contributions: HashMap<usize, Box<dyn Any + Send>>,
+    /// Per-participant results, filled by the completer (the last arriver).
+    pub results: HashMap<usize, Box<dyn Any + Send>>,
+    /// How many participants still have to pick up their result.
+    pub readers_left: usize,
+    /// Set once the completer has produced `results`.
+    pub done: bool,
+}
+
+pub(crate) struct WorldShared {
+    pub mailboxes: Mutex<HashMap<P2pKey, std::collections::VecDeque<Box<dyn Any + Send>>>>,
+    pub mail_cv: Condvar,
+    pub collectives: Mutex<HashMap<CollKey, CollSlot>>,
+    pub coll_cv: Condvar,
+    pub next_comm_id: AtomicU64,
+    pub trace: Option<TraceSink>,
+    pub clock: WallClock,
+    pub timeout: Duration,
+}
+
+/// Configuration and entry point of a virtual MPI execution.
+pub struct World {
+    nranks: usize,
+    trace: Option<TraceSink>,
+    timeout: Duration,
+}
+
+impl World {
+    /// A world of `nranks` virtual ranks.
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0, "World: need at least one rank");
+        World {
+            nranks,
+            trace: None,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Attaches a trace sink; every communication operation is recorded.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Sets the blocking-wait timeout after which a stuck operation panics
+    /// with a deadlock diagnostic (default 60 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Spawns one thread per rank, hands each a world communicator, and
+    /// returns the per-rank results in rank order.
+    ///
+    /// A panic on any rank propagates out of `run` (after the scope joins
+    /// the remaining threads, which may themselves hit the deadlock timeout
+    /// if they were waiting for the failed rank).
+    pub fn run<T, F>(self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Send + Sync,
+    {
+        let shared = Arc::new(WorldShared {
+            mailboxes: Mutex::new(HashMap::new()),
+            mail_cv: Condvar::new(),
+            collectives: Mutex::new(HashMap::new()),
+            coll_cv: Condvar::new(),
+            next_comm_id: AtomicU64::new(1),
+            trace: self.trace,
+            clock: WallClock::new(),
+            timeout: self.timeout,
+        });
+        let ranks: Arc<Vec<usize>> = Arc::new((0..self.nranks).collect());
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.nranks);
+            for rank in 0..self.nranks {
+                let shared = Arc::clone(&shared);
+                let ranks = Arc::clone(&ranks);
+                handles.push(scope.spawn(move || {
+                    let comm = Communicator::world(shared, ranks, rank);
+                    f(&comm)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    // Re-raise the original payload so callers (and tests)
+                    // see the rank's own panic message.
+                    h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = World::new(4).run(|comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::new(1).run(|comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        World::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        World::new(2)
+            .with_timeout(Duration::from_millis(200))
+            .run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("boom");
+                }
+            });
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the FFTXlib-on-KNL reproduction. Re-exports the public
+//! surface of every workspace crate so examples and downstream users need a
+//! single dependency.
+
+pub use fftx_core as core;
+pub use fftx_fft as fft;
+pub use fftx_knlsim as knlsim;
+pub use fftx_pw as pw;
+pub use fftx_taskrt as taskrt;
+pub use fftx_trace as trace;
+pub use fftx_vmpi as vmpi;
