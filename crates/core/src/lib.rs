@@ -26,5 +26,8 @@ pub mod taskmodes;
 pub use config::{FftxConfig, Mode};
 pub use original::{run_original, RunOutput};
 pub use problem::Problem;
-pub use modelplan::{build_programs, run_modeled, run_modeled_with, ModeledRun};
-pub use taskmodes::run;
+pub use modelplan::{
+    build_programs, run_modeled, run_modeled_with, simulate_config, simulate_config_faulty,
+    ModeledRun,
+};
+pub use taskmodes::{run, run_chaotic};

@@ -11,7 +11,10 @@
 use crate::config::{FftxConfig, Mode};
 use crate::original::StepFlops;
 use crate::problem::Problem;
-use fftx_knlsim::{simulate, CommModel, ContentionModel, KnlConfig, RankTasks, Segment, SimResult, TaskSpec};
+use fftx_knlsim::{
+    simulate, simulate_faulty, CommModel, ContentionModel, FaultPlan, KnlConfig, RankTasks,
+    Segment, SimResult, TaskSpec,
+};
 use fftx_trace::{CommOp, StateClass, Trace};
 use std::sync::Arc;
 
@@ -422,6 +425,23 @@ pub fn simulate_config(
     let problem = Problem::new(config);
     let programs = build_programs(&problem);
     simulate(&programs, knl, contention, comm)
+}
+
+/// [`simulate_config`] under a straggler [`FaultPlan`] — the entry point of
+/// the resilience experiment (`--bin resilience`): the same lowering, with
+/// selected compute segments stretched by the plan. Because the spikes key
+/// on the band/step noise keys shared by every mode's lowering, the injected
+/// severity is matched across modes by construction.
+pub fn simulate_config_faulty(
+    config: FftxConfig,
+    knl: &KnlConfig,
+    contention: &ContentionModel,
+    comm: &CommModel,
+    plan: &FaultPlan,
+) -> SimResult {
+    let problem = Problem::new(config);
+    let programs = build_programs(&problem);
+    simulate_faulty(&programs, knl, contention, comm, plan)
 }
 
 /// Convenience used by tests: total flops of all programs of a problem.

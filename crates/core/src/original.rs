@@ -218,6 +218,18 @@ pub fn transform_core(
 /// Runs the original static kernel on R×T virtual MPI ranks and returns the
 /// reassembled bands, trace and FFT-phase time.
 pub fn run_original(problem: &Arc<Problem>) -> RunOutput {
+    run_original_chaotic(problem, None).0
+}
+
+/// [`run_original`] with explicit chaos injection: when `chaos` is `Some`,
+/// the transport perturbs message timing per the seeded config (the output
+/// must be bit-identical — chaos is lossless by construction) and the fault
+/// schedule comes back alongside the run. `None` defers to the
+/// `FFTX_CHAOS_*` environment, like every `World`.
+pub fn run_original_chaotic(
+    problem: &Arc<Problem>,
+    chaos: Option<fftx_vmpi::ChaosConfig>,
+) -> (RunOutput, Option<fftx_vmpi::FaultReport>) {
     let cfg = problem.config;
     assert!(
         matches!(cfg.mode, crate::config::Mode::Original),
@@ -225,9 +237,13 @@ pub fn run_original(problem: &Arc<Problem>) -> RunOutput {
     );
     let p = cfg.vmpi_ranks();
     let sink = TraceSink::new();
-    let world = World::new(p).with_trace(sink.clone());
+    let mut world = World::new(p).with_trace(sink.clone());
+    if let Some(c) = chaos {
+        world = world.with_chaos(c);
+    }
     let results = world.run(|comm| rank_original(problem, comm));
-    finish_run(problem, sink, results)
+    let report = world.fault_report();
+    (finish_run(problem, sink, results), report)
 }
 
 /// Per-rank body of the original kernel.

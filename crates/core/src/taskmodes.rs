@@ -26,20 +26,33 @@ use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction};
 use fftx_pw::apply_potential_slab;
 use fftx_taskrt::{Runtime, Shared};
 use fftx_trace::{StateClass, TraceSink};
-use fftx_vmpi::{AlltoallRequest, Communicator, World};
+use fftx_vmpi::{AlltoallRequest, ChaosConfig, Communicator, FaultReport, World};
 use std::sync::Arc;
 
 /// Runs strategy 2 (one task per FFT/band) on R ranks × T workers.
 pub fn run_task_per_fft(problem: &Arc<Problem>) -> RunOutput {
+    run_task_per_fft_chaotic(problem, None).0
+}
+
+/// [`run_task_per_fft`] with explicit chaos injection (see
+/// [`crate::original::run_original_chaotic`]).
+pub fn run_task_per_fft_chaotic(
+    problem: &Arc<Problem>,
+    chaos: Option<ChaosConfig>,
+) -> (RunOutput, Option<FaultReport>) {
     let cfg = problem.config;
     assert!(
         matches!(cfg.mode, Mode::TaskPerFft),
         "run_task_per_fft: config mode mismatch"
     );
     let sink = TraceSink::new();
-    let world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    let mut world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    if let Some(c) = chaos {
+        world = world.with_chaos(c);
+    }
     let results = world.run(|comm| rank_task_per_fft(problem, comm));
-    finish_run(problem, sink, results)
+    let report = world.fault_report();
+    (finish_run(problem, sink, results), report)
 }
 
 fn rank_task_per_fft(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
@@ -117,15 +130,28 @@ fn rank_task_per_fft(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Co
 /// Runs strategy 1 (one task per pipeline step, flow dependencies) on
 /// R ranks × T workers.
 pub fn run_task_per_step(problem: &Arc<Problem>) -> RunOutput {
+    run_task_per_step_chaotic(problem, None).0
+}
+
+/// [`run_task_per_step`] with explicit chaos injection (see
+/// [`crate::original::run_original_chaotic`]).
+pub fn run_task_per_step_chaotic(
+    problem: &Arc<Problem>,
+    chaos: Option<ChaosConfig>,
+) -> (RunOutput, Option<FaultReport>) {
     let cfg = problem.config;
     assert!(
         matches!(cfg.mode, Mode::TaskPerStep),
         "run_task_per_step: config mode mismatch"
     );
     let sink = TraceSink::new();
-    let world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    let mut world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    if let Some(c) = chaos {
+        world = world.with_chaos(c);
+    }
     let results = world.run(|comm| rank_task_per_step(problem, comm));
-    finish_run(problem, sink, results)
+    let report = world.fault_report();
+    (finish_run(problem, sink, results), report)
 }
 
 /// Context cloned into every step task of one band.
@@ -387,15 +413,28 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
 /// issues a nonblocking alltoall and a *wait* task that completes it, so
 /// other bands' compute overlaps the transfer automatically.
 pub fn run_task_async(problem: &Arc<Problem>) -> RunOutput {
+    run_task_async_chaotic(problem, None).0
+}
+
+/// [`run_task_async`] with explicit chaos injection (see
+/// [`crate::original::run_original_chaotic`]).
+pub fn run_task_async_chaotic(
+    problem: &Arc<Problem>,
+    chaos: Option<ChaosConfig>,
+) -> (RunOutput, Option<FaultReport>) {
     let cfg = problem.config;
     assert!(
         matches!(cfg.mode, Mode::TaskAsync),
         "run_task_async: config mode mismatch"
     );
     let sink = TraceSink::new();
-    let world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    let mut world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
+    if let Some(c) = chaos {
+        world = world.with_chaos(c);
+    }
     let results = world.run(|comm| rank_task_async(problem, comm));
-    finish_run(problem, sink, results)
+    let report = world.fault_report();
+    (finish_run(problem, sink, results), report)
 }
 
 fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
@@ -657,10 +696,21 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
 
 /// Dispatches to the engine matching the configuration's mode.
 pub fn run(problem: &Arc<Problem>) -> RunOutput {
+    run_chaotic(problem, None).0
+}
+
+/// [`run`] with explicit chaos injection: the transport faults perturb
+/// timing only, so the returned bands must equal the clean run's bit for
+/// bit; the [`FaultReport`] (when chaos was active) records the injected
+/// schedule.
+pub fn run_chaotic(
+    problem: &Arc<Problem>,
+    chaos: Option<ChaosConfig>,
+) -> (RunOutput, Option<FaultReport>) {
     match problem.config.mode {
-        Mode::Original => crate::original::run_original(problem),
-        Mode::TaskPerStep => run_task_per_step(problem),
-        Mode::TaskPerFft => run_task_per_fft(problem),
-        Mode::TaskAsync => run_task_async(problem),
+        Mode::Original => crate::original::run_original_chaotic(problem, chaos),
+        Mode::TaskPerStep => run_task_per_step_chaotic(problem, chaos),
+        Mode::TaskPerFft => run_task_per_fft_chaotic(problem, chaos),
+        Mode::TaskAsync => run_task_async_chaotic(problem, chaos),
     }
 }

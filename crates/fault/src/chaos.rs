@@ -1,0 +1,486 @@
+//! The chaos engine: seeded, per-site deterministic fault decisions.
+
+use crate::{mix64, unit_f64};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What to inject and how often. Probabilities are per message; the
+/// default config injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule. Two runs with equal config produce the
+    /// identical schedule.
+    pub seed: u64,
+    /// Probability that a message's delivery is delayed.
+    pub p_delay: f64,
+    /// Upper bound of an injected delivery delay.
+    pub max_delay: Duration,
+    /// Probability that a message is duplicated on the wire (the transport
+    /// discards the copy by sequence number).
+    pub p_duplicate: f64,
+    /// Probability that a transmission attempt is dropped. Drops are
+    /// bounded: after at most [`ChaosConfig::max_drops`] attempts the
+    /// retransmit goes through, so no payload is ever lost.
+    pub p_drop: f64,
+    /// Bound on consecutive drops of one message.
+    pub max_drops: u32,
+    /// Latency charged per dropped attempt (the retransmit timeout).
+    pub retry_backoff: Duration,
+    /// Probability that a message is reordered on the wire (the transport
+    /// restores order by sequence number and records the event).
+    pub p_reorder: f64,
+    /// Optional rank-stall / straggler injection.
+    pub stall: Option<StallConfig>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            p_delay: 0.0,
+            max_delay: Duration::from_micros(500),
+            p_duplicate: 0.0,
+            p_drop: 0.0,
+            max_drops: 2,
+            retry_backoff: Duration::from_micros(200),
+            p_reorder: 0.0,
+            stall: None,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A schedule injecting every fault class at moderate rates — the
+    /// config the chaos test suites and the CI chaos job run under.
+    pub fn aggressive(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            p_delay: 0.2,
+            max_delay: Duration::from_micros(300),
+            p_duplicate: 0.15,
+            p_drop: 0.15,
+            max_drops: 2,
+            retry_backoff: Duration::from_micros(100),
+            p_reorder: 0.25,
+            stall: None,
+        }
+    }
+
+    /// Reads a config from `FFTX_CHAOS_SEED` (and optional
+    /// `FFTX_CHAOS_PROFILE=off|light|aggressive`). Returns `None` when the
+    /// seed variable is unset — the zero-overhead default.
+    pub fn from_env() -> Option<Self> {
+        let seed: u64 = std::env::var("FFTX_CHAOS_SEED").ok()?.parse().ok()?;
+        match std::env::var("FFTX_CHAOS_PROFILE").as_deref() {
+            Ok("off") => None,
+            Ok("light") => Some(ChaosConfig {
+                p_delay: 0.05,
+                p_duplicate: 0.05,
+                p_drop: 0.05,
+                p_reorder: 0.1,
+                ..ChaosConfig::aggressive(seed)
+            }),
+            _ => Some(ChaosConfig::aggressive(seed)),
+        }
+    }
+
+    /// Adds a rank-stall spec.
+    pub fn with_stall(mut self, stall: StallConfig) -> Self {
+        self.stall = Some(stall);
+        self
+    }
+}
+
+/// Deterministic rank-stall injection: the selected ranks pause for
+/// `pause` before every `every`-th collective they enter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallConfig {
+    /// Bitmask of stalled world ranks (bit r = rank r; ranks ≥ 64 are
+    /// never stalled).
+    pub rank_mask: u64,
+    /// Stall duration.
+    pub pause: Duration,
+    /// Stall before every `every`-th collective entry (1 = all).
+    pub every: u32,
+}
+
+impl StallConfig {
+    /// Stalls `rank` before every `every`-th collective by `pause`.
+    pub fn rank(rank: usize, pause: Duration, every: u32) -> Self {
+        StallConfig {
+            rank_mask: if rank < 64 { 1 << rank } else { 0 },
+            pause,
+            every: every.max(1),
+        }
+    }
+
+    fn applies(&self, rank: usize) -> bool {
+        rank < 64 && self.rank_mask & (1 << rank) != 0
+    }
+}
+
+/// The fault classes the engine injects or the transport observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A transmission attempt was dropped (and later retransmitted).
+    Drop,
+    /// Delivery of a message was delayed.
+    Delay,
+    /// A message was duplicated on the wire.
+    Duplicate,
+    /// A message was reordered on the wire.
+    Reorder,
+    /// A duplicate copy was discarded by the receiving transport.
+    DuplicateDiscarded,
+    /// A rank stalled before a collective (straggler).
+    Stall,
+}
+
+/// One injected fault, in decision order per site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Communicator id (or `u64::MAX` for non-communicator sites).
+    pub comm: u64,
+    /// Source rank of the affected message (sender-local index), or the
+    /// stalled rank for [`FaultKind::Stall`].
+    pub src: usize,
+    /// Destination rank, or `usize::MAX` when not applicable.
+    pub dst: usize,
+    /// Message tag (or collective counter for stalls).
+    pub tag: u64,
+    /// Per-site sequence number of the affected message.
+    pub seq: u64,
+}
+
+/// Summary of an engine's activity (cheap to compare in tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Injected events, in per-site decision order (globally sorted).
+    pub events: Vec<FaultEvent>,
+    /// Observed delivery order: `(comm, src, dst, tag, seq)` per received
+    /// message, in per-site order (globally sorted).
+    pub deliveries: Vec<(u64, usize, usize, u64, u64)>,
+}
+
+impl FaultReport {
+    /// Number of events of `kind`.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+/// The wire-level plan for one message: decided once at send time, purely
+/// from `(seed, site, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessagePlan {
+    /// Per-site sequence number stamped on the message.
+    pub seq: u64,
+    /// How many transmission attempts are dropped before one goes through.
+    pub drops: u32,
+    /// Injected delivery delay.
+    pub delay: Option<Duration>,
+    /// Whether a duplicate copy is enqueued.
+    pub duplicate: bool,
+    /// Whether the message jumps the queue (transport restores order).
+    pub reorder: bool,
+}
+
+impl MessagePlan {
+    /// A clean transmission (no faults), stamping `seq`.
+    pub fn clean(seq: u64) -> Self {
+        MessagePlan {
+            seq,
+            drops: 0,
+            delay: None,
+            duplicate: false,
+            reorder: false,
+        }
+    }
+
+    /// Total injected latency for this message (drop retries + delay).
+    pub fn latency(&self, cfg: &ChaosConfig) -> Duration {
+        cfg.retry_backoff * self.drops + self.delay.unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Site key of a p2p channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Site {
+    comm: u64,
+    src: usize,
+    dst: usize,
+    tag: u64,
+}
+
+#[derive(Default)]
+struct EngineState {
+    /// Per-site send counters (the `seq` source).
+    send_seq: HashMap<Site, u64>,
+    /// Per-rank collective entry counters (stall schedule).
+    coll_count: HashMap<usize, u64>,
+    /// Injected + observed events.
+    events: Vec<FaultEvent>,
+    /// Observed delivery order.
+    deliveries: Vec<(u64, usize, usize, u64, u64)>,
+}
+
+/// Seeded fault-decision engine. Shared (`Arc`) between all ranks of a
+/// world; interior mutability keeps per-site counters.
+pub struct ChaosEngine {
+    cfg: ChaosConfig,
+    state: Mutex<EngineState>,
+}
+
+impl ChaosEngine {
+    /// An engine executing `cfg`'s schedule.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        ChaosEngine {
+            cfg,
+            state: Mutex::new(EngineState::default()),
+        }
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Hash of `(seed, site, seq, salt)` — the only randomness source.
+    fn decision_bits(&self, site: Site, seq: u64, salt: u64) -> u64 {
+        let mut h = self.cfg.seed;
+        h = mix64(h ^ site.comm);
+        h = mix64(h ^ (site.src as u64).wrapping_mul(0x9E37_79B9));
+        h = mix64(h ^ (site.dst as u64).wrapping_mul(0x85EB_CA6B));
+        h = mix64(h ^ site.tag);
+        h = mix64(h ^ seq);
+        mix64(h ^ salt)
+    }
+
+    /// Decides the wire plan for the next message on `(comm, src, dst,
+    /// tag)`. Deterministic: the n-th call for one site always returns the
+    /// same plan, regardless of thread interleaving across sites.
+    pub fn plan_message(&self, comm: u64, src: usize, dst: usize, tag: u64) -> MessagePlan {
+        let site = Site { comm, src, dst, tag };
+        let mut st = self.state.lock().unwrap();
+        let seq = {
+            let c = st.send_seq.entry(site).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let mut plan = MessagePlan::clean(seq);
+        if unit_f64(self.decision_bits(site, seq, 1)) < self.cfg.p_drop {
+            let extra = self.decision_bits(site, seq, 2) % u64::from(self.cfg.max_drops.max(1));
+            plan.drops = 1 + extra as u32;
+            for _ in 0..plan.drops {
+                st.events.push(FaultEvent {
+                    kind: FaultKind::Drop,
+                    comm,
+                    src,
+                    dst,
+                    tag,
+                    seq,
+                });
+            }
+        }
+        if unit_f64(self.decision_bits(site, seq, 3)) < self.cfg.p_delay {
+            let span = self.cfg.max_delay.as_nanos().max(1) as u64;
+            let d = Duration::from_nanos(1 + self.decision_bits(site, seq, 4) % span);
+            plan.delay = Some(d);
+            st.events.push(FaultEvent {
+                kind: FaultKind::Delay,
+                comm,
+                src,
+                dst,
+                tag,
+                seq,
+            });
+        }
+        if unit_f64(self.decision_bits(site, seq, 5)) < self.cfg.p_duplicate {
+            plan.duplicate = true;
+            st.events.push(FaultEvent {
+                kind: FaultKind::Duplicate,
+                comm,
+                src,
+                dst,
+                tag,
+                seq,
+            });
+        }
+        if seq > 0 && unit_f64(self.decision_bits(site, seq, 6)) < self.cfg.p_reorder {
+            plan.reorder = true;
+            st.events.push(FaultEvent {
+                kind: FaultKind::Reorder,
+                comm,
+                src,
+                dst,
+                tag,
+                seq,
+            });
+        }
+        plan
+    }
+
+    /// Called by the transport when it discards a duplicate copy.
+    pub fn note_duplicate_discarded(&self, comm: u64, src: usize, dst: usize, tag: u64, seq: u64) {
+        self.state.lock().unwrap().events.push(FaultEvent {
+            kind: FaultKind::DuplicateDiscarded,
+            comm,
+            src,
+            dst,
+            tag,
+            seq,
+        });
+    }
+
+    /// Called by the transport on every accepted delivery; builds the
+    /// observable delivery-order log.
+    pub fn note_delivery(&self, comm: u64, src: usize, dst: usize, tag: u64, seq: u64) {
+        self.state
+            .lock()
+            .unwrap()
+            .deliveries
+            .push((comm, src, dst, tag, seq));
+    }
+
+    /// Stall decision for `rank`'s next collective entry: `Some(pause)`
+    /// when the rank is configured as a straggler and this entry is due.
+    pub fn stall_before_collective(&self, rank: usize) -> Option<Duration> {
+        let stall = self.cfg.stall?;
+        if !stall.applies(rank) {
+            return None;
+        }
+        let mut st = self.state.lock().unwrap();
+        let c = st.coll_count.entry(rank).or_insert(0);
+        let n = *c;
+        *c += 1;
+        if n.is_multiple_of(u64::from(stall.every)) {
+            st.events.push(FaultEvent {
+                kind: FaultKind::Stall,
+                comm: u64::MAX,
+                src: rank,
+                dst: usize::MAX,
+                tag: n,
+                seq: n,
+            });
+            Some(stall.pause)
+        } else {
+            None
+        }
+    }
+
+    /// Snapshot of everything injected and observed so far. Event and
+    /// delivery logs are sorted into a canonical order (they are recorded
+    /// under thread interleaving, but per-site subsequences are
+    /// deterministic — sorting makes the whole report comparable across
+    /// runs).
+    pub fn report(&self) -> FaultReport {
+        let st = self.state.lock().unwrap();
+        let mut events = st.events.clone();
+        events.sort_by_key(|e| (e.comm, e.src, e.dst, e.tag, e.seq, e.kind as u8));
+        let mut deliveries = st.deliveries.clone();
+        deliveries.sort_unstable();
+        FaultReport { events, deliveries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites() -> Vec<(u64, usize, usize, u64)> {
+        vec![(1, 0, 1, 7), (1, 1, 0, 7), (2, 0, 3, 0), (1, 0, 1, 8)]
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ChaosEngine::new(ChaosConfig::aggressive(42));
+        let b = ChaosEngine::new(ChaosConfig::aggressive(42));
+        for (c, s, d, t) in sites().into_iter().cycle().take(400) {
+            assert_eq!(a.plan_message(c, s, d, t), b.plan_message(c, s, d, t));
+        }
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn schedule_is_interleaving_independent() {
+        // Same per-site message counts, different global arrival order:
+        // per-site plans must match.
+        let a = ChaosEngine::new(ChaosConfig::aggressive(7));
+        let b = ChaosEngine::new(ChaosConfig::aggressive(7));
+        let mut pa = Vec::new();
+        for (c, s, d, t) in sites().into_iter().cycle().take(40) {
+            pa.push(((c, s, d, t), a.plan_message(c, s, d, t)));
+        }
+        let mut pb = Vec::new();
+        for (c, s, d, t) in sites().into_iter().rev().cycle().take(40) {
+            pb.push(((c, s, d, t), b.plan_message(c, s, d, t)));
+        }
+        pa.sort_by_key(|(k, p)| (*k, p.seq));
+        pb.sort_by_key(|(k, p)| (*k, p.seq));
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosEngine::new(ChaosConfig::aggressive(1));
+        let b = ChaosEngine::new(ChaosConfig::aggressive(2));
+        let plans_a: Vec<_> = (0..200).map(|i| a.plan_message(1, 0, 1, i % 5)).collect();
+        let plans_b: Vec<_> = (0..200).map(|i| b.plan_message(1, 0, 1, i % 5)).collect();
+        assert_ne!(plans_a, plans_b);
+    }
+
+    #[test]
+    fn default_config_injects_nothing() {
+        let e = ChaosEngine::new(ChaosConfig {
+            seed: 99,
+            ..ChaosConfig::default()
+        });
+        for i in 0..500 {
+            let p = e.plan_message(1, 0, 1, i % 3);
+            assert_eq!(p.drops, 0);
+            assert_eq!(p.delay, None);
+            assert!(!p.duplicate && !p.reorder);
+        }
+        assert!(e.report().events.is_empty());
+    }
+
+    #[test]
+    fn drops_are_bounded() {
+        let cfg = ChaosConfig {
+            seed: 3,
+            p_drop: 1.0,
+            max_drops: 3,
+            ..ChaosConfig::default()
+        };
+        let e = ChaosEngine::new(cfg);
+        for i in 0..100 {
+            let p = e.plan_message(4, 1, 2, i);
+            assert!(p.drops >= 1 && p.drops <= 3, "drops {}", p.drops);
+        }
+    }
+
+    #[test]
+    fn stall_schedule_hits_only_configured_rank() {
+        let cfg = ChaosConfig::default()
+            .with_stall(StallConfig::rank(2, Duration::from_millis(1), 3));
+        let e = ChaosEngine::new(ChaosConfig { seed: 1, ..cfg });
+        assert!(e.stall_before_collective(0).is_none());
+        // Entries 0, 3, 6, ... stall.
+        let hits: Vec<bool> = (0..7).map(|_| e.stall_before_collective(2).is_some()).collect();
+        assert_eq!(hits, vec![true, false, false, true, false, false, true]);
+        assert_eq!(e.report().count(FaultKind::Stall), 3);
+    }
+
+    #[test]
+    fn seq_numbers_are_per_site() {
+        let e = ChaosEngine::new(ChaosConfig::default());
+        assert_eq!(e.plan_message(1, 0, 1, 0).seq, 0);
+        assert_eq!(e.plan_message(1, 0, 1, 0).seq, 1);
+        assert_eq!(e.plan_message(1, 0, 2, 0).seq, 0);
+        assert_eq!(e.plan_message(1, 0, 1, 9).seq, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! fftx-fault: deterministic, seeded fault injection.
+//!
+//! The substrate underneath the miniapp — `fftx-vmpi`'s shared-memory
+//! transport and `fftx-taskrt`'s worker pool — is exercised by tests and
+//! benches on a perfectly reliable "network". This crate supplies the
+//! opposite: a chaos engine that injects message delay, reordering,
+//! duplication, and bounded drop (always followed by a retransmit, so the
+//! transport stays lossless) into the virtual MPI layer, plus rank-stall /
+//! straggler plans for both the real engines and the KNL discrete-event
+//! simulator.
+//!
+//! Everything is **deterministic**: every decision is a pure function of
+//! `(seed, site, per-site counter)` where a *site* identifies a logical
+//! channel (communicator, src, dst, tag). Thread scheduling never feeds
+//! back into decisions, so one seed reproduces one fault schedule exactly
+//! — the property the chaos-determinism proptests pin down.
+
+mod chaos;
+mod plan;
+
+pub use chaos::{ChaosConfig, ChaosEngine, FaultEvent, FaultKind, FaultReport, MessagePlan, StallConfig};
+pub use plan::{BandSpikes, FaultPlan};
+
+/// splitmix64 finalizer: the workspace's standard bit mixer.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps 64 random bits to a uniform f64 in `[0, 1)`.
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}

@@ -1,0 +1,133 @@
+//! Straggler plans for the KNL discrete-event simulator.
+//!
+//! Unlike the wall-clock chaos engine, the simulator wants *virtual-time*
+//! faults: a plan that inflates selected compute segments. Two knobs:
+//!
+//! * **Rank slowdown** — a constant multiplier on every compute segment of
+//!   a simulated rank (a chronically slow node: thermal throttling, a
+//!   noisy neighbour).
+//! * **Band spikes** — a fixed extra latency added to one step of every
+//!   `every`-th band, *whichever rank and mode executes it*. Because the
+//!   spiked work items are identified by the band/step noise key shared by
+//!   all mode lowerings, the injected severity is matched across modes by
+//!   construction — the property the resilience experiment's comparison
+//!   rests on.
+
+/// Spikes on band work items: step `ordinal` of every `every`-th band
+/// takes `extra_seconds` longer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandSpikes {
+    /// Spike bands `0, every, 2*every, ...`.
+    pub every: usize,
+    /// Which step of the band chain spikes (the `nkey` ordinal; the core
+    /// chain uses 10..=18, `13` is the inverse xy-FFT).
+    pub ordinal: u64,
+    /// Extra virtual seconds per spiked segment.
+    pub extra_seconds: f64,
+}
+
+/// A deterministic fault plan for one simulation. [`FaultPlan::none`] (the
+/// `Default`) injects nothing and costs one branch per segment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// `(rank, factor)` pairs: every compute segment on `rank` takes
+    /// `factor`× as long (`factor > 1` = straggler).
+    pub slow_ranks: Vec<(usize, f64)>,
+    /// Optional band-keyed latency spikes.
+    pub band_spikes: Option<BandSpikes>,
+}
+
+impl FaultPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan slowing a single rank by `factor`.
+    pub fn slow_rank(rank: usize, factor: f64) -> Self {
+        FaultPlan {
+            slow_ranks: vec![(rank, factor)],
+            band_spikes: None,
+        }
+    }
+
+    /// A plan spiking step `ordinal` of every `every`-th band by
+    /// `extra_seconds`.
+    pub fn spikes(every: usize, ordinal: u64, extra_seconds: f64) -> Self {
+        FaultPlan {
+            slow_ranks: Vec::new(),
+            band_spikes: Some(BandSpikes {
+                every: every.max(1),
+                ordinal,
+                extra_seconds,
+            }),
+        }
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        !self.slow_ranks.is_empty() || self.band_spikes.is_some()
+    }
+
+    /// Duration multiplier for compute segments on `rank` (1.0 = clean).
+    pub fn rank_factor(&self, rank: usize) -> f64 {
+        self.slow_ranks
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|(_, f)| *f)
+            .unwrap_or(1.0)
+    }
+
+    /// Extra virtual seconds for the compute segment with `noise_key`
+    /// (`u64::MAX` = unkeyed, never spiked). The key encodes
+    /// `band * 64 + ordinal` — the convention of the model lowering.
+    pub fn spike_extra(&self, noise_key: u64) -> f64 {
+        let Some(s) = self.band_spikes else { return 0.0 };
+        if noise_key == u64::MAX {
+            return 0.0;
+        }
+        let (band, ordinal) = (noise_key / 64, noise_key % 64);
+        if ordinal == s.ordinal && band.is_multiple_of(s.every as u64) {
+            s.extra_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_clean() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p.rank_factor(0), 1.0);
+        assert_eq!(p.spike_extra(13), 0.0);
+        assert_eq!(p.spike_extra(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn slow_rank_only_affects_that_rank() {
+        let p = FaultPlan::slow_rank(3, 2.5);
+        assert!(p.is_active());
+        assert_eq!(p.rank_factor(3), 2.5);
+        assert_eq!(p.rank_factor(2), 1.0);
+    }
+
+    #[test]
+    fn spikes_hit_every_nth_band_at_one_ordinal() {
+        let p = FaultPlan::spikes(4, 13, 0.25);
+        // band 0, ordinal 13.
+        assert_eq!(p.spike_extra(13), 0.25);
+        // band 0, other ordinal.
+        assert_eq!(p.spike_extra(14), 0.0);
+        // band 4, ordinal 13.
+        assert_eq!(p.spike_extra(4 * 64 + 13), 0.25);
+        // band 5, ordinal 13.
+        assert_eq!(p.spike_extra(5 * 64 + 13), 0.0);
+        // unkeyed.
+        assert_eq!(p.spike_extra(u64::MAX), 0.0);
+    }
+}

@@ -10,6 +10,7 @@
 use crate::arch::KnlConfig;
 use crate::model::{CommModel, ContentionModel};
 use crate::program::{RankTasks, Segment};
+use fftx_fault::FaultPlan;
 use fftx_trace::{CommRecord, ComputeRecord, Lane, StateClass, TaskRecord, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -91,6 +92,24 @@ pub fn simulate(
     knl: &KnlConfig,
     contention: &ContentionModel,
     comm: &CommModel,
+) -> SimResult {
+    simulate_faulty(ranks, knl, contention, comm, &FaultPlan::none())
+}
+
+/// [`simulate`] with straggler injection: compute segments are stretched by
+/// `plan.rank_factor(rank)`, and band-keyed segments matching the plan's
+/// spikes absorb an extra stall (sized to take `extra_seconds` at the
+/// class's uncontended speed; contention can only lengthen it).
+/// `FaultPlan::none()` makes this identical to [`simulate`].
+///
+/// # Panics
+/// Same conditions as [`simulate`].
+pub fn simulate_faulty(
+    ranks: &[RankTasks],
+    knl: &KnlConfig,
+    contention: &ContentionModel,
+    comm: &CommModel,
+    plan: &FaultPlan,
 ) -> SimResult {
     let nlanes: usize = ranks.iter().map(|r| r.workers).sum();
     knl.check_capacity(nlanes);
@@ -239,6 +258,8 @@ pub fn simulate(
         network: &mut Network,
         contention: &ContentionModel,
         comm: &CommModel,
+        plan: &FaultPlan,
+        freq: f64,
         trace: &mut Trace,
         now: f64,
     ) {
@@ -278,10 +299,19 @@ pub fn simulate(
                     noise_key,
                 } => {
                     lane.seg_counter += 1;
-                    let instr = flops
+                    let mut instr = flops
                         * contention.instructions_per_flop(*class)
                         * contention.noise_factor(lane.index, lane.seg_counter)
                         * contention.band_factor(*noise_key);
+                    if plan.is_active() {
+                        instr *= plan.rank_factor(lane.rank);
+                        // A spike is an off-core stall: extra work sized so
+                        // it takes `extra_seconds` at the class's uncontended
+                        // speed (contention can only stretch it).
+                        instr += plan.spike_extra(*noise_key)
+                            * freq
+                            * contention.base_ipc(*class);
+                    }
                     if instr <= 0.0 {
                         lane.seg_idx += 1;
                         continue;
@@ -387,6 +417,8 @@ pub fn simulate(
                     &mut network,
                     contention,
                     comm,
+                    plan,
+                    freq,
                     &mut trace,
                     now,
                 );
@@ -508,6 +540,8 @@ pub fn simulate(
                 &mut network,
                 contention,
                 comm,
+                plan,
+                freq,
                 &mut trace,
                 now,
             );
@@ -563,6 +597,8 @@ pub fn simulate(
                     &mut network,
                     contention,
                     comm,
+                    plan,
+                    freq,
                     &mut trace,
                     now,
                 );
@@ -984,5 +1020,103 @@ mod split_phase_tests {
     fn wait_without_post_is_rejected() {
         let progs = vec![RankTasks::static_program(vec![wait(5, 0)])];
         simulate(&progs, &KnlConfig::paper(), &quiet(), &CommModel::paper());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::program::RankTasks;
+    use fftx_trace::StateClass;
+
+    fn quiet() -> ContentionModel {
+        ContentionModel {
+            noise: 0.0,
+            band_noise: 0.0,
+            ..ContentionModel::paper()
+        }
+    }
+
+    fn compute(flops: f64) -> Segment {
+        Segment::compute(StateClass::FftXy, flops)
+    }
+
+    #[test]
+    fn empty_plan_is_exactly_the_clean_simulation() {
+        let progs = vec![
+            RankTasks::static_program(vec![compute(1e9), compute(5e8)]),
+            RankTasks::static_program(vec![compute(1e9), compute(5e8)]),
+        ];
+        let clean = simulate(&progs, &KnlConfig::paper(), &quiet(), &CommModel::paper());
+        let faulty = simulate_faulty(
+            &progs,
+            &KnlConfig::paper(),
+            &quiet(),
+            &CommModel::paper(),
+            &FaultPlan::none(),
+        );
+        assert_eq!(clean.runtime, faulty.runtime);
+        assert_eq!(clean.trace.compute.len(), faulty.trace.compute.len());
+    }
+
+    #[test]
+    fn slow_rank_stretches_only_that_rank() {
+        let progs = vec![RankTasks::static_program(vec![compute(1.4e9)])];
+        let clean = simulate(&progs, &KnlConfig::paper(), &quiet(), &CommModel::paper());
+        let slowed = simulate_faulty(
+            &progs,
+            &KnlConfig::paper(),
+            &quiet(),
+            &CommModel::paper(),
+            &FaultPlan::slow_rank(0, 2.0),
+        );
+        assert!(
+            (slowed.runtime - 2.0 * clean.runtime).abs() < 1e-9,
+            "slowed {} vs clean {}",
+            slowed.runtime,
+            clean.runtime
+        );
+        // A plan naming a rank that does not exist changes nothing.
+        let other = simulate_faulty(
+            &progs,
+            &KnlConfig::paper(),
+            &quiet(),
+            &CommModel::paper(),
+            &FaultPlan::slow_rank(1, 2.0),
+        );
+        assert_eq!(other.runtime, clean.runtime);
+    }
+
+    #[test]
+    fn spikes_hit_only_matching_band_segments() {
+        // Two band work items at ordinal 13: band 0 (key 13) and band 1
+        // (key 64 + 13). A spike on every 2nd band hits only band 0.
+        let keyed = |band: u64| Segment::compute_keyed(StateClass::FftXy, 1e9, band * 64 + 13);
+        let progs = vec![RankTasks::static_program(vec![keyed(0), keyed(1)])];
+        let clean = simulate(&progs, &KnlConfig::paper(), &quiet(), &CommModel::paper());
+        let spiked = simulate_faulty(
+            &progs,
+            &KnlConfig::paper(),
+            &quiet(),
+            &CommModel::paper(),
+            &FaultPlan::spikes(2, 13, 0.5),
+        );
+        // The stall is 0.5 s of unit-IPC work; at the class IPC it can only
+        // take longer.
+        assert!(
+            spiked.runtime >= clean.runtime + 0.5,
+            "spiked {} vs clean {}",
+            spiked.runtime,
+            clean.runtime
+        );
+        // A spike at a different ordinal misses every segment.
+        let missed = simulate_faulty(
+            &progs,
+            &KnlConfig::paper(),
+            &quiet(),
+            &CommModel::paper(),
+            &FaultPlan::spikes(2, 14, 0.5),
+        );
+        assert_eq!(missed.runtime, clean.runtime);
     }
 }

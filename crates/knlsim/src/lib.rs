@@ -17,6 +17,7 @@ pub mod model;
 pub mod program;
 
 pub use arch::KnlConfig;
-pub use des::{simulate, SimResult};
+pub use des::{simulate, simulate_faulty, SimResult};
+pub use fftx_fault::{BandSpikes, FaultPlan};
 pub use model::{CommModel, ContentionModel};
 pub use program::{RankTasks, Segment, TaskSpec};

@@ -1,0 +1,89 @@
+//! Typed task-failure reporting.
+//!
+//! A panic inside a task body used to be re-raised by `taskwait` as the
+//! bare payload, with no indication of *which* task failed or what depended
+//! on it — and every queued task still ran against the half-written state
+//! the failed task left behind. [`TaskError`] captures the task label, its
+//! unfinished dependency chain at submission, and the panic message; the
+//! runtime goes fail-stop after the first failure (remaining bodies are
+//! skipped, dependents are released, nothing deadlocks).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a `taskwait` could not complete normally.
+#[derive(Debug, Clone)]
+pub enum TaskError {
+    /// A task body panicked.
+    Failed {
+        /// Label of the failed task.
+        label: String,
+        /// Labels of the task's direct dependencies that were still
+        /// unfinished when it was submitted (its wait-for lineage).
+        chain: Vec<String>,
+        /// The panic message (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// The taskwait watchdog expired before outstanding tasks finished.
+    Timeout {
+        /// The configured watchdog timeout.
+        waited: Duration,
+        /// Task-graph wavefront at expiry: running / ready / blocked tasks.
+        wavefront: String,
+    },
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Failed {
+                label,
+                chain,
+                message,
+            } => {
+                write!(f, "taskrt: task '{label}' failed: {message}")?;
+                if chain.is_empty() {
+                    write!(f, " (no unfinished dependencies at submission)")
+                } else {
+                    write!(f, " (dependency chain: {})", chain.join(" <- "))
+                }
+            }
+            TaskError::Timeout { waited, wavefront } => write!(
+                f,
+                "taskrt deadlock: taskwait timed out after {waited:?}; task-graph \
+                 wavefront:\n{wavefront}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failed_display_carries_payload_and_chain() {
+        let e = TaskError::Failed {
+            label: "fft[3]".into(),
+            chain: vec!["pack[3]".into(), "prep[3]".into()],
+            message: "task exploded".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("task 'fft[3]'"));
+        assert!(s.contains("task exploded"));
+        assert!(s.contains("pack[3] <- prep[3]"));
+    }
+
+    #[test]
+    fn timeout_display_names_the_wavefront() {
+        let e = TaskError::Timeout {
+            waited: Duration::from_millis(250),
+            wavefront: "  running: stuck[0]".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("taskrt deadlock"));
+        assert!(s.contains("stuck[0]"));
+    }
+}

@@ -13,8 +13,10 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod handle;
 pub mod runtime;
 
+pub use error::TaskError;
 pub use handle::{Access, Dep, Handle, Shared};
 pub use runtime::{Runtime, RuntimeBuilder};

@@ -8,6 +8,7 @@
 //! identical task-creation order on every rank it gives the deadlock-freedom
 //! argument for blocking collectives inside tasks (see `fftx-vmpi`).
 
+use crate::error::TaskError;
 use crate::handle::{Dep, Handle};
 use fftx_trace::{set_current_thread, Lane, TaskRecord, TraceSink, WallClock};
 use parking_lot::{Condvar, Mutex};
@@ -16,6 +17,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 type TaskClosure = Box<dyn FnOnce() + Send>;
 
@@ -27,6 +29,9 @@ struct TaskState {
     pending: usize,
     /// Tasks to release when this one finishes.
     successors: Vec<u64>,
+    /// Labels of the direct predecessors that were unfinished at
+    /// submission (failure diagnostics).
+    pred_labels: Vec<String>,
     t_created: f64,
 }
 
@@ -46,8 +51,49 @@ struct Sched {
     next_id: u64,
     unfinished: usize,
     shutdown: bool,
-    /// First panic payload captured from a task.
-    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// First task failure; sticky — the runtime is fail-stop after it.
+    failure: Option<TaskError>,
+}
+
+impl Sched {
+    /// Renders the task-graph wavefront: what is running, ready, blocked.
+    fn wavefront(&self) -> String {
+        use std::fmt::Write;
+        let ready_ids: std::collections::HashSet<u64> =
+            self.ready.iter().map(|Reverse((_p, id))| *id).collect();
+        let mut running = Vec::new();
+        let mut ready = Vec::new();
+        let mut blocked = Vec::new();
+        let mut ids: Vec<&u64> = self.tasks.keys().collect();
+        ids.sort();
+        for id in ids {
+            let t = &self.tasks[id];
+            if t.closure.is_none() {
+                running.push(format!("{} (id {id})", t.label));
+            } else if ready_ids.contains(id) {
+                ready.push(format!("{} (id {id})", t.label));
+            } else {
+                blocked.push(format!("{} (id {id}, {} pending deps)", t.label, t.pending));
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "  running: [{}]", running.join(", "));
+        let _ = writeln!(out, "  ready:   [{}]", ready.join(", "));
+        let _ = writeln!(out, "  blocked: [{}]", blocked.join(", "));
+        let _ = write!(out, "  unfinished tasks: {}", self.unfinished);
+        out
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 struct Inner {
@@ -57,6 +103,8 @@ struct Inner {
     trace: Option<TraceSink>,
     clock: WallClock,
     rank: usize,
+    /// Optional taskwait watchdog (None = wait forever, the default).
+    taskwait_timeout: Option<Duration>,
 }
 
 /// Builder for [`Runtime`].
@@ -65,6 +113,7 @@ pub struct RuntimeBuilder {
     trace: Option<TraceSink>,
     clock: WallClock,
     rank: usize,
+    taskwait_timeout: Option<Duration>,
 }
 
 impl RuntimeBuilder {
@@ -86,6 +135,14 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Arms the taskwait watchdog: a `taskwait` that outlives `timeout`
+    /// returns [`TaskError::Timeout`] carrying the task-graph wavefront
+    /// instead of hanging (default: wait forever).
+    pub fn taskwait_timeout(mut self, timeout: Duration) -> Self {
+        self.taskwait_timeout = Some(timeout);
+        self
+    }
+
     /// Starts the worker pool.
     pub fn build(self) -> Runtime {
         let inner = Arc::new(Inner {
@@ -95,6 +152,7 @@ impl RuntimeBuilder {
             trace: self.trace,
             clock: self.clock,
             rank: self.rank,
+            taskwait_timeout: self.taskwait_timeout,
         });
         let workers = (0..self.nthreads)
             .map(|w| {
@@ -124,6 +182,7 @@ impl Runtime {
             trace: None,
             clock: WallClock::new(),
             rank: 0,
+            taskwait_timeout: None,
         }
     }
 
@@ -166,14 +225,17 @@ impl Runtime {
 
         // Dependency edges per the OmpSs rules.
         let mut pending = 0;
-        let predecessor_of = |sched: &mut Sched, pred: u64, id: u64, pending: &mut usize| {
-            if let Some(t) = sched.tasks.get_mut(&pred) {
-                if !t.successors.contains(&id) {
-                    t.successors.push(id);
-                    *pending += 1;
+        let mut pred_labels: Vec<String> = Vec::new();
+        let predecessor_of =
+            |sched: &mut Sched, pred: u64, id: u64, pending: &mut usize, labels: &mut Vec<String>| {
+                if let Some(t) = sched.tasks.get_mut(&pred) {
+                    if !t.successors.contains(&id) {
+                        t.successors.push(id);
+                        *pending += 1;
+                        labels.push(t.label.clone());
+                    }
                 }
-            }
-        };
+            };
         for dep in deps {
             // Collect predecessor ids first to appease the borrow checker.
             let (writer, readers): (Option<u64>, Vec<u64>) = {
@@ -182,11 +244,11 @@ impl Runtime {
             };
             if dep.access.writes() {
                 if let Some(w) = writer {
-                    predecessor_of(&mut sched, w, id, &mut pending);
+                    predecessor_of(&mut sched, w, id, &mut pending, &mut pred_labels);
                 }
                 for r in readers {
                     if r != id {
-                        predecessor_of(&mut sched, r, id, &mut pending);
+                        predecessor_of(&mut sched, r, id, &mut pending, &mut pred_labels);
                     }
                 }
                 let hs = sched.handles.get_mut(&dep.handle).expect("handle present");
@@ -194,7 +256,7 @@ impl Runtime {
                 hs.readers_since_write.clear();
             } else {
                 if let Some(w) = writer {
-                    predecessor_of(&mut sched, w, id, &mut pending);
+                    predecessor_of(&mut sched, w, id, &mut pending, &mut pred_labels);
                 }
                 let hs = sched.handles.get_mut(&dep.handle).expect("handle present");
                 if !hs.readers_since_write.contains(&id) {
@@ -211,6 +273,7 @@ impl Runtime {
                 closure: Some(Box::new(body)),
                 pending,
                 successors: Vec::new(),
+                pred_labels,
                 t_created,
             },
         );
@@ -241,21 +304,64 @@ impl Runtime {
     }
 
     /// Blocks until every task submitted so far has finished (`taskwait`).
-    /// Re-raises the first panic that occurred in any task.
+    ///
+    /// # Panics
+    /// Re-raises the first task failure as a panic whose message carries
+    /// the failed task's label, dependency chain, and original payload
+    /// text; panics likewise when the watchdog (if armed) expires.
+    /// [`Runtime::try_taskwait`] is the non-panicking variant.
     pub fn taskwait(&self) {
+        self.try_taskwait().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Runtime::taskwait`], surfacing failures as values: the first
+    /// task panic comes back as [`TaskError::Failed`] (sticky — the
+    /// runtime is fail-stop after it and skips remaining task bodies), a
+    /// watchdog expiry as [`TaskError::Timeout`] with the task-graph
+    /// wavefront.
+    pub fn try_taskwait(&self) -> Result<(), TaskError> {
+        let deadline = self.inner.taskwait_timeout.map(|t| Instant::now() + t);
         let mut sched = self.inner.sched.lock();
-        while sched.unfinished > 0 && sched.panic.is_none() {
-            self.inner.cv_done.wait(&mut sched);
-        }
-        if let Some(p) = sched.panic.take() {
-            drop(sched);
-            std::panic::resume_unwind(p);
+        loop {
+            if let Some(failure) = &sched.failure {
+                return Err(failure.clone());
+            }
+            if sched.unfinished == 0 {
+                return Ok(());
+            }
+            match deadline {
+                None => self.inner.cv_done.wait(&mut sched),
+                Some(d) => {
+                    if self.inner.cv_done.wait_until(&mut sched, d).timed_out() {
+                        return Err(TaskError::Timeout {
+                            waited: self.inner.taskwait_timeout.expect("deadline implies timeout"),
+                            wavefront: sched.wavefront(),
+                        });
+                    }
+                }
+            }
         }
     }
 
     /// Stops the workers after draining outstanding work.
-    pub fn shutdown(mut self) {
+    ///
+    /// # Panics
+    /// Panics if a task failure occurred and was never observed via
+    /// `taskwait` (so failures cannot slip by silently);
+    /// [`Runtime::try_shutdown`] is the non-panicking variant.
+    pub fn shutdown(self) {
+        self.try_shutdown().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Stops the workers after draining outstanding work, reporting any
+    /// unobserved task failure instead of panicking.
+    pub fn try_shutdown(mut self) -> Result<(), TaskError> {
         self.shutdown_impl();
+        let sched = self.inner.sched.lock();
+        match &sched.failure {
+            Some(f) => Err(f.clone()),
+            None => Ok(()),
+        }
     }
 
     fn shutdown_impl(&mut self) {
@@ -285,8 +391,15 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
             let mut sched = inner.sched.lock();
             loop {
                 if let Some(Reverse((_prio, id))) = sched.ready.pop() {
+                    let failed = sched.failure.is_some();
                     let t = sched.tasks.get_mut(&id).expect("ready task exists");
-                    let closure = t.closure.take().expect("task not yet run");
+                    let mut closure = t.closure.take().expect("task not yet run");
+                    if failed {
+                        // Fail-stop: after the first failure we stop running
+                        // bodies but keep the graph bookkeeping so everything
+                        // drains and nothing deadlocks.
+                        closure = Box::new(|| {});
+                    }
                     break (id, closure, t.label.clone(), t.t_created);
                 }
                 if sched.shutdown {
@@ -312,12 +425,16 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
         }
 
         let mut sched = inner.sched.lock();
+        let task = sched.tasks.remove(&id).expect("task exists");
         if let Err(p) = result {
-            if sched.panic.is_none() {
-                sched.panic = Some(p);
+            if sched.failure.is_none() {
+                sched.failure = Some(TaskError::Failed {
+                    label: task.label.clone(),
+                    chain: task.pred_labels.clone(),
+                    message: payload_text(p.as_ref()),
+                });
             }
         }
-        let task = sched.tasks.remove(&id).expect("task exists");
         let mut woke = 0;
         for succ in task.successors {
             if let Some(s) = sched.tasks.get_mut(&succ) {
@@ -330,7 +447,7 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
             }
         }
         sched.unfinished -= 1;
-        let done = sched.unfinished == 0 || sched.panic.is_some();
+        let done = sched.unfinished == 0 || sched.failure.is_some();
         drop(sched);
         for _ in 0..woke {
             inner.cv_ready.notify_one();

@@ -1,0 +1,135 @@
+//! Failure-propagation tests: a panicking task body must not deadlock its
+//! dependents or poison the worker pool — it surfaces at `taskwait` as a
+//! typed [`TaskError`] naming the task and its dependency chain, the
+//! runtime goes fail-stop (remaining bodies are skipped but the graph
+//! drains), and an armed watchdog turns a stuck `taskwait` into a timeout
+//! with the task-graph wavefront.
+
+use fftx_taskrt::{Runtime, Shared, TaskError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// A dependent of a failed task used to wait forever on a predecessor that
+/// would never "finish". Now the failure drains the graph: the dependent is
+/// released (body skipped) and `try_taskwait` reports the failing label.
+#[test]
+fn failed_task_releases_dependents_without_running_them() {
+    let rt = Runtime::new(2);
+    let x = Shared::new(0u64);
+    let ran = Arc::new(AtomicUsize::new(0));
+    rt.spawn("boom", &[x.dep_inout()], || panic!("task exploded"));
+    let r = Arc::clone(&ran);
+    rt.spawn("dependent", &[x.dep_inout()], move || {
+        r.fetch_add(1, Ordering::Relaxed);
+    });
+    let err = rt.try_taskwait().expect_err("failure must surface");
+    match &err {
+        TaskError::Failed { label, message, .. } => {
+            assert_eq!(label, "boom");
+            assert!(message.contains("task exploded"), "message: {message}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    // Drain fully, then confirm the dependent's body never ran.
+    let _ = rt.try_shutdown();
+    assert_eq!(ran.load(Ordering::Relaxed), 0, "dependent body must be skipped");
+}
+
+/// The error's dependency chain carries the labels of the direct
+/// predecessors that were unfinished when the failing task was submitted.
+/// A gate task holds the chain in place until everything is spawned.
+#[test]
+fn failure_reports_the_dependency_chain() {
+    let rt = Runtime::new(2);
+    let x = Shared::new(0u64);
+    let (release, gate) = mpsc::channel::<()>();
+    rt.spawn("gate", &[x.dep_inout()], move || {
+        let _ = gate.recv();
+    });
+    rt.spawn("stage-a", &[x.dep_inout()], || {});
+    rt.spawn("stage-b", &[x.dep_inout()], || panic!("mid-pipeline failure"));
+    release.send(()).unwrap();
+    let err = rt.try_taskwait().expect_err("failure must surface");
+    match &err {
+        TaskError::Failed { label, chain, .. } => {
+            assert_eq!(label, "stage-b");
+            assert_eq!(chain, &["stage-a".to_string()]);
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    let text = err.to_string();
+    assert!(
+        text.contains("task 'stage-b'") && text.contains("stage-a"),
+        "error text: {text}"
+    );
+    let _ = rt.try_shutdown();
+}
+
+/// The failure is sticky: tasks spawned after it are skipped too, and every
+/// later `taskwait` reports the same first cause.
+#[test]
+fn failure_is_sticky_and_fail_stop() {
+    let rt = Runtime::new(2);
+    rt.spawn("first-boom", &[], || panic!("original cause"));
+    assert!(rt.try_taskwait().is_err());
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r = Arc::clone(&ran);
+    rt.spawn("late", &[], move || {
+        r.fetch_add(1, Ordering::Relaxed);
+    });
+    let err = rt.try_taskwait().expect_err("sticky failure");
+    match &err {
+        TaskError::Failed { label, message, .. } => {
+            assert_eq!(label, "first-boom");
+            assert!(message.contains("original cause"));
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    let _ = rt.try_shutdown();
+    assert_eq!(ran.load(Ordering::Relaxed), 0, "post-failure body must be skipped");
+}
+
+/// `shutdown` refuses to let an unobserved failure slip by silently;
+/// `try_shutdown` reports it as a value.
+#[test]
+fn try_shutdown_surfaces_unobserved_failure() {
+    let rt = Runtime::new(2);
+    rt.spawn("quiet-boom", &[], || panic!("nobody waited"));
+    // No taskwait: the failure must still come out at shutdown.
+    let err = rt.try_shutdown().expect_err("failure must not vanish");
+    assert!(err.to_string().contains("quiet-boom"), "{err}");
+}
+
+/// The taskwait watchdog: a task that never finishes turns `try_taskwait`
+/// into a timeout error carrying the task-graph wavefront (who is running,
+/// who is blocked behind it) instead of hanging forever.
+#[test]
+fn watchdog_reports_the_wavefront_instead_of_hanging() {
+    let rt = Runtime::builder(2)
+        .taskwait_timeout(Duration::from_millis(100))
+        .build();
+    let x = Shared::new(0u64);
+    let (release, gate) = mpsc::channel::<()>();
+    rt.spawn("stuck", &[x.dep_inout()], move || {
+        let _ = gate.recv();
+    });
+    rt.spawn("waiting-behind", &[x.dep_inout()], || {});
+    let err = rt.try_taskwait().expect_err("watchdog must fire");
+    match &err {
+        TaskError::Timeout { waited, wavefront } => {
+            assert_eq!(*waited, Duration::from_millis(100));
+            assert!(wavefront.contains("stuck"), "wavefront: {wavefront}");
+            assert!(
+                wavefront.contains("waiting-behind") && wavefront.contains("pending deps"),
+                "wavefront: {wavefront}"
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(err.to_string().contains("taskrt deadlock"));
+    // Unblock so the pool drains; the wait now succeeds.
+    release.send(()).unwrap();
+    rt.try_taskwait().expect("released graph finishes");
+    rt.shutdown();
+}

@@ -229,11 +229,11 @@ mod tests {
         // 2 compute + 1 comm state records.
         assert_eq!(states.len(), 3);
         // Lane 1, FftXy (state 5), 0..1000us.
-        assert!(states.iter().any(|s| *s == "1:1:1:1:1:0:1000:5"), "{states:?}");
+        assert!(states.contains(&"1:1:1:1:1:0:1000:5"), "{states:?}");
         // Lane 2, FftZ (state 4), 0..2000us.
-        assert!(states.iter().any(|s| *s == "1:2:1:2:1:0:2000:4"));
+        assert!(states.contains(&"1:2:1:2:1:0:2000:4"));
         // Comm state 10 on lane 1.
-        assert!(states.iter().any(|s| *s == "1:1:1:1:1:1000:1500:10"));
+        assert!(states.contains(&"1:1:1:1:1:1000:1500:10"));
     }
 
     #[test]

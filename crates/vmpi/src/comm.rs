@@ -13,10 +13,26 @@
 //! is inside every rank's window, so some worker on every rank eventually
 //! deposits for it and the system always makes progress. The
 //! [`crate::world::World`] timeout turns any violation of this discipline
-//! (mismatched tags, missing participants) into a loud panic instead of a
-//! hang.
+//! (mismatched tags, missing participants) into a loud failure — a
+//! [`VmpiError::Timeout`] carrying a world snapshot from the `try_*`
+//! variants, a panic formatting the same error from the classic calls —
+//! instead of a hang.
+//!
+//! ## Fault injection
+//!
+//! When the world carries a chaos engine, `send` asks it for a wire plan
+//! (drop-with-retry, delay, duplication, reordering) and `recv` restores
+//! per-channel order by sequence number while discarding duplicate copies;
+//! collectives consult the engine's rank-stall schedule on entry. All of it
+//! is semantically lossless: a chaotic run delivers exactly the payloads of
+//! a clean run, in the same per-channel order, just later — which is what
+//! the chaos-determinism property tests pin down.
 
-use crate::world::{CollKey, CollKind, CollSlot, P2pKey, WorldShared};
+use crate::error::VmpiError;
+use crate::world::{
+    CollKey, CollKind, CollSlot, Envelope, Mailbox, P2pKey, RankEvent, WorldShared,
+};
+use fftx_fault::MessagePlan;
 use fftx_trace::{current_thread, CommOp, CommRecord, Lane};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -93,6 +109,13 @@ impl Communicator {
         self.shared.trace.clone()
     }
 
+    /// Number of collective slots currently staged in the world (all
+    /// communicators). Useful to assert the absence of slot leaks after a
+    /// failure was handled.
+    pub fn pending_collectives(&self) -> usize {
+        self.shared.collectives.lock().len()
+    }
+
     fn lane(&self) -> Lane {
         Lane::new(self.world_rank(), current_thread())
     }
@@ -116,7 +139,8 @@ impl Communicator {
     // ------------------------------------------------------------------
 
     /// Sends `data` to `dst` (communicator index) with `tag`. Non-blocking
-    /// in the buffered-send sense: the message is enqueued immediately.
+    /// in the buffered-send sense: the message is enqueued immediately
+    /// (under chaos, after the injected retransmit/delay latency).
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u32, data: Vec<T>) {
         assert!(dst < self.size(), "send: dst {dst} out of range");
         let t0 = self.now();
@@ -127,9 +151,50 @@ impl Communicator {
             dst,
             tag,
         };
+        let plan = match &self.shared.chaos {
+            Some(engine) => {
+                let plan = engine.plan_message(self.id, self.index, dst, u64::from(tag));
+                let latency = plan.latency(engine.config());
+                if !latency.is_zero() {
+                    // Retransmit backoff and wire delay happen before the
+                    // message becomes visible.
+                    std::thread::sleep(latency);
+                }
+                plan
+            }
+            None => MessagePlan::clean(0),
+        };
+        self.shared.note(
+            self.world_rank(),
+            RankEvent::Send {
+                comm: self.id,
+                dst,
+                tag,
+            },
+        );
         {
             let mut boxes = self.shared.mailboxes.lock();
-            boxes.entry(key).or_default().push_back(Box::new(data));
+            let mailbox = boxes.entry(key).or_default();
+            let envelope = Envelope {
+                payload: Some(Box::new(data)),
+                seq: plan.seq,
+                dup: false,
+            };
+            if plan.reorder {
+                // Jump the queue; the receiver restores order by `seq`.
+                mailbox.queue.push_front(envelope);
+            } else {
+                mailbox.queue.push_back(envelope);
+            }
+            if plan.duplicate {
+                // The copy carries no payload: the receiver discards
+                // duplicates by sequence number without ever opening them.
+                mailbox.queue.push_back(Envelope {
+                    payload: None,
+                    seq: plan.seq,
+                    dup: true,
+                });
+            }
         }
         self.shared.mail_cv.notify_all();
         let t1 = self.now();
@@ -141,8 +206,15 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics on element-type mismatch with the sender, or after the world
-    /// timeout expires (deadlock diagnostic).
+    /// timeout expires (deadlock diagnostic). [`Communicator::try_recv`] is
+    /// the non-panicking variant.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u32) -> Vec<T> {
+        self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Communicator::recv`], but surfaces timeout and type-mismatch
+    /// failures as [`VmpiError`] values instead of panicking.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u32) -> Result<Vec<T>, VmpiError> {
         assert!(src < self.size(), "recv: src {src} out of range");
         let t0 = self.now();
         let key = P2pKey {
@@ -151,16 +223,33 @@ impl Communicator {
             dst: self.index,
             tag,
         };
+        self.shared.note(
+            self.world_rank(),
+            RankEvent::RecvWait {
+                comm: self.id,
+                src,
+                tag,
+            },
+        );
+        let chaos = self.shared.chaos.clone();
         let deadline = Instant::now() + self.shared.timeout;
         let mut boxes = self.shared.mailboxes.lock();
-        let data = loop {
-            if let Some(queue) = boxes.get_mut(&key) {
-                if let Some(msg) = queue.pop_front() {
-                    if queue.is_empty() {
-                        boxes.remove(&key);
-                    }
-                    break msg;
+        let envelope = loop {
+            let taken = boxes.get_mut(&key).and_then(|mailbox| {
+                if chaos.is_none() {
+                    mailbox.queue.pop_front()
+                } else {
+                    take_in_order(mailbox, key, chaos.as_deref())
                 }
+            });
+            if let Some(envelope) = taken {
+                // Without chaos an empty mailbox can be dropped; with chaos
+                // it must persist — it carries the receiver's `next_seq`
+                // cursor, which has to outlive queue drains.
+                if chaos.is_none() && boxes.get(&key).is_some_and(|mb| mb.queue.is_empty()) {
+                    boxes.remove(&key);
+                }
+                break envelope;
             }
             if self
                 .shared
@@ -168,20 +257,37 @@ impl Communicator {
                 .wait_until(&mut boxes, deadline)
                 .timed_out()
             {
-                panic!(
-                    "vmpi deadlock: rank {} (comm {}) stuck in recv(src={src}, tag={tag})",
-                    self.index, self.id
-                );
+                drop(boxes);
+                return Err(VmpiError::Timeout {
+                    message: format!(
+                        "vmpi deadlock: rank {} (comm {}) stuck in recv(src={src}, tag={tag})",
+                        self.index, self.id
+                    ),
+                    diagnostic: self.shared.diagnostic_snapshot(),
+                });
             }
         };
         drop(boxes);
-        let data = *data
-            .downcast::<Vec<T>>()
-            .expect("recv: element type mismatch with sender");
+        if let Some(engine) = &chaos {
+            engine.note_delivery(self.id, src, self.index, u64::from(tag), envelope.seq);
+        }
+        let payload = envelope.payload.expect("delivered envelope has a payload");
+        let data = match payload.downcast::<Vec<T>>() {
+            Ok(data) => *data,
+            Err(_) => return Err(VmpiError::TypeMismatch { context: "recv" }),
+        };
+        self.shared.note(
+            self.world_rank(),
+            RankEvent::RecvDone {
+                comm: self.id,
+                src,
+                tag,
+            },
+        );
         let t1 = self.now();
         let bytes = std::mem::size_of::<T>() * data.len();
         self.record(CommOp::SendRecv, bytes, t0, t1);
-        data
+        Ok(data)
     }
 
     // ------------------------------------------------------------------
@@ -197,8 +303,30 @@ impl Communicator {
         R: Send + 'static,
         F: FnOnce(Vec<C>) -> Vec<R>,
     {
+        self.try_collective(kind, tag, contribution, complete)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Communicator::collective`] with failures as values: the world
+    /// abort flag is checked before posting (so an aborted world fails fast
+    /// without staging a new slot), and the wait surfaces timeouts.
+    fn try_collective<C, R, F>(
+        &self,
+        kind: CollKind,
+        tag: u32,
+        contribution: C,
+        complete: F,
+    ) -> Result<R, VmpiError>
+    where
+        C: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(Vec<C>) -> Vec<R>,
+    {
+        if let Some(cause) = self.shared.abort_cause() {
+            return Err(cause);
+        }
         self.collective_post(kind, tag, contribution, complete)
-            .wait_inner()
+            .try_wait_inner()
     }
 
     /// Posts one collective instance without waiting: deposits
@@ -218,6 +346,12 @@ impl Communicator {
         R: Send + 'static,
         F: FnOnce(Vec<C>) -> Vec<R>,
     {
+        if let Some(engine) = &self.shared.chaos {
+            if let Some(pause) = engine.stall_before_collective(self.world_rank()) {
+                // Injected straggler: this rank arrives late.
+                std::thread::sleep(pause);
+            }
+        }
         let size = self.size();
         let seq = {
             let mut counters = self.seq.lock();
@@ -232,6 +366,23 @@ impl Communicator {
             tag,
             seq,
         };
+        self.shared
+            .note(self.world_rank(), RankEvent::CollEnter { key });
+        if self.shared.abort_cause().is_some() {
+            // The world is failed: do not stage new slots (they could never
+            // complete and would read as leaks). The wait reports the cause.
+            return CollRequest {
+                shared: Arc::clone(&self.shared),
+                key,
+                index: self.index,
+                world_rank: self.world_rank(),
+                size,
+                t_post: self.now(),
+                taken: false,
+                posted: false,
+                _marker: std::marker::PhantomData,
+            };
+        }
         let mut slots = self.shared.collectives.lock();
         let slot = slots.entry(key).or_insert_with(|| CollSlot {
             contributions: HashMap::new(),
@@ -272,9 +423,11 @@ impl Communicator {
             shared: Arc::clone(&self.shared),
             key,
             index: self.index,
+            world_rank: self.world_rank(),
             size,
             t_post: self.now(),
             taken: false,
+            posted: true,
             _marker: std::marker::PhantomData,
         }
     }
@@ -286,6 +439,17 @@ impl Communicator {
     /// Barrier over all members.
     pub fn barrier(&self) {
         self.barrier_tagged(0)
+    }
+
+    /// Non-panicking barrier: timeouts and world aborts come back as
+    /// [`VmpiError`] values.
+    pub fn try_barrier(&self) -> Result<(), VmpiError> {
+        let t0 = self.now();
+        let size = self.size();
+        self.try_collective(CollKind::Barrier, 0, (), |_c: Vec<()>| vec![(); size])?;
+        let t1 = self.now();
+        self.record(CommOp::Barrier, 0, t0, t1);
+        Ok(())
     }
 
     /// Tag-qualified barrier (for use inside concurrent tasks).
@@ -372,6 +536,16 @@ impl Communicator {
     /// `MPI_Alltoall`: `send.len()` must be `size * count`; chunk `j` goes to
     /// rank `j`. The result holds chunk `j` received from rank `j`.
     pub fn alltoall<T: Clone + Send + 'static>(&self, send: &[T], tag: u32) -> Vec<T> {
+        self.try_alltoall(send, tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Communicator::alltoall`], surfacing timeouts and world aborts
+    /// as [`VmpiError`] values.
+    pub fn try_alltoall<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        tag: u32,
+    ) -> Result<Vec<T>, VmpiError> {
         let size = self.size();
         assert!(
             send.len().is_multiple_of(size),
@@ -382,7 +556,7 @@ impl Communicator {
         let count = send.len() / size;
         let t0 = self.now();
         let bytes = std::mem::size_of_val(send);
-        let out = self.collective(
+        let out = self.try_collective(
             CollKind::Alltoall,
             tag,
             send.to_vec(),
@@ -397,15 +571,26 @@ impl Communicator {
                     })
                     .collect()
             },
-        );
+        )?;
         let t1 = self.now();
         self.record(CommOp::Alltoall, bytes, t0, t1);
-        out
+        Ok(out)
     }
 
     /// `MPI_Alltoallv`: `send[j]` is the (arbitrary-length) slice for rank
     /// `j`; the result's entry `j` is what rank `j` sent to the caller.
     pub fn alltoallv<T: Clone + Send + 'static>(&self, send: Vec<Vec<T>>, tag: u32) -> Vec<Vec<T>> {
+        self.try_alltoallv(send, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Communicator::alltoallv`], surfacing timeouts and world
+    /// aborts as [`VmpiError`] values.
+    pub fn try_alltoallv<T: Clone + Send + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+        tag: u32,
+    ) -> Result<Vec<Vec<T>>, VmpiError> {
         let size = self.size();
         assert_eq!(send.len(), size, "alltoallv: need one slice per rank");
         let t0 = self.now();
@@ -413,7 +598,7 @@ impl Communicator {
             .iter()
             .map(|v| std::mem::size_of::<T>() * v.len())
             .sum();
-        let out = self.collective(
+        let out = self.try_collective(
             CollKind::Alltoallv,
             tag,
             send,
@@ -429,10 +614,10 @@ impl Communicator {
                 }
                 results
             },
-        );
+        )?;
         let t1 = self.now();
         self.record(CommOp::Alltoallv, bytes, t0, t1);
-        out
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -542,16 +727,55 @@ impl Communicator {
     }
 }
 
+/// Chaos-mode delivery: hand out the envelope with the receiver's next
+/// sequence number (restoring order) and discard stale duplicate copies.
+fn take_in_order(
+    mailbox: &mut Mailbox,
+    key: P2pKey,
+    chaos: Option<&fftx_fault::ChaosEngine>,
+) -> Option<Envelope> {
+    let mut i = 0;
+    while i < mailbox.queue.len() {
+        if mailbox.queue[i].dup && mailbox.queue[i].seq < mailbox.next_seq {
+            let stale = mailbox.queue.remove(i).expect("index in bounds");
+            if let Some(engine) = chaos {
+                engine.note_duplicate_discarded(
+                    key.comm_id,
+                    key.src,
+                    key.dst,
+                    u64::from(key.tag),
+                    stale.seq,
+                );
+            }
+        } else {
+            i += 1;
+        }
+    }
+    let pos = mailbox
+        .queue
+        .iter()
+        .position(|e| !e.dup && e.seq == mailbox.next_seq)?;
+    let envelope = mailbox.queue.remove(pos).expect("index in bounds");
+    mailbox.next_seq += 1;
+    Some(envelope)
+}
+
 /// A pending split-phase collective: the typed result of a
-/// `collective_post`. Dropping an unconsumed request panics — every posted
-/// collective must be waited on (otherwise its peers hang).
+/// `collective_post`. Dropping an unconsumed request is an error: the slot
+/// is cleaned up, the world is aborted (so peers fail fast instead of
+/// hanging), and the drop panics.
 pub(crate) struct CollRequest<R> {
     shared: Arc<WorldShared>,
     key: CollKey,
     index: usize,
+    /// The caller's world rank (status notes).
+    world_rank: usize,
     size: usize,
     t_post: f64,
     taken: bool,
+    /// Whether this request staged a contribution (false when the world was
+    /// already aborted at post time).
+    posted: bool,
     _marker: std::marker::PhantomData<fn() -> R>,
 }
 
@@ -563,13 +787,27 @@ impl<R: Send + 'static> CollRequest<R> {
         slots.get(&self.key).map(|s| s.done).unwrap_or(true)
     }
 
-    /// Blocks until completion and returns this rank's result.
-    fn wait_inner(mut self) -> R {
+    /// Blocks until completion and returns this rank's result, or the
+    /// timeout / world-abort error.
+    fn try_wait_inner(mut self) -> Result<R, VmpiError> {
+        // The request is consumed either way; the Drop cleanup is only for
+        // requests that were never waited on.
+        self.taken = true;
+        if !self.posted {
+            return Err(self
+                .shared
+                .abort_cause()
+                .expect("unposted request implies an aborted world"));
+        }
         let deadline = Instant::now() + self.shared.timeout;
         let mut slots = self.shared.collectives.lock();
         loop {
             if slots.get(&self.key).map(|s| s.done).unwrap_or(false) {
                 break;
+            }
+            if let Some(cause) = self.shared.abort_cause() {
+                drop(slots);
+                return Err(cause);
             }
             if self
                 .shared
@@ -581,10 +819,14 @@ impl<R: Send + 'static> CollRequest<R> {
                     .get(&self.key)
                     .map(|s| s.contributions.len())
                     .unwrap_or(0);
-                panic!(
-                    "vmpi deadlock: rank {} stuck waiting on {:?}; {arrived}/{} arrived",
-                    self.index, self.key, self.size
-                );
+                drop(slots);
+                return Err(VmpiError::Timeout {
+                    message: format!(
+                        "vmpi deadlock: rank {} stuck waiting on {:?}; {arrived}/{} arrived",
+                        self.index, self.key, self.size
+                    ),
+                    diagnostic: self.shared.diagnostic_snapshot(),
+                });
             }
         }
         let slot = slots.get_mut(&self.key).expect("slot exists");
@@ -597,15 +839,42 @@ impl<R: Send + 'static> CollRequest<R> {
             slots.remove(&self.key);
         }
         drop(slots);
-        self.taken = true;
-        *mine.downcast::<R>().expect("collective result type mismatch")
+        self.shared
+            .note(self.world_rank, RankEvent::CollDone { key: self.key });
+        Ok(*mine.downcast::<R>().expect("collective result type mismatch"))
     }
 }
 
 impl<R> Drop for CollRequest<R> {
     fn drop(&mut self) {
-        assert!(
-            self.taken || std::thread::panicking(),
+        if self.taken || std::thread::panicking() {
+            return;
+        }
+        // Remove this request's footprint so the slot cannot leak...
+        if self.posted {
+            let mut slots = self.shared.collectives.lock();
+            if let Some(slot) = slots.get_mut(&self.key) {
+                if slot.done {
+                    slot.results.remove(&self.index);
+                    slot.readers_left -= 1;
+                    if slot.readers_left == 0 {
+                        slots.remove(&self.key);
+                    }
+                } else {
+                    // Incomplete: the collective can never finish now, so
+                    // tear the slot down entirely.
+                    slots.remove(&self.key);
+                }
+            }
+        }
+        // ...mark the world failed so peers error out promptly...
+        self.shared.abort(VmpiError::DroppedRequest {
+            comm: self.key.comm_id,
+            tag: self.key.tag,
+            detail: format!("{:?}", self.key),
+        });
+        // ...and keep the loud local diagnostic.
+        panic!(
             "vmpi: a split-phase collective request was dropped without wait() \
              (key {:?}) — its peers would hang",
             self.key
@@ -637,12 +906,18 @@ impl<T: Clone + Send + 'static> AlltoallRequest<T> {
     /// communication, exactly the accounting the overlap optimisation is
     /// after.
     pub fn wait(self) -> Vec<T> {
+        self.try_wait().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`AlltoallRequest::wait`], surfacing timeouts and world aborts
+    /// (e.g. a peer dropping its request) as [`VmpiError`] values.
+    pub fn try_wait(self) -> Result<Vec<T>, VmpiError> {
         let t0 = self.comm.now();
         let bytes = self.bytes;
         let comm = self.comm.clone();
-        let out = self.inner.wait_inner();
+        let out = self.inner.try_wait_inner()?;
         let t1 = comm.now();
         comm.record(CommOp::Alltoall, bytes, t0, t1);
-        out
+        Ok(out)
     }
 }

@@ -1,0 +1,98 @@
+//! Typed errors for the virtual MPI layer.
+//!
+//! Historically every failure here was a `panic!` deep inside a blocking
+//! call. The `try_*` APIs surface the same conditions as values instead, so
+//! callers (and the resilience experiments) can observe a deadlock timeout
+//! or an aborted collective without tearing the whole world down. The
+//! panicking wrappers still exist and format these errors, so the legacy
+//! diagnostics (and the tests pinning their wording) are unchanged.
+
+use std::fmt;
+
+/// A failure of a virtual MPI operation.
+#[derive(Debug, Clone)]
+pub enum VmpiError {
+    /// A blocking operation exceeded the world timeout. `message` carries
+    /// the classic one-line deadlock diagnostic; `diagnostic` the world
+    /// snapshot taken at expiry (per-rank last events, pending collective
+    /// slots, mailbox depths).
+    Timeout {
+        /// One-line description of what was stuck where.
+        message: String,
+        /// Multi-line world snapshot captured when the timeout fired.
+        diagnostic: String,
+    },
+    /// A received payload failed to downcast to the expected element type.
+    TypeMismatch {
+        /// Which operation observed the mismatch.
+        context: &'static str,
+    },
+    /// A split-phase collective request was dropped without `wait()`; the
+    /// world aborted so its peers fail fast instead of hanging.
+    DroppedRequest {
+        /// Communicator the dropped request was posted on.
+        comm: u64,
+        /// Tag of the dropped collective.
+        tag: u32,
+        /// Debug rendering of the full matching key.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VmpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmpiError::Timeout {
+                message,
+                diagnostic,
+            } => {
+                write!(f, "{message}")?;
+                if !diagnostic.is_empty() {
+                    write!(f, "\n{diagnostic}")?;
+                }
+                Ok(())
+            }
+            VmpiError::TypeMismatch { context } => {
+                write!(f, "{context}: element type mismatch with sender")
+            }
+            VmpiError::DroppedRequest { comm, tag, detail } => write!(
+                f,
+                "vmpi: collective on comm {comm} (tag {tag}) aborted: a split-phase \
+                 request ({detail}) was dropped without wait() — peers fail fast \
+                 instead of hanging"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VmpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_display_keeps_the_legacy_line() {
+        let e = VmpiError::Timeout {
+            message: "vmpi deadlock: rank 1 (comm 0) stuck in recv(src=0, tag=3)".into(),
+            diagnostic: "rank 0: ...".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("vmpi deadlock"));
+        assert!(s.contains("stuck in recv"));
+        assert!(s.contains("rank 0: ..."));
+    }
+
+    #[test]
+    fn dropped_request_names_comm_and_tag() {
+        let e = VmpiError::DroppedRequest {
+            comm: 4,
+            tag: 9,
+            detail: "CollKey { .. }".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("comm 4"));
+        assert!(s.contains("tag 9"));
+        assert!(s.contains("dropped without wait"));
+    }
+}

@@ -15,7 +15,10 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod error;
 pub mod world;
 
 pub use comm::{AlltoallRequest, Communicator};
+pub use error::VmpiError;
+pub use fftx_fault::{ChaosConfig, FaultReport, StallConfig};
 pub use world::World;

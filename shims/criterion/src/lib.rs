@@ -1,0 +1,191 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Runs each benchmark a fixed number of timed iterations and prints the
+//! mean wall time per iteration — no statistics, plots, or baselines.
+//! Exists so `cargo bench` works in the registry-less build environment;
+//! the repo's headline numbers come from the `fftx-bench` binaries, not
+//! from these micro-benchmarks.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Accepted by `bench_function`-style calls: `&str`, `String`, or
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Declared throughput of one iteration (printed alongside the time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, discarding one warmup iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn run_one(name: &str, samples: usize, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        Some(Throughput::Elements(n)) => format!("  {:>10.2} Melem/s", n as f64 / per_iter / 1e6),
+        None => String::new(),
+    };
+    println!("{name:<40} {:>12.3} us/iter{rate}", per_iter * 1e6);
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&id.into_id(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.0);
+        run_one(&name, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions as a callable `fn $name()`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,199 @@
+//! Offline drop-in subset of the `parking_lot` API backed by `std::sync`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the few external crates it uses as thin shims. This one mirrors the
+//! `parking_lot` surface the repo actually calls: `Mutex` (non-poisoning
+//! `lock()` returning the guard directly) and `Condvar` (`wait` /
+//! `wait_until` / `wait_for` taking `&mut MutexGuard`). Poisoned std locks
+//! are recovered transparently, matching parking_lot's no-poisoning
+//! semantics.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Mutual exclusion primitive; `lock()` returns the guard directly.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable operating on [`MutexGuard`]s in place.
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+
+    /// Blocks until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.replace(guard, |g| self.0.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Blocks until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        self.replace(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Runs `f` on the inner std guard in place. `f` must not panic (the
+    /// std waits only fail on poisoning, which the callers recover).
+    fn replace<'a, T>(
+        &self,
+        slot: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
+    ) {
+        unsafe {
+            let inner = std::ptr::read(&slot.0);
+            let next = f(inner);
+            std::ptr::write(&mut slot.0, next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-200b2d5a414412cb.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-200b2d5a414412cb: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-dd1d8fdf4682c03f.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-dd1d8fdf4682c03f: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

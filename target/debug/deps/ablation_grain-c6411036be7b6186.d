@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grain-c6411036be7b6186.d: crates/bench/src/bin/ablation_grain.rs
+
+/root/repo/target/debug/deps/ablation_grain-c6411036be7b6186: crates/bench/src/bin/ablation_grain.rs
+
+crates/bench/src/bin/ablation_grain.rs:

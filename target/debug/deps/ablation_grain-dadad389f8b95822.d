@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grain-dadad389f8b95822.d: crates/bench/src/bin/ablation_grain.rs
+
+/root/repo/target/debug/deps/ablation_grain-dadad389f8b95822: crates/bench/src/bin/ablation_grain.rs
+
+crates/bench/src/bin/ablation_grain.rs:

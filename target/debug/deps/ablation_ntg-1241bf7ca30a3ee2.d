@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ntg-1241bf7ca30a3ee2.d: crates/bench/src/bin/ablation_ntg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ntg-1241bf7ca30a3ee2.rmeta: crates/bench/src/bin/ablation_ntg.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ntg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ntg-26439adefedc3b5a.d: crates/bench/src/bin/ablation_ntg.rs
+
+/root/repo/target/debug/deps/ablation_ntg-26439adefedc3b5a: crates/bench/src/bin/ablation_ntg.rs
+
+crates/bench/src/bin/ablation_ntg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ntg-d644fa0a298c63b7.d: crates/bench/src/bin/ablation_ntg.rs
+
+/root/repo/target/debug/deps/ablation_ntg-d644fa0a298c63b7: crates/bench/src/bin/ablation_ntg.rs
+
+crates/bench/src/bin/ablation_ntg.rs:

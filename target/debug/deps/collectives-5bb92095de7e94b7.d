@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives-5bb92095de7e94b7.d: crates/vmpi/tests/collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives-5bb92095de7e94b7.rmeta: crates/vmpi/tests/collectives.rs Cargo.toml
+
+crates/vmpi/tests/collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives-7d3408739a378b1d.d: crates/vmpi/tests/collectives.rs
+
+/root/repo/target/debug/deps/collectives-7d3408739a378b1d: crates/vmpi/tests/collectives.rs
+
+crates/vmpi/tests/collectives.rs:

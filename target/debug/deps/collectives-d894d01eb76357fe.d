@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives-d894d01eb76357fe.d: crates/vmpi/tests/collectives.rs
+
+/root/repo/target/debug/deps/collectives-d894d01eb76357fe: crates/vmpi/tests/collectives.rs
+
+crates/vmpi/tests/collectives.rs:

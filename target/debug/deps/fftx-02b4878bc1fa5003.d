@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx-02b4878bc1fa5003.d: src/bin/fftx.rs
+
+/root/repo/target/debug/deps/fftx-02b4878bc1fa5003: src/bin/fftx.rs
+
+src/bin/fftx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx-56aee2a534db97ed.d: src/bin/fftx.rs
+
+/root/repo/target/debug/deps/fftx-56aee2a534db97ed: src/bin/fftx.rs
+
+src/bin/fftx.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx-60a325c949a5e9de.d: src/bin/fftx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx-60a325c949a5e9de.rmeta: src/bin/fftx.rs Cargo.toml
+
+src/bin/fftx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

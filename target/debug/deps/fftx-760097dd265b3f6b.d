@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx-760097dd265b3f6b.d: src/bin/fftx.rs
+
+/root/repo/target/debug/deps/fftx-760097dd265b3f6b: src/bin/fftx.rs
+
+src/bin/fftx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx-aa8200d9ad32ab7e.d: src/bin/fftx.rs
+
+/root/repo/target/debug/deps/fftx-aa8200d9ad32ab7e: src/bin/fftx.rs
+
+src/bin/fftx.rs:

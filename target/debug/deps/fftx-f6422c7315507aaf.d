@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx-f6422c7315507aaf.d: src/bin/fftx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx-f6422c7315507aaf.rmeta: src/bin/fftx.rs Cargo.toml
+
+src/bin/fftx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

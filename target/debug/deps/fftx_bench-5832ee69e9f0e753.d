@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fftx_bench-5832ee69e9f0e753.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfftx_bench-5832ee69e9f0e753.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfftx_bench-5832ee69e9f0e753.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx_bench-7e8359d1e6a9296a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_bench-7e8359d1e6a9296a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

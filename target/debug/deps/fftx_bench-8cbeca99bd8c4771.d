@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx_bench-8cbeca99bd8c4771.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fftx_bench-8cbeca99bd8c4771: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

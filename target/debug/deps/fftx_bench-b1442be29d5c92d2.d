@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fftx_bench-b1442be29d5c92d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfftx_bench-b1442be29d5c92d2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfftx_bench-b1442be29d5c92d2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx_bench-ca46db0e34cda332.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fftx_bench-ca46db0e34cda332: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx_bench-e307a3ffed57a204.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_bench-e307a3ffed57a204.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fftx_core-a3bb07defac56a3d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+
+/root/repo/target/debug/deps/libfftx_core-a3bb07defac56a3d.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+
+/root/repo/target/debug/deps/libfftx_core-a3bb07defac56a3d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/modelplan.rs:
+crates/core/src/original.rs:
+crates/core/src/problem.rs:
+crates/core/src/recorder.rs:
+crates/core/src/steps.rs:
+crates/core/src/taskmodes.rs:

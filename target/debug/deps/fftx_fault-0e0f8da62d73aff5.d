@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fftx_fault-0e0f8da62d73aff5.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_fault-0e0f8da62d73aff5.rmeta: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs Cargo.toml
+
+crates/fault/src/lib.rs:
+crates/fault/src/chaos.rs:
+crates/fault/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fftx_knlsim-25ef70dbc99c54d4.d: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+/root/repo/target/debug/deps/libfftx_knlsim-25ef70dbc99c54d4.rlib: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+/root/repo/target/debug/deps/libfftx_knlsim-25ef70dbc99c54d4.rmeta: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+crates/knlsim/src/lib.rs:
+crates/knlsim/src/arch.rs:
+crates/knlsim/src/des.rs:
+crates/knlsim/src/model.rs:
+crates/knlsim/src/program.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fftx_knlsim-6253623b2a349530.d: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_knlsim-6253623b2a349530.rmeta: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs Cargo.toml
+
+crates/knlsim/src/lib.rs:
+crates/knlsim/src/arch.rs:
+crates/knlsim/src/des.rs:
+crates/knlsim/src/model.rs:
+crates/knlsim/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx_knlsim-7230423b14742095.d: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+/root/repo/target/debug/deps/fftx_knlsim-7230423b14742095: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+crates/knlsim/src/lib.rs:
+crates/knlsim/src/arch.rs:
+crates/knlsim/src/des.rs:
+crates/knlsim/src/model.rs:
+crates/knlsim/src/program.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fftx_knlsim-f3744d1cb99cb2e3.d: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+/root/repo/target/debug/deps/libfftx_knlsim-f3744d1cb99cb2e3.rlib: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+/root/repo/target/debug/deps/libfftx_knlsim-f3744d1cb99cb2e3.rmeta: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+crates/knlsim/src/lib.rs:
+crates/knlsim/src/arch.rs:
+crates/knlsim/src/des.rs:
+crates/knlsim/src/model.rs:
+crates/knlsim/src/program.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fftx_pw-0293f4b5c5ff0148.d: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_pw-0293f4b5c5ff0148.rmeta: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs Cargo.toml
+
+crates/pw/src/lib.rs:
+crates/pw/src/cell.rs:
+crates/pw/src/gamma.rs:
+crates/pw/src/grid.rs:
+crates/pw/src/gvec.rs:
+crates/pw/src/layout.rs:
+crates/pw/src/potential.rs:
+crates/pw/src/reference.rs:
+crates/pw/src/sticks.rs:
+crates/pw/src/wave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fftx_pw-2fdc85e18ea492f7.d: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs
+
+/root/repo/target/debug/deps/fftx_pw-2fdc85e18ea492f7: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs
+
+crates/pw/src/lib.rs:
+crates/pw/src/cell.rs:
+crates/pw/src/gamma.rs:
+crates/pw/src/grid.rs:
+crates/pw/src/gvec.rs:
+crates/pw/src/layout.rs:
+crates/pw/src/potential.rs:
+crates/pw/src/reference.rs:
+crates/pw/src/sticks.rs:
+crates/pw/src/wave.rs:

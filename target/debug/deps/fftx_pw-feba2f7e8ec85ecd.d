@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fftx_pw-feba2f7e8ec85ecd.d: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs
+
+/root/repo/target/debug/deps/libfftx_pw-feba2f7e8ec85ecd.rlib: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs
+
+/root/repo/target/debug/deps/libfftx_pw-feba2f7e8ec85ecd.rmeta: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs
+
+crates/pw/src/lib.rs:
+crates/pw/src/cell.rs:
+crates/pw/src/gamma.rs:
+crates/pw/src/grid.rs:
+crates/pw/src/gvec.rs:
+crates/pw/src/layout.rs:
+crates/pw/src/potential.rs:
+crates/pw/src/reference.rs:
+crates/pw/src/sticks.rs:
+crates/pw/src/wave.rs:

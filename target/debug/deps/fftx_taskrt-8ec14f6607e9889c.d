@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fftx_taskrt-8ec14f6607e9889c.d: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_taskrt-8ec14f6607e9889c.rmeta: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs Cargo.toml
+
+crates/taskrt/src/lib.rs:
+crates/taskrt/src/error.rs:
+crates/taskrt/src/handle.rs:
+crates/taskrt/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

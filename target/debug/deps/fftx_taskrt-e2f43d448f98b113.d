@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fftx_taskrt-e2f43d448f98b113.d: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs
+
+/root/repo/target/debug/deps/libfftx_taskrt-e2f43d448f98b113.rlib: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs
+
+/root/repo/target/debug/deps/libfftx_taskrt-e2f43d448f98b113.rmeta: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs
+
+crates/taskrt/src/lib.rs:
+crates/taskrt/src/error.rs:
+crates/taskrt/src/handle.rs:
+crates/taskrt/src/runtime.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fftx_taskrt-e9e2a43f8745991c.d: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs
+
+/root/repo/target/debug/deps/fftx_taskrt-e9e2a43f8745991c: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs
+
+crates/taskrt/src/lib.rs:
+crates/taskrt/src/error.rs:
+crates/taskrt/src/handle.rs:
+crates/taskrt/src/runtime.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fftx_trace-1c9eced5461caf2b.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs
+
+/root/repo/target/debug/deps/fftx_trace-1c9eced5461caf2b: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/lane_ctx.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/paraver.rs:
+crates/trace/src/pop.rs:
+crates/trace/src/table.rs:
+crates/trace/src/timeline.rs:
+crates/trace/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fftx_trace-38945bc64a1cb869.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_trace-38945bc64a1cb869.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/lane_ctx.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/paraver.rs:
+crates/trace/src/pop.rs:
+crates/trace/src/table.rs:
+crates/trace/src/timeline.rs:
+crates/trace/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fftx_trace-b2d3c2c360eff7b7.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs
+
+/root/repo/target/debug/deps/libfftx_trace-b2d3c2c360eff7b7.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs
+
+/root/repo/target/debug/deps/libfftx_trace-b2d3c2c360eff7b7.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/lane_ctx.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/paraver.rs:
+crates/trace/src/pop.rs:
+crates/trace/src/table.rs:
+crates/trace/src/timeline.rs:
+crates/trace/src/trace.rs:

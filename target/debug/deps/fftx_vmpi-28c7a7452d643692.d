@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fftx_vmpi-28c7a7452d643692.d: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_vmpi-28c7a7452d643692.rmeta: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs Cargo.toml
+
+crates/vmpi/src/lib.rs:
+crates/vmpi/src/comm.rs:
+crates/vmpi/src/error.rs:
+crates/vmpi/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fftx_vmpi-5d6c56a42fa0fb06.d: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs
+
+/root/repo/target/debug/deps/fftx_vmpi-5d6c56a42fa0fb06: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs
+
+crates/vmpi/src/lib.rs:
+crates/vmpi/src/comm.rs:
+crates/vmpi/src/error.rs:
+crates/vmpi/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx_vmpi-5d7f17def5a28fb3.d: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/world.rs
+
+/root/repo/target/debug/deps/libfftx_vmpi-5d7f17def5a28fb3.rlib: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/world.rs
+
+/root/repo/target/debug/deps/libfftx_vmpi-5d7f17def5a28fb3.rmeta: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/world.rs
+
+crates/vmpi/src/lib.rs:
+crates/vmpi/src/comm.rs:
+crates/vmpi/src/world.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fftx_vmpi-6b8ef8a049d59228.d: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs
+
+/root/repo/target/debug/deps/libfftx_vmpi-6b8ef8a049d59228.rlib: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs
+
+/root/repo/target/debug/deps/libfftx_vmpi-6b8ef8a049d59228.rmeta: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs
+
+crates/vmpi/src/lib.rs:
+crates/vmpi/src/comm.rs:
+crates/vmpi/src/error.rs:
+crates/vmpi/src/world.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fftx_vmpi-f0e53db967e80d38.d: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/world.rs
+
+/root/repo/target/debug/deps/fftx_vmpi-f0e53db967e80d38: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/world.rs
+
+crates/vmpi/src/lib.rs:
+crates/vmpi/src/comm.rs:
+crates/vmpi/src/world.rs:

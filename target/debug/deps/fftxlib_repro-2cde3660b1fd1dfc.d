@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fftxlib_repro-2cde3660b1fd1dfc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfftxlib_repro-2cde3660b1fd1dfc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfftxlib_repro-2cde3660b1fd1dfc.rmeta: src/lib.rs
+
+src/lib.rs:

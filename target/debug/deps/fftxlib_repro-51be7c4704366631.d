@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fftxlib_repro-51be7c4704366631.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfftxlib_repro-51be7c4704366631.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfftxlib_repro-51be7c4704366631.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftxlib_repro-cc4a641f4174b37a.d: src/lib.rs
+
+/root/repo/target/debug/deps/fftxlib_repro-cc4a641f4174b37a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftxlib_repro-eeefa3e8362c21a2.d: src/lib.rs
+
+/root/repo/target/debug/deps/fftxlib_repro-eeefa3e8362c21a2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-72ccd28e8bfe91d7.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-72ccd28e8bfe91d7: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

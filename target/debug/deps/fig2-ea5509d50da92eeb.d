@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-ea5509d50da92eeb.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-ea5509d50da92eeb: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-0997ee0451de1467.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-0997ee0451de1467: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-9e0da17a84c5ec41.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-9e0da17a84c5ec41: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

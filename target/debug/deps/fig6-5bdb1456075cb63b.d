@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5bdb1456075cb63b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5bdb1456075cb63b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ad2e7b93755dccc6.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ad2e7b93755dccc6: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

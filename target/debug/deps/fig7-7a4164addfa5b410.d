@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-7a4164addfa5b410.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-7a4164addfa5b410: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

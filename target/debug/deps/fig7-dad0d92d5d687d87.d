@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-dad0d92d5d687d87.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-dad0d92d5d687d87: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

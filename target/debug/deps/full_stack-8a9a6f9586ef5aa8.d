@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-8a9a6f9586ef5aa8.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-8a9a6f9586ef5aa8: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-a5e57263ff40345e.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-a5e57263ff40345e: tests/full_stack.rs
+
+tests/full_stack.rs:

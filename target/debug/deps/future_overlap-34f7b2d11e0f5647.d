@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_overlap-34f7b2d11e0f5647.d: crates/bench/src/bin/future_overlap.rs
+
+/root/repo/target/debug/deps/future_overlap-34f7b2d11e0f5647: crates/bench/src/bin/future_overlap.rs
+
+crates/bench/src/bin/future_overlap.rs:

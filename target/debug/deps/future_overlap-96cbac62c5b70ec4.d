@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_overlap-96cbac62c5b70ec4.d: crates/bench/src/bin/future_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_overlap-96cbac62c5b70ec4.rmeta: crates/bench/src/bin/future_overlap.rs Cargo.toml
+
+crates/bench/src/bin/future_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

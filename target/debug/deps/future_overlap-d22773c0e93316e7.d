@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_overlap-d22773c0e93316e7.d: crates/bench/src/bin/future_overlap.rs
+
+/root/repo/target/debug/deps/future_overlap-d22773c0e93316e7: crates/bench/src/bin/future_overlap.rs
+
+crates/bench/src/bin/future_overlap.rs:

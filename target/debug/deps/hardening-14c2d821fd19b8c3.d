@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardening-14c2d821fd19b8c3.d: crates/vmpi/tests/hardening.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardening-14c2d821fd19b8c3.rmeta: crates/vmpi/tests/hardening.rs Cargo.toml
+
+crates/vmpi/tests/hardening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardening-371df2ea5a747a63.d: crates/vmpi/tests/hardening.rs
+
+/root/repo/target/debug/deps/hardening-371df2ea5a747a63: crates/vmpi/tests/hardening.rs
+
+crates/vmpi/tests/hardening.rs:

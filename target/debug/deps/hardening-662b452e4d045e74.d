@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardening-662b452e4d045e74.d: crates/taskrt/tests/hardening.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardening-662b452e4d045e74.rmeta: crates/taskrt/tests/hardening.rs Cargo.toml
+
+crates/taskrt/tests/hardening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardening-f9d7dc10962b5226.d: crates/taskrt/tests/hardening.rs
+
+/root/repo/target/debug/deps/hardening-f9d7dc10962b5226: crates/taskrt/tests/hardening.rs
+
+crates/taskrt/tests/hardening.rs:

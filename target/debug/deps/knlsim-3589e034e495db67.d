@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knlsim-3589e034e495db67.d: crates/bench/benches/knlsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknlsim-3589e034e495db67.rmeta: crates/bench/benches/knlsim.rs Cargo.toml
+
+crates/bench/benches/knlsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

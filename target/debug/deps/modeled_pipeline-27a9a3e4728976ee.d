@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modeled_pipeline-27a9a3e4728976ee.d: tests/modeled_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodeled_pipeline-27a9a3e4728976ee.rmeta: tests/modeled_pipeline.rs Cargo.toml
+
+tests/modeled_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

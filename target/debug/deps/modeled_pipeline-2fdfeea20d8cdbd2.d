@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modeled_pipeline-2fdfeea20d8cdbd2.d: tests/modeled_pipeline.rs
+
+/root/repo/target/debug/deps/modeled_pipeline-2fdfeea20d8cdbd2: tests/modeled_pipeline.rs
+
+tests/modeled_pipeline.rs:

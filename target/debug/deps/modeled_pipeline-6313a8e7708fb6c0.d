@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modeled_pipeline-6313a8e7708fb6c0.d: tests/modeled_pipeline.rs
+
+/root/repo/target/debug/deps/modeled_pipeline-6313a8e7708fb6c0: tests/modeled_pipeline.rs
+
+tests/modeled_pipeline.rs:

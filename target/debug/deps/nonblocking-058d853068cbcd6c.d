@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nonblocking-058d853068cbcd6c.d: crates/vmpi/tests/nonblocking.rs
+
+/root/repo/target/debug/deps/nonblocking-058d853068cbcd6c: crates/vmpi/tests/nonblocking.rs
+
+crates/vmpi/tests/nonblocking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nonblocking-93f5b59a76e1ac6d.d: crates/vmpi/tests/nonblocking.rs
+
+/root/repo/target/debug/deps/nonblocking-93f5b59a76e1ac6d: crates/vmpi/tests/nonblocking.rs
+
+crates/vmpi/tests/nonblocking.rs:

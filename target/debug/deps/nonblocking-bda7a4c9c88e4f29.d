@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nonblocking-bda7a4c9c88e4f29.d: crates/vmpi/tests/nonblocking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnonblocking-bda7a4c9c88e4f29.rmeta: crates/vmpi/tests/nonblocking.rs Cargo.toml
+
+crates/vmpi/tests/nonblocking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

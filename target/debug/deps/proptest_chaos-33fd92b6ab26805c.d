@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_chaos-33fd92b6ab26805c.d: crates/core/tests/proptest_chaos.rs
+
+/root/repo/target/debug/deps/proptest_chaos-33fd92b6ab26805c: crates/core/tests/proptest_chaos.rs
+
+crates/core/tests/proptest_chaos.rs:

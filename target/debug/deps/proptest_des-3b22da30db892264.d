@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_des-3b22da30db892264.d: crates/knlsim/tests/proptest_des.rs
+
+/root/repo/target/debug/deps/proptest_des-3b22da30db892264: crates/knlsim/tests/proptest_des.rs
+
+crates/knlsim/tests/proptest_des.rs:

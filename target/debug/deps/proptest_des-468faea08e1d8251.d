@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_des-468faea08e1d8251.d: crates/knlsim/tests/proptest_des.rs
+
+/root/repo/target/debug/deps/proptest_des-468faea08e1d8251: crates/knlsim/tests/proptest_des.rs
+
+crates/knlsim/tests/proptest_des.rs:

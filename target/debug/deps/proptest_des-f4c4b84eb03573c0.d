@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_des-f4c4b84eb03573c0.d: crates/knlsim/tests/proptest_des.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_des-f4c4b84eb03573c0.rmeta: crates/knlsim/tests/proptest_des.rs Cargo.toml
+
+crates/knlsim/tests/proptest_des.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_fft-56c9cd88061aa022.d: crates/fft/tests/proptest_fft.rs
+
+/root/repo/target/debug/deps/proptest_fft-56c9cd88061aa022: crates/fft/tests/proptest_fft.rs
+
+crates/fft/tests/proptest_fft.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_fft-e5c1eff3d141f70c.d: crates/fft/tests/proptest_fft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_fft-e5c1eff3d141f70c.rmeta: crates/fft/tests/proptest_fft.rs Cargo.toml
+
+crates/fft/tests/proptest_fft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

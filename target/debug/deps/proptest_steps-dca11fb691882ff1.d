@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_steps-dca11fb691882ff1.d: crates/core/tests/proptest_steps.rs
+
+/root/repo/target/debug/deps/proptest_steps-dca11fb691882ff1: crates/core/tests/proptest_steps.rs
+
+crates/core/tests/proptest_steps.rs:

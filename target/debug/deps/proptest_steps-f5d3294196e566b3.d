@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_steps-f5d3294196e566b3.d: crates/core/tests/proptest_steps.rs
+
+/root/repo/target/debug/deps/proptest_steps-f5d3294196e566b3: crates/core/tests/proptest_steps.rs
+
+crates/core/tests/proptest_steps.rs:

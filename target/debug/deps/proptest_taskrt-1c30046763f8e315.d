@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_taskrt-1c30046763f8e315.d: crates/taskrt/tests/proptest_taskrt.rs
+
+/root/repo/target/debug/deps/proptest_taskrt-1c30046763f8e315: crates/taskrt/tests/proptest_taskrt.rs
+
+crates/taskrt/tests/proptest_taskrt.rs:

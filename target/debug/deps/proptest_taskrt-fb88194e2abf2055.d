@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_taskrt-fb88194e2abf2055.d: crates/taskrt/tests/proptest_taskrt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_taskrt-fb88194e2abf2055.rmeta: crates/taskrt/tests/proptest_taskrt.rs Cargo.toml
+
+crates/taskrt/tests/proptest_taskrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_vmpi-305d444f99868d2f.d: crates/vmpi/tests/proptest_vmpi.rs
+
+/root/repo/target/debug/deps/proptest_vmpi-305d444f99868d2f: crates/vmpi/tests/proptest_vmpi.rs
+
+crates/vmpi/tests/proptest_vmpi.rs:

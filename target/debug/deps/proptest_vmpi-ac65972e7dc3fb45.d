@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_vmpi-ac65972e7dc3fb45.d: crates/vmpi/tests/proptest_vmpi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_vmpi-ac65972e7dc3fb45.rmeta: crates/vmpi/tests/proptest_vmpi.rs Cargo.toml
+
+crates/vmpi/tests/proptest_vmpi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

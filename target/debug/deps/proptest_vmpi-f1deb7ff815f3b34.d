@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_vmpi-f1deb7ff815f3b34.d: crates/vmpi/tests/proptest_vmpi.rs
+
+/root/repo/target/debug/deps/proptest_vmpi-f1deb7ff815f3b34: crates/vmpi/tests/proptest_vmpi.rs
+
+crates/vmpi/tests/proptest_vmpi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-5c9a8f2fd4be52b8.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-5c9a8f2fd4be52b8: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

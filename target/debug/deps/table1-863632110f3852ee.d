@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-863632110f3852ee.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-863632110f3852ee: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ba58ef75ca71e380.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ba58ef75ca71e380: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

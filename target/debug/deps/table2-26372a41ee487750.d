@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-26372a41ee487750.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-26372a41ee487750: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

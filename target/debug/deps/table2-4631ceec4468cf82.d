@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4631ceec4468cf82.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-4631ceec4468cf82: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taskrt-f230938166905ca8.d: crates/bench/benches/taskrt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaskrt-f230938166905ca8.rmeta: crates/bench/benches/taskrt.rs Cargo.toml
+
+crates/bench/benches/taskrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

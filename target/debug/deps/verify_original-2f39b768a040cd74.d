@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_original-2f39b768a040cd74.d: crates/core/tests/verify_original.rs
+
+/root/repo/target/debug/deps/verify_original-2f39b768a040cd74: crates/core/tests/verify_original.rs
+
+crates/core/tests/verify_original.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_original-88b8162a4295d014.d: crates/core/tests/verify_original.rs
+
+/root/repo/target/debug/deps/verify_original-88b8162a4295d014: crates/core/tests/verify_original.rs
+
+crates/core/tests/verify_original.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_original-a92d8e61d6518fb7.d: crates/core/tests/verify_original.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_original-a92d8e61d6518fb7.rmeta: crates/core/tests/verify_original.rs Cargo.toml
+
+crates/core/tests/verify_original.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_taskmodes-01a769a2653b3944.d: crates/core/tests/verify_taskmodes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_taskmodes-01a769a2653b3944.rmeta: crates/core/tests/verify_taskmodes.rs Cargo.toml
+
+crates/core/tests/verify_taskmodes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

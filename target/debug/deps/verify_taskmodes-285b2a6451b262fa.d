@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_taskmodes-285b2a6451b262fa.d: crates/core/tests/verify_taskmodes.rs
+
+/root/repo/target/debug/deps/verify_taskmodes-285b2a6451b262fa: crates/core/tests/verify_taskmodes.rs
+
+crates/core/tests/verify_taskmodes.rs:

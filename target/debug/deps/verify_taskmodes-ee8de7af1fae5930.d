@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_taskmodes-ee8de7af1fae5930.d: crates/core/tests/verify_taskmodes.rs
+
+/root/repo/target/debug/deps/verify_taskmodes-ee8de7af1fae5930: crates/core/tests/verify_taskmodes.rs
+
+crates/core/tests/verify_taskmodes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gamma_point-0d78ea43aa067afa.d: examples/gamma_point.rs
+
+/root/repo/target/debug/examples/gamma_point-0d78ea43aa067afa: examples/gamma_point.rs
+
+examples/gamma_point.rs:

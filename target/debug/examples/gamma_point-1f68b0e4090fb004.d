@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gamma_point-1f68b0e4090fb004.d: examples/gamma_point.rs
+
+/root/repo/target/debug/examples/gamma_point-1f68b0e4090fb004: examples/gamma_point.rs
+
+examples/gamma_point.rs:

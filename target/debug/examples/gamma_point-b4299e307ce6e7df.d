@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gamma_point-b4299e307ce6e7df.d: examples/gamma_point.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgamma_point-b4299e307ce6e7df.rmeta: examples/gamma_point.rs Cargo.toml
+
+examples/gamma_point.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knl_scaling-1ba025f34ece8ff9.d: examples/knl_scaling.rs
+
+/root/repo/target/debug/examples/knl_scaling-1ba025f34ece8ff9: examples/knl_scaling.rs
+
+examples/knl_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knl_scaling-27bfcadae0f6e313.d: examples/knl_scaling.rs
+
+/root/repo/target/debug/examples/knl_scaling-27bfcadae0f6e313: examples/knl_scaling.rs
+
+examples/knl_scaling.rs:

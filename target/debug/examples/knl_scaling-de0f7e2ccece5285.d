@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/knl_scaling-de0f7e2ccece5285.d: examples/knl_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libknl_scaling-de0f7e2ccece5285.rmeta: examples/knl_scaling.rs Cargo.toml
+
+examples/knl_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

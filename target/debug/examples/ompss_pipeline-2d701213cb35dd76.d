@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ompss_pipeline-2d701213cb35dd76.d: examples/ompss_pipeline.rs
+
+/root/repo/target/debug/examples/ompss_pipeline-2d701213cb35dd76: examples/ompss_pipeline.rs
+
+examples/ompss_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ompss_pipeline-5b5f0a23c283f5db.d: examples/ompss_pipeline.rs
+
+/root/repo/target/debug/examples/ompss_pipeline-5b5f0a23c283f5db: examples/ompss_pipeline.rs
+
+examples/ompss_pipeline.rs:

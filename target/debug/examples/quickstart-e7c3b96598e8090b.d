@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e7c3b96598e8090b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e7c3b96598e8090b: examples/quickstart.rs
+
+examples/quickstart.rs:

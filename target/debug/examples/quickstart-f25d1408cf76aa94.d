@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f25d1408cf76aa94.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f25d1408cf76aa94: examples/quickstart.rs
+
+examples/quickstart.rs:

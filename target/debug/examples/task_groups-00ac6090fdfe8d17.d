@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_groups-00ac6090fdfe8d17.d: examples/task_groups.rs
+
+/root/repo/target/debug/examples/task_groups-00ac6090fdfe8d17: examples/task_groups.rs
+
+examples/task_groups.rs:

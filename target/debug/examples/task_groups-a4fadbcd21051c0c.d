@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_groups-a4fadbcd21051c0c.d: examples/task_groups.rs
+
+/root/repo/target/debug/examples/task_groups-a4fadbcd21051c0c: examples/task_groups.rs
+
+examples/task_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fftx-36c1c51fe4fed39a.d: src/bin/fftx.rs
+
+/root/repo/target/release/deps/fftx-36c1c51fe4fed39a: src/bin/fftx.rs
+
+src/bin/fftx.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fftx_bench-451469f406b43743.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfftx_bench-451469f406b43743.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfftx_bench-451469f406b43743.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fftx_core-59d445574d4c6d8f.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+
+/root/repo/target/release/deps/libfftx_core-59d445574d4c6d8f.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+
+/root/repo/target/release/deps/libfftx_core-59d445574d4c6d8f.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/modelplan.rs:
+crates/core/src/original.rs:
+crates/core/src/problem.rs:
+crates/core/src/recorder.rs:
+crates/core/src/steps.rs:
+crates/core/src/taskmodes.rs:

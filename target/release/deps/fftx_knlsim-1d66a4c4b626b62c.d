@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fftx_knlsim-1d66a4c4b626b62c.d: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+/root/repo/target/release/deps/libfftx_knlsim-1d66a4c4b626b62c.rlib: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+/root/repo/target/release/deps/libfftx_knlsim-1d66a4c4b626b62c.rmeta: crates/knlsim/src/lib.rs crates/knlsim/src/arch.rs crates/knlsim/src/des.rs crates/knlsim/src/model.rs crates/knlsim/src/program.rs
+
+crates/knlsim/src/lib.rs:
+crates/knlsim/src/arch.rs:
+crates/knlsim/src/des.rs:
+crates/knlsim/src/model.rs:
+crates/knlsim/src/program.rs:

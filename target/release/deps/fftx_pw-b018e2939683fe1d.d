@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fftx_pw-b018e2939683fe1d.d: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs
+
+/root/repo/target/release/deps/libfftx_pw-b018e2939683fe1d.rlib: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs
+
+/root/repo/target/release/deps/libfftx_pw-b018e2939683fe1d.rmeta: crates/pw/src/lib.rs crates/pw/src/cell.rs crates/pw/src/gamma.rs crates/pw/src/grid.rs crates/pw/src/gvec.rs crates/pw/src/layout.rs crates/pw/src/potential.rs crates/pw/src/reference.rs crates/pw/src/sticks.rs crates/pw/src/wave.rs
+
+crates/pw/src/lib.rs:
+crates/pw/src/cell.rs:
+crates/pw/src/gamma.rs:
+crates/pw/src/grid.rs:
+crates/pw/src/gvec.rs:
+crates/pw/src/layout.rs:
+crates/pw/src/potential.rs:
+crates/pw/src/reference.rs:
+crates/pw/src/sticks.rs:
+crates/pw/src/wave.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fftx_taskrt-fabf5105c3de4fcb.d: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs
+
+/root/repo/target/release/deps/libfftx_taskrt-fabf5105c3de4fcb.rlib: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs
+
+/root/repo/target/release/deps/libfftx_taskrt-fabf5105c3de4fcb.rmeta: crates/taskrt/src/lib.rs crates/taskrt/src/error.rs crates/taskrt/src/handle.rs crates/taskrt/src/runtime.rs
+
+crates/taskrt/src/lib.rs:
+crates/taskrt/src/error.rs:
+crates/taskrt/src/handle.rs:
+crates/taskrt/src/runtime.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fftx_trace-24fa4e2774c0ce8a.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs
+
+/root/repo/target/release/deps/libfftx_trace-24fa4e2774c0ce8a.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs
+
+/root/repo/target/release/deps/libfftx_trace-24fa4e2774c0ce8a.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/lane_ctx.rs crates/trace/src/histogram.rs crates/trace/src/paraver.rs crates/trace/src/pop.rs crates/trace/src/table.rs crates/trace/src/timeline.rs crates/trace/src/trace.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/lane_ctx.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/paraver.rs:
+crates/trace/src/pop.rs:
+crates/trace/src/table.rs:
+crates/trace/src/timeline.rs:
+crates/trace/src/trace.rs:

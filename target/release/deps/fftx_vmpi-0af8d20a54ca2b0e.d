@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fftx_vmpi-0af8d20a54ca2b0e.d: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs
+
+/root/repo/target/release/deps/libfftx_vmpi-0af8d20a54ca2b0e.rlib: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs
+
+/root/repo/target/release/deps/libfftx_vmpi-0af8d20a54ca2b0e.rmeta: crates/vmpi/src/lib.rs crates/vmpi/src/comm.rs crates/vmpi/src/error.rs crates/vmpi/src/world.rs
+
+crates/vmpi/src/lib.rs:
+crates/vmpi/src/comm.rs:
+crates/vmpi/src/error.rs:
+crates/vmpi/src/world.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fftxlib_repro-9fda98ca671ff4bf.d: src/lib.rs
+
+/root/repo/target/release/deps/libfftxlib_repro-9fda98ca671ff4bf.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfftxlib_repro-9fda98ca671ff4bf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_resilience-a0e2eb3a8ebfd1c8.d: crates/bench/src/bin/probe_resilience.rs
+
+/root/repo/target/release/deps/probe_resilience-a0e2eb3a8ebfd1c8: crates/bench/src/bin/probe_resilience.rs
+
+crates/bench/src/bin/probe_resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-5a5789a10af186bf.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/release/deps/resilience-5a5789a10af186bf: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

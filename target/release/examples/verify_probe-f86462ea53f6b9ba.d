@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_probe-f86462ea53f6b9ba.d: crates/taskrt/examples/verify_probe.rs
+
+/root/repo/target/release/examples/verify_probe-f86462ea53f6b9ba: crates/taskrt/examples/verify_probe.rs
+
+crates/taskrt/examples/verify_probe.rs:
