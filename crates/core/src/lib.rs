@@ -20,11 +20,13 @@ pub mod modelplan;
 pub mod original;
 pub mod problem;
 pub mod recorder;
+pub mod recovery;
 pub mod steps;
 pub mod taskmodes;
 
 pub use config::{FftxConfig, Mode};
 pub use original::{run_original, RunOutput};
+pub use recovery::{run_eviction, run_retry, run_rollback, RecoveryStats};
 pub use problem::Problem;
 pub use modelplan::{
     build_programs, run_modeled, run_modeled_with, simulate_config, simulate_config_faulty,

@@ -21,9 +21,9 @@ use crate::recorder::Recorder;
 use crate::steps;
 use fftx_fft::opcount;
 use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction, Fft};
-use fftx_pw::{apply_potential_slab, assemble_shares};
+use fftx_pw::{apply_potential_slab, assemble_shares, TaskGroupLayout};
 use fftx_trace::{StateClass, Trace, TraceSink};
-use fftx_vmpi::{Communicator, World};
+use fftx_vmpi::{Communicator, VmpiError, World};
 use std::sync::Arc;
 
 /// Result of a real execution.
@@ -77,8 +77,13 @@ pub struct StepFlops {
 impl StepFlops {
     /// Estimates for the rank in task group `g`.
     pub fn for_group(problem: &Problem, g: usize) -> Self {
-        let l = &problem.layout;
-        let grid = problem.grid();
+        Self::for_layout(&problem.layout, g)
+    }
+
+    /// Estimates for task group `g` of an explicit layout (the recovery
+    /// engine re-plans the layout mid-run, away from the problem's own).
+    pub fn for_layout(l: &TaskGroupLayout, g: usize) -> Self {
+        let grid = l.grid;
         let nst = l.nst_group(g);
         let npp = l.npp(g);
         let plane = grid.nr1 * grid.nr2;
@@ -108,8 +113,12 @@ pub struct BandPipeline {
 impl BandPipeline {
     /// Allocates buffers for task group `g`.
     pub fn new(problem: &Problem, g: usize) -> Self {
-        let l = &problem.layout;
-        let grid = problem.grid();
+        Self::for_layout(&problem.layout, g)
+    }
+
+    /// Allocates buffers for task group `g` of an explicit layout.
+    pub fn for_layout(l: &TaskGroupLayout, g: usize) -> Self {
+        let grid = l.grid;
         BandPipeline {
             zbuf: vec![Complex64::ZERO; l.nst_group(g) * grid.nr3],
             planes: vec![Complex64::ZERO; l.npp(g) * grid.nr1 * grid.nr2],
@@ -133,8 +142,38 @@ pub fn transform_core(
     flops: &StepFlops,
     rec: &Recorder,
 ) {
-    let l = &problem.layout;
-    let grid = problem.grid();
+    try_transform_core(
+        &problem.layout,
+        &problem.v,
+        g,
+        scatter_comm,
+        tag,
+        pipe,
+        plans,
+        flops,
+        rec,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`transform_core`] against an explicit layout and dense potential,
+/// surfacing collective timeouts and world aborts as [`VmpiError`] values
+/// instead of panicking — the fallible building block of the recovery
+/// engine (which replays batches and runs re-planned layouts the problem
+/// doesn't know about).
+#[allow(clippy::too_many_arguments)]
+pub fn try_transform_core(
+    l: &TaskGroupLayout,
+    v: &[f64],
+    g: usize,
+    scatter_comm: &Communicator,
+    tag: u32,
+    pipe: &mut BandPipeline,
+    plans: &Plans,
+    flops: &StepFlops,
+    rec: &Recorder,
+) -> Result<(), VmpiError> {
+    let grid = l.grid;
     let nst = l.nst_group(g);
     let npp = l.npp(g);
     let (z0, _) = l.plane_range[g];
@@ -155,7 +194,7 @@ pub fn transform_core(
     let send = rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
         steps::scatter_pack(l, g, &pipe.zbuf)
     });
-    let recv = scatter_comm.alltoall(&send, tag);
+    let recv = scatter_comm.try_alltoall(&send, tag)?;
     rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
         steps::scatter_unpack_to_planes(l, g, &recv, &mut pipe.planes);
     });
@@ -176,7 +215,7 @@ pub fn transform_core(
 
     // VOFR: apply the local potential on the owned slab.
     rec.compute(StateClass::Vofr, flops.vofr, || {
-        apply_potential_slab(&mut pipe.planes, &problem.v, &grid, z0, npp);
+        apply_potential_slab(&mut pipe.planes, v, &grid, z0, npp);
     });
 
     // Forward FFT in the xy planes.
@@ -197,7 +236,7 @@ pub fn transform_core(
     let send = rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
         steps::planes_to_scatter_sends(l, g, &pipe.planes)
     });
-    let recv = scatter_comm.alltoall(&send, tag);
+    let recv = scatter_comm.try_alltoall(&send, tag)?;
     rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
         steps::zbuf_from_scatter_recv(l, g, &recv, &mut pipe.zbuf);
     });
@@ -213,6 +252,7 @@ pub fn transform_core(
             &mut pipe.scratch,
         );
     });
+    Ok(())
 }
 
 /// Runs the original static kernel on R×T virtual MPI ranks and returns the

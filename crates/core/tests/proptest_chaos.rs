@@ -3,8 +3,18 @@
 //! straggler stall) must be invisible in the results — every real-engine
 //! mode produces bit-identical bands with chaos on or off — and the fault
 //! schedule itself must be a pure function of the seed.
+//!
+//! The recovery properties extend the same claim to *fatal* faults: for
+//! every recovery-triggering fault profile (transient task crashes, batch
+//! collective aborts, a rank death at each possible batch boundary), the
+//! recovered run must be bitwise identical to the fault-free run — recovery
+//! costs time, never answers.
 
-use fftx_core::{run_chaotic, FftxConfig, Mode, Problem};
+use fftx_core::{
+    run_chaotic, run_eviction, run_original, run_retry, run_rollback, FftxConfig, Mode, Problem,
+};
+use fftx_core::taskmodes::run_task_per_fft;
+use fftx_fault::{BatchAborts, RankDeath, RecoveryConfig, TaskCrashes};
 use fftx_vmpi::{ChaosConfig, FaultReport, StallConfig};
 use proptest::prelude::*;
 use std::time::Duration;
@@ -53,5 +63,65 @@ proptest! {
             let (_, report2) = run_mode(mode, Some(seed));
             prop_assert_eq!(&report, &report2.expect("chaos active"));
         }
+    }
+
+    /// Mechanism 1: for any crash seed, a run where every band task
+    /// crashes once or twice recovers by re-execution and reproduces the
+    /// fault-free bands bit for bit.
+    #[test]
+    fn task_reexecution_recovers_bitwise_identical_bands(seed in 1u64..1_000_000) {
+        let cfg = FftxConfig::small(2, 2, Mode::TaskPerFft);
+        let problem = Problem::new(cfg);
+        let baseline = run_task_per_fft(&problem);
+        let crashes = TaskCrashes::new(seed, 1.0, 2);
+        let (out, stats) = run_retry(&problem, Some(crashes), &RecoveryConfig::default())
+            .expect("retry budget must absorb at most 2 crashes per task");
+        prop_assert!(stats.task_retries > 0, "profile must trigger retries");
+        prop_assert!(
+            out.bands == baseline.bands,
+            "task re-execution changed the answer under seed {seed}"
+        );
+    }
+
+    /// Mechanism 2: for any abort seed, a run where every band batch's
+    /// collective times out once or twice recovers by checkpoint rollback
+    /// and reproduces the fault-free bands bit for bit.
+    #[test]
+    fn batch_rollback_recovers_bitwise_identical_bands(seed in 1u64..1_000_000) {
+        let cfg = FftxConfig::small(2, 2, Mode::Original);
+        let problem = Problem::new(cfg);
+        let baseline = run_original(&problem);
+        let aborts = BatchAborts::new(seed, 1.0, 2);
+        let (out, stats) = run_rollback(&problem, Some(aborts), &RecoveryConfig::default())
+            .expect("rollback budget must absorb at most 2 aborts per batch");
+        prop_assert!(stats.batch_rollbacks > 0, "profile must trigger rollbacks");
+        prop_assert!(
+            out.bands == baseline.bands,
+            "batch rollback changed the answer under seed {seed}"
+        );
+    }
+
+    /// Mechanism 3: for any victim rank and any re-plannable death
+    /// boundary, evicting the rank and finishing on the re-planned R×T
+    /// layout reproduces the fault-free bands bit for bit.
+    #[test]
+    fn rank_eviction_recovers_bitwise_identical_bands(
+        victim in 0usize..7,
+        batch_idx in 0usize..3,
+    ) {
+        // 7 ranks as 7×1 over 6 bands; 6 survivors re-plan to 3×2, so the
+        // death boundary must leave an even number of bands: batch 0, 2, 4.
+        let mut cfg = FftxConfig::small(7, 1, Mode::Original);
+        cfg.nbnd = 6;
+        let problem = Problem::new(cfg);
+        let baseline = run_original(&problem);
+        let death = RankDeath::at(victim, batch_idx * 2);
+        let (out, stats) = run_eviction(&problem, death, &RecoveryConfig::default())
+            .expect("survivors must finish the run");
+        prop_assert_eq!(stats.layout_after, (3, 2));
+        prop_assert!(
+            out.bands == baseline.bands,
+            "evicting rank {victim} at batch {} changed the answer", batch_idx * 2
+        );
     }
 }

@@ -30,6 +30,13 @@ pub struct ChaosConfig {
     /// Probability that a message is reordered on the wire (the transport
     /// restores order by sequence number and records the event).
     pub p_reorder: f64,
+    /// Probability that a message is **permanently lost** — never enqueued,
+    /// never retransmitted. Unlike every other knob this one is *fatal*:
+    /// the receiver's watchdog converts the missing message into a typed
+    /// timeout that the recovery layer must handle. Default 0, and
+    /// [`ChaosConfig::aggressive`] keeps it 0, preserving the
+    /// lossless-by-construction invariant the chaos CI job relies on.
+    pub p_loss: f64,
     /// Optional rank-stall / straggler injection.
     pub stall: Option<StallConfig>,
 }
@@ -45,6 +52,7 @@ impl Default for ChaosConfig {
             max_drops: 2,
             retry_backoff: Duration::from_micros(200),
             p_reorder: 0.0,
+            p_loss: 0.0,
             stall: None,
         }
     }
@@ -63,6 +71,7 @@ impl ChaosConfig {
             max_drops: 2,
             retry_backoff: Duration::from_micros(100),
             p_reorder: 0.25,
+            p_loss: 0.0,
             stall: None,
         }
     }
@@ -88,6 +97,14 @@ impl ChaosConfig {
     /// Adds a rank-stall spec.
     pub fn with_stall(mut self, stall: StallConfig) -> Self {
         self.stall = Some(stall);
+        self
+    }
+
+    /// Enables permanent message loss at probability `p` per message.
+    /// This breaks the lossless invariant on purpose; only recovery-aware
+    /// callers should turn it on.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.p_loss = p;
         self
     }
 }
@@ -135,6 +152,9 @@ pub enum FaultKind {
     DuplicateDiscarded,
     /// A rank stalled before a collective (straggler).
     Stall,
+    /// A message was permanently lost (fatal: no retransmit ever arrives;
+    /// the receiver's watchdog surfaces a typed timeout).
+    Loss,
 }
 
 /// One injected fault, in decision order per site.
@@ -186,6 +206,9 @@ pub struct MessagePlan {
     pub duplicate: bool,
     /// Whether the message jumps the queue (transport restores order).
     pub reorder: bool,
+    /// Whether the message is permanently lost (fatal — the transport must
+    /// not enqueue it at all).
+    pub lost: bool,
 }
 
 impl MessagePlan {
@@ -197,6 +220,7 @@ impl MessagePlan {
             delay: None,
             duplicate: false,
             reorder: false,
+            lost: false,
         }
     }
 
@@ -272,6 +296,20 @@ impl ChaosEngine {
             s
         };
         let mut plan = MessagePlan::clean(seq);
+        if unit_f64(self.decision_bits(site, seq, 7)) < self.cfg.p_loss {
+            // Fatal loss: no other fault class matters for this message —
+            // it never reaches the wire.
+            plan.lost = true;
+            st.events.push(FaultEvent {
+                kind: FaultKind::Loss,
+                comm,
+                src,
+                dst,
+                tag,
+                seq,
+            });
+            return plan;
+        }
         if unit_f64(self.decision_bits(site, seq, 1)) < self.cfg.p_drop {
             let extra = self.decision_bits(site, seq, 2) % u64::from(self.cfg.max_drops.max(1));
             plan.drops = 1 + extra as u32;
@@ -473,6 +511,32 @@ mod tests {
         let hits: Vec<bool> = (0..7).map(|_| e.stall_before_collective(2).is_some()).collect();
         assert_eq!(hits, vec![true, false, false, true, false, false, true]);
         assert_eq!(e.report().count(FaultKind::Stall), 3);
+    }
+
+    #[test]
+    fn loss_is_opt_in_and_deterministic() {
+        // aggressive() must stay lossless — the chaos CI job depends on it.
+        assert_eq!(ChaosConfig::aggressive(5).p_loss, 0.0);
+        let cfg = ChaosConfig {
+            seed: 11,
+            ..ChaosConfig::default()
+        }
+        .with_loss(0.3);
+        let a = ChaosEngine::new(cfg);
+        let b = ChaosEngine::new(cfg);
+        let mut lost = 0;
+        for i in 0..200 {
+            let pa = a.plan_message(1, 0, 1, i % 4);
+            assert_eq!(pa, b.plan_message(1, 0, 1, i % 4));
+            if pa.lost {
+                lost += 1;
+                // A lost message carries no other fault decisions.
+                assert_eq!(pa.drops, 0);
+                assert!(!pa.duplicate && !pa.reorder && pa.delay.is_none());
+            }
+        }
+        assert!(lost > 0, "p_loss=0.3 over 200 messages must lose some");
+        assert_eq!(a.report().count(FaultKind::Loss), lost);
     }
 
     #[test]

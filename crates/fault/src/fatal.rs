@@ -1,0 +1,273 @@
+//! Fatal-fault profiles and recovery knobs.
+//!
+//! PR 1's chaos engine is lossless by construction — it perturbs timing,
+//! never outcomes. This module supplies the opposite end of the spectrum:
+//! deterministic plans for *fatal* events that the recovery layer has to
+//! survive — a task body crashing, a band batch aborting mid-flight, a
+//! rank dying at a batch boundary.
+//!
+//! Every decision is a pure function of `(seed, logical key, attempt)` and
+//! **never** of rank identity, thread scheduling, or wall time. That purity
+//! carries the recovery layer's consistency argument: when a fault keyed by
+//! band or batch fires, every rank evaluates the identical plan, reaches
+//! the identical retry/rollback decision, and the per-communicator
+//! collective sequence counters stay aligned across replays without any
+//! agreement protocol. (A production runtime would run a watchdog-agreement
+//! round here; the deterministic plan is the stand-in that keeps the
+//! experiment reproducible — see DESIGN.md §11.)
+
+use crate::{mix64, unit_f64};
+use std::time::Duration;
+
+/// Deterministic task-crash plan: decides how many times the task keyed by
+/// `key` panics before its body is allowed to succeed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCrashes {
+    /// Seed of the crash schedule.
+    pub seed: u64,
+    /// Probability that a given task key crashes at all.
+    pub p_crash: f64,
+    /// Upper bound on consecutive crashes of one task. Recovery succeeds
+    /// iff this stays within the retry budget.
+    pub max_crashes: u32,
+}
+
+impl TaskCrashes {
+    /// A plan crashing roughly `p_crash` of all task keys, each at most
+    /// `max_crashes` times.
+    pub fn new(seed: u64, p_crash: f64, max_crashes: u32) -> Self {
+        TaskCrashes {
+            seed,
+            p_crash,
+            max_crashes: max_crashes.max(1),
+        }
+    }
+
+    /// How many attempts of the task keyed `key` crash before one succeeds
+    /// — pure in `(seed, key)`.
+    pub fn crashes_for(&self, key: u64) -> u32 {
+        let h = mix64(self.seed ^ mix64(key ^ 0xA5F1_52C8_9D3B_7E41));
+        if unit_f64(h) < self.p_crash {
+            1 + (mix64(h) % u64::from(self.max_crashes)) as u32
+        } else {
+            0
+        }
+    }
+
+    /// Whether attempt `attempt` (0-based) of task `key` should crash.
+    pub fn should_crash(&self, key: u64, attempt: u32) -> bool {
+        attempt < self.crashes_for(key)
+    }
+}
+
+/// Deterministic batch-abort plan: decides how many executions of band
+/// batch `batch` fail mid-flight before a replay is allowed to complete.
+/// The recovery engine converts each planned abort into the same typed
+/// error path a real collective timeout takes, then rolls the batch back
+/// to its checkpoint and replays it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchAborts {
+    /// Seed of the abort schedule.
+    pub seed: u64,
+    /// Probability that a given batch aborts at all.
+    pub p_abort: f64,
+    /// Upper bound on consecutive aborts of one batch. Recovery succeeds
+    /// iff this stays within the rollback budget.
+    pub max_aborts: u32,
+}
+
+impl BatchAborts {
+    /// A plan aborting roughly `p_abort` of all batches, each at most
+    /// `max_aborts` times.
+    pub fn new(seed: u64, p_abort: f64, max_aborts: u32) -> Self {
+        BatchAborts {
+            seed,
+            p_abort,
+            max_aborts: max_aborts.max(1),
+        }
+    }
+
+    /// How many executions of `batch` abort before one completes — pure in
+    /// `(seed, batch)`.
+    pub fn aborts_for(&self, batch: u64) -> u32 {
+        let h = mix64(self.seed ^ mix64(batch ^ 0x1B56_C4E9_A92D_F30C));
+        if unit_f64(h) < self.p_abort {
+            1 + (mix64(h) % u64::from(self.max_aborts)) as u32
+        } else {
+            0
+        }
+    }
+
+    /// Whether execution `attempt` (0-based) of `batch` should abort.
+    pub fn should_abort(&self, batch: u64, attempt: u32) -> bool {
+        attempt < self.aborts_for(batch)
+    }
+}
+
+/// A rank declared dead by the watchdog at a batch boundary: before
+/// starting `batch`, rank `rank` stops participating and the survivors
+/// evict it, shrink the world, and re-plan the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankDeath {
+    /// The world rank that dies.
+    pub rank: usize,
+    /// The batch index at whose boundary it dies.
+    pub batch: usize,
+}
+
+impl RankDeath {
+    /// Rank `rank` dies at the boundary of batch `batch`.
+    pub fn at(rank: usize, batch: usize) -> Self {
+        RankDeath { rank, batch }
+    }
+}
+
+/// Budgets and preferences of the recovery layer, settable through
+/// `FFTX_RECOVERY_*` environment knobs (see README).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Task re-execution budget: a panicking task is retried at most this
+    /// many times before escalating to `TaskError`.
+    pub max_retries: u32,
+    /// Base of the bounded exponential retry backoff.
+    pub base_backoff: Duration,
+    /// Cap of the retry backoff (`min(base · 2^attempt, max)`).
+    pub max_backoff: Duration,
+    /// Rollback budget: a band batch is replayed from its checkpoint at
+    /// most this many times before the error escalates.
+    pub max_rollbacks: u32,
+    /// Preferred task-group width T when re-factorising R×T over the
+    /// survivors after a rank eviction (the largest divisor of the
+    /// surviving rank count ≤ this is chosen).
+    pub prefer_t: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(2),
+            max_rollbacks: 4,
+            prefer_t: 2,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Reads the config from the `FFTX_RECOVERY_*` environment knobs,
+    /// falling back to the defaults for unset or unparsable values:
+    /// `FFTX_RECOVERY_MAX_RETRIES`, `FFTX_RECOVERY_BACKOFF_US`,
+    /// `FFTX_RECOVERY_MAX_BACKOFF_US`, `FFTX_RECOVERY_MAX_ROLLBACKS`,
+    /// `FFTX_RECOVERY_PREFER_T`.
+    pub fn from_env() -> Self {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// Same as [`RecoveryConfig::from_env`] with an injectable variable
+    /// source (tests use this to avoid mutating the process environment).
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Self {
+        fn parse<T: std::str::FromStr>(v: Option<String>, default: T) -> T {
+            v.and_then(|s| s.parse().ok()).unwrap_or(default)
+        }
+        let d = RecoveryConfig::default();
+        RecoveryConfig {
+            max_retries: parse(get("FFTX_RECOVERY_MAX_RETRIES"), d.max_retries),
+            base_backoff: Duration::from_micros(parse(
+                get("FFTX_RECOVERY_BACKOFF_US"),
+                d.base_backoff.as_micros() as u64,
+            )),
+            max_backoff: Duration::from_micros(parse(
+                get("FFTX_RECOVERY_MAX_BACKOFF_US"),
+                d.max_backoff.as_micros() as u64,
+            )),
+            max_rollbacks: parse(get("FFTX_RECOVERY_MAX_ROLLBACKS"), d.max_rollbacks),
+            prefer_t: parse(get("FFTX_RECOVERY_PREFER_T"), d.prefer_t),
+        }
+    }
+
+    /// The bounded exponential backoff before retry `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_plan_is_pure_and_bounded() {
+        let p = TaskCrashes::new(42, 0.5, 3);
+        let mut crashed = 0;
+        for key in 0..200 {
+            let n = p.crashes_for(key);
+            assert_eq!(n, p.crashes_for(key), "pure in (seed, key)");
+            assert!(n <= 3);
+            if n > 0 {
+                crashed += 1;
+                assert!(p.should_crash(key, 0));
+                assert!(!p.should_crash(key, n));
+            } else {
+                assert!(!p.should_crash(key, 0));
+            }
+        }
+        assert!(crashed > 50 && crashed < 150, "~half the keys: {crashed}");
+        // Different seeds give different schedules.
+        let q = TaskCrashes::new(43, 0.5, 3);
+        assert!((0..200).any(|k| p.crashes_for(k) != q.crashes_for(k)));
+    }
+
+    #[test]
+    fn abort_plan_is_pure_and_bounded() {
+        let p = BatchAborts::new(7, 1.0, 2);
+        for batch in 0..50 {
+            let n = p.aborts_for(batch);
+            assert!((1..=2).contains(&n), "p=1 must abort every batch");
+            assert!(p.should_abort(batch, 0));
+            assert!(!p.should_abort(batch, n));
+        }
+        let none = BatchAborts::new(7, 0.0, 2);
+        assert!((0..50).all(|b| none.aborts_for(b) == 0));
+    }
+
+    #[test]
+    fn recovery_config_parses_knobs_and_defaults() {
+        let d = RecoveryConfig::from_lookup(|_| None);
+        assert_eq!(d, RecoveryConfig::default());
+
+        let c = RecoveryConfig::from_lookup(|k| match k {
+            "FFTX_RECOVERY_MAX_RETRIES" => Some("5".into()),
+            "FFTX_RECOVERY_BACKOFF_US" => Some("10".into()),
+            "FFTX_RECOVERY_MAX_BACKOFF_US" => Some("80".into()),
+            "FFTX_RECOVERY_MAX_ROLLBACKS" => Some("9".into()),
+            "FFTX_RECOVERY_PREFER_T" => Some("4".into()),
+            _ => None,
+        });
+        assert_eq!(c.max_retries, 5);
+        assert_eq!(c.base_backoff, Duration::from_micros(10));
+        assert_eq!(c.max_rollbacks, 9);
+        assert_eq!(c.prefer_t, 4);
+
+        // Unparsable values fall back rather than panic.
+        let bad = RecoveryConfig::from_lookup(|_| Some("not a number".into()));
+        assert_eq!(bad, RecoveryConfig::default());
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let c = RecoveryConfig {
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(300),
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(c.backoff(0), Duration::from_micros(50));
+        assert_eq!(c.backoff(1), Duration::from_micros(100));
+        assert_eq!(c.backoff(2), Duration::from_micros(200));
+        assert_eq!(c.backoff(3), Duration::from_micros(300), "capped");
+        assert_eq!(c.backoff(40), Duration::from_micros(300), "no overflow");
+    }
+}

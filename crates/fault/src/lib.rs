@@ -16,9 +16,11 @@
 //! — the property the chaos-determinism proptests pin down.
 
 mod chaos;
+mod fatal;
 mod plan;
 
 pub use chaos::{ChaosConfig, ChaosEngine, FaultEvent, FaultKind, FaultReport, MessagePlan, StallConfig};
+pub use fatal::{BatchAborts, RankDeath, RecoveryConfig, TaskCrashes};
 pub use plan::{BandSpikes, FaultPlan};
 
 /// splitmix64 finalizer: the workspace's standard bit mixer.

@@ -259,6 +259,29 @@ impl CommModel {
         };
         self.alpha * stages + self.per_msg * msgs + volume / self.beta
     }
+
+    /// Cost of writing one buddy checkpoint: a single point-to-point
+    /// message carrying `bytes` of batch state to the ring neighbour
+    /// (the recovery layer's steady-state overhead — paid every batch,
+    /// faults or not).
+    pub fn checkpoint_seconds(&self, bytes: usize) -> f64 {
+        if self.ideal {
+            return 0.0;
+        }
+        self.alpha + self.per_msg + bytes as f64 / self.beta
+    }
+
+    /// Cost of recovering from `replays` mid-batch faults: each replay
+    /// restores the checkpointed batch state (`checkpoint_bytes` through
+    /// memory at the exchange bandwidth — a deliberately conservative
+    /// stand-in for a local memcpy) and re-executes the batch
+    /// (`batch_seconds`). The fault-free run pays none of this.
+    pub fn replay_seconds(&self, checkpoint_bytes: usize, batch_seconds: f64, replays: u32) -> f64 {
+        if self.ideal {
+            return 0.0;
+        }
+        replays as f64 * (checkpoint_bytes as f64 / self.beta + batch_seconds)
+    }
 }
 
 #[cfg(test)]
@@ -360,5 +383,27 @@ mod tests {
     fn ideal_network_is_free() {
         let c = CommModel::paper().idealized();
         assert_eq!(c.duration(CommOp::Alltoall, 64, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn recovery_overhead_model_scales_and_idealizes() {
+        let c = CommModel::paper();
+        // Checkpoints: latency-bound for tiny payloads, bandwidth-bound for
+        // big ones, strictly monotone in bytes.
+        let small = c.checkpoint_seconds(64);
+        let big = c.checkpoint_seconds(1 << 24);
+        assert!(small >= c.alpha + c.per_msg);
+        assert!(big > small);
+        // Replays: zero when fault-free, linear in the replay count, and
+        // dominated by the batch re-execution for realistic batch times.
+        assert_eq!(c.replay_seconds(1 << 20, 0.01, 0), 0.0);
+        let one = c.replay_seconds(1 << 20, 0.01, 1);
+        let three = c.replay_seconds(1 << 20, 0.01, 3);
+        assert!(one > 0.01);
+        assert!((three - 3.0 * one).abs() < 1e-12);
+        // The Dimemas-style ideal replay zeroes the overhead out too.
+        let ideal = c.idealized();
+        assert_eq!(ideal.checkpoint_seconds(1 << 24), 0.0);
+        assert_eq!(ideal.replay_seconds(1 << 20, 0.01, 3), 0.0);
     }
 }

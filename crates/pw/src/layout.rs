@@ -46,6 +46,24 @@ pub struct TaskGroupLayout {
     pub plane_range: Vec<(usize, usize)>,
 }
 
+/// Picks an R × T factorisation for `p` ranks, preferring the largest
+/// task-group size `t ≤ prefer_t` that divides `p` (falling back to
+/// `t = 1`, the pure-scatter extreme, when `p` is prime or `prefer_t`
+/// shares no divisor with it).
+///
+/// This is the re-planning rule used after a rank eviction: survivors all
+/// evaluate `factorise_rt(P - dead, prefer_t)` locally and — because the
+/// function is pure — arrive at the same shrunk layout without
+/// communication (see DESIGN.md §11).
+pub fn factorise_rt(p: usize, prefer_t: usize) -> (usize, usize) {
+    assert!(p > 0, "factorise_rt: need at least one rank");
+    let t = (1..=prefer_t.max(1).min(p))
+        .rev()
+        .find(|t| p.is_multiple_of(*t))
+        .unwrap_or(1);
+    (p / t, t)
+}
+
 impl TaskGroupLayout {
     /// Builds the layout for `r * t` ranks.
     pub fn new(grid: FftGrid, set: StickSet, r: usize, t: usize) -> Self {
@@ -276,6 +294,23 @@ mod tests {
         let l1 = layout(10.0, 10.0, 8, 1);
         for rank in 0..8 {
             assert_eq!(l1.pack_bytes(rank), 16 * l1.ngw_rank(rank));
+        }
+    }
+
+    #[test]
+    fn factorise_rt_prefers_large_divisor_groups() {
+        assert_eq!(factorise_rt(6, 2), (3, 2));
+        assert_eq!(factorise_rt(6, 4), (2, 3));
+        assert_eq!(factorise_rt(7, 2), (7, 1), "prime p falls back to t = 1");
+        assert_eq!(factorise_rt(8, 4), (2, 4));
+        assert_eq!(factorise_rt(1, 4), (1, 1));
+        assert_eq!(factorise_rt(12, 0), (12, 1), "prefer_t clamps to >= 1");
+        // The result always builds a valid layout.
+        for p in 1..=12 {
+            let (r, t) = factorise_rt(p, 3);
+            assert_eq!(r * t, p);
+            let l = layout(6.0, 7.0, r, t);
+            l.validate();
         }
     }
 

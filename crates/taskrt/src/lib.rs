@@ -19,4 +19,4 @@ pub mod runtime;
 
 pub use error::TaskError;
 pub use handle::{Access, Dep, Handle, Shared};
-pub use runtime::{Runtime, RuntimeBuilder};
+pub use runtime::{RetryPolicy, Runtime, RuntimeBuilder};

@@ -15,16 +15,70 @@ use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-type TaskClosure = Box<dyn FnOnce() + Send>;
+/// Re-execution policy for tasks submitted with
+/// [`Runtime::spawn_retryable`]: a panicking attempt is retried in place
+/// with bounded exponential backoff before the failure escalates to
+/// [`TaskError::Failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of *re*-executions after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff cap: the wait before retry `n` is
+    /// `min(base_backoff · 2^n, max_backoff)`.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` re-executions and the default backoff.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The bounded exponential backoff before retry `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// A task body: run-once closures from [`Runtime::spawn`], or re-runnable
+/// bodies from [`Runtime::spawn_retryable`] (which must be idempotent over
+/// their input snapshot — re-execution assumes attempt n+1 sees the same
+/// inputs attempt n did).
+enum TaskBody {
+    Once(Box<dyn FnOnce() + Send>),
+    Retryable {
+        body: Arc<dyn Fn() + Send + Sync>,
+        policy: RetryPolicy,
+    },
+}
 
 struct TaskState {
     label: String,
     priority: u64,
-    closure: Option<TaskClosure>,
+    body: Option<TaskBody>,
     /// Unfinished predecessors.
     pending: usize,
     /// Tasks to release when this one finishes.
@@ -68,7 +122,7 @@ impl Sched {
         ids.sort();
         for id in ids {
             let t = &self.tasks[id];
-            if t.closure.is_none() {
+            if t.body.is_none() {
                 running.push(format!("{} (id {id})", t.label));
             } else if ready_ids.contains(id) {
                 ready.push(format!("{} (id {id})", t.label));
@@ -105,6 +159,8 @@ struct Inner {
     rank: usize,
     /// Optional taskwait watchdog (None = wait forever, the default).
     taskwait_timeout: Option<Duration>,
+    /// Total task re-executions performed (recovery accounting).
+    retries: AtomicU64,
 }
 
 /// Builder for [`Runtime`].
@@ -153,6 +209,7 @@ impl RuntimeBuilder {
             clock: self.clock,
             rank: self.rank,
             taskwait_timeout: self.taskwait_timeout,
+            retries: AtomicU64::new(0),
         });
         let workers = (0..self.nthreads)
             .map(|w| {
@@ -215,6 +272,44 @@ impl Runtime {
     where
         F: FnOnce() + Send + 'static,
     {
+        self.submit(label, priority, deps, TaskBody::Once(Box::new(body)))
+    }
+
+    /// Submits a **retryable** task: `body` must be idempotent over its
+    /// input snapshot (read inputs, compute, write outputs last — the
+    /// shape of all the miniapp's band tasks), because on a panic the same
+    /// worker re-executes it in place after a bounded exponential backoff
+    /// (`policy`), up to `policy.max_retries` times, before the failure
+    /// escalates to [`TaskError::Failed`] as usual. Successors only ever
+    /// observe the final outcome; the dependency graph is unaware of
+    /// retries. Re-executions are counted in [`Runtime::retries`].
+    pub fn spawn_retryable<F>(
+        &self,
+        label: &str,
+        priority: Option<u64>,
+        deps: &[Dep],
+        policy: RetryPolicy,
+        body: F,
+    ) where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.submit(
+            label,
+            priority,
+            deps,
+            TaskBody::Retryable {
+                body: Arc::new(body),
+                policy,
+            },
+        )
+    }
+
+    /// Total task re-executions performed by this runtime so far.
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.load(Ordering::Relaxed)
+    }
+
+    fn submit(&self, label: &str, priority: Option<u64>, deps: &[Dep], body: TaskBody) {
         let t_created = self.inner.clock.now();
         let mut sched = self.inner.sched.lock();
         assert!(!sched.shutdown, "Runtime: spawn after shutdown");
@@ -270,7 +365,7 @@ impl Runtime {
             TaskState {
                 label: label.to_string(),
                 priority,
-                closure: Some(Box::new(body)),
+                body: Some(body),
                 pending,
                 successors: Vec::new(),
                 pred_labels,
@@ -387,20 +482,20 @@ impl Drop for Runtime {
 fn worker_loop(inner: &Inner, worker_idx: usize) {
     set_current_thread(worker_idx);
     loop {
-        let (id, closure, label, t_created) = {
+        let (id, body, label, t_created) = {
             let mut sched = inner.sched.lock();
             loop {
                 if let Some(Reverse((_prio, id))) = sched.ready.pop() {
                     let failed = sched.failure.is_some();
                     let t = sched.tasks.get_mut(&id).expect("ready task exists");
-                    let mut closure = t.closure.take().expect("task not yet run");
+                    let mut body = t.body.take().expect("task not yet run");
                     if failed {
                         // Fail-stop: after the first failure we stop running
                         // bodies but keep the graph bookkeeping so everything
                         // drains and nothing deadlocks.
-                        closure = Box::new(|| {});
+                        body = TaskBody::Once(Box::new(|| {}));
                     }
-                    break (id, closure, t.label.clone(), t.t_created);
+                    break (id, body, t.label.clone(), t.t_created);
                 }
                 if sched.shutdown {
                     return;
@@ -410,7 +505,28 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
         };
 
         let t_start = inner.clock.now();
-        let result = std::panic::catch_unwind(AssertUnwindSafe(closure));
+        // `attempts` counts re-executions; the trace record spans all of
+        // them (a retried task reads as one long task, which is exactly the
+        // overhead the recovery bench measures).
+        let (result, attempts) = match body {
+            TaskBody::Once(f) => (std::panic::catch_unwind(AssertUnwindSafe(f)), 0),
+            TaskBody::Retryable { body, policy } => {
+                let mut attempt = 0u32;
+                loop {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| body())) {
+                        Ok(()) => break (Ok(()), attempt),
+                        Err(p) => {
+                            if attempt >= policy.max_retries {
+                                break (Err(p), attempt);
+                            }
+                            inner.retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(policy.backoff(attempt));
+                            attempt += 1;
+                        }
+                    }
+                }
+            }
+        };
         let t_end = inner.clock.now();
 
         if let Some(sink) = &inner.trace {
@@ -428,10 +544,15 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
         let task = sched.tasks.remove(&id).expect("task exists");
         if let Err(p) = result {
             if sched.failure.is_none() {
+                let mut message = payload_text(p.as_ref());
+                if attempts > 0 {
+                    message = format!("{message} (retry budget exhausted after {} attempts)",
+                        attempts + 1);
+                }
                 sched.failure = Some(TaskError::Failed {
                     label: task.label.clone(),
                     chain: task.pred_labels.clone(),
-                    message: payload_text(p.as_ref()),
+                    message,
                 });
             }
         }

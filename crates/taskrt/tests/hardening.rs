@@ -5,7 +5,7 @@
 //! drains), and an armed watchdog turns a stuck `taskwait` into a timeout
 //! with the task-graph wavefront.
 
-use fftx_taskrt::{Runtime, Shared, TaskError};
+use fftx_taskrt::{RetryPolicy, Runtime, Shared, TaskError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
@@ -99,6 +99,99 @@ fn try_shutdown_surfaces_unobserved_failure() {
     // No taskwait: the failure must still come out at shutdown.
     let err = rt.try_shutdown().expect_err("failure must not vanish");
     assert!(err.to_string().contains("quiet-boom"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Task re-execution (recovery mechanism 1)
+// ---------------------------------------------------------------------
+
+/// A retryable task that panics twice and then succeeds is re-executed in
+/// place: `taskwait` sees success, dependents run with the final outcome,
+/// and the runtime accounts the two re-executions.
+#[test]
+fn retryable_task_recovers_from_transient_panics() {
+    let rt = Runtime::new(2);
+    let x = Shared::new(0u64);
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let a = Arc::clone(&attempts);
+    let xs = x.clone();
+    rt.spawn_retryable(
+        "flaky",
+        None,
+        &[x.dep_out()],
+        RetryPolicy::retries(3),
+        move || {
+            if a.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("transient fault");
+            }
+            *xs.write() = 7;
+        },
+    );
+    let saw = Shared::new(0u64);
+    let (xr, sw) = (x.clone(), saw.clone());
+    rt.spawn("dependent", &[x.dep_in(), saw.dep_out()], move || {
+        *sw.write() = *xr.read();
+    });
+    rt.try_taskwait().expect("retries must absorb the fault");
+    assert_eq!(attempts.load(Ordering::Relaxed), 3, "1 attempt + 2 retries");
+    assert_eq!(rt.retries(), 2);
+    assert_eq!(*saw.read(), 7, "dependent sees the successful attempt");
+    rt.shutdown();
+}
+
+/// When the retry budget is exhausted the failure escalates exactly like a
+/// plain task panic — fail-stop, typed error — and the message reports how
+/// many attempts were burned.
+#[test]
+fn exhausted_retry_budget_escalates_to_task_error() {
+    let rt = Runtime::new(2);
+    let policy = RetryPolicy {
+        max_retries: 2,
+        base_backoff: Duration::from_micros(10),
+        max_backoff: Duration::from_micros(40),
+    };
+    rt.spawn_retryable("doomed", None, &[], policy, || panic!("permanent fault"));
+    let err = rt.try_taskwait().expect_err("budget exhaustion must surface");
+    match &err {
+        TaskError::Failed { label, message, .. } => {
+            assert_eq!(label, "doomed");
+            assert!(message.contains("permanent fault"), "message: {message}");
+            assert!(
+                message.contains("retry budget exhausted after 3 attempts"),
+                "message: {message}"
+            );
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(rt.retries(), 2, "both re-executions are accounted");
+    let _ = rt.try_shutdown();
+}
+
+/// Retries honour the bounded exponential backoff: three waits of
+/// 1 ms, 2 ms, 4 ms put at least 7 ms between first and last attempt.
+#[test]
+fn retry_backoff_paces_reexecutions() {
+    let rt = Runtime::new(1);
+    let policy = RetryPolicy {
+        max_retries: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(100),
+    };
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let a = Arc::clone(&attempts);
+    let t0 = std::time::Instant::now();
+    rt.spawn_retryable("paced", None, &[], policy, move || {
+        if a.fetch_add(1, Ordering::Relaxed) < 3 {
+            panic!("again");
+        }
+    });
+    rt.try_taskwait().expect("fourth attempt succeeds");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(7),
+        "backoff must pace retries (elapsed {:?})",
+        t0.elapsed()
+    );
+    rt.shutdown();
 }
 
 /// The taskwait watchdog: a task that never finishes turns `try_taskwait`

@@ -3,7 +3,7 @@
 
 use crate::event::{CommRecord, ComputeRecord, Lane, StateClass, TaskRecord};
 use std::collections::BTreeSet;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// A complete trace of one execution.
@@ -160,25 +160,46 @@ impl TraceSink {
     }
 
     /// Records a compute burst.
+    ///
+    /// Poison-tolerant: a panicking (and possibly later retried) task must
+    /// not cascade-kill tracing, so a poisoned sink recovers its inner
+    /// state instead of propagating the panic.
     pub fn compute(&self, rec: ComputeRecord) {
-        self.inner.lock().expect("trace sink poisoned").compute.push(rec);
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .compute
+            .push(rec);
     }
 
-    /// Records a communication operation.
+    /// Records a communication operation (poison-tolerant, see
+    /// [`TraceSink::compute`]).
     pub fn comm(&self, rec: CommRecord) {
-        self.inner.lock().expect("trace sink poisoned").comm.push(rec);
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .comm
+            .push(rec);
     }
 
-    /// Records a task lifecycle event.
+    /// Records a task lifecycle event (poison-tolerant, see
+    /// [`TraceSink::compute`]).
     pub fn task(&self, rec: TaskRecord) {
-        self.inner.lock().expect("trace sink poisoned").tasks.push(rec);
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .tasks
+            .push(rec);
     }
 
     /// Extracts the accumulated trace, sorted by time.
     pub fn finish(self) -> Trace {
         let mut t = match Arc::try_unwrap(self.inner) {
-            Ok(m) => m.into_inner().expect("trace sink poisoned"),
-            Err(arc) => arc.lock().expect("trace sink poisoned").clone(),
+            Ok(m) => m.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Err(arc) => arc
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
         };
         t.sort();
         t
@@ -186,7 +207,11 @@ impl TraceSink {
 
     /// Clones the current contents without consuming the sink.
     pub fn snapshot(&self) -> Trace {
-        let mut t = self.inner.lock().expect("trace sink poisoned").clone();
+        let mut t = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
         t.sort();
         t
     }
@@ -303,6 +328,23 @@ mod tests {
         let snap = sink.snapshot();
         assert_eq!(snap.compute.len(), 1);
         sink.compute(burst(0, 1.0, 2.0, StateClass::Vofr, 1.0, 2.0));
+        assert_eq!(sink.finish().compute.len(), 2);
+    }
+
+    #[test]
+    fn sink_survives_poisoning() {
+        // A panic while the sink lock is held poisons the mutex; the sink
+        // must keep recording and still hand out the full trace.
+        let sink = TraceSink::new();
+        sink.compute(burst(0, 0.0, 1.0, StateClass::FftZ, 1.0, 1.0));
+        let poisoner = sink.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the sink");
+        })
+        .join();
+        sink.compute(burst(0, 1.0, 2.0, StateClass::FftZ, 1.0, 1.0));
+        assert_eq!(sink.snapshot().compute.len(), 2);
         assert_eq!(sink.finish().compute.len(), 2);
     }
 

@@ -172,6 +172,14 @@ impl Communicator {
                 tag,
             },
         );
+        if plan.lost {
+            // Permanent loss (fatal chaos): the message never reaches the
+            // mailbox and is never retransmitted. The receiver's watchdog
+            // turns the gap into a typed timeout for the recovery layer.
+            let t1 = self.now();
+            self.record(CommOp::SendRecv, bytes, t0, t1);
+            return;
+        }
         {
             let mut boxes = self.shared.mailboxes.lock();
             let mailbox = boxes.entry(key).or_default();
@@ -393,30 +401,74 @@ impl Communicator {
         let prev = slot
             .contributions
             .insert(self.index, Box::new(contribution));
-        assert!(
-            prev.is_none(),
-            "vmpi: duplicate contribution to {key:?} from index {} — two concurrent \
-             collectives on one communicator must use distinct tags",
-            self.index
-        );
-        if slot.contributions.len() == size {
+        // Matching-protocol violations used to be asserts deep inside this
+        // function. They are now propagated: the corrupt slot is torn down,
+        // the world aborts with a [`VmpiError::Protocol`] (peers of this
+        // instance are wedged — they must fail fast, not time out), and the
+        // caller's wait observes the typed error.
+        let mut violation: Option<String> = None;
+        if prev.is_some() {
+            violation = Some(format!(
+                "duplicate contribution to {key:?} from index {} — two concurrent \
+                 collectives on one communicator must use distinct tags",
+                self.index
+            ));
+        } else if slot.contributions.len() == size {
             // Completer: assemble inputs in index order and produce results.
             let mut inputs = Vec::with_capacity(size);
             for i in 0..size {
-                let boxed = slot
-                    .contributions
-                    .remove(&i)
-                    .expect("all contributions present");
-                inputs.push(*boxed.downcast::<C>().expect("collective type mismatch"));
+                match slot.contributions.remove(&i) {
+                    None => {
+                        violation =
+                            Some(format!("contribution {i} missing from {key:?} at completion"));
+                        break;
+                    }
+                    Some(boxed) => match boxed.downcast::<C>() {
+                        Ok(c) => inputs.push(*c),
+                        Err(_) => {
+                            violation = Some(format!(
+                                "contribution {i} to {key:?} has a mismatched payload type"
+                            ));
+                            break;
+                        }
+                    },
+                }
             }
-            let results = complete(inputs);
-            assert_eq!(results.len(), size, "collective completer arity mismatch");
-            let slot = slots.get_mut(&key).expect("slot exists");
-            for (i, r) in results.into_iter().enumerate() {
-                slot.results.insert(i, Box::new(r));
+            if violation.is_none() {
+                let results = complete(inputs);
+                if results.len() != size {
+                    violation = Some(format!(
+                        "completer for {key:?} produced {} results for {size} participants",
+                        results.len()
+                    ));
+                } else if let Some(slot) = slots.get_mut(&key) {
+                    for (i, r) in results.into_iter().enumerate() {
+                        slot.results.insert(i, Box::new(r));
+                    }
+                    slot.done = true;
+                    self.shared.coll_cv.notify_all();
+                } else {
+                    violation = Some(format!("slot for {key:?} vanished during completion"));
+                }
             }
-            slot.done = true;
-            self.shared.coll_cv.notify_all();
+        }
+        if let Some(context) = violation {
+            slots.remove(&key);
+            drop(slots);
+            self.shared.abort(VmpiError::Protocol { context });
+            return CollRequest {
+                shared: Arc::clone(&self.shared),
+                key,
+                index: self.index,
+                world_rank: self.world_rank(),
+                size,
+                t_post: self.now(),
+                taken: false,
+                // No valid contribution is standing (the slot is gone); the
+                // wait reports the abort cause instead of blocking.
+                posted: false,
+                _marker: std::marker::PhantomData,
+            };
         }
         drop(slots);
         CollRequest {
@@ -708,6 +760,62 @@ impl Communicator {
         }
     }
 
+    /// Shrinks the communicator after a rank eviction, **without
+    /// communication**: the surviving members (world ranks of this
+    /// communicator minus `dead`, given as world ranks) form a new
+    /// communicator in the same relative order.
+    ///
+    /// Unlike [`Communicator::split`] this performs no collective — a
+    /// collective over a group containing dead ranks could never complete.
+    /// Consistency instead rests on symmetric knowledge: every survivor
+    /// must call `shrink` with the identical `dead` set and `epoch` (the
+    /// recovery-epoch counter disambiguating repeated shrinks), which is
+    /// exactly what a watchdog-agreement protocol would establish; see
+    /// DESIGN.md §11. The new communicator id is derived deterministically
+    /// from `(old id, dead set, epoch)` in a high-bit namespace disjoint
+    /// from the counter-allocated `split`/`dup` ids, so every survivor
+    /// lands in the same fresh matching space.
+    ///
+    /// # Panics
+    /// Panics when the caller itself is listed dead or no rank survives.
+    pub fn shrink(&self, dead: &[usize], epoch: u64) -> Communicator {
+        let me = self.world_rank();
+        assert!(
+            !dead.contains(&me),
+            "shrink: caller (world rank {me}) is in the dead set"
+        );
+        let survivors: Vec<usize> = self
+            .ranks
+            .iter()
+            .copied()
+            .filter(|r| !dead.contains(r))
+            .collect();
+        let index = survivors
+            .iter()
+            .position(|&r| r == me)
+            .expect("caller is a member and survives");
+        let mut sorted_dead: Vec<usize> = dead
+            .iter()
+            .copied()
+            .filter(|d| self.ranks.contains(d))
+            .collect();
+        sorted_dead.sort_unstable();
+        sorted_dead.dedup();
+        let mut h = mix64(self.id ^ 0x5D3A_F0B2_91C7_644E);
+        for &d in &sorted_dead {
+            h = mix64(h ^ d as u64);
+        }
+        h = mix64(h ^ epoch);
+        let id = (1 << 63) | (h >> 1);
+        Communicator {
+            shared: Arc::clone(&self.shared),
+            id,
+            ranks: Arc::new(survivors),
+            index,
+            seq: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
     /// Duplicates the communicator into a fresh communication context
     /// (`MPI_Comm_dup`): same group, independent matching space.
     pub fn dup(&self) -> Communicator {
@@ -725,6 +833,14 @@ impl Communicator {
             seq: Arc::new(Mutex::new(HashMap::new())),
         }
     }
+}
+
+/// splitmix64 finalizer — derives deterministic shrunk-communicator ids.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Chaos-mode delivery: hand out the envelope with the receiver's next
@@ -829,11 +945,24 @@ impl<R: Send + 'static> CollRequest<R> {
                 });
             }
         }
-        let slot = slots.get_mut(&self.key).expect("slot exists");
-        let mine = slot
-            .results
-            .remove(&self.index)
-            .expect("result for this index");
+        // The slot and this rank's result must be present once `done` was
+        // observed; if they are not, the matching protocol was violated —
+        // propagate instead of panicking so recovery code can catch it.
+        let Some(slot) = slots.get_mut(&self.key) else {
+            drop(slots);
+            return Err(VmpiError::Protocol {
+                context: format!("slot for {:?} vanished before result pickup", self.key),
+            });
+        };
+        let Some(mine) = slot.results.remove(&self.index) else {
+            drop(slots);
+            return Err(VmpiError::Protocol {
+                context: format!(
+                    "no result for index {} in completed {:?}",
+                    self.index, self.key
+                ),
+            });
+        };
         slot.readers_left -= 1;
         if slot.readers_left == 0 {
             slots.remove(&self.key);
@@ -841,7 +970,12 @@ impl<R: Send + 'static> CollRequest<R> {
         drop(slots);
         self.shared
             .note(self.world_rank, RankEvent::CollDone { key: self.key });
-        Ok(*mine.downcast::<R>().expect("collective result type mismatch"))
+        match mine.downcast::<R>() {
+            Ok(r) => Ok(*r),
+            Err(_) => Err(VmpiError::TypeMismatch {
+                context: "collective result",
+            }),
+        }
     }
 }
 

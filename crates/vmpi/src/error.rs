@@ -37,6 +37,15 @@ pub enum VmpiError {
         /// Debug rendering of the full matching key.
         detail: String,
     },
+    /// The collective matching protocol was violated (duplicate
+    /// contribution, missing contribution or result at completion, wrong
+    /// completer arity). Formerly a panic deep inside `collective_post`;
+    /// now a value so recovery code can observe it — the world still aborts
+    /// because a protocol violation means peers are wedged too.
+    Protocol {
+        /// What was violated where.
+        context: String,
+    },
 }
 
 impl fmt::Display for VmpiError {
@@ -61,6 +70,9 @@ impl fmt::Display for VmpiError {
                  request ({detail}) was dropped without wait() — peers fail fast \
                  instead of hanging"
             ),
+            VmpiError::Protocol { context } => {
+                write!(f, "vmpi: collective protocol violation: {context}")
+            }
         }
     }
 }
@@ -81,6 +93,16 @@ mod tests {
         assert!(s.contains("vmpi deadlock"));
         assert!(s.contains("stuck in recv"));
         assert!(s.contains("rank 0: ..."));
+    }
+
+    #[test]
+    fn protocol_violation_names_the_site() {
+        let e = VmpiError::Protocol {
+            context: "duplicate contribution to CollKey { .. } from index 2".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("protocol violation"));
+        assert!(s.contains("duplicate contribution"));
     }
 
     #[test]

@@ -235,6 +235,137 @@ fn stall_injection_records_straggler_events() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fatal faults and recovery primitives
+// ---------------------------------------------------------------------
+
+/// Permanent message loss (the opt-in fatal chaos knob) surfaces at the
+/// receiver as a typed timeout — not a hang, not a panic — and the report
+/// names the lost message.
+#[test]
+fn permanent_loss_becomes_a_typed_timeout() {
+    let cfg = ChaosConfig {
+        seed: 9,
+        ..ChaosConfig::default()
+    }
+    .with_loss(1.0);
+    let world = World::new(2)
+        .with_timeout(Duration::from_millis(300))
+        .with_chaos(cfg);
+    let out = world.run(|comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 4, vec![42u64]);
+            Ok(vec![])
+        } else {
+            comm.try_recv::<u64>(0, 4)
+        }
+    });
+    match out[1].as_ref().unwrap_err() {
+        VmpiError::Timeout { message, .. } => {
+            assert!(message.contains("stuck in recv"), "{message}");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    let report = world.fault_report().unwrap();
+    assert_eq!(report.count(FaultKind::Loss), 1);
+    assert!(report.deliveries.is_empty(), "a lost message was delivered");
+}
+
+/// A duplicate contribution — one rank posting twice into the same
+/// `(kind, tag, seq)` instance — is now a propagated [`VmpiError::Protocol`]
+/// from the `try_*` family instead of an assert deep inside
+/// `collective_post`, and the world aborts so peers fail fast with the
+/// same typed cause. The deterministic trigger: two `shrink` calls with
+/// identical arguments return handles to the *same* matching space with
+/// *independent* sequence counters, so split-phase posts on both collide.
+#[test]
+fn duplicate_contribution_is_a_typed_protocol_error() {
+    let out = World::new(2)
+        .with_timeout(Duration::from_secs(10))
+        .run(|comm| {
+            let a = comm.shrink(&[], 0);
+            let b = comm.shrink(&[], 0);
+            assert_eq!(a.id(), b.id(), "identical shrinks share a matching space");
+            if comm.rank() == 0 {
+                let req1 = a.ialltoall(&[1u8, 2], 0);
+                // Fresh seq counter on `b`: this second post lands on the
+                // same (kind, tag, seq) instance — a duplicate.
+                let req2 = b.ialltoall(&[3u8, 4], 0);
+                let r2 = req2.try_wait().map(|_| ());
+                let r1 = req1.try_wait().map(|_| ());
+                // The world is aborted; p2p still works to release rank 1.
+                comm.send(1, 9, vec![0u8]);
+                vec![r1, r2]
+            } else {
+                comm.recv::<u8>(0, 9);
+                vec![b.try_alltoall(&[5u8, 6], 0).map(|_| ())]
+            }
+        });
+    for r in out.iter().flatten() {
+        match r.as_ref().unwrap_err() {
+            VmpiError::Protocol { context } => {
+                assert!(context.contains("duplicate contribution"), "{context}");
+            }
+            other => panic!("expected Protocol, got {other:?}"),
+        }
+    }
+}
+
+/// `shrink` builds the survivors' communicator without any communication:
+/// same members minus the dead rank, same relative order, a fresh matching
+/// space shared by all survivors, and the shrunk group is fully usable for
+/// p2p and collectives.
+#[test]
+fn shrink_evicts_a_rank_and_keeps_collectives_working() {
+    let out = World::new(4)
+        .with_timeout(Duration::from_secs(10))
+        .run(|comm| {
+            if comm.rank() == 2 {
+                // The "dead" rank simply stops participating.
+                return (u64::MAX, vec![]);
+            }
+            let small = comm.shrink(&[2], 0);
+            assert_eq!(small.size(), 3);
+            assert_eq!(small.members(), &[0, 1, 3]);
+            // Survivor indices are compacted in order.
+            let expect_index = match comm.rank() {
+                0 => 0,
+                1 => 1,
+                3 => 2,
+                _ => unreachable!(),
+            };
+            assert_eq!(small.rank(), expect_index);
+            // The shrunk communicator must work for collectives...
+            let sums = small.allreduce_sum(vec![comm.rank() as f64]);
+            assert_eq!(sums, vec![4.0]);
+            // ...and p2p (ring exchange).
+            let nxt = (small.rank() + 1) % small.size();
+            let prv = (small.rank() + small.size() - 1) % small.size();
+            small.send(nxt, 1, vec![small.rank() as u64]);
+            let got = small.recv::<u64>(prv, 1);
+            assert_eq!(got, vec![prv as u64]);
+            (small.id(), small.members().to_vec())
+        });
+    // Every survivor derived the identical communicator id (symmetric,
+    // communication-free agreement) in the high-bit namespace.
+    assert_eq!(out[0].0, out[1].0);
+    assert_eq!(out[0].0, out[3].0);
+    assert!(
+        (out[0].0 & (1u64 << 63)) != 0,
+        "shrunk ids live in the high-bit namespace"
+    );
+    // Different epochs give different matching spaces.
+    let other = World::new(4)
+        .with_timeout(Duration::from_secs(10))
+        .run(|comm| {
+            if comm.rank() == 2 {
+                return (0, 0);
+            }
+            (comm.shrink(&[2], 0).id(), comm.shrink(&[2], 1).id())
+        });
+    assert_ne!(other[0].0, other[0].1);
+}
+
 /// Duplicates are discarded by sequence number; the report shows both the
 /// injection and the discard once the duplicated channel sees more traffic.
 #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-4f98b410bf3dfdd2.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-4f98b410bf3dfdd2: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grain-0b8d58cb491044f8.d: crates/bench/src/bin/ablation_grain.rs
+
+/root/repo/target/debug/deps/ablation_grain-0b8d58cb491044f8: crates/bench/src/bin/ablation_grain.rs
+
+crates/bench/src/bin/ablation_grain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_grain-310c9a37d6aa9ca4.d: crates/bench/src/bin/ablation_grain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_grain-310c9a37d6aa9ca4.rmeta: crates/bench/src/bin/ablation_grain.rs Cargo.toml
+
+crates/bench/src/bin/ablation_grain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

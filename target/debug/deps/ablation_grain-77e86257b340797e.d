@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_grain-77e86257b340797e.d: crates/bench/src/bin/ablation_grain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_grain-77e86257b340797e.rmeta: crates/bench/src/bin/ablation_grain.rs Cargo.toml
+
+crates/bench/src/bin/ablation_grain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ntg-2dc1260ff25ba83b.d: crates/bench/src/bin/ablation_ntg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ntg-2dc1260ff25ba83b.rmeta: crates/bench/src/bin/ablation_ntg.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ntg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ntg-2e635d0f125563e0.d: crates/bench/src/bin/ablation_ntg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ntg-2e635d0f125563e0.rmeta: crates/bench/src/bin/ablation_ntg.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ntg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

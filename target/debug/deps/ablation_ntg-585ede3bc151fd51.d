@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ntg-585ede3bc151fd51.d: crates/bench/src/bin/ablation_ntg.rs
+
+/root/repo/target/debug/deps/ablation_ntg-585ede3bc151fd51: crates/bench/src/bin/ablation_ntg.rs
+
+crates/bench/src/bin/ablation_ntg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives-deba1daa6a0029b3.d: crates/bench/benches/collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives-deba1daa6a0029b3.rmeta: crates/bench/benches/collectives.rs Cargo.toml
+
+crates/bench/benches/collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fft_kernels-09dd145453810c24.d: crates/bench/benches/fft_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfft_kernels-09dd145453810c24.rmeta: crates/bench/benches/fft_kernels.rs Cargo.toml
+
+crates/bench/benches/fft_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

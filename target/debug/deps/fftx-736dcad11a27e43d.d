@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx-736dcad11a27e43d.d: src/bin/fftx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx-736dcad11a27e43d.rmeta: src/bin/fftx.rs Cargo.toml
+
+src/bin/fftx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx-85a7d4662caed40b.d: src/bin/fftx.rs
+
+/root/repo/target/debug/deps/fftx-85a7d4662caed40b: src/bin/fftx.rs
+
+src/bin/fftx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx-dc1912d8c7162b15.d: src/bin/fftx.rs
+
+/root/repo/target/debug/deps/fftx-dc1912d8c7162b15: src/bin/fftx.rs
+
+src/bin/fftx.rs:

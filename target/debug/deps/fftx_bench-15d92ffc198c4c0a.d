@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx_bench-15d92ffc198c4c0a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_bench-15d92ffc198c4c0a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftx_bench-3912854739135365.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fftx_bench-3912854739135365: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

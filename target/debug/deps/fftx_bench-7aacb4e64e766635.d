@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fftx_bench-7aacb4e64e766635.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfftx_bench-7aacb4e64e766635.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfftx_bench-7aacb4e64e766635.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftx_bench-c5cc63750c874d0c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftx_bench-c5cc63750c874d0c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/fftx_fault-0b5f8a14faeb54c5.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs
+/root/repo/target/debug/deps/fftx_fault-0b5f8a14faeb54c5.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs
 
-/root/repo/target/debug/deps/fftx_fault-0b5f8a14faeb54c5: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs
+/root/repo/target/debug/deps/fftx_fault-0b5f8a14faeb54c5: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs
 
 crates/fault/src/lib.rs:
 crates/fault/src/chaos.rs:
+crates/fault/src/fatal.rs:
 crates/fault/src/plan.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/fftx_fault-0e0f8da62d73aff5.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs Cargo.toml
+/root/repo/target/debug/deps/fftx_fault-0e0f8da62d73aff5.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfftx_fault-0e0f8da62d73aff5.rmeta: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs Cargo.toml
+/root/repo/target/debug/deps/libfftx_fault-0e0f8da62d73aff5.rmeta: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs Cargo.toml
 
 crates/fault/src/lib.rs:
 crates/fault/src/chaos.rs:
+crates/fault/src/fatal.rs:
 crates/fault/src/plan.rs:
 Cargo.toml:
 

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/fftx_fault-469db7e4f220d9b8.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs
+/root/repo/target/debug/deps/fftx_fault-469db7e4f220d9b8.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs
 
-/root/repo/target/debug/deps/libfftx_fault-469db7e4f220d9b8.rlib: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs
+/root/repo/target/debug/deps/libfftx_fault-469db7e4f220d9b8.rlib: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs
 
-/root/repo/target/debug/deps/libfftx_fault-469db7e4f220d9b8.rmeta: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs
+/root/repo/target/debug/deps/libfftx_fault-469db7e4f220d9b8.rmeta: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs
 
 crates/fault/src/lib.rs:
 crates/fault/src/chaos.rs:
+crates/fault/src/fatal.rs:
 crates/fault/src/plan.rs:

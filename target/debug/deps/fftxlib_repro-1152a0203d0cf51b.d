@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fftxlib_repro-1152a0203d0cf51b.d: src/lib.rs
+
+/root/repo/target/debug/deps/fftxlib_repro-1152a0203d0cf51b: src/lib.rs
+
+src/lib.rs:

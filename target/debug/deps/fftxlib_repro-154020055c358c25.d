@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fftxlib_repro-154020055c358c25.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfftxlib_repro-154020055c358c25.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfftxlib_repro-154020055c358c25.rmeta: src/lib.rs
+
+src/lib.rs:

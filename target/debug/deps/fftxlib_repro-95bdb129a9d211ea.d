@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fftxlib_repro-95bdb129a9d211ea.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfftxlib_repro-95bdb129a9d211ea.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

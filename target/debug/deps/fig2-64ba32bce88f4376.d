@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-64ba32bce88f4376.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-64ba32bce88f4376: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

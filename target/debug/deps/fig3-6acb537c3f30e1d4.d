@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-6acb537c3f30e1d4.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-6acb537c3f30e1d4: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

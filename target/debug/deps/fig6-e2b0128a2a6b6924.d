@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e2b0128a2a6b6924.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-e2b0128a2a6b6924: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

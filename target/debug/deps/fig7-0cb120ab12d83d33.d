@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0cb120ab12d83d33.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0cb120ab12d83d33: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

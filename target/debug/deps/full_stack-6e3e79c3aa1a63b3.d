@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-6e3e79c3aa1a63b3.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-6e3e79c3aa1a63b3: tests/full_stack.rs
+
+tests/full_stack.rs:

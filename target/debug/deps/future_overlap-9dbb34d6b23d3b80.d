@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_overlap-9dbb34d6b23d3b80.d: crates/bench/src/bin/future_overlap.rs
+
+/root/repo/target/debug/deps/future_overlap-9dbb34d6b23d3b80: crates/bench/src/bin/future_overlap.rs
+
+crates/bench/src/bin/future_overlap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_overlap-da43db4875979cfb.d: crates/bench/src/bin/future_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_overlap-da43db4875979cfb.rmeta: crates/bench/src/bin/future_overlap.rs Cargo.toml
+
+crates/bench/src/bin/future_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knlsim-dbae18ac9b6c123c.d: crates/bench/benches/knlsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknlsim-dbae18ac9b6c123c.rmeta: crates/bench/benches/knlsim.rs Cargo.toml
+
+crates/bench/benches/knlsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/miniapp-60b8f5856e23ff92.d: crates/bench/benches/miniapp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminiapp-60b8f5856e23ff92.rmeta: crates/bench/benches/miniapp.rs Cargo.toml
+
+crates/bench/benches/miniapp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

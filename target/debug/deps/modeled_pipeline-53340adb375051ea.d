@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modeled_pipeline-53340adb375051ea.d: tests/modeled_pipeline.rs
+
+/root/repo/target/debug/deps/modeled_pipeline-53340adb375051ea: tests/modeled_pipeline.rs
+
+tests/modeled_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modeled_pipeline-d8c8fc30fe83ff62.d: tests/modeled_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodeled_pipeline-d8c8fc30fe83ff62.rmeta: tests/modeled_pipeline.rs Cargo.toml
+
+tests/modeled_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_chaos-4546766fbef3fbd2.d: crates/core/tests/proptest_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_chaos-4546766fbef3fbd2.rmeta: crates/core/tests/proptest_chaos.rs Cargo.toml
+
+crates/core/tests/proptest_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

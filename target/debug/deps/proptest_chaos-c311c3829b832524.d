@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_chaos-c311c3829b832524.d: crates/core/tests/proptest_chaos.rs
+
+/root/repo/target/debug/deps/proptest_chaos-c311c3829b832524: crates/core/tests/proptest_chaos.rs
+
+crates/core/tests/proptest_chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_steps-67414bffbc4bea28.d: crates/core/tests/proptest_steps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_steps-67414bffbc4bea28.rmeta: crates/core/tests/proptest_steps.rs Cargo.toml
+
+crates/core/tests/proptest_steps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_steps-8d61a0703ada94d1.d: crates/core/tests/proptest_steps.rs
+
+/root/repo/target/debug/deps/proptest_steps-8d61a0703ada94d1: crates/core/tests/proptest_steps.rs
+
+crates/core/tests/proptest_steps.rs:

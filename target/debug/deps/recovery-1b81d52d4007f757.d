@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-1b81d52d4007f757.d: crates/bench/src/bin/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-1b81d52d4007f757.rmeta: crates/bench/src/bin/recovery.rs Cargo.toml
+
+crates/bench/src/bin/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-d8d1baea71eb8e07.d: crates/bench/src/bin/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-d8d1baea71eb8e07.rmeta: crates/bench/src/bin/recovery.rs Cargo.toml
+
+crates/bench/src/bin/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-e96de736d25b8087.d: crates/bench/src/bin/recovery.rs
+
+/root/repo/target/debug/deps/recovery-e96de736d25b8087: crates/bench/src/bin/recovery.rs
+
+crates/bench/src/bin/recovery.rs:

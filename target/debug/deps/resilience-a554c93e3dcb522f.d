@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-a554c93e3dcb522f.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-a554c93e3dcb522f: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-ad266c38e8c3f476.d: crates/bench/src/bin/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-ad266c38e8c3f476.rmeta: crates/bench/src/bin/resilience.rs Cargo.toml
+
+crates/bench/src/bin/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-cb43db24dca8eb24.d: crates/bench/src/bin/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-cb43db24dca8eb24.rmeta: crates/bench/src/bin/resilience.rs Cargo.toml
+
+crates/bench/src/bin/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

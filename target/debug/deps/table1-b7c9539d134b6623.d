@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b7c9539d134b6623.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b7c9539d134b6623: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

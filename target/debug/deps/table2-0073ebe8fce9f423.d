@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0073ebe8fce9f423.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0073ebe8fce9f423: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

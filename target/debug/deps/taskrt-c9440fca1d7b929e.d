@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taskrt-c9440fca1d7b929e.d: crates/bench/benches/taskrt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaskrt-c9440fca1d7b929e.rmeta: crates/bench/benches/taskrt.rs Cargo.toml
+
+crates/bench/benches/taskrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

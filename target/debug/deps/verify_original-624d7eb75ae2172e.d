@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_original-624d7eb75ae2172e.d: crates/core/tests/verify_original.rs
+
+/root/repo/target/debug/deps/verify_original-624d7eb75ae2172e: crates/core/tests/verify_original.rs
+
+crates/core/tests/verify_original.rs:

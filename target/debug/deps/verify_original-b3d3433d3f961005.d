@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_original-b3d3433d3f961005.d: crates/core/tests/verify_original.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_original-b3d3433d3f961005.rmeta: crates/core/tests/verify_original.rs Cargo.toml
+
+crates/core/tests/verify_original.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

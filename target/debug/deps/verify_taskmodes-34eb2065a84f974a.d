@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_taskmodes-34eb2065a84f974a.d: crates/core/tests/verify_taskmodes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_taskmodes-34eb2065a84f974a.rmeta: crates/core/tests/verify_taskmodes.rs Cargo.toml
+
+crates/core/tests/verify_taskmodes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

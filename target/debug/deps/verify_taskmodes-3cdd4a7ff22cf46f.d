@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_taskmodes-3cdd4a7ff22cf46f.d: crates/core/tests/verify_taskmodes.rs
+
+/root/repo/target/debug/deps/verify_taskmodes-3cdd4a7ff22cf46f: crates/core/tests/verify_taskmodes.rs
+
+crates/core/tests/verify_taskmodes.rs:

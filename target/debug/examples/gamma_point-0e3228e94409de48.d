@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gamma_point-0e3228e94409de48.d: examples/gamma_point.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgamma_point-0e3228e94409de48.rmeta: examples/gamma_point.rs Cargo.toml
+
+examples/gamma_point.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

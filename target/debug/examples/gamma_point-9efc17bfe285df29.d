@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gamma_point-9efc17bfe285df29.d: examples/gamma_point.rs
+
+/root/repo/target/debug/examples/gamma_point-9efc17bfe285df29: examples/gamma_point.rs
+
+examples/gamma_point.rs:

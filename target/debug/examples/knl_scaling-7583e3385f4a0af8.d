@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knl_scaling-7583e3385f4a0af8.d: examples/knl_scaling.rs
+
+/root/repo/target/debug/examples/knl_scaling-7583e3385f4a0af8: examples/knl_scaling.rs
+
+examples/knl_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/knl_scaling-95169c24c1681097.d: examples/knl_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libknl_scaling-95169c24c1681097.rmeta: examples/knl_scaling.rs Cargo.toml
+
+examples/knl_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ompss_pipeline-60d47d79c29960a6.d: examples/ompss_pipeline.rs
+
+/root/repo/target/debug/examples/ompss_pipeline-60d47d79c29960a6: examples/ompss_pipeline.rs
+
+examples/ompss_pipeline.rs:

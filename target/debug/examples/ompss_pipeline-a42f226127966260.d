@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ompss_pipeline-a42f226127966260.d: examples/ompss_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libompss_pipeline-a42f226127966260.rmeta: examples/ompss_pipeline.rs Cargo.toml
+
+examples/ompss_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

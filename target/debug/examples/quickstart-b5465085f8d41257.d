@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b5465085f8d41257.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b5465085f8d41257: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/task_groups-01c1d351e1c34e37.d: examples/task_groups.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtask_groups-01c1d351e1c34e37.rmeta: examples/task_groups.rs Cargo.toml
+
+examples/task_groups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_groups-542607d6b038e54d.d: examples/task_groups.rs
+
+/root/repo/target/debug/examples/task_groups-542607d6b038e54d: examples/task_groups.rs
+
+examples/task_groups.rs:

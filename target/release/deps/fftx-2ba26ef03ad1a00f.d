@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fftx-2ba26ef03ad1a00f.d: src/bin/fftx.rs
+
+/root/repo/target/release/deps/fftx-2ba26ef03ad1a00f: src/bin/fftx.rs
+
+src/bin/fftx.rs:

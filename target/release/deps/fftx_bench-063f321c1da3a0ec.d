@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fftx_bench-063f321c1da3a0ec.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfftx_bench-063f321c1da3a0ec.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfftx_bench-063f321c1da3a0ec.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fftx_bench-e68d0ea3e3d4c0fe.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfftx_bench-e68d0ea3e3d4c0fe.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfftx_bench-e68d0ea3e3d4c0fe.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

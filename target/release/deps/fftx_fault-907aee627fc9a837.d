@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/fftx_fault-907aee627fc9a837.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs
+/root/repo/target/release/deps/fftx_fault-907aee627fc9a837.d: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs
 
-/root/repo/target/release/deps/libfftx_fault-907aee627fc9a837.rlib: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs
+/root/repo/target/release/deps/libfftx_fault-907aee627fc9a837.rlib: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs
 
-/root/repo/target/release/deps/libfftx_fault-907aee627fc9a837.rmeta: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/plan.rs
+/root/repo/target/release/deps/libfftx_fault-907aee627fc9a837.rmeta: crates/fault/src/lib.rs crates/fault/src/chaos.rs crates/fault/src/fatal.rs crates/fault/src/plan.rs
 
 crates/fault/src/lib.rs:
 crates/fault/src/chaos.rs:
+crates/fault/src/fatal.rs:
 crates/fault/src/plan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fftxlib_repro-02b65d95f5661230.d: src/lib.rs
+
+/root/repo/target/release/deps/libfftxlib_repro-02b65d95f5661230.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfftxlib_repro-02b65d95f5661230.rmeta: src/lib.rs
+
+src/lib.rs:

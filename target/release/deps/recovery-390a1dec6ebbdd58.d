@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery-390a1dec6ebbdd58.d: crates/bench/src/bin/recovery.rs
+
+/root/repo/target/release/deps/recovery-390a1dec6ebbdd58: crates/bench/src/bin/recovery.rs
+
+crates/bench/src/bin/recovery.rs:

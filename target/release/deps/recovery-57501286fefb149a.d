@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery-57501286fefb149a.d: crates/bench/src/bin/recovery.rs
+
+/root/repo/target/release/deps/recovery-57501286fefb149a: crates/bench/src/bin/recovery.rs
+
+crates/bench/src/bin/recovery.rs:

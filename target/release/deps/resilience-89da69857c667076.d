@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-89da69857c667076.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/release/deps/resilience-89da69857c667076: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:
