@@ -1,0 +1,362 @@
+//! Refactor guard: the planned execution engine (`ExecPlan` +
+//! `BufferArena`, table-driven copies, reused staging) microbenchmarked
+//! against a frozen copy of the pre-refactor per-iteration data movement
+//! on the paper's 8×8 workload.
+//!
+//! Both paths run the complete engine-side pipeline of every task group
+//! in-process — deposit, z-FFT, padded scatter (loopback-routed), xy-FFTs,
+//! VOFR and the way back — over identical data. The harness
+//! machine-checks that the two paths produce bitwise-identical band
+//! shares, prices the per-iteration collective volumes on the calibrated
+//! KNL communication model (identical for both paths: the refactor removes
+//! engine-side copies, not wire bytes), writes `results/refactor.csv`, and
+//! **exits non-zero when the planned path is more than 2% slower** than
+//! the frozen legacy path.
+//!
+//! The legacy helpers below are verbatim copies of the seed's
+//! `core::steps` functions that the refactor deleted (allocating
+//! per-iteration send lists); the surviving `steps::*` reference
+//! implementations cover the rest. Both paths share today's FFT kernels —
+//! the guard isolates the engine-layer data movement, which is what the
+//! refactor changed.
+
+use fftx_core::steps;
+use fftx_core::{BufferArena, FftxConfig, Mode, Problem};
+use fftx_bench::write_artifact;
+use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction};
+use fftx_knlsim::CommModel;
+use fftx_pw::{apply_potential_slab, TaskGroupLayout};
+use fftx_trace::CommOp;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Frozen legacy helpers (deleted from core::steps by the refactor)
+// ---------------------------------------------------------------------
+
+/// Seed `steps::pack_sends`: the pack send list as a per-member deep copy.
+fn legacy_pack_sends(shares_of_iter_bands: &[&[Complex64]]) -> Vec<Vec<Complex64>> {
+    shares_of_iter_bands.iter().map(|s| s.to_vec()).collect()
+}
+
+/// Seed `steps::extract_member_share`: one member's share, freshly
+/// allocated from the z-stick buffer.
+fn legacy_extract_member_share(
+    layout: &TaskGroupLayout,
+    g: usize,
+    j: usize,
+    zbuf: &[Complex64],
+) -> Vec<Complex64> {
+    let nr3 = layout.grid.nr3;
+    let rank = g * layout.t + j;
+    let stick_base = layout.group_stick_offset(g, j);
+    let mut share = Vec::with_capacity(layout.ngw_rank(rank));
+    for (si, &s) in layout.dist.per_rank[rank].iter().enumerate() {
+        let col = (stick_base + si) * nr3;
+        for &iz in &layout.set.sticks[s].iz {
+            share.push(zbuf[col + iz]);
+        }
+    }
+    share
+}
+
+/// Seed `steps::extract_unpack_sends`: the unpack send list, one fresh
+/// allocation per member.
+fn legacy_extract_unpack_sends(
+    layout: &TaskGroupLayout,
+    g: usize,
+    zbuf: &[Complex64],
+) -> Vec<Vec<Complex64>> {
+    (0..layout.t)
+        .map(|j| legacy_extract_member_share(layout, g, j, zbuf))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The two per-iteration paths (all groups, loopback-routed)
+// ---------------------------------------------------------------------
+
+/// Pre-refactor per-group state (the seed's `BandPipeline`).
+struct LegacyPipe {
+    zbuf: Vec<Complex64>,
+    planes: Vec<Complex64>,
+    scratch: Vec<Complex64>,
+}
+
+fn legacy_iteration(
+    problem: &Problem,
+    shares: &[Vec<Vec<Complex64>>],
+    pipes: &mut [LegacyPipe],
+) -> Vec<Vec<Vec<Complex64>>> {
+    let l = &problem.layout;
+    let r = l.r;
+    let chunk = steps::scatter_chunk_len(l);
+    // Deposit + inverse z-FFT + forward-scatter pack (allocating sends).
+    let mut scat_sends: Vec<Vec<Complex64>> = Vec::with_capacity(r);
+    for g in 0..r {
+        let p = &mut pipes[g];
+        p.zbuf.fill(Complex64::ZERO);
+        p.planes.fill(Complex64::ZERO);
+        let refs: Vec<&[Complex64]> = shares[g].iter().map(|s| s.as_slice()).collect();
+        let sends = legacy_pack_sends(&refs);
+        steps::deposit_pack_recv(l, g, &sends, &mut p.zbuf);
+        let plan = problem.exec_plan(g);
+        cft_1z(
+            &plan.z,
+            &mut p.zbuf,
+            l.nst_group(g),
+            l.grid.nr3,
+            Direction::Inverse,
+            &mut p.scratch,
+        );
+        scat_sends.push(steps::scatter_pack(l, g, &p.zbuf));
+    }
+    // Route (fresh receive assembly, like the owning alltoall API),
+    // then unpack + xy-FFTs + VOFR + backward-scatter pack.
+    let mut back_sends: Vec<Vec<Complex64>> = Vec::with_capacity(r);
+    for g in 0..r {
+        let mut recv = Vec::with_capacity(r * chunk);
+        for s in scat_sends.iter() {
+            recv.extend_from_slice(&s[g * chunk..(g + 1) * chunk]);
+        }
+        let p = &mut pipes[g];
+        steps::scatter_unpack_to_planes(l, g, &recv, &mut p.planes);
+        let plan = problem.exec_plan(g);
+        cft_2xy(
+            &plan.x,
+            &plan.y,
+            &mut p.planes,
+            l.npp(g),
+            l.grid.nr1,
+            l.grid.nr2,
+            Direction::Inverse,
+            &mut p.scratch,
+        );
+        apply_potential_slab(&mut p.planes, &problem.v, &l.grid, l.plane_range[g].0, l.npp(g));
+        cft_2xy(
+            &plan.x,
+            &plan.y,
+            &mut p.planes,
+            l.npp(g),
+            l.grid.nr1,
+            l.grid.nr2,
+            Direction::Forward,
+            &mut p.scratch,
+        );
+        back_sends.push(steps::planes_to_scatter_sends(l, g, &p.planes));
+    }
+    // Route back + forward z-FFT + unpack (allocating send lists).
+    let mut outs = Vec::with_capacity(r);
+    for g in 0..r {
+        let mut recv = Vec::with_capacity(r * chunk);
+        for s in back_sends.iter() {
+            recv.extend_from_slice(&s[g * chunk..(g + 1) * chunk]);
+        }
+        let p = &mut pipes[g];
+        steps::zbuf_from_scatter_recv(l, g, &recv, &mut p.zbuf);
+        let plan = problem.exec_plan(g);
+        cft_1z(
+            &plan.z,
+            &mut p.zbuf,
+            l.nst_group(g),
+            l.grid.nr3,
+            Direction::Forward,
+            &mut p.scratch,
+        );
+        outs.push(legacy_extract_unpack_sends(l, g, &p.zbuf));
+    }
+    outs
+}
+
+fn planned_iteration(
+    problem: &Problem,
+    shares: &[Vec<Vec<Complex64>>],
+    arenas: &mut [BufferArena],
+    recvs: &mut [Vec<Complex64>],
+    outs: &mut [Vec<Vec<Complex64>>],
+) {
+    let r = problem.layout.r;
+    let t = problem.layout.t;
+    for g in 0..r {
+        let plan = problem.exec_plan(g);
+        let a = &mut arenas[g];
+        plan.prep(&mut a.zbuf, &mut a.planes);
+        for (j, share) in shares[g].iter().enumerate().take(t) {
+            plan.deposit_member(j, share, &mut a.zbuf);
+        }
+        cft_1z(
+            &plan.z,
+            &mut a.zbuf,
+            plan.nst,
+            plan.grid.nr3,
+            Direction::Inverse,
+            &mut a.scratch,
+        );
+        plan.scatter_pack(&a.zbuf, &mut a.scatter_send);
+    }
+    route(arenas, recvs);
+    for g in 0..r {
+        let plan = problem.exec_plan(g);
+        let a = &mut arenas[g];
+        plan.scatter_unpack_to_planes(&recvs[g], &mut a.planes);
+        fftx_fft::cft_2xy_buf(
+            &plan.x,
+            &plan.y,
+            &mut a.planes,
+            plan.npp,
+            plan.grid.nr1,
+            plan.grid.nr2,
+            Direction::Inverse,
+            &mut a.scratch,
+            &mut a.col,
+        );
+        apply_potential_slab(&mut a.planes, &problem.v, &plan.grid, plan.z0, plan.npp);
+        fftx_fft::cft_2xy_buf(
+            &plan.x,
+            &plan.y,
+            &mut a.planes,
+            plan.npp,
+            plan.grid.nr1,
+            plan.grid.nr2,
+            Direction::Forward,
+            &mut a.scratch,
+            &mut a.col,
+        );
+        plan.planes_to_scatter(&a.planes, &mut a.scatter_send);
+    }
+    route(arenas, recvs);
+    for g in 0..r {
+        let plan = problem.exec_plan(g);
+        let a = &mut arenas[g];
+        plan.zbuf_from_scatter(&recvs[g], &mut a.zbuf);
+        cft_1z(
+            &plan.z,
+            &mut a.zbuf,
+            plan.nst,
+            plan.grid.nr3,
+            Direction::Forward,
+            &mut a.scratch,
+        );
+        for (j, out) in outs[g].iter_mut().enumerate().take(t) {
+            plan.extract_member(j, &a.zbuf, out);
+        }
+    }
+}
+
+/// Loopback alltoall over the padded chunks into preallocated receives.
+fn route(arenas: &[BufferArena], recvs: &mut [Vec<Complex64>]) {
+    let r = arenas.len();
+    let chunk = arenas[0].scatter_send.len() / r;
+    for (g, recv) in recvs.iter_mut().enumerate() {
+        for (gp, src) in arenas.iter().enumerate() {
+            recv[gp * chunk..(gp + 1) * chunk]
+                .copy_from_slice(&src.scatter_send[g * chunk..(g + 1) * chunk]);
+        }
+    }
+}
+
+fn main() {
+    // The paper's 8×8 workload; the preset pins the data seed (2017).
+    let cfg = FftxConfig::paper(8, Mode::Original);
+    println!("=== Refactor guard: planned engine vs frozen legacy path ({}) ===", cfg.label());
+    let problem = Problem::new(cfg);
+    let l = &problem.layout;
+    let (r, t) = (l.r, l.t);
+    println!(
+        "grid {}x{}x{}, {} sticks, {} groups x {} members",
+        l.grid.nr1,
+        l.grid.nr2,
+        l.grid.nr3,
+        l.set.nst(),
+        r,
+        t
+    );
+    // One batch's input: the band-j share of every member rank, per group.
+    let shares: Vec<Vec<Vec<Complex64>>> = (0..r)
+        .map(|g| (0..t).map(|j| problem.initial_shares(g * t + j).remove(0)).collect())
+        .collect();
+
+    // Legacy state (the seed's per-group pipelines).
+    let mut pipes: Vec<LegacyPipe> = (0..r)
+        .map(|g| LegacyPipe {
+            zbuf: vec![Complex64::ZERO; l.nst_group(g) * l.grid.nr3],
+            planes: vec![Complex64::ZERO; l.npp(g) * l.grid.nr1 * l.grid.nr2],
+            scratch: Vec::new(),
+        })
+        .collect();
+    // Planned state (arenas + preallocated loopback receives).
+    let mut arenas: Vec<BufferArena> = (0..r).map(|_| BufferArena::new()).collect();
+    let mut recvs: Vec<Vec<Complex64>> = (0..r)
+        .map(|g| vec![Complex64::ZERO; problem.exec_plan(g).scatter_len()])
+        .collect();
+    let mut outs: Vec<Vec<Vec<Complex64>>> = (0..r).map(|_| vec![Vec::new(); t]).collect();
+
+    // Warmup both paths and machine-check bitwise equality of the shares.
+    let legacy_out = legacy_iteration(&problem, &shares, &mut pipes);
+    planned_iteration(&problem, &shares, &mut arenas, &mut recvs, &mut outs);
+    let mut identical = true;
+    for g in 0..r {
+        for j in 0..t {
+            if legacy_out[g][j] != outs[g][j] {
+                identical = false;
+            }
+        }
+    }
+    println!("bitwise identical shares: {identical}");
+    if !identical {
+        eprintln!("FAIL: planned engine diverged from the legacy path");
+        std::process::exit(1);
+    }
+
+    // Timed reps, gated on the per-iteration minimum (noise-robust).
+    const REPS: usize = 5;
+    let mut legacy_min = f64::INFINITY;
+    let mut planned_min = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = legacy_iteration(&problem, &shares, &mut pipes);
+        legacy_min = legacy_min.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+        let t0 = Instant::now();
+        planned_iteration(&problem, &shares, &mut arenas, &mut recvs, &mut outs);
+        planned_min = planned_min.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&outs);
+    }
+
+    // Price the per-iteration collectives on the calibrated KNL model —
+    // identical wire volumes for both paths (the refactor removes copies,
+    // not bytes): one pack + one unpack alltoallv per group family and the
+    // two padded scatter alltoalls.
+    let comm = CommModel::paper();
+    let bytes_of = |n: usize| n * std::mem::size_of::<Complex64>();
+    let max_ngw = (0..r).map(|g| l.ngw_group(g)).max().unwrap_or(0);
+    let chunk = steps::scatter_chunk_len(l);
+    let priced_comm = 2.0 * comm.duration(CommOp::Alltoallv, t, bytes_of(max_ngw))
+        + 2.0 * comm.duration(CommOp::Alltoall, r, bytes_of(r * chunk));
+
+    let regression_pct = (planned_min / legacy_min - 1.0) * 100.0;
+    println!("legacy  : {legacy_min:.4} s/iter (engine) + {priced_comm:.4} s priced comm");
+    println!("planned : {planned_min:.4} s/iter (engine) + {priced_comm:.4} s priced comm");
+    println!("planned vs legacy: {regression_pct:+.2}% (gate: +2%)");
+
+    let mut csv = String::from(
+        "path,wall_s_per_iter_min,priced_comm_s_per_iter,priced_cost_s_per_iter,bitwise_identical\n",
+    );
+    let _ = writeln!(
+        csv,
+        "legacy,{legacy_min:.6},{priced_comm:.6},{:.6},{identical}",
+        legacy_min + priced_comm
+    );
+    let _ = writeln!(
+        csv,
+        "planned,{planned_min:.6},{priced_comm:.6},{:.6},{identical}",
+        planned_min + priced_comm
+    );
+    write_artifact("refactor.csv", &csv);
+
+    if regression_pct > 2.0 {
+        eprintln!("FAIL: planned engine regressed {regression_pct:+.2}% over the legacy path");
+        std::process::exit(1);
+    }
+    println!("OK: planned engine within the 2% gate");
+}

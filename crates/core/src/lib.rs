@@ -18,6 +18,7 @@
 pub mod config;
 pub mod modelplan;
 pub mod original;
+pub mod plan;
 pub mod problem;
 pub mod recorder;
 pub mod recovery;
@@ -26,6 +27,7 @@ pub mod taskmodes;
 
 pub use config::{FftxConfig, Mode};
 pub use original::{run_original, RunOutput};
+pub use plan::{BufferArena, ExecPlan};
 pub use recovery::{run_eviction, run_retry, run_rollback, RecoveryStats};
 pub use problem::Problem;
 pub use modelplan::{

@@ -15,12 +15,17 @@
 //! FFT z   : forward
 //! unpack  : Alltoallv back (band k*T+i -> band shares)
 //! ```
+//!
+//! Every data-movement step runs through the precomputed tables of
+//! [`ExecPlan`] into the rank's [`BufferArena`]; after the first iteration
+//! warms the arena, the engine side of the loop performs no heap
+//! allocation (DESIGN.md §12).
 
+use crate::plan::{BufferArena, ExecPlan};
 use crate::problem::Problem;
 use crate::recorder::Recorder;
-use crate::steps;
 use fftx_fft::opcount;
-use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction, Fft};
+use fftx_fft::{cft_1z, cft_2xy_buf, Complex64, Direction};
 use fftx_pw::{apply_potential_slab, assemble_shares, TaskGroupLayout};
 use fftx_trace::{StateClass, Trace, TraceSink};
 use fftx_vmpi::{Communicator, VmpiError, World};
@@ -34,28 +39,6 @@ pub struct RunOutput {
     pub trace: Trace,
     /// FFT-phase wall time: max over ranks of the barrier-to-barrier span.
     pub fft_phase_s: f64,
-}
-
-/// FFT plans shared by the steps of one rank.
-pub struct Plans {
-    /// Along x.
-    pub x: Fft,
-    /// Along y.
-    pub y: Fft,
-    /// Along z.
-    pub z: Fft,
-}
-
-impl Plans {
-    /// Builds the three 1-D plans for the problem grid.
-    pub fn new(problem: &Problem) -> Self {
-        let g = problem.grid();
-        Plans {
-            x: Fft::new(g.nr1),
-            y: Fft::new(g.nr2),
-            z: Fft::new(g.nr3),
-        }
-    }
 }
 
 /// Per-iteration flop estimates used for trace counters.
@@ -100,159 +83,150 @@ impl StepFlops {
     }
 }
 
-/// State one rank carries through the pipeline of one band group.
-pub struct BandPipeline {
-    /// z-stick buffer (`nst_group * nr3`).
-    pub zbuf: Vec<Complex64>,
-    /// Plane slab (`npp * nr1 * nr2`).
-    pub planes: Vec<Complex64>,
-    /// FFT scratch.
-    pub scratch: Vec<Complex64>,
-}
-
-impl BandPipeline {
-    /// Allocates buffers for task group `g`.
-    pub fn new(problem: &Problem, g: usize) -> Self {
-        Self::for_layout(&problem.layout, g)
-    }
-
-    /// Allocates buffers for task group `g` of an explicit layout.
-    pub fn for_layout(l: &TaskGroupLayout, g: usize) -> Self {
-        let grid = l.grid;
-        BandPipeline {
-            zbuf: vec![Complex64::ZERO; l.nst_group(g) * grid.nr3],
-            planes: vec![Complex64::ZERO; l.npp(g) * grid.nr1 * grid.nr2],
-            scratch: Vec::new(),
-        }
-    }
-}
-
 /// The body of one iteration *after* the pack deposit and *before* the
 /// unpack extraction: z-FFT, scatter, xy-FFT, VOFR and the way back.
 /// Shared verbatim by all three execution modes. `tag` keeps concurrent
 /// scatters of different bands apart.
-#[allow(clippy::too_many_arguments)]
 pub fn transform_core(
-    problem: &Problem,
-    g: usize,
+    plan: &ExecPlan,
+    v: &[f64],
     scatter_comm: &Communicator,
     tag: u32,
-    pipe: &mut BandPipeline,
-    plans: &Plans,
+    arena: &mut BufferArena,
     flops: &StepFlops,
     rec: &Recorder,
 ) {
-    try_transform_core(
-        &problem.layout,
-        &problem.v,
-        g,
-        scatter_comm,
-        tag,
-        pipe,
-        plans,
-        flops,
-        rec,
-    )
-    .unwrap_or_else(|e| panic!("{e}"))
+    try_transform_core(plan, v, scatter_comm, tag, arena, flops, rec)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// [`transform_core`] against an explicit layout and dense potential,
-/// surfacing collective timeouts and world aborts as [`VmpiError`] values
-/// instead of panicking — the fallible building block of the recovery
-/// engine (which replays batches and runs re-planned layouts the problem
-/// doesn't know about).
-#[allow(clippy::too_many_arguments)]
+/// [`transform_core`] surfacing collective timeouts and world aborts as
+/// [`VmpiError`] values instead of panicking — the fallible building block
+/// of the recovery engine (which replays batches and runs re-planned
+/// layouts the problem doesn't know about, through plans built with
+/// [`ExecPlan::for_layout`]).
 pub fn try_transform_core(
-    l: &TaskGroupLayout,
+    plan: &ExecPlan,
     v: &[f64],
-    g: usize,
     scatter_comm: &Communicator,
     tag: u32,
-    pipe: &mut BandPipeline,
-    plans: &Plans,
+    arena: &mut BufferArena,
     flops: &StepFlops,
     rec: &Recorder,
 ) -> Result<(), VmpiError> {
-    let grid = l.grid;
-    let nst = l.nst_group(g);
-    let npp = l.npp(g);
-    let (z0, _) = l.plane_range[g];
-
     // Inverse FFT along z (G -> r on the stick columns).
     rec.compute(StateClass::FftZ, flops.fft_z, || {
         cft_1z(
-            &plans.z,
-            &mut pipe.zbuf,
-            nst,
-            grid.nr3,
+            &plan.z,
+            &mut arena.zbuf,
+            plan.nst,
+            plan.grid.nr3,
             Direction::Inverse,
-            &mut pipe.scratch,
+            &mut arena.scratch,
         );
     });
 
     // Forward scatter: sticks -> planes.
-    let send = rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
-        steps::scatter_pack(l, g, &pipe.zbuf)
-    });
-    let recv = scatter_comm.try_alltoall(&send, tag)?;
     rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
-        steps::scatter_unpack_to_planes(l, g, &recv, &mut pipe.planes);
+        plan.scatter_pack(&arena.zbuf, &mut arena.scatter_send);
+    });
+    scatter_comm.try_alltoall_into(&arena.scatter_send, &mut arena.scatter_recv, tag)?;
+    rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
+        plan.scatter_unpack_to_planes(&arena.scatter_recv, &mut arena.planes);
     });
 
     // Inverse FFT in the xy planes.
     rec.compute(StateClass::FftXy, flops.fft_xy, || {
-        cft_2xy(
-            &plans.x,
-            &plans.y,
-            &mut pipe.planes,
-            npp,
-            grid.nr1,
-            grid.nr2,
+        cft_2xy_buf(
+            &plan.x,
+            &plan.y,
+            &mut arena.planes,
+            plan.npp,
+            plan.grid.nr1,
+            plan.grid.nr2,
             Direction::Inverse,
-            &mut pipe.scratch,
+            &mut arena.scratch,
+            &mut arena.col,
         );
     });
 
     // VOFR: apply the local potential on the owned slab.
     rec.compute(StateClass::Vofr, flops.vofr, || {
-        apply_potential_slab(&mut pipe.planes, v, &grid, z0, npp);
+        apply_potential_slab(&mut arena.planes, v, &plan.grid, plan.z0, plan.npp);
     });
 
     // Forward FFT in the xy planes.
     rec.compute(StateClass::FftXy, flops.fft_xy, || {
-        cft_2xy(
-            &plans.x,
-            &plans.y,
-            &mut pipe.planes,
-            npp,
-            grid.nr1,
-            grid.nr2,
+        cft_2xy_buf(
+            &plan.x,
+            &plan.y,
+            &mut arena.planes,
+            plan.npp,
+            plan.grid.nr1,
+            plan.grid.nr2,
             Direction::Forward,
-            &mut pipe.scratch,
+            &mut arena.scratch,
+            &mut arena.col,
         );
     });
 
     // Backward scatter: planes -> sticks.
-    let send = rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
-        steps::planes_to_scatter_sends(l, g, &pipe.planes)
-    });
-    let recv = scatter_comm.try_alltoall(&send, tag)?;
     rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
-        steps::zbuf_from_scatter_recv(l, g, &recv, &mut pipe.zbuf);
+        plan.planes_to_scatter(&arena.planes, &mut arena.scatter_send);
+    });
+    scatter_comm.try_alltoall_into(&arena.scatter_send, &mut arena.scatter_recv, tag)?;
+    rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
+        plan.zbuf_from_scatter(&arena.scatter_recv, &mut arena.zbuf);
     });
 
     // Forward FFT along z.
     rec.compute(StateClass::FftZ, flops.fft_z, || {
         cft_1z(
-            &plans.z,
-            &mut pipe.zbuf,
-            nst,
-            grid.nr3,
+            &plan.z,
+            &mut arena.zbuf,
+            plan.nst,
+            plan.grid.nr3,
             Direction::Forward,
-            &mut pipe.scratch,
+            &mut arena.scratch,
         );
     });
     Ok(())
+}
+
+/// Stages the pack send: the T band shares of iteration base `base`,
+/// flattened member-major into `sharebuf` with per-member `counts`.
+pub(crate) fn stage_pack_sends(
+    shares: &[Vec<Complex64>],
+    base: usize,
+    t: usize,
+    sharebuf: &mut Vec<Complex64>,
+    counts: &mut Vec<usize>,
+) {
+    sharebuf.clear();
+    counts.clear();
+    for j in 0..t {
+        let s = &shares[base + j];
+        sharebuf.extend_from_slice(s);
+        counts.push(s.len());
+    }
+}
+
+/// Scatters the flat unpack receive back into the band shares (member `j`
+/// returned this rank's share of band `base + j`), reusing each share's
+/// capacity.
+pub(crate) fn unstage_unpack_recv(
+    shares: &mut [Vec<Complex64>],
+    base: usize,
+    sharebuf: &[Complex64],
+    recv_counts: &[usize],
+) {
+    let mut off = 0;
+    for (j, &n) in recv_counts.iter().enumerate() {
+        let dst = &mut shares[base + j];
+        dst.clear();
+        dst.extend_from_slice(&sharebuf[off..off + n]);
+        off += n;
+    }
 }
 
 /// Runs the original static kernel on R×T virtual MPI ranks and returns the
@@ -286,7 +260,8 @@ pub fn run_original_chaotic(
     (finish_run(problem, sink, results), report)
 }
 
-/// Per-rank body of the original kernel.
+/// Per-rank body of the original kernel: plan once, then an allocation-free
+/// steady-state loop through the arena.
 fn rank_original(problem: &Problem, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
     let cfg = problem.config;
     let l = &problem.layout;
@@ -298,10 +273,10 @@ fn rank_original(problem: &Problem, comm: &Communicator) -> (Vec<Vec<Complex64>>
     let pack_comm = comm.split(g as u64, i);
     let scatter_comm = comm.split(i as u64, g);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
-    let plans = Plans::new(problem);
+    let plan = problem.exec_plan(g);
     let flops = StepFlops::for_group(problem, g);
     let mut shares = problem.initial_shares(w);
-    let mut pipe = BandPipeline::new(problem, g);
+    let mut arena = BufferArena::new();
 
     comm.barrier();
     let t_start = comm.now();
@@ -311,31 +286,39 @@ fn rank_original(problem: &Problem, comm: &Communicator) -> (Vec<Vec<Complex64>>
         // zero at non-stick xy positions before the forward scatter, or
         // stale values from the previous band group leak in.
         rec.compute(StateClass::PsiPrep, flops.prep, || {
-            pipe.zbuf.fill(Complex64::ZERO);
-            pipe.planes.fill(Complex64::ZERO);
+            plan.prep(&mut arena.zbuf, &mut arena.planes);
         });
 
         // Pack: every member contributes its share of each of the T bands.
-        let sends = rec.compute(StateClass::Pack, flops.pack / 2.0, || {
-            let refs: Vec<&[Complex64]> = (0..t).map(|j| shares[k * t + j].as_slice()).collect();
-            steps::pack_sends(&refs)
-        });
-        let recv = pack_comm.alltoallv(sends, 0);
         rec.compute(StateClass::Pack, flops.pack / 2.0, || {
-            steps::deposit_pack_recv(l, g, &recv, &mut pipe.zbuf);
+            stage_pack_sends(&shares, k * t, t, &mut arena.sharebuf, &mut arena.counts);
+        });
+        pack_comm.alltoallv_into(
+            &arena.sharebuf,
+            &arena.counts,
+            &mut arena.groupbuf,
+            &mut arena.recv_counts,
+            0,
+        );
+        rec.compute(StateClass::Pack, flops.pack / 2.0, || {
+            plan.deposit_stream(&arena.groupbuf, &mut arena.zbuf);
         });
 
-        transform_core(problem, g, &scatter_comm, 0, &mut pipe, &plans, &flops, &rec);
+        transform_core(plan, &problem.v, &scatter_comm, 0, &mut arena, &flops, &rec);
 
         // Unpack: give every member back its share of its band.
-        let sends = rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
-            steps::extract_unpack_sends(l, g, &pipe.zbuf)
-        });
-        let recv = pack_comm.alltoallv(sends, 1);
         rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
-            for (j, share) in recv.into_iter().enumerate() {
-                shares[k * t + j] = share;
-            }
+            plan.extract_stream(&arena.zbuf, &mut arena.groupbuf, &mut arena.counts);
+        });
+        pack_comm.alltoallv_into(
+            &arena.groupbuf,
+            &arena.counts,
+            &mut arena.sharebuf,
+            &mut arena.recv_counts,
+            1,
+        );
+        rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
+            unstage_unpack_recv(&mut shares, k * t, &arena.sharebuf, &arena.recv_counts);
         });
     }
     comm.barrier();

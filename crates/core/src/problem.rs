@@ -4,6 +4,7 @@
 //! FFTXlib initialises its descriptor on every process).
 
 use crate::config::FftxConfig;
+use crate::plan::ExecPlan;
 use fftx_fft::Complex64;
 use fftx_pw::{
     extract_share, generate_band, generate_potential, Cell, FftGrid, GSphere, StickSet,
@@ -21,6 +22,9 @@ pub struct Problem {
     pub layout: TaskGroupLayout,
     /// Dense real-space potential.
     pub v: Vec<f64>,
+    /// Per-group execution plans (index maps, chunk geometry, interned FFT
+    /// plans), built once here and shared by every engine and iteration.
+    plans: Vec<Arc<ExecPlan>>,
 }
 
 impl Problem {
@@ -34,12 +38,21 @@ impl Problem {
         let layout = TaskGroupLayout::new(grid, set, config.nr, config.layout_ntg());
         layout.validate();
         let v = generate_potential(&grid, config.seed);
+        let plans = (0..layout.r)
+            .map(|g| Arc::new(ExecPlan::for_layout(&layout, g)))
+            .collect();
         Arc::new(Problem {
             config,
             cell,
             layout,
             v,
+            plans,
         })
+    }
+
+    /// The precomputed execution plan of task group `g`.
+    pub fn exec_plan(&self, g: usize) -> &Arc<ExecPlan> {
+        &self.plans[g]
     }
 
     /// Canonical coefficients of band `b`.

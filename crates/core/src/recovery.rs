@@ -8,7 +8,8 @@
 //!    [`fftx_taskrt::Runtime::spawn_retryable`] — a panicking body is
 //!    re-executed in place after a bounded exponential backoff. Sound
 //!    because the band bodies are idempotent over their input snapshot:
-//!    they read the band share, compute into fresh per-attempt buffers, and
+//!    they read the band share, compute into the worker's arena (whose
+//!    work buffers the prep step re-zeroes on every attempt), and
 //!    write the share last. Injected crashes fire *before* the band's
 //!    first collective, so a replay performs each collective exactly once
 //!    in total and peers only observe added latency (a fault after a
@@ -45,11 +46,11 @@
 
 use crate::config::Mode;
 use crate::original::{
-    finish_run, try_transform_core, BandPipeline, Plans, RunOutput, StepFlops,
+    finish_run, stage_pack_sends, try_transform_core, unstage_unpack_recv, RunOutput, StepFlops,
 };
+use crate::plan::{BufferArena, ExecPlan};
 use crate::problem::Problem;
 use crate::recorder::Recorder;
-use crate::steps;
 use fftx_fault::{BatchAborts, RankDeath, RecoveryConfig, TaskCrashes};
 use fftx_fft::Complex64;
 use fftx_pw::{
@@ -95,9 +96,10 @@ pub struct RecoveryStats {
 // Shared batch runner
 // ---------------------------------------------------------------------
 
-/// One band batch of the original pipeline against an explicit layout:
-/// pack, transform, unpack, with every collective fallible. `base` is the
-/// first band of the batch (the batch spans `base .. base + l.t`).
+/// One band batch of the original pipeline against an explicit execution
+/// plan: pack, transform, unpack, with every collective fallible. `base`
+/// is the first band of the batch (the batch spans `base .. base + t`).
+/// All staging and work buffers come from the caller's reusable `arena`.
 ///
 /// When `inject_abort` is set the batch fails *mid-flight* with the same
 /// typed error a real watchdog expiry produces: the pack collective has
@@ -106,31 +108,33 @@ pub struct RecoveryStats {
 /// runs. The caller's rollback path cannot tell it from a real timeout.
 #[allow(clippy::too_many_arguments)]
 fn try_batch(
-    l: &TaskGroupLayout,
+    plan: &ExecPlan,
     v: &[f64],
-    g: usize,
     base: usize,
     pack_comm: &Communicator,
     scatter_comm: &Communicator,
     shares: &mut [Vec<Complex64>],
-    pipe: &mut BandPipeline,
-    plans: &Plans,
+    arena: &mut BufferArena,
     flops: &StepFlops,
     rec: &Recorder,
     inject_abort: bool,
 ) -> Result<(), VmpiError> {
-    let t = l.t;
+    let t = plan.t;
     rec.compute(StateClass::PsiPrep, flops.prep, || {
-        pipe.zbuf.fill(Complex64::ZERO);
-        pipe.planes.fill(Complex64::ZERO);
+        plan.prep(&mut arena.zbuf, &mut arena.planes);
     });
-    let sends = rec.compute(StateClass::Pack, flops.pack / 2.0, || {
-        let refs: Vec<&[Complex64]> = (0..t).map(|j| shares[base + j].as_slice()).collect();
-        steps::pack_sends(&refs)
-    });
-    let recv = pack_comm.try_alltoallv(sends, 0)?;
     rec.compute(StateClass::Pack, flops.pack / 2.0, || {
-        steps::deposit_pack_recv(l, g, &recv, &mut pipe.zbuf);
+        stage_pack_sends(shares, base, t, &mut arena.sharebuf, &mut arena.counts);
+    });
+    pack_comm.try_alltoallv_into(
+        &arena.sharebuf,
+        &arena.counts,
+        &mut arena.groupbuf,
+        &mut arena.recv_counts,
+        0,
+    )?;
+    rec.compute(StateClass::Pack, flops.pack / 2.0, || {
+        plan.deposit_stream(&arena.groupbuf, &mut arena.zbuf);
     });
     if inject_abort {
         return Err(VmpiError::Timeout {
@@ -140,15 +144,19 @@ fn try_batch(
             diagnostic: String::new(),
         });
     }
-    try_transform_core(l, v, g, scatter_comm, 0, pipe, plans, flops, rec)?;
-    let sends = rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
-        steps::extract_unpack_sends(l, g, &pipe.zbuf)
-    });
-    let recv = pack_comm.try_alltoallv(sends, 1)?;
+    try_transform_core(plan, v, scatter_comm, 0, arena, flops, rec)?;
     rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
-        for (j, share) in recv.into_iter().enumerate() {
-            shares[base + j] = share;
-        }
+        plan.extract_stream(&arena.zbuf, &mut arena.groupbuf, &mut arena.counts);
+    });
+    pack_comm.try_alltoallv_into(
+        &arena.groupbuf,
+        &arena.counts,
+        &mut arena.sharebuf,
+        &mut arena.recv_counts,
+        1,
+    )?;
+    rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
+        unstage_unpack_recv(shares, base, &arena.sharebuf, &arena.recv_counts);
     });
     Ok(())
 }
@@ -208,8 +216,11 @@ fn rank_retry(
     let cfg = problem.config;
     let w = comm.rank();
     let g = w; // layout has t = 1: every rank is its own task group
-    let plans = Arc::new(Plans::new(problem));
+    let plan = Arc::clone(problem.exec_plan(g));
     let flops = Arc::new(StepFlops::for_group(problem, g));
+    let arenas: Arc<Vec<Shared<BufferArena>>> = Arc::new(
+        (0..cfg.ntg).map(|_| Shared::new(BufferArena::new())).collect(),
+    );
     let shares: Vec<Shared<Vec<Complex64>>> = problem
         .initial_shares(w)
         .into_iter()
@@ -227,8 +238,9 @@ fn rank_retry(
     for (b, share) in shares.iter().enumerate() {
         let problem = Arc::clone(problem);
         let comm = comm.clone();
-        let plans = Arc::clone(&plans);
+        let plan = Arc::clone(&plan);
         let flops = Arc::clone(&flops);
+        let arenas = Arc::clone(&arenas);
         let share = share.clone();
         let attempts = Arc::new(AtomicU32::new(0));
         // The fault key of this rank's task for band b. Crashes are local
@@ -248,37 +260,21 @@ fn rank_retry(
                     }
                 }
                 // Idempotent over the input snapshot: read the share, compute
-                // into fresh per-attempt buffers, write the share last.
+                // into the worker's arena (prep re-zeroes its work buffers on
+                // every attempt), write the share last.
                 let rec = Recorder::new(comm.trace_sink(), comm.clock(), comm.rank());
-                let mut pipe = BandPipeline::new(&problem, g);
+                let mut guard = arenas[fftx_trace::current_thread()].write();
+                let a = &mut *guard;
                 rec.compute(StateClass::PsiPrep, flops.prep, || {
-                    pipe.zbuf.fill(Complex64::ZERO);
-                    pipe.planes.fill(Complex64::ZERO);
+                    plan.prep(&mut a.zbuf, &mut a.planes);
                 });
                 rec.compute(StateClass::Pack, flops.pack, || {
-                    steps::deposit_member_share(
-                        &problem.layout,
-                        g,
-                        0,
-                        &share.read(),
-                        &mut pipe.zbuf,
-                    );
+                    plan.deposit_member(0, &share.read(), &mut a.zbuf);
                 });
-                try_transform_core(
-                    &problem.layout,
-                    &problem.v,
-                    g,
-                    &comm,
-                    b as u32,
-                    &mut pipe,
-                    &plans,
-                    &flops,
-                    &rec,
-                )
-                .unwrap_or_else(|e| panic!("{e}"));
+                try_transform_core(&plan, &problem.v, &comm, b as u32, &mut *a, &flops, &rec)
+                    .unwrap_or_else(|e| panic!("{e}"));
                 rec.compute(StateClass::Unpack, flops.pack, || {
-                    *share.write() =
-                        steps::extract_member_share(&problem.layout, g, 0, &pipe.zbuf);
+                    plan.extract_member(0, &a.zbuf, &mut share.write());
                 });
             },
         );
@@ -357,10 +353,10 @@ fn rank_rollback(
     let pack_comm = comm.split(g as u64, i);
     let scatter_comm = comm.split(i as u64, g);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
-    let plans = Plans::new(problem);
+    let plan = problem.exec_plan(g);
     let flops = StepFlops::for_group(problem, g);
     let mut shares = problem.initial_shares(w);
-    let mut pipe = BandPipeline::new(problem, g);
+    let mut arena = BufferArena::new();
     let mut rollbacks = 0u64;
     let mut ckpt_bytes = 0u64;
 
@@ -368,8 +364,8 @@ fn rank_rollback(
     let t_start = comm.now();
     for k in 0..cfg.iterations() {
         // Checkpoint cut at the step boundary: snapshot the batch's input
-        // shares (everything a replay needs — the pipeline buffers are
-        // rebuilt from scratch on every attempt).
+        // shares (everything a replay needs — the prep step re-zeroes the
+        // arena's work buffers on every attempt).
         let checkpoint: Vec<Vec<Complex64>> =
             (0..t).map(|j| shares[k * t + j].clone()).collect();
         ckpt_bytes += checkpoint
@@ -380,15 +376,13 @@ fn rank_rollback(
         loop {
             let inject = aborts.is_some_and(|a| a.should_abort(k as u64, attempt));
             match try_batch(
-                l,
+                plan,
                 &problem.v,
-                g,
                 k * t,
                 &pack_comm,
                 &scatter_comm,
                 &mut shares,
-                &mut pipe,
-                &plans,
+                &mut arena,
                 &flops,
                 &rec,
                 inject,
@@ -521,10 +515,10 @@ fn rank_eviction(
     let pack_comm = comm.split(g as u64, i);
     let scatter_comm = comm.split(i as u64, g);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
-    let plans = Plans::new(problem);
+    let plan = problem.exec_plan(g);
     let flops = StepFlops::for_group(problem, g);
     let mut shares = problem.initial_shares(w);
-    let mut pipe = BandPipeline::new(problem, g);
+    let mut arena = BufferArena::new();
     let mut ckpt_bytes = 0u64;
     let succ = (w + 1) % p;
     let pred = (w + p - 1) % p;
@@ -540,15 +534,13 @@ fn rank_eviction(
     // off-rank copy that one failure cannot erase.
     for k in 0..death.batch {
         try_batch(
-            l,
+            plan,
             &problem.v,
-            g,
             k * t,
             &pack_comm,
             &scatter_comm,
             &mut shares,
-            &mut pipe,
-            &plans,
+            &mut arena,
             &flops,
             &rec,
             false,
@@ -624,27 +616,28 @@ fn rank_eviction(
         ));
     }
 
-    // Phase 2: the remaining batches under the re-planned R×T layout.
+    // Phase 2: the remaining batches under the re-planned R×T layout. The
+    // re-planned plan is built here (eviction is the one path where plans
+    // cannot be precomputed — the layout is only known after the death);
+    // the arena is reused, its buffers re-fitted to the new geometry.
     let g2 = new_l.task_group_of(me2);
     let i2 = new_l.member_of(me2);
     let pack2 = shrunk.split(g2 as u64, i2);
     let scat2 = shrunk.split(i2 as u64, g2);
     let flops2 = StepFlops::for_layout(new_l, g2);
-    let mut pipe2 = BandPipeline::for_layout(new_l, g2);
+    let plan2 = ExecPlan::for_layout(new_l, g2);
     let p2 = shrunk.size();
     let rem_batches = (cfg.nbnd - done_bands) / t2;
     for kk in 0..rem_batches {
         let base = done_bands + kk * t2;
         try_batch(
-            new_l,
+            &plan2,
             &problem.v,
-            g2,
             base,
             &pack2,
             &scat2,
             &mut new_shares,
-            &mut pipe2,
-            &plans,
+            &mut arena,
             &flops2,
             &rec,
             false,

@@ -1,9 +1,16 @@
-//! Pure data-movement helpers for the kernel steps: building the send
+//! Reference data-movement helpers for the kernel steps: building the send
 //! buffers of the pack/unpack `Alltoallv` and the (padded) scatter
 //! `Alltoall`, and depositing received data into the z-stick buffer or the
 //! xy-plane slab. All functions are deterministic transformations of local
 //! buffers given the shared [`TaskGroupLayout`] — the communication itself
 //! lives in the execution engines.
+//!
+//! These walk the layout arithmetic directly and allocate their outputs;
+//! the engines' hot paths instead run the table-driven, allocation-free
+//! equivalents of [`crate::plan::ExecPlan`], which are verified against
+//! these references in the plan's tests. The old allocating pack/unpack
+//! helpers (`pack_sends`, `extract_member_share`) are gone — the plan path
+//! copies straight between arena slices.
 //!
 //! Buffer shapes (for a rank in task group `g`):
 //! * **z-stick buffer**: `nst_group(g) * nr3`, stick-major, full z-columns,
@@ -20,12 +27,6 @@ use fftx_pw::TaskGroupLayout;
 /// Per-peer chunk length (complex elements) of the padded scatter.
 pub fn scatter_chunk_len(layout: &TaskGroupLayout) -> usize {
     layout.max_nst_group() * layout.max_npp()
-}
-
-/// Builds the pack `Alltoallv` send list for one iteration: member `j`
-/// receives this rank's whole share of band `k*T + j`.
-pub fn pack_sends(shares_of_iter_bands: &[&[Complex64]]) -> Vec<Vec<Complex64>> {
-    shares_of_iter_bands.iter().map(|s| s.to_vec()).collect()
 }
 
 /// Deposits one member's share into the z-stick buffer: member `j`'s share
@@ -70,44 +71,6 @@ pub fn deposit_pack_recv(
     for (j, share) in recv.iter().enumerate() {
         deposit_member_share(layout, g, j, share, zbuf);
     }
-}
-
-/// Extracts one member's share from the z-stick buffer (inverse of
-/// [`deposit_member_share`]).
-pub fn extract_member_share(
-    layout: &TaskGroupLayout,
-    g: usize,
-    j: usize,
-    zbuf: &[Complex64],
-) -> Vec<Complex64> {
-    let nr3 = layout.grid.nr3;
-    assert_eq!(
-        zbuf.len(),
-        layout.nst_group(g) * nr3,
-        "extract_member_share: zbuf size"
-    );
-    let rank = g * layout.t + j;
-    let stick_base = layout.group_stick_offset(g, j);
-    let mut share = Vec::with_capacity(layout.ngw_rank(rank));
-    for (si, &s) in layout.dist.per_rank[rank].iter().enumerate() {
-        let col = (stick_base + si) * nr3;
-        for &iz in &layout.set.sticks[s].iz {
-            share.push(zbuf[col + iz]);
-        }
-    }
-    share
-}
-
-/// Inverse of [`deposit_pack_recv`]: extracts each member's share from the
-/// z-stick buffer, producing the unpack `Alltoallv` send list.
-pub fn extract_unpack_sends(
-    layout: &TaskGroupLayout,
-    g: usize,
-    zbuf: &[Complex64],
-) -> Vec<Vec<Complex64>> {
-    (0..layout.t)
-        .map(|j| extract_member_share(layout, g, j, zbuf))
-        .collect()
 }
 
 /// Builds the padded forward-scatter `Alltoall` send buffer: the chunk for
@@ -247,8 +210,13 @@ mod tests {
             .collect();
         let mut zbuf = vec![Complex64::ZERO; l.nst_group(g) * l.grid.nr3];
         deposit_pack_recv(&l, g, &recv, &mut zbuf);
-        let back = extract_unpack_sends(&l, g, &zbuf);
-        assert_eq!(back, recv);
+        // Extraction runs through the plan tables (the engines' only path).
+        let plan = crate::plan::ExecPlan::for_layout(&l, g);
+        let mut back = Vec::new();
+        for (j, want) in recv.iter().enumerate() {
+            plan.extract_member(j, &zbuf, &mut back);
+            assert_eq!(&back, want, "member {j}");
+        }
     }
 
     #[test]

@@ -16,18 +16,33 @@
 //! the runtime's priority queue this makes every rank drain bands in the
 //! same order, which is the deadlock-freedom invariant for the blocking
 //! collectives inside tasks (tags keep concurrent collectives apart).
+//!
+//! Scratch and staging buffers come from **per-worker arenas**
+//! ([`BufferArena`], one per runtime worker, indexed by
+//! [`fftx_trace::current_thread`]): a worker runs one task at a time, so a
+//! task body owns its worker's arena for its duration and the buffers are
+//! reused across bands without reallocation. The per-band `Shared` z/plane
+//! buffers of strategy 1 stay — they are the dependency carriers the task
+//! graph is built from.
 
 use crate::config::Mode;
-use crate::original::{finish_run, transform_core, BandPipeline, Plans, RunOutput, StepFlops};
+use crate::original::{finish_run, transform_core, RunOutput, StepFlops};
+use crate::plan::{BufferArena, ExecPlan};
 use crate::problem::Problem;
 use crate::recorder::Recorder;
-use crate::steps;
-use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction};
+use fftx_fft::{cft_1z, cft_2xy_buf, Complex64, Direction};
 use fftx_pw::apply_potential_slab;
 use fftx_taskrt::{Runtime, Shared};
 use fftx_trace::{StateClass, TraceSink};
 use fftx_vmpi::{AlltoallRequest, ChaosConfig, Communicator, FaultReport, World};
 use std::sync::Arc;
+
+/// One empty arena per runtime worker; task bodies index with
+/// [`fftx_trace::current_thread`] (a worker runs one task at a time, so
+/// the `Shared` access check never trips).
+fn worker_arenas(workers: usize) -> Arc<Vec<Shared<BufferArena>>> {
+    Arc::new((0..workers).map(|_| Shared::new(BufferArena::new())).collect())
+}
 
 /// Runs strategy 2 (one task per FFT/band) on R ranks × T workers.
 pub fn run_task_per_fft(problem: &Arc<Problem>) -> RunOutput {
@@ -59,8 +74,9 @@ fn rank_task_per_fft(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Co
     let cfg = problem.config;
     let w = comm.rank();
     let g = w; // layout has t = 1: every rank is its own task group
-    let plans = Arc::new(Plans::new(problem));
+    let plan = Arc::clone(problem.exec_plan(g));
     let flops = Arc::new(StepFlops::for_group(problem, g));
+    let arenas = worker_arenas(cfg.ntg);
     let shares: Vec<Shared<Vec<Complex64>>> = problem
         .initial_shares(w)
         .into_iter()
@@ -78,8 +94,9 @@ fn rank_task_per_fft(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Co
     for (b, share) in shares.iter().enumerate() {
         let problem = Arc::clone(problem);
         let comm = comm.clone();
-        let plans = Arc::clone(&plans);
+        let plan = Arc::clone(&plan);
         let flops = Arc::clone(&flops);
+        let arenas = Arc::clone(&arenas);
         let share = share.clone();
         rt.spawn_prio(
             &format!("fft-band-{b}"),
@@ -87,30 +104,22 @@ fn rank_task_per_fft(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Co
             &[share.dep_inout()],
             move || {
                 let rec = Recorder::new(comm.trace_sink(), comm.clock(), comm.rank());
-                let mut pipe = BandPipeline::new(&problem, g);
-                // PsiPrep: buffers are freshly zeroed; the burst still
-                // exists in the original code, so record the touch.
+                let mut guard = arenas[fftx_trace::current_thread()].write();
+                let a = &mut *guard;
+                // PsiPrep: the prep re-zeroes the reused worker buffers —
+                // the same state a fresh allocation had, and the burst
+                // still exists in the original code, so record the touch.
                 rec.compute(StateClass::PsiPrep, flops.prep, || {
-                    pipe.zbuf.fill(Complex64::ZERO);
-                    pipe.planes.fill(Complex64::ZERO);
+                    plan.prep(&mut a.zbuf, &mut a.planes);
                 });
                 // Pack: t = 1, the "redistribution" is a local deposit.
                 rec.compute(StateClass::Pack, flops.pack, || {
-                    steps::deposit_member_share(&problem.layout, g, 0, &share.read(), &mut pipe.zbuf);
+                    plan.deposit_member(0, &share.read(), &mut a.zbuf);
                 });
-                transform_core(
-                    &problem,
-                    g,
-                    &comm,
-                    b as u32,
-                    &mut pipe,
-                    &plans,
-                    &flops,
-                    &rec,
-                );
+                transform_core(&plan, &problem.v, &comm, b as u32, &mut *a, &flops, &rec);
                 // Unpack: back to the band share.
                 rec.compute(StateClass::Unpack, flops.pack, || {
-                    *share.write() = steps::extract_member_share(&problem.layout, g, 0, &pipe.zbuf);
+                    plan.extract_member(0, &a.zbuf, &mut share.write());
                 });
             },
         );
@@ -158,9 +167,9 @@ pub fn run_task_per_step_chaotic(
 struct StepCtx {
     problem: Arc<Problem>,
     comm: Communicator,
-    plans: Arc<Plans>,
+    plan: Arc<ExecPlan>,
     flops: Arc<StepFlops>,
-    g: usize,
+    arenas: Arc<Vec<Shared<BufferArena>>>,
     zbuf: Shared<Vec<Complex64>>,
     planes: Shared<Vec<Complex64>>,
 }
@@ -169,6 +178,11 @@ impl StepCtx {
     fn recorder(&self) -> Recorder {
         Recorder::new(self.comm.trace_sink(), self.comm.clock(), self.comm.rank())
     }
+
+    /// The running worker's arena (one task per worker at a time).
+    fn arena(&self) -> &Shared<BufferArena> {
+        &self.arenas[fftx_trace::current_thread()]
+    }
 }
 
 impl Clone for StepCtx {
@@ -176,9 +190,9 @@ impl Clone for StepCtx {
         StepCtx {
             problem: Arc::clone(&self.problem),
             comm: self.comm.clone(),
-            plans: Arc::clone(&self.plans),
+            plan: Arc::clone(&self.plan),
             flops: Arc::clone(&self.flops),
-            g: self.g,
+            arenas: Arc::clone(&self.arenas),
             zbuf: self.zbuf.clone(),
             planes: self.planes.clone(),
         }
@@ -189,10 +203,9 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
     let cfg = problem.config;
     let w = comm.rank();
     let g = w;
-    let grid = problem.grid();
-    let l = &problem.layout;
-    let plans = Arc::new(Plans::new(problem));
+    let plan = Arc::clone(problem.exec_plan(g));
     let flops = Arc::new(StepFlops::for_group(problem, g));
+    let arenas = worker_arenas(cfg.ntg);
     let shares: Vec<Shared<Vec<Complex64>>> = problem
         .initial_shares(w)
         .into_iter()
@@ -207,19 +220,16 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
 
     comm.barrier();
     let t_start = comm.now();
-    let nst = l.nst_group(g);
-    let npp = l.npp(g);
-    let plane = grid.nr1 * grid.nr2;
     for (b, share) in shares.iter().enumerate() {
         let prio = Some(b as u64);
         let ctx = StepCtx {
             problem: Arc::clone(problem),
             comm: comm.clone(),
-            plans: Arc::clone(&plans),
+            plan: Arc::clone(&plan),
             flops: Arc::clone(&flops),
-            g,
-            zbuf: Shared::new(vec![Complex64::ZERO; nst * grid.nr3]),
-            planes: Shared::new(vec![Complex64::ZERO; npp * plane]),
+            arenas: Arc::clone(&arenas),
+            zbuf: Shared::new(vec![Complex64::ZERO; plan.zbuf_len()]),
+            planes: Shared::new(vec![Complex64::ZERO; plan.planes_len()]),
         };
         let share = share.clone();
 
@@ -234,13 +244,7 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
             move || {
                 let rec = c.recorder();
                 rec.compute(StateClass::Pack, c.flops.pack, || {
-                    steps::deposit_member_share(
-                        &c.problem.layout,
-                        c.g,
-                        0,
-                        &sh.read(),
-                        &mut c.zbuf.write(),
-                    );
+                    c.plan.deposit_member(0, &sh.read(), &mut c.zbuf.write());
                 });
             },
         );
@@ -253,15 +257,16 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
             &[ctx.zbuf.dep_inout()],
             move || {
                 let rec = c.recorder();
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
                 rec.compute(StateClass::FftZ, c.flops.fft_z, || {
-                    let mut scratch = Vec::new();
                     cft_1z(
-                        &c.plans.z,
+                        &c.plan.z,
                         &mut c.zbuf.write(),
-                        nst,
-                        grid.nr3,
+                        c.plan.nst,
+                        c.plan.grid.nr3,
                         Direction::Inverse,
-                        &mut scratch,
+                        &mut a.scratch,
                     );
                 });
             },
@@ -276,17 +281,16 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
             &[ctx.zbuf.dep_in(), ctx.planes.dep_inout()],
             move || {
                 let rec = c.recorder();
-                let send = rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
-                    steps::scatter_pack(&c.problem.layout, c.g, &c.zbuf.read())
-                });
-                let recv = c.comm.alltoall(&send, (2 * b) as u32);
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
                 rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
-                    steps::scatter_unpack_to_planes(
-                        &c.problem.layout,
-                        c.g,
-                        &recv,
-                        &mut c.planes.write(),
-                    );
+                    c.plan.scatter_pack(&c.zbuf.read(), &mut a.scatter_send);
+                });
+                c.comm
+                    .alltoall_into(&a.scatter_send, &mut a.scatter_recv, (2 * b) as u32);
+                rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
+                    c.plan
+                        .scatter_unpack_to_planes(&a.scatter_recv, &mut c.planes.write());
                 });
             },
         );
@@ -305,29 +309,30 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
                 move || {
                     let rec = c.recorder();
                     if is_vofr {
-                        let (z0, _) = c.problem.layout.plane_range[c.g];
                         rec.compute(StateClass::Vofr, c.flops.vofr, || {
                             apply_potential_slab(
                                 &mut c.planes.write(),
                                 &c.problem.v,
-                                &grid,
-                                z0,
-                                npp,
+                                &c.plan.grid,
+                                c.plan.z0,
+                                c.plan.npp,
                             );
                         });
                     } else {
                         let dir = if dir_fwd { Direction::Forward } else { Direction::Inverse };
+                        let mut guard = c.arena().write();
+                        let a = &mut *guard;
                         rec.compute(StateClass::FftXy, c.flops.fft_xy, || {
-                            let mut scratch = Vec::new();
-                            cft_2xy(
-                                &c.plans.x,
-                                &c.plans.y,
+                            cft_2xy_buf(
+                                &c.plan.x,
+                                &c.plan.y,
                                 &mut c.planes.write(),
-                                npp,
-                                grid.nr1,
-                                grid.nr2,
+                                c.plan.npp,
+                                c.plan.grid.nr1,
+                                c.plan.grid.nr2,
                                 dir,
-                                &mut scratch,
+                                &mut a.scratch,
+                                &mut a.col,
                             );
                         });
                     }
@@ -343,17 +348,15 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
             &[ctx.planes.dep_in(), ctx.zbuf.dep_inout()],
             move || {
                 let rec = c.recorder();
-                let send = rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
-                    steps::planes_to_scatter_sends(&c.problem.layout, c.g, &c.planes.read())
-                });
-                let recv = c.comm.alltoall(&send, (2 * b + 1) as u32);
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
                 rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
-                    steps::zbuf_from_scatter_recv(
-                        &c.problem.layout,
-                        c.g,
-                        &recv,
-                        &mut c.zbuf.write(),
-                    );
+                    c.plan.planes_to_scatter(&c.planes.read(), &mut a.scatter_send);
+                });
+                c.comm
+                    .alltoall_into(&a.scatter_send, &mut a.scatter_recv, (2 * b + 1) as u32);
+                rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
+                    c.plan.zbuf_from_scatter(&a.scatter_recv, &mut c.zbuf.write());
                 });
             },
         );
@@ -366,15 +369,16 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
             &[ctx.zbuf.dep_inout()],
             move || {
                 let rec = c.recorder();
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
                 rec.compute(StateClass::FftZ, c.flops.fft_z, || {
-                    let mut scratch = Vec::new();
                     cft_1z(
-                        &c.plans.z,
+                        &c.plan.z,
                         &mut c.zbuf.write(),
-                        nst,
-                        grid.nr3,
+                        c.plan.nst,
+                        c.plan.grid.nr3,
                         Direction::Forward,
-                        &mut scratch,
+                        &mut a.scratch,
                     );
                 });
             },
@@ -390,8 +394,7 @@ fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<C
             move || {
                 let rec = c.recorder();
                 rec.compute(StateClass::Unpack, c.flops.pack, || {
-                    *sh.write() =
-                        steps::extract_member_share(&c.problem.layout, c.g, 0, &c.zbuf.read());
+                    c.plan.extract_member(0, &c.zbuf.read(), &mut sh.write());
                 });
             },
         );
@@ -442,10 +445,9 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
     let cfg = problem.config;
     let w = comm.rank();
     let g = w;
-    let grid = problem.grid();
-    let l = &problem.layout;
-    let plans = Arc::new(Plans::new(problem));
+    let plan = Arc::clone(problem.exec_plan(g));
     let flops = Arc::new(StepFlops::for_group(problem, g));
+    let arenas = worker_arenas(cfg.ntg);
     let shares: Vec<Shared<Vec<Complex64>>> = problem
         .initial_shares(w)
         .into_iter()
@@ -460,19 +462,16 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
 
     comm.barrier();
     let t_start = comm.now();
-    let nst = l.nst_group(g);
-    let npp = l.npp(g);
-    let plane = grid.nr1 * grid.nr2;
     for (b, share) in shares.iter().enumerate() {
         let prio = Some(b as u64);
         let ctx = StepCtx {
             problem: Arc::clone(problem),
             comm: comm.clone(),
-            plans: Arc::clone(&plans),
+            plan: Arc::clone(&plan),
             flops: Arc::clone(&flops),
-            g,
-            zbuf: Shared::new(vec![Complex64::ZERO; nst * grid.nr3]),
-            planes: Shared::new(vec![Complex64::ZERO; npp * plane]),
+            arenas: Arc::clone(&arenas),
+            zbuf: Shared::new(vec![Complex64::ZERO; plan.zbuf_len()]),
+            planes: Shared::new(vec![Complex64::ZERO; plan.planes_len()]),
         };
         let req_fw: Req = Shared::new(None);
         let req_bw: Req = Shared::new(None);
@@ -488,13 +487,7 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
             move || {
                 let rec = c.recorder();
                 rec.compute(StateClass::Pack, c.flops.pack, || {
-                    steps::deposit_member_share(
-                        &c.problem.layout,
-                        c.g,
-                        0,
-                        &sh.read(),
-                        &mut c.zbuf.write(),
-                    );
+                    c.plan.deposit_member(0, &sh.read(), &mut c.zbuf.write());
                 });
             },
         );
@@ -507,21 +500,24 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
             &[ctx.zbuf.dep_inout()],
             move || {
                 let rec = c.recorder();
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
                 rec.compute(StateClass::FftZ, c.flops.fft_z, || {
-                    let mut scratch = Vec::new();
                     cft_1z(
-                        &c.plans.z,
+                        &c.plan.z,
                         &mut c.zbuf.write(),
-                        nst,
-                        grid.nr3,
+                        c.plan.nst,
+                        c.plan.grid.nr3,
                         Direction::Inverse,
-                        &mut scratch,
+                        &mut a.scratch,
                     );
                 });
             },
         );
 
-        // scatter-fw POST: in(zbuf) out(req_fw) — never blocks.
+        // scatter-fw POST: in(zbuf) out(req_fw) — never blocks. The
+        // transport stages its own copy of the send, so the arena buffer
+        // is free for reuse the moment the post returns.
         let c = ctx.clone();
         let rq = req_fw.clone();
         rt.spawn_prio(
@@ -530,10 +526,12 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
             &[ctx.zbuf.dep_in(), req_fw.dep_out()],
             move || {
                 let rec = c.recorder();
-                let send = rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
-                    steps::scatter_pack(&c.problem.layout, c.g, &c.zbuf.read())
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
+                rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
+                    c.plan.scatter_pack(&c.zbuf.read(), &mut a.scatter_send);
                 });
-                *rq.write() = Some(c.comm.ialltoall(&send, (2 * b) as u32));
+                *rq.write() = Some(c.comm.ialltoall(&a.scatter_send, (2 * b) as u32));
             },
         );
 
@@ -550,14 +548,15 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
             &[req_fw.dep_inout(), ctx.planes.dep_inout()],
             move || {
                 let rec = c.recorder();
-                let recv = rq.write().take().expect("posted request").wait();
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
+                rq.write()
+                    .take()
+                    .expect("posted request")
+                    .wait_into(&mut a.scatter_recv);
                 rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
-                    steps::scatter_unpack_to_planes(
-                        &c.problem.layout,
-                        c.g,
-                        &recv,
-                        &mut c.planes.write(),
-                    );
+                    c.plan
+                        .scatter_unpack_to_planes(&a.scatter_recv, &mut c.planes.write());
                 });
             },
         );
@@ -576,29 +575,30 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
                 move || {
                     let rec = c.recorder();
                     if is_vofr {
-                        let (z0, _) = c.problem.layout.plane_range[c.g];
                         rec.compute(StateClass::Vofr, c.flops.vofr, || {
                             apply_potential_slab(
                                 &mut c.planes.write(),
                                 &c.problem.v,
-                                &grid,
-                                z0,
-                                npp,
+                                &c.plan.grid,
+                                c.plan.z0,
+                                c.plan.npp,
                             );
                         });
                     } else {
                         let dir = if dir_fwd { Direction::Forward } else { Direction::Inverse };
+                        let mut guard = c.arena().write();
+                        let a = &mut *guard;
                         rec.compute(StateClass::FftXy, c.flops.fft_xy, || {
-                            let mut scratch = Vec::new();
-                            cft_2xy(
-                                &c.plans.x,
-                                &c.plans.y,
+                            cft_2xy_buf(
+                                &c.plan.x,
+                                &c.plan.y,
                                 &mut c.planes.write(),
-                                npp,
-                                grid.nr1,
-                                grid.nr2,
+                                c.plan.npp,
+                                c.plan.grid.nr1,
+                                c.plan.grid.nr2,
                                 dir,
-                                &mut scratch,
+                                &mut a.scratch,
+                                &mut a.col,
                             );
                         });
                     }
@@ -615,10 +615,12 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
             &[ctx.planes.dep_in(), req_bw.dep_out()],
             move || {
                 let rec = c.recorder();
-                let send = rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
-                    steps::planes_to_scatter_sends(&c.problem.layout, c.g, &c.planes.read())
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
+                rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
+                    c.plan.planes_to_scatter(&c.planes.read(), &mut a.scatter_send);
                 });
-                *rq.write() = Some(c.comm.ialltoall(&send, (2 * b + 1) as u32));
+                *rq.write() = Some(c.comm.ialltoall(&a.scatter_send, (2 * b + 1) as u32));
             },
         );
 
@@ -632,14 +634,14 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
             &[req_bw.dep_inout(), ctx.zbuf.dep_inout()],
             move || {
                 let rec = c.recorder();
-                let recv = rq.write().take().expect("posted request").wait();
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
+                rq.write()
+                    .take()
+                    .expect("posted request")
+                    .wait_into(&mut a.scatter_recv);
                 rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
-                    steps::zbuf_from_scatter_recv(
-                        &c.problem.layout,
-                        c.g,
-                        &recv,
-                        &mut c.zbuf.write(),
-                    );
+                    c.plan.zbuf_from_scatter(&a.scatter_recv, &mut c.zbuf.write());
                 });
             },
         );
@@ -652,15 +654,16 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
             &[ctx.zbuf.dep_inout()],
             move || {
                 let rec = c.recorder();
+                let mut guard = c.arena().write();
+                let a = &mut *guard;
                 rec.compute(StateClass::FftZ, c.flops.fft_z, || {
-                    let mut scratch = Vec::new();
                     cft_1z(
-                        &c.plans.z,
+                        &c.plan.z,
                         &mut c.zbuf.write(),
-                        nst,
-                        grid.nr3,
+                        c.plan.nst,
+                        c.plan.grid.nr3,
                         Direction::Forward,
-                        &mut scratch,
+                        &mut a.scratch,
                     );
                 });
             },
@@ -676,8 +679,7 @@ fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Comp
             move || {
                 let rec = c.recorder();
                 rec.compute(StateClass::Unpack, c.flops.pack, || {
-                    *sh.write() =
-                        steps::extract_member_share(&c.problem.layout, c.g, 0, &c.zbuf.read());
+                    c.plan.extract_member(0, &c.zbuf.read(), &mut sh.write());
                 });
             },
         );

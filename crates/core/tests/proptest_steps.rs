@@ -6,6 +6,7 @@
 
 #![allow(clippy::needless_range_loop)] // index-based loops mirror the rank math
 
+use fftx_core::plan::ExecPlan;
 use fftx_core::steps;
 use fftx_fft::{c64, Complex64};
 use fftx_pw::{Cell, FftGrid, GSphere, StickSet, TaskGroupLayout, DUAL};
@@ -42,8 +43,18 @@ proptest! {
                 .collect();
             let mut zbuf = vec![Complex64::ZERO; l.nst_group(g) * l.grid.nr3];
             steps::deposit_pack_recv(&l, g, &shares, &mut zbuf);
-            let back = steps::extract_unpack_sends(&l, g, &zbuf);
-            prop_assert_eq!(back, shares, "group {}", g);
+            // Extraction runs through the plan tables (the engines' path).
+            let plan = ExecPlan::for_layout(&l, g);
+            let mut flat = Vec::new();
+            let mut counts = Vec::new();
+            plan.extract_stream(&zbuf, &mut flat, &mut counts);
+            let mut off = 0;
+            for (j, want) in shares.iter().enumerate() {
+                prop_assert_eq!(counts[j], want.len(), "group {} member {}", g, j);
+                prop_assert_eq!(&flat[off..off + want.len()], want.as_slice(),
+                    "group {} member {}", g, j);
+                off += want.len();
+            }
         }
     }
 

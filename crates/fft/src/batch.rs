@@ -65,6 +65,27 @@ pub fn cft_2xy(
     dir: Direction,
     scratch: &mut Vec<Complex64>,
 ) {
+    let mut col = Vec::new();
+    cft_2xy_buf(plan_x, plan_y, data, nzl, ldx, ldy, dir, scratch, &mut col);
+}
+
+/// [`cft_2xy`] with a caller-owned y-column gather buffer: `col` is grown
+/// to `plan_y.len()` on first use and reused afterwards, so a warm caller
+/// (plan + scratch + col retained across iterations) performs no heap
+/// allocation per call — the plan-once/execute-many contract of the
+/// execution engines' buffer arenas.
+#[allow(clippy::too_many_arguments)] // mirrors QE's cft_2xy signature
+pub fn cft_2xy_buf(
+    plan_x: &Fft,
+    plan_y: &Fft,
+    data: &mut [Complex64],
+    nzl: usize,
+    ldx: usize,
+    ldy: usize,
+    dir: Direction,
+    scratch: &mut Vec<Complex64>,
+    col: &mut Vec<Complex64>,
+) {
     let nx = plan_x.len();
     let ny = plan_y.len();
     assert!(ldx >= nx, "cft_2xy: ldx ({ldx}) < nx ({nx})");
@@ -77,7 +98,8 @@ pub fn cft_2xy(
         nzl * plane_len
     );
     let scale = 1.0 / (nx.max(1) * ny.max(1)) as f64;
-    let mut col = vec![Complex64::ZERO; ny];
+    col.clear();
+    col.resize(ny, Complex64::ZERO);
     for z in 0..nzl {
         let plane = &mut data[z * plane_len..(z + 1) * plane_len];
         // Rows along x are contiguous.
@@ -89,7 +111,7 @@ pub fn cft_2xy(
             for (y, slot) in col.iter_mut().enumerate() {
                 *slot = plane[x + y * ldx];
             }
-            plan_y.process_with(&mut col, scratch, dir);
+            plan_y.process_with(col, scratch, dir);
             for (y, &v) in col.iter().enumerate() {
                 plane[x + y * ldx] = v;
             }

@@ -1,0 +1,73 @@
+//! Process-wide FFT plan cache.
+//!
+//! Building an [`Fft`] derives twiddle tables (and, for Bluestein sizes, a
+//! whole convolution sub-plan) — work that FFTW-style libraries do once per
+//! size in `plan` and reuse in every `execute`. The execution engines call
+//! the pipeline thousands of times on a handful of sizes (nr1, nr2, nr3),
+//! so plans are interned here: the first request for a size pays the
+//! construction cost, every later request — from any rank thread or task
+//! worker — shares the same immutable plan.
+//!
+//! [`Fft::process_with`] takes `&self`, so one cached plan is safely used
+//! by many threads concurrently; per-call state lives in the caller's
+//! scratch buffer.
+
+use crate::fft1d::Fft;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Fft>>>> = OnceLock::new();
+
+/// Returns the shared plan for length `n`, constructing and interning it on
+/// first use.
+pub fn cached_plan(n: usize) -> Arc<Fft> {
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(Fft::new(n))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, max_dist};
+    use crate::dft::{naive_dft, Direction};
+
+    #[test]
+    fn cached_plans_are_shared_per_size() {
+        let a = cached_plan(24);
+        let b = cached_plan(24);
+        assert!(Arc::ptr_eq(&a, &b), "same size must intern to one plan");
+        let c = cached_plan(25);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.len(), 24);
+        assert_eq!(c.len(), 25);
+    }
+
+    #[test]
+    fn cached_plan_transforms_like_a_fresh_one() {
+        let plan = cached_plan(12);
+        let mut data: Vec<_> = (0..12).map(|i| c64(i as f64, -(i as f64))).collect();
+        let expect = naive_dft(&data, Direction::Forward);
+        let mut scratch = Vec::new();
+        plan.process_with(&mut data, &mut scratch, Direction::Forward);
+        assert!(max_dist(&data, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn cached_plans_are_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let plan = cached_plan(16 + (t % 3));
+                    let mut data = vec![c64(1.0, 0.0); plan.len()];
+                    let mut scratch = Vec::new();
+                    plan.process_with(&mut data, &mut scratch, Direction::Forward);
+                    data[0]
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+    }
+}

@@ -108,19 +108,22 @@ impl MixedRadixPlan {
         self.n == 0
     }
 
-    /// Executes the transform in place. `scratch` is resized to `n` as
-    /// needed; passing the same buffer across calls avoids reallocation.
+    /// Executes the transform in place. `scratch` is resized to
+    /// `n + max_radix` as needed (input copy plus the butterfly gather
+    /// buffer); passing the same buffer across calls keeps the hot path
+    /// free of heap allocation.
     pub fn process(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>, dir: Direction) {
         assert_eq!(data.len(), self.n, "MixedRadixPlan: buffer length mismatch");
         if self.n <= 1 {
             return;
         }
-        scratch.clear();
-        scratch.extend_from_slice(data);
-        // The generic butterfly needs a gather buffer of max_radix points;
-        // keep it on the stack of this call instead of per-combine allocs.
-        let mut gather = vec![Complex64::ZERO; self.max_radix];
-        self.recurse(0, scratch, 1, data, dir, &mut gather);
+        let want = self.n + self.max_radix;
+        if scratch.len() < want {
+            scratch.resize(want, Complex64::ZERO);
+        }
+        let (src, gather) = scratch.split_at_mut(self.n);
+        src.copy_from_slice(data);
+        self.recurse(0, src, 1, data, dir, &mut gather[..self.max_radix]);
     }
 
     /// Recursive DIT step: reads `sub`-strided input from `src`, writes the

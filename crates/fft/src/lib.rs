@@ -17,6 +17,7 @@
 
 pub mod batch;
 pub mod bluestein;
+pub mod cache;
 pub mod complex;
 pub mod dft;
 pub mod fft1d;
@@ -25,7 +26,8 @@ pub mod kernel;
 pub mod opcount;
 pub mod planner;
 
-pub use batch::{cft_1z, cft_2xy};
+pub use batch::{cft_1z, cft_2xy, cft_2xy_buf};
+pub use cache::cached_plan;
 pub use complex::{c64, max_dist, Complex64};
 pub use dft::{naive_dft, naive_dft_3d, Direction};
 pub use fft1d::{scale_in_place, Fft};

@@ -46,6 +46,30 @@ pub struct TaskGroupLayout {
     pub plane_range: Vec<(usize, usize)>,
 }
 
+/// Precomputed flat index tables for one task group's data movement — the
+/// wrapped-z gather/scatter and stick→plane arithmetic that the kernel
+/// steps would otherwise re-derive from the layout on every band of every
+/// iteration. Built once per (layout, group) by
+/// [`TaskGroupLayout::index_maps`]; the execution engines' `ExecPlan` owns
+/// a copy per group (OpenFFT-style precomputed communication patterns).
+#[derive(Debug, Clone)]
+pub struct GroupIndexMaps {
+    /// Destination z-stick-buffer index for each coefficient of the
+    /// member-major `U_g` coefficient stream: *deposit* is
+    /// `zbuf[deposit[n]] = stream[n]`, *extract* reads the same table as a
+    /// gather. Indices are `(stick_base + si) * nr3 + iz` with `iz` the
+    /// stick's wrapped (FFT-ordered) z index.
+    pub deposit: Vec<u32>,
+    /// Member `j`'s coefficients occupy
+    /// `deposit[member_offsets[j] .. member_offsets[j + 1]]`; length `t + 1`
+    /// and `member_offsets[t] == ngw_group(g)`.
+    pub member_offsets: Vec<usize>,
+    /// Per peer group `gp`: the xy-plane offset `at = iy * nr1 + ix` of each
+    /// stick of `U_{gp}`, in `group_sticks[gp]` order — the column positions
+    /// the scatter writes into / reads from this group's plane slab.
+    pub plane_cols: Vec<Vec<u32>>,
+}
+
 /// Picks an R × T factorisation for `p` ranks, preferring the largest
 /// task-group size `t ≤ prefer_t` that divides `p` (falling back to
 /// `t = 1`, the pure-scatter extreme, when `p` is prime or `prefer_t`
@@ -173,6 +197,47 @@ impl TaskGroupLayout {
             * self.max_nst_group()
             * self.max_npp()
             * std::mem::size_of::<fftx_fft::Complex64>()
+    }
+
+    /// Builds the flat index tables for task group `g` (see
+    /// [`GroupIndexMaps`]). The deposit table enumerates coefficients in
+    /// exactly the member-major stream order of the pack exchange: member 0's
+    /// sticks ascending, then member 1's, …, each stick contributing its
+    /// wrapped-z coefficients in stick order.
+    pub fn index_maps(&self, g: usize) -> GroupIndexMaps {
+        let nr3 = self.grid.nr3;
+        let mut deposit = Vec::with_capacity(self.ngw_group(g));
+        let mut member_offsets = Vec::with_capacity(self.t + 1);
+        member_offsets.push(0);
+        let mut stick_base = 0usize;
+        for j in 0..self.t {
+            let rank = g * self.t + j;
+            for (si, &s) in self.dist.per_rank[rank].iter().enumerate() {
+                let col = (stick_base + si) * nr3;
+                for &iz in &self.set.sticks[s].iz {
+                    deposit.push(u32::try_from(col + iz).expect("zbuf index fits u32"));
+                }
+            }
+            stick_base += self.dist.per_rank[rank].len();
+            member_offsets.push(deposit.len());
+        }
+        let nr1 = self.grid.nr1;
+        let plane_cols = (0..self.r)
+            .map(|gp| {
+                self.group_sticks[gp]
+                    .iter()
+                    .map(|&s| {
+                        let stick = &self.set.sticks[s];
+                        u32::try_from(stick.iy * nr1 + stick.ix).expect("plane offset fits u32")
+                    })
+                    .collect()
+            })
+            .collect();
+        GroupIndexMaps {
+            deposit,
+            member_offsets,
+            plane_cols,
+        }
     }
 
     /// Sanity-checks all structural invariants (used by tests and on
@@ -311,6 +376,62 @@ mod tests {
             assert_eq!(r * t, p);
             let l = layout(6.0, 7.0, r, t);
             l.validate();
+        }
+    }
+
+    #[test]
+    fn index_maps_match_layout_arithmetic() {
+        for (r, t) in [(4, 1), (2, 3), (3, 2), (1, 4)] {
+            let l = layout(8.0, 8.0, r, t);
+            for g in 0..l.r {
+                let maps = l.index_maps(g);
+                // Member offsets partition the group's coefficient stream.
+                assert_eq!(maps.member_offsets.len(), l.t + 1);
+                assert_eq!(maps.member_offsets[0], 0);
+                assert_eq!(*maps.member_offsets.last().unwrap(), l.ngw_group(g));
+                assert_eq!(maps.deposit.len(), l.ngw_group(g));
+                for j in 0..l.t {
+                    assert_eq!(
+                        maps.member_offsets[j + 1] - maps.member_offsets[j],
+                        l.ngw_rank(g * l.t + j),
+                        "member {j} slice length"
+                    );
+                }
+                // The deposit table reproduces the per-member wrapped-z walk.
+                let nr3 = l.grid.nr3;
+                let mut n = 0;
+                for j in 0..l.t {
+                    let stick_base = l.group_stick_offset(g, j);
+                    for (si, &s) in l.dist.per_rank[g * l.t + j].iter().enumerate() {
+                        for &iz in &l.set.sticks[s].iz {
+                            assert_eq!(
+                                maps.deposit[n] as usize,
+                                (stick_base + si) * nr3 + iz
+                            );
+                            n += 1;
+                        }
+                    }
+                }
+                // Every target is unique and in bounds (deposit is a
+                // permutation into the sphere part of the z buffer).
+                let mut seen = vec![false; l.nst_group(g) * nr3];
+                for &d in &maps.deposit {
+                    assert!(!seen[d as usize], "duplicate deposit target");
+                    seen[d as usize] = true;
+                }
+                // Plane columns match the sticks' xy coordinates.
+                assert_eq!(maps.plane_cols.len(), l.r);
+                for gp in 0..l.r {
+                    assert_eq!(maps.plane_cols[gp].len(), l.nst_group(gp));
+                    for (si, &s) in l.group_sticks[gp].iter().enumerate() {
+                        let stick = &l.set.sticks[s];
+                        assert_eq!(
+                            maps.plane_cols[gp][si] as usize,
+                            stick.iy * l.grid.nr1 + stick.ix
+                        );
+                    }
+                }
+            }
         }
     }
 

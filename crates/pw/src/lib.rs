@@ -23,7 +23,7 @@ pub use cell::{Cell, DUAL};
 pub use gamma::{apply_vloc_gamma, GammaBand, HalfSphere};
 pub use grid::FftGrid;
 pub use gvec::{GSphere, GVector};
-pub use layout::{factorise_rt, TaskGroupLayout};
+pub use layout::{factorise_rt, GroupIndexMaps, TaskGroupLayout};
 pub use potential::{apply_potential, apply_potential_slab, generate_potential};
 pub use reference::{apply_vloc, apply_vloc_band, coeffs_to_grid, grid_to_coeffs};
 pub use sticks::{Stick, StickDist, StickSet};

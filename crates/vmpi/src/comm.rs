@@ -598,6 +598,42 @@ impl Communicator {
         send: &[T],
         tag: u32,
     ) -> Result<Vec<T>, VmpiError> {
+        let mut recv = Vec::new();
+        self.try_alltoall_into(send, &mut recv, tag)?;
+        Ok(recv)
+    }
+
+    /// Zero-copy [`Communicator::alltoall`]: the received buffer lands in
+    /// caller-owned `recv` (any previous contents replaced).
+    ///
+    /// # Panics
+    /// On timeout / world abort; [`Communicator::try_alltoall_into`] is the
+    /// non-panicking variant.
+    pub fn alltoall_into<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        recv: &mut Vec<T>,
+        tag: u32,
+    ) {
+        self.try_alltoall_into(send, recv, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Communicator::alltoall`], but writing the result into
+    /// caller-owned `recv` instead of returning a fresh buffer.
+    ///
+    /// The transport stages exactly one owned copy of `send` (standing in
+    /// for the NIC/MPI-internal send buffer — contributions must outlive
+    /// the caller under timeouts and split-phase waits); the completer then
+    /// transposes the staged buffers **in place** and hands each rank its
+    /// own staging buffer back as the receive storage, so the collective
+    /// itself allocates nothing beyond that one staging copy.
+    pub fn try_alltoall_into<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        recv: &mut Vec<T>,
+        tag: u32,
+    ) -> Result<(), VmpiError> {
         let size = self.size();
         assert!(
             send.len().is_multiple_of(size),
@@ -612,64 +648,123 @@ impl Communicator {
             CollKind::Alltoall,
             tag,
             send.to_vec(),
-            move |contribs: Vec<Vec<T>>| {
-                (0..size)
-                    .map(|i| {
-                        let mut recv = Vec::with_capacity(size * count);
-                        for contrib in contribs.iter() {
-                            recv.extend_from_slice(&contrib[i * count..(i + 1) * count]);
-                        }
-                        recv
-                    })
-                    .collect()
+            move |mut contribs: Vec<Vec<T>>| {
+                transpose_chunks(&mut contribs, count);
+                contribs
             },
         )?;
+        *recv = out;
         let t1 = self.now();
         self.record(CommOp::Alltoall, bytes, t0, t1);
-        Ok(out)
+        Ok(())
     }
 
     /// `MPI_Alltoallv`: `send[j]` is the (arbitrary-length) slice for rank
     /// `j`; the result's entry `j` is what rank `j` sent to the caller.
-    pub fn alltoallv<T: Clone + Send + 'static>(&self, send: Vec<Vec<T>>, tag: u32) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Clone + Send + Sync + 'static>(
+        &self,
+        send: Vec<Vec<T>>,
+        tag: u32,
+    ) -> Vec<Vec<T>> {
         self.try_alltoallv(send, tag)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`Communicator::alltoallv`], surfacing timeouts and world
-    /// aborts as [`VmpiError`] values.
-    pub fn try_alltoallv<T: Clone + Send + 'static>(
+    /// aborts as [`VmpiError`] values. Thin wrapper over
+    /// [`Communicator::try_alltoallv_into`] (flatten, exchange, split).
+    pub fn try_alltoallv<T: Clone + Send + Sync + 'static>(
         &self,
         send: Vec<Vec<T>>,
         tag: u32,
     ) -> Result<Vec<Vec<T>>, VmpiError> {
         let size = self.size();
         assert_eq!(send.len(), size, "alltoallv: need one slice per rank");
+        let send_counts: Vec<usize> = send.iter().map(|v| v.len()).collect();
+        let flat: Vec<T> = send.into_iter().flatten().collect();
+        let mut recv = Vec::new();
+        let mut recv_counts = Vec::new();
+        self.try_alltoallv_into(&flat, &send_counts, &mut recv, &mut recv_counts, tag)?;
+        let mut out = Vec::with_capacity(size);
+        let mut off = 0;
+        for &c in &recv_counts {
+            out.push(recv[off..off + c].to_vec());
+            off += c;
+        }
+        Ok(out)
+    }
+
+    /// Zero-copy [`Communicator::alltoallv`] (see
+    /// [`Communicator::try_alltoallv_into`]).
+    ///
+    /// # Panics
+    /// On timeout / world abort.
+    pub fn alltoallv_into<T: Clone + Send + Sync + 'static>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv: &mut Vec<T>,
+        recv_counts: &mut Vec<usize>,
+        tag: u32,
+    ) {
+        self.try_alltoallv_into(send, send_counts, recv, recv_counts, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Flat-buffer `MPI_Alltoallv`: `send` holds the segment for rank `j`
+    /// at offset `send_counts[..j].sum()` with length `send_counts[j]`;
+    /// after the exchange `recv` holds rank `j`'s segment for this rank at
+    /// offset `recv_counts[..j].sum()` (both caller-owned buffers are
+    /// cleared and refilled, reusing their capacity).
+    ///
+    /// The transport stages one owned copy of `(send, send_counts)`; the
+    /// completer shares the staged contributions among all participants
+    /// without copying or reshaping them (one `Arc` per collective), and
+    /// each rank gathers its own segments straight into `recv` at pickup —
+    /// no per-rank result buffers are ever built.
+    pub fn try_alltoallv_into<T: Clone + Send + Sync + 'static>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv: &mut Vec<T>,
+        recv_counts: &mut Vec<usize>,
+        tag: u32,
+    ) -> Result<(), VmpiError> {
+        let size = self.size();
+        assert_eq!(
+            send_counts.len(),
+            size,
+            "alltoallv: need one count per rank"
+        );
+        assert_eq!(
+            send.len(),
+            send_counts.iter().sum::<usize>(),
+            "alltoallv: send length does not match counts"
+        );
         let t0 = self.now();
-        let bytes: usize = send
-            .iter()
-            .map(|v| std::mem::size_of::<T>() * v.len())
-            .sum();
-        let out = self.try_collective(
+        let bytes = std::mem::size_of_val(send);
+        let all: Arc<Vec<(Vec<T>, Vec<usize>)>> = self.try_collective(
             CollKind::Alltoallv,
             tag,
-            send,
-            move |mut contribs: Vec<Vec<Vec<T>>>| {
-                let mut results: Vec<Vec<Vec<T>>> = (0..size).map(|_| Vec::new()).collect();
-                // contribs[j][i] is what rank j sends to rank i; result[i][j]
-                // is what rank i receives from rank j.
-                for (i, result) in results.iter_mut().enumerate() {
-                    result.reserve(size);
-                    for contrib in contribs.iter_mut() {
-                        result.push(std::mem::take(&mut contrib[i]));
-                    }
-                }
-                results
+            (send.to_vec(), send_counts.to_vec()),
+            move |contribs: Vec<(Vec<T>, Vec<usize>)>| {
+                let shared = Arc::new(contribs);
+                (0..size).map(|_| Arc::clone(&shared)).collect()
             },
         )?;
+        recv.clear();
+        recv_counts.clear();
+        let me = self.index;
+        for (flat, counts) in all.iter() {
+            assert_eq!(counts.len(), size, "alltoallv: peer count-vector size");
+            let offset: usize = counts[..me].iter().sum();
+            let len = counts[me];
+            recv.extend_from_slice(&flat[offset..offset + len]);
+            recv_counts.push(len);
+        }
         let t1 = self.now();
         self.record(CommOp::Alltoallv, bytes, t0, t1);
-        Ok(out)
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -741,16 +836,9 @@ impl Communicator {
             CollKind::Alltoall,
             tag,
             send.to_vec(),
-            move |contribs: Vec<Vec<T>>| {
-                (0..size)
-                    .map(|i| {
-                        let mut recv = Vec::with_capacity(size * count);
-                        for contrib in contribs.iter() {
-                            recv.extend_from_slice(&contrib[i * count..(i + 1) * count]);
-                        }
-                        recv
-                    })
-                    .collect()
+            move |mut contribs: Vec<Vec<T>>| {
+                transpose_chunks(&mut contribs, count);
+                contribs
             },
         );
         AlltoallRequest {
@@ -831,6 +919,20 @@ impl Communicator {
             ranks: Arc::clone(&self.ranks),
             index: self.index,
             seq: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+/// In-place block transpose of an alltoall's staged send buffers: after the
+/// call, `contribs[i]` chunk `j` holds what rank `j` sent to rank `i`, so
+/// each rank's own staging buffer doubles as its receive buffer — the
+/// completer allocates nothing.
+fn transpose_chunks<T>(contribs: &mut [Vec<T>], count: usize) {
+    for i in 0..contribs.len() {
+        for j in (i + 1)..contribs.len() {
+            let (a, b) = contribs.split_at_mut(j);
+            a[i][j * count..(j + 1) * count]
+                .swap_with_slice(&mut b[0][i * count..(i + 1) * count]);
         }
     }
 }
@@ -1053,5 +1155,18 @@ impl<T: Clone + Send + 'static> AlltoallRequest<T> {
         let t1 = comm.now();
         comm.record(CommOp::Alltoall, bytes, t0, t1);
         Ok(out)
+    }
+
+    /// [`AlltoallRequest::try_wait`] into a caller-owned buffer (previous
+    /// contents replaced) — the arena-path variant.
+    pub fn try_wait_into(self, recv: &mut Vec<T>) -> Result<(), VmpiError> {
+        *recv = self.try_wait()?;
+        Ok(())
+    }
+
+    /// [`AlltoallRequest::wait`] into a caller-owned buffer (previous
+    /// contents replaced), panicking on transport errors.
+    pub fn wait_into(self, recv: &mut Vec<T>) {
+        self.try_wait_into(recv).unwrap_or_else(|e| panic!("{e}"))
     }
 }

@@ -113,6 +113,113 @@ fn alltoallv_with_ragged_counts() {
 }
 
 #[test]
+fn alltoall_into_reuses_caller_buffer_across_rounds() {
+    let n = 4;
+    let count = 2;
+    let out = world(n).run(|comm| {
+        let me = comm.rank();
+        let mut recv = Vec::new();
+        let mut all = Vec::new();
+        for round in 0..3u64 {
+            let send: Vec<u64> = (0..n * count)
+                .map(|i| round * 1000 + (me * 100 + (i / count) * 10 + i % count) as u64)
+                .collect();
+            comm.alltoall_into(&send, &mut recv, 0);
+            all.push(recv.clone());
+        }
+        all
+    });
+    for (me, rounds) in out.into_iter().enumerate() {
+        for (round, recv) in rounds.into_iter().enumerate() {
+            for j in 0..n {
+                for k in 0..count {
+                    assert_eq!(
+                        recv[j * count + k],
+                        round as u64 * 1000 + (j * 100 + me * 10 + k) as u64
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_into_matches_owning_api() {
+    let n = 3;
+    let out = world(n).run(|comm| {
+        let me = comm.rank();
+        let send: Vec<u32> = (0..n * 2).map(|i| (me * 10 + i) as u32).collect();
+        let owned = comm.alltoall(&send, 0);
+        let mut recv = Vec::new();
+        comm.alltoall_into(&send, &mut recv, 1);
+        (owned, recv)
+    });
+    for (owned, recv) in out {
+        assert_eq!(owned, recv);
+    }
+}
+
+#[test]
+fn alltoallv_into_flat_segments_match_nested_api() {
+    let n = 3;
+    let out = world(n).run(|comm| {
+        let me = comm.rank();
+        let nested: Vec<Vec<u32>> = (0..n)
+            .map(|dst| vec![(me * 10 + dst) as u32; dst + 1])
+            .collect();
+        let counts: Vec<usize> = nested.iter().map(|v| v.len()).collect();
+        let flat: Vec<u32> = nested.iter().flatten().copied().collect();
+        let owned = comm.alltoallv(nested, 0);
+        let mut recv = Vec::new();
+        let mut recv_counts = Vec::new();
+        comm.alltoallv_into(&flat, &counts, &mut recv, &mut recv_counts, 1);
+        (owned, recv, recv_counts)
+    });
+    for (owned, recv, recv_counts) in out {
+        let flat_owned: Vec<u32> = owned.iter().flatten().copied().collect();
+        let owned_counts: Vec<usize> = owned.iter().map(|v| v.len()).collect();
+        assert_eq!(flat_owned, recv);
+        assert_eq!(owned_counts, recv_counts);
+    }
+}
+
+#[test]
+fn alltoallv_into_reuses_buffers_with_changing_counts() {
+    // Counts differ per round; recv/recv_counts are refilled correctly.
+    let n = 2;
+    let out = world(n).run(|comm| {
+        let me = comm.rank();
+        let mut recv = Vec::new();
+        let mut recv_counts = Vec::new();
+        let mut all = Vec::new();
+        for round in 1..4usize {
+            let counts = vec![round, round * 2];
+            let flat: Vec<u64> = (0..counts.iter().sum())
+                .map(|i| (me * 1000 + round * 100 + i) as u64)
+                .collect();
+            comm.alltoallv_into(&flat, &counts, &mut recv, &mut recv_counts, 0);
+            all.push((recv.clone(), recv_counts.clone()));
+        }
+        all
+    });
+    for (me, rounds) in out.into_iter().enumerate() {
+        for (ri, (recv, recv_counts)) in rounds.into_iter().enumerate() {
+            let round = ri + 1;
+            // Peer j sent us segment `me` of its counts [round, 2*round].
+            assert_eq!(recv_counts, vec![round * (me + 1); n]);
+            let mut off = 0;
+            for (j, &cnt) in recv_counts.iter().enumerate().take(n) {
+                let peer_off = (0..me).map(|d| round * (d + 1)).sum::<usize>();
+                for k in 0..cnt {
+                    assert_eq!(recv[off + k], (j * 1000 + round * 100 + peer_off + k) as u64);
+                }
+                off += cnt;
+            }
+        }
+    }
+}
+
+#[test]
 fn send_recv_point_to_point() {
     let out = world(2).run(|comm| {
         if comm.rank() == 0 {

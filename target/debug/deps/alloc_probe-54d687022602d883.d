@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/alloc_probe-54d687022602d883.d: crates/core/tests/alloc_probe.rs
+
+/root/repo/target/debug/deps/alloc_probe-54d687022602d883: crates/core/tests/alloc_probe.rs
+
+crates/core/tests/alloc_probe.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/alloc_probe-fa30ba0c0a26d385.d: crates/core/tests/alloc_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_probe-fa30ba0c0a26d385.rmeta: crates/core/tests/alloc_probe.rs Cargo.toml
+
+crates/core/tests/alloc_probe.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

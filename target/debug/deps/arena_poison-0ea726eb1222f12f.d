@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arena_poison-0ea726eb1222f12f.d: crates/core/tests/arena_poison.rs
+
+/root/repo/target/debug/deps/arena_poison-0ea726eb1222f12f: crates/core/tests/arena_poison.rs
+
+crates/core/tests/arena_poison.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

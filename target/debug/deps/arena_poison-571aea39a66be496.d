@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/arena_poison-571aea39a66be496.d: crates/core/tests/arena_poison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarena_poison-571aea39a66be496.rmeta: crates/core/tests/arena_poison.rs Cargo.toml
+
+crates/core/tests/arena_poison.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

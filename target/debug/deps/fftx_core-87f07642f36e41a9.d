@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/fftx_core-87f07642f36e41a9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+/root/repo/target/debug/deps/fftx_core-87f07642f36e41a9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/plan.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
 
-/root/repo/target/debug/deps/fftx_core-87f07642f36e41a9: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+/root/repo/target/debug/deps/fftx_core-87f07642f36e41a9: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/plan.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/modelplan.rs:
 crates/core/src/original.rs:
+crates/core/src/plan.rs:
 crates/core/src/problem.rs:
 crates/core/src/recorder.rs:
 crates/core/src/recovery.rs:

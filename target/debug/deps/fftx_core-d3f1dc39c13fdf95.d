@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/fftx_core-d3f1dc39c13fdf95.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+/root/repo/target/debug/deps/fftx_core-d3f1dc39c13fdf95.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/plan.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
 
-/root/repo/target/debug/deps/libfftx_core-d3f1dc39c13fdf95.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+/root/repo/target/debug/deps/libfftx_core-d3f1dc39c13fdf95.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/plan.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
 
-/root/repo/target/debug/deps/libfftx_core-d3f1dc39c13fdf95.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+/root/repo/target/debug/deps/libfftx_core-d3f1dc39c13fdf95.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/plan.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/modelplan.rs:
 crates/core/src/original.rs:
+crates/core/src/plan.rs:
 crates/core/src/problem.rs:
 crates/core/src/recorder.rs:
 crates/core/src/recovery.rs:

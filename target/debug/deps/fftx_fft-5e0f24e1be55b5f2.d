@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/fftx_fft-5e0f24e1be55b5f2.d: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
+/root/repo/target/debug/deps/fftx_fft-5e0f24e1be55b5f2.d: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
 
-/root/repo/target/debug/deps/libfftx_fft-5e0f24e1be55b5f2.rlib: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
+/root/repo/target/debug/deps/libfftx_fft-5e0f24e1be55b5f2.rlib: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
 
-/root/repo/target/debug/deps/libfftx_fft-5e0f24e1be55b5f2.rmeta: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
+/root/repo/target/debug/deps/libfftx_fft-5e0f24e1be55b5f2.rmeta: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
 
 crates/fft/src/lib.rs:
 crates/fft/src/batch.rs:
 crates/fft/src/bluestein.rs:
+crates/fft/src/cache.rs:
 crates/fft/src/complex.rs:
 crates/fft/src/dft.rs:
 crates/fft/src/fft1d.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/fftx_fft-6988482d0cad8e63.d: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
+/root/repo/target/debug/deps/fftx_fft-6988482d0cad8e63.d: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
 
-/root/repo/target/debug/deps/fftx_fft-6988482d0cad8e63: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
+/root/repo/target/debug/deps/fftx_fft-6988482d0cad8e63: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
 
 crates/fft/src/lib.rs:
 crates/fft/src/batch.rs:
 crates/fft/src/bluestein.rs:
+crates/fft/src/cache.rs:
 crates/fft/src/complex.rs:
 crates/fft/src/dft.rs:
 crates/fft/src/fft1d.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/fftx_fft-70c57d434c74fa09.d: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs Cargo.toml
+/root/repo/target/debug/deps/fftx_fft-70c57d434c74fa09.d: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfftx_fft-70c57d434c74fa09.rmeta: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs Cargo.toml
+/root/repo/target/debug/deps/libfftx_fft-70c57d434c74fa09.rmeta: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs Cargo.toml
 
 crates/fft/src/lib.rs:
 crates/fft/src/batch.rs:
 crates/fft/src/bluestein.rs:
+crates/fft/src/cache.rs:
 crates/fft/src/complex.rs:
 crates/fft/src/dft.rs:
 crates/fft/src/fft1d.rs:

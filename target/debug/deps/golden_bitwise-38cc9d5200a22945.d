@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_bitwise-38cc9d5200a22945.d: crates/core/tests/golden_bitwise.rs
+
+/root/repo/target/debug/deps/golden_bitwise-38cc9d5200a22945: crates/core/tests/golden_bitwise.rs
+
+crates/core/tests/golden_bitwise.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

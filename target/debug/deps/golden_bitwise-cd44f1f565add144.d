@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_bitwise-cd44f1f565add144.d: crates/core/tests/golden_bitwise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_bitwise-cd44f1f565add144.rmeta: crates/core/tests/golden_bitwise.rs Cargo.toml
+
+crates/core/tests/golden_bitwise.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

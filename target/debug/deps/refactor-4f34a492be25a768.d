@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/refactor-4f34a492be25a768.d: crates/bench/src/bin/refactor.rs Cargo.toml
+
+/root/repo/target/debug/deps/librefactor-4f34a492be25a768.rmeta: crates/bench/src/bin/refactor.rs Cargo.toml
+
+crates/bench/src/bin/refactor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

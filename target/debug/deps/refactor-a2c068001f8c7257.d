@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/refactor-a2c068001f8c7257.d: crates/bench/src/bin/refactor.rs
+
+/root/repo/target/debug/deps/refactor-a2c068001f8c7257: crates/bench/src/bin/refactor.rs
+
+crates/bench/src/bin/refactor.rs:

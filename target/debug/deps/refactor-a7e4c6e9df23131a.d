@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/refactor-a7e4c6e9df23131a.d: crates/bench/src/bin/refactor.rs Cargo.toml
+
+/root/repo/target/debug/deps/librefactor-a7e4c6e9df23131a.rmeta: crates/bench/src/bin/refactor.rs Cargo.toml
+
+crates/bench/src/bin/refactor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

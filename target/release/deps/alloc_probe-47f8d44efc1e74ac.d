@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/alloc_probe-47f8d44efc1e74ac.d: crates/core/tests/alloc_probe.rs
+
+/root/repo/target/release/deps/alloc_probe-47f8d44efc1e74ac: crates/core/tests/alloc_probe.rs
+
+crates/core/tests/alloc_probe.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collectives-eed83916b6d81f99.d: crates/vmpi/tests/collectives.rs
+
+/root/repo/target/release/deps/collectives-eed83916b6d81f99: crates/vmpi/tests/collectives.rs
+
+crates/vmpi/tests/collectives.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/fftx_core-4e46190d9b265f5a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+/root/repo/target/release/deps/fftx_core-4e46190d9b265f5a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/plan.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
 
-/root/repo/target/release/deps/libfftx_core-4e46190d9b265f5a.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+/root/repo/target/release/deps/libfftx_core-4e46190d9b265f5a.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/plan.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
 
-/root/repo/target/release/deps/libfftx_core-4e46190d9b265f5a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
+/root/repo/target/release/deps/libfftx_core-4e46190d9b265f5a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/modelplan.rs crates/core/src/original.rs crates/core/src/plan.rs crates/core/src/problem.rs crates/core/src/recorder.rs crates/core/src/recovery.rs crates/core/src/steps.rs crates/core/src/taskmodes.rs
 
 crates/core/src/lib.rs:
 crates/core/src/config.rs:
 crates/core/src/modelplan.rs:
 crates/core/src/original.rs:
+crates/core/src/plan.rs:
 crates/core/src/problem.rs:
 crates/core/src/recorder.rs:
 crates/core/src/recovery.rs:

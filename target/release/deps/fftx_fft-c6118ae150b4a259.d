@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/fftx_fft-c6118ae150b4a259.d: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
+/root/repo/target/release/deps/fftx_fft-c6118ae150b4a259.d: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
 
-/root/repo/target/release/deps/libfftx_fft-c6118ae150b4a259.rlib: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
+/root/repo/target/release/deps/libfftx_fft-c6118ae150b4a259.rlib: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
 
-/root/repo/target/release/deps/libfftx_fft-c6118ae150b4a259.rmeta: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
+/root/repo/target/release/deps/libfftx_fft-c6118ae150b4a259.rmeta: crates/fft/src/lib.rs crates/fft/src/batch.rs crates/fft/src/bluestein.rs crates/fft/src/cache.rs crates/fft/src/complex.rs crates/fft/src/dft.rs crates/fft/src/fft1d.rs crates/fft/src/fft3d.rs crates/fft/src/kernel.rs crates/fft/src/opcount.rs crates/fft/src/planner.rs
 
 crates/fft/src/lib.rs:
 crates/fft/src/batch.rs:
 crates/fft/src/bluestein.rs:
+crates/fft/src/cache.rs:
 crates/fft/src/complex.rs:
 crates/fft/src/dft.rs:
 crates/fft/src/fft1d.rs:

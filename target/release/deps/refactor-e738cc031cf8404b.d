@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/refactor-e738cc031cf8404b.d: crates/bench/src/bin/refactor.rs
+
+/root/repo/target/release/deps/refactor-e738cc031cf8404b: crates/bench/src/bin/refactor.rs
+
+crates/bench/src/bin/refactor.rs:
