@@ -19,6 +19,11 @@ pub enum Mode {
     /// runtime automatically overlaps the transfer with other bands'
     /// compute (cf. Marjanović et al., hybrid MPI/SMPSs).
     TaskAsync,
+    /// The combination the paper's conclusion calls for: per-band fused
+    /// tasks (strategy 2's de-synchronisation) whose internal pipeline is
+    /// cut at split-phase collectives (strategy 1's overlap) — three
+    /// chained tasks per band.
+    Hybrid,
 }
 
 impl Mode {
@@ -29,6 +34,7 @@ impl Mode {
             Mode::TaskPerStep => "ompss-steps",
             Mode::TaskPerFft => "ompss-ffts",
             Mode::TaskAsync => "ompss-async",
+            Mode::Hybrid => "ompss-hybrid",
         }
     }
 }
@@ -87,7 +93,7 @@ impl FftxConfig {
     pub fn vmpi_ranks(&self) -> usize {
         match self.mode {
             Mode::Original => self.nr * self.ntg,
-            Mode::TaskPerStep | Mode::TaskPerFft | Mode::TaskAsync => self.nr,
+            Mode::TaskPerStep | Mode::TaskPerFft | Mode::TaskAsync | Mode::Hybrid => self.nr,
         }
     }
 
@@ -101,7 +107,7 @@ impl FftxConfig {
     pub fn layout_ntg(&self) -> usize {
         match self.mode {
             Mode::Original => self.ntg,
-            Mode::TaskPerStep | Mode::TaskPerFft | Mode::TaskAsync => 1,
+            Mode::TaskPerStep | Mode::TaskPerFft | Mode::TaskAsync | Mode::Hybrid => 1,
         }
     }
 
@@ -170,6 +176,7 @@ mod tests {
             Mode::TaskPerStep,
             Mode::TaskPerFft,
             Mode::TaskAsync,
+            Mode::Hybrid,
         ] {
             FftxConfig::small(2, 2, mode).validate();
         }
@@ -189,5 +196,6 @@ mod tests {
         assert_eq!(Mode::TaskPerStep.name(), "ompss-steps");
         assert_eq!(Mode::TaskPerFft.name(), "ompss-ffts");
         assert_eq!(Mode::TaskAsync.name(), "ompss-async");
+        assert_eq!(Mode::Hybrid.name(), "ompss-hybrid");
     }
 }

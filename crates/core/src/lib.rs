@@ -2,11 +2,15 @@
 //!
 //! The FFTXlib miniapp itself: the distributed FFT kernel of Quantum
 //! ESPRESSO that applies a real-space-diagonal operator to plane-wave
-//! wavefunctions, in the three variants the paper studies:
+//! wavefunctions, in the variants the paper studies:
 //!
-//! * [`original`] — the static two-layer MPI code with FFT task groups;
-//! * [`taskmodes`] — the two OmpSs optimisation strategies (task-per-step
-//!   with flow dependencies, task-per-FFT with independent tasks);
+//! * [`stages`] — the unified stage-graph execution core: the per-band
+//!   pipeline as a typed task graph, executed by pluggable scheduler
+//!   policies (serial, task-per-step, task-per-FFT, split-phase async, and
+//!   the hybrid overlap+desync policy of the paper's conclusion);
+//! * [`original`] / [`taskmodes`] — the historical entry points for the
+//!   static MPI code and the OmpSs strategies, now thin wrappers over
+//!   [`stages`];
 //! * [`modelplan`] — lowering of the same kernel onto the KNL discrete-event
 //!   simulator for the paper's node-scale experiments.
 //!
@@ -22,6 +26,7 @@ pub mod plan;
 pub mod problem;
 pub mod recorder;
 pub mod recovery;
+pub mod stages;
 pub mod steps;
 pub mod taskmodes;
 
@@ -33,5 +38,9 @@ pub use problem::Problem;
 pub use modelplan::{
     build_programs, run_modeled, run_modeled_with, simulate_config, simulate_config_faulty,
     ModeledRun,
+};
+pub use stages::{
+    run_policy, run_policy_chaotic, SchedulerPolicy, StageKind, StagePlan, StageRunner,
+    BAND_PIPELINE,
 };
 pub use taskmodes::{run, run_chaotic};

@@ -16,26 +16,28 @@
 //! unpack  : Alltoallv back (band k*T+i -> band shares)
 //! ```
 //!
-//! Every data-movement step runs through the precomputed tables of
-//! [`ExecPlan`] into the rank's [`BufferArena`]; after the first iteration
-//! warms the arena, the engine side of the loop performs no heap
-//! allocation (DESIGN.md §12).
+//! Since the stage-graph refactor (DESIGN.md §13) the pipeline itself lives
+//! in [`crate::stages`]: this kernel is the [`SchedulerPolicy::Serial`]
+//! scheduling of the shared stage graph, looping
+//! [`crate::stages::StageRunner::band_batch`] over the rank's
+//! [`crate::plan::BufferArena`]. After the first iteration warms the arena,
+//! the engine side of the loop performs no heap allocation (DESIGN.md §12).
+//! This module keeps the run output/flop-estimate types and the original
+//! entry points.
 
-use crate::plan::{BufferArena, ExecPlan};
 use crate::problem::Problem;
-use crate::recorder::Recorder;
+use crate::stages::{run_policy_chaotic, SchedulerPolicy};
 use fftx_fft::opcount;
-use fftx_fft::{cft_1z, cft_2xy_buf, Complex64, Direction};
-use fftx_pw::{apply_potential_slab, assemble_shares, TaskGroupLayout};
-use fftx_trace::{StateClass, Trace, TraceSink};
-use fftx_vmpi::{Communicator, VmpiError, World};
+use fftx_fft::Complex64;
+use fftx_pw::{assemble_shares, TaskGroupLayout};
+use fftx_trace::{Trace, TraceSink};
 use std::sync::Arc;
 
 /// Result of a real execution.
 pub struct RunOutput {
     /// Updated bands, reassembled into canonical order.
     pub bands: Vec<Vec<Complex64>>,
-    /// The recorded trace (compute bursts, MPI calls, tasks).
+    /// The recorded trace (compute bursts, MPI calls, tasks, stage spans).
     pub trace: Trace,
     /// FFT-phase wall time: max over ranks of the barrier-to-barrier span.
     pub fft_phase_s: f64,
@@ -83,152 +85,6 @@ impl StepFlops {
     }
 }
 
-/// The body of one iteration *after* the pack deposit and *before* the
-/// unpack extraction: z-FFT, scatter, xy-FFT, VOFR and the way back.
-/// Shared verbatim by all three execution modes. `tag` keeps concurrent
-/// scatters of different bands apart.
-pub fn transform_core(
-    plan: &ExecPlan,
-    v: &[f64],
-    scatter_comm: &Communicator,
-    tag: u32,
-    arena: &mut BufferArena,
-    flops: &StepFlops,
-    rec: &Recorder,
-) {
-    try_transform_core(plan, v, scatter_comm, tag, arena, flops, rec)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// [`transform_core`] surfacing collective timeouts and world aborts as
-/// [`VmpiError`] values instead of panicking — the fallible building block
-/// of the recovery engine (which replays batches and runs re-planned
-/// layouts the problem doesn't know about, through plans built with
-/// [`ExecPlan::for_layout`]).
-pub fn try_transform_core(
-    plan: &ExecPlan,
-    v: &[f64],
-    scatter_comm: &Communicator,
-    tag: u32,
-    arena: &mut BufferArena,
-    flops: &StepFlops,
-    rec: &Recorder,
-) -> Result<(), VmpiError> {
-    // Inverse FFT along z (G -> r on the stick columns).
-    rec.compute(StateClass::FftZ, flops.fft_z, || {
-        cft_1z(
-            &plan.z,
-            &mut arena.zbuf,
-            plan.nst,
-            plan.grid.nr3,
-            Direction::Inverse,
-            &mut arena.scratch,
-        );
-    });
-
-    // Forward scatter: sticks -> planes.
-    rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
-        plan.scatter_pack(&arena.zbuf, &mut arena.scatter_send);
-    });
-    scatter_comm.try_alltoall_into(&arena.scatter_send, &mut arena.scatter_recv, tag)?;
-    rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
-        plan.scatter_unpack_to_planes(&arena.scatter_recv, &mut arena.planes);
-    });
-
-    // Inverse FFT in the xy planes.
-    rec.compute(StateClass::FftXy, flops.fft_xy, || {
-        cft_2xy_buf(
-            &plan.x,
-            &plan.y,
-            &mut arena.planes,
-            plan.npp,
-            plan.grid.nr1,
-            plan.grid.nr2,
-            Direction::Inverse,
-            &mut arena.scratch,
-            &mut arena.col,
-        );
-    });
-
-    // VOFR: apply the local potential on the owned slab.
-    rec.compute(StateClass::Vofr, flops.vofr, || {
-        apply_potential_slab(&mut arena.planes, v, &plan.grid, plan.z0, plan.npp);
-    });
-
-    // Forward FFT in the xy planes.
-    rec.compute(StateClass::FftXy, flops.fft_xy, || {
-        cft_2xy_buf(
-            &plan.x,
-            &plan.y,
-            &mut arena.planes,
-            plan.npp,
-            plan.grid.nr1,
-            plan.grid.nr2,
-            Direction::Forward,
-            &mut arena.scratch,
-            &mut arena.col,
-        );
-    });
-
-    // Backward scatter: planes -> sticks.
-    rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
-        plan.planes_to_scatter(&arena.planes, &mut arena.scatter_send);
-    });
-    scatter_comm.try_alltoall_into(&arena.scatter_send, &mut arena.scatter_recv, tag)?;
-    rec.compute(StateClass::Other, flops.scatter_copy / 2.0, || {
-        plan.zbuf_from_scatter(&arena.scatter_recv, &mut arena.zbuf);
-    });
-
-    // Forward FFT along z.
-    rec.compute(StateClass::FftZ, flops.fft_z, || {
-        cft_1z(
-            &plan.z,
-            &mut arena.zbuf,
-            plan.nst,
-            plan.grid.nr3,
-            Direction::Forward,
-            &mut arena.scratch,
-        );
-    });
-    Ok(())
-}
-
-/// Stages the pack send: the T band shares of iteration base `base`,
-/// flattened member-major into `sharebuf` with per-member `counts`.
-pub(crate) fn stage_pack_sends(
-    shares: &[Vec<Complex64>],
-    base: usize,
-    t: usize,
-    sharebuf: &mut Vec<Complex64>,
-    counts: &mut Vec<usize>,
-) {
-    sharebuf.clear();
-    counts.clear();
-    for j in 0..t {
-        let s = &shares[base + j];
-        sharebuf.extend_from_slice(s);
-        counts.push(s.len());
-    }
-}
-
-/// Scatters the flat unpack receive back into the band shares (member `j`
-/// returned this rank's share of band `base + j`), reusing each share's
-/// capacity.
-pub(crate) fn unstage_unpack_recv(
-    shares: &mut [Vec<Complex64>],
-    base: usize,
-    sharebuf: &[Complex64],
-    recv_counts: &[usize],
-) {
-    let mut off = 0;
-    for (j, &n) in recv_counts.iter().enumerate() {
-        let dst = &mut shares[base + j];
-        dst.clear();
-        dst.extend_from_slice(&sharebuf[off..off + n]);
-        off += n;
-    }
-}
-
 /// Runs the original static kernel on R×T virtual MPI ranks and returns the
 /// reassembled bands, trace and FFT-phase time.
 pub fn run_original(problem: &Arc<Problem>) -> RunOutput {
@@ -244,86 +100,7 @@ pub fn run_original_chaotic(
     problem: &Arc<Problem>,
     chaos: Option<fftx_vmpi::ChaosConfig>,
 ) -> (RunOutput, Option<fftx_vmpi::FaultReport>) {
-    let cfg = problem.config;
-    assert!(
-        matches!(cfg.mode, crate::config::Mode::Original),
-        "run_original: config mode mismatch"
-    );
-    let p = cfg.vmpi_ranks();
-    let sink = TraceSink::new();
-    let mut world = World::new(p).with_trace(sink.clone());
-    if let Some(c) = chaos {
-        world = world.with_chaos(c);
-    }
-    let results = world.run(|comm| rank_original(problem, comm));
-    let report = world.fault_report();
-    (finish_run(problem, sink, results), report)
-}
-
-/// Per-rank body of the original kernel: plan once, then an allocation-free
-/// steady-state loop through the arena.
-fn rank_original(problem: &Problem, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
-    let cfg = problem.config;
-    let l = &problem.layout;
-    let w = comm.rank();
-    let g = l.task_group_of(w);
-    let i = l.member_of(w);
-    let t = l.t;
-
-    let pack_comm = comm.split(g as u64, i);
-    let scatter_comm = comm.split(i as u64, g);
-    let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
-    let plan = problem.exec_plan(g);
-    let flops = StepFlops::for_group(problem, g);
-    let mut shares = problem.initial_shares(w);
-    let mut arena = BufferArena::new();
-
-    comm.barrier();
-    let t_start = comm.now();
-    for k in 0..cfg.iterations() {
-        // PsiPrep: clear the work buffers. The z buffer must be zero off
-        // the sphere entries before the deposit; the plane slab must be
-        // zero at non-stick xy positions before the forward scatter, or
-        // stale values from the previous band group leak in.
-        rec.compute(StateClass::PsiPrep, flops.prep, || {
-            plan.prep(&mut arena.zbuf, &mut arena.planes);
-        });
-
-        // Pack: every member contributes its share of each of the T bands.
-        rec.compute(StateClass::Pack, flops.pack / 2.0, || {
-            stage_pack_sends(&shares, k * t, t, &mut arena.sharebuf, &mut arena.counts);
-        });
-        pack_comm.alltoallv_into(
-            &arena.sharebuf,
-            &arena.counts,
-            &mut arena.groupbuf,
-            &mut arena.recv_counts,
-            0,
-        );
-        rec.compute(StateClass::Pack, flops.pack / 2.0, || {
-            plan.deposit_stream(&arena.groupbuf, &mut arena.zbuf);
-        });
-
-        transform_core(plan, &problem.v, &scatter_comm, 0, &mut arena, &flops, &rec);
-
-        // Unpack: give every member back its share of its band.
-        rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
-            plan.extract_stream(&arena.zbuf, &mut arena.groupbuf, &mut arena.counts);
-        });
-        pack_comm.alltoallv_into(
-            &arena.groupbuf,
-            &arena.counts,
-            &mut arena.sharebuf,
-            &mut arena.recv_counts,
-            1,
-        );
-        rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
-            unstage_unpack_recv(&mut shares, k * t, &arena.sharebuf, &arena.recv_counts);
-        });
-    }
-    comm.barrier();
-    let t_end = comm.now();
-    (shares, t_end - t_start)
+    run_policy_chaotic(problem, SchedulerPolicy::Serial, chaos)
 }
 
 /// Reassembles bands from per-rank shares and closes the trace.

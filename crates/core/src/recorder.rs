@@ -1,7 +1,7 @@
 //! Helper for stamping compute bursts into the trace from the real
 //! execution engines.
 
-use fftx_trace::{ComputeRecord, Lane, StateClass, TraceSink, WallClock};
+use fftx_trace::{ComputeRecord, Lane, StageRecord, StateClass, TraceSink, WallClock};
 
 /// Nominal clock used to convert real durations into "cycles" for the trace
 /// counters (KNL's 1.4 GHz). Only the *consistency* matters: IPC values on
@@ -47,6 +47,26 @@ impl Recorder {
         }
         out
     }
+
+    /// Runs `f`, recording it as a span of stage-graph node `stage` on band
+    /// `band`. The span covers everything inside `f` — the stage's compute
+    /// bursts and any communication — so per-stage histograms see the
+    /// stage's full cost regardless of which scheduler policy executed it.
+    pub fn stage<R>(&self, stage: u32, band: usize, f: impl FnOnce() -> R) -> R {
+        let t0 = self.clock.now();
+        let out = f();
+        let t1 = self.clock.now();
+        if let Some(sink) = &self.sink {
+            sink.stage(StageRecord {
+                lane: Lane::new(self.rank, fftx_trace::current_thread()),
+                stage,
+                band: band as u32,
+                t_start: t0,
+                t_end: t1,
+            });
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +91,19 @@ mod tests {
     fn no_sink_is_a_passthrough() {
         let rec = Recorder::new(None, WallClock::new(), 0);
         assert_eq!(rec.compute(StateClass::Pack, 0.0, || 42), 42);
+        assert_eq!(rec.stage(3, 1, || 42), 42);
+    }
+
+    #[test]
+    fn records_stage_span_enclosing_compute() {
+        let sink = TraceSink::new();
+        let rec = Recorder::new(Some(sink.clone()), WallClock::new(), 2);
+        let out = rec.stage(7, 4, || rec.compute(StateClass::FftZ, 10.0, || 1));
+        assert_eq!(out, 1);
+        let t = sink.finish();
+        assert_eq!(t.stages.len(), 1);
+        let s = t.stages[0];
+        assert_eq!((s.stage, s.band, s.lane.rank), (7, 4, 2));
+        assert!(s.t_start <= t.compute[0].t_start && s.t_end >= t.compute[0].t_end);
     }
 }

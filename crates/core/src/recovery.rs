@@ -45,19 +45,18 @@
 //! fault-free baselines.
 
 use crate::config::Mode;
-use crate::original::{
-    finish_run, stage_pack_sends, try_transform_core, unstage_unpack_recv, RunOutput, StepFlops,
-};
-use crate::plan::{BufferArena, ExecPlan};
+use crate::original::{finish_run, RunOutput};
+use crate::plan::BufferArena;
 use crate::problem::Problem;
 use crate::recorder::Recorder;
+use crate::stages::StagePlan;
 use fftx_fault::{BatchAborts, RankDeath, RecoveryConfig, TaskCrashes};
 use fftx_fft::Complex64;
 use fftx_pw::{
     assemble_shares, extract_share, factorise_rt, StickDist, StickSet, TaskGroupLayout,
 };
 use fftx_taskrt::{RetryPolicy, Runtime, Shared, TaskError};
-use fftx_trace::{StateClass, TraceSink};
+use fftx_trace::TraceSink;
 use fftx_vmpi::{Communicator, VmpiError, World};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -92,74 +91,11 @@ pub struct RecoveryStats {
     pub checkpoint_bytes: u64,
 }
 
-// ---------------------------------------------------------------------
-// Shared batch runner
-// ---------------------------------------------------------------------
-
-/// One band batch of the original pipeline against an explicit execution
-/// plan: pack, transform, unpack, with every collective fallible. `base`
-/// is the first band of the batch (the batch spans `base .. base + t`).
-/// All staging and work buffers come from the caller's reusable `arena`.
-///
-/// When `inject_abort` is set the batch fails *mid-flight* with the same
-/// typed error a real watchdog expiry produces: the pack collective has
-/// completed (its sequence number is consumed on every rank — the
-/// injection is symmetric, so counters stay aligned), the scatter never
-/// runs. The caller's rollback path cannot tell it from a real timeout.
-#[allow(clippy::too_many_arguments)]
-fn try_batch(
-    plan: &ExecPlan,
-    v: &[f64],
-    base: usize,
-    pack_comm: &Communicator,
-    scatter_comm: &Communicator,
-    shares: &mut [Vec<Complex64>],
-    arena: &mut BufferArena,
-    flops: &StepFlops,
-    rec: &Recorder,
-    inject_abort: bool,
-) -> Result<(), VmpiError> {
-    let t = plan.t;
-    rec.compute(StateClass::PsiPrep, flops.prep, || {
-        plan.prep(&mut arena.zbuf, &mut arena.planes);
-    });
-    rec.compute(StateClass::Pack, flops.pack / 2.0, || {
-        stage_pack_sends(shares, base, t, &mut arena.sharebuf, &mut arena.counts);
-    });
-    pack_comm.try_alltoallv_into(
-        &arena.sharebuf,
-        &arena.counts,
-        &mut arena.groupbuf,
-        &mut arena.recv_counts,
-        0,
-    )?;
-    rec.compute(StateClass::Pack, flops.pack / 2.0, || {
-        plan.deposit_stream(&arena.groupbuf, &mut arena.zbuf);
-    });
-    if inject_abort {
-        return Err(VmpiError::Timeout {
-            message: format!(
-                "vmpi deadlock: injected collective timeout in band batch starting at band {base}"
-            ),
-            diagnostic: String::new(),
-        });
-    }
-    try_transform_core(plan, v, scatter_comm, 0, arena, flops, rec)?;
-    rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
-        plan.extract_stream(&arena.zbuf, &mut arena.groupbuf, &mut arena.counts);
-    });
-    pack_comm.try_alltoallv_into(
-        &arena.groupbuf,
-        &arena.counts,
-        &mut arena.sharebuf,
-        &mut arena.recv_counts,
-        1,
-    )?;
-    rec.compute(StateClass::Unpack, flops.pack / 2.0, || {
-        unstage_unpack_recv(shares, base, &arena.sharebuf, &arena.recv_counts);
-    });
-    Ok(())
-}
+// The shared batch runner lives in the stage graph now:
+// [`crate::stages::StageRunner::band_batch`] is the fallible replay unit
+// (prep, collective pack, transform, collective unpack) and
+// [`crate::stages::StageRunner::band_fused`] the idempotent per-band task
+// body — one implementation for the engines and the recovery layer alike.
 
 // ---------------------------------------------------------------------
 // Mechanism 1: task re-execution
@@ -216,8 +152,7 @@ fn rank_retry(
     let cfg = problem.config;
     let w = comm.rank();
     let g = w; // layout has t = 1: every rank is its own task group
-    let plan = Arc::clone(problem.exec_plan(g));
-    let flops = Arc::new(StepFlops::for_group(problem, g));
+    let sp = Arc::new(StagePlan::for_problem(problem, g));
     let arenas: Arc<Vec<Shared<BufferArena>>> = Arc::new(
         (0..cfg.ntg).map(|_| Shared::new(BufferArena::new())).collect(),
     );
@@ -238,8 +173,7 @@ fn rank_retry(
     for (b, share) in shares.iter().enumerate() {
         let problem = Arc::clone(problem);
         let comm = comm.clone();
-        let plan = Arc::clone(&plan);
-        let flops = Arc::clone(&flops);
+        let sp = Arc::clone(&sp);
         let arenas = Arc::clone(&arenas);
         let share = share.clone();
         let attempts = Arc::new(AtomicU32::new(0));
@@ -259,23 +193,15 @@ fn rank_retry(
                         panic!("injected transient task fault (band {b}, attempt {attempt})");
                     }
                 }
-                // Idempotent over the input snapshot: read the share, compute
-                // into the worker's arena (prep re-zeroes its work buffers on
-                // every attempt), write the share last.
+                // Idempotent over the input snapshot: band_fused reads the
+                // share, computes into the worker's arena (prep re-zeroes
+                // its work buffers on every attempt), writes the share last.
                 let rec = Recorder::new(comm.trace_sink(), comm.clock(), comm.rank());
+                let runner = sp.runner(&problem.v, &rec);
                 let mut guard = arenas[fftx_trace::current_thread()].write();
-                let a = &mut *guard;
-                rec.compute(StateClass::PsiPrep, flops.prep, || {
-                    plan.prep(&mut a.zbuf, &mut a.planes);
-                });
-                rec.compute(StateClass::Pack, flops.pack, || {
-                    plan.deposit_member(0, &share.read(), &mut a.zbuf);
-                });
-                try_transform_core(&plan, &problem.v, &comm, b as u32, &mut *a, &flops, &rec)
+                runner
+                    .band_fused(b, &comm, &share, &mut guard)
                     .unwrap_or_else(|e| panic!("{e}"));
-                rec.compute(StateClass::Unpack, flops.pack, || {
-                    plan.extract_member(0, &a.zbuf, &mut share.write());
-                });
             },
         );
     }
@@ -353,8 +279,8 @@ fn rank_rollback(
     let pack_comm = comm.split(g as u64, i);
     let scatter_comm = comm.split(i as u64, g);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
-    let plan = problem.exec_plan(g);
-    let flops = StepFlops::for_group(problem, g);
+    let sp = StagePlan::for_problem(problem, g);
+    let runner = sp.runner(&problem.v, &rec);
     let mut shares = problem.initial_shares(w);
     let mut arena = BufferArena::new();
     let mut rollbacks = 0u64;
@@ -375,16 +301,12 @@ fn rank_rollback(
         let mut attempt = 0u32;
         loop {
             let inject = aborts.is_some_and(|a| a.should_abort(k as u64, attempt));
-            match try_batch(
-                plan,
-                &problem.v,
+            match runner.band_batch(
                 k * t,
                 &pack_comm,
                 &scatter_comm,
                 &mut shares,
                 &mut arena,
-                &flops,
-                &rec,
                 inject,
             ) {
                 Ok(()) => break,
@@ -515,8 +437,8 @@ fn rank_eviction(
     let pack_comm = comm.split(g as u64, i);
     let scatter_comm = comm.split(i as u64, g);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
-    let plan = problem.exec_plan(g);
-    let flops = StepFlops::for_group(problem, g);
+    let sp = StagePlan::for_problem(problem, g);
+    let runner = sp.runner(&problem.v, &rec);
     let mut shares = problem.initial_shares(w);
     let mut arena = BufferArena::new();
     let mut ckpt_bytes = 0u64;
@@ -533,18 +455,7 @@ fn rank_eviction(
     // shares to its ring successor, so each rank's processed state has an
     // off-rank copy that one failure cannot erase.
     for k in 0..death.batch {
-        try_batch(
-            plan,
-            &problem.v,
-            k * t,
-            &pack_comm,
-            &scatter_comm,
-            &mut shares,
-            &mut arena,
-            &flops,
-            &rec,
-            false,
-        )?;
+        runner.band_batch(k * t, &pack_comm, &scatter_comm, &mut shares, &mut arena, false)?;
         let flat: Vec<Complex64> = (0..t)
             .flat_map(|j| shares[k * t + j].iter().copied())
             .collect();
@@ -617,31 +528,21 @@ fn rank_eviction(
     }
 
     // Phase 2: the remaining batches under the re-planned R×T layout. The
-    // re-planned plan is built here (eviction is the one path where plans
-    // cannot be precomputed — the layout is only known after the death);
-    // the arena is reused, its buffers re-fitted to the new geometry.
+    // single stage-graph re-plan ([`StagePlan::for_layout`]) covers every
+    // scheduler policy (eviction is the one path where plans cannot be
+    // precomputed — the layout is only known after the death); the arena is
+    // reused, its buffers re-fitted to the new geometry.
     let g2 = new_l.task_group_of(me2);
     let i2 = new_l.member_of(me2);
     let pack2 = shrunk.split(g2 as u64, i2);
     let scat2 = shrunk.split(i2 as u64, g2);
-    let flops2 = StepFlops::for_layout(new_l, g2);
-    let plan2 = ExecPlan::for_layout(new_l, g2);
+    let sp2 = StagePlan::for_layout(new_l, g2);
+    let runner2 = sp2.runner(&problem.v, &rec);
     let p2 = shrunk.size();
     let rem_batches = (cfg.nbnd - done_bands) / t2;
     for kk in 0..rem_batches {
         let base = done_bands + kk * t2;
-        try_batch(
-            &plan2,
-            &problem.v,
-            base,
-            &pack2,
-            &scat2,
-            &mut new_shares,
-            &mut arena,
-            &flops2,
-            &rec,
-            false,
-        )?;
+        runner2.band_batch(base, &pack2, &scat2, &mut new_shares, &mut arena, false)?;
         // Checkpointing continues on the survivor ring — a second eviction
         // is out of scope, but the steady-state traffic is part of the
         // overhead the experiment measures.

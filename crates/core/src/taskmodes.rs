@@ -1,7 +1,7 @@
-//! The two OmpSs optimisation strategies of Section IV, executed for real:
-//! R virtual MPI ranks, each with a T-worker task runtime replacing the FFT
-//! task groups (the layout runs with ntg = 1, exactly like the paper's
-//! OmpSs configuration).
+//! The OmpSs optimisation strategies of Section IV (plus the future-work
+//! variants), executed for real: R virtual MPI ranks, each with a T-worker
+//! task runtime replacing the FFT task groups (the layout runs with
+//! ntg = 1, exactly like the paper's OmpSs configuration).
 //!
 //! * **Strategy 1, task-per-step** (Fig. 4): every pipeline step of every
 //!   band is a task with `in`/`out`/`inout` dependencies on the band's
@@ -11,38 +11,19 @@
 //! * **Strategy 2, task-per-FFT** (Fig. 5): the whole pipeline of one band
 //!   is a single independent task — dynamic scheduling de-synchronises the
 //!   compute phases across ranks, softening resource contention.
+//! * **Async**: strategy 1 with split-phase collectives (post/wait tasks).
+//! * **Hybrid**: both strategies combined — see
+//!   [`crate::stages::SchedulerPolicy::Hybrid`].
 //!
-//! Both give every task of band `b` scheduler priority `b`. Together with
-//! the runtime's priority queue this makes every rank drain bands in the
-//! same order, which is the deadlock-freedom invariant for the blocking
-//! collectives inside tasks (tags keep concurrent collectives apart).
-//!
-//! Scratch and staging buffers come from **per-worker arenas**
-//! ([`BufferArena`], one per runtime worker, indexed by
-//! [`fftx_trace::current_thread`]): a worker runs one task at a time, so a
-//! task body owns its worker's arena for its duration and the buffers are
-//! reused across bands without reallocation. The per-band `Shared` z/plane
-//! buffers of strategy 1 stay — they are the dependency carriers the task
-//! graph is built from.
+//! Since the stage-graph refactor (DESIGN.md §13) all of these are
+//! scheduler policies over the one stage graph in [`crate::stages`]; this
+//! module keeps the historical entry points as thin wrappers.
 
-use crate::config::Mode;
-use crate::original::{finish_run, transform_core, RunOutput, StepFlops};
-use crate::plan::{BufferArena, ExecPlan};
+use crate::original::RunOutput;
 use crate::problem::Problem;
-use crate::recorder::Recorder;
-use fftx_fft::{cft_1z, cft_2xy_buf, Complex64, Direction};
-use fftx_pw::apply_potential_slab;
-use fftx_taskrt::{Runtime, Shared};
-use fftx_trace::{StateClass, TraceSink};
-use fftx_vmpi::{AlltoallRequest, ChaosConfig, Communicator, FaultReport, World};
+use crate::stages::{run_policy_chaotic, SchedulerPolicy};
+use fftx_vmpi::{ChaosConfig, FaultReport};
 use std::sync::Arc;
-
-/// One empty arena per runtime worker; task bodies index with
-/// [`fftx_trace::current_thread`] (a worker runs one task at a time, so
-/// the `Shared` access check never trips).
-fn worker_arenas(workers: usize) -> Arc<Vec<Shared<BufferArena>>> {
-    Arc::new((0..workers).map(|_| Shared::new(BufferArena::new())).collect())
-}
 
 /// Runs strategy 2 (one task per FFT/band) on R ranks × T workers.
 pub fn run_task_per_fft(problem: &Arc<Problem>) -> RunOutput {
@@ -55,85 +36,7 @@ pub fn run_task_per_fft_chaotic(
     problem: &Arc<Problem>,
     chaos: Option<ChaosConfig>,
 ) -> (RunOutput, Option<FaultReport>) {
-    let cfg = problem.config;
-    assert!(
-        matches!(cfg.mode, Mode::TaskPerFft),
-        "run_task_per_fft: config mode mismatch"
-    );
-    let sink = TraceSink::new();
-    let mut world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
-    if let Some(c) = chaos {
-        world = world.with_chaos(c);
-    }
-    let results = world.run(|comm| rank_task_per_fft(problem, comm));
-    let report = world.fault_report();
-    (finish_run(problem, sink, results), report)
-}
-
-fn rank_task_per_fft(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
-    let cfg = problem.config;
-    let w = comm.rank();
-    let g = w; // layout has t = 1: every rank is its own task group
-    let plan = Arc::clone(problem.exec_plan(g));
-    let flops = Arc::new(StepFlops::for_group(problem, g));
-    let arenas = worker_arenas(cfg.ntg);
-    let shares: Vec<Shared<Vec<Complex64>>> = problem
-        .initial_shares(w)
-        .into_iter()
-        .map(Shared::new)
-        .collect();
-
-    let mut builder = Runtime::builder(cfg.ntg).clock(comm.clock()).rank(w);
-    if let Some(sink) = comm.trace_sink() {
-        builder = builder.trace(sink);
-    }
-    let rt = builder.build();
-
-    comm.barrier();
-    let t_start = comm.now();
-    for (b, share) in shares.iter().enumerate() {
-        let problem = Arc::clone(problem);
-        let comm = comm.clone();
-        let plan = Arc::clone(&plan);
-        let flops = Arc::clone(&flops);
-        let arenas = Arc::clone(&arenas);
-        let share = share.clone();
-        rt.spawn_prio(
-            &format!("fft-band-{b}"),
-            Some(b as u64),
-            &[share.dep_inout()],
-            move || {
-                let rec = Recorder::new(comm.trace_sink(), comm.clock(), comm.rank());
-                let mut guard = arenas[fftx_trace::current_thread()].write();
-                let a = &mut *guard;
-                // PsiPrep: the prep re-zeroes the reused worker buffers —
-                // the same state a fresh allocation had, and the burst
-                // still exists in the original code, so record the touch.
-                rec.compute(StateClass::PsiPrep, flops.prep, || {
-                    plan.prep(&mut a.zbuf, &mut a.planes);
-                });
-                // Pack: t = 1, the "redistribution" is a local deposit.
-                rec.compute(StateClass::Pack, flops.pack, || {
-                    plan.deposit_member(0, &share.read(), &mut a.zbuf);
-                });
-                transform_core(&plan, &problem.v, &comm, b as u32, &mut *a, &flops, &rec);
-                // Unpack: back to the band share.
-                rec.compute(StateClass::Unpack, flops.pack, || {
-                    plan.extract_member(0, &a.zbuf, &mut share.write());
-                });
-            },
-        );
-    }
-    rt.taskwait();
-    comm.barrier();
-    let t_end = comm.now();
-    rt.shutdown();
-
-    let shares = shares
-        .into_iter()
-        .map(|s| s.try_unwrap().ok().expect("share uniquely owned after taskwait"))
-        .collect();
-    (shares, t_end - t_start)
+    run_policy_chaotic(problem, SchedulerPolicy::TaskPerFft, chaos)
 }
 
 /// Runs strategy 1 (one task per pipeline step, flow dependencies) on
@@ -148,273 +51,13 @@ pub fn run_task_per_step_chaotic(
     problem: &Arc<Problem>,
     chaos: Option<ChaosConfig>,
 ) -> (RunOutput, Option<FaultReport>) {
-    let cfg = problem.config;
-    assert!(
-        matches!(cfg.mode, Mode::TaskPerStep),
-        "run_task_per_step: config mode mismatch"
-    );
-    let sink = TraceSink::new();
-    let mut world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
-    if let Some(c) = chaos {
-        world = world.with_chaos(c);
-    }
-    let results = world.run(|comm| rank_task_per_step(problem, comm));
-    let report = world.fault_report();
-    (finish_run(problem, sink, results), report)
+    run_policy_chaotic(problem, SchedulerPolicy::TaskPerStep, chaos)
 }
 
-/// Context cloned into every step task of one band.
-struct StepCtx {
-    problem: Arc<Problem>,
-    comm: Communicator,
-    plan: Arc<ExecPlan>,
-    flops: Arc<StepFlops>,
-    arenas: Arc<Vec<Shared<BufferArena>>>,
-    zbuf: Shared<Vec<Complex64>>,
-    planes: Shared<Vec<Complex64>>,
-}
-
-impl StepCtx {
-    fn recorder(&self) -> Recorder {
-        Recorder::new(self.comm.trace_sink(), self.comm.clock(), self.comm.rank())
-    }
-
-    /// The running worker's arena (one task per worker at a time).
-    fn arena(&self) -> &Shared<BufferArena> {
-        &self.arenas[fftx_trace::current_thread()]
-    }
-}
-
-impl Clone for StepCtx {
-    fn clone(&self) -> Self {
-        StepCtx {
-            problem: Arc::clone(&self.problem),
-            comm: self.comm.clone(),
-            plan: Arc::clone(&self.plan),
-            flops: Arc::clone(&self.flops),
-            arenas: Arc::clone(&self.arenas),
-            zbuf: self.zbuf.clone(),
-            planes: self.planes.clone(),
-        }
-    }
-}
-
-fn rank_task_per_step(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
-    let cfg = problem.config;
-    let w = comm.rank();
-    let g = w;
-    let plan = Arc::clone(problem.exec_plan(g));
-    let flops = Arc::new(StepFlops::for_group(problem, g));
-    let arenas = worker_arenas(cfg.ntg);
-    let shares: Vec<Shared<Vec<Complex64>>> = problem
-        .initial_shares(w)
-        .into_iter()
-        .map(Shared::new)
-        .collect();
-
-    let mut builder = Runtime::builder(cfg.ntg).clock(comm.clock()).rank(w);
-    if let Some(sink) = comm.trace_sink() {
-        builder = builder.trace(sink);
-    }
-    let rt = builder.build();
-
-    comm.barrier();
-    let t_start = comm.now();
-    for (b, share) in shares.iter().enumerate() {
-        let prio = Some(b as u64);
-        let ctx = StepCtx {
-            problem: Arc::clone(problem),
-            comm: comm.clone(),
-            plan: Arc::clone(&plan),
-            flops: Arc::clone(&flops),
-            arenas: Arc::clone(&arenas),
-            zbuf: Shared::new(vec![Complex64::ZERO; plan.zbuf_len()]),
-            planes: Shared::new(vec![Complex64::ZERO; plan.planes_len()]),
-        };
-        let share = share.clone();
-
-        // 1. pack: in(share) out(zbuf)   [fresh zbuf is already zeroed,
-        //    which covers the PsiPrep step of Fig. 4's task list]
-        let c = ctx.clone();
-        let sh = share.clone();
-        rt.spawn_prio(
-            &format!("pack[{b}]"),
-            prio,
-            &[sh.dep_in(), ctx.zbuf.dep_out()],
-            move || {
-                let rec = c.recorder();
-                rec.compute(StateClass::Pack, c.flops.pack, || {
-                    c.plan.deposit_member(0, &sh.read(), &mut c.zbuf.write());
-                });
-            },
-        );
-
-        // 2. forward FFT along z: inout(zbuf)
-        let c = ctx.clone();
-        rt.spawn_prio(
-            &format!("fftz-inv[{b}]"),
-            prio,
-            &[ctx.zbuf.dep_inout()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rec.compute(StateClass::FftZ, c.flops.fft_z, || {
-                    cft_1z(
-                        &c.plan.z,
-                        &mut c.zbuf.write(),
-                        c.plan.nst,
-                        c.plan.grid.nr3,
-                        Direction::Inverse,
-                        &mut a.scratch,
-                    );
-                });
-            },
-        );
-
-        // 3. forward scatter: in(zbuf) inout(planes) — the communication
-        //    task that overlaps other bands' compute tasks.
-        let c = ctx.clone();
-        rt.spawn_prio(
-            &format!("scatter-fw[{b}]"),
-            prio,
-            &[ctx.zbuf.dep_in(), ctx.planes.dep_inout()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
-                    c.plan.scatter_pack(&c.zbuf.read(), &mut a.scatter_send);
-                });
-                c.comm
-                    .alltoall_into(&a.scatter_send, &mut a.scatter_recv, (2 * b) as u32);
-                rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
-                    c.plan
-                        .scatter_unpack_to_planes(&a.scatter_recv, &mut c.planes.write());
-                });
-            },
-        );
-
-        // 4-6. xy FFT, VOFR, xy FFT back: inout(planes)
-        for (label, dir_fwd, is_vofr) in [
-            ("fftxy-inv", false, false),
-            ("vofr", false, true),
-            ("fftxy-fw", true, false),
-        ] {
-            let c = ctx.clone();
-            rt.spawn_prio(
-                &format!("{label}[{b}]"),
-                prio,
-                &[ctx.planes.dep_inout()],
-                move || {
-                    let rec = c.recorder();
-                    if is_vofr {
-                        rec.compute(StateClass::Vofr, c.flops.vofr, || {
-                            apply_potential_slab(
-                                &mut c.planes.write(),
-                                &c.problem.v,
-                                &c.plan.grid,
-                                c.plan.z0,
-                                c.plan.npp,
-                            );
-                        });
-                    } else {
-                        let dir = if dir_fwd { Direction::Forward } else { Direction::Inverse };
-                        let mut guard = c.arena().write();
-                        let a = &mut *guard;
-                        rec.compute(StateClass::FftXy, c.flops.fft_xy, || {
-                            cft_2xy_buf(
-                                &c.plan.x,
-                                &c.plan.y,
-                                &mut c.planes.write(),
-                                c.plan.npp,
-                                c.plan.grid.nr1,
-                                c.plan.grid.nr2,
-                                dir,
-                                &mut a.scratch,
-                                &mut a.col,
-                            );
-                        });
-                    }
-                },
-            );
-        }
-
-        // 7. backward scatter: in(planes) inout(zbuf)
-        let c = ctx.clone();
-        rt.spawn_prio(
-            &format!("scatter-bw[{b}]"),
-            prio,
-            &[ctx.planes.dep_in(), ctx.zbuf.dep_inout()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
-                    c.plan.planes_to_scatter(&c.planes.read(), &mut a.scatter_send);
-                });
-                c.comm
-                    .alltoall_into(&a.scatter_send, &mut a.scatter_recv, (2 * b + 1) as u32);
-                rec.compute(StateClass::Other, c.flops.scatter_copy / 2.0, || {
-                    c.plan.zbuf_from_scatter(&a.scatter_recv, &mut c.zbuf.write());
-                });
-            },
-        );
-
-        // 8. backward FFT along z: inout(zbuf)
-        let c = ctx.clone();
-        rt.spawn_prio(
-            &format!("fftz-fw[{b}]"),
-            prio,
-            &[ctx.zbuf.dep_inout()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rec.compute(StateClass::FftZ, c.flops.fft_z, || {
-                    cft_1z(
-                        &c.plan.z,
-                        &mut c.zbuf.write(),
-                        c.plan.nst,
-                        c.plan.grid.nr3,
-                        Direction::Forward,
-                        &mut a.scratch,
-                    );
-                });
-            },
-        );
-
-        // 9. unpack: in(zbuf) out(share)
-        let c = ctx.clone();
-        let sh = share.clone();
-        rt.spawn_prio(
-            &format!("unpack[{b}]"),
-            prio,
-            &[ctx.zbuf.dep_in(), sh.dep_out()],
-            move || {
-                let rec = c.recorder();
-                rec.compute(StateClass::Unpack, c.flops.pack, || {
-                    c.plan.extract_member(0, &c.zbuf.read(), &mut sh.write());
-                });
-            },
-        );
-    }
-    rt.taskwait();
-    comm.barrier();
-    let t_end = comm.now();
-    rt.shutdown();
-
-    let shares = shares
-        .into_iter()
-        .map(|s| s.try_unwrap().ok().expect("share uniquely owned after taskwait"))
-        .collect();
-    (shares, t_end - t_start)
-}
-
-/// Runs the future-work mode (split-phase collectives inside step tasks)
-/// on R ranks × T workers: the scatter is split into a *post* task that
-/// issues a nonblocking alltoall and a *wait* task that completes it, so
-/// other bands' compute overlaps the transfer automatically.
+/// Runs the split-phase mode (post/wait collective tasks inside the step
+/// graph) on R ranks × T workers: the scatter is split into a *post* task
+/// that issues a nonblocking alltoall and a *wait* task that completes it,
+/// so other bands' compute overlaps the transfer automatically.
 pub fn run_task_async(problem: &Arc<Problem>) -> RunOutput {
     run_task_async_chaotic(problem, None).0
 }
@@ -425,275 +68,22 @@ pub fn run_task_async_chaotic(
     problem: &Arc<Problem>,
     chaos: Option<ChaosConfig>,
 ) -> (RunOutput, Option<FaultReport>) {
-    let cfg = problem.config;
-    assert!(
-        matches!(cfg.mode, Mode::TaskAsync),
-        "run_task_async: config mode mismatch"
-    );
-    let sink = TraceSink::new();
-    let mut world = World::new(cfg.vmpi_ranks()).with_trace(sink.clone());
-    if let Some(c) = chaos {
-        world = world.with_chaos(c);
-    }
-    let results = world.run(|comm| rank_task_async(problem, comm));
-    let report = world.fault_report();
-    (finish_run(problem, sink, results), report)
+    run_policy_chaotic(problem, SchedulerPolicy::TaskAsync, chaos)
 }
 
-fn rank_task_async(problem: &Arc<Problem>, comm: &Communicator) -> (Vec<Vec<Complex64>>, f64) {
-    type Req = Shared<Option<AlltoallRequest<Complex64>>>;
-    let cfg = problem.config;
-    let w = comm.rank();
-    let g = w;
-    let plan = Arc::clone(problem.exec_plan(g));
-    let flops = Arc::new(StepFlops::for_group(problem, g));
-    let arenas = worker_arenas(cfg.ntg);
-    let shares: Vec<Shared<Vec<Complex64>>> = problem
-        .initial_shares(w)
-        .into_iter()
-        .map(Shared::new)
-        .collect();
+/// Runs the hybrid policy (three fused tasks per band, split at the
+/// nonblocking collectives) on R ranks × T workers.
+pub fn run_hybrid(problem: &Arc<Problem>) -> RunOutput {
+    run_hybrid_chaotic(problem, None).0
+}
 
-    let mut builder = Runtime::builder(cfg.ntg).clock(comm.clock()).rank(w);
-    if let Some(sink) = comm.trace_sink() {
-        builder = builder.trace(sink);
-    }
-    let rt = builder.build();
-
-    comm.barrier();
-    let t_start = comm.now();
-    for (b, share) in shares.iter().enumerate() {
-        let prio = Some(b as u64);
-        let ctx = StepCtx {
-            problem: Arc::clone(problem),
-            comm: comm.clone(),
-            plan: Arc::clone(&plan),
-            flops: Arc::clone(&flops),
-            arenas: Arc::clone(&arenas),
-            zbuf: Shared::new(vec![Complex64::ZERO; plan.zbuf_len()]),
-            planes: Shared::new(vec![Complex64::ZERO; plan.planes_len()]),
-        };
-        let req_fw: Req = Shared::new(None);
-        let req_bw: Req = Shared::new(None);
-        let share = share.clone();
-
-        // pack: in(share) out(zbuf)
-        let c = ctx.clone();
-        let sh = share.clone();
-        rt.spawn_prio(
-            &format!("pack[{b}]"),
-            prio,
-            &[sh.dep_in(), ctx.zbuf.dep_out()],
-            move || {
-                let rec = c.recorder();
-                rec.compute(StateClass::Pack, c.flops.pack, || {
-                    c.plan.deposit_member(0, &sh.read(), &mut c.zbuf.write());
-                });
-            },
-        );
-
-        // z FFT: inout(zbuf)
-        let c = ctx.clone();
-        rt.spawn_prio(
-            &format!("fftz-inv[{b}]"),
-            prio,
-            &[ctx.zbuf.dep_inout()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rec.compute(StateClass::FftZ, c.flops.fft_z, || {
-                    cft_1z(
-                        &c.plan.z,
-                        &mut c.zbuf.write(),
-                        c.plan.nst,
-                        c.plan.grid.nr3,
-                        Direction::Inverse,
-                        &mut a.scratch,
-                    );
-                });
-            },
-        );
-
-        // scatter-fw POST: in(zbuf) out(req_fw) — never blocks. The
-        // transport stages its own copy of the send, so the arena buffer
-        // is free for reuse the moment the post returns.
-        let c = ctx.clone();
-        let rq = req_fw.clone();
-        rt.spawn_prio(
-            &format!("scatter-fw-post[{b}]"),
-            prio,
-            &[ctx.zbuf.dep_in(), req_fw.dep_out()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
-                    c.plan.scatter_pack(&c.zbuf.read(), &mut a.scatter_send);
-                });
-                *rq.write() = Some(c.comm.ialltoall(&a.scatter_send, (2 * b) as u32));
-            },
-        );
-
-        // scatter-fw WAIT: inout(req_fw) inout(planes) — blocks only for
-        // the unoverlapped remainder of the transfer. Deferred priority
-        // (b + nbnd) lets the workers run other bands' compute while the
-        // transfer is in flight; it can never deadlock because posts are
-        // plain compute tasks and always preferred.
-        let c = ctx.clone();
-        let rq = req_fw.clone();
-        rt.spawn_prio(
-            &format!("scatter-fw-wait[{b}]"),
-            Some((b + cfg.nbnd) as u64),
-            &[req_fw.dep_inout(), ctx.planes.dep_inout()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rq.write()
-                    .take()
-                    .expect("posted request")
-                    .wait_into(&mut a.scatter_recv);
-                rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
-                    c.plan
-                        .scatter_unpack_to_planes(&a.scatter_recv, &mut c.planes.write());
-                });
-            },
-        );
-
-        // xy FFT, VOFR, xy FFT back: inout(planes)
-        for (label, dir_fwd, is_vofr) in [
-            ("fftxy-inv", false, false),
-            ("vofr", false, true),
-            ("fftxy-fw", true, false),
-        ] {
-            let c = ctx.clone();
-            rt.spawn_prio(
-                &format!("{label}[{b}]"),
-                prio,
-                &[ctx.planes.dep_inout()],
-                move || {
-                    let rec = c.recorder();
-                    if is_vofr {
-                        rec.compute(StateClass::Vofr, c.flops.vofr, || {
-                            apply_potential_slab(
-                                &mut c.planes.write(),
-                                &c.problem.v,
-                                &c.plan.grid,
-                                c.plan.z0,
-                                c.plan.npp,
-                            );
-                        });
-                    } else {
-                        let dir = if dir_fwd { Direction::Forward } else { Direction::Inverse };
-                        let mut guard = c.arena().write();
-                        let a = &mut *guard;
-                        rec.compute(StateClass::FftXy, c.flops.fft_xy, || {
-                            cft_2xy_buf(
-                                &c.plan.x,
-                                &c.plan.y,
-                                &mut c.planes.write(),
-                                c.plan.npp,
-                                c.plan.grid.nr1,
-                                c.plan.grid.nr2,
-                                dir,
-                                &mut a.scratch,
-                                &mut a.col,
-                            );
-                        });
-                    }
-                },
-            );
-        }
-
-        // scatter-bw POST: in(planes) out(req_bw)
-        let c = ctx.clone();
-        let rq = req_bw.clone();
-        rt.spawn_prio(
-            &format!("scatter-bw-post[{b}]"),
-            prio,
-            &[ctx.planes.dep_in(), req_bw.dep_out()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
-                    c.plan.planes_to_scatter(&c.planes.read(), &mut a.scatter_send);
-                });
-                *rq.write() = Some(c.comm.ialltoall(&a.scatter_send, (2 * b + 1) as u32));
-            },
-        );
-
-        // scatter-bw WAIT: inout(req_bw) inout(zbuf) — deferred like the
-        // forward wait.
-        let c = ctx.clone();
-        let rq = req_bw.clone();
-        rt.spawn_prio(
-            &format!("scatter-bw-wait[{b}]"),
-            Some((b + cfg.nbnd) as u64),
-            &[req_bw.dep_inout(), ctx.zbuf.dep_inout()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rq.write()
-                    .take()
-                    .expect("posted request")
-                    .wait_into(&mut a.scatter_recv);
-                rec.compute(StateClass::Other, c.flops.scatter_copy / 4.0, || {
-                    c.plan.zbuf_from_scatter(&a.scatter_recv, &mut c.zbuf.write());
-                });
-            },
-        );
-
-        // backward z FFT: inout(zbuf)
-        let c = ctx.clone();
-        rt.spawn_prio(
-            &format!("fftz-fw[{b}]"),
-            prio,
-            &[ctx.zbuf.dep_inout()],
-            move || {
-                let rec = c.recorder();
-                let mut guard = c.arena().write();
-                let a = &mut *guard;
-                rec.compute(StateClass::FftZ, c.flops.fft_z, || {
-                    cft_1z(
-                        &c.plan.z,
-                        &mut c.zbuf.write(),
-                        c.plan.nst,
-                        c.plan.grid.nr3,
-                        Direction::Forward,
-                        &mut a.scratch,
-                    );
-                });
-            },
-        );
-
-        // unpack: in(zbuf) out(share)
-        let c = ctx.clone();
-        let sh = share.clone();
-        rt.spawn_prio(
-            &format!("unpack[{b}]"),
-            prio,
-            &[ctx.zbuf.dep_in(), sh.dep_out()],
-            move || {
-                let rec = c.recorder();
-                rec.compute(StateClass::Unpack, c.flops.pack, || {
-                    c.plan.extract_member(0, &c.zbuf.read(), &mut sh.write());
-                });
-            },
-        );
-    }
-    rt.taskwait();
-    comm.barrier();
-    let t_end = comm.now();
-    rt.shutdown();
-
-    let shares = shares
-        .into_iter()
-        .map(|s| s.try_unwrap().ok().expect("share uniquely owned after taskwait"))
-        .collect();
-    (shares, t_end - t_start)
+/// [`run_hybrid`] with explicit chaos injection (see
+/// [`crate::original::run_original_chaotic`]).
+pub fn run_hybrid_chaotic(
+    problem: &Arc<Problem>,
+    chaos: Option<ChaosConfig>,
+) -> (RunOutput, Option<FaultReport>) {
+    run_policy_chaotic(problem, SchedulerPolicy::Hybrid, chaos)
 }
 
 /// Dispatches to the engine matching the configuration's mode.
@@ -709,10 +99,28 @@ pub fn run_chaotic(
     problem: &Arc<Problem>,
     chaos: Option<ChaosConfig>,
 ) -> (RunOutput, Option<FaultReport>) {
-    match problem.config.mode {
-        Mode::Original => crate::original::run_original_chaotic(problem, chaos),
-        Mode::TaskPerStep => run_task_per_step_chaotic(problem, chaos),
-        Mode::TaskPerFft => run_task_per_fft_chaotic(problem, chaos),
-        Mode::TaskAsync => run_task_async_chaotic(problem, chaos),
+    run_policy_chaotic(
+        problem,
+        SchedulerPolicy::for_mode(problem.config.mode),
+        chaos,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+
+    #[test]
+    fn dispatch_covers_every_mode() {
+        for mode in [
+            Mode::Original,
+            Mode::TaskPerStep,
+            Mode::TaskPerFft,
+            Mode::TaskAsync,
+            Mode::Hybrid,
+        ] {
+            assert_eq!(SchedulerPolicy::for_mode(mode).mode(), mode);
+        }
     }
 }

@@ -66,6 +66,7 @@ fn scenarios() -> Vec<(String, u64)> {
         Mode::TaskPerFft,
         Mode::TaskPerStep,
         Mode::TaskAsync,
+        Mode::Hybrid,
     ];
 
     // Clean runs across (R,T) factorisations.

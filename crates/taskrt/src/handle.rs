@@ -18,6 +18,42 @@ static NEXT_HANDLE: AtomicU64 = AtomicU64::new(1);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Handle(pub u64);
 
+impl Handle {
+    /// Mints a fresh handle not backed by any [`Shared`] storage: a pure
+    /// *dependency slot*. The tracker only needs identity, so a bare handle
+    /// participates in the OmpSs ordering rules exactly like a `Shared`
+    /// region's handle while the data it stands for can live anywhere — a
+    /// `Shared` buffer, a worker arena, or the network (see
+    /// `crate::graph::SlotArena`).
+    pub fn fresh() -> Handle {
+        Handle(NEXT_HANDLE.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// `in` dependency on this slot.
+    pub fn dep_in(self) -> Dep {
+        Dep {
+            handle: self,
+            access: Access::In,
+        }
+    }
+
+    /// `out` dependency on this slot.
+    pub fn dep_out(self) -> Dep {
+        Dep {
+            handle: self,
+            access: Access::Out,
+        }
+    }
+
+    /// `inout` dependency on this slot.
+    pub fn dep_inout(self) -> Dep {
+        Dep {
+            handle: self,
+            access: Access::InOut,
+        }
+    }
+}
+
 /// Access mode of a task on a data region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Access {

@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod graph;
 pub mod handle;
 pub mod runtime;
 
 pub use error::TaskError;
+pub use graph::{SlotArena, TaskGraph};
 pub use handle::{Access, Dep, Handle, Shared};
 pub use runtime::{RetryPolicy, Runtime, RuntimeBuilder};

@@ -309,6 +309,18 @@ impl Runtime {
         self.inner.retries.load(Ordering::Relaxed)
     }
 
+    /// [`Runtime::spawn_prio`] for an already-boxed body (the graph
+    /// submission path, which stores heterogeneous bodies).
+    pub(crate) fn spawn_boxed(
+        &self,
+        label: &str,
+        priority: Option<u64>,
+        deps: &[Dep],
+        body: Box<dyn FnOnce() + Send + 'static>,
+    ) {
+        self.submit(label, priority, deps, TaskBody::Once(body))
+    }
+
     fn submit(&self, label: &str, priority: Option<u64>, deps: &[Dep], body: TaskBody) {
         let t_created = self.inner.clock.now();
         let mut sched = self.inner.sched.lock();

@@ -23,6 +23,7 @@ pub mod lane_ctx;
 pub mod histogram;
 pub mod paraver;
 pub mod pop;
+pub mod stage;
 pub mod table;
 pub mod timeline;
 pub mod trace;
@@ -30,6 +31,7 @@ pub mod trace;
 pub use lane_ctx::{current_thread, set_current_thread};
 pub use event::{CommOp, CommRecord, ComputeRecord, Lane, StateClass, TaskRecord};
 pub use histogram::IpcHistogram;
+pub use stage::{stage_profile, StageHistogram, StageRecord};
 pub use paraver::{export_paraver, phase_profile, ParaverBundle};
 pub use pop::{efficiency_factors, intra_factors, scalability_factors, EfficiencyFactors};
 pub use table::{pct, render_bar_chart, render_efficiency_table, render_runtime_table};

@@ -2,6 +2,7 @@
 //! record into (the Extrae role).
 
 use crate::event::{CommRecord, ComputeRecord, Lane, StateClass, TaskRecord};
+use crate::stage::StageRecord;
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
@@ -15,6 +16,8 @@ pub struct Trace {
     pub comm: Vec<CommRecord>,
     /// Task lifecycle records.
     pub tasks: Vec<TaskRecord>,
+    /// Stage-graph node spans (one stream for every scheduler policy).
+    pub stages: Vec<StageRecord>,
 }
 
 impl Trace {
@@ -28,6 +31,9 @@ impl Trace {
             set.insert(r.lane);
         }
         for r in &self.tasks {
+            set.insert(r.lane);
+        }
+        for r in &self.stages {
             set.insert(r.lane);
         }
         set.into_iter().collect()
@@ -66,6 +72,7 @@ impl Trace {
             .map(|r| (r.t_start, r.t_end))
             .chain(self.comm.iter().map(|r| (r.t_start, r.t_end)))
             .chain(self.tasks.iter().map(|r| (r.t_start, r.t_end)))
+            .chain(self.stages.iter().map(|r| (r.t_start, r.t_end)))
     }
 
     /// Total compute seconds of one lane.
@@ -136,6 +143,7 @@ impl Trace {
         self.compute.extend(other.compute);
         self.comm.extend(other.comm);
         self.tasks.extend(other.tasks);
+        self.stages.extend(other.stages);
     }
 
     /// Sorts all record streams by start time (stable order for rendering).
@@ -144,6 +152,7 @@ impl Trace {
             .sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
         self.comm.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
         self.tasks.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        self.stages.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
     }
 }
 
@@ -189,6 +198,16 @@ impl TraceSink {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .tasks
+            .push(rec);
+    }
+
+    /// Records a stage-graph node span (poison-tolerant, see
+    /// [`TraceSink::compute`]).
+    pub fn stage(&self, rec: StageRecord) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stages
             .push(rec);
     }
 

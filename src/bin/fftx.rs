@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! fftx [--ecutwfc RY] [--alat BOHR] [--nbnd N] [--nr R] [--ntg T]
-//!      [--mode original|steps|ffts] [--engine real|model] [--seed S]
-//!      [--verify] [--timeline] [--metrics]
+//!      [--mode original|steps|ffts|async|hybrid] [--engine real|model]
+//!      [--seed S] [--verify] [--timeline] [--metrics]
 //! ```
 //!
 //! `--engine real` executes the kernel on virtual MPI ranks with actual FFT
 //! math (laptop-scale; use small cutoffs). `--engine model` runs the same
 //! kernel on the calibrated KNL-node simulator (any of the paper's
-//! configurations in milliseconds).
+//! configurations in milliseconds). The default scheduler policy can also
+//! be selected with the `FFTX_SCHEDULER` environment variable
+//! (`serial|step|fft|async|hybrid`); an explicit `--mode` wins.
 
-use fftxlib_repro::core::{run, run_modeled, FftxConfig, Mode, Problem};
+use fftxlib_repro::core::{run, run_modeled, FftxConfig, Mode, Problem, SchedulerPolicy};
 use fftxlib_repro::fft::max_dist;
 use fftxlib_repro::pw::apply_vloc;
 use fftxlib_repro::trace::{
@@ -41,7 +43,8 @@ const USAGE: &str = "usage: fftx [options]
   --nbnd N         number of bands                (default 2*ntg real / 128 model)
   --nr R           first parallel dimension       (default 2)
   --ntg T          task groups / worker threads   (default 2 real / 8 model)
-  --mode M         original | steps | ffts | async  (default original)
+  --mode M         original | steps | ffts | async | hybrid
+                   (default original, or the FFTX_SCHEDULER env policy)
   --engine E       real | model                   (default real)
   --seed S         workload seed                  (default 42)
   --verify         check against the serial reference (real engine only)
@@ -56,7 +59,10 @@ fn parse_args() -> Result<Args, String> {
     let mut nbnd: Option<usize> = None;
     let mut nr = 2usize;
     let mut ntg: Option<usize> = None;
-    let mut mode = Mode::Original;
+    // FFTX_SCHEDULER picks the default policy; an explicit --mode wins.
+    let mut mode = SchedulerPolicy::from_env()
+        .map(SchedulerPolicy::mode)
+        .unwrap_or(Mode::Original);
     let mut engine = Engine::Real;
     let mut seed = 42u64;
     let mut verify = false;
@@ -77,13 +83,10 @@ fn parse_args() -> Result<Args, String> {
             "--ntg" => ntg = Some(val("--ntg")?.parse().map_err(|e| format!("{e}"))?),
             "--seed" => seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--mode" => {
-                mode = match val("--mode")?.as_str() {
-                    "original" => Mode::Original,
-                    "steps" => Mode::TaskPerStep,
-                    "ffts" => Mode::TaskPerFft,
-                    "async" => Mode::TaskAsync,
-                    m => return Err(format!("unknown mode '{m}'")),
-                }
+                let m = val("--mode")?;
+                mode = SchedulerPolicy::parse(&m)
+                    .map(SchedulerPolicy::mode)
+                    .ok_or_else(|| format!("unknown mode '{m}'"))?;
             }
             "--engine" => {
                 engine = match val("--engine")?.as_str() {
