@@ -4,7 +4,7 @@
 //! how the grain size trades scheduling overhead against load balance for
 //! the z-stick FFT batch — the workload those grains were chosen for.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{report_checks, write_artifact_volatile, ShapeCheck};
 use fftx_fft::{c64, cft_1z, Complex64, Direction, Fft};
 use fftx_taskrt::Runtime;
 use std::sync::Arc;
@@ -82,7 +82,7 @@ fn main() {
         rows.push_str(&format!("{g},{},{t:.6},{:.3}\n", nsl.div_ceil(g), serial / t));
         times.push(t);
     }
-    write_artifact("ablation_grain.csv", &rows);
+    write_artifact_volatile("ablation_grain.csv", &rows);
     println!();
 
     // Paper grains: 10 (xy rows) and 200 (z sticks).

@@ -13,7 +13,7 @@
 //! traffic, one mid-run batch replay, and the per-band redistribution of
 //! an eviction — all as fractions of the fault-free Fig. 3 runtime.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{report_checks, write_artifact_volatile, ShapeCheck};
 use fftx_core::taskmodes::run_task_per_fft;
 use fftx_core::{
     run_eviction, run_original, run_retry, run_rollback, FftxConfig, Mode, Problem,
@@ -174,7 +174,7 @@ fn main() {
     csv.push_str(&format!(
         "paper_8x8,{baseline_s:.6},{ckpt_pct:.3},{replay_pct:.3},{evict_pct:.3}\n"
     ));
-    write_artifact("recovery.csv", &csv);
+    write_artifact_volatile("recovery.csv", &csv);
     println!();
 
     let checks = vec![

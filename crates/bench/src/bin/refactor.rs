@@ -22,7 +22,7 @@
 
 use fftx_core::steps;
 use fftx_core::{BufferArena, FftxConfig, Mode, Problem};
-use fftx_bench::write_artifact;
+use fftx_bench::write_artifact_volatile;
 use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction};
 use fftx_knlsim::CommModel;
 use fftx_pw::{apply_potential_slab, TaskGroupLayout};
@@ -352,7 +352,7 @@ fn main() {
         "planned,{planned_min:.6},{priced_comm:.6},{:.6},{identical}",
         planned_min + priced_comm
     );
-    write_artifact("refactor.csv", &csv);
+    write_artifact_volatile("refactor.csv", &csv);
 
     if regression_pct > 2.0 {
         eprintln!("FAIL: planned engine regressed {regression_pct:+.2}% over the legacy path");

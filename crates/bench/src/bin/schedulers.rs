@@ -15,7 +15,7 @@
 //!    paper's best measured strategy (the CI gate), and at least as fast as
 //!    the blocking step policy.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{report_checks, write_artifact, write_artifact_volatile, ShapeCheck};
 use fftx_core::{
     run_modeled, run_policy, FftxConfig, Problem, SchedulerPolicy, StageKind,
 };
@@ -68,7 +68,7 @@ fn main() {
             hist.stages.len(),
             if covered { "" } else { "  (MISSING STAGES)" },
         );
-        write_artifact(
+        write_artifact_volatile(
             &format!("schedulers_stages_{}.csv", policy.name()),
             &hist.csv(stage_name),
         );

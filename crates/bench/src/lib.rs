@@ -5,6 +5,7 @@
 use fftx_core::{run_modeled, FftxConfig, Mode, ModeledRun};
 use fftx_trace::{efficiency_factors, EfficiencyFactors};
 use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 
 /// Directory the harness writes CSV artefacts into (`./results`).
 pub fn results_dir() -> PathBuf {
@@ -15,9 +16,74 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// True when the bin was invoked with `--check`: artifacts are diffed
+/// against the committed files instead of overwritten, so CI can detect
+/// stale committed CSVs (code changed, artifacts didn't get regenerated).
+pub fn check_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--check"))
+}
+
+fn stale_log() -> &'static Mutex<Vec<String>> {
+    static STALE: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    STALE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_stale(msg: String) {
+    println!("[STALE] {msg}");
+    stale_log().lock().expect("stale log").push(msg);
+}
+
 /// Writes `content` to `results/<name>` and reports the path on stdout.
+/// Under `--check`, compares byte-for-byte against the committed file
+/// instead; a mismatch is reported through [`report_checks`].
 pub fn write_artifact(name: &str, content: &str) {
     let path = results_dir().join(name);
+    if check_mode() {
+        match std::fs::read_to_string(&path) {
+            Ok(existing) if existing == content => {
+                println!("[check-ok] {}", path.display());
+            }
+            Ok(_) => record_stale(format!(
+                "{}: committed artifact differs from regenerated content",
+                path.display()
+            )),
+            Err(e) => record_stale(format!("{}: unreadable ({e})", path.display())),
+        }
+        return;
+    }
+    std::fs::write(&path, content).expect("write artifact");
+    println!("[written] {}", path.display());
+}
+
+/// [`write_artifact`] for wall-clock-dependent artifacts (measured
+/// speedups, recovery timings, histogram bin edges): the values change run
+/// to run, so `--check` verifies the *structure* only — same number of
+/// header columns and same row count as the committed file.
+pub fn write_artifact_volatile(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    if check_mode() {
+        match std::fs::read_to_string(&path) {
+            Ok(existing) => {
+                let cols = |s: &str| s.lines().next().map(|h| h.split(',').count());
+                let same_header = cols(&existing) == cols(content);
+                let same_rows = existing.lines().count() == content.lines().count();
+                if same_header && same_rows {
+                    println!("[check-ok] {} (structure)", path.display());
+                } else {
+                    record_stale(format!(
+                        "{}: committed artifact structure differs (columns match: \
+                         {same_header}, rows {} vs {})",
+                        path.display(),
+                        existing.lines().count(),
+                        content.lines().count()
+                    ));
+                }
+            }
+            Err(e) => record_stale(format!("{}: unreadable ({e})", path.display())),
+        }
+        return;
+    }
     std::fs::write(&path, content).expect("write artifact");
     println!("[written] {}", path.display());
 }
@@ -188,6 +254,7 @@ impl ShapeCheck {
 }
 
 /// Prints the checks and returns the process exit code (0 iff all passed).
+/// Stale artifacts detected by a `--check` run fail the bin here too.
 pub fn report_checks(checks: &[ShapeCheck]) -> i32 {
     let mut code = 0;
     for c in checks {
@@ -200,6 +267,10 @@ pub fn report_checks(checks: &[ShapeCheck]) -> i32 {
         if !c.ok {
             code = 1;
         }
+    }
+    for msg in stale_log().lock().expect("stale log").drain(..) {
+        println!("[FAIL] committed artifact up to date — {msg}");
+        code = 1;
     }
     code
 }

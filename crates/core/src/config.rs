@@ -1,6 +1,8 @@
 //! Benchmark configuration: the knobs of the FFTXlib miniapp plus the
 //! execution mode (original static code vs the two task-based strategies).
 
+pub mod env;
+
 /// Execution strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {

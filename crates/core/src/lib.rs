@@ -30,6 +30,7 @@ pub mod stages;
 pub mod steps;
 pub mod taskmodes;
 
+pub use config::env::{load as load_env, valid_policies, EnvError, EnvKnobs};
 pub use config::{FftxConfig, Mode};
 pub use original::{run_original, RunOutput};
 pub use plan::{BufferArena, ExecPlan};

@@ -50,6 +50,29 @@ impl Problem {
         })
     }
 
+    /// A problem sharing this one's cell, layout, potential, and execution
+    /// plans, with a different band count — the batch entry point of the
+    /// serving layer. The layout and plans depend only on the geometry, so
+    /// a batch of coalesced requests reuses the index maps and interned FFT
+    /// plans built once per geometry class instead of paying the full
+    /// [`Problem::new`] per batch.
+    ///
+    /// # Panics
+    /// Panics when the adjusted configuration fails validation (band count
+    /// not divisible by the task-group count).
+    pub fn with_nbnd(&self, nbnd: usize) -> Arc<Self> {
+        let mut config = self.config;
+        config.nbnd = nbnd;
+        config.validate();
+        Arc::new(Problem {
+            config,
+            cell: self.cell,
+            layout: self.layout.clone(),
+            v: self.v.clone(),
+            plans: self.plans.clone(),
+        })
+    }
+
     /// The precomputed execution plan of task group `g`.
     pub fn exec_plan(&self, g: usize) -> &Arc<ExecPlan> {
         &self.plans[g]
@@ -123,6 +146,28 @@ mod tests {
             cat.extend_from_slice(p.v_slab(g));
         }
         assert_eq!(cat, p.v);
+    }
+
+    #[test]
+    fn with_nbnd_matches_a_fresh_build() {
+        let c = FftxConfig::small(2, 2, Mode::Original);
+        let base = Problem::new(c);
+        let grown = base.with_nbnd(8);
+        assert_eq!(grown.config.nbnd, 8);
+        let fresh = Problem::new(FftxConfig { nbnd: 8, ..c });
+        assert_eq!(grown.v, fresh.v);
+        assert_eq!(grown.band(7), fresh.band(7));
+        assert_eq!(grown.layout.group_sticks, fresh.layout.group_sticks);
+        for r in 0..c.vmpi_ranks() {
+            assert_eq!(grown.initial_shares(r), fresh.initial_shares(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn with_nbnd_validates() {
+        let base = Problem::new(FftxConfig::small(1, 4, Mode::Original));
+        let _ = base.with_nbnd(6);
     }
 
     #[test]

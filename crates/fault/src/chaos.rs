@@ -76,6 +76,20 @@ impl ChaosConfig {
         }
     }
 
+    /// The low-rate variant of [`ChaosConfig::aggressive`] — what
+    /// `FFTX_CHAOS_PROFILE=light` selects, and the profile the serving
+    /// path injects per batch (frequent enough to exercise the transport's
+    /// fault handling, cheap enough to run on every served batch).
+    pub fn light(seed: u64) -> Self {
+        ChaosConfig {
+            p_delay: 0.05,
+            p_duplicate: 0.05,
+            p_drop: 0.05,
+            p_reorder: 0.1,
+            ..ChaosConfig::aggressive(seed)
+        }
+    }
+
     /// Reads a config from `FFTX_CHAOS_SEED` (and optional
     /// `FFTX_CHAOS_PROFILE=off|light|aggressive`). Returns `None` when the
     /// seed variable is unset — the zero-overhead default.
@@ -83,13 +97,7 @@ impl ChaosConfig {
         let seed: u64 = std::env::var("FFTX_CHAOS_SEED").ok()?.parse().ok()?;
         match std::env::var("FFTX_CHAOS_PROFILE").as_deref() {
             Ok("off") => None,
-            Ok("light") => Some(ChaosConfig {
-                p_delay: 0.05,
-                p_duplicate: 0.05,
-                p_drop: 0.05,
-                p_reorder: 0.1,
-                ..ChaosConfig::aggressive(seed)
-            }),
+            Ok("light") => Some(ChaosConfig::light(seed)),
             _ => Some(ChaosConfig::aggressive(seed)),
         }
     }

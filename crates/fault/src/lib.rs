@@ -23,8 +23,11 @@ pub use chaos::{ChaosConfig, ChaosEngine, FaultEvent, FaultKind, FaultReport, Me
 pub use fatal::{BatchAborts, RankDeath, RecoveryConfig, TaskCrashes};
 pub use plan::{BandSpikes, FaultPlan};
 
-/// splitmix64 finalizer: the workspace's standard bit mixer.
-pub(crate) fn mix64(mut z: u64) -> u64 {
+/// splitmix64 finalizer: the workspace's standard bit mixer. Public so the
+/// synthetic traffic generator (`fftx-serve`) draws its arrival and
+/// workload streams from the same deterministic primitive as the fault
+/// schedules.
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -32,6 +35,6 @@ pub(crate) fn mix64(mut z: u64) -> u64 {
 }
 
 /// Maps 64 random bits to a uniform f64 in `[0, 1)`.
-pub(crate) fn unit_f64(bits: u64) -> f64 {
+pub fn unit_f64(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }

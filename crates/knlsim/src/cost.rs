@@ -1,0 +1,179 @@
+//! Closed-form cost screening for candidate placements.
+//!
+//! The serving layer's placement tuner has to rank many candidate
+//! configurations (R×T layout, scheduler policy, hyper-threading degree)
+//! per workload class. Running the full discrete-event simulation for every
+//! candidate is exact but needless for pruning — this module computes a
+//! cheap analytic estimate from the same lowered rank programs and the same
+//! calibrated models, so the screen and the final DES ranking can never
+//! disagree about the inputs, only about queueing effects.
+//!
+//! The estimate deliberately ignores scheduling: compute is assumed
+//! perfectly balanced over the configured lanes at the steady-state SMT and
+//! node-contention operating point, and collectives serialize through the
+//! mesh channels with no compute overlap. That makes it an upper-bound-ish
+//! screen whose *relative order* tracks the simulator closely enough to
+//! pick a top-k for exact evaluation.
+
+use crate::arch::KnlConfig;
+use crate::model::{CommModel, ContentionModel};
+use crate::program::{RankTasks, Segment};
+use fftx_trace::StateClass;
+use std::collections::BTreeMap;
+
+/// The components of a quick placement-cost estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Execution lanes the programs occupy.
+    pub lanes: usize,
+    /// Hardware threads sharing one core at this occupancy (the HT degree
+    /// of the placement).
+    pub threads_per_core: usize,
+    /// Balanced per-lane compute seconds at the steady-state operating
+    /// point.
+    pub compute_s: f64,
+    /// Channel-serialized collective seconds (no compute overlap assumed).
+    pub comm_s: f64,
+}
+
+impl CostBreakdown {
+    /// The scalar screening cost: compute plus unoverlapped communication.
+    pub fn total(&self) -> f64 {
+        self.compute_s + self.comm_s
+    }
+}
+
+/// Analytic cost screen over lowered rank programs — see the module docs
+/// for the assumptions.
+///
+/// # Panics
+/// Panics when `programs` is empty or occupies more lanes than the node
+/// has hardware threads.
+pub fn quick_estimate(
+    programs: &[RankTasks],
+    knl: &KnlConfig,
+    contention: &ContentionModel,
+    comm: &CommModel,
+) -> CostBreakdown {
+    assert!(!programs.is_empty(), "quick_estimate: no rank programs");
+    let lanes: usize = programs.iter().map(|r| r.workers.max(1)).sum();
+    knl.check_capacity(lanes);
+    let threads_per_core = lanes.div_ceil(knl.cores_used(lanes));
+
+    // Aggregate flops per phase class and channel-occupancy seconds. Each
+    // collective appears once per participant, so its transfer time is
+    // divided by the communicator size to count the channel occupancy once.
+    let mut flops: BTreeMap<StateClass, f64> = BTreeMap::new();
+    let mut channel_s = 0.0;
+    for rank in programs {
+        for task in &rank.tasks {
+            for seg in &task.segments {
+                match seg {
+                    Segment::Compute { class, flops: f, .. } => {
+                        *flops.entry(*class).or_insert(0.0) += f;
+                    }
+                    Segment::Collective { op, size, bytes, .. }
+                    | Segment::CollectivePost { op, size, bytes, .. } => {
+                        channel_s += comm.duration(*op, *size, *bytes) / (*size).max(1) as f64;
+                    }
+                    Segment::CollectiveWait { .. } => {}
+                }
+            }
+        }
+    }
+
+    // Steady-state operating point: every lane active with the
+    // demand-weighted average phase intensity.
+    let total_flops: f64 = flops.values().sum();
+    let avg_demand = if total_flops > 0.0 {
+        flops
+            .iter()
+            .map(|(c, f)| contention.bw_demand(*c) * f)
+            .sum::<f64>()
+            / total_flops
+    } else {
+        0.0
+    };
+    let load = lanes as f64 * avg_demand;
+
+    let mut compute_s = 0.0;
+    for (class, f) in &flops {
+        let ipc = contention.effective_ipc(*class, threads_per_core, avg_demand, load);
+        let instructions = f / lanes as f64 * contention.instructions_per_flop(*class);
+        compute_s += instructions / (ipc * knl.freq_hz);
+    }
+
+    CostBreakdown {
+        lanes,
+        threads_per_core,
+        compute_s,
+        comm_s: channel_s / comm.channels.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::TaskSpec;
+    use fftx_trace::CommOp;
+
+    fn program(workers: usize, flops: f64, bytes: usize, size: usize) -> RankTasks {
+        let segments = vec![
+            Segment::compute(StateClass::FftXy, flops),
+            Segment::Collective {
+                op: CommOp::Alltoall,
+                comm_key: 1,
+                size,
+                bytes,
+                tag: 0,
+            },
+        ];
+        RankTasks {
+            tasks: vec![TaskSpec::new("t", 0, segments)],
+            workers,
+        }
+    }
+
+    #[test]
+    fn estimate_scales_down_with_lanes() {
+        let knl = KnlConfig::paper();
+        let con = ContentionModel::paper();
+        let comm = CommModel::paper();
+        let one: Vec<RankTasks> = vec![program(1, 1e9, 1 << 16, 1)];
+        let four: Vec<RankTasks> = (0..4).map(|_| program(1, 0.25e9, 1 << 16, 4)).collect();
+        let c1 = quick_estimate(&one, &knl, &con, &comm);
+        let c4 = quick_estimate(&four, &knl, &con, &comm);
+        assert_eq!(c1.lanes, 1);
+        assert_eq!(c4.lanes, 4);
+        assert!(c4.compute_s < c1.compute_s, "{} vs {}", c4.compute_s, c1.compute_s);
+        // Rank-1 collectives cost nothing; the 4-rank exchange does.
+        assert_eq!(c1.comm_s, 0.0);
+        assert!(c4.comm_s > 0.0);
+        assert!(c4.total() > c4.compute_s);
+    }
+
+    #[test]
+    fn ht_degree_follows_occupancy() {
+        let knl = KnlConfig::paper();
+        let con = ContentionModel::paper();
+        let comm = CommModel::paper();
+        let p: Vec<RankTasks> = (0..knl.cores * 2).map(|_| program(1, 1e6, 0, 1)).collect();
+        let c = quick_estimate(&p, &knl, &con, &comm);
+        assert_eq!(c.threads_per_core, 2);
+        let q = quick_estimate(&p[..knl.cores / 2], &knl, &con, &comm);
+        assert_eq!(q.threads_per_core, 1);
+    }
+
+    #[test]
+    fn collective_channel_time_counts_each_exchange_once() {
+        let knl = KnlConfig::paper();
+        let con = ContentionModel::paper();
+        let comm = CommModel::paper();
+        let size = 4usize;
+        let bytes = 1 << 20;
+        let p: Vec<RankTasks> = (0..size).map(|_| program(1, 0.0, bytes, size)).collect();
+        let c = quick_estimate(&p, &knl, &con, &comm);
+        let expect = comm.duration(CommOp::Alltoall, size, bytes);
+        assert!((c.comm_s - expect).abs() < 1e-12, "{} vs {expect}", c.comm_s);
+    }
+}

@@ -12,11 +12,13 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod cost;
 pub mod des;
 pub mod model;
 pub mod program;
 
 pub use arch::KnlConfig;
+pub use cost::{quick_estimate, CostBreakdown};
 pub use des::{simulate, simulate_faulty, SimResult};
 pub use fftx_fault::{BandSpikes, FaultPlan};
 pub use model::{CommModel, ContentionModel};

@@ -1,0 +1,221 @@
+//! Batch formation: coalescing compatible queued requests onto one
+//! `Problem` so the plan/arena/FFT-plan machinery is amortised across
+//! requests — the serving-layer analogue of the paper's band grouping
+//! (`ntg` bands per pipeline pass).
+//!
+//! Invariants the planner maintains (pinned by the proptests):
+//!
+//! * **Compatibility** — a batch contains one geometry class only; the
+//!   class of the queue head decides (strict FIFO at the head, so no class
+//!   can be starved).
+//! * **Per-tenant ordering** — once one of a tenant's requests is passed
+//!   over (wrong class, or the batch is full), no later request of that
+//!   tenant joins the batch: a tenant's requests complete in submission
+//!   order.
+//! * **Determinism** — the plan is a pure function of the queue contents
+//!   and the configuration.
+
+use crate::request::{GeometryClass, Request};
+use std::collections::BTreeSet;
+
+/// Batch-formation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum coalesced (payload) bands per batch.
+    pub max_bands: usize,
+    /// The batch's band count is padded up to a multiple of this, so every
+    /// candidate placement's task-group count divides it (filler bands are
+    /// computed and discarded).
+    pub pad_to: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_bands: 16,
+            pad_to: 4,
+        }
+    }
+}
+
+/// One request inside a batch and the contiguous band range assigned to it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMember {
+    /// The coalesced request.
+    pub request: Request,
+    /// First band index of the request inside the batch problem.
+    pub band_start: usize,
+}
+
+/// A formed batch: compatible requests mapped onto contiguous band ranges
+/// of one problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Geometry class of every member.
+    pub class: GeometryClass,
+    /// Members in queue order, with band ranges assigned front to back.
+    pub members: Vec<BatchMember>,
+    /// Bands carrying request payload (sum of member band counts).
+    pub payload_bands: usize,
+    /// Band count of the batch problem (`payload_bands` padded up to a
+    /// multiple of [`BatchConfig::pad_to`]).
+    pub nbnd: usize,
+}
+
+/// Plans the next batch over `queue` (front first) without mutating it:
+/// returns the queue positions that would be coalesced. Empty queue plans
+/// nothing; a non-empty queue always plans at least the head request.
+pub fn plan_batch<'a>(
+    queue: impl IntoIterator<Item = &'a Request>,
+    cfg: &BatchConfig,
+) -> Vec<usize> {
+    let mut taken = Vec::new();
+    let mut blocked: BTreeSet<u32> = BTreeSet::new();
+    let mut class: Option<GeometryClass> = None;
+    let mut bands = 0usize;
+    for (pos, req) in queue.into_iter().enumerate() {
+        let class = *class.get_or_insert(req.class);
+        let compatible = req.class == class && !blocked.contains(&req.tenant);
+        // The head request always joins (bands == 0), even when larger than
+        // max_bands — otherwise an oversized request would wedge the queue.
+        if compatible && (bands == 0 || bands + req.bands <= cfg.max_bands) {
+            taken.push(pos);
+            bands += req.bands;
+        } else {
+            blocked.insert(req.tenant);
+        }
+    }
+    taken
+}
+
+/// Materialises the planned batch: assigns contiguous band ranges in queue
+/// order and pads the band count. `members` must be the requests at the
+/// positions [`plan_batch`] returned, in that order.
+pub fn assemble(members: Vec<Request>, cfg: &BatchConfig) -> Batch {
+    assert!(!members.is_empty(), "assemble: empty batch");
+    let class = members[0].class;
+    assert!(
+        members.iter().all(|r| r.class == class),
+        "assemble: mixed geometry classes"
+    );
+    let mut placed = Vec::with_capacity(members.len());
+    let mut next = 0usize;
+    for request in members {
+        placed.push(BatchMember {
+            request,
+            band_start: next,
+        });
+        next += request.bands;
+    }
+    let pad = cfg.pad_to.max(1);
+    Batch {
+        class,
+        members: placed,
+        payload_bands: next,
+        nbnd: next.div_ceil(pad) * pad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::DeadlineClass;
+
+    fn req(id: u64, tenant: u32, class: GeometryClass, bands: usize) -> Request {
+        Request {
+            id,
+            tenant,
+            class,
+            bands,
+            deadline: DeadlineClass::Standard,
+            arrival_s: id as f64,
+        }
+    }
+
+    #[test]
+    fn empty_queue_plans_nothing() {
+        assert!(plan_batch([], &BatchConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn head_class_decides_and_incompatible_are_skipped() {
+        let queue = vec![
+            req(0, 0, GeometryClass::Small, 2),
+            req(1, 1, GeometryClass::Large, 2),
+            req(2, 2, GeometryClass::Small, 2),
+        ];
+        let plan = plan_batch(&queue, &BatchConfig::default());
+        assert_eq!(plan, vec![0, 2]);
+    }
+
+    #[test]
+    fn skipped_tenant_blocks_its_later_requests() {
+        // Tenant 1's Large request is skipped; its later Small request must
+        // not overtake it into the batch.
+        let queue = vec![
+            req(0, 0, GeometryClass::Small, 2),
+            req(1, 1, GeometryClass::Large, 2),
+            req(2, 1, GeometryClass::Small, 2),
+            req(3, 2, GeometryClass::Small, 2),
+        ];
+        let plan = plan_batch(&queue, &BatchConfig::default());
+        assert_eq!(plan, vec![0, 3]);
+    }
+
+    #[test]
+    fn band_capacity_bounds_the_batch() {
+        let queue = vec![
+            req(0, 0, GeometryClass::Small, 3),
+            req(1, 1, GeometryClass::Small, 3),
+            req(2, 2, GeometryClass::Small, 3),
+        ];
+        let cfg = BatchConfig { max_bands: 6, pad_to: 4 };
+        let plan = plan_batch(&queue, &cfg);
+        assert_eq!(plan, vec![0, 1]);
+    }
+
+    #[test]
+    fn oversized_head_still_forms_a_batch() {
+        let queue = vec![req(0, 0, GeometryClass::Small, 9)];
+        let cfg = BatchConfig { max_bands: 4, pad_to: 4 };
+        assert_eq!(plan_batch(&queue, &cfg), vec![0]);
+    }
+
+    #[test]
+    fn full_batch_blocks_the_skipped_tenants() {
+        // Tenant 1 is passed over for capacity; its second request cannot
+        // join even though capacity remains for it.
+        let queue = vec![
+            req(0, 0, GeometryClass::Small, 4),
+            req(1, 1, GeometryClass::Small, 4),
+            req(2, 1, GeometryClass::Small, 1),
+            req(3, 2, GeometryClass::Small, 1),
+        ];
+        let cfg = BatchConfig { max_bands: 5, pad_to: 4 };
+        let plan = plan_batch(&queue, &cfg);
+        assert_eq!(plan, vec![0, 3]);
+    }
+
+    #[test]
+    fn assemble_assigns_contiguous_ranges_and_pads() {
+        let members = vec![
+            req(0, 0, GeometryClass::Small, 2),
+            req(1, 1, GeometryClass::Small, 3),
+        ];
+        let batch = assemble(members, &BatchConfig { max_bands: 16, pad_to: 4 });
+        assert_eq!(batch.payload_bands, 5);
+        assert_eq!(batch.nbnd, 8);
+        assert_eq!(batch.members[0].band_start, 0);
+        assert_eq!(batch.members[1].band_start, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed geometry")]
+    fn assemble_rejects_mixed_classes() {
+        let members = vec![
+            req(0, 0, GeometryClass::Small, 2),
+            req(1, 1, GeometryClass::Large, 3),
+        ];
+        let _ = assemble(members, &BatchConfig::default());
+    }
+}

@@ -1,0 +1,41 @@
+//! `fftx-serve` — a multi-tenant FFT job-serving subsystem on top of the
+//! stage-graph engines, with auto-tuned placement.
+//!
+//! The serving path, front to back:
+//!
+//! 1. [`traffic`] — deterministic open-loop request generation (Poisson
+//!    arrivals, steady/burst/diurnal profiles, mixed tenants, geometry and
+//!    deadline classes).
+//! 2. [`admission`] — bounded queue, per-tenant fair share, deadline-aware
+//!    load shedding with typed [`RejectReason`]s.
+//! 3. [`batch`] — coalescing compatible requests onto one `Problem`
+//!    (the serving-layer analogue of the paper's band grouping), with
+//!    per-tenant ordering preserved.
+//! 4. [`tuner`] — the placement engine: candidate (R×T, ntg, policy,
+//!    HT-degree) configurations screened by the closed-form `knlsim`
+//!    estimate, priced exactly on the DES, refined online from measured
+//!    durations, cached in a deterministic tuning table, explainable via
+//!    [`Tuner::why`].
+//! 5. [`server`] — the virtual-time serving loop: dispatches batches on
+//!    the stage-graph engines, survives injected chaos through the
+//!    recovery ladder (retry → rollback → eviction) without losing an
+//!    accepted job, and exports per-tenant/per-stage metrics.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod batch;
+pub mod request;
+pub mod server;
+pub mod traffic;
+pub mod tuner;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use batch::{assemble, plan_batch, Batch, BatchConfig, BatchMember};
+pub use request::{band_hash, DeadlineClass, GeometryClass, RejectReason, Request};
+pub use server::{
+    run_serve, BatchRecord, JobRecord, PlacementMode, ServeChaos, ServeConfig, ServeReport, Server,
+    ShedRecord,
+};
+pub use traffic::{generate, LoadProfile, TrafficConfig};
+pub use tuner::{candidates, serve_node, CandidateScore, Decision, Placement, Tuner, TunerConfig};

@@ -1,0 +1,721 @@
+//! The serving loop: a deterministic virtual-time discrete-event server
+//! that admits requests, coalesces them into batches, places each batch
+//! with the [`Tuner`](crate::tuner::Tuner), and optionally executes it for
+//! real on the stage-graph engines — surviving injected chaos through the
+//! recovery ladder (task retry → batch rollback → rank eviction) without
+//! losing a single accepted job.
+//!
+//! Time accounting is entirely virtual: a batch's service time is its
+//! modeled (DES) cost under the chosen placement, plus model-priced
+//! recovery overhead derived from the *real* retry/rollback counts when
+//! chaos is injected. Wall clocks never enter the loop, so a pinned seed
+//! reproduces the identical report — the property the CI gates rely on.
+//! Real executions feed two things back: per-member result hashes (the
+//! golden suite compares them against direct engine runs) and
+//! model-comparable duration observations for the tuner's online
+//! refinement.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::batch::{Batch, BatchConfig};
+use crate::request::{band_hash, GeometryClass, RejectReason, Request};
+use crate::tuner::{Placement, Tuner, TunerConfig};
+use fftx_core::{
+    run_eviction, run_policy, run_policy_chaotic, run_retry, run_rollback, Problem, RunOutput,
+    SchedulerPolicy,
+};
+use fftx_fault::{mix64, BatchAborts, ChaosConfig, RankDeath, RecoveryConfig, TaskCrashes};
+use fftx_knlsim::CommModel;
+use fftx_trace::{stage_profile, CounterSet, DepthSeries, Quantiles};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How the server picks a placement per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// Tuner searches every policy's candidate row (the full space).
+    Auto,
+    /// Tuner is restricted to one policy's row — the static baselines the
+    /// auto mode is gated against.
+    Static(SchedulerPolicy),
+}
+
+impl PlacementMode {
+    /// Display name: `auto` or the policy name.
+    pub fn name(self) -> String {
+        match self {
+            PlacementMode::Auto => "auto".into(),
+            PlacementMode::Static(p) => p.name().into(),
+        }
+    }
+
+    /// Parses `auto` or any scheduler-policy name.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "auto" {
+            return Some(PlacementMode::Auto);
+        }
+        SchedulerPolicy::parse(s).map(PlacementMode::Static)
+    }
+}
+
+/// Chaos injection on the serving path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeChaos {
+    /// Seed of the per-batch fault schedules.
+    pub seed: u64,
+    /// When set, that batch (by dispatch index) is forced onto the
+    /// eviction-capable 7×1 serial layout and rank 1 dies mid-run — the
+    /// end-to-end demonstration of recovery mechanism 3.
+    pub evict_batch: Option<usize>,
+}
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Admission-control knobs.
+    pub admission: AdmissionConfig,
+    /// Batch-formation knobs.
+    pub batch: BatchConfig,
+    /// Placement-tuner knobs.
+    pub tuner: TunerConfig,
+    /// Placement selection mode.
+    pub mode: PlacementMode,
+    /// Execute each batch for real on the stage-graph engines (hashes and
+    /// stage profiles come back); otherwise service is purely modeled.
+    pub execute_real: bool,
+    /// Chaos on the serving path (implies real execution).
+    pub chaos: Option<ServeChaos>,
+    /// Workload data seed: fixes the synthetic band/potential content of
+    /// every batch problem, so served results are bit-comparable to direct
+    /// engine runs of the same configuration.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            admission: AdmissionConfig::default(),
+            batch: BatchConfig::default(),
+            tuner: TunerConfig::default(),
+            mode: PlacementMode::Auto,
+            execute_real: false,
+            chaos: None,
+            seed: 42,
+        }
+    }
+}
+
+/// One completed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// The request.
+    pub request: Request,
+    /// Dispatch index of the batch that carried it.
+    pub batch: usize,
+    /// Completion time (virtual seconds).
+    pub done_s: f64,
+    /// Arrival-to-completion latency (virtual seconds).
+    pub latency_s: f64,
+    /// FNV hash of the request's result bands (real executions only).
+    pub hash: Option<u64>,
+    /// Whether the latency stayed within the deadline budget.
+    pub deadline_met: bool,
+}
+
+/// One shed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedRecord {
+    /// The request.
+    pub request: Request,
+    /// Why admission refused it.
+    pub reason: RejectReason,
+}
+
+/// One dispatched batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Dispatch index.
+    pub index: usize,
+    /// Geometry class of the batch.
+    pub class: GeometryClass,
+    /// The placement that executed it.
+    pub placement: Placement,
+    /// Requests coalesced into it.
+    pub members: usize,
+    /// Payload and padded band counts.
+    pub payload_bands: usize,
+    /// Band count of the batch problem.
+    pub nbnd: usize,
+    /// Dispatch time (virtual seconds).
+    pub start_s: f64,
+    /// Service time including recovery overhead (virtual seconds).
+    pub service_s: f64,
+    /// Recovery events absorbed: (task retries, batch rollbacks, evictions).
+    pub recovery: (u64, u64, u64),
+    /// The run had to be escalated to a clean re-execution after the
+    /// in-place recovery budget was exhausted.
+    pub escalated: bool,
+}
+
+/// The full outcome of one serving run.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Placement mode the run used.
+    pub mode: PlacementMode,
+    /// Completed requests, in completion order.
+    pub jobs: Vec<JobRecord>,
+    /// Shed requests, in arrival order.
+    pub shed: Vec<ShedRecord>,
+    /// Dispatched batches, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Counters: `served.tenant.<id>`, `shed.tenant.<id>`, `shed.<kind>`,
+    /// `recovery.retries|rollbacks|evictions`, `escalations`, `batches`.
+    pub counters: CounterSet,
+    /// Queue depth over virtual time.
+    pub depth: DepthSeries,
+    /// Per-stage busy seconds summed over real executions (stage id →
+    /// seconds), from the `trace::stage` spans.
+    pub stage_seconds: BTreeMap<u32, f64>,
+    /// The tuner's explainable dump for every workload key the run decided.
+    pub why: String,
+    /// End of the virtual timeline (last completion).
+    pub makespan_s: f64,
+}
+
+impl ServeReport {
+    /// Requests offered (admitted + shed).
+    pub fn offered(&self) -> usize {
+        self.jobs.len() + self.shed.len()
+    }
+
+    /// Goodput: completed requests whose deadline was met, per virtual
+    /// second of makespan.
+    pub fn goodput_hz(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.jobs.iter().filter(|j| j.deadline_met).count() as f64 / self.makespan_s
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered() == 0 {
+            return 0.0;
+        }
+        self.shed.len() as f64 / self.offered() as f64
+    }
+
+    /// Latency sample set of all completed requests.
+    pub fn latency(&self) -> Quantiles {
+        let mut q = Quantiles::new();
+        for j in &self.jobs {
+            q.push(j.latency_s);
+        }
+        q
+    }
+}
+
+/// Internal outcome of executing one batch for real.
+struct RealRun {
+    output: RunOutput,
+    retries: u64,
+    rollbacks: u64,
+    evictions: u64,
+    checkpoint_bytes: usize,
+    escalated: bool,
+}
+
+/// The server. Owns the admission queue, the tuner, and the base-problem
+/// cache; [`Server::run`] consumes a request trace and produces the report.
+pub struct Server {
+    cfg: ServeConfig,
+    admission: Admission,
+    tuner: Tuner,
+    comm: CommModel,
+    problems: BTreeMap<(usize, usize, usize, &'static str), Arc<Problem>>,
+}
+
+impl Server {
+    /// A fresh server under `cfg`.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Server {
+            admission: Admission::new(cfg.admission),
+            tuner: Tuner::new(cfg.tuner),
+            comm: CommModel::paper(),
+            problems: BTreeMap::new(),
+            cfg,
+        }
+    }
+
+    /// Read access to the tuner (its tables survive the run).
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    fn decide(&mut self, class: GeometryClass, nbnd: usize) -> Placement {
+        match self.cfg.mode {
+            PlacementMode::Auto => self.tuner.decide(class, nbnd).placement,
+            PlacementMode::Static(p) => self.tuner.decide_policy(class, nbnd, p).placement,
+        }
+    }
+
+    /// Rough completion estimate of one request were it admitted now:
+    /// the modeled service of a minimal batch of its class.
+    fn request_estimate(&mut self, req: &Request) -> f64 {
+        let pad = self.cfg.batch.pad_to.max(1);
+        let nbnd = req.bands.div_ceil(pad) * pad;
+        let p = self.decide(req.class, nbnd);
+        self.tuner.service_s(req.class, nbnd, &p)
+    }
+
+    /// The batch problem of `(class, nbnd)` under `placement`, via a base
+    /// problem per (class, layout, policy) rebanded with `with_nbnd` —
+    /// grids, stick layouts, and FFT plans are built once and shared.
+    fn problem_for(&mut self, class: GeometryClass, nbnd: usize, p: &Placement) -> Arc<Problem> {
+        let key = (class.index(), p.nr, p.ntg, p.policy.name());
+        let seed = self.cfg.seed;
+        let base = self
+            .problems
+            .entry(key)
+            .or_insert_with(|| Problem::new(p.config(class, nbnd, seed)));
+        if base.config.nbnd == nbnd {
+            base.clone()
+        } else {
+            base.with_nbnd(nbnd)
+        }
+    }
+
+    /// Executes one batch for real, routing chaos through the recovery
+    /// ladder. Recovery failure escalates to a clean re-run — an accepted
+    /// job is never dropped.
+    fn execute(&mut self, batch: &Batch, p: &Placement, index: usize, evict: bool) -> RealRun {
+        let problem = self.problem_for(batch.class, batch.nbnd, p);
+        let rc = RecoveryConfig::default();
+        let chaos_seed = self
+            .cfg
+            .chaos
+            .map(|c| mix64(c.seed ^ (index as u64).wrapping_mul(0x9e37)));
+        let mut run = RealRun {
+            output: RunOutput {
+                bands: Vec::new(),
+                trace: Default::default(),
+                fft_phase_s: 0.0,
+            },
+            retries: 0,
+            rollbacks: 0,
+            evictions: 0,
+            checkpoint_bytes: 0,
+            escalated: false,
+        };
+        match (chaos_seed, p.policy) {
+            (Some(_), SchedulerPolicy::Serial) if evict => {
+                // The eviction demo: rank 1 dies at batch 2 of the 7×1
+                // layout; the world re-plans onto the 3×2 survivors.
+                match run_eviction(&problem, RankDeath::at(1, 2), &rc) {
+                    Ok((output, stats)) => {
+                        run.output = output;
+                        run.evictions = stats.evictions;
+                        run.rollbacks = stats.batch_rollbacks;
+                        run.checkpoint_bytes = stats.checkpoint_bytes as usize;
+                    }
+                    Err(_) => {
+                        run.output = run_policy(&problem, p.policy);
+                        run.escalated = true;
+                    }
+                }
+            }
+            (Some(seed), SchedulerPolicy::Serial) => {
+                let aborts = BatchAborts::new(seed, 0.4, 2);
+                match run_rollback(&problem, Some(aborts), &rc) {
+                    Ok((output, stats)) => {
+                        run.output = output;
+                        run.rollbacks = stats.batch_rollbacks;
+                        run.checkpoint_bytes = stats.checkpoint_bytes as usize;
+                    }
+                    Err(_) => {
+                        run.output = run_policy(&problem, p.policy);
+                        run.escalated = true;
+                    }
+                }
+            }
+            (Some(seed), SchedulerPolicy::TaskPerFft) => {
+                let crashes = TaskCrashes::new(seed, 0.3, 3);
+                match run_retry(&problem, Some(crashes), &rc) {
+                    Ok((output, stats)) => {
+                        run.output = output;
+                        run.retries = stats.task_retries;
+                    }
+                    Err(_) => {
+                        run.output = run_policy(&problem, p.policy);
+                        run.escalated = true;
+                    }
+                }
+            }
+            (Some(seed), policy) => {
+                // Message-level chaos on the remaining policies: lossless
+                // by construction, the fault report feeds the counters.
+                let (output, report) =
+                    run_policy_chaotic(&problem, policy, Some(ChaosConfig::light(seed)));
+                run.output = output;
+                run.retries = report.map_or(0, |r| r.events.len() as u64);
+            }
+            (None, policy) => {
+                run.output = run_policy(&problem, policy);
+            }
+        }
+        run
+    }
+
+    /// Model-priced overhead of the recovery events a real run absorbed.
+    fn recovery_overhead_s(&self, run: &RealRun, base_service_s: f64, iterations: usize) -> f64 {
+        let per_batch_s = base_service_s / iterations.max(1) as f64;
+        let replays = (run.rollbacks + run.evictions) as u32;
+        let mut overhead = self
+            .comm
+            .replay_seconds(run.checkpoint_bytes, per_batch_s, replays);
+        if run.checkpoint_bytes > 0 {
+            overhead += self.comm.checkpoint_seconds(run.checkpoint_bytes);
+        }
+        // A retried task re-executes one band-batch FFT lane.
+        overhead += run.retries as f64 * per_batch_s / iterations.max(1) as f64;
+        if run.escalated {
+            overhead += base_service_s; // the wasted attempt
+        }
+        overhead
+    }
+
+    fn dispatch(&mut self, start_s: f64, report: &mut ServeReport) -> f64 {
+        let batch_cfg = self.cfg.batch;
+        let batch = self
+            .admission
+            .form_batch(&batch_cfg)
+            .expect("dispatch: non-empty queue");
+        let index = report.batches.len();
+        let evict = self.cfg.chaos.and_then(|c| c.evict_batch) == Some(index);
+        let mut placement = self.decide(batch.class, batch.nbnd);
+        if evict {
+            // The eviction layout: 7 virtual ranks as 7×1 so one can die.
+            placement = Placement {
+                nr: 7,
+                ntg: 1,
+                policy: SchedulerPolicy::Serial,
+            };
+        }
+        let base_service_s = self.tuner.service_s(batch.class, batch.nbnd, &placement);
+        let mut service_s = base_service_s;
+        let real = self.cfg.execute_real || self.cfg.chaos.is_some();
+        let mut hashes: Vec<Option<u64>> = vec![None; batch.members.len()];
+        let mut recovery = (0u64, 0u64, 0u64);
+        let mut escalated = false;
+        if real {
+            let run = self.execute(&batch, &placement, index, evict);
+            let iterations = batch.nbnd / placement.config(batch.class, batch.nbnd, 0).layout_ntg();
+            service_s += self.recovery_overhead_s(&run, base_service_s, iterations);
+            recovery = (run.retries, run.rollbacks, run.evictions);
+            escalated = run.escalated;
+            for (i, m) in batch.members.iter().enumerate() {
+                let range = &run.output.bands[m.band_start..m.band_start + m.request.bands];
+                hashes[i] = Some(band_hash(range));
+            }
+            for (stage, _, seconds) in stage_profile(&run.output.trace) {
+                *report.stage_seconds.entry(stage).or_insert(0.0) += seconds;
+            }
+            // Close the loop: the tuner learns the recovery-adjusted,
+            // model-comparable duration of this placement.
+            self.tuner
+                .observe(batch.class, batch.nbnd, &placement, service_s);
+        }
+        let done_s = start_s + service_s;
+        for (i, m) in batch.members.iter().enumerate() {
+            let latency_s = done_s - m.request.arrival_s;
+            report.jobs.push(JobRecord {
+                request: m.request,
+                batch: index,
+                done_s,
+                latency_s,
+                hash: hashes[i],
+                deadline_met: latency_s <= m.request.deadline.budget_s(),
+            });
+            report
+                .counters
+                .inc(&format!("served.tenant.{}", m.request.tenant));
+        }
+        report.counters.inc("batches");
+        report.counters.add("recovery.retries", recovery.0);
+        report.counters.add("recovery.rollbacks", recovery.1);
+        report.counters.add("recovery.evictions", recovery.2);
+        if escalated {
+            report.counters.inc("escalations");
+        }
+        report.batches.push(BatchRecord {
+            index,
+            class: batch.class,
+            placement,
+            members: batch.members.len(),
+            payload_bands: batch.payload_bands,
+            nbnd: batch.nbnd,
+            start_s,
+            service_s,
+            recovery,
+            escalated,
+        });
+        report.makespan_s = report.makespan_s.max(done_s);
+        done_s
+    }
+
+    /// Runs the server over an arrival-ordered request trace.
+    pub fn run(mut self, requests: &[Request]) -> ServeReport {
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "serve: request trace must be arrival-ordered"
+        );
+        let mut report = ServeReport {
+            mode: self.cfg.mode,
+            jobs: Vec::new(),
+            shed: Vec::new(),
+            batches: Vec::new(),
+            counters: CounterSet::new(),
+            depth: DepthSeries::new(),
+            stage_seconds: BTreeMap::new(),
+            why: String::new(),
+            makespan_s: 0.0,
+        };
+        let mut t_free = 0.0f64;
+        for req in requests {
+            let now = req.arrival_s;
+            // The server became free before this arrival: drain the queue
+            // batch by batch from that moment.
+            while self.admission.depth() > 0 && t_free <= now {
+                t_free = self.dispatch(t_free, &mut report);
+            }
+            // Completion estimate: residual busy time, the backlog ahead,
+            // and the request's own service.
+            let mut estimate = (t_free - now).max(0.0);
+            let backlog: Vec<Request> = self.admission.queued().copied().collect();
+            for q in &backlog {
+                estimate += self.request_estimate(q);
+            }
+            estimate += self.request_estimate(req);
+            match self.admission.offer(*req, estimate) {
+                Ok(()) => {}
+                Err(reason) => {
+                    report.counters.inc(&format!("shed.{}", reason.kind()));
+                    report.counters.inc(&format!("shed.tenant.{}", req.tenant));
+                    report.shed.push(ShedRecord {
+                        request: *req,
+                        reason,
+                    });
+                }
+            }
+            report.depth.record(now, self.admission.depth());
+            // Idle server dispatches immediately on arrival.
+            if self.admission.depth() > 0 && t_free <= now {
+                t_free = self.dispatch(now, &mut report);
+            }
+        }
+        while self.admission.depth() > 0 {
+            t_free = self.dispatch(t_free, &mut report);
+        }
+        report.makespan_s = report.makespan_s.max(t_free);
+        // Explain every workload key the run decided (auto view).
+        let keys: std::collections::BTreeSet<(usize, usize)> = report
+            .batches
+            .iter()
+            .map(|b| (b.class.index(), b.nbnd))
+            .collect();
+        for (class_idx, nbnd) in keys {
+            report.why.push_str(&self.tuner.why(GeometryClass::ALL[class_idx], nbnd));
+            report.why.push('\n');
+        }
+        report
+    }
+}
+
+/// Convenience: generate nothing, serve a prepared trace under `cfg`.
+pub fn run_serve(requests: &[Request], cfg: &ServeConfig) -> ServeReport {
+    Server::new(*cfg).run(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::DeadlineClass;
+    use crate::traffic::{generate, LoadProfile, TrafficConfig};
+
+    fn small_trace() -> Vec<Request> {
+        generate(&TrafficConfig {
+            seed: 7,
+            rate_hz: 40.0,
+            duration_s: 1.0,
+            tenants: 3,
+            profile: LoadProfile::Steady,
+        })
+    }
+
+    #[test]
+    fn modeled_run_conserves_requests() {
+        let trace = small_trace();
+        let report = run_serve(&trace, &ServeConfig::default());
+        assert_eq!(report.offered(), trace.len());
+        assert!(!report.jobs.is_empty());
+        assert!(!report.batches.is_empty());
+        // Every admitted request completes exactly once.
+        let mut ids: Vec<u64> = report.jobs.iter().map(|j| j.request.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), report.jobs.len());
+        assert!(report.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn runs_replay_bit_identically() {
+        let trace = small_trace();
+        let a = run_serve(&trace, &ServeConfig::default());
+        let b = run_serve(&trace, &ServeConfig::default());
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.why, b.why);
+    }
+
+    #[test]
+    fn tenant_ordering_is_preserved() {
+        let trace = small_trace();
+        let report = run_serve(&trace, &ServeConfig::default());
+        let mut last_done: BTreeMap<u32, (f64, u64)> = BTreeMap::new();
+        for j in &report.jobs {
+            if let Some(&(done, id)) = last_done.get(&j.request.tenant) {
+                assert!(
+                    j.done_s > done || (j.done_s == done && j.request.id > id),
+                    "tenant {} completed out of order",
+                    j.request.tenant
+                );
+            }
+            last_done.insert(j.request.tenant, (j.done_s, j.request.id));
+        }
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_reasons() {
+        // A tiny queue under a hot burst must shed.
+        let trace = generate(&TrafficConfig {
+            seed: 11,
+            rate_hz: 400.0,
+            duration_s: 1.0,
+            tenants: 2,
+            profile: LoadProfile::Burst,
+        });
+        let cfg = ServeConfig {
+            admission: AdmissionConfig {
+                queue_cap: 4,
+                tenant_share: 0.5,
+                shed_late: true,
+            },
+            ..Default::default()
+        };
+        let report = run_serve(&trace, &cfg);
+        assert!(!report.shed.is_empty());
+        assert!(report.shed_rate() > 0.0);
+        assert_eq!(
+            report.counters.sum_prefix("shed.tenant."),
+            report.shed.len() as u64
+        );
+        assert!(report.depth.max() <= 4);
+    }
+
+    #[test]
+    fn real_execution_hashes_match_a_direct_engine_run() {
+        let trace: Vec<Request> = small_trace().into_iter().take(6).collect();
+        let cfg = ServeConfig {
+            execute_real: true,
+            ..Default::default()
+        };
+        let report = run_serve(&trace, &cfg);
+        for batch in &report.batches {
+            let jobs: Vec<&JobRecord> =
+                report.jobs.iter().filter(|j| j.batch == batch.index).collect();
+            let p = batch.placement;
+            let problem = Problem::new(p.config(batch.class, batch.nbnd, 42));
+            let direct = run_policy(&problem, p.policy);
+            // Jobs of one batch are recorded in member (band) order, so the
+            // band offsets reconstruct by accumulation.
+            let mut start = 0;
+            for j in jobs {
+                let m = j.request;
+                let expect = band_hash(&direct.bands[start..start + m.bands]);
+                assert_eq!(j.hash, Some(expect), "request {}", m.id);
+                start += m.bands;
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_run_loses_no_accepted_jobs() {
+        let trace: Vec<Request> = small_trace().into_iter().take(8).collect();
+        let cfg = ServeConfig {
+            chaos: Some(ServeChaos {
+                seed: 0xC0FFEE,
+                evict_batch: None,
+            }),
+            ..Default::default()
+        };
+        let report = run_serve(&trace, &cfg);
+        assert_eq!(report.offered(), trace.len());
+        assert_eq!(report.jobs.len() + report.shed.len(), trace.len());
+        // Chaos must not change any result: hashes match the clean run.
+        let clean = run_serve(
+            &trace,
+            &ServeConfig {
+                execute_real: true,
+                ..Default::default()
+            },
+        );
+        let hash_of = |r: &ServeReport, id: u64| {
+            r.jobs.iter().find(|j| j.request.id == id).and_then(|j| j.hash)
+        };
+        for j in &report.jobs {
+            assert_eq!(
+                j.hash,
+                hash_of(&clean, j.request.id),
+                "request {} result corrupted by chaos",
+                j.request.id
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_batch_survives_a_rank_death() {
+        let trace: Vec<Request> = small_trace().into_iter().take(4).collect();
+        let cfg = ServeConfig {
+            chaos: Some(ServeChaos {
+                seed: 5,
+                evict_batch: Some(0),
+            }),
+            ..Default::default()
+        };
+        let report = run_serve(&trace, &cfg);
+        let b0 = &report.batches[0];
+        assert_eq!(b0.placement.nr, 7);
+        assert_eq!(b0.recovery.2, 1, "one eviction expected");
+        assert!(!b0.escalated);
+        assert!(report.jobs.iter().filter(|j| j.batch == 0).all(|j| j.hash.is_some()));
+    }
+
+    #[test]
+    fn deadlines_partition_completions() {
+        let trace = small_trace();
+        let report = run_serve(&trace, &ServeConfig::default());
+        for j in &report.jobs {
+            assert_eq!(
+                j.deadline_met,
+                j.latency_s <= j.request.deadline.budget_s()
+            );
+            assert!(matches!(
+                j.request.deadline,
+                DeadlineClass::Interactive | DeadlineClass::Standard | DeadlineClass::Batch
+            ));
+        }
+        let mut q = report.latency();
+        if q.len() >= 2 {
+            assert!(q.p50() <= q.p99());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end golden guarantees of the serving subsystem:
+//!
+//! * a served request's result bands hash-match a direct `run_policy` run
+//!   of the identical configuration (the serving layer adds no numerics),
+//! * a chaos-seeded serving run completes every accepted job with
+//!   unchanged hashes (recovery costs time, never answers),
+//! * the eviction demo re-plans a dying rank's work and still matches.
+
+use fftx_serve::{
+    band_hash, generate, run_serve, LoadProfile, PlacementMode, ServeChaos, ServeConfig,
+    TrafficConfig,
+};
+use fftx_core::{run_policy, Problem};
+
+fn trace(n: usize) -> Vec<fftx_serve::Request> {
+    generate(&TrafficConfig {
+        seed: 20170814,
+        rate_hz: 60.0,
+        duration_s: 1.5,
+        tenants: 3,
+        profile: LoadProfile::Steady,
+    })
+    .into_iter()
+    .take(n)
+    .collect()
+}
+
+/// Direct-engine hashes of every job in a report, batch by batch.
+fn direct_hashes(report: &fftx_serve::ServeReport, seed: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for batch in &report.batches {
+        let p = batch.placement;
+        let problem = Problem::new(p.config(batch.class, batch.nbnd, seed));
+        let direct = run_policy(&problem, p.policy);
+        let mut start = 0;
+        for j in report.jobs.iter().filter(|j| j.batch == batch.index) {
+            out.push((
+                j.request.id,
+                band_hash(&direct.bands[start..start + j.request.bands]),
+            ));
+            start += j.request.bands;
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn served_results_match_direct_engine_runs() {
+    for mode in [
+        PlacementMode::Auto,
+        PlacementMode::Static(fftx_core::SchedulerPolicy::Serial),
+        PlacementMode::Static(fftx_core::SchedulerPolicy::TaskPerFft),
+    ] {
+        let cfg = ServeConfig {
+            mode,
+            execute_real: true,
+            ..Default::default()
+        };
+        let report = run_serve(&trace(10), &cfg);
+        assert!(!report.jobs.is_empty());
+        let expect = direct_hashes(&report, cfg.seed);
+        let mut got: Vec<(u64, u64)> = report
+            .jobs
+            .iter()
+            .map(|j| (j.request.id, j.hash.expect("real run hashes")))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expect, "mode {}", mode.name());
+    }
+}
+
+#[test]
+fn chaos_serving_completes_all_accepted_jobs_bit_identically() {
+    let requests = trace(12);
+    let clean = run_serve(
+        &requests,
+        &ServeConfig {
+            execute_real: true,
+            ..Default::default()
+        },
+    );
+    let chaotic = run_serve(
+        &requests,
+        &ServeConfig {
+            chaos: Some(ServeChaos {
+                seed: 0xFF7C,
+                evict_batch: None,
+            }),
+            ..Default::default()
+        },
+    );
+    // Zero lost accepted jobs: both runs complete the same request set.
+    let ids = |r: &fftx_serve::ServeReport| {
+        let mut v: Vec<u64> = r.jobs.iter().map(|j| j.request.id).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(ids(&clean), ids(&chaotic));
+    // ... with bit-identical results.
+    for j in &chaotic.jobs {
+        let c = clean
+            .jobs
+            .iter()
+            .find(|x| x.request.id == j.request.id)
+            .expect("same job set");
+        assert_eq!(j.hash, c.hash, "request {}", j.request.id);
+    }
+}
+
+#[test]
+fn eviction_on_the_serving_path_matches_direct_hashes() {
+    let requests = trace(6);
+    let report = run_serve(
+        &requests,
+        &ServeConfig {
+            chaos: Some(ServeChaos {
+                seed: 9,
+                evict_batch: Some(0),
+            }),
+            ..Default::default()
+        },
+    );
+    let b0 = &report.batches[0];
+    assert_eq!((b0.placement.nr, b0.placement.ntg), (7, 1));
+    assert_eq!(b0.recovery.2, 1, "the rank death must be absorbed by eviction");
+    // The evicted batch's results still match a direct (fault-free) run of
+    // the same 7×1 configuration.
+    let expect = direct_hashes(&report, 42);
+    let mut got: Vec<(u64, u64)> = report
+        .jobs
+        .iter()
+        .map(|j| (j.request.id, j.hash.expect("real run hashes")))
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, expect);
+}

@@ -11,6 +11,8 @@
 //! * [`pop`] — the multiplicative efficiency model of Tables I and II;
 //! * [`timeline`] — ASCII/CSV timelines (Fig. 3, Fig. 7 left);
 //! * [`histogram`] — IPC × duration histograms (Fig. 7 right);
+//! * [`metrics`] — service-level metrics for the job-serving subsystem
+//!   (exact latency quantiles, queue-depth series, labelled counters);
 //! * [`table`] — paper-style table and bar-chart rendering;
 //! * [`paraver`] — export to the actual Paraver `.prv`/`.pcf`/`.row` format
 //!   so traces open in the BSC tool the paper used.
@@ -21,6 +23,7 @@
 pub mod event;
 pub mod lane_ctx;
 pub mod histogram;
+pub mod metrics;
 pub mod paraver;
 pub mod pop;
 pub mod stage;
@@ -31,6 +34,7 @@ pub mod trace;
 pub use lane_ctx::{current_thread, set_current_thread};
 pub use event::{CommOp, CommRecord, ComputeRecord, Lane, StateClass, TaskRecord};
 pub use histogram::IpcHistogram;
+pub use metrics::{CounterSet, DepthSeries, Quantiles};
 pub use stage::{stage_profile, StageHistogram, StageRecord};
 pub use paraver::{export_paraver, phase_profile, ParaverBundle};
 pub use pop::{efficiency_factors, intra_factors, scalability_factors, EfficiencyFactors};

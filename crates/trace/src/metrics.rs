@@ -1,0 +1,273 @@
+//! Serving-side metrics: exact latency quantiles, time-weighted
+//! queue-depth series, and labelled monotonic counters.
+//!
+//! The job-serving subsystem (`fftx-serve`) exports its per-tenant and
+//! per-stage accounting through these types so the same trace crate that
+//! carries the Extrae/Paraver-style execution records also carries the
+//! service-level ones: latency percentiles per deadline class, queue depth
+//! over virtual time, shed/completion counters per tenant. Everything is
+//! exact and deterministic — quantiles are computed from the full sample
+//! set (serving traces are small enough), not from a sketch.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An exact quantile estimator over an explicit sample set.
+#[derive(Debug, Clone, Default)]
+pub struct Quantiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Quantiles {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) with linear interpolation between
+    /// order statistics; `NaN` on an empty set.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean; `NaN` on an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            f64::NAN
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample; `NaN` on an empty set.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NAN, f64::max)
+    }
+}
+
+/// A time-weighted step series — queue depth (or any gauge) over virtual
+/// time. Between two recordings the gauge holds its previous value, so the
+/// mean is the time integral divided by the observation span.
+#[derive(Debug, Clone, Default)]
+pub struct DepthSeries {
+    points: Vec<(f64, usize)>,
+}
+
+impl DepthSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the gauge value `depth` at time `t` (seconds, must be
+    /// non-decreasing across calls).
+    pub fn record(&mut self, t: f64, depth: usize) {
+        if let Some(&(last_t, _)) = self.points.last() {
+            assert!(t >= last_t, "DepthSeries: time must be non-decreasing");
+        }
+        self.points.push((t, depth));
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest recorded value (0 for an empty series).
+    pub fn max(&self) -> usize {
+        self.points.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Time-weighted mean over the observation span; `NaN` when fewer than
+    /// two points were recorded (no span to integrate over).
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return f64::NAN;
+        }
+        let mut integral = 0.0;
+        for w in self.points.windows(2) {
+            integral += w[0].1 as f64 * (w[1].0 - w[0].0);
+        }
+        let span = self.points.last().expect("non-empty").0 - self.points[0].0;
+        if span <= 0.0 {
+            f64::NAN
+        } else {
+            integral / span
+        }
+    }
+}
+
+/// Labelled monotonic counters with deterministic (sorted) iteration, for
+/// per-tenant accepted/shed/completed accounting and similar tallies.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSet {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `key` (creating it at 0).
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counts.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Increments the counter `key` by one.
+    pub fn inc(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key` (0 when never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum over all counters whose label starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All `(label, value)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// CSV rendering (`counter,value` rows in label order).
+    pub fn csv(&self) -> String {
+        let mut out = String::from("counter,value\n");
+        for (k, v) in self.iter() {
+            let _ = writeln!(out, "{k},{v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate_exactly() {
+        let mut q = Quantiles::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            q.push(v);
+        }
+        assert_eq!(q.len(), 4);
+        assert!((q.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((q.quantile(1.0) - 4.0).abs() < 1e-12);
+        assert!((q.p50() - 2.5).abs() < 1e-12);
+        assert!((q.quantile(1.0 / 3.0) - 2.0).abs() < 1e-12);
+        assert!((q.mean() - 2.5).abs() < 1e-12);
+        assert!((q.max() - 4.0).abs() < 1e-12);
+        // Push after query re-sorts.
+        q.push(0.0);
+        assert!((q.quantile(0.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_empty_is_nan() {
+        let mut q = Quantiles::new();
+        assert!(q.is_empty());
+        assert!(q.p50().is_nan());
+        assert!(q.mean().is_nan());
+    }
+
+    #[test]
+    fn depth_series_time_weighted_mean() {
+        let mut s = DepthSeries::new();
+        s.record(0.0, 0);
+        s.record(1.0, 4); // depth 0 held for 1s
+        s.record(3.0, 2); // depth 4 held for 2s
+        s.record(4.0, 2); // depth 2 held for 1s
+        assert_eq!(s.max(), 4);
+        // (0*1 + 4*2 + 2*1) / 4 = 2.5
+        assert!((s.time_weighted_mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_series_degenerate_is_nan() {
+        let mut s = DepthSeries::new();
+        assert!(s.time_weighted_mean().is_nan());
+        s.record(1.0, 3);
+        assert!(s.time_weighted_mean().is_nan());
+        assert_eq!(s.max(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn depth_series_rejects_time_travel() {
+        let mut s = DepthSeries::new();
+        s.record(2.0, 1);
+        s.record(1.0, 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let mut c = CounterSet::new();
+        c.inc("tenant0.accepted");
+        c.add("tenant0.accepted", 2);
+        c.inc("tenant1.shed");
+        assert_eq!(c.get("tenant0.accepted"), 3);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.sum_prefix("tenant"), 4);
+        assert_eq!(c.sum_prefix("tenant1"), 1);
+        let csv = c.csv();
+        assert!(csv.starts_with("counter,value\n"));
+        assert!(csv.contains("tenant0.accepted,3"));
+        // Deterministic label order.
+        let labels: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(labels, vec!["tenant0.accepted", "tenant1.shed"]);
+    }
+}

@@ -1,0 +1,181 @@
+//! `fftx-serve` — the multi-tenant FFT job-serving demo driver.
+//!
+//! Generates a deterministic synthetic request trace (Poisson arrivals
+//! under a steady / burst / diurnal profile), serves it through the
+//! `fftx-serve` subsystem (admission control → batch coalescing →
+//! auto-tuned placement → stage-graph execution), and prints the
+//! per-tenant / per-deadline outcome plus, on request, the tuner's
+//! explainable placement dump.
+
+use fftxlib_repro::serve::{
+    run_serve, LoadProfile, PlacementMode, ServeChaos, ServeConfig, ServeReport, TrafficConfig,
+};
+use std::process::ExitCode;
+
+struct Args {
+    traffic: TrafficConfig,
+    serve: ServeConfig,
+    why: bool,
+}
+
+const USAGE: &str = "usage: fftx-serve [options]
+  --rate HZ        mean arrival rate (requests per virtual second, default 30)
+  --duration S     trace duration in virtual seconds        (default 2.0)
+  --tenants N      number of tenants                        (default 4)
+  --profile P      steady | burst | diurnal                 (default steady)
+  --mode M         auto | serial | step | fft | async | hybrid (default auto)
+  --seed S         trace + workload seed                    (default 20170814)
+  --queue-cap N    admission queue capacity                 (default 64)
+  --real           execute batches for real (hashes + stage profile)
+  --chaos SEED     inject chaos on the serving path (implies --real)
+  --evict N        with --chaos: force batch N onto the 7x1 layout and
+                   kill rank 1 mid-run (eviction demo)
+  --why            print the tuner's placement explanations
+  --help           this text";
+
+fn parse_args() -> Result<Args, String> {
+    let mut traffic = TrafficConfig {
+        seed: 20170814,
+        rate_hz: 30.0,
+        duration_s: 2.0,
+        tenants: 4,
+        profile: LoadProfile::Steady,
+    };
+    let mut serve = ServeConfig::default();
+    let mut evict: Option<usize> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut why = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--rate" => traffic.rate_hz = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
+            "--duration" => {
+                traffic.duration_s = val("--duration")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--tenants" => traffic.tenants = val("--tenants")?.parse().map_err(|e| format!("{e}"))?,
+            "--profile" => {
+                let p = val("--profile")?;
+                traffic.profile = LoadProfile::parse(&p)
+                    .ok_or_else(|| format!("unknown profile '{p}' (valid: steady, burst, diurnal)"))?;
+            }
+            "--mode" => {
+                let m = val("--mode")?;
+                serve.mode = PlacementMode::parse(&m).ok_or_else(|| {
+                    format!("unknown mode '{m}' (valid: auto, serial, step, fft, async, hybrid)")
+                })?;
+            }
+            "--seed" => {
+                let s: u64 = val("--seed")?.parse().map_err(|e| format!("{e}"))?;
+                traffic.seed = s;
+                serve.seed = s;
+            }
+            "--queue-cap" => {
+                serve.admission.queue_cap =
+                    val("--queue-cap")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--real" => serve.execute_real = true,
+            "--chaos" => chaos_seed = Some(val("--chaos")?.parse().map_err(|e| format!("{e}"))?),
+            "--evict" => evict = Some(val("--evict")?.parse().map_err(|e| format!("{e}"))?),
+            "--why" => why = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if let Some(seed) = chaos_seed {
+        serve.chaos = Some(ServeChaos {
+            seed,
+            evict_batch: evict,
+        });
+    } else if evict.is_some() {
+        return Err("--evict requires --chaos".into());
+    }
+    Ok(Args {
+        traffic,
+        serve,
+        why,
+    })
+}
+
+fn print_report(report: &ServeReport, traffic: &TrafficConfig) {
+    println!("fftx-serve — multi-tenant FFT job serving");
+    println!(
+        "  traffic : {} req/s x {:.1}s ({}), {} tenants, seed {}",
+        traffic.rate_hz, traffic.duration_s, traffic.profile.name(), traffic.tenants, traffic.seed
+    );
+    println!("  mode    : {}", report.mode.name());
+    println!(
+        "  offered {} | served {} | shed {} ({:.1} %)",
+        report.offered(),
+        report.jobs.len(),
+        report.shed.len(),
+        report.shed_rate() * 100.0
+    );
+    let mut lat = report.latency();
+    if !lat.is_empty() {
+        println!(
+            "  latency : p50 {:.4}s  p99 {:.4}s  mean {:.4}s  max {:.4}s",
+            lat.p50(),
+            lat.p99(),
+            lat.mean(),
+            lat.max()
+        );
+    }
+    println!(
+        "  goodput : {:.2} deadline-met jobs/s over a {:.3}s makespan",
+        report.goodput_hz(),
+        report.makespan_s
+    );
+    println!(
+        "  queue   : max depth {}, time-weighted mean {:.2}",
+        report.depth.max(),
+        report.depth.time_weighted_mean()
+    );
+    println!(
+        "  batches : {} dispatched, {:.2} requests coalesced per batch",
+        report.batches.len(),
+        report.jobs.len() as f64 / report.batches.len().max(1) as f64
+    );
+    let (r, b, e) = report.batches.iter().fold((0, 0, 0), |acc, x| {
+        (acc.0 + x.recovery.0, acc.1 + x.recovery.1, acc.2 + x.recovery.2)
+    });
+    if r + b + e > 0 || report.counters.get("escalations") > 0 {
+        println!(
+            "  recovery: {r} task retries, {b} rollbacks, {e} evictions, {} escalations — zero lost jobs",
+            report.counters.get("escalations")
+        );
+    }
+    println!("\ncounters:");
+    for (key, n) in report.counters.iter() {
+        println!("  {key:<24} {n}");
+    }
+    if !report.stage_seconds.is_empty() {
+        println!("\nper-stage busy seconds (real executions):");
+        for (stage, seconds) in &report.stage_seconds {
+            println!("  stage {stage:<3} {seconds:.6}s");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{USAGE}");
+            return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+    let requests = fftxlib_repro::serve::generate(&args.traffic);
+    let report = run_serve(&requests, &args.serve);
+    print_report(&report, &args.traffic);
+    if args.why {
+        println!("\n{}", report.why);
+    }
+    ExitCode::SUCCESS
+}

@@ -13,7 +13,9 @@
 //! be selected with the `FFTX_SCHEDULER` environment variable
 //! (`serial|step|fft|async|hybrid`); an explicit `--mode` wins.
 
-use fftxlib_repro::core::{run, run_modeled, FftxConfig, Mode, Problem, SchedulerPolicy};
+use fftxlib_repro::core::{
+    load_env, run, run_modeled, valid_policies, FftxConfig, Mode, Problem, SchedulerPolicy,
+};
 use fftxlib_repro::fft::max_dist;
 use fftxlib_repro::pw::apply_vloc;
 use fftxlib_repro::trace::{
@@ -60,7 +62,10 @@ fn parse_args() -> Result<Args, String> {
     let mut nr = 2usize;
     let mut ntg: Option<usize> = None;
     // FFTX_SCHEDULER picks the default policy; an explicit --mode wins.
-    let mut mode = SchedulerPolicy::from_env()
+    // The typed loader rejects malformed knobs instead of ignoring them.
+    let knobs = load_env().map_err(|e| e.to_string())?;
+    let mut mode = knobs
+        .scheduler
         .map(SchedulerPolicy::mode)
         .unwrap_or(Mode::Original);
     let mut engine = Engine::Real;
@@ -86,7 +91,9 @@ fn parse_args() -> Result<Args, String> {
                 let m = val("--mode")?;
                 mode = SchedulerPolicy::parse(&m)
                     .map(SchedulerPolicy::mode)
-                    .ok_or_else(|| format!("unknown mode '{m}'"))?;
+                    .ok_or_else(|| {
+                        format!("unknown mode '{m}' (valid policies: {})", valid_policies())
+                    })?;
             }
             "--engine" => {
                 engine = match val("--engine")?.as_str() {

@@ -3,9 +3,11 @@
 //! single dependency.
 
 pub use fftx_core as core;
+pub use fftx_fault as fault;
 pub use fftx_fft as fft;
 pub use fftx_knlsim as knlsim;
 pub use fftx_pw as pw;
+pub use fftx_serve as serve;
 pub use fftx_taskrt as taskrt;
 pub use fftx_trace as trace;
 pub use fftx_vmpi as vmpi;
