@@ -15,10 +15,10 @@
 //!   results hash-identical to direct engine runs.
 
 use fftx_bench::{report_checks, write_artifact, ShapeCheck};
-use fftx_core::{run_policy, Problem, SchedulerPolicy};
+use fftx_core::{run_policy, SchedulerPolicy};
 use fftx_serve::{
-    band_hash, generate, run_serve, LoadProfile, PlacementMode, ServeChaos, ServeConfig,
-    ServeReport, TrafficConfig,
+    band_hash, class_problem, generate, run_serve, LoadProfile, PlacementMode, ServeChaos,
+    ServeConfig, ServeReport, TrafficConfig,
 };
 use std::fmt::Write as _;
 
@@ -51,7 +51,7 @@ fn modes() -> Vec<PlacementMode> {
 fn hashes_match_direct(report: &ServeReport, seed: u64) -> bool {
     for batch in &report.batches {
         let p = batch.placement;
-        let problem = Problem::new(p.config(batch.class, batch.nbnd, seed));
+        let problem = class_problem(batch.class, p.config(batch.class, batch.nbnd, seed));
         let direct = run_policy(&problem, p.policy);
         let mut start = 0;
         for j in report.jobs.iter().filter(|j| j.batch == batch.index) {
@@ -80,7 +80,8 @@ fn main() {
                     seed: SEED,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("serve sweep");
             points.push(Point {
                 rate_hz: rate,
                 mode,
@@ -176,7 +177,8 @@ fn main() {
             seed: SEED,
             ..Default::default()
         },
-    );
+    )
+    .expect("overload serve");
     println!(
         "overload (400Hz burst, queue cap 8): served {}, shed {} ({:.1}%), max depth {}",
         overload.jobs.len(),
@@ -200,7 +202,8 @@ fn main() {
             seed: SEED,
             ..Default::default()
         },
-    );
+    )
+    .expect("real serve");
     let real_ok = real.offered() == real.jobs.len() + real.shed.len()
         && !real.jobs.is_empty()
         && hashes_match_direct(&real, SEED);
@@ -223,7 +226,8 @@ fn main() {
             seed: SEED,
             ..Default::default()
         },
-    );
+    )
+    .expect("chaos serve");
     let recovered: u64 = chaos.counters.get("recovery.retries")
         + chaos.counters.get("recovery.rollbacks")
         + chaos.counters.get("recovery.evictions");

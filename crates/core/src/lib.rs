@@ -36,6 +36,10 @@ pub use original::{run_original, RunOutput};
 pub use plan::{BufferArena, ExecPlan};
 pub use recovery::{run_eviction, run_retry, run_rollback, RecoveryStats};
 pub use problem::Problem;
+// Re-exported so `Problem::with_grid` callers (the serving layer's
+// explicit-grid geometry classes) can name the grid type without a direct
+// fftx-pw dependency.
+pub use fftx_pw::{Cell, FftGrid, DUAL};
 pub use modelplan::{
     build_programs, run_modeled, run_modeled_with, simulate_config, simulate_config_faulty,
     ModeledRun,

@@ -30,9 +30,21 @@ pub struct Problem {
 impl Problem {
     /// Builds the problem for `config` (validates it first).
     pub fn new(config: FftxConfig) -> Arc<Self> {
-        config.validate();
         let cell = Cell::cubic(config.alat);
         let grid = FftGrid::from_cutoff(&cell, DUAL * config.ecutwfc);
+        Self::with_grid(config, grid)
+    }
+
+    /// Builds the problem for `config` on an explicitly chosen dense grid
+    /// instead of the cutoff-derived one. This is how the serving layer's
+    /// `prime` geometry class forces a dimension with a large prime factor
+    /// (Bluestein path) through the full stack — [`Problem::new`] always
+    /// rounds through `good_fft_order`, so no cutoff can produce such a
+    /// grid. The grid must still hold the cutoff sphere (the caller only
+    /// ever *grows* a dimension, which is always safe).
+    pub fn with_grid(config: FftxConfig, grid: FftGrid) -> Arc<Self> {
+        config.validate();
+        let cell = Cell::cubic(config.alat);
         let sphere = GSphere::generate(&cell, config.ecutwfc, &grid);
         let set = StickSet::build(&sphere, &grid);
         let layout = TaskGroupLayout::new(grid, set, config.nr, config.layout_ntg());
@@ -168,6 +180,30 @@ mod tests {
     fn with_nbnd_validates() {
         let base = Problem::new(FftxConfig::small(1, 4, Mode::Original));
         let _ = base.with_nbnd(6);
+    }
+
+    #[test]
+    fn with_grid_matches_new_on_the_derived_grid() {
+        let c = FftxConfig::small(2, 2, Mode::Original);
+        let base = Problem::new(c);
+        let explicit = Problem::with_grid(c, base.grid());
+        assert_eq!(explicit.v, base.v);
+        assert_eq!(explicit.band(1), base.band(1));
+        assert_eq!(explicit.layout.group_sticks, base.layout.group_sticks);
+    }
+
+    #[test]
+    fn with_grid_accepts_a_prime_dimension() {
+        // Grow z to a prime above the direct-size limit: the stick layout
+        // and plans must still build, and the grid survives verbatim.
+        let c = FftxConfig::small(2, 2, Mode::Original);
+        let base = Problem::new(c);
+        let g = base.grid();
+        let raw = FftGrid::raw(g.nr1, g.nr2, 41);
+        let p = Problem::with_grid(c, raw);
+        assert_eq!(p.grid().nr3, 41);
+        assert_eq!(p.v.len(), p.grid().volume());
+        p.layout.validate();
     }
 
     #[test]

@@ -122,6 +122,132 @@ impl RankDeath {
     }
 }
 
+/// Deterministic node-death plan for a serving fleet: decides, per shard,
+/// whether (and when, as a fraction of the run horizon) the whole node
+/// dies. A dead node stops heartbeating and executing; the supervisor
+/// detects the silence and replays the victim's journaled incomplete jobs
+/// onto the survivors.
+///
+/// Pure in `(seed, shard)`, so every observer — the shard simulation, the
+/// supervisor, a journal replay — reaches the identical verdict with no
+/// agreement protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeDeath {
+    /// Seed of the death schedule.
+    pub seed: u64,
+    /// Probability that a given shard dies during the run.
+    pub p_death: f64,
+}
+
+impl NodeDeath {
+    /// A plan killing roughly `p_death` of all shards.
+    pub fn new(seed: u64, p_death: f64) -> Self {
+        NodeDeath { seed, p_death }
+    }
+
+    /// When shard `shard` dies, as a fraction of the run horizon in
+    /// `[0.2, 0.8)` (deaths land mid-run so there is work to fail over),
+    /// or `None` if it survives — pure in `(seed, shard)`.
+    pub fn death_fraction(&self, shard: u64) -> Option<f64> {
+        let h = mix64(self.seed ^ mix64(shard ^ 0x6E0D_EDEA_7511_34B7));
+        if unit_f64(h) < self.p_death {
+            Some(0.2 + 0.6 * unit_f64(mix64(h)))
+        } else {
+            None
+        }
+    }
+
+    /// Absolute death time on a `horizon_s`-second run.
+    pub fn death_time(&self, shard: u64, horizon_s: f64) -> Option<f64> {
+        self.death_fraction(shard).map(|f| f * horizon_s)
+    }
+}
+
+/// Deterministic slow-node plan: a shard may run every batch slower by a
+/// bounded factor (thermal throttling, a noisy neighbour, a degraded DIMM).
+/// Pure in `(seed, shard)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowNode {
+    /// Seed of the slowdown schedule.
+    pub seed: u64,
+    /// Probability that a given shard is slow at all.
+    pub p_slow: f64,
+    /// Largest slowdown factor (a slow shard draws from `(1, max_factor]`).
+    pub max_factor: f64,
+}
+
+impl SlowNode {
+    /// A plan slowing roughly `p_slow` of all shards by up to `max_factor`.
+    pub fn new(seed: u64, p_slow: f64, max_factor: f64) -> Self {
+        SlowNode {
+            seed,
+            p_slow,
+            max_factor: max_factor.max(1.0),
+        }
+    }
+
+    /// The service-time multiplier of shard `shard` (1.0 = healthy) —
+    /// pure in `(seed, shard)`.
+    pub fn factor(&self, shard: u64) -> f64 {
+        let h = mix64(self.seed ^ mix64(shard ^ 0x51ED_BA1A_2C87_F96D));
+        if unit_f64(h) < self.p_slow {
+            1.0 + (self.max_factor - 1.0) * unit_f64(mix64(h)).max(0.25)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Deterministic network-partition plan: a shard may become unreachable
+/// for one bounded window (heartbeats are lost, routing avoids it) while
+/// staying alive — work it already holds keeps executing and completes.
+/// Pure in `(seed, shard)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partition {
+    /// Seed of the partition schedule.
+    pub seed: u64,
+    /// Probability that a given shard is partitioned at all.
+    pub p_partition: f64,
+    /// Window length as a fraction of the run horizon.
+    pub window_fraction: f64,
+}
+
+impl Partition {
+    /// A plan partitioning roughly `p_partition` of all shards for
+    /// `window_fraction` of the horizon.
+    pub fn new(seed: u64, p_partition: f64, window_fraction: f64) -> Self {
+        Partition {
+            seed,
+            p_partition,
+            window_fraction: window_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The partition window of shard `shard` as horizon fractions
+    /// `[start, end)`, or `None` — pure in `(seed, shard)`.
+    pub fn window_fraction_of(&self, shard: u64) -> Option<(f64, f64)> {
+        let h = mix64(self.seed ^ mix64(shard ^ 0x9A2F_70B3_C4D8_115E));
+        if unit_f64(h) < self.p_partition {
+            let start = 0.15 + 0.5 * unit_f64(mix64(h));
+            Some((start, (start + self.window_fraction).min(1.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Whether shard `shard` is unreachable at time `t_s` of a
+    /// `horizon_s`-second run.
+    pub fn cut_at(&self, shard: u64, t_s: f64, horizon_s: f64) -> bool {
+        match self.window_fraction_of(shard) {
+            Some((a, b)) => {
+                let f = t_s / horizon_s;
+                f >= a && f < b
+            }
+            None => false,
+        }
+    }
+}
+
 /// Budgets and preferences of the recovery layer, settable through
 /// `FFTX_RECOVERY_*` environment knobs (see README).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,6 +358,57 @@ mod tests {
         }
         let none = BatchAborts::new(7, 0.0, 2);
         assert!((0..50).all(|b| none.aborts_for(b) == 0));
+    }
+
+    #[test]
+    fn node_death_is_pure_bounded_and_mid_run() {
+        let p = NodeDeath::new(11, 0.5);
+        let mut died = 0;
+        for shard in 0..200 {
+            let f = p.death_fraction(shard);
+            assert_eq!(f, p.death_fraction(shard), "pure in (seed, shard)");
+            if let Some(f) = f {
+                died += 1;
+                assert!((0.2..0.8).contains(&f), "mid-run death: {f}");
+                let t = p.death_time(shard, 10.0).unwrap();
+                assert!((f * 10.0 - t).abs() < 1e-12);
+            }
+        }
+        assert!(died > 50 && died < 150, "~half the shards: {died}");
+        let none = NodeDeath::new(11, 0.0);
+        assert!((0..50).all(|s| none.death_fraction(s).is_none()));
+    }
+
+    #[test]
+    fn slow_node_factor_is_pure_and_bounded() {
+        let p = SlowNode::new(3, 0.5, 4.0);
+        let mut slowed = 0;
+        for shard in 0..200 {
+            let f = p.factor(shard);
+            assert_eq!(f, p.factor(shard));
+            assert!((1.0..=4.0).contains(&f));
+            if f > 1.0 {
+                slowed += 1;
+            }
+        }
+        assert!(slowed > 50 && slowed < 150, "~half the shards: {slowed}");
+        assert_eq!(SlowNode::new(3, 0.0, 4.0).factor(0), 1.0);
+    }
+
+    #[test]
+    fn partition_windows_are_pure_and_bounded() {
+        let p = Partition::new(9, 1.0, 0.2);
+        for shard in 0..50 {
+            let (a, b) = p.window_fraction_of(shard).expect("p=1 partitions all");
+            assert!(a >= 0.15 && b <= 1.0 && b > a);
+            assert!((b - a) <= 0.2 + 1e-12);
+            // cut_at matches the window on a 10-second horizon.
+            assert!(p.cut_at(shard, (a + 1e-9) * 10.0, 10.0));
+            assert!(!p.cut_at(shard, (b + 1e-9) * 10.0, 10.0));
+            assert!(!p.cut_at(shard, 0.0, 10.0));
+        }
+        let none = Partition::new(9, 0.0, 0.2);
+        assert!((0..50).all(|s| none.window_fraction_of(s).is_none()));
     }
 
     #[test]

@@ -20,7 +20,9 @@ mod fatal;
 mod plan;
 
 pub use chaos::{ChaosConfig, ChaosEngine, FaultEvent, FaultKind, FaultReport, MessagePlan, StallConfig};
-pub use fatal::{BatchAborts, RankDeath, RecoveryConfig, TaskCrashes};
+pub use fatal::{
+    BatchAborts, NodeDeath, Partition, RankDeath, RecoveryConfig, SlowNode, TaskCrashes,
+};
 pub use plan::{BandSpikes, FaultPlan};
 
 /// splitmix64 finalizer: the workspace's standard bit mixer. Public so the

@@ -37,6 +37,18 @@ impl FftGrid {
         }
     }
 
+    /// Explicit dimensions taken verbatim — **no** rounding to a good FFT
+    /// order, so a dimension with a large prime factor stays prime and the
+    /// 1-D engine falls back to Bluestein. This is how the serving layer
+    /// builds its non-power-friendly `prime` geometry class; QE itself
+    /// never produces such grids (every `realspace_grid_init` dimension
+    /// passes `good_fft_order`), which is exactly why the path needs its
+    /// own coverage.
+    pub fn raw(nr1: usize, nr2: usize, nr3: usize) -> Self {
+        assert!(nr1 > 0 && nr2 > 0 && nr3 > 0, "FftGrid::raw: zero dimension");
+        FftGrid { nr1, nr2, nr3 }
+    }
+
     /// Total number of grid points.
     #[inline]
     pub fn volume(&self) -> usize {

@@ -4,6 +4,7 @@
 //! overload modes apart.
 
 use crate::batch::{assemble, plan_batch, Batch, BatchConfig};
+use crate::error::ServeError;
 use crate::request::{RejectReason, Request};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -65,13 +66,16 @@ impl Admission {
         self.queue.iter()
     }
 
-    /// Offers a request. `estimate_s` is the caller's estimate of the
-    /// request's completion latency (wait + service) were it admitted now.
+    /// The admission decision for a request, without mutating the queue.
+    /// `estimate_s` is the caller's estimate of the request's completion
+    /// latency (wait + service) were it admitted now. Pure, so callers
+    /// that journal decisions before applying them (the fleet's write-ahead
+    /// path) decide and enqueue in two steps.
     ///
     /// # Errors
-    /// Returns the typed [`RejectReason`] when the request is shed:
+    /// Returns the typed [`RejectReason`] when the request would be shed:
     /// queue full, tenant over its fair share, or deadline unmeetable.
-    pub fn offer(&mut self, req: Request, estimate_s: f64) -> Result<(), RejectReason> {
+    pub fn check(&self, req: &Request, estimate_s: f64) -> Result<(), RejectReason> {
         if self.queue.len() >= self.cfg.queue_cap {
             return Err(RejectReason::QueueFull {
                 depth: self.queue.len(),
@@ -93,24 +97,98 @@ impl Admission {
                 budget_s,
             });
         }
-        *self.held.entry(req.tenant).or_insert(0) += 1;
-        self.queue.push_back(req);
         Ok(())
     }
 
+    /// Enqueues unconditionally at the back, bypassing every cap — the
+    /// apply path of an already-journaled acceptance.
+    pub fn push_back(&mut self, req: Request) {
+        *self.held.entry(req.tenant).or_insert(0) += 1;
+        self.queue.push_back(req);
+    }
+
+    /// Enqueues unconditionally at the *front*, bypassing every cap. The
+    /// failover path: a job drained from a dead shard was already accepted
+    /// once, so it re-queues ahead of fresh arrivals and is never re-shed.
+    pub fn restore_front(&mut self, req: Request) {
+        *self.held.entry(req.tenant).or_insert(0) += 1;
+        self.queue.push_front(req);
+    }
+
+    /// Offers a request: [`Admission::check`] then [`Admission::push_back`].
+    ///
+    /// # Errors
+    /// Returns the typed [`RejectReason`] when the request is shed.
+    pub fn offer(&mut self, req: Request, estimate_s: f64) -> Result<(), RejectReason> {
+        self.check(&req, estimate_s)?;
+        self.push_back(req);
+        Ok(())
+    }
+
+    /// Removes the requests with ids `ids` from the queue (releasing their
+    /// tenant slots) and returns them in the order given — the apply path
+    /// of an already-journaled batch formation, where the member set was
+    /// decided (and written ahead) before the queue is touched.
+    ///
+    /// # Errors
+    /// [`ServeError::PlanOutOfRange`] when an id is not queued — a
+    /// journal/queue desync, reported instead of panicking.
+    pub fn take_ids(&mut self, ids: &[u64]) -> Result<Vec<Request>, ServeError> {
+        let mut members = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let pos = self
+                .queue
+                .iter()
+                .position(|r| r.id == id)
+                .ok_or(ServeError::PlanOutOfRange { pos: id as usize, depth: self.queue.len() })?;
+            let req = self
+                .queue
+                .remove(pos)
+                .ok_or(ServeError::PlanOutOfRange { pos, depth: self.queue.len() })?;
+            let held = self
+                .held
+                .get_mut(&req.tenant)
+                .ok_or(ServeError::TenantUnaccounted { tenant: req.tenant })?;
+            *held -= 1;
+            if *held == 0 {
+                self.held.remove(&req.tenant);
+            }
+            members.push(req);
+        }
+        Ok(members)
+    }
+
+    /// Drains the whole queue front-first, releasing every tenant slot —
+    /// the failover path collecting a dead shard's unserved requests.
+    pub fn drain(&mut self) -> Vec<Request> {
+        self.held.clear();
+        self.queue.drain(..).collect()
+    }
+
     /// Forms the next batch (see [`plan_batch`]): removes the coalesced
-    /// requests from the queue and releases their tenant slots. `None`
+    /// requests from the queue and releases their tenant slots. `Ok(None)`
     /// when the queue is empty.
-    pub fn form_batch(&mut self, cfg: &BatchConfig) -> Option<Batch> {
+    ///
+    /// # Errors
+    /// [`ServeError`] when the plan and the queue desync (a position out of
+    /// range, a tenant missing from the occupancy accounting) — internal
+    /// inconsistencies reported instead of panicking.
+    pub fn form_batch(&mut self, cfg: &BatchConfig) -> Result<Option<Batch>, ServeError> {
         let plan = plan_batch(self.queue.iter(), cfg);
         if plan.is_empty() {
-            return None;
+            return Ok(None);
         }
         let mut members = Vec::with_capacity(plan.len());
         // Remove back to front so earlier positions stay valid.
         for &pos in plan.iter().rev() {
-            let req = self.queue.remove(pos).expect("planned position in range");
-            let held = self.held.get_mut(&req.tenant).expect("tenant accounted");
+            let req = self
+                .queue
+                .remove(pos)
+                .ok_or(ServeError::PlanOutOfRange { pos, depth: self.queue.len() })?;
+            let held = self
+                .held
+                .get_mut(&req.tenant)
+                .ok_or(ServeError::TenantUnaccounted { tenant: req.tenant })?;
             *held -= 1;
             if *held == 0 {
                 self.held.remove(&req.tenant);
@@ -118,7 +196,7 @@ impl Admission {
             members.push(req);
         }
         members.reverse();
-        Some(assemble(members, cfg))
+        assemble(members, cfg).map(Some)
     }
 }
 
@@ -189,7 +267,10 @@ mod tests {
         });
         adm.offer(req(0, 3, DeadlineClass::Standard), 0.0).expect("fits");
         assert!(adm.offer(req(1, 3, DeadlineClass::Standard), 0.0).is_err());
-        let batch = adm.form_batch(&BatchConfig::default()).expect("batch");
+        let batch = adm
+            .form_batch(&BatchConfig::default())
+            .expect("consistent queue")
+            .expect("batch");
         assert_eq!(batch.members.len(), 1);
         assert_eq!(adm.depth(), 0);
         adm.offer(req(2, 3, DeadlineClass::Standard), 0.0).expect("slot released");
@@ -198,6 +279,37 @@ mod tests {
     #[test]
     fn form_batch_on_empty_queue_is_none() {
         let mut adm = Admission::new(AdmissionConfig::default());
-        assert!(adm.form_batch(&BatchConfig::default()).is_none());
+        assert!(adm.form_batch(&BatchConfig::default()).expect("consistent").is_none());
+    }
+
+    #[test]
+    fn restore_front_bypasses_caps_and_jumps_the_queue() {
+        let mut adm = Admission::new(AdmissionConfig {
+            queue_cap: 2,
+            tenant_share: 0.5,
+            shed_late: true,
+        });
+        adm.offer(req(0, 0, DeadlineClass::Standard), 0.0).expect("fits");
+        adm.offer(req(1, 1, DeadlineClass::Standard), 0.0).expect("fits");
+        // Full queue, saturated tenant, hopeless deadline: a failover
+        // restore still goes in — and at the front.
+        assert!(adm.check(&req(2, 0, DeadlineClass::Interactive), 9.0).is_err());
+        adm.restore_front(req(2, 0, DeadlineClass::Interactive));
+        assert_eq!(adm.depth(), 3);
+        assert_eq!(adm.queued().next().map(|r| r.id), Some(2));
+        // The restored slot is released like any other on batch formation.
+        let batch = adm
+            .form_batch(&BatchConfig::default())
+            .expect("consistent queue")
+            .expect("batch");
+        assert!(batch.members.iter().any(|m| m.request.id == 2));
+    }
+
+    #[test]
+    fn check_is_pure() {
+        let adm = Admission::new(AdmissionConfig::default());
+        let r = req(0, 0, DeadlineClass::Standard);
+        assert!(adm.check(&r, 0.0).is_ok());
+        assert_eq!(adm.depth(), 0, "check must not enqueue");
     }
 }

@@ -15,6 +15,7 @@
 //! * **Determinism** — the plan is a pure function of the queue contents
 //!   and the configuration.
 
+use crate::error::ServeError;
 use crate::request::{GeometryClass, Request};
 use std::collections::BTreeSet;
 
@@ -91,13 +92,23 @@ pub fn plan_batch<'a>(
 /// Materialises the planned batch: assigns contiguous band ranges in queue
 /// order and pads the band count. `members` must be the requests at the
 /// positions [`plan_batch`] returned, in that order.
-pub fn assemble(members: Vec<Request>, cfg: &BatchConfig) -> Batch {
-    assert!(!members.is_empty(), "assemble: empty batch");
-    let class = members[0].class;
-    assert!(
-        members.iter().all(|r| r.class == class),
-        "assemble: mixed geometry classes"
-    );
+///
+/// # Errors
+/// [`ServeError::EmptyBatch`] on an empty member set,
+/// [`ServeError::MixedClasses`] when the members span geometry classes —
+/// both indicate a planner/queue desync, reported instead of panicking so
+/// a long-running server can surface the inconsistency.
+pub fn assemble(members: Vec<Request>, cfg: &BatchConfig) -> Result<Batch, ServeError> {
+    let Some(head) = members.first() else {
+        return Err(ServeError::EmptyBatch);
+    };
+    let class = head.class;
+    if let Some(odd) = members.iter().find(|r| r.class != class) {
+        return Err(ServeError::MixedClasses {
+            expected: class.name(),
+            found: odd.class.name(),
+        });
+    }
     let mut placed = Vec::with_capacity(members.len());
     let mut next = 0usize;
     for request in members {
@@ -108,12 +119,12 @@ pub fn assemble(members: Vec<Request>, cfg: &BatchConfig) -> Batch {
         next += request.bands;
     }
     let pad = cfg.pad_to.max(1);
-    Batch {
+    Ok(Batch {
         class,
         members: placed,
         payload_bands: next,
         nbnd: next.div_ceil(pad) * pad,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -202,7 +213,8 @@ mod tests {
             req(0, 0, GeometryClass::Small, 2),
             req(1, 1, GeometryClass::Small, 3),
         ];
-        let batch = assemble(members, &BatchConfig { max_bands: 16, pad_to: 4 });
+        let batch = assemble(members, &BatchConfig { max_bands: 16, pad_to: 4 })
+            .expect("compatible members");
         assert_eq!(batch.payload_bands, 5);
         assert_eq!(batch.nbnd, 8);
         assert_eq!(batch.members[0].band_start, 0);
@@ -210,12 +222,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mixed geometry")]
-    fn assemble_rejects_mixed_classes() {
+    fn assemble_rejects_mixed_classes_and_empty_sets() {
         let members = vec![
             req(0, 0, GeometryClass::Small, 2),
             req(1, 1, GeometryClass::Large, 3),
         ];
-        let _ = assemble(members, &BatchConfig::default());
+        let err = assemble(members, &BatchConfig::default()).expect_err("mixed classes");
+        assert_eq!(
+            err,
+            ServeError::MixedClasses { expected: "small", found: "large" }
+        );
+        let err = assemble(Vec::new(), &BatchConfig::default()).expect_err("empty");
+        assert_eq!(err, ServeError::EmptyBatch);
     }
 }

@@ -1,0 +1,190 @@
+//! Graceful degradation: the fleet's brown-out ladder.
+//!
+//! Under sustained queue pressure the fleet degrades in explicit,
+//! journaled steps instead of letting latency collapse: first batch-class
+//! (throughput) traffic is shed, then standard traffic, then large batches
+//! are split in half to cap head-of-line blocking, and finally all new
+//! work is rejected with a typed
+//! [`RejectReason::FleetDegraded`](crate::request::RejectReason) while the
+//! backlog drains. Pressure is the admitting shards' mean queue occupancy;
+//! the ladder moves at most one level per supervisor tick (hysteresis:
+//! upgrades and downgrades use different thresholds, so the ladder cannot
+//! flap on a pressure boundary).
+
+use crate::request::DeadlineClass;
+
+/// One rung of the ladder, mildest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// Full service.
+    Normal,
+    /// Shed new batch-deadline (throughput) requests.
+    ShedBatch,
+    /// Also shed new standard-deadline requests.
+    ShedStandard,
+    /// Additionally split large batches (half the band cap) to bound
+    /// head-of-line blocking on interactive work.
+    SplitLarge,
+    /// Reject all new work while the backlog drains.
+    RejectNew,
+}
+
+impl DegradeLevel {
+    /// Every level, mildest first.
+    pub const ALL: [DegradeLevel; 5] = [
+        DegradeLevel::Normal,
+        DegradeLevel::ShedBatch,
+        DegradeLevel::ShedStandard,
+        DegradeLevel::SplitLarge,
+        DegradeLevel::RejectNew,
+    ];
+
+    /// Stable short name (journal, counters, timeline).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeLevel::Normal => "normal",
+            DegradeLevel::ShedBatch => "shed_batch",
+            DegradeLevel::ShedStandard => "shed_standard",
+            DegradeLevel::SplitLarge => "split_large",
+            DegradeLevel::RejectNew => "reject_new",
+        }
+    }
+
+    /// Stable index (row order of [`DegradeLevel::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether a new request of `deadline` class is admitted at this level.
+    pub fn admits(self, deadline: DeadlineClass) -> bool {
+        match self {
+            DegradeLevel::Normal => true,
+            DegradeLevel::ShedBatch => deadline != DeadlineClass::Batch,
+            DegradeLevel::ShedStandard | DegradeLevel::SplitLarge => {
+                deadline == DeadlineClass::Interactive
+            }
+            DegradeLevel::RejectNew => false,
+        }
+    }
+
+    /// Whether batch formation halves its band cap at this level.
+    pub fn splits_batches(self) -> bool {
+        self >= DegradeLevel::SplitLarge
+    }
+}
+
+/// Ladder knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeConfig {
+    /// Pressure at or above which the ladder climbs one level per tick.
+    pub upgrade_at: f64,
+    /// Pressure at or below which it descends one level per tick. Must be
+    /// below `upgrade_at` (the hysteresis band).
+    pub downgrade_at: f64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            upgrade_at: 0.75,
+            downgrade_at: 0.40,
+        }
+    }
+}
+
+/// The ladder state machine: current level plus the one-step transition
+/// rule. The supervisor journals every transition as a `Degraded` record
+/// and drives the state through its apply path, so replay reconstructs
+/// the level exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ladder {
+    level: DegradeLevel,
+}
+
+impl Default for Ladder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ladder {
+    /// A ladder at [`DegradeLevel::Normal`].
+    pub fn new() -> Ladder {
+        Ladder { level: DegradeLevel::Normal }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Forces the level — the journal-apply path.
+    pub fn set_level(&mut self, level: DegradeLevel) {
+        self.level = level;
+    }
+
+    /// The one-step transition `pressure` implies, or `None` when the
+    /// level holds. Pure: the supervisor journals the returned level
+    /// before applying it.
+    pub fn next_level(&self, pressure: f64, cfg: &DegradeConfig) -> Option<DegradeLevel> {
+        let i = self.level.index();
+        if pressure >= cfg.upgrade_at && i + 1 < DegradeLevel::ALL.len() {
+            Some(DegradeLevel::ALL[i + 1])
+        } else if pressure <= cfg.downgrade_at && i > 0 {
+            Some(DegradeLevel::ALL[i - 1])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_climbs_one_level_per_step_and_descends_with_hysteresis() {
+        let cfg = DegradeConfig::default();
+        let mut l = Ladder::new();
+        // Sustained pressure walks the whole ladder, one rung at a time.
+        let mut seen = vec![l.level()];
+        while let Some(next) = l.next_level(0.9, &cfg) {
+            assert_eq!(next.index(), l.level().index() + 1);
+            l.set_level(next);
+            seen.push(next);
+        }
+        assert_eq!(seen, DegradeLevel::ALL.to_vec());
+        // Mid-band pressure holds the level (hysteresis).
+        assert_eq!(l.next_level(0.6, &cfg), None);
+        // Low pressure walks back down.
+        while let Some(next) = l.next_level(0.1, &cfg) {
+            assert_eq!(next.index() + 1, l.level().index());
+            l.set_level(next);
+        }
+        assert_eq!(l.level(), DegradeLevel::Normal);
+    }
+
+    #[test]
+    fn levels_shed_deadline_classes_in_order() {
+        use DeadlineClass::*;
+        assert!(DegradeLevel::Normal.admits(Batch));
+        assert!(!DegradeLevel::ShedBatch.admits(Batch));
+        assert!(DegradeLevel::ShedBatch.admits(Standard));
+        assert!(!DegradeLevel::ShedStandard.admits(Standard));
+        assert!(DegradeLevel::ShedStandard.admits(Interactive));
+        assert!(DegradeLevel::SplitLarge.admits(Interactive));
+        assert!(!DegradeLevel::RejectNew.admits(Interactive));
+        // Splitting engages at the second-to-last rung.
+        assert!(!DegradeLevel::ShedStandard.splits_batches());
+        assert!(DegradeLevel::SplitLarge.splits_batches());
+        assert!(DegradeLevel::RejectNew.splits_batches());
+    }
+
+    #[test]
+    fn level_names_and_indices_are_stable() {
+        for (i, level) in DegradeLevel::ALL.iter().enumerate() {
+            assert_eq!(level.index(), i);
+            assert!(!level.name().is_empty());
+        }
+    }
+}

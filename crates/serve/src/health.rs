@@ -1,0 +1,250 @@
+//! Shard health checking: the supervisor's heartbeat schedule and the
+//! per-shard circuit breaker.
+//!
+//! Each supervisor tick probes every monitored shard once. The breaker
+//! trips open after `fail_threshold` consecutive misses (routing stops
+//! sending the shard new work), waits out a bounded exponential backoff
+//! (reusing [`fftx_fault::RecoveryConfig::backoff`], the same schedule the
+//! task-retry layer uses), then half-opens for a single probe: an answered
+//! probe closes it, a missed one re-opens it with a doubled backoff. A
+//! shard that misses `death_threshold` consecutive probes is declared dead
+//! and failed over — see the supervisor.
+//!
+//! Everything is driven by the virtual tick counter, so breaker evolution
+//! is a pure fold over the journaled heartbeat outcomes and replays
+//! bit-identically.
+
+use fftx_fault::RecoveryConfig;
+
+/// Health-check knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Virtual seconds between supervisor ticks (one probe per shard per
+    /// tick).
+    pub tick_s: f64,
+    /// Consecutive missed probes that trip the breaker open.
+    pub fail_threshold: u32,
+    /// Consecutive missed probes that declare the shard dead. Must exceed
+    /// `fail_threshold`: a shard stops receiving new work before the
+    /// (expensive) failover is committed.
+    pub death_threshold: u32,
+    /// Backoff schedule of the half-open probe delay: re-probe attempt `n`
+    /// waits `min(base · 2^n, max)` before half-opening.
+    pub backoff: RecoveryConfig,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            tick_s: 0.05,
+            fail_threshold: 2,
+            death_threshold: 4,
+            backoff: RecoveryConfig::default(),
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Ticks the breaker stays open before half-opening, for re-probe
+    /// attempt `attempt` (0-based): the backoff duration rounded up to
+    /// whole ticks, at least one.
+    pub fn open_ticks(&self, attempt: u32) -> u64 {
+        let ticks = self.backoff.backoff(attempt).as_secs_f64() / self.tick_s;
+        (ticks.ceil() as u64).max(1)
+    }
+}
+
+/// Breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: the shard receives new work.
+    Closed,
+    /// Tripped: no new work until the backoff elapses.
+    Open,
+    /// Probing: one answered heartbeat closes it, one miss re-opens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable short name (timeline state, counter key).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// The per-shard circuit breaker. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breaker {
+    state: BreakerState,
+    /// Consecutive misses in Closed (trip counter).
+    misses: u32,
+    /// Consecutive misses across all states (death counter).
+    run: u32,
+    opened_tick: u64,
+    attempt: u32,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Breaker {
+    /// A closed breaker.
+    pub fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            misses: 0,
+            run: 0,
+            opened_tick: 0,
+            attempt: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether routing may send the shard new work.
+    pub fn admits(&self) -> bool {
+        matches!(self.state, BreakerState::Closed | BreakerState::HalfOpen)
+    }
+
+    /// Consecutive missed probes, across open/half-open cycles — the
+    /// supervisor's death counter.
+    pub fn consecutive_misses(&self) -> u32 {
+        self.run
+    }
+
+    /// Folds one probe outcome at `tick` into the breaker. Returns the new
+    /// state's name when the probe changed the state (an open breaker
+    /// half-opening on backoff expiry counts, even though the transition
+    /// is then immediately resolved by the probe itself).
+    pub fn on_heartbeat(&mut self, ok: bool, tick: u64, cfg: &HealthConfig) -> Option<&'static str> {
+        let before = self.state;
+        let mut half_opened = false;
+        self.run = if ok { 0 } else { self.run + 1 };
+        // An open breaker whose backoff elapsed half-opens first; the probe
+        // below then resolves the half-open state.
+        if self.state == BreakerState::Open
+            && tick >= self.opened_tick + cfg.open_ticks(self.attempt)
+        {
+            self.state = BreakerState::HalfOpen;
+            half_opened = true;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                if ok {
+                    self.misses = 0;
+                } else {
+                    self.misses += 1;
+                    if self.misses >= cfg.fail_threshold {
+                        self.state = BreakerState::Open;
+                        self.opened_tick = tick;
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.state = BreakerState::Closed;
+                    self.misses = 0;
+                    self.attempt = 0;
+                } else {
+                    self.state = BreakerState::Open;
+                    self.opened_tick = tick;
+                    self.attempt += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+        (self.state != before || half_opened).then(|| self.state.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig::default()
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_misses() {
+        let c = cfg();
+        let mut b = Breaker::new();
+        assert!(b.admits());
+        assert_eq!(b.on_heartbeat(false, 0, &c), None);
+        assert!(b.admits(), "one miss is below the threshold");
+        assert_eq!(b.on_heartbeat(false, 1, &c), Some("open"));
+        assert!(!b.admits());
+        assert_eq!(b.consecutive_misses(), 2);
+    }
+
+    #[test]
+    fn ok_probe_resets_the_trip_counter() {
+        let c = cfg();
+        let mut b = Breaker::new();
+        b.on_heartbeat(false, 0, &c);
+        b.on_heartbeat(true, 1, &c);
+        b.on_heartbeat(false, 2, &c);
+        assert_eq!(b.state(), BreakerState::Closed, "non-consecutive misses never trip");
+        assert_eq!(b.consecutive_misses(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_or_reopens_with_backoff() {
+        let c = cfg();
+        let mut b = Breaker::new();
+        b.on_heartbeat(false, 0, &c);
+        b.on_heartbeat(false, 1, &c);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Before the backoff elapses the breaker ignores probes.
+        assert_eq!(b.on_heartbeat(true, 1 + c.open_ticks(0) - 1, &c), None);
+        assert_eq!(b.state(), BreakerState::Open);
+        // At expiry it half-opens; a good probe closes it in the same tick.
+        assert_eq!(b.on_heartbeat(true, 1 + c.open_ticks(0), &c), Some("closed"));
+        assert!(b.admits());
+
+        // A failed half-open probe re-opens with a doubled backoff.
+        let mut b = Breaker::new();
+        b.on_heartbeat(false, 0, &c);
+        b.on_heartbeat(false, 1, &c);
+        let t = 1 + c.open_ticks(0);
+        assert_eq!(b.on_heartbeat(false, t, &c), Some("open"));
+        assert!(c.open_ticks(1) >= c.open_ticks(0), "backoff never shrinks");
+        assert_eq!(b.on_heartbeat(true, t + c.open_ticks(1), &c), Some("closed"));
+    }
+
+    #[test]
+    fn death_counter_spans_breaker_cycles() {
+        let c = cfg();
+        let mut b = Breaker::new();
+        for tick in 0..c.death_threshold as u64 {
+            b.on_heartbeat(false, tick, &c);
+        }
+        assert!(b.consecutive_misses() >= c.death_threshold);
+        b.on_heartbeat(true, 100, &c);
+        assert_eq!(b.consecutive_misses(), 0);
+    }
+
+    #[test]
+    fn open_ticks_follow_the_bounded_exponential() {
+        let c = cfg();
+        assert!(c.open_ticks(0) >= 1);
+        let mut last = 0;
+        for attempt in 0..8 {
+            let t = c.open_ticks(attempt);
+            assert!(t >= last, "monotone non-decreasing");
+            last = t;
+        }
+        // The cap binds eventually.
+        assert_eq!(c.open_ticks(20), c.open_ticks(30));
+    }
+}

@@ -1,0 +1,648 @@
+//! The durable job journal: an append-only write-ahead log of every fleet
+//! state transition, with a lossless text encoding and a machine-checked
+//! conservation audit.
+//!
+//! Every mutation of fleet state — acceptance, shedding, batch formation,
+//! dispatch, completion, heartbeats, shard death, failover, degradation —
+//! is journaled *before* it is applied, and the supervisor's `apply` path
+//! is the only way state changes. Recovery is therefore exact: replaying a
+//! journal prefix through `apply` reconstructs the queues, in-flight
+//! batches, breakers, and the degradation ladder at the crash point, and
+//! continuing the (deterministic, virtual-time) serving loop from there
+//! produces a journal byte-identical to the uninterrupted run's.
+//!
+//! Floats are encoded as the hex of their IEEE-754 bit patterns, so
+//! encode → decode is the identity on every record and two journals can be
+//! compared byte-for-byte.
+
+use crate::error::ServeError;
+use crate::request::{DeadlineClass, GeometryClass, Request};
+use fftx_fault::mix64;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// The per-job idempotency key: pure in `(seed, id)`, carried in the
+/// `Accepted` record and used by the completion guard to recognise a job
+/// it has already completed — a batch re-run after failover, or a report
+/// from a shard that was spuriously declared dead, completes each job at
+/// most once.
+pub fn idempotency_key(seed: u64, id: u64) -> u64 {
+    mix64(seed ^ mix64(id.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// One journaled fleet state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A request was admitted and routed to `shard`.
+    Accepted {
+        /// The request.
+        req: Request,
+        /// Idempotency key ([`idempotency_key`]).
+        key: u64,
+        /// Shard the request was routed to.
+        shard: u32,
+    },
+    /// A request was refused (admission or the degradation ladder).
+    Shed {
+        /// The request.
+        req: Request,
+        /// Rejection kind ([`crate::request::RejectReason::kind`]).
+        kind: String,
+    },
+    /// `shard` coalesced the queued requests `jobs` (in batch-member
+    /// order) into batch `batch`.
+    Batched {
+        /// The shard.
+        shard: u32,
+        /// Fleet-unique batch id.
+        batch: u64,
+        /// Member request ids, band order.
+        jobs: Vec<u64>,
+    },
+    /// Batch `batch` started executing on `shard`.
+    Started {
+        /// The shard.
+        shard: u32,
+        /// The batch.
+        batch: u64,
+        /// Dispatch time (virtual seconds).
+        start_s: f64,
+        /// Service time under the chosen placement, slow-node factor
+        /// included (virtual seconds).
+        service_s: f64,
+        /// Placement: first parallel dimension R.
+        nr: usize,
+        /// Placement: task groups / workers per rank.
+        ntg: usize,
+        /// Placement: index into `SchedulerPolicy::ALL`.
+        policy: usize,
+    },
+    /// Job `job` of batch `batch` completed on `shard`.
+    Completed {
+        /// The shard.
+        shard: u32,
+        /// The batch.
+        batch: u64,
+        /// The request id.
+        job: u64,
+        /// Completion time (virtual seconds).
+        done_s: f64,
+        /// FNV hash of the job's result bands (real executions only).
+        hash: Option<u64>,
+    },
+    /// A completion report for a job already completed elsewhere — the
+    /// idempotency guard swallowed it (failover re-run racing a shard that
+    /// was declared dead while actually alive).
+    Suppressed {
+        /// Shard whose report was suppressed.
+        shard: u32,
+        /// The batch it came from.
+        batch: u64,
+        /// The request id.
+        job: u64,
+        /// Virtual time of the suppressed report.
+        t_s: f64,
+    },
+    /// One health-check probe of `shard`.
+    Heartbeat {
+        /// The shard.
+        shard: u32,
+        /// Supervisor tick index.
+        tick: u64,
+        /// Probe time (virtual seconds).
+        t_s: f64,
+        /// Whether the probe was answered.
+        ok: bool,
+    },
+    /// The supervisor declared `shard` dead after `death_threshold`
+    /// consecutive missed heartbeats.
+    ShardDown {
+        /// The shard.
+        shard: u32,
+        /// Declaration time (virtual seconds).
+        t_s: f64,
+    },
+    /// Job `job` was drained from dead shard `from` and re-queued at the
+    /// front of `to`'s admission queue.
+    Failover {
+        /// The dead shard.
+        from: u32,
+        /// The surviving shard that inherits the job.
+        to: u32,
+        /// The request id.
+        job: u64,
+        /// Failover time (virtual seconds).
+        t_s: f64,
+    },
+    /// The degradation ladder moved to level `level`.
+    Degraded {
+        /// Index into [`crate::degrade::DegradeLevel::ALL`].
+        level: usize,
+        /// Transition time (virtual seconds).
+        t_s: f64,
+    },
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_u64(tok: Option<&str>, line: usize) -> Result<u64, ServeError> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| ServeError::Journal(format!("line {line}: bad integer field")))
+}
+
+fn parse_usize(tok: Option<&str>, line: usize) -> Result<usize, ServeError> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| ServeError::Journal(format!("line {line}: bad integer field")))
+}
+
+fn parse_f64_bits(tok: Option<&str>, line: usize) -> Result<f64, ServeError> {
+    tok.and_then(|t| u64::from_str_radix(t, 16).ok())
+        .map(f64::from_bits)
+        .ok_or_else(|| ServeError::Journal(format!("line {line}: bad float bit pattern")))
+}
+
+fn encode_req(out: &mut String, req: &Request) {
+    let _ = write!(
+        out,
+        "{} {} {} {} {} {}",
+        req.id,
+        req.tenant,
+        req.class.index(),
+        req.bands,
+        req.deadline as usize,
+        f64_hex(req.arrival_s),
+    );
+}
+
+fn decode_req<'a>(
+    toks: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<Request, ServeError> {
+    let id = parse_u64(toks.next(), line)?;
+    let tenant = parse_u64(toks.next(), line)? as u32;
+    let class_idx = parse_usize(toks.next(), line)?;
+    let class = *GeometryClass::ALL
+        .get(class_idx)
+        .ok_or_else(|| ServeError::Journal(format!("line {line}: class index {class_idx}")))?;
+    let bands = parse_usize(toks.next(), line)?;
+    let deadline_idx = parse_usize(toks.next(), line)?;
+    let deadline = *DeadlineClass::ALL
+        .get(deadline_idx)
+        .ok_or_else(|| ServeError::Journal(format!("line {line}: deadline index {deadline_idx}")))?;
+    let arrival_s = parse_f64_bits(toks.next(), line)?;
+    Ok(Request { id, tenant, class, bands, deadline, arrival_s })
+}
+
+impl Record {
+    /// One-line lossless text encoding (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Record::Accepted { req, key, shard } => {
+                out.push_str("A ");
+                encode_req(&mut out, req);
+                let _ = write!(out, " {key:016x} {shard}");
+            }
+            Record::Shed { req, kind } => {
+                out.push_str("S ");
+                encode_req(&mut out, req);
+                let _ = write!(out, " {kind}");
+            }
+            Record::Batched { shard, batch, jobs } => {
+                let _ = write!(out, "B {shard} {batch} {}", jobs.len());
+                for j in jobs {
+                    let _ = write!(out, " {j}");
+                }
+            }
+            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy } => {
+                let _ = write!(
+                    out,
+                    "T {shard} {batch} {} {} {nr} {ntg} {policy}",
+                    f64_hex(*start_s),
+                    f64_hex(*service_s),
+                );
+            }
+            Record::Completed { shard, batch, job, done_s, hash } => {
+                let _ = write!(out, "C {shard} {batch} {job} {}", f64_hex(*done_s));
+                match hash {
+                    Some(h) => {
+                        let _ = write!(out, " {h:016x}");
+                    }
+                    None => out.push_str(" -"),
+                }
+            }
+            Record::Suppressed { shard, batch, job, t_s } => {
+                let _ = write!(out, "Z {shard} {batch} {job} {}", f64_hex(*t_s));
+            }
+            Record::Heartbeat { shard, tick, t_s, ok } => {
+                let _ = write!(
+                    out,
+                    "H {shard} {tick} {} {}",
+                    f64_hex(*t_s),
+                    u8::from(*ok)
+                );
+            }
+            Record::ShardDown { shard, t_s } => {
+                let _ = write!(out, "D {shard} {}", f64_hex(*t_s));
+            }
+            Record::Failover { from, to, job, t_s } => {
+                let _ = write!(out, "F {from} {to} {job} {}", f64_hex(*t_s));
+            }
+            Record::Degraded { level, t_s } => {
+                let _ = write!(out, "G {level} {}", f64_hex(*t_s));
+            }
+        }
+        out
+    }
+
+    /// Decodes one encoded line (`line` is the 1-based line number used in
+    /// error messages).
+    ///
+    /// # Errors
+    /// [`ServeError::Journal`] on any malformed field.
+    pub fn decode(s: &str, line: usize) -> Result<Record, ServeError> {
+        let mut toks = s.split_ascii_whitespace();
+        let tag = toks
+            .next()
+            .ok_or_else(|| ServeError::Journal(format!("line {line}: empty record")))?;
+        let rec = match tag {
+            "A" => {
+                let req = decode_req(&mut toks, line)?;
+                let key = toks
+                    .next()
+                    .and_then(|t| u64::from_str_radix(t, 16).ok())
+                    .ok_or_else(|| ServeError::Journal(format!("line {line}: bad key")))?;
+                let shard = parse_u64(toks.next(), line)? as u32;
+                Record::Accepted { req, key, shard }
+            }
+            "S" => {
+                let req = decode_req(&mut toks, line)?;
+                let kind = toks
+                    .next()
+                    .ok_or_else(|| ServeError::Journal(format!("line {line}: missing shed kind")))?
+                    .to_string();
+                Record::Shed { req, kind }
+            }
+            "B" => {
+                let shard = parse_u64(toks.next(), line)? as u32;
+                let batch = parse_u64(toks.next(), line)?;
+                let n = parse_usize(toks.next(), line)?;
+                let mut jobs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    jobs.push(parse_u64(toks.next(), line)?);
+                }
+                Record::Batched { shard, batch, jobs }
+            }
+            "T" => Record::Started {
+                shard: parse_u64(toks.next(), line)? as u32,
+                batch: parse_u64(toks.next(), line)?,
+                start_s: parse_f64_bits(toks.next(), line)?,
+                service_s: parse_f64_bits(toks.next(), line)?,
+                nr: parse_usize(toks.next(), line)?,
+                ntg: parse_usize(toks.next(), line)?,
+                policy: parse_usize(toks.next(), line)?,
+            },
+            "C" => {
+                let shard = parse_u64(toks.next(), line)? as u32;
+                let batch = parse_u64(toks.next(), line)?;
+                let job = parse_u64(toks.next(), line)?;
+                let done_s = parse_f64_bits(toks.next(), line)?;
+                let hash = match toks.next() {
+                    Some("-") => None,
+                    Some(t) => Some(u64::from_str_radix(t, 16).map_err(|_| {
+                        ServeError::Journal(format!("line {line}: bad hash"))
+                    })?),
+                    None => {
+                        return Err(ServeError::Journal(format!("line {line}: missing hash")))
+                    }
+                };
+                Record::Completed { shard, batch, job, done_s, hash }
+            }
+            "Z" => Record::Suppressed {
+                shard: parse_u64(toks.next(), line)? as u32,
+                batch: parse_u64(toks.next(), line)?,
+                job: parse_u64(toks.next(), line)?,
+                t_s: parse_f64_bits(toks.next(), line)?,
+            },
+            "H" => Record::Heartbeat {
+                shard: parse_u64(toks.next(), line)? as u32,
+                tick: parse_u64(toks.next(), line)?,
+                t_s: parse_f64_bits(toks.next(), line)?,
+                ok: parse_u64(toks.next(), line)? != 0,
+            },
+            "D" => Record::ShardDown {
+                shard: parse_u64(toks.next(), line)? as u32,
+                t_s: parse_f64_bits(toks.next(), line)?,
+            },
+            "F" => Record::Failover {
+                from: parse_u64(toks.next(), line)? as u32,
+                to: parse_u64(toks.next(), line)? as u32,
+                job: parse_u64(toks.next(), line)?,
+                t_s: parse_f64_bits(toks.next(), line)?,
+            },
+            "G" => Record::Degraded {
+                level: parse_usize(toks.next(), line)?,
+                t_s: parse_f64_bits(toks.next(), line)?,
+            },
+            other => {
+                return Err(ServeError::Journal(format!(
+                    "line {line}: unknown record tag '{other}'"
+                )))
+            }
+        };
+        if toks.next().is_some() {
+            return Err(ServeError::Journal(format!("line {line}: trailing fields")));
+        }
+        Ok(rec)
+    }
+}
+
+/// What the conservation audit found: the accounting of every accepted
+/// job across the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conservation {
+    /// Requests accepted.
+    pub accepted: usize,
+    /// Requests shed.
+    pub shed: usize,
+    /// Accepted requests completed (exactly once each).
+    pub completed: usize,
+    /// Duplicate completion reports the idempotency guard suppressed.
+    pub suppressed: usize,
+    /// Accepted-but-not-completed request ids (empty on a finished run).
+    pub open: Vec<u64>,
+}
+
+/// The append-only journal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    records: Vec<Record>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Journal { records: Vec::new() }
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, rec: Record) {
+        self.records.push(rec);
+    }
+
+    /// The records, append order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Lossless text encoding: one line per record.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str(&rec.encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes an [`encode`](Journal::encode)d journal.
+    ///
+    /// # Errors
+    /// [`ServeError::Journal`] on any malformed line.
+    pub fn decode(s: &str) -> Result<Journal, ServeError> {
+        let mut j = Journal::new();
+        for (i, line) in s.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            j.append(Record::decode(line, i + 1)?);
+        }
+        Ok(j)
+    }
+
+    /// The machine-checked conservation audit: every accepted job id is
+    /// unique, is never also shed, and completes at most once; every
+    /// completion (and suppressed duplicate) refers to an accepted job.
+    ///
+    /// # Errors
+    /// [`ServeError::Journal`] naming the first violated invariant.
+    pub fn conservation(&self) -> Result<Conservation, ServeError> {
+        let mut accepted: BTreeMap<u64, u64> = BTreeMap::new(); // id -> key
+        let mut shed: BTreeSet<u64> = BTreeSet::new();
+        let mut completed: BTreeSet<u64> = BTreeSet::new();
+        let mut suppressed = 0usize;
+        for rec in &self.records {
+            match rec {
+                Record::Accepted { req, key, .. } => {
+                    if shed.contains(&req.id) {
+                        return Err(ServeError::Journal(format!(
+                            "job {} both shed and accepted",
+                            req.id
+                        )));
+                    }
+                    if accepted.insert(req.id, *key).is_some() {
+                        return Err(ServeError::Journal(format!(
+                            "job {} accepted twice",
+                            req.id
+                        )));
+                    }
+                }
+                Record::Shed { req, .. } => {
+                    if accepted.contains_key(&req.id) {
+                        return Err(ServeError::Journal(format!(
+                            "job {} both accepted and shed",
+                            req.id
+                        )));
+                    }
+                    shed.insert(req.id);
+                }
+                Record::Completed { job, .. } => {
+                    if !accepted.contains_key(job) {
+                        return Err(ServeError::Journal(format!(
+                            "job {job} completed but never accepted"
+                        )));
+                    }
+                    if !completed.insert(*job) {
+                        return Err(ServeError::Journal(format!(
+                            "job {job} completed twice"
+                        )));
+                    }
+                }
+                Record::Suppressed { job, .. } => {
+                    if !completed.contains(job) {
+                        return Err(ServeError::Journal(format!(
+                            "job {job} suppressed before any completion"
+                        )));
+                    }
+                    suppressed += 1;
+                }
+                _ => {}
+            }
+        }
+        let open: Vec<u64> = accepted
+            .keys()
+            .filter(|id| !completed.contains(id))
+            .copied()
+            .collect();
+        Ok(Conservation {
+            accepted: accepted.len(),
+            shed: shed.len(),
+            completed: completed.len(),
+            suppressed,
+            open,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            tenant: id as u32 % 3,
+            class: GeometryClass::ALL[id as usize % 4],
+            bands: 2 + id as usize % 3,
+            deadline: DeadlineClass::ALL[id as usize % 3],
+            arrival_s: 0.125 * id as f64 + 1e-3,
+        }
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Accepted { req: req(0), key: idempotency_key(7, 0), shard: 1 },
+            Record::Shed { req: req(1), kind: "queue_full".into() },
+            Record::Batched { shard: 1, batch: 0, jobs: vec![0] },
+            Record::Started {
+                shard: 1,
+                batch: 0,
+                start_s: 0.05,
+                service_s: 0.021_375,
+                nr: 2,
+                ntg: 2,
+                policy: 3,
+            },
+            Record::Heartbeat { shard: 0, tick: 3, t_s: 0.15, ok: true },
+            Record::Heartbeat { shard: 1, tick: 3, t_s: 0.15, ok: false },
+            Record::Completed { shard: 1, batch: 0, job: 0, done_s: 0.071_375, hash: Some(42) },
+            Record::Suppressed { shard: 2, batch: 5, job: 0, t_s: 0.08 },
+            Record::ShardDown { shard: 2, t_s: 0.2 },
+            Record::Failover { from: 2, to: 1, job: 9, t_s: 0.2 },
+            Record::Degraded { level: 1, t_s: 0.25 },
+            Record::Completed { shard: 1, batch: 1, job: 9, done_s: 0.3, hash: None },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_is_the_identity() {
+        let mut j = Journal::new();
+        // The round trip must survive awkward floats bit-exactly.
+        let mut records = sample_records();
+        records.push(Record::Started {
+            shard: 0,
+            batch: 7,
+            start_s: 0.1 + 0.2, // 0.30000000000000004
+            service_s: f64::MIN_POSITIVE,
+            nr: 1,
+            ntg: 4,
+            policy: 0,
+        });
+        for r in records {
+            j.append(r);
+        }
+        let text = j.encode();
+        let back = Journal::decode(&text).expect("decodes");
+        assert_eq!(back, j);
+        assert_eq!(back.encode(), text, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(Journal::decode("Q 1 2\n").is_err(), "unknown tag");
+        assert!(Journal::decode("A 0 0 9 2 0 0000000000000000 aa 1\n").is_err(), "bad class");
+        assert!(Journal::decode("H 0 1 zzzz 1\n").is_err(), "bad float bits");
+        assert!(
+            Journal::decode("D 0 0000000000000000 junk\n").is_err(),
+            "trailing fields"
+        );
+        assert!(Journal::decode("").expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn conservation_accounts_every_job_exactly_once() {
+        let mut j = Journal::new();
+        // Accepted jobs 0 and 9 (9 via the failover path), shed job 1,
+        // one suppressed duplicate report.
+        for r in sample_records() {
+            match r {
+                Record::Failover { .. } => {
+                    j.append(Record::Accepted {
+                        req: req(9),
+                        key: idempotency_key(7, 9),
+                        shard: 2,
+                    });
+                    j.append(r);
+                }
+                r => j.append(r),
+            }
+        }
+        let c = j.conservation().expect("conserved");
+        assert_eq!(c.accepted, 2);
+        assert_eq!(c.shed, 1);
+        assert_eq!(c.completed, 2);
+        assert_eq!(c.suppressed, 1);
+        assert!(c.open.is_empty());
+    }
+
+    #[test]
+    fn conservation_catches_loss_and_duplication() {
+        let a = Record::Accepted { req: req(0), key: 1, shard: 0 };
+        let c = Record::Completed { shard: 0, batch: 0, job: 0, done_s: 1.0, hash: None };
+
+        // Duplicate completion.
+        let mut j = Journal::new();
+        j.append(a.clone());
+        j.append(c.clone());
+        j.append(c.clone());
+        assert!(j.conservation().is_err());
+
+        // Completion of a never-accepted job.
+        let mut j = Journal::new();
+        j.append(c.clone());
+        assert!(j.conservation().is_err());
+
+        // Accepted and shed.
+        let mut j = Journal::new();
+        j.append(a.clone());
+        j.append(Record::Shed { req: req(0), kind: "deadline".into() });
+        assert!(j.conservation().is_err());
+
+        // An open (lost) job is visible, not an error: a crash-point
+        // prefix legitimately holds open jobs.
+        let mut j = Journal::new();
+        j.append(a);
+        let cons = j.conservation().expect("prefix ok");
+        assert_eq!(cons.open, vec![0]);
+    }
+
+    #[test]
+    fn idempotency_keys_are_stable_and_distinct() {
+        let k = idempotency_key(20170814, 5);
+        assert_eq!(k, idempotency_key(20170814, 5));
+        assert_ne!(k, idempotency_key(20170814, 6));
+        assert_ne!(k, idempotency_key(20170815, 5));
+    }
+}

@@ -20,22 +20,52 @@
 //!    the stage-graph engines, survives injected chaos through the
 //!    recovery ladder (retry → rollback → eviction) without losing an
 //!    accepted job, and exports per-tenant/per-stage metrics.
+//!
+//! Fleet durability on top of the single-node path:
+//!
+//! 6. [`journal`] — the append-only write-ahead log of every fleet state
+//!    transition, with a lossless text encoding, per-job idempotency
+//!    keys, and a machine-checked conservation audit.
+//! 7. [`health`] — the heartbeat schedule and the per-shard circuit
+//!    breaker (trip → bounded-backoff half-open probing), reusing the
+//!    task-retry backoff schedule.
+//! 8. [`degrade`] — the brown-out ladder: shed by deadline class, split
+//!    large batches, reject new work; every transition journaled.
+//! 9. [`supervisor`] — N simulated shard nodes under one supervisor:
+//!    journaled virtual-time loop, node-death failover through the
+//!    placement tuner, split-brain duplicate suppression, and exact
+//!    crash recovery by journal replay ([`resume_fleet`]).
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod batch;
+pub mod degrade;
+pub mod error;
+pub mod exec;
+pub mod health;
+pub mod journal;
 pub mod request;
 pub mod server;
+pub mod supervisor;
 pub mod traffic;
 pub mod tuner;
 
 pub use admission::{Admission, AdmissionConfig};
 pub use batch::{assemble, plan_batch, Batch, BatchConfig, BatchMember};
-pub use request::{band_hash, DeadlineClass, GeometryClass, RejectReason, Request};
+pub use degrade::{DegradeConfig, DegradeLevel, Ladder};
+pub use error::ServeError;
+pub use health::{Breaker, BreakerState, HealthConfig};
+pub use journal::{idempotency_key, Conservation, Journal, Record};
+pub use supervisor::{
+    resume_fleet, run_fleet, Fleet, FleetConfig, FleetFaults, FleetJob, FleetReport,
+};
+pub use exec::{Backend, RealRun, ServeChaos};
+pub use request::{
+    band_hash, class_problem, DeadlineClass, GeometryClass, RejectReason, Request, PRIME_NR3,
+};
 pub use server::{
-    run_serve, BatchRecord, JobRecord, PlacementMode, ServeChaos, ServeConfig, ServeReport, Server,
-    ShedRecord,
+    run_serve, BatchRecord, JobRecord, PlacementMode, ServeConfig, ServeReport, Server, ShedRecord,
 };
 pub use traffic::{generate, LoadProfile, TrafficConfig};
 pub use tuner::{candidates, serve_node, CandidateScore, Decision, Placement, Tuner, TunerConfig};

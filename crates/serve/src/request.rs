@@ -2,8 +2,9 @@
 //! classes, the request record itself, and the typed rejection reasons the
 //! admission controller returns.
 
-use fftx_core::{FftxConfig, Mode};
+use fftx_core::{Cell, FftGrid, FftxConfig, Mode, Problem, DUAL};
 use fftx_fft::Complex64;
+use std::sync::Arc;
 
 /// Problem-geometry class of a request. The serving layer batches only
 /// requests of one class together, because a batch shares one `Problem`
@@ -17,12 +18,30 @@ pub enum GeometryClass {
     Medium,
     /// ~28³ dense grid (cutoff 10 Ry, 10 bohr cell).
     Large,
+    /// The Small geometry with the z dimension forced to [`PRIME_NR3`]
+    /// (a prime above the 1-D engine's direct-size limit), so every z-axis
+    /// transform takes the Bluestein chirp-z path. Carries zero weight in
+    /// the synthetic traffic generator — it exists for explicit coverage of
+    /// the non-power-friendly serving path, not for the steady-state mix.
+    Prime,
 }
 
+/// The z dimension of the `prime` geometry class: the smallest prime above
+/// `MAX_DIRECT_PRIME` (37), so the dimension cannot be handled by direct
+/// mixed-radix kernels and must go through Bluestein. Cutoff-derived grids
+/// can never produce it — `good_fft_order` rounds every dimension to
+/// `2^a·3^b·5^c·7^d·11^e` form — which is exactly why the class exists.
+pub const PRIME_NR3: usize = 41;
+
 impl GeometryClass {
-    /// Every class, smallest first.
-    pub const ALL: [GeometryClass; 3] =
-        [GeometryClass::Small, GeometryClass::Medium, GeometryClass::Large];
+    /// Every class, smallest first; `Prime` last so the first three rows
+    /// keep their historical traffic-weight indices.
+    pub const ALL: [GeometryClass; 4] = [
+        GeometryClass::Small,
+        GeometryClass::Medium,
+        GeometryClass::Large,
+        GeometryClass::Prime,
+    ];
 
     /// Short name used in reports and CSVs.
     pub fn name(self) -> &'static str {
@@ -30,13 +49,14 @@ impl GeometryClass {
             GeometryClass::Small => "small",
             GeometryClass::Medium => "medium",
             GeometryClass::Large => "large",
+            GeometryClass::Prime => "prime",
         }
     }
 
     /// Plane-wave cutoff of the class (Ry).
     pub fn ecutwfc(self) -> f64 {
         match self {
-            GeometryClass::Small => 6.0,
+            GeometryClass::Small | GeometryClass::Prime => 6.0,
             GeometryClass::Medium => 8.0,
             GeometryClass::Large => 10.0,
         }
@@ -45,7 +65,7 @@ impl GeometryClass {
     /// Cubic lattice parameter of the class (bohr).
     pub fn alat(self) -> f64 {
         match self {
-            GeometryClass::Small => 8.0,
+            GeometryClass::Small | GeometryClass::Prime => 8.0,
             GeometryClass::Medium => 9.0,
             GeometryClass::Large => 10.0,
         }
@@ -57,6 +77,21 @@ impl GeometryClass {
             GeometryClass::Small => 0,
             GeometryClass::Medium => 1,
             GeometryClass::Large => 2,
+            GeometryClass::Prime => 3,
+        }
+    }
+
+    /// The explicit dense grid this class forces, when it does not use the
+    /// cutoff-derived one. Only `Prime` overrides: its z dimension becomes
+    /// [`PRIME_NR3`] while x and y keep the cutoff-derived order.
+    pub fn grid_override(self, config: &FftxConfig) -> Option<FftGrid> {
+        match self {
+            GeometryClass::Prime => {
+                let cell = Cell::cubic(config.alat);
+                let base = FftGrid::from_cutoff(&cell, DUAL * config.ecutwfc);
+                Some(FftGrid::raw(base.nr1, base.nr2, PRIME_NR3))
+            }
+            _ => None,
         }
     }
 
@@ -75,6 +110,20 @@ impl GeometryClass {
             mode,
             seed,
         }
+    }
+}
+
+/// Builds the batch [`Problem`] of a class the class-aware way: classes on
+/// cutoff-derived grids go through [`Problem::new`]; a class with a grid
+/// override (today only [`GeometryClass::Prime`]) goes through
+/// [`Problem::with_grid`] on its explicit grid. Every site that turns a
+/// batch into a `Problem` — the serving executor, the tuner's DES pricing,
+/// and the golden tests' direct re-runs — must route through this function
+/// so served and direct executions of one class build identical problems.
+pub fn class_problem(class: GeometryClass, config: FftxConfig) -> Arc<Problem> {
+    match class.grid_override(&config) {
+        Some(grid) => Problem::with_grid(config, grid),
+        None => Problem::new(config),
     }
 }
 
@@ -163,6 +212,14 @@ pub enum RejectReason {
         /// The request's budget (virtual seconds).
         budget_s: f64,
     },
+    /// The fleet's brown-out ladder refused the request: under sustained
+    /// pressure the fleet sheds whole deadline classes (then rejects all
+    /// new work) instead of queueing requests it cannot serve in time.
+    FleetDegraded {
+        /// Degradation-level name at rejection (see `degrade`), or
+        /// `no_shard` when no shard was admitting at all.
+        level: &'static str,
+    },
 }
 
 impl RejectReason {
@@ -172,6 +229,7 @@ impl RejectReason {
             RejectReason::QueueFull { .. } => "queue_full",
             RejectReason::TenantOverShare { .. } => "tenant_share",
             RejectReason::DeadlineUnmeetable { .. } => "deadline",
+            RejectReason::FleetDegraded { .. } => "degraded",
         }
     }
 }
@@ -214,6 +272,36 @@ mod tests {
         }
         assert_eq!(GeometryClass::Small.index(), 0);
         assert_eq!(GeometryClass::Large.index(), 2);
+        assert_eq!(GeometryClass::Prime.index(), 3);
+        for (i, class) in GeometryClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn prime_class_forces_a_bluestein_dimension() {
+        let cfg = GeometryClass::Prime.config(4, 2, 2, Mode::Original, 1);
+        let grid = GeometryClass::Prime
+            .grid_override(&cfg)
+            .expect("prime class overrides its grid");
+        assert_eq!(grid.nr3, PRIME_NR3);
+        // No good FFT order equals a prime above the direct-size limit.
+        assert_ne!(fftx_fft::good_fft_order(PRIME_NR3 - 1), PRIME_NR3);
+        for class in [GeometryClass::Small, GeometryClass::Medium, GeometryClass::Large] {
+            assert!(class.grid_override(&class.config(4, 2, 2, Mode::Original, 1)).is_none());
+        }
+    }
+
+    #[test]
+    fn class_problem_builds_the_override_grid() {
+        let cfg = GeometryClass::Prime.config(4, 2, 2, Mode::Original, 1);
+        let p = class_problem(GeometryClass::Prime, cfg);
+        assert_eq!(p.grid().nr3, PRIME_NR3);
+        let small = class_problem(
+            GeometryClass::Small,
+            GeometryClass::Small.config(4, 2, 2, Mode::Original, 1),
+        );
+        assert_ne!(small.grid().nr3, PRIME_NR3);
     }
 
     #[test]
@@ -228,8 +316,9 @@ mod tests {
             RejectReason::QueueFull { depth: 1, cap: 1 }.kind(),
             RejectReason::TenantOverShare { tenant: 0, held: 1, cap: 1 }.kind(),
             RejectReason::DeadlineUnmeetable { estimate_s: 1.0, budget_s: 0.5 }.kind(),
+            RejectReason::FleetDegraded { level: "reject_new" }.kind(),
         ];
-        assert_eq!(kinds.len(), 3);
+        assert_eq!(kinds.len(), 4);
         assert!(kinds.windows(2).all(|w| w[0] != w[1]));
     }
 

@@ -16,18 +16,14 @@
 //! refinement.
 
 use crate::admission::{Admission, AdmissionConfig};
-use crate::batch::{Batch, BatchConfig};
+use crate::batch::BatchConfig;
+use crate::error::ServeError;
+use crate::exec::{Backend, ServeChaos};
 use crate::request::{band_hash, GeometryClass, RejectReason, Request};
 use crate::tuner::{Placement, Tuner, TunerConfig};
-use fftx_core::{
-    run_eviction, run_policy, run_policy_chaotic, run_retry, run_rollback, Problem, RunOutput,
-    SchedulerPolicy,
-};
-use fftx_fault::{mix64, BatchAborts, ChaosConfig, RankDeath, RecoveryConfig, TaskCrashes};
-use fftx_knlsim::CommModel;
+use fftx_core::SchedulerPolicy;
 use fftx_trace::{stage_profile, CounterSet, DepthSeries, Quantiles};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// How the server picks a placement per batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,17 +51,6 @@ impl PlacementMode {
         }
         SchedulerPolicy::parse(s).map(PlacementMode::Static)
     }
-}
-
-/// Chaos injection on the serving path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ServeChaos {
-    /// Seed of the per-batch fault schedules.
-    pub seed: u64,
-    /// When set, that batch (by dispatch index) is forced onto the
-    /// eviction-capable 7×1 serial layout and rank 1 dies mid-run — the
-    /// end-to-end demonstration of recovery mechanism 3.
-    pub evict_batch: Option<usize>,
 }
 
 /// Serving-loop configuration.
@@ -214,24 +199,14 @@ impl ServeReport {
     }
 }
 
-/// Internal outcome of executing one batch for real.
-struct RealRun {
-    output: RunOutput,
-    retries: u64,
-    rollbacks: u64,
-    evictions: u64,
-    checkpoint_bytes: usize,
-    escalated: bool,
-}
-
-/// The server. Owns the admission queue, the tuner, and the base-problem
-/// cache; [`Server::run`] consumes a request trace and produces the report.
+/// The server. Owns the admission queue, the tuner, and the execution
+/// backend; [`Server::run`] consumes a request trace and produces the
+/// report.
 pub struct Server {
     cfg: ServeConfig,
     admission: Admission,
     tuner: Tuner,
-    comm: CommModel,
-    problems: BTreeMap<(usize, usize, usize, &'static str), Arc<Problem>>,
+    backend: Backend,
 }
 
 impl Server {
@@ -240,8 +215,7 @@ impl Server {
         Server {
             admission: Admission::new(cfg.admission),
             tuner: Tuner::new(cfg.tuner),
-            comm: CommModel::paper(),
-            problems: BTreeMap::new(),
+            backend: Backend::new(cfg.seed, cfg.chaos),
             cfg,
         }
     }
@@ -267,128 +241,12 @@ impl Server {
         self.tuner.service_s(req.class, nbnd, &p)
     }
 
-    /// The batch problem of `(class, nbnd)` under `placement`, via a base
-    /// problem per (class, layout, policy) rebanded with `with_nbnd` —
-    /// grids, stick layouts, and FFT plans are built once and shared.
-    fn problem_for(&mut self, class: GeometryClass, nbnd: usize, p: &Placement) -> Arc<Problem> {
-        let key = (class.index(), p.nr, p.ntg, p.policy.name());
-        let seed = self.cfg.seed;
-        let base = self
-            .problems
-            .entry(key)
-            .or_insert_with(|| Problem::new(p.config(class, nbnd, seed)));
-        if base.config.nbnd == nbnd {
-            base.clone()
-        } else {
-            base.with_nbnd(nbnd)
-        }
-    }
-
-    /// Executes one batch for real, routing chaos through the recovery
-    /// ladder. Recovery failure escalates to a clean re-run — an accepted
-    /// job is never dropped.
-    fn execute(&mut self, batch: &Batch, p: &Placement, index: usize, evict: bool) -> RealRun {
-        let problem = self.problem_for(batch.class, batch.nbnd, p);
-        let rc = RecoveryConfig::default();
-        let chaos_seed = self
-            .cfg
-            .chaos
-            .map(|c| mix64(c.seed ^ (index as u64).wrapping_mul(0x9e37)));
-        let mut run = RealRun {
-            output: RunOutput {
-                bands: Vec::new(),
-                trace: Default::default(),
-                fft_phase_s: 0.0,
-            },
-            retries: 0,
-            rollbacks: 0,
-            evictions: 0,
-            checkpoint_bytes: 0,
-            escalated: false,
-        };
-        match (chaos_seed, p.policy) {
-            (Some(_), SchedulerPolicy::Serial) if evict => {
-                // The eviction demo: rank 1 dies at batch 2 of the 7×1
-                // layout; the world re-plans onto the 3×2 survivors.
-                match run_eviction(&problem, RankDeath::at(1, 2), &rc) {
-                    Ok((output, stats)) => {
-                        run.output = output;
-                        run.evictions = stats.evictions;
-                        run.rollbacks = stats.batch_rollbacks;
-                        run.checkpoint_bytes = stats.checkpoint_bytes as usize;
-                    }
-                    Err(_) => {
-                        run.output = run_policy(&problem, p.policy);
-                        run.escalated = true;
-                    }
-                }
-            }
-            (Some(seed), SchedulerPolicy::Serial) => {
-                let aborts = BatchAborts::new(seed, 0.4, 2);
-                match run_rollback(&problem, Some(aborts), &rc) {
-                    Ok((output, stats)) => {
-                        run.output = output;
-                        run.rollbacks = stats.batch_rollbacks;
-                        run.checkpoint_bytes = stats.checkpoint_bytes as usize;
-                    }
-                    Err(_) => {
-                        run.output = run_policy(&problem, p.policy);
-                        run.escalated = true;
-                    }
-                }
-            }
-            (Some(seed), SchedulerPolicy::TaskPerFft) => {
-                let crashes = TaskCrashes::new(seed, 0.3, 3);
-                match run_retry(&problem, Some(crashes), &rc) {
-                    Ok((output, stats)) => {
-                        run.output = output;
-                        run.retries = stats.task_retries;
-                    }
-                    Err(_) => {
-                        run.output = run_policy(&problem, p.policy);
-                        run.escalated = true;
-                    }
-                }
-            }
-            (Some(seed), policy) => {
-                // Message-level chaos on the remaining policies: lossless
-                // by construction, the fault report feeds the counters.
-                let (output, report) =
-                    run_policy_chaotic(&problem, policy, Some(ChaosConfig::light(seed)));
-                run.output = output;
-                run.retries = report.map_or(0, |r| r.events.len() as u64);
-            }
-            (None, policy) => {
-                run.output = run_policy(&problem, policy);
-            }
-        }
-        run
-    }
-
-    /// Model-priced overhead of the recovery events a real run absorbed.
-    fn recovery_overhead_s(&self, run: &RealRun, base_service_s: f64, iterations: usize) -> f64 {
-        let per_batch_s = base_service_s / iterations.max(1) as f64;
-        let replays = (run.rollbacks + run.evictions) as u32;
-        let mut overhead = self
-            .comm
-            .replay_seconds(run.checkpoint_bytes, per_batch_s, replays);
-        if run.checkpoint_bytes > 0 {
-            overhead += self.comm.checkpoint_seconds(run.checkpoint_bytes);
-        }
-        // A retried task re-executes one band-batch FFT lane.
-        overhead += run.retries as f64 * per_batch_s / iterations.max(1) as f64;
-        if run.escalated {
-            overhead += base_service_s; // the wasted attempt
-        }
-        overhead
-    }
-
-    fn dispatch(&mut self, start_s: f64, report: &mut ServeReport) -> f64 {
+    fn dispatch(&mut self, start_s: f64, report: &mut ServeReport) -> Result<f64, ServeError> {
         let batch_cfg = self.cfg.batch;
         let batch = self
             .admission
-            .form_batch(&batch_cfg)
-            .expect("dispatch: non-empty queue");
+            .form_batch(&batch_cfg)?
+            .ok_or(ServeError::EmptyQueue)?;
         let index = report.batches.len();
         let evict = self.cfg.chaos.and_then(|c| c.evict_batch) == Some(index);
         let mut placement = self.decide(batch.class, batch.nbnd);
@@ -407,9 +265,9 @@ impl Server {
         let mut recovery = (0u64, 0u64, 0u64);
         let mut escalated = false;
         if real {
-            let run = self.execute(&batch, &placement, index, evict);
+            let run = self.backend.execute(&batch, &placement, index, evict);
             let iterations = batch.nbnd / placement.config(batch.class, batch.nbnd, 0).layout_ntg();
-            service_s += self.recovery_overhead_s(&run, base_service_s, iterations);
+            service_s += self.backend.recovery_overhead_s(&run, base_service_s, iterations);
             recovery = (run.retries, run.rollbacks, run.evictions);
             escalated = run.escalated;
             for (i, m) in batch.members.iter().enumerate() {
@@ -459,15 +317,22 @@ impl Server {
             escalated,
         });
         report.makespan_s = report.makespan_s.max(done_s);
-        done_s
+        Ok(done_s)
     }
 
     /// Runs the server over an arrival-ordered request trace.
-    pub fn run(mut self, requests: &[Request]) -> ServeReport {
-        assert!(
-            requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-            "serve: request trace must be arrival-ordered"
-        );
+    ///
+    /// # Errors
+    /// [`ServeError::UnorderedTrace`] when the trace is not
+    /// arrival-ordered; any internal queue/plan inconsistency the loop
+    /// detects is propagated instead of panicking.
+    pub fn run(mut self, requests: &[Request]) -> Result<ServeReport, ServeError> {
+        if let Some(i) = requests
+            .windows(2)
+            .position(|w| w[0].arrival_s > w[1].arrival_s)
+        {
+            return Err(ServeError::UnorderedTrace { index: i + 1 });
+        }
         let mut report = ServeReport {
             mode: self.cfg.mode,
             jobs: Vec::new(),
@@ -485,7 +350,7 @@ impl Server {
             // The server became free before this arrival: drain the queue
             // batch by batch from that moment.
             while self.admission.depth() > 0 && t_free <= now {
-                t_free = self.dispatch(t_free, &mut report);
+                t_free = self.dispatch(t_free, &mut report)?;
             }
             // Completion estimate: residual busy time, the backlog ahead,
             // and the request's own service.
@@ -509,11 +374,11 @@ impl Server {
             report.depth.record(now, self.admission.depth());
             // Idle server dispatches immediately on arrival.
             if self.admission.depth() > 0 && t_free <= now {
-                t_free = self.dispatch(now, &mut report);
+                t_free = self.dispatch(now, &mut report)?;
             }
         }
         while self.admission.depth() > 0 {
-            t_free = self.dispatch(t_free, &mut report);
+            t_free = self.dispatch(t_free, &mut report)?;
         }
         report.makespan_s = report.makespan_s.max(t_free);
         // Explain every workload key the run decided (auto view).
@@ -526,20 +391,24 @@ impl Server {
             report.why.push_str(&self.tuner.why(GeometryClass::ALL[class_idx], nbnd));
             report.why.push('\n');
         }
-        report
+        Ok(report)
     }
 }
 
 /// Convenience: generate nothing, serve a prepared trace under `cfg`.
-pub fn run_serve(requests: &[Request], cfg: &ServeConfig) -> ServeReport {
+///
+/// # Errors
+/// See [`Server::run`].
+pub fn run_serve(requests: &[Request], cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
     Server::new(*cfg).run(requests)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::DeadlineClass;
+    use crate::request::{class_problem, DeadlineClass};
     use crate::traffic::{generate, LoadProfile, TrafficConfig};
+    use fftx_core::run_policy;
 
     fn small_trace() -> Vec<Request> {
         generate(&TrafficConfig {
@@ -554,7 +423,7 @@ mod tests {
     #[test]
     fn modeled_run_conserves_requests() {
         let trace = small_trace();
-        let report = run_serve(&trace, &ServeConfig::default());
+        let report = run_serve(&trace, &ServeConfig::default()).expect("serve");
         assert_eq!(report.offered(), trace.len());
         assert!(!report.jobs.is_empty());
         assert!(!report.batches.is_empty());
@@ -569,8 +438,8 @@ mod tests {
     #[test]
     fn runs_replay_bit_identically() {
         let trace = small_trace();
-        let a = run_serve(&trace, &ServeConfig::default());
-        let b = run_serve(&trace, &ServeConfig::default());
+        let a = run_serve(&trace, &ServeConfig::default()).expect("serve");
+        let b = run_serve(&trace, &ServeConfig::default()).expect("serve");
         assert_eq!(a.jobs, b.jobs);
         assert_eq!(a.batches, b.batches);
         assert_eq!(a.why, b.why);
@@ -579,7 +448,7 @@ mod tests {
     #[test]
     fn tenant_ordering_is_preserved() {
         let trace = small_trace();
-        let report = run_serve(&trace, &ServeConfig::default());
+        let report = run_serve(&trace, &ServeConfig::default()).expect("serve");
         let mut last_done: BTreeMap<u32, (f64, u64)> = BTreeMap::new();
         for j in &report.jobs {
             if let Some(&(done, id)) = last_done.get(&j.request.tenant) {
@@ -611,7 +480,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let report = run_serve(&trace, &cfg);
+        let report = run_serve(&trace, &cfg).expect("serve");
         assert!(!report.shed.is_empty());
         assert!(report.shed_rate() > 0.0);
         assert_eq!(
@@ -628,12 +497,12 @@ mod tests {
             execute_real: true,
             ..Default::default()
         };
-        let report = run_serve(&trace, &cfg);
+        let report = run_serve(&trace, &cfg).expect("serve");
         for batch in &report.batches {
             let jobs: Vec<&JobRecord> =
                 report.jobs.iter().filter(|j| j.batch == batch.index).collect();
             let p = batch.placement;
-            let problem = Problem::new(p.config(batch.class, batch.nbnd, 42));
+            let problem = class_problem(batch.class, p.config(batch.class, batch.nbnd, 42));
             let direct = run_policy(&problem, p.policy);
             // Jobs of one batch are recorded in member (band) order, so the
             // band offsets reconstruct by accumulation.
@@ -657,7 +526,7 @@ mod tests {
             }),
             ..Default::default()
         };
-        let report = run_serve(&trace, &cfg);
+        let report = run_serve(&trace, &cfg).expect("serve");
         assert_eq!(report.offered(), trace.len());
         assert_eq!(report.jobs.len() + report.shed.len(), trace.len());
         // Chaos must not change any result: hashes match the clean run.
@@ -667,7 +536,8 @@ mod tests {
                 execute_real: true,
                 ..Default::default()
             },
-        );
+        )
+        .expect("serve");
         let hash_of = |r: &ServeReport, id: u64| {
             r.jobs.iter().find(|j| j.request.id == id).and_then(|j| j.hash)
         };
@@ -691,7 +561,7 @@ mod tests {
             }),
             ..Default::default()
         };
-        let report = run_serve(&trace, &cfg);
+        let report = run_serve(&trace, &cfg).expect("serve");
         let b0 = &report.batches[0];
         assert_eq!(b0.placement.nr, 7);
         assert_eq!(b0.recovery.2, 1, "one eviction expected");
@@ -700,9 +570,21 @@ mod tests {
     }
 
     #[test]
+    fn unordered_trace_is_a_typed_error() {
+        let mut trace = small_trace();
+        trace.swap(0, 1);
+        // Guard against two identical arrival times making the swap a no-op.
+        if trace[0].arrival_s == trace[1].arrival_s {
+            trace[0].arrival_s += 1.0;
+        }
+        let err = run_serve(&trace, &ServeConfig::default()).expect_err("unordered");
+        assert!(matches!(err, ServeError::UnorderedTrace { .. }));
+    }
+
+    #[test]
     fn deadlines_partition_completions() {
         let trace = small_trace();
-        let report = run_serve(&trace, &ServeConfig::default());
+        let report = run_serve(&trace, &ServeConfig::default()).expect("serve");
         for j in &report.jobs {
             assert_eq!(
                 j.deadline_met,

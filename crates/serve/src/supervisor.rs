@@ -1,0 +1,1185 @@
+//! The fleet supervisor: durable, failure-tolerant serving over N
+//! simulated shard nodes.
+//!
+//! Every fleet state transition — acceptance, shedding, batch formation,
+//! dispatch, completion, heartbeats, shard death, failover, degradation —
+//! is journaled as a [`Record`] *before* it is applied, and
+//! [`Fleet::apply`] is the only path that mutates fleet state. The live
+//! loop therefore factors into `emit = append ∘ apply`, and recovery is
+//! exact by construction: [`resume_fleet`] replays a journal prefix
+//! through the same `apply`, then continues the loop — producing a journal
+//! byte-identical to the uninterrupted run's from *any* record-boundary
+//! crash point (pinned by the proptests).
+//!
+//! Time is virtual and tick-driven. Each tick runs a fixed phase order —
+//! completions, heartbeats, death declarations, failover, arrivals,
+//! dispatch, degradation — and every phase is idempotent given applied
+//! state (cursor fields such as the arrival index, the per-tick heartbeat
+//! position, and per-shard pending-batch markers are all maintained inside
+//! `apply`), so re-running the crash tick emits nothing twice.
+//!
+//! Failure model (all pure functions of the fault seed, shared with the
+//! task-level chaos layer in `fftx_fault`): [`NodeDeath`] kills shards at
+//! seeded fractions of the horizon, [`SlowNode`] stretches their service
+//! times, and [`Partition`] hides heartbeats from truly-alive shards. The
+//! supervisor sees ground truth only through heartbeat outcomes: a
+//! partitioned shard is (wrongly) declared dead, its in-flight work kept
+//! as an *orphan* that may still complete — whichever completion report
+//! lands second is swallowed by the per-job idempotency guard and
+//! journaled as `Suppressed`, so accepted jobs complete exactly once even
+//! under split-brain races. The machine-checked conservation audit
+//! ([`Journal::conservation`]) gates this in CI.
+
+use crate::admission::Admission;
+use crate::batch::plan_batch;
+use crate::degrade::{DegradeConfig, DegradeLevel, Ladder};
+use crate::error::ServeError;
+use crate::exec::Backend;
+use crate::health::{Breaker, HealthConfig};
+use crate::journal::{idempotency_key, Conservation, Journal, Record};
+use crate::request::{band_hash, GeometryClass, RejectReason, Request};
+use crate::server::{PlacementMode, ServeConfig};
+use crate::tuner::{Placement, Tuner};
+use fftx_core::SchedulerPolicy;
+use fftx_fault::{mix64, NodeDeath, Partition, SlowNode};
+use fftx_trace::{CounterSet, Quantiles, StateTimeline};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Serve-level fault profiles, all pure in `(seed, shard)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFaults {
+    /// Seed of every fault schedule.
+    pub seed: u64,
+    /// Probability a shard dies during the run ([`NodeDeath`]). At least
+    /// one shard always survives: when the schedule would kill every
+    /// shard, the latest-dying one is spared deterministically.
+    pub p_death: f64,
+    /// Probability a shard runs slow ([`SlowNode`]).
+    pub p_slow: f64,
+    /// Worst-case service-time stretch of a slow shard.
+    pub slow_max: f64,
+    /// Probability a shard's heartbeats are partitioned away for a window
+    /// while its work keeps executing ([`Partition`]).
+    pub p_partition: f64,
+    /// Partition window length as a fraction of the horizon.
+    pub partition_window: f64,
+}
+
+impl Default for FleetFaults {
+    fn default() -> Self {
+        FleetFaults {
+            seed: 0,
+            p_death: 0.0,
+            p_slow: 0.0,
+            slow_max: 1.0,
+            p_partition: 0.0,
+            partition_window: 0.25,
+        }
+    }
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of shard nodes.
+    pub shards: usize,
+    /// Per-shard serving knobs (admission, batching, tuner, execution).
+    pub serve: ServeConfig,
+    /// Heartbeat / circuit-breaker knobs.
+    pub health: HealthConfig,
+    /// Brown-out ladder knobs.
+    pub degrade: DegradeConfig,
+    /// Fault profiles.
+    pub faults: FleetFaults,
+    /// Virtual horizon the fault schedules are scaled to (seconds).
+    pub horizon_s: f64,
+    /// Safety bound on supervisor ticks before the loop reports
+    /// [`ServeError::Stalled`].
+    pub max_ticks: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 3,
+            serve: ServeConfig::default(),
+            health: HealthConfig::default(),
+            degrade: DegradeConfig::default(),
+            faults: FleetFaults::default(),
+            horizon_s: 2.0,
+            max_ticks: 100_000,
+        }
+    }
+}
+
+/// One completed request, fleet view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetJob {
+    /// The request.
+    pub request: Request,
+    /// Shard that reported the completion.
+    pub shard: u32,
+    /// Fleet-unique id of the batch that carried it.
+    pub batch: u64,
+    /// Completion time (virtual seconds).
+    pub done_s: f64,
+    /// Arrival-to-completion latency (virtual seconds).
+    pub latency_s: f64,
+    /// FNV hash of the request's result bands (real executions only).
+    pub hash: Option<u64>,
+    /// Whether the latency stayed within the deadline budget.
+    pub deadline_met: bool,
+}
+
+/// The full outcome of one fleet run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Shard count the run used.
+    pub shards: usize,
+    /// Completed requests, completion order.
+    pub jobs: Vec<FleetJob>,
+    /// Shed requests with the rejection kind, arrival order.
+    pub shed: Vec<(Request, String)>,
+    /// Counters: `fleet.accepted|batches|shard_down|suppressed`,
+    /// `fleet.heartbeat.ok|miss`, `fleet.breaker.<state>`,
+    /// `fleet.failover.jobs`, `fleet.degrade.<level>`,
+    /// `served.tenant.<id>`, `shed.<kind>`, `shed.tenant.<id>`.
+    pub counters: CounterSet,
+    /// Breaker / down / degradation transitions over virtual time (lane =
+    /// shard index; the ladder uses lane `shards`).
+    pub timeline: StateTimeline,
+    /// The full journal of the run.
+    pub journal: Journal,
+    /// The conservation audit of the journal.
+    pub conservation: Conservation,
+    /// End of the virtual timeline (last completion).
+    pub makespan_s: f64,
+}
+
+impl FleetReport {
+    /// Requests offered (accepted + shed).
+    pub fn offered(&self) -> usize {
+        self.conservation.accepted + self.conservation.shed
+    }
+
+    /// Goodput: completed requests whose deadline was met, per virtual
+    /// second of makespan.
+    pub fn goodput_hz(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.jobs.iter().filter(|j| j.deadline_met).count() as f64 / self.makespan_s
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered() == 0 {
+            return 0.0;
+        }
+        self.shed.len() as f64 / self.offered() as f64
+    }
+
+    /// Latency sample set of all completed requests.
+    pub fn latency(&self) -> Quantiles {
+        let mut q = Quantiles::new();
+        for j in &self.jobs {
+            q.push(j.latency_s);
+        }
+        q
+    }
+
+    /// Failover-to-completion latency of every re-routed job that
+    /// finished: time from its (first) `Failover` record to its
+    /// completion.
+    pub fn failover_latencies(&self) -> Quantiles {
+        let mut moved: BTreeMap<u64, f64> = BTreeMap::new();
+        for rec in self.journal.records() {
+            if let Record::Failover { job, t_s, .. } = rec {
+                moved.entry(*job).or_insert(*t_s);
+            }
+        }
+        let mut q = Quantiles::new();
+        for j in &self.jobs {
+            if let Some(&t) = moved.get(&j.request.id) {
+                q.push(j.done_s - t);
+            }
+        }
+        q
+    }
+}
+
+/// A dispatched batch a shard is executing: the members still awaiting
+/// their completion record, and the virtual completion time.
+#[derive(Debug, Clone)]
+struct Inflight {
+    batch: u64,
+    remaining: Vec<u64>,
+    done_s: f64,
+}
+
+/// Per-shard state, entirely reconstructed by journal replay.
+struct ShardState {
+    admission: Admission,
+    breaker: Breaker,
+    /// The executing batch.
+    inflight: Option<Inflight>,
+    /// An executing batch of a shard that was declared dead while actually
+    /// alive (partition): its completions still arrive and race the
+    /// failover re-runs into the idempotency guard.
+    orphan: Option<Inflight>,
+    /// A journaled-but-not-yet-started batch (the window between `Batched`
+    /// and `Started` a crash can land in).
+    pending: Option<u64>,
+    down: bool,
+}
+
+/// An assembled batch plus the placement it started under.
+struct BatchInfo {
+    batch: crate::batch::Batch,
+    placement: Option<Placement>,
+}
+
+/// The fleet supervisor. See the module docs.
+pub struct Fleet {
+    cfg: FleetConfig,
+    trace: Vec<Request>,
+    journal: Journal,
+    shards: Vec<ShardState>,
+    tuner: Tuner,
+    backend: Backend,
+    ladder: Ladder,
+    slow: SlowNode,
+    partition: Partition,
+    /// Ground-truth death time per shard (None = survives), with the
+    /// ≥1-survivor guarantee applied.
+    death_time: Vec<Option<f64>>,
+    route_seed: u64,
+    accepted: BTreeMap<u64, Request>,
+    completed: BTreeSet<u64>,
+    open: BTreeSet<u64>,
+    jobs: Vec<FleetJob>,
+    shed: Vec<(Request, String)>,
+    counters: CounterSet,
+    timeline: StateTimeline,
+    /// batch id → job id → result hash; filled by `apply(Completed)`
+    /// during replay (journaled completions never re-execute) or lazily by
+    /// one pure re-execution per batch at first need.
+    hash_cache: BTreeMap<u64, BTreeMap<u64, u64>>,
+    batch_info: BTreeMap<u64, BatchInfo>,
+    /// Jobs drained from dead shards, awaiting their `Failover` record.
+    pending_failover: VecDeque<(u32, u64)>,
+    next_batch: u64,
+    arrival_cursor: usize,
+    tick: u64,
+    /// Heartbeat cursor: the tick the last heartbeat belongs to and the
+    /// shard index the next one goes to — resume re-enters the heartbeat
+    /// sweep exactly where the crash left it.
+    hb_tick: Option<u64>,
+    hb_from: usize,
+    /// Virtual time of the last ladder transition: guards the degrade
+    /// check from double-stepping when the crash tick is re-run.
+    degrade_t: Option<f64>,
+    makespan: f64,
+}
+
+impl Fleet {
+    /// A fresh fleet over an arrival-ordered request trace.
+    ///
+    /// # Errors
+    /// [`ServeError::UnorderedTrace`] on an out-of-order trace;
+    /// [`ServeError::Journal`] on a zero-shard fleet.
+    pub fn new(requests: &[Request], cfg: FleetConfig) -> Result<Fleet, ServeError> {
+        if cfg.shards == 0 {
+            return Err(ServeError::Journal("fleet needs at least one shard".into()));
+        }
+        if let Some(i) = requests
+            .windows(2)
+            .position(|w| w[0].arrival_s > w[1].arrival_s)
+        {
+            return Err(ServeError::UnorderedTrace { index: i + 1 });
+        }
+        let death = NodeDeath::new(cfg.faults.seed, cfg.faults.p_death);
+        let slow = SlowNode::new(cfg.faults.seed, cfg.faults.p_slow, cfg.faults.slow_max);
+        let partition = Partition::new(
+            cfg.faults.seed,
+            cfg.faults.p_partition,
+            cfg.faults.partition_window,
+        );
+        let mut death_time: Vec<Option<f64>> = (0..cfg.shards)
+            .map(|s| death.death_time(s as u64, cfg.horizon_s))
+            .collect();
+        if death_time.iter().all(|d| d.is_some()) {
+            // Guarantee a survivor: spare the shard that would die last
+            // (ties to the highest index), deterministically.
+            let spare = (0..cfg.shards)
+                .max_by(|&a, &b| {
+                    death_time[a]
+                        .unwrap_or(f64::INFINITY)
+                        .total_cmp(&death_time[b].unwrap_or(f64::INFINITY))
+                        .then(a.cmp(&b))
+                })
+                .unwrap_or(0);
+            death_time[spare] = None;
+        }
+        let shards = (0..cfg.shards)
+            .map(|_| ShardState {
+                admission: Admission::new(cfg.serve.admission),
+                breaker: Breaker::new(),
+                inflight: None,
+                orphan: None,
+                pending: None,
+                down: false,
+            })
+            .collect();
+        Ok(Fleet {
+            trace: requests.to_vec(),
+            journal: Journal::new(),
+            shards,
+            tuner: Tuner::new(cfg.serve.tuner),
+            backend: Backend::new(cfg.serve.seed, cfg.serve.chaos),
+            ladder: Ladder::new(),
+            slow,
+            partition,
+            death_time,
+            route_seed: mix64(cfg.serve.seed ^ 0xF1EE_7B0A_D5EB_A11D),
+            accepted: BTreeMap::new(),
+            completed: BTreeSet::new(),
+            open: BTreeSet::new(),
+            jobs: Vec::new(),
+            shed: Vec::new(),
+            counters: CounterSet::new(),
+            timeline: StateTimeline::new(),
+            hash_cache: BTreeMap::new(),
+            batch_info: BTreeMap::new(),
+            pending_failover: VecDeque::new(),
+            next_batch: 0,
+            arrival_cursor: 0,
+            tick: 0,
+            hb_tick: None,
+            hb_from: 0,
+            degrade_t: None,
+            makespan: 0.0,
+            cfg,
+        })
+    }
+
+    /// The journal so far (a prefix of it is what [`resume_fleet`] takes).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The first tick whose time is at or after `t_s` — the tick a record
+    /// stamped `t_s` was emitted in. Exact for tick-aligned stamps and for
+    /// completion times that fall between ticks, despite float noise in
+    /// the division (the correction loops pin the boundary bit-exactly
+    /// against the loop's own `tick * tick_s` products).
+    fn tick_of(&self, t_s: f64) -> u64 {
+        let dt = self.cfg.health.tick_s;
+        let mut k = (t_s / dt).ceil() as u64;
+        while k > 0 && (k - 1) as f64 * dt >= t_s {
+            k -= 1;
+        }
+        while (k as f64) * dt < t_s {
+            k += 1;
+        }
+        k
+    }
+
+    fn alive_at(&self, shard: usize, t_s: f64) -> bool {
+        self.death_time[shard].is_none_or(|d| d > t_s)
+    }
+
+    /// Rendezvous hash: the candidate shard (ascending indices) with the
+    /// highest seeded weight for `tenant`. Stable under membership change:
+    /// a tenant only moves when its own shard leaves the candidate set.
+    fn rendezvous(&self, tenant: u32, candidates: &[usize]) -> usize {
+        let mut best = candidates[0];
+        let mut best_w = 0u64;
+        for &s in candidates {
+            let w = mix64(self.route_seed ^ mix64(((tenant as u64) << 32) | (s as u64 + 1)));
+            if w > best_w {
+                best_w = w;
+                best = s;
+            }
+        }
+        best
+    }
+
+    fn decide(&mut self, class: GeometryClass, nbnd: usize) -> Placement {
+        match self.cfg.serve.mode {
+            PlacementMode::Auto => self.tuner.decide(class, nbnd).placement,
+            PlacementMode::Static(p) => self.tuner.decide_policy(class, nbnd, p).placement,
+        }
+    }
+
+    /// Rough completion estimate of one request were it admitted now: the
+    /// modeled service of a minimal batch of its class.
+    fn request_estimate(&mut self, req: &Request) -> f64 {
+        let pad = self.cfg.serve.batch.pad_to.max(1);
+        let nbnd = req.bands.div_ceil(pad) * pad;
+        let p = self.decide(req.class, nbnd);
+        self.tuner.service_s(req.class, nbnd, &p)
+    }
+
+    /// Journals `rec` (write-ahead), then applies it.
+    fn emit(&mut self, rec: Record) -> Result<(), ServeError> {
+        self.journal.append(rec.clone());
+        self.apply(&rec)
+    }
+
+    /// Drops `job` of `batch` from `shard`'s inflight/orphan bookkeeping,
+    /// clearing the slot when its last member is accounted for.
+    fn remove_member(&mut self, shard: u32, batch: u64, job: u64) {
+        let Some(sh) = self.shards.get_mut(shard as usize) else {
+            return;
+        };
+        for slot in [&mut sh.inflight, &mut sh.orphan] {
+            let clear = match slot {
+                Some(inf) if inf.batch == batch => {
+                    inf.remaining.retain(|&j| j != job);
+                    inf.remaining.is_empty()
+                }
+                _ => false,
+            };
+            if clear {
+                *slot = None;
+            }
+        }
+    }
+
+    fn shard_index(&self, shard: u32) -> Result<usize, ServeError> {
+        let s = shard as usize;
+        if s >= self.shards.len() {
+            return Err(ServeError::Journal(format!(
+                "shard {shard} out of range for fleet of {}",
+                self.shards.len()
+            )));
+        }
+        Ok(s)
+    }
+
+    /// The ONLY state-mutation path: folds one journal record into the
+    /// fleet. The live loop calls it through [`Fleet::emit`]; replay calls
+    /// it directly on the prefix.
+    ///
+    /// # Errors
+    /// [`ServeError::Journal`] when the record contradicts the state it is
+    /// applied to — a corrupt or desynced journal.
+    fn apply(&mut self, rec: &Record) -> Result<(), ServeError> {
+        match rec {
+            Record::Accepted { req, key, shard } => {
+                let s = self.shard_index(*shard)?;
+                let expect = self.trace.get(self.arrival_cursor).ok_or_else(|| {
+                    ServeError::Journal(format!("job {} accepted past the trace end", req.id))
+                })?;
+                if *expect != *req {
+                    return Err(ServeError::Journal(format!(
+                        "journal/trace desync: arrival {} journaled as job {}",
+                        expect.id, req.id
+                    )));
+                }
+                if *key != idempotency_key(self.cfg.serve.seed, req.id) {
+                    return Err(ServeError::Journal(format!(
+                        "job {} carries a foreign idempotency key",
+                        req.id
+                    )));
+                }
+                self.accepted.insert(req.id, *req);
+                self.open.insert(req.id);
+                self.shards[s].admission.push_back(*req);
+                self.arrival_cursor += 1;
+                self.counters.inc("fleet.accepted");
+            }
+            Record::Shed { req, kind } => {
+                let expect = self.trace.get(self.arrival_cursor).ok_or_else(|| {
+                    ServeError::Journal(format!("job {} shed past the trace end", req.id))
+                })?;
+                if *expect != *req {
+                    return Err(ServeError::Journal(format!(
+                        "journal/trace desync: arrival {} journaled as shed job {}",
+                        expect.id, req.id
+                    )));
+                }
+                self.counters.inc(&format!("shed.{kind}"));
+                self.counters.inc(&format!("shed.tenant.{}", req.tenant));
+                self.shed.push((*req, kind.clone()));
+                self.arrival_cursor += 1;
+            }
+            Record::Batched { shard, batch, jobs } => {
+                let s = self.shard_index(*shard)?;
+                let members = self.shards[s].admission.take_ids(jobs)?;
+                let assembled = crate::batch::assemble(members, &self.cfg.serve.batch)?;
+                self.batch_info.insert(
+                    *batch,
+                    BatchInfo { batch: assembled, placement: None },
+                );
+                self.shards[s].pending = Some(*batch);
+                self.next_batch = self.next_batch.max(batch + 1);
+                self.counters.inc("fleet.batches");
+            }
+            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy } => {
+                let s = self.shard_index(*shard)?;
+                self.tick = self.tick.max(self.tick_of(*start_s));
+                let policy = *SchedulerPolicy::ALL.get(*policy).ok_or_else(|| {
+                    ServeError::Journal(format!("batch {batch}: policy index {policy}"))
+                })?;
+                let info = self.batch_info.get_mut(batch).ok_or_else(|| {
+                    ServeError::Journal(format!("batch {batch} started but never formed"))
+                })?;
+                info.placement = Some(Placement { nr: *nr, ntg: *ntg, policy });
+                let remaining = info.batch.members.iter().map(|m| m.request.id).collect();
+                self.shards[s].pending = None;
+                self.shards[s].inflight = Some(Inflight {
+                    batch: *batch,
+                    remaining,
+                    done_s: start_s + service_s,
+                });
+            }
+            Record::Completed { shard, batch, job, done_s, hash } => {
+                let req = *self.accepted.get(job).ok_or_else(|| {
+                    ServeError::Journal(format!("job {job} completed but never accepted"))
+                })?;
+                if !self.completed.insert(*job) {
+                    return Err(ServeError::Journal(format!("job {job} completed twice")));
+                }
+                self.open.remove(job);
+                if let Some(h) = hash {
+                    self.hash_cache.entry(*batch).or_default().insert(*job, *h);
+                }
+                let latency_s = done_s - req.arrival_s;
+                self.jobs.push(FleetJob {
+                    request: req,
+                    shard: *shard,
+                    batch: *batch,
+                    done_s: *done_s,
+                    latency_s,
+                    hash: *hash,
+                    deadline_met: latency_s <= req.deadline.budget_s(),
+                });
+                self.counters.inc(&format!("served.tenant.{}", req.tenant));
+                self.makespan = self.makespan.max(*done_s);
+                self.remove_member(*shard, *batch, *job);
+                // Completions fire in a tick's first phase, before any
+                // heartbeat stamps the tick — recover it from `done_s` so a
+                // crash cut after the run's last heartbeat still resumes at
+                // the right tick.
+                self.tick = self.tick.max(self.tick_of(*done_s));
+            }
+            Record::Suppressed { shard, batch, job, t_s } => {
+                if !self.completed.contains(job) {
+                    return Err(ServeError::Journal(format!(
+                        "job {job} suppressed before any completion"
+                    )));
+                }
+                self.counters.inc("fleet.suppressed");
+                self.remove_member(*shard, *batch, *job);
+                self.tick = self.tick.max(self.tick_of(*t_s));
+            }
+            Record::Heartbeat { shard, tick, t_s, ok } => {
+                let s = self.shard_index(*shard)?;
+                self.tick = *tick;
+                self.hb_tick = Some(*tick);
+                self.hb_from = s + 1;
+                self.counters.inc(if *ok {
+                    "fleet.heartbeat.ok"
+                } else {
+                    "fleet.heartbeat.miss"
+                });
+                if let Some(state) =
+                    self.shards[s].breaker.on_heartbeat(*ok, *tick, &self.cfg.health)
+                {
+                    self.timeline.record(*t_s, *shard, state);
+                    self.counters.inc(&format!("fleet.breaker.{state}"));
+                }
+            }
+            Record::ShardDown { shard, t_s } => {
+                let s = self.shard_index(*shard)?;
+                self.tick = self.tick.max(self.tick_of(*t_s));
+                self.shards[s].down = true;
+                self.timeline.record(*t_s, *shard, "down");
+                self.counters.inc("fleet.shard_down");
+                // Drain everything the shard still owes: its queue, a
+                // batch formed but not started, and the executing batch.
+                let mut drain: Vec<u64> = self.shards[s]
+                    .admission
+                    .drain()
+                    .into_iter()
+                    .map(|r| r.id)
+                    .collect();
+                if let Some(b) = self.shards[s].pending.take() {
+                    let info = self.batch_info.get(&b).ok_or_else(|| {
+                        ServeError::Journal(format!("pending batch {b} has no batch info"))
+                    })?;
+                    for m in &info.batch.members {
+                        if !self.completed.contains(&m.request.id) {
+                            drain.push(m.request.id);
+                        }
+                    }
+                }
+                if let Some(inf) = self.shards[s].inflight.take() {
+                    drain.extend(inf.remaining.iter().copied());
+                    // A truly-alive shard (partition, not death) keeps its
+                    // run as an orphan: its completions will race the
+                    // failover re-runs into the idempotency guard.
+                    if self.death_time[s].is_none_or(|d| d > *t_s) {
+                        self.shards[s].orphan = Some(inf);
+                    }
+                }
+                // Loosest deadline (then highest id) first: each restore
+                // pushes ahead of the previous, so the survivor's queue
+                // ends tightest-deadline, smallest-id at the front.
+                let accepted = &self.accepted;
+                drain.sort_by(|a, b| {
+                    let ba = accepted.get(a).map_or(0.0, |r| r.deadline.budget_s());
+                    let bb = accepted.get(b).map_or(0.0, |r| r.deadline.budget_s());
+                    bb.total_cmp(&ba).then(b.cmp(a))
+                });
+                self.pending_failover
+                    .extend(drain.into_iter().map(|id| (*shard, id)));
+            }
+            Record::Failover { from, to, job, t_s } => {
+                let t = self.shard_index(*to)?;
+                self.tick = self.tick.max(self.tick_of(*t_s));
+                match self.pending_failover.pop_front() {
+                    Some(head) if head == (*from, *job) => {}
+                    head => {
+                        return Err(ServeError::Journal(format!(
+                            "failover of job {job} does not match the drain queue head {head:?}"
+                        )))
+                    }
+                }
+                let req = *self.accepted.get(job).ok_or_else(|| {
+                    ServeError::Journal(format!("job {job} failed over but never accepted"))
+                })?;
+                self.shards[t].admission.restore_front(req);
+                self.counters.inc("fleet.failover.jobs");
+            }
+            Record::Degraded { level, t_s } => {
+                self.tick = self.tick.max(self.tick_of(*t_s));
+                let lvl = *DegradeLevel::ALL.get(*level).ok_or_else(|| {
+                    ServeError::Journal(format!("degrade level index {level}"))
+                })?;
+                self.ladder.set_level(lvl);
+                self.degrade_t = Some(*t_s);
+                self.counters.inc(&format!("fleet.degrade.{}", lvl.name()));
+                self.timeline.record(*t_s, self.cfg.shards as u32, lvl.name());
+            }
+        }
+        Ok(())
+    }
+
+    /// The result hash of `job` in `batch` — `None` on modeled runs. Real
+    /// runs hit the cache (filled by replayed `Completed` records, so
+    /// journaled completions never re-execute); a miss re-executes the
+    /// batch once, purely, and caches every member.
+    fn hash_for(&mut self, batch: u64, job: u64) -> Result<Option<u64>, ServeError> {
+        if !(self.cfg.serve.execute_real || self.cfg.serve.chaos.is_some()) {
+            return Ok(None);
+        }
+        if let Some(h) = self.hash_cache.get(&batch).and_then(|m| m.get(&job)) {
+            return Ok(Some(*h));
+        }
+        let (assembled, placement) = {
+            let info = self.batch_info.get(&batch).ok_or_else(|| {
+                ServeError::Journal(format!("batch {batch} executed but never formed"))
+            })?;
+            let placement = info.placement.ok_or_else(|| {
+                ServeError::Journal(format!("batch {batch} executed before it started"))
+            })?;
+            (info.batch.clone(), placement)
+        };
+        let run = self.backend.execute(&assembled, &placement, batch as usize, false);
+        // Not journaled: on resume the prefix's hashes come from the
+        // journal's Completed records, so this counter is the run's *real*
+        // execution count — the replay-overhead measurement.
+        self.counters.inc("fleet.exec.batch");
+        let entry = self.hash_cache.entry(batch).or_default();
+        for m in &assembled.members {
+            let range = &run.output.bands[m.band_start..m.band_start + m.request.bands];
+            entry.insert(m.request.id, band_hash(range));
+        }
+        entry.get(&job).copied().map(Some).ok_or_else(|| {
+            ServeError::Journal(format!("job {job} is not a member of batch {batch}"))
+        })
+    }
+
+    /// Completes (or suppresses, when already completed elsewhere) one
+    /// member of a finished batch.
+    fn complete_member(
+        &mut self,
+        shard: u32,
+        batch: u64,
+        job: u64,
+        done_s: f64,
+    ) -> Result<(), ServeError> {
+        if self.completed.contains(&job) {
+            return self.emit(Record::Suppressed { shard, batch, job, t_s: done_s });
+        }
+        let hash = self.hash_for(batch, job)?;
+        self.emit(Record::Completed { shard, batch, job, done_s, hash })
+    }
+
+    /// Phase 1: batches whose virtual completion time has passed — and
+    /// whose shard was truly alive to finish them — complete member by
+    /// member. Orphans of spuriously-dead shards complete here too.
+    fn phase_completions(&mut self, t: f64) -> Result<(), ServeError> {
+        for s in 0..self.cfg.shards {
+            for orphan in [false, true] {
+                let slot = if orphan {
+                    self.shards[s].orphan.clone()
+                } else {
+                    self.shards[s].inflight.clone()
+                };
+                let Some(inf) = slot else { continue };
+                if inf.done_s > t || !self.alive_at(s, inf.done_s) {
+                    continue;
+                }
+                for job in inf.remaining {
+                    self.complete_member(s as u32, inf.batch, job, inf.done_s)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 2: one heartbeat probe per monitored shard. The journaled
+    /// cursor (`hb_tick`, `hb_from`) re-enters a half-finished sweep.
+    fn phase_heartbeats(&mut self, t: f64) -> Result<(), ServeError> {
+        let start = if self.hb_tick == Some(self.tick) { self.hb_from } else { 0 };
+        for s in start..self.cfg.shards {
+            if self.shards[s].down {
+                continue;
+            }
+            let ok = self.alive_at(s, t) && !self.partition.cut_at(s as u64, t, self.cfg.horizon_s);
+            self.emit(Record::Heartbeat { shard: s as u32, tick: self.tick, t_s: t, ok })?;
+        }
+        Ok(())
+    }
+
+    /// Phase 3: death declarations — separate from the heartbeat sweep so
+    /// the heartbeat cursor can never skip a `ShardDown` on resume.
+    fn phase_deaths(&mut self, t: f64) -> Result<(), ServeError> {
+        for s in 0..self.cfg.shards {
+            if self.shards[s].down {
+                continue;
+            }
+            if self.shards[s].breaker.consecutive_misses() >= self.cfg.health.death_threshold {
+                self.emit(Record::ShardDown { shard: s as u32, t_s: t })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 4: drain the failover queue onto surviving shards via
+    /// rendezvous routing. Breaker-open survivors are a last resort.
+    fn phase_failover(&mut self, t: f64) -> Result<(), ServeError> {
+        while let Some(&(from, job)) = self.pending_failover.front() {
+            let mut candidates: Vec<usize> = (0..self.cfg.shards)
+                .filter(|&s| !self.shards[s].down && self.shards[s].breaker.admits())
+                .collect();
+            if candidates.is_empty() {
+                candidates = (0..self.cfg.shards).filter(|&s| !self.shards[s].down).collect();
+            }
+            if candidates.is_empty() {
+                return Err(ServeError::Journal(format!(
+                    "no surviving shard to fail job {job} over to"
+                )));
+            }
+            let req = *self.accepted.get(&job).ok_or_else(|| {
+                ServeError::Journal(format!("job {job} drained but never accepted"))
+            })?;
+            let to = self.rendezvous(req.tenant, &candidates) as u32;
+            self.emit(Record::Failover { from, to, job, t_s: t })?;
+        }
+        Ok(())
+    }
+
+    /// Phase 5: admit (or shed) every arrival due by `t`, routing by
+    /// rendezvous hash over the admitting shards.
+    fn phase_arrivals(&mut self, t: f64) -> Result<(), ServeError> {
+        while self
+            .trace
+            .get(self.arrival_cursor)
+            .is_some_and(|r| r.arrival_s <= t)
+        {
+            let req = self.trace[self.arrival_cursor];
+            let level = self.ladder.level();
+            if !level.admits(req.deadline) {
+                let kind = RejectReason::FleetDegraded { level: level.name() }.kind();
+                self.emit(Record::Shed { req, kind: kind.to_string() })?;
+                continue;
+            }
+            let admitting: Vec<usize> = (0..self.cfg.shards)
+                .filter(|&s| !self.shards[s].down && self.shards[s].breaker.admits())
+                .collect();
+            if admitting.is_empty() {
+                self.emit(Record::Shed { req, kind: "no_shard".to_string() })?;
+                continue;
+            }
+            let target = self.rendezvous(req.tenant, &admitting);
+            // Completion estimate on the target: residual busy time, the
+            // backlog ahead, and the request's own service.
+            let mut estimate = self.shards[target]
+                .inflight
+                .as_ref()
+                .map_or(0.0, |i| (i.done_s - t).max(0.0));
+            let backlog: Vec<Request> =
+                self.shards[target].admission.queued().copied().collect();
+            for q in &backlog {
+                estimate += self.request_estimate(q);
+            }
+            estimate += self.request_estimate(&req);
+            match self.shards[target].admission.check(&req, estimate) {
+                Ok(()) => {
+                    let key = idempotency_key(self.cfg.serve.seed, req.id);
+                    self.emit(Record::Accepted { req, key, shard: target as u32 })?;
+                }
+                Err(reason) => {
+                    self.emit(Record::Shed { req, kind: reason.kind().to_string() })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 6: each idle shard forms its next batch (band cap halved at
+    /// `SplitLarge` and above) and starts it — two journaled steps, so a
+    /// crash between them resumes with the identical member set.
+    fn phase_dispatch(&mut self, t: f64) -> Result<(), ServeError> {
+        for s in 0..self.cfg.shards {
+            if self.shards[s].down {
+                continue;
+            }
+            if self.shards[s].pending.is_none() {
+                if self.shards[s].inflight.is_some() || self.shards[s].admission.depth() == 0 {
+                    continue;
+                }
+                let mut bc = self.cfg.serve.batch;
+                if self.ladder.level().splits_batches() {
+                    bc.max_bands = (bc.max_bands / 2).max(1);
+                }
+                let queue: Vec<Request> = self.shards[s].admission.queued().copied().collect();
+                let plan = plan_batch(queue.iter(), &bc);
+                if plan.is_empty() {
+                    continue;
+                }
+                let jobs: Vec<u64> = plan.iter().map(|&p| queue[p].id).collect();
+                let batch = self.next_batch;
+                self.emit(Record::Batched { shard: s as u32, batch, jobs })?;
+            }
+            if let Some(batch) = self.shards[s].pending {
+                let (class, nbnd) = {
+                    let info = self.batch_info.get(&batch).ok_or_else(|| {
+                        ServeError::Journal(format!("pending batch {batch} has no batch info"))
+                    })?;
+                    (info.batch.class, info.batch.nbnd)
+                };
+                let placement = self.decide(class, nbnd);
+                let base = self.tuner.service_s(class, nbnd, &placement);
+                let service_s = base * self.slow.factor(s as u64);
+                let policy = SchedulerPolicy::ALL
+                    .iter()
+                    .position(|p| *p == placement.policy)
+                    .ok_or_else(|| {
+                        ServeError::Journal("placement policy missing from ALL".into())
+                    })?;
+                self.emit(Record::Started {
+                    shard: s as u32,
+                    batch,
+                    start_s: t,
+                    service_s,
+                    nr: placement.nr,
+                    ntg: placement.ntg,
+                    policy,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 7: the brown-out ladder moves at most one level per tick on
+    /// the admitting shards' mean queue occupancy.
+    fn phase_degrade(&mut self, t: f64) -> Result<(), ServeError> {
+        if self.degrade_t == Some(t) {
+            return Ok(()); // transition already journaled this tick
+        }
+        let admitting: Vec<usize> = (0..self.cfg.shards)
+            .filter(|&s| !self.shards[s].down && self.shards[s].breaker.admits())
+            .collect();
+        let pressure = if admitting.is_empty() {
+            1.0
+        } else {
+            let depth: usize = admitting
+                .iter()
+                .map(|&s| self.shards[s].admission.depth())
+                .sum();
+            depth as f64 / (admitting.len() * self.cfg.serve.admission.queue_cap) as f64
+        };
+        if let Some(next) = self.ladder.next_level(pressure, &self.cfg.degrade) {
+            self.emit(Record::Degraded { level: next.index(), t_s: t })?;
+        }
+        Ok(())
+    }
+
+    /// The live loop: runs the fixed phase order tick by tick until every
+    /// arrival is consumed and no accepted job is open.
+    ///
+    /// # Errors
+    /// [`ServeError::Stalled`] past the safety tick bound; any journal /
+    /// state inconsistency a phase detects.
+    fn run_loop(&mut self, resume: bool) -> Result<(), ServeError> {
+        if resume && !self.journal.is_empty() {
+            // Finish the crash tick before re-checking the exit condition:
+            // the cut may fall after the tick's final completion emptied
+            // `open` but before its heartbeats, and the uninterrupted run
+            // finished that tick. Every phase is idempotent over its
+            // already-journaled part, so nothing is emitted twice.
+            let t = self.tick as f64 * self.cfg.health.tick_s;
+            self.run_tick(t)?;
+            self.tick += 1;
+        }
+        while self.arrival_cursor < self.trace.len() || !self.open.is_empty() {
+            if self.tick > self.cfg.max_ticks {
+                return Err(ServeError::Stalled {
+                    tick: self.tick,
+                    open_jobs: self.open.len(),
+                });
+            }
+            let t = self.tick as f64 * self.cfg.health.tick_s;
+            self.run_tick(t)?;
+            self.tick += 1;
+        }
+        Ok(())
+    }
+
+    /// One tick in the fixed phase order. Each phase skips the part of its
+    /// work the journal already records, so re-running a partially
+    /// journaled tick (crash recovery) emits exactly the missing suffix.
+    fn run_tick(&mut self, t: f64) -> Result<(), ServeError> {
+        self.phase_completions(t)?;
+        self.phase_heartbeats(t)?;
+        self.phase_deaths(t)?;
+        self.phase_failover(t)?;
+        self.phase_arrivals(t)?;
+        self.phase_dispatch(t)?;
+        self.phase_degrade(t)?;
+        Ok(())
+    }
+
+    fn into_report(self) -> Result<FleetReport, ServeError> {
+        let conservation = self.journal.conservation()?;
+        Ok(FleetReport {
+            shards: self.cfg.shards,
+            jobs: self.jobs,
+            shed: self.shed,
+            counters: self.counters,
+            timeline: self.timeline,
+            journal: self.journal,
+            conservation,
+            makespan_s: self.makespan,
+        })
+    }
+}
+
+/// Runs a fleet over an arrival-ordered request trace.
+///
+/// # Errors
+/// See [`Fleet::new`] and the loop phases.
+pub fn run_fleet(requests: &[Request], cfg: &FleetConfig) -> Result<FleetReport, ServeError> {
+    let mut fleet = Fleet::new(requests, *cfg)?;
+    fleet.run_loop(false)?;
+    fleet.into_report()
+}
+
+/// Crash recovery: replays a journal `prefix` through the apply path,
+/// then continues the live loop. With the same trace and configuration
+/// the result — including the journal itself — is byte-identical to the
+/// uninterrupted run's, from any record-boundary crash point.
+///
+/// # Errors
+/// [`ServeError::Journal`] when the prefix contradicts the trace or
+/// itself; otherwise see [`run_fleet`].
+pub fn resume_fleet(
+    prefix: &Journal,
+    requests: &[Request],
+    cfg: &FleetConfig,
+) -> Result<FleetReport, ServeError> {
+    let mut fleet = Fleet::new(requests, *cfg)?;
+    for rec in prefix.records() {
+        fleet.journal.append(rec.clone());
+        let rec = rec.clone();
+        fleet.apply(&rec)?;
+    }
+    fleet.run_loop(true)?;
+    fleet.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{generate, LoadProfile, TrafficConfig};
+
+    fn trace(seed: u64, rate_hz: f64) -> Vec<Request> {
+        generate(&TrafficConfig {
+            seed,
+            rate_hz,
+            duration_s: 1.0,
+            tenants: 3,
+            profile: LoadProfile::Steady,
+        })
+    }
+
+    #[test]
+    fn healthy_fleet_conserves_and_replays_bit_identically() {
+        let reqs = trace(7, 40.0);
+        let cfg = FleetConfig::default();
+        let a = run_fleet(&reqs, &cfg).expect("fleet");
+        let b = run_fleet(&reqs, &cfg).expect("fleet");
+        assert_eq!(a.journal.encode(), b.journal.encode());
+        assert!(a.conservation.open.is_empty(), "no job left open");
+        assert_eq!(a.offered(), reqs.len());
+        assert_eq!(a.jobs.len(), a.conservation.completed);
+        assert_eq!(a.counters.get("fleet.shard_down"), 0);
+        assert!(a.counters.get("fleet.batches") > 0);
+        assert!(a.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn node_death_fails_over_without_losing_a_job() {
+        let reqs = trace(7, 80.0);
+        let cfg = FleetConfig {
+            faults: FleetFaults { seed: 3, p_death: 0.9, ..Default::default() },
+            ..Default::default()
+        };
+        let r = run_fleet(&reqs, &cfg).expect("fleet");
+        assert!(r.counters.get("fleet.shard_down") >= 1, "a shard must die");
+        assert!(r.counters.get("fleet.failover.jobs") >= 1, "work must move");
+        assert!(r.conservation.open.is_empty(), "zero loss across failover");
+        assert_eq!(r.offered(), reqs.len());
+        assert!(!r.failover_latencies().is_empty());
+        // The run stays deterministic under faults.
+        let again = run_fleet(&reqs, &cfg).expect("fleet");
+        assert_eq!(r.journal.encode(), again.journal.encode());
+    }
+
+    #[test]
+    fn resume_from_any_crash_point_matches_the_uninterrupted_run() {
+        let reqs = trace(11, 60.0);
+        let cfg = FleetConfig {
+            faults: FleetFaults { seed: 3, p_death: 0.9, ..Default::default() },
+            ..Default::default()
+        };
+        let full = run_fleet(&reqs, &cfg).expect("fleet");
+        let n = full.journal.len();
+        for cut in [0, n / 3, 2 * n / 3, n.saturating_sub(1), n] {
+            let mut prefix = Journal::new();
+            for rec in &full.journal.records()[..cut] {
+                prefix.append(rec.clone());
+            }
+            let resumed = resume_fleet(&prefix, &reqs, &cfg).expect("resume");
+            assert_eq!(
+                resumed.journal.encode(),
+                full.journal.encode(),
+                "resume from record {cut}/{n} diverged"
+            );
+            assert_eq!(resumed.jobs, full.jobs);
+        }
+    }
+
+    #[test]
+    fn overload_engages_the_degrade_ladder() {
+        let reqs = generate(&TrafficConfig {
+            seed: 11,
+            rate_hz: 400.0,
+            duration_s: 1.0,
+            tenants: 2,
+            profile: LoadProfile::Burst,
+        });
+        let cfg = FleetConfig {
+            shards: 1,
+            serve: ServeConfig {
+                admission: crate::admission::AdmissionConfig {
+                    queue_cap: 8,
+                    tenant_share: 1.0,
+                    shed_late: false,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = run_fleet(&reqs, &cfg).expect("fleet");
+        assert!(
+            r.counters.sum_prefix("fleet.degrade.") > 0,
+            "the ladder must move under a saturating burst"
+        );
+        assert!(
+            r.counters.get("shed.degraded") > 0,
+            "the ladder must shed by deadline class"
+        );
+        assert!(r.conservation.open.is_empty());
+        assert_eq!(r.offered(), reqs.len());
+        // The ladder recovers once the backlog drains.
+        assert_eq!(r.timeline.last_state(cfg.shards as u32), Some("normal"));
+    }
+
+    #[test]
+    fn partition_duplicates_are_suppressed_exactly_once() {
+        // Slow nodes stretch service past the death delay, so partitioned
+        // shards are declared dead while work is still in flight: the
+        // zombie completions then race their failover re-runs into the
+        // idempotency guard.
+        let reqs = trace(7, 80.0);
+        let cfg = FleetConfig {
+            faults: FleetFaults {
+                seed: 19,
+                p_partition: 0.4,
+                partition_window: 0.3,
+                p_slow: 1.0,
+                slow_max: 30.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = run_fleet(&reqs, &cfg).expect("fleet");
+        assert!(
+            r.counters.get("fleet.shard_down") >= 1,
+            "a partition long enough must get a shard declared dead"
+        );
+        assert!(
+            r.counters.get("fleet.suppressed") >= 1,
+            "split-brain must produce at least one suppressed duplicate"
+        );
+        assert_eq!(
+            r.counters.get("fleet.suppressed"),
+            r.conservation.suppressed as u64
+        );
+        assert!(r.conservation.open.is_empty(), "zero loss under split-brain");
+        assert_eq!(r.offered(), reqs.len());
+    }
+
+    #[test]
+    fn rendezvous_routing_is_stable_under_membership_change() {
+        let reqs = trace(7, 40.0);
+        let fleet = Fleet::new(&reqs, FleetConfig::default()).expect("fleet");
+        let all = [0usize, 1, 2];
+        for tenant in 0..16u32 {
+            let home = fleet.rendezvous(tenant, &all);
+            let survivors: Vec<usize> = all.iter().copied().filter(|&s| s != 0).collect();
+            let moved = fleet.rendezvous(tenant, &survivors);
+            if home != 0 {
+                assert_eq!(home, moved, "tenant {tenant} moved without cause");
+            } else {
+                assert!(survivors.contains(&moved));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shard_fleet_is_a_typed_error() {
+        let cfg = FleetConfig { shards: 0, ..Default::default() };
+        assert!(matches!(
+            run_fleet(&[], &cfg),
+            Err(ServeError::Journal(_))
+        ));
+    }
+}

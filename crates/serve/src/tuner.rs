@@ -5,7 +5,8 @@
 //! is screened with the closed-form `knlsim` estimate
 //! ([`fftx_knlsim::quick_estimate`]), the top candidates per policy are
 //! priced exactly on the discrete-event simulator
-//! ([`fftx_core::simulate_config`]), and the cheapest wins. All model
+//! ([`fftx_knlsim::simulate`] over the class-aware problem), and the
+//! cheapest wins. All model
 //! queries are memoised in a deterministic tuning table (`BTreeMap`s keyed
 //! by the candidate configuration), so a decision is a pure function of
 //! the table state and replays bit-identically.
@@ -17,9 +18,9 @@
 //! ranking. Every decision is **explainable**: [`Tuner::why`] dumps the
 //! full candidate table with quick/DES/observed costs and the winner.
 
-use crate::request::GeometryClass;
-use fftx_core::{build_programs, simulate_config, Problem, SchedulerPolicy};
-use fftx_knlsim::{quick_estimate, CommModel, ContentionModel, KnlConfig};
+use crate::request::{class_problem, GeometryClass};
+use fftx_core::{build_programs, SchedulerPolicy};
+use fftx_knlsim::{quick_estimate, simulate, CommModel, ContentionModel, KnlConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -201,21 +202,24 @@ impl Tuner {
         }
         // Cost configs pin seed 0: the data seed feeds the synthetic band
         // values, never the work volume, so pricing is seed-independent.
-        let problem = Problem::new(p.config(class, nbnd, 0));
+        let problem = class_problem(class, p.config(class, nbnd, 0));
         let programs = build_programs(&problem);
         let s = quick_estimate(&programs, &self.node, &self.contention, &self.comm).total();
         self.quick_table.insert(key, s);
         s
     }
 
-    /// Exact DES cost of one candidate (memoised).
+    /// Exact DES cost of one candidate (memoised). Built from the
+    /// class-aware problem so a grid-override class (`prime`) is priced on
+    /// the grid it actually executes, not the cutoff-derived one.
     fn des_s(&mut self, class: GeometryClass, nbnd: usize, p: &Placement) -> f64 {
         let key = ckey(class, nbnd, p);
         if let Some(&s) = self.des_table.get(&key) {
             return s;
         }
-        let s = simulate_config(p.config(class, nbnd, 0), &self.node, &self.contention, &self.comm)
-            .runtime;
+        let problem = class_problem(class, p.config(class, nbnd, 0));
+        let programs = build_programs(&problem);
+        let s = simulate(&programs, &self.node, &self.contention, &self.comm).runtime;
         self.des_table.insert(key, s);
         s
     }

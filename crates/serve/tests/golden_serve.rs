@@ -7,10 +7,10 @@
 //! * the eviction demo re-plans a dying rank's work and still matches.
 
 use fftx_serve::{
-    band_hash, generate, run_serve, LoadProfile, PlacementMode, ServeChaos, ServeConfig,
-    TrafficConfig,
+    band_hash, class_problem, generate, run_serve, LoadProfile, PlacementMode, ServeChaos,
+    ServeConfig, TrafficConfig,
 };
-use fftx_core::{run_policy, Problem};
+use fftx_core::run_policy;
 
 fn trace(n: usize) -> Vec<fftx_serve::Request> {
     generate(&TrafficConfig {
@@ -30,7 +30,7 @@ fn direct_hashes(report: &fftx_serve::ServeReport, seed: u64) -> Vec<(u64, u64)>
     let mut out = Vec::new();
     for batch in &report.batches {
         let p = batch.placement;
-        let problem = Problem::new(p.config(batch.class, batch.nbnd, seed));
+        let problem = class_problem(batch.class, p.config(batch.class, batch.nbnd, seed));
         let direct = run_policy(&problem, p.policy);
         let mut start = 0;
         for j in report.jobs.iter().filter(|j| j.batch == batch.index) {
@@ -57,7 +57,7 @@ fn served_results_match_direct_engine_runs() {
             execute_real: true,
             ..Default::default()
         };
-        let report = run_serve(&trace(10), &cfg);
+        let report = run_serve(&trace(10), &cfg).expect("serve");
         assert!(!report.jobs.is_empty());
         let expect = direct_hashes(&report, cfg.seed);
         let mut got: Vec<(u64, u64)> = report
@@ -79,7 +79,8 @@ fn chaos_serving_completes_all_accepted_jobs_bit_identically() {
             execute_real: true,
             ..Default::default()
         },
-    );
+    )
+    .expect("serve");
     let chaotic = run_serve(
         &requests,
         &ServeConfig {
@@ -89,7 +90,8 @@ fn chaos_serving_completes_all_accepted_jobs_bit_identically() {
             }),
             ..Default::default()
         },
-    );
+    )
+    .expect("serve");
     // Zero lost accepted jobs: both runs complete the same request set.
     let ids = |r: &fftx_serve::ServeReport| {
         let mut v: Vec<u64> = r.jobs.iter().map(|j| j.request.id).collect();
@@ -120,7 +122,8 @@ fn eviction_on_the_serving_path_matches_direct_hashes() {
             }),
             ..Default::default()
         },
-    );
+    )
+    .expect("serve");
     let b0 = &report.batches[0];
     assert_eq!((b0.placement.nr, b0.placement.ntg), (7, 1));
     assert_eq!(b0.recovery.2, 1, "the rank death must be absorbed by eviction");

@@ -1,0 +1,110 @@
+//! Journal-replay properties of the durable fleet (modeled service, so
+//! the space of fleets × fault seeds × crash points stays cheap to sweep):
+//!
+//! * resuming from a journal prefix cut at *any* record boundary
+//!   reproduces the uninterrupted run's journal byte for byte,
+//! * the conservation audit accounts every accepted job exactly once,
+//!   whatever the fault profile did to the shards,
+//! * a resume from the complete journal re-emits nothing (replay is
+//!   idempotent).
+
+use fftx_serve::{
+    generate, resume_fleet, run_fleet, FleetConfig, FleetFaults, Journal, LoadProfile,
+    ServeConfig, TrafficConfig,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn cfg(shards: usize, fault_seed: u64) -> FleetConfig {
+    FleetConfig {
+        shards,
+        serve: ServeConfig::default(),
+        faults: FleetFaults {
+            seed: fault_seed,
+            p_death: 0.6,
+            p_slow: 0.5,
+            slow_max: 8.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn trace(seed: u64) -> Vec<fftx_serve::Request> {
+    generate(&TrafficConfig {
+        seed,
+        rate_hz: 60.0,
+        duration_s: 1.0,
+        tenants: 3,
+        profile: LoadProfile::Burst,
+    })
+}
+
+fn prefix_of(journal: &Journal, cut: usize) -> Journal {
+    let mut p = Journal::new();
+    for rec in &journal.records()[..cut] {
+        p.append(rec.clone());
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn resume_from_a_random_crash_point_is_bit_identical(
+        seed in 1u64..100_000,
+        fault_seed in 0u64..1_000,
+        shards in 2usize..5,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let reqs = trace(seed);
+        let cfg = cfg(shards, fault_seed);
+        let full = run_fleet(&reqs, &cfg).expect("uninterrupted fleet");
+        let cut = ((full.journal.len() as f64) * cut_frac) as usize;
+        let resumed =
+            resume_fleet(&prefix_of(&full.journal, cut), &reqs, &cfg).expect("resume");
+        prop_assert_eq!(
+            resumed.journal.encode(),
+            full.journal.encode(),
+            "cut {} of {} (shards {}, fault seed {})",
+            cut, full.journal.len(), shards, fault_seed
+        );
+    }
+
+    #[test]
+    fn every_accepted_job_is_accounted_exactly_once(
+        seed in 1u64..100_000,
+        fault_seed in 0u64..1_000,
+        shards in 2usize..5,
+    ) {
+        let reqs = trace(seed);
+        let r = run_fleet(&reqs, &cfg(shards, fault_seed)).expect("fleet");
+        // The machine audit: accepted = completed (exactly once), none open.
+        prop_assert!(r.conservation.open.is_empty());
+        prop_assert_eq!(r.conservation.accepted, r.conservation.completed);
+        prop_assert_eq!(r.offered(), reqs.len());
+        // No job is served twice and none invented: completed ids are
+        // unique and a subset of the offered trace.
+        let offered: BTreeSet<u64> = reqs.iter().map(|q| q.id).collect();
+        let mut seen = BTreeSet::new();
+        for j in &r.jobs {
+            prop_assert!(seen.insert(j.request.id), "job {} served twice", j.request.id);
+            prop_assert!(offered.contains(&j.request.id));
+        }
+        prop_assert_eq!(seen.len() + r.shed.len(), reqs.len());
+    }
+
+    #[test]
+    fn replay_of_a_complete_journal_is_idempotent(
+        seed in 1u64..100_000,
+        shards in 2usize..5,
+    ) {
+        let reqs = trace(seed);
+        let cfg = cfg(shards, 3);
+        let full = run_fleet(&reqs, &cfg).expect("fleet");
+        let resumed = resume_fleet(&full.journal, &reqs, &cfg).expect("resume");
+        prop_assert_eq!(resumed.journal.encode(), full.journal.encode());
+        prop_assert_eq!(resumed.jobs, full.jobs);
+    }
+}

@@ -34,8 +34,8 @@ proptest! {
             let b = plan_batch(&queue, &cfg);
             prop_assert_eq!(&a, &b);
             // And the full serving run replays identically.
-            let ra = run_serve(&queue, &ServeConfig::default());
-            let rb = run_serve(&queue, &ServeConfig::default());
+            let ra = run_serve(&queue, &ServeConfig::default()).expect("serve");
+            let rb = run_serve(&queue, &ServeConfig::default()).expect("serve");
             prop_assert_eq!(ra.jobs, rb.jobs);
             prop_assert_eq!(ra.batches, rb.batches);
             prop_assert_eq!(ra.shed, rb.shed);
@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn per_tenant_order_is_preserved(seed in 1u64..100_000) {
         let queue = generate(&traffic(seed, LoadProfile::Burst));
-        let report = run_serve(&queue, &ServeConfig::default());
+        let report = run_serve(&queue, &ServeConfig::default()).expect("serve");
         // Within a tenant, completions must happen in submission (id)
         // order: a later request never overtakes an earlier one.
         let mut last_id: BTreeMap<u32, u64> = BTreeMap::new();

@@ -34,7 +34,7 @@ pub mod trace;
 pub use lane_ctx::{current_thread, set_current_thread};
 pub use event::{CommOp, CommRecord, ComputeRecord, Lane, StateClass, TaskRecord};
 pub use histogram::IpcHistogram;
-pub use metrics::{CounterSet, DepthSeries, Quantiles};
+pub use metrics::{CounterSet, DepthSeries, Quantiles, StateTimeline};
 pub use stage::{stage_profile, StageHistogram, StageRecord};
 pub use paraver::{export_paraver, phase_profile, ParaverBundle};
 pub use pop::{efficiency_factors, intra_factors, scalability_factors, EfficiencyFactors};

@@ -194,9 +194,108 @@ impl CounterSet {
     }
 }
 
+/// A labelled state-transition timeline over virtual time, keyed by an
+/// integer lane (a fleet shard, a rank, a worker): each record is
+/// `(t, lane, state)`. The fleet supervisor uses it for the per-shard
+/// circuit-breaker and degradation-ladder history — the serving-side
+/// analogue of the Paraver state records the execution tracer emits.
+#[derive(Debug, Clone, Default)]
+pub struct StateTimeline {
+    events: Vec<(f64, u32, &'static str)>,
+}
+
+impl StateTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records lane `lane` entering `state` at time `t` (seconds, must be
+    /// non-decreasing across calls).
+    pub fn record(&mut self, t: f64, lane: u32, state: &'static str) {
+        if let Some(&(last_t, _, _)) = self.events.last() {
+            assert!(t >= last_t, "StateTimeline: time must be non-decreasing");
+        }
+        self.events.push((t, lane, state));
+    }
+
+    /// Number of recorded transitions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All transitions, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u32, &'static str)> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// Transitions of one lane, oldest first.
+    pub fn lane(&self, lane: u32) -> impl Iterator<Item = (f64, &'static str)> + '_ {
+        self.events
+            .iter()
+            .filter(move |&&(_, l, _)| l == lane)
+            .map(|&(t, _, s)| (t, s))
+    }
+
+    /// How many transitions entered `state` (across all lanes).
+    pub fn count(&self, state: &str) -> usize {
+        self.events.iter().filter(|&&(_, _, s)| s == state).count()
+    }
+
+    /// The state of `lane` at the end of the timeline, if it ever
+    /// transitioned.
+    pub fn last_state(&self, lane: u32) -> Option<&'static str> {
+        self.events
+            .iter()
+            .rev()
+            .find(|&&(_, l, _)| l == lane)
+            .map(|&(_, _, s)| s)
+    }
+
+    /// CSV rendering (`t_s,lane,state` rows in time order).
+    pub fn csv(&self) -> String {
+        let mut out = String::from("t_s,lane,state\n");
+        for &(t, lane, state) in &self.events {
+            let _ = writeln!(out, "{t:.6},{lane},{state}");
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn state_timeline_records_and_queries() {
+        let mut tl = StateTimeline::new();
+        assert!(tl.is_empty());
+        tl.record(0.0, 0, "closed");
+        tl.record(0.5, 1, "open");
+        tl.record(0.7, 1, "half_open");
+        tl.record(0.9, 1, "closed");
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl.count("closed"), 2);
+        assert_eq!(tl.last_state(1), Some("closed"));
+        assert_eq!(tl.last_state(7), None);
+        assert_eq!(tl.lane(1).count(), 3);
+        let csv = tl.csv();
+        assert!(csv.starts_with("t_s,lane,state"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn state_timeline_rejects_time_travel() {
+        let mut tl = StateTimeline::new();
+        tl.record(1.0, 0, "a");
+        tl.record(0.5, 0, "b");
+    }
 
     #[test]
     fn quantiles_interpolate_exactly() {

@@ -8,13 +8,17 @@
 //! explainable placement dump.
 
 use fftxlib_repro::serve::{
-    run_serve, LoadProfile, PlacementMode, ServeChaos, ServeConfig, ServeReport, TrafficConfig,
+    resume_fleet, run_fleet, run_serve, FleetConfig, FleetFaults, FleetReport, Journal,
+    LoadProfile, PlacementMode, ServeChaos, ServeConfig, ServeReport, TrafficConfig,
 };
 use std::process::ExitCode;
 
 struct Args {
     traffic: TrafficConfig,
     serve: ServeConfig,
+    fleet: Option<usize>,
+    faults: FleetFaults,
+    replay_check: bool,
     why: bool,
 }
 
@@ -30,6 +34,16 @@ const USAGE: &str = "usage: fftx-serve [options]
   --chaos SEED     inject chaos on the serving path (implies --real)
   --evict N        with --chaos: force batch N onto the 7x1 layout and
                    kill rank 1 mid-run (eviction demo)
+  --fleet N        serve through N supervised shard nodes: durable job
+                   journal, heartbeat circuit breakers, node-death failover,
+                   and the graceful-degradation ladder
+  --fault-seed S   with --fleet: fault-injection seed        (default 7)
+  --p-death P      with --fleet: per-shard death probability (default 0)
+  --p-slow P       with --fleet: per-shard slow-node probability (default 0)
+  --slow-max F     with --fleet: worst-case slow-node factor (default 1.0)
+  --p-partition P  with --fleet: per-shard partition probability (default 0)
+  --replay-check   with --fleet: crash the journal at its midpoint, resume,
+                   and verify the replayed run is byte-identical
   --why            print the tuner's placement explanations
   --help           this text";
 
@@ -44,6 +58,10 @@ fn parse_args() -> Result<Args, String> {
     let mut serve = ServeConfig::default();
     let mut evict: Option<usize> = None;
     let mut chaos_seed: Option<u64> = None;
+    let mut fleet: Option<usize> = None;
+    let mut faults = FleetFaults { seed: 7, ..FleetFaults::default() };
+    let mut faults_given = false;
+    let mut replay_check = false;
     let mut why = false;
 
     let mut it = std::env::args().skip(1);
@@ -77,6 +95,28 @@ fn parse_args() -> Result<Args, String> {
                 serve.admission.queue_cap =
                     val("--queue-cap")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--fleet" => fleet = Some(val("--fleet")?.parse().map_err(|e| format!("{e}"))?),
+            "--fault-seed" => {
+                faults.seed = val("--fault-seed")?.parse().map_err(|e| format!("{e}"))?;
+                faults_given = true;
+            }
+            "--p-death" => {
+                faults.p_death = val("--p-death")?.parse().map_err(|e| format!("{e}"))?;
+                faults_given = true;
+            }
+            "--p-slow" => {
+                faults.p_slow = val("--p-slow")?.parse().map_err(|e| format!("{e}"))?;
+                faults_given = true;
+            }
+            "--slow-max" => {
+                faults.slow_max = val("--slow-max")?.parse().map_err(|e| format!("{e}"))?;
+                faults_given = true;
+            }
+            "--p-partition" => {
+                faults.p_partition = val("--p-partition")?.parse().map_err(|e| format!("{e}"))?;
+                faults_given = true;
+            }
+            "--replay-check" => replay_check = true,
             "--real" => serve.execute_real = true,
             "--chaos" => chaos_seed = Some(val("--chaos")?.parse().map_err(|e| format!("{e}"))?),
             "--evict" => evict = Some(val("--evict")?.parse().map_err(|e| format!("{e}"))?),
@@ -93,9 +133,15 @@ fn parse_args() -> Result<Args, String> {
     } else if evict.is_some() {
         return Err("--evict requires --chaos".into());
     }
+    if fleet.is_none() && (faults_given || replay_check) {
+        return Err("--fault-seed/--p-death/--p-slow/--slow-max/--p-partition/--replay-check require --fleet".into());
+    }
     Ok(Args {
         traffic,
         serve,
+        fleet,
+        faults,
+        replay_check,
         why,
     })
 }
@@ -160,6 +206,118 @@ fn print_report(report: &ServeReport, traffic: &TrafficConfig) {
     }
 }
 
+fn print_fleet_report(report: &FleetReport, traffic: &TrafficConfig, faults: &FleetFaults) {
+    println!("fftx-serve — durable fleet serving ({} shards)", report.shards);
+    println!(
+        "  traffic : {} req/s x {:.1}s ({}), {} tenants, seed {}",
+        traffic.rate_hz, traffic.duration_s, traffic.profile.name(), traffic.tenants, traffic.seed
+    );
+    println!(
+        "  faults  : seed {} | p_death {} | p_slow {} (max {}x) | p_partition {}",
+        faults.seed, faults.p_death, faults.p_slow, faults.slow_max, faults.p_partition
+    );
+    let c = &report.conservation;
+    println!(
+        "  offered {} | served {} | shed {} ({:.1} %)",
+        report.offered(),
+        report.jobs.len(),
+        report.shed.len(),
+        report.shed_rate() * 100.0
+    );
+    println!(
+        "  journal : {} records — {} accepted = {} completed + {} open, {} duplicates suppressed",
+        report.journal.len(),
+        c.accepted,
+        c.completed,
+        c.open.len(),
+        c.suppressed
+    );
+    let mut lat = report.latency();
+    if !lat.is_empty() {
+        println!(
+            "  latency : p50 {:.4}s  p99 {:.4}s  mean {:.4}s  max {:.4}s",
+            lat.p50(),
+            lat.p99(),
+            lat.mean(),
+            lat.max()
+        );
+    }
+    println!(
+        "  goodput : {:.2} deadline-met jobs/s over a {:.3}s makespan",
+        report.goodput_hz(),
+        report.makespan_s
+    );
+    let deaths = report.counters.get("fleet.shard_down");
+    let moved = report.counters.get("fleet.failover.jobs");
+    if deaths > 0 {
+        let mut fl = report.failover_latencies();
+        print!("  failover: {deaths} shards declared dead, {moved} jobs re-routed");
+        if fl.is_empty() {
+            println!();
+        } else {
+            println!(" — recovery p50 {:.4}s  p99 {:.4}s", fl.p50(), fl.p99());
+        }
+    }
+    println!("\ncounters:");
+    for (key, n) in report.counters.iter() {
+        println!("  {key:<24} {n}");
+    }
+}
+
+/// The `--replay-check` demo: cut the finished run's journal at its
+/// midpoint (a crash), resume from the prefix, and require the recovered
+/// run's journal to be byte-identical to the uninterrupted one's.
+fn replay_check(
+    report: &FleetReport,
+    requests: &[fftxlib_repro::serve::Request],
+    cfg: &FleetConfig,
+) -> Result<(), String> {
+    let cut = report.journal.len() / 2;
+    let mut prefix = Journal::new();
+    for rec in &report.journal.records()[..cut] {
+        prefix.append(rec.clone());
+    }
+    let resumed = resume_fleet(&prefix, requests, cfg).map_err(|e| format!("{e}"))?;
+    if resumed.journal.encode() == report.journal.encode() {
+        println!(
+            "\nreplay-check: crash at record {cut}/{} → resumed journal byte-identical",
+            report.journal.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "resumed journal diverged from the uninterrupted run (cut at record {cut}/{})",
+            report.journal.len()
+        ))
+    }
+}
+
+fn run_fleet_mode(args: &Args, shards: usize) -> ExitCode {
+    let cfg = FleetConfig {
+        shards,
+        serve: args.serve,
+        horizon_s: args.traffic.duration_s,
+        faults: args.faults,
+        ..FleetConfig::default()
+    };
+    let requests = fftxlib_repro::serve::generate(&args.traffic);
+    let report = match run_fleet(&requests, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print_fleet_report(&report, &args.traffic, &args.faults);
+    if args.replay_check {
+        if let Err(e) = replay_check(&report, &requests, &cfg) {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -171,8 +329,17 @@ fn main() -> ExitCode {
             return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
         }
     };
+    if let Some(shards) = args.fleet {
+        return run_fleet_mode(&args, shards);
+    }
     let requests = fftxlib_repro::serve::generate(&args.traffic);
-    let report = run_serve(&requests, &args.serve);
+    let report = match run_serve(&requests, &args.serve) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     print_report(&report, &args.traffic);
     if args.why {
         println!("\n{}", report.why);
