@@ -222,6 +222,7 @@ fn main() {
             chaos: Some(ServeChaos {
                 seed: SEED ^ 0xC0DE,
                 evict_batch: Some(0),
+                corrupt_per_mille: 0,
             }),
             seed: SEED,
             ..Default::default()

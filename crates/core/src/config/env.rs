@@ -11,6 +11,7 @@
 //! silently falling back — the failure mode this module exists to kill.
 
 use crate::stages::SchedulerPolicy;
+use crate::verify::VerifyMode;
 use fftx_fault::{ChaosConfig, RecoveryConfig};
 use std::fmt;
 
@@ -59,6 +60,8 @@ pub struct EnvKnobs {
     pub recovery: RecoveryConfig,
     /// `FFTX_ARENA_POISON`: NaN-poison reused scatter staging buffers.
     pub arena_poison: bool,
+    /// `FFTX_VERIFY`: ABFT verification mode of the pipeline's FFT legs.
+    pub verify: VerifyMode,
 }
 
 /// Parses every knob from the process environment. See [`load_from`].
@@ -136,11 +139,21 @@ pub fn load_from(get: impl Fn(&str) -> Option<String>) -> Result<EnvKnobs, EnvEr
         }
     };
 
+    let verify = match get("FFTX_VERIFY") {
+        None => VerifyMode::Off,
+        Some(v) => VerifyMode::parse(&v).ok_or_else(|| EnvError {
+            key: "FFTX_VERIFY",
+            value: v,
+            expected: "one of: off, cheap, full".into(),
+        })?,
+    };
+
     Ok(EnvKnobs {
         scheduler,
         chaos,
         recovery,
         arena_poison,
+        verify,
     })
 }
 
@@ -177,6 +190,22 @@ mod tests {
         assert_eq!(knobs.chaos, None);
         assert_eq!(knobs.recovery, RecoveryConfig::default());
         assert!(!knobs.arena_poison);
+        assert_eq!(knobs.verify, VerifyMode::Off);
+    }
+
+    #[test]
+    fn verify_mode_vocabulary_is_enforced() {
+        for (v, want) in [
+            ("off", VerifyMode::Off),
+            ("cheap", VerifyMode::Cheap),
+            ("full", VerifyMode::Full),
+        ] {
+            let knobs = load_from(env(&[("FFTX_VERIFY", v)])).expect("valid");
+            assert_eq!(knobs.verify, want);
+        }
+        let err = load_from(env(&[("FFTX_VERIFY", "paranoid")])).expect_err("strict");
+        assert_eq!(err.key, "FFTX_VERIFY");
+        assert!(err.to_string().contains("cheap"), "{err}");
     }
 
     #[test]

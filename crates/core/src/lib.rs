@@ -29,12 +29,14 @@ pub mod recovery;
 pub mod stages;
 pub mod steps;
 pub mod taskmodes;
+pub mod verify;
 
 pub use config::env::{load as load_env, valid_policies, EnvError, EnvKnobs};
 pub use config::{FftxConfig, Mode};
 pub use original::{run_original, RunOutput};
 pub use plan::{BufferArena, ExecPlan};
 pub use recovery::{run_eviction, run_retry, run_rollback, RecoveryStats};
+pub use verify::{probe_fft_unit, run_verified, VerifyMode, VerifyStats, PARSEVAL_TOL};
 pub use problem::Problem;
 // Re-exported so `Problem::with_grid` callers (the serving layer's
 // explicit-grid geometry classes) can name the grid type without a direct

@@ -1,5 +1,6 @@
 //! The chaos engine: seeded, per-site deterministic fault decisions.
 
+use crate::corrupt::{PayloadCorrupt, Strike};
 use crate::{mix64, unit_f64};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -39,6 +40,12 @@ pub struct ChaosConfig {
     pub p_loss: f64,
     /// Optional rank-stall / straggler injection.
     pub stall: Option<StallConfig>,
+    /// Optional in-flight payload corruption. Like `p_loss` this breaks
+    /// the lossless invariant on purpose — a corrupted chunk is only
+    /// survivable because the checksummed exchange detects it — so the
+    /// stock profiles (`light`, `aggressive`) keep it `None` and the
+    /// chaos CI job stays byte-exact.
+    pub corrupt: Option<PayloadCorrupt>,
 }
 
 impl Default for ChaosConfig {
@@ -54,6 +61,7 @@ impl Default for ChaosConfig {
             p_reorder: 0.0,
             p_loss: 0.0,
             stall: None,
+            corrupt: None,
         }
     }
 }
@@ -73,6 +81,7 @@ impl ChaosConfig {
             p_reorder: 0.25,
             p_loss: 0.0,
             stall: None,
+            corrupt: None,
         }
     }
 
@@ -113,6 +122,14 @@ impl ChaosConfig {
     /// callers should turn it on.
     pub fn with_loss(mut self, p: f64) -> Self {
         self.p_loss = p;
+        self
+    }
+
+    /// Enables in-flight payload corruption under `profile`. Only callers
+    /// running the checksummed exchange (which converts each strike into a
+    /// typed `Integrity` error) should turn it on.
+    pub fn with_corruption(mut self, profile: PayloadCorrupt) -> Self {
+        self.corrupt = Some(profile);
         self
     }
 }
@@ -163,6 +180,10 @@ pub enum FaultKind {
     /// A message was permanently lost (fatal: no retransmit ever arrives;
     /// the receiver's watchdog surfaces a typed timeout).
     Loss,
+    /// A collective payload chunk was corrupted in flight (silent: only
+    /// the checksummed exchange can surface it, as a typed
+    /// `Integrity` error at unpack).
+    Corrupt,
 }
 
 /// One injected fault, in decision order per site.
@@ -280,6 +301,18 @@ impl ChaosEngine {
         &self.cfg
     }
 
+    /// Locks the shared state, recovering from mutex poison: the engine is
+    /// consulted from worker threads that fault injection deliberately
+    /// panics, and a panic mid-decision must not amplify into a
+    /// poisoned-lock panic on every surviving rank's next call. Every
+    /// critical section completes its update before releasing the guard,
+    /// so a recovered view is always internally consistent.
+    fn state(&self) -> std::sync::MutexGuard<'_, EngineState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Hash of `(seed, site, seq, salt)` — the only randomness source.
     fn decision_bits(&self, site: Site, seq: u64, salt: u64) -> u64 {
         let mut h = self.cfg.seed;
@@ -296,7 +329,7 @@ impl ChaosEngine {
     /// same plan, regardless of thread interleaving across sites.
     pub fn plan_message(&self, comm: u64, src: usize, dst: usize, tag: u64) -> MessagePlan {
         let site = Site { comm, src, dst, tag };
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         let seq = {
             let c = st.send_seq.entry(site).or_insert(0);
             let s = *c;
@@ -370,9 +403,36 @@ impl ChaosEngine {
         plan
     }
 
+    /// Corruption decision for one collective payload chunk: the chunk
+    /// rank `src` staged for peer `dst` in collective `(comm, tag, seq)`.
+    /// `Some(strike)` means the wire mangles one bit of the chunk after
+    /// the sender's checksum was computed — pure in `(seed, site, seq)`,
+    /// like every other decision here.
+    pub fn plan_chunk_corruption(
+        &self,
+        comm: u64,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        seq: u64,
+    ) -> Option<Strike> {
+        let profile = self.cfg.corrupt?;
+        let site = Site { comm, src, dst, tag };
+        let strike = profile.strike(self.decision_bits(site, seq, 8))?;
+        self.state().events.push(FaultEvent {
+            kind: FaultKind::Corrupt,
+            comm,
+            src,
+            dst,
+            tag,
+            seq,
+        });
+        Some(strike)
+    }
+
     /// Called by the transport when it discards a duplicate copy.
     pub fn note_duplicate_discarded(&self, comm: u64, src: usize, dst: usize, tag: u64, seq: u64) {
-        self.state.lock().unwrap().events.push(FaultEvent {
+        self.state().events.push(FaultEvent {
             kind: FaultKind::DuplicateDiscarded,
             comm,
             src,
@@ -399,7 +459,7 @@ impl ChaosEngine {
         if !stall.applies(rank) {
             return None;
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         let c = st.coll_count.entry(rank).or_insert(0);
         let n = *c;
         *c += 1;
@@ -424,7 +484,7 @@ impl ChaosEngine {
     /// deterministic — sorting makes the whole report comparable across
     /// runs).
     pub fn report(&self) -> FaultReport {
-        let st = self.state.lock().unwrap();
+        let st = self.state();
         let mut events = st.events.clone();
         events.sort_by_key(|e| (e.comm, e.src, e.dst, e.tag, e.seq, e.kind as u8));
         let mut deliveries = st.deliveries.clone();
@@ -545,6 +605,34 @@ mod tests {
         }
         assert!(lost > 0, "p_loss=0.3 over 200 messages must lose some");
         assert_eq!(a.report().count(FaultKind::Loss), lost);
+    }
+
+    #[test]
+    fn chunk_corruption_is_opt_in_deterministic_and_reported() {
+        // Stock profiles stay corruption-free — the chaos CI job depends
+        // on byte-exact results under `aggressive`.
+        assert_eq!(ChaosConfig::aggressive(5).corrupt, None);
+        assert_eq!(ChaosConfig::light(5).corrupt, None);
+        let off = ChaosEngine::new(ChaosConfig::aggressive(5));
+        assert_eq!(off.plan_chunk_corruption(1, 0, 1, 7, 0), None);
+
+        let cfg = ChaosConfig {
+            seed: 13,
+            ..ChaosConfig::default()
+        }
+        .with_corruption(crate::PayloadCorrupt::new(13, 0.4));
+        let a = ChaosEngine::new(cfg);
+        let b = ChaosEngine::new(cfg);
+        let mut hit = 0;
+        for seq in 0..100 {
+            for (src, dst) in [(0, 1), (1, 0), (0, 2)] {
+                let s = a.plan_chunk_corruption(1, src, dst, 7, seq);
+                assert_eq!(s, b.plan_chunk_corruption(1, src, dst, 7, seq), "pure");
+                hit += usize::from(s.is_some());
+            }
+        }
+        assert!(hit > 0, "p=0.4 over 300 chunks must strike some");
+        assert_eq!(a.report().count(FaultKind::Corrupt), hit);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! duplication, and bounded drop (always followed by a retransmit, so the
 //! transport stays lossless) into the virtual MPI layer, plus rank-stall /
 //! straggler plans for both the real engines and the KNL discrete-event
-//! simulator.
+//! simulator. The [`corrupt`-module profiles](CorruptionConfig) add the
+//! *silent* end of the spectrum — bit flips, stuck lanes, wire payload
+//! corruption — that the integrity layer must detect rather than observe.
 //!
 //! Everything is **deterministic**: every decision is a pure function of
 //! `(seed, site, per-site counter)` where a *site* identifies a logical
@@ -16,10 +18,12 @@
 //! — the property the chaos-determinism proptests pin down.
 
 mod chaos;
+mod corrupt;
 mod fatal;
 mod plan;
 
 pub use chaos::{ChaosConfig, ChaosEngine, FaultEvent, FaultKind, FaultReport, MessagePlan, StallConfig};
+pub use corrupt::{BitFlip, CorruptionConfig, PayloadCorrupt, Strike, StuckLane};
 pub use fatal::{
     BatchAborts, NodeDeath, Partition, RankDeath, RecoveryConfig, SlowNode, TaskCrashes,
 };

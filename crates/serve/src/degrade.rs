@@ -10,6 +10,15 @@
 //! the ladder moves at most one level per supervisor tick (hysteresis:
 //! upgrades and downgrades use different thresholds, so the ladder cannot
 //! flap on a pressure boundary).
+//!
+//! Above the queue-pressure rungs sits [`DegradeLevel::Quarantine`], the
+//! data-integrity rung: when the fraction of dispatched batches whose
+//! results failed ABFT verification reaches
+//! [`DegradeConfig::quarantine_at`], the ladder climbs past `RejectNew`
+//! regardless of queue pressure — the fleet stops accepting work it can
+//! no longer trust itself to compute, drains under verification, and
+//! steps back down once the corruption rate subsides. Queue pressure
+//! alone can never reach this rung.
 
 use crate::request::DeadlineClass;
 
@@ -27,16 +36,23 @@ pub enum DegradeLevel {
     SplitLarge,
     /// Reject all new work while the backlog drains.
     RejectNew,
+    /// Data-integrity brown-out: too many dispatched batches failed ABFT
+    /// verification. Reject all new work while the corrupting shards are
+    /// breaker-isolated and the backlog drains under verification. Only
+    /// corruption pressure climbs here; queue pressure caps at
+    /// [`DegradeLevel::RejectNew`].
+    Quarantine,
 }
 
 impl DegradeLevel {
     /// Every level, mildest first.
-    pub const ALL: [DegradeLevel; 5] = [
+    pub const ALL: [DegradeLevel; 6] = [
         DegradeLevel::Normal,
         DegradeLevel::ShedBatch,
         DegradeLevel::ShedStandard,
         DegradeLevel::SplitLarge,
         DegradeLevel::RejectNew,
+        DegradeLevel::Quarantine,
     ];
 
     /// Stable short name (journal, counters, timeline).
@@ -47,6 +63,7 @@ impl DegradeLevel {
             DegradeLevel::ShedStandard => "shed_standard",
             DegradeLevel::SplitLarge => "split_large",
             DegradeLevel::RejectNew => "reject_new",
+            DegradeLevel::Quarantine => "quarantine",
         }
     }
 
@@ -63,7 +80,7 @@ impl DegradeLevel {
             DegradeLevel::ShedStandard | DegradeLevel::SplitLarge => {
                 deadline == DeadlineClass::Interactive
             }
-            DegradeLevel::RejectNew => false,
+            DegradeLevel::RejectNew | DegradeLevel::Quarantine => false,
         }
     }
 
@@ -81,6 +98,12 @@ pub struct DegradeConfig {
     /// Pressure at or below which it descends one level per tick. Must be
     /// below `upgrade_at` (the hysteresis band).
     pub downgrade_at: f64,
+    /// Corruption pressure — the fraction of dispatched batches whose
+    /// results failed ABFT verification — at or above which the ladder
+    /// climbs one rung per tick toward [`DegradeLevel::Quarantine`],
+    /// overriding the queue-pressure rules. Below it, a quarantined
+    /// ladder steps back down.
+    pub quarantine_at: f64,
 }
 
 impl Default for DegradeConfig {
@@ -88,6 +111,7 @@ impl Default for DegradeConfig {
         DegradeConfig {
             upgrade_at: 0.75,
             downgrade_at: 0.40,
+            quarantine_at: 0.5,
         }
     }
 }
@@ -123,12 +147,27 @@ impl Ladder {
         self.level = level;
     }
 
-    /// The one-step transition `pressure` implies, or `None` when the
-    /// level holds. Pure: the supervisor journals the returned level
-    /// before applying it.
-    pub fn next_level(&self, pressure: f64, cfg: &DegradeConfig) -> Option<DegradeLevel> {
+    /// The one-step transition `(pressure, corruption)` implies, or
+    /// `None` when the level holds. Corruption pressure dominates: at or
+    /// above [`DegradeConfig::quarantine_at`] the ladder climbs toward
+    /// [`DegradeLevel::Quarantine`] whatever the queues look like, and a
+    /// quarantined ladder only descends once corruption subsides. Queue
+    /// pressure alone caps at [`DegradeLevel::RejectNew`]. Pure: the
+    /// supervisor journals the returned level before applying it.
+    pub fn next_level(
+        &self,
+        pressure: f64,
+        corruption: f64,
+        cfg: &DegradeConfig,
+    ) -> Option<DegradeLevel> {
         let i = self.level.index();
-        if pressure >= cfg.upgrade_at && i + 1 < DegradeLevel::ALL.len() {
+        if corruption >= cfg.quarantine_at {
+            return DegradeLevel::ALL.get(i + 1).copied();
+        }
+        if self.level == DegradeLevel::Quarantine {
+            return Some(DegradeLevel::ALL[i - 1]);
+        }
+        if pressure >= cfg.upgrade_at && i + 2 < DegradeLevel::ALL.len() {
             Some(DegradeLevel::ALL[i + 1])
         } else if pressure <= cfg.downgrade_at && i > 0 {
             Some(DegradeLevel::ALL[i - 1])
@@ -146,22 +185,49 @@ mod tests {
     fn ladder_climbs_one_level_per_step_and_descends_with_hysteresis() {
         let cfg = DegradeConfig::default();
         let mut l = Ladder::new();
-        // Sustained pressure walks the whole ladder, one rung at a time.
+        // Sustained queue pressure walks the ladder one rung at a time —
+        // but stops at RejectNew: Quarantine is corruption-only.
         let mut seen = vec![l.level()];
-        while let Some(next) = l.next_level(0.9, &cfg) {
+        while let Some(next) = l.next_level(0.9, 0.0, &cfg) {
             assert_eq!(next.index(), l.level().index() + 1);
             l.set_level(next);
             seen.push(next);
         }
-        assert_eq!(seen, DegradeLevel::ALL.to_vec());
+        assert_eq!(seen, DegradeLevel::ALL[..5].to_vec());
+        assert_eq!(l.level(), DegradeLevel::RejectNew);
         // Mid-band pressure holds the level (hysteresis).
-        assert_eq!(l.next_level(0.6, &cfg), None);
+        assert_eq!(l.next_level(0.6, 0.0, &cfg), None);
         // Low pressure walks back down.
-        while let Some(next) = l.next_level(0.1, &cfg) {
+        while let Some(next) = l.next_level(0.1, 0.0, &cfg) {
             assert_eq!(next.index() + 1, l.level().index());
             l.set_level(next);
         }
         assert_eq!(l.level(), DegradeLevel::Normal);
+    }
+
+    #[test]
+    fn only_corruption_pressure_reaches_quarantine() {
+        let cfg = DegradeConfig::default();
+        let mut l = Ladder::new();
+        // Corruption at the threshold climbs even with idle queues.
+        while let Some(next) = l.next_level(0.0, cfg.quarantine_at, &cfg) {
+            assert_eq!(next.index(), l.level().index() + 1);
+            l.set_level(next);
+        }
+        assert_eq!(l.level(), DegradeLevel::Quarantine);
+        assert!(!l.level().admits(DeadlineClass::Interactive));
+        assert!(l.level().splits_batches());
+        // Queue pressure alone cannot hold the quarantine rung: once
+        // corruption subsides the ladder steps down, however hot the queues.
+        assert_eq!(l.next_level(1.0, 0.0, &cfg), Some(DegradeLevel::RejectNew));
+        l.set_level(DegradeLevel::RejectNew);
+        // From RejectNew, queue pressure holds but never re-enters
+        // quarantine; renewed corruption does.
+        assert_eq!(l.next_level(1.0, 0.0, &cfg), None);
+        assert_eq!(
+            l.next_level(0.0, cfg.quarantine_at, &cfg),
+            Some(DegradeLevel::Quarantine)
+        );
     }
 
     #[test]

@@ -14,10 +14,12 @@ use crate::batch::Batch;
 use crate::request::{class_problem, GeometryClass};
 use crate::tuner::Placement;
 use fftx_core::{
-    run_eviction, run_policy, run_policy_chaotic, run_retry, run_rollback, Problem, RunOutput,
-    SchedulerPolicy,
+    run_eviction, run_policy, run_policy_chaotic, run_retry, run_rollback, run_verified, Problem,
+    RunOutput, SchedulerPolicy, VerifyMode,
 };
-use fftx_fault::{mix64, BatchAborts, ChaosConfig, RankDeath, RecoveryConfig, TaskCrashes};
+use fftx_fault::{
+    mix64, BatchAborts, ChaosConfig, CorruptionConfig, RankDeath, RecoveryConfig, TaskCrashes,
+};
 use fftx_knlsim::CommModel;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -31,6 +33,12 @@ pub struct ServeChaos {
     /// eviction-capable 7×1 serial layout and rank 1 dies mid-run — the
     /// end-to-end demonstration of recovery mechanism 3.
     pub evict_batch: Option<usize>,
+    /// Silent-data-corruption injection rate in flips per thousand FFT
+    /// batches (0 disables). When set, serial-policy batches run under
+    /// seeded bit-flip corruption through the ABFT verify-and-recompute
+    /// path ([`run_verified`]) in `cheap` mode — detections and rollbacks
+    /// surface on [`RealRun`].
+    pub corrupt_per_mille: u32,
 }
 
 /// Outcome of executing one batch for real.
@@ -43,6 +51,9 @@ pub struct RealRun {
     pub rollbacks: u64,
     /// Rank evictions absorbed.
     pub evictions: u64,
+    /// Batches whose results failed ABFT verification (silent corruption
+    /// caught before delivery).
+    pub detections: u64,
     /// Checkpoint bytes the recovery path moved.
     pub checkpoint_bytes: usize,
     /// The run escalated to a clean re-execution after the in-place
@@ -111,6 +122,7 @@ impl Backend {
         let chaos_seed = self
             .chaos
             .map(|c| mix64(c.seed ^ (index as u64).wrapping_mul(0x9e37)));
+        let corrupt = self.chaos.map_or(0, |c| c.corrupt_per_mille);
         let mut run = RealRun {
             output: RunOutput {
                 bands: Vec::new(),
@@ -120,6 +132,7 @@ impl Backend {
             retries: 0,
             rollbacks: 0,
             evictions: 0,
+            detections: 0,
             checkpoint_bytes: 0,
             escalated: false,
         };
@@ -131,6 +144,25 @@ impl Backend {
                     Ok((output, stats)) => {
                         run.output = output;
                         run.evictions = stats.evictions;
+                        run.rollbacks = stats.batch_rollbacks;
+                        run.checkpoint_bytes = stats.checkpoint_bytes as usize;
+                    }
+                    Err(_) => {
+                        run.output = run_policy(&problem, p.policy);
+                        run.escalated = true;
+                    }
+                }
+            }
+            (Some(seed), SchedulerPolicy::Serial) if corrupt > 0 => {
+                // Silent-corruption chaos: seeded bit flips land on the FFT
+                // working set and the ABFT layer must catch every one
+                // before delivery. Verification failure past the rollback
+                // budget escalates to a clean re-run, like every other arm.
+                let corruption = CorruptionConfig::transient(seed, corrupt as f64 / 1000.0);
+                match run_verified(&problem, corruption, VerifyMode::Cheap, &rc) {
+                    Ok((output, stats)) => {
+                        run.output = output;
+                        run.detections = stats.detected_batches;
                         run.rollbacks = stats.batch_rollbacks;
                         run.checkpoint_bytes = stats.checkpoint_bytes as usize;
                     }
@@ -244,8 +276,10 @@ mod tests {
 
     #[test]
     fn execution_is_a_pure_function_of_its_inputs() {
-        let mut be1 = Backend::new(42, Some(ServeChaos { seed: 9, evict_batch: None }));
-        let mut be2 = Backend::new(42, Some(ServeChaos { seed: 9, evict_batch: None }));
+        let mut be1 =
+            Backend::new(42, Some(ServeChaos { seed: 9, evict_batch: None, corrupt_per_mille: 0 }));
+        let mut be2 =
+            Backend::new(42, Some(ServeChaos { seed: 9, evict_batch: None, corrupt_per_mille: 0 }));
         let b = batch(GeometryClass::Small, 4);
         let p = placement();
         let r1 = be1.execute(&b, &p, 3, false);
@@ -268,6 +302,27 @@ mod tests {
     }
 
     #[test]
+    fn corruption_chaos_is_detected_and_never_delivered() {
+        // A saturating flip rate guarantees the schedule fires; every
+        // detection must be repaired (or escalated away) before delivery.
+        let chaos = ServeChaos { seed: 7, evict_batch: None, corrupt_per_mille: 1000 };
+        let mut corrupt = Backend::new(42, Some(chaos));
+        let mut clean = Backend::new(42, None);
+        let b = batch(GeometryClass::Small, 4);
+        let p = placement();
+        let dirty_run = corrupt.execute(&b, &p, 0, false);
+        let clean_run = clean.execute(&b, &p, 0, false);
+        assert!(
+            dirty_run.detections > 0 || dirty_run.escalated,
+            "a saturating flip rate must trip the verifier"
+        );
+        assert_eq!(
+            dirty_run.output.bands, clean_run.output.bands,
+            "delivered bands are bit-identical to an uncorrupted run"
+        );
+    }
+
+    #[test]
     fn escalation_prices_the_wasted_attempt() {
         let be = Backend::new(42, None);
         let run = RealRun {
@@ -275,6 +330,7 @@ mod tests {
             retries: 0,
             rollbacks: 0,
             evictions: 0,
+            detections: 0,
             checkpoint_bytes: 0,
             escalated: true,
         };

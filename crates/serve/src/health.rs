@@ -28,6 +28,13 @@ pub struct HealthConfig {
     /// `fail_threshold`: a shard stops receiving new work before the
     /// (expensive) failover is committed.
     pub death_threshold: u32,
+    /// Corrupt batches (ABFT verification failures) that trip the breaker
+    /// open: a shard whose results keep failing verification stops
+    /// receiving new work even though its heartbeats answer. Unlike
+    /// heartbeat misses, corruption strikes are not cleared by healthy
+    /// probes — only a successful half-open probe (a full backoff served)
+    /// resets them.
+    pub corrupt_threshold: u32,
     /// Backoff schedule of the half-open probe delay: re-probe attempt `n`
     /// waits `min(base · 2^n, max)` before half-opening.
     pub backoff: RecoveryConfig,
@@ -39,6 +46,7 @@ impl Default for HealthConfig {
             tick_s: 0.05,
             fail_threshold: 2,
             death_threshold: 4,
+            corrupt_threshold: 3,
             backoff: RecoveryConfig::default(),
         }
     }
@@ -84,6 +92,8 @@ pub struct Breaker {
     misses: u32,
     /// Consecutive misses across all states (death counter).
     run: u32,
+    /// Corrupt batches since the breaker last closed (quarantine counter).
+    corruptions: u32,
     opened_tick: u64,
     attempt: u32,
 }
@@ -101,6 +111,7 @@ impl Breaker {
             state: BreakerState::Closed,
             misses: 0,
             run: 0,
+            corruptions: 0,
             opened_tick: 0,
             attempt: 0,
         }
@@ -120,6 +131,30 @@ impl Breaker {
     /// supervisor's death counter.
     pub fn consecutive_misses(&self) -> u32 {
         self.run
+    }
+
+    /// Corrupt batches since the breaker last closed — the supervisor's
+    /// quarantine counter.
+    pub fn corruption_strikes(&self) -> u32 {
+        self.corruptions
+    }
+
+    /// Folds one detected-corruption event (a batch that failed ABFT
+    /// verification) into the breaker at `tick`. At
+    /// [`HealthConfig::corrupt_threshold`] strikes a closed breaker trips
+    /// open — the shard is quarantined from new work for a full backoff,
+    /// exactly like a heartbeat trip, but healthy heartbeats do *not*
+    /// clear the strike count: only the successful half-open probe that
+    /// re-closes the breaker does. Returns the new state's name on a
+    /// transition.
+    pub fn on_corruption(&mut self, tick: u64, cfg: &HealthConfig) -> Option<&'static str> {
+        self.corruptions += 1;
+        if self.state == BreakerState::Closed && self.corruptions >= cfg.corrupt_threshold {
+            self.state = BreakerState::Open;
+            self.opened_tick = tick;
+            return Some(self.state.name());
+        }
+        None
     }
 
     /// Folds one probe outcome at `tick` into the breaker. Returns the new
@@ -154,6 +189,7 @@ impl Breaker {
                 if ok {
                     self.state = BreakerState::Closed;
                     self.misses = 0;
+                    self.corruptions = 0;
                     self.attempt = 0;
                 } else {
                     self.state = BreakerState::Open;
@@ -232,6 +268,29 @@ mod tests {
         assert!(b.consecutive_misses() >= c.death_threshold);
         b.on_heartbeat(true, 100, &c);
         assert_eq!(b.consecutive_misses(), 0);
+    }
+
+    #[test]
+    fn corruption_strikes_trip_the_breaker_despite_healthy_heartbeats() {
+        let c = cfg();
+        let mut b = Breaker::new();
+        // Strikes interleaved with answered probes: heartbeats never clear
+        // corruption, so the third corrupt batch trips the breaker.
+        for tick in 0..(c.corrupt_threshold - 1) as u64 {
+            assert_eq!(b.on_corruption(tick, &c), None);
+            assert_eq!(b.on_heartbeat(true, tick, &c), None);
+            assert!(b.admits());
+        }
+        assert_eq!(b.on_corruption(10, &c), Some("open"));
+        assert!(!b.admits(), "a corrupting shard is quarantined");
+        assert_eq!(b.consecutive_misses(), 0, "corruption never declares death");
+        assert_eq!(b.corruption_strikes(), c.corrupt_threshold);
+
+        // The backoff serves out; the successful half-open probe re-closes
+        // the breaker and resets the strike count.
+        let t = 10 + c.open_ticks(0);
+        assert_eq!(b.on_heartbeat(true, t, &c), Some("closed"));
+        assert_eq!(b.corruption_strikes(), 0);
     }
 
     #[test]

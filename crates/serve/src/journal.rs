@@ -102,6 +102,37 @@ pub enum Record {
         job: u64,
         /// Virtual time of the suppressed report.
         t_s: f64,
+        /// FNV hash of the zombie report's result bands (real executions
+        /// only). Hashes are positional within a batch, so the audit
+        /// compares them per `(batch, job)`: a second record for the same
+        /// pair with a different hash is silent-corruption evidence.
+        hash: Option<u64>,
+    },
+    /// The ABFT verification layer caught corrupted FFT results in
+    /// `batch` on `shard` before any member completed. Always precedes
+    /// the batch's completions; [`Record::Recomputed`] journals the
+    /// recovery.
+    CorruptionDetected {
+        /// Shard whose execution failed verification.
+        shard: u32,
+        /// The batch.
+        batch: u64,
+        /// Verification failures the run absorbed.
+        detections: u64,
+        /// Virtual time of the report.
+        t_s: f64,
+    },
+    /// Batch `batch` recovered from detected corruption: `rollbacks`
+    /// checkpoint restores re-ran the work until it verified clean.
+    Recomputed {
+        /// The shard.
+        shard: u32,
+        /// The batch.
+        batch: u64,
+        /// Checkpoint rollbacks the recovery took.
+        rollbacks: u64,
+        /// Virtual time of the report.
+        t_s: f64,
     },
     /// One health-check probe of `shard`.
     Heartbeat {
@@ -161,6 +192,18 @@ fn parse_f64_bits(tok: Option<&str>, line: usize) -> Result<f64, ServeError> {
     tok.and_then(|t| u64::from_str_radix(t, 16).ok())
         .map(f64::from_bits)
         .ok_or_else(|| ServeError::Journal(format!("line {line}: bad float bit pattern")))
+}
+
+/// The optional result-hash field shared by `C` and `Z` records: 16 hex
+/// digits or the literal `-`.
+fn parse_hash(tok: Option<&str>, line: usize) -> Result<Option<u64>, ServeError> {
+    match tok {
+        Some("-") => Ok(None),
+        Some(t) => u64::from_str_radix(t, 16)
+            .map(Some)
+            .map_err(|_| ServeError::Journal(format!("line {line}: bad hash"))),
+        None => Err(ServeError::Journal(format!("line {line}: missing hash"))),
+    }
 }
 
 fn encode_req(out: &mut String, req: &Request) {
@@ -233,8 +276,20 @@ impl Record {
                     None => out.push_str(" -"),
                 }
             }
-            Record::Suppressed { shard, batch, job, t_s } => {
+            Record::Suppressed { shard, batch, job, t_s, hash } => {
                 let _ = write!(out, "Z {shard} {batch} {job} {}", f64_hex(*t_s));
+                match hash {
+                    Some(h) => {
+                        let _ = write!(out, " {h:016x}");
+                    }
+                    None => out.push_str(" -"),
+                }
+            }
+            Record::CorruptionDetected { shard, batch, detections, t_s } => {
+                let _ = write!(out, "X {shard} {batch} {detections} {}", f64_hex(*t_s));
+            }
+            Record::Recomputed { shard, batch, rollbacks, t_s } => {
+                let _ = write!(out, "R {shard} {batch} {rollbacks} {}", f64_hex(*t_s));
             }
             Record::Heartbeat { shard, tick, t_s, ok } => {
                 let _ = write!(
@@ -309,21 +364,26 @@ impl Record {
                 let batch = parse_u64(toks.next(), line)?;
                 let job = parse_u64(toks.next(), line)?;
                 let done_s = parse_f64_bits(toks.next(), line)?;
-                let hash = match toks.next() {
-                    Some("-") => None,
-                    Some(t) => Some(u64::from_str_radix(t, 16).map_err(|_| {
-                        ServeError::Journal(format!("line {line}: bad hash"))
-                    })?),
-                    None => {
-                        return Err(ServeError::Journal(format!("line {line}: missing hash")))
-                    }
-                };
+                let hash = parse_hash(toks.next(), line)?;
                 Record::Completed { shard, batch, job, done_s, hash }
             }
             "Z" => Record::Suppressed {
                 shard: parse_u64(toks.next(), line)? as u32,
                 batch: parse_u64(toks.next(), line)?,
                 job: parse_u64(toks.next(), line)?,
+                t_s: parse_f64_bits(toks.next(), line)?,
+                hash: parse_hash(toks.next(), line)?,
+            },
+            "X" => Record::CorruptionDetected {
+                shard: parse_u64(toks.next(), line)? as u32,
+                batch: parse_u64(toks.next(), line)?,
+                detections: parse_u64(toks.next(), line)?,
+                t_s: parse_f64_bits(toks.next(), line)?,
+            },
+            "R" => Record::Recomputed {
+                shard: parse_u64(toks.next(), line)? as u32,
+                batch: parse_u64(toks.next(), line)?,
+                rollbacks: parse_u64(toks.next(), line)?,
                 t_s: parse_f64_bits(toks.next(), line)?,
             },
             "H" => Record::Heartbeat {
@@ -371,6 +431,14 @@ pub struct Conservation {
     pub completed: usize,
     /// Duplicate completion reports the idempotency guard suppressed.
     pub suppressed: usize,
+    /// Completions carrying a result hash. Either every completion is
+    /// hashed (real-execution journal) or none is (modeled journal) —
+    /// the audit rejects a mix.
+    pub hashed: usize,
+    /// ABFT verification failures journaled (`CorruptionDetected` sums).
+    pub corruption_detected: u64,
+    /// Checkpoint rollbacks corruption recovery took (`Recomputed` sums).
+    pub recomputed: u64,
     /// Accepted-but-not-completed request ids (empty on a finished run).
     pub open: Vec<u64>,
 }
@@ -436,6 +504,13 @@ impl Journal {
     /// unique, is never also shed, and completes at most once; every
     /// completion (and suppressed duplicate) refers to an accepted job.
     ///
+    /// The audit also checks result-hash integrity. Hash presence must be
+    /// uniform — either every completion and suppressed report carries a
+    /// hash (real executions) or none does (modeled service) — and any
+    /// two records naming the same `(batch, job)` must agree on the hash:
+    /// a zombie report that re-executed the same batch and got different
+    /// bits is silent-corruption evidence, not a benign duplicate.
+    ///
     /// # Errors
     /// [`ServeError::Journal`] naming the first violated invariant.
     pub fn conservation(&self) -> Result<Conservation, ServeError> {
@@ -443,6 +518,46 @@ impl Journal {
         let mut shed: BTreeSet<u64> = BTreeSet::new();
         let mut completed: BTreeSet<u64> = BTreeSet::new();
         let mut suppressed = 0usize;
+        let mut hashed = 0usize;
+        let mut corruption_detected = 0u64;
+        let mut recomputed = 0u64;
+        // Whether this journal's completions carry hashes (set by the
+        // first completion, then enforced), and the per-(batch, job)
+        // hash agreement map.
+        let mut hash_presence: Option<bool> = None;
+        let mut batch_hashes: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut check_hash = |batch: u64,
+                              job: u64,
+                              hash: &Option<u64>,
+                              presence: &mut Option<bool>,
+                              what: &str|
+         -> Result<(), ServeError> {
+            match *presence {
+                None => *presence = Some(hash.is_some()),
+                Some(p) if p != hash.is_some() => {
+                    return Err(ServeError::Journal(format!(
+                        "{what} of job {job} {} a result hash in a journal whose completions {}",
+                        if hash.is_some() { "carries" } else { "is missing" },
+                        if p { "are hashed" } else { "are hashless" },
+                    )))
+                }
+                Some(_) => {}
+            }
+            if let Some(h) = hash {
+                match batch_hashes.get(&(batch, job)) {
+                    Some(&prev) if prev != *h => {
+                        return Err(ServeError::Journal(format!(
+                            "{what} of job {job} in batch {batch} diverges from the recorded \
+                             result hash ({prev:016x} vs {h:016x}) — silent corruption evidence"
+                        )))
+                    }
+                    _ => {
+                        batch_hashes.insert((batch, job), *h);
+                    }
+                }
+            }
+            Ok(())
+        };
         for rec in &self.records {
             match rec {
                 Record::Accepted { req, key, .. } => {
@@ -468,7 +583,7 @@ impl Journal {
                     }
                     shed.insert(req.id);
                 }
-                Record::Completed { job, .. } => {
+                Record::Completed { batch, job, hash, .. } => {
                     if !accepted.contains_key(job) {
                         return Err(ServeError::Journal(format!(
                             "job {job} completed but never accepted"
@@ -479,14 +594,25 @@ impl Journal {
                             "job {job} completed twice"
                         )));
                     }
+                    check_hash(*batch, *job, hash, &mut hash_presence, "completion")?;
+                    if hash.is_some() {
+                        hashed += 1;
+                    }
                 }
-                Record::Suppressed { job, .. } => {
+                Record::Suppressed { batch, job, hash, .. } => {
                     if !completed.contains(job) {
                         return Err(ServeError::Journal(format!(
                             "job {job} suppressed before any completion"
                         )));
                     }
+                    check_hash(*batch, *job, hash, &mut hash_presence, "zombie report")?;
                     suppressed += 1;
+                }
+                Record::CorruptionDetected { detections, .. } => {
+                    corruption_detected += detections;
+                }
+                Record::Recomputed { rollbacks, .. } => {
+                    recomputed += rollbacks;
                 }
                 _ => {}
             }
@@ -501,6 +627,9 @@ impl Journal {
             shed: shed.len(),
             completed: completed.len(),
             suppressed,
+            hashed,
+            corruption_detected,
+            recomputed,
             open,
         })
     }
@@ -537,12 +666,14 @@ mod tests {
             },
             Record::Heartbeat { shard: 0, tick: 3, t_s: 0.15, ok: true },
             Record::Heartbeat { shard: 1, tick: 3, t_s: 0.15, ok: false },
+            Record::CorruptionDetected { shard: 1, batch: 0, detections: 2, t_s: 0.07 },
+            Record::Recomputed { shard: 1, batch: 0, rollbacks: 2, t_s: 0.07 },
             Record::Completed { shard: 1, batch: 0, job: 0, done_s: 0.071_375, hash: Some(42) },
-            Record::Suppressed { shard: 2, batch: 5, job: 0, t_s: 0.08 },
+            Record::Suppressed { shard: 2, batch: 5, job: 0, t_s: 0.08, hash: Some(0x5a5a) },
             Record::ShardDown { shard: 2, t_s: 0.2 },
             Record::Failover { from: 2, to: 1, job: 9, t_s: 0.2 },
             Record::Degraded { level: 1, t_s: 0.25 },
-            Record::Completed { shard: 1, batch: 1, job: 9, done_s: 0.3, hash: None },
+            Record::Completed { shard: 1, batch: 1, job: 9, done_s: 0.3, hash: Some(0x2b) },
         ]
     }
 
@@ -560,6 +691,9 @@ mod tests {
             ntg: 4,
             policy: 0,
         });
+        // Hashless completion and zombie report (modeled-service journal).
+        records.push(Record::Completed { shard: 0, batch: 7, job: 3, done_s: 0.4, hash: None });
+        records.push(Record::Suppressed { shard: 1, batch: 8, job: 3, t_s: 0.5, hash: None });
         for r in records {
             j.append(r);
         }
@@ -574,6 +708,11 @@ mod tests {
         assert!(Journal::decode("Q 1 2\n").is_err(), "unknown tag");
         assert!(Journal::decode("A 0 0 9 2 0 0000000000000000 aa 1\n").is_err(), "bad class");
         assert!(Journal::decode("H 0 1 zzzz 1\n").is_err(), "bad float bits");
+        assert!(
+            Journal::decode("Z 1 2 3 0000000000000000\n").is_err(),
+            "zombie report without its hash field"
+        );
+        assert!(Journal::decode("X 1 2 zz 0000000000000000\n").is_err(), "bad detections");
         assert!(
             Journal::decode("D 0 0000000000000000 junk\n").is_err(),
             "trailing fields"
@@ -604,7 +743,51 @@ mod tests {
         assert_eq!(c.shed, 1);
         assert_eq!(c.completed, 2);
         assert_eq!(c.suppressed, 1);
+        assert_eq!(c.hashed, 2, "every completion in a real journal is hashed");
+        assert_eq!(c.corruption_detected, 2);
+        assert_eq!(c.recomputed, 2);
         assert!(c.open.is_empty());
+    }
+
+    #[test]
+    fn conservation_rejects_mixed_hash_presence() {
+        let a = |id| Record::Accepted { req: req(id), key: idempotency_key(7, id), shard: 0 };
+        let mut j = Journal::new();
+        j.append(a(0));
+        j.append(a(3));
+        j.append(Record::Completed { shard: 0, batch: 0, job: 0, done_s: 0.1, hash: Some(1) });
+        j.append(Record::Completed { shard: 0, batch: 0, job: 3, done_s: 0.2, hash: None });
+        let err = j.conservation().expect_err("mixed hash presence");
+        assert!(err.to_string().contains("hash"), "{err}");
+
+        // A zombie report must follow the journal's hash discipline too.
+        let mut j = Journal::new();
+        j.append(a(0));
+        j.append(Record::Completed { shard: 0, batch: 0, job: 0, done_s: 0.1, hash: Some(1) });
+        j.append(Record::Suppressed { shard: 1, batch: 2, job: 0, t_s: 0.2, hash: None });
+        assert!(j.conservation().is_err(), "hashless zombie in a hashed journal");
+    }
+
+    #[test]
+    fn conservation_catches_a_divergent_zombie_hash() {
+        let a = Record::Accepted { req: req(0), key: idempotency_key(7, 0), shard: 0 };
+        let c = Record::Completed { shard: 0, batch: 4, job: 0, done_s: 0.1, hash: Some(0xAB) };
+
+        // A zombie report of the SAME batch with the same hash is a benign
+        // duplicate; a different hash is silent-corruption evidence.
+        let mut j = Journal::new();
+        j.append(a.clone());
+        j.append(c.clone());
+        j.append(Record::Suppressed { shard: 1, batch: 4, job: 0, t_s: 0.2, hash: Some(0xAB) });
+        let cons = j.conservation().expect("agreeing duplicate is benign");
+        assert_eq!(cons.suppressed, 1);
+
+        let mut j = Journal::new();
+        j.append(a);
+        j.append(c);
+        j.append(Record::Suppressed { shard: 1, batch: 4, job: 0, t_s: 0.2, hash: Some(0xCD) });
+        let err = j.conservation().expect_err("divergent zombie hash");
+        assert!(err.to_string().contains("silent corruption"), "{err}");
     }
 
     #[test]

@@ -523,6 +523,7 @@ mod tests {
             chaos: Some(ServeChaos {
                 seed: 0xC0FFEE,
                 evict_batch: None,
+                corrupt_per_mille: 0,
             }),
             ..Default::default()
         };
@@ -558,6 +559,7 @@ mod tests {
             chaos: Some(ServeChaos {
                 seed: 5,
                 evict_batch: Some(0),
+                corrupt_per_mille: 0,
             }),
             ..Default::default()
         };

@@ -143,7 +143,8 @@ pub struct FleetReport {
     /// Counters: `fleet.accepted|batches|shard_down|suppressed`,
     /// `fleet.heartbeat.ok|miss`, `fleet.breaker.<state>`,
     /// `fleet.failover.jobs`, `fleet.degrade.<level>`,
-    /// `served.tenant.<id>`, `shed.<kind>`, `shed.tenant.<id>`.
+    /// `fleet.corruption.detected|recomputed`, `served.tenant.<id>`,
+    /// `shed.<kind>`, `shed.tenant.<id>`.
     pub counters: CounterSet,
     /// Breaker / down / degradation transitions over virtual time (lane =
     /// shard index; the ladder uses lane `shards`).
@@ -230,6 +231,9 @@ struct ShardState {
     /// A journaled-but-not-yet-started batch (the window between `Batched`
     /// and `Started` a crash can land in).
     pending: Option<u64>,
+    /// Detected-corruption events this shard's batches produced
+    /// (journal-derived, so replay-stable).
+    corruptions: u64,
     down: bool,
 }
 
@@ -265,6 +269,13 @@ pub struct Fleet {
     /// during replay (journaled completions never re-execute) or lazily by
     /// one pure re-execution per batch at first need.
     hash_cache: BTreeMap<u64, BTreeMap<u64, u64>>,
+    /// Batches with a journaled `CorruptionDetected` record — the guard
+    /// that keeps the live path from re-emitting one on resume. Separate
+    /// from `corruption_r`: a crash cut can land between a batch's X and R
+    /// records, and sharing one set would suppress the missing record.
+    corruption_x: BTreeSet<u64>,
+    /// Batches with a journaled `Recomputed` record.
+    corruption_r: BTreeSet<u64>,
     batch_info: BTreeMap<u64, BatchInfo>,
     /// Jobs drained from dead shards, awaiting their `Failover` record.
     pending_failover: VecDeque<(u32, u64)>,
@@ -328,6 +339,7 @@ impl Fleet {
                 inflight: None,
                 orphan: None,
                 pending: None,
+                corruptions: 0,
                 down: false,
             })
             .collect();
@@ -350,6 +362,8 @@ impl Fleet {
             counters: CounterSet::new(),
             timeline: StateTimeline::new(),
             hash_cache: BTreeMap::new(),
+            corruption_x: BTreeSet::new(),
+            corruption_r: BTreeSet::new(),
             batch_info: BTreeMap::new(),
             pending_failover: VecDeque::new(),
             next_batch: 0,
@@ -565,15 +579,50 @@ impl Fleet {
                 // the right tick.
                 self.tick = self.tick.max(self.tick_of(*done_s));
             }
-            Record::Suppressed { shard, batch, job, t_s } => {
+            Record::Suppressed { shard, batch, job, t_s, hash } => {
                 if !self.completed.contains(job) {
                     return Err(ServeError::Journal(format!(
                         "job {job} suppressed before any completion"
                     )));
                 }
+                // The zombie's result must agree with whatever hash this
+                // batch already recorded for the job — a divergence means a
+                // silently corrupted result raced the idempotency guard.
+                if let Some(h) = hash {
+                    let slot = self.hash_cache.entry(*batch).or_default();
+                    match slot.get(job) {
+                        Some(prev) if *prev != *h => {
+                            return Err(ServeError::Journal(format!(
+                                "zombie report of job {job} in batch {batch} diverges from \
+                                 the recorded result hash ({prev:016x} vs {h:016x})"
+                            )));
+                        }
+                        _ => {
+                            slot.insert(*job, *h);
+                        }
+                    }
+                }
                 self.counters.inc("fleet.suppressed");
                 self.remove_member(*shard, *batch, *job);
                 self.tick = self.tick.max(self.tick_of(*t_s));
+            }
+            Record::CorruptionDetected { shard, batch, detections, t_s } => {
+                let s = self.shard_index(*shard)?;
+                self.tick = self.tick.max(self.tick_of(*t_s));
+                self.corruption_x.insert(*batch);
+                self.shards[s].corruptions += detections;
+                self.counters.add("fleet.corruption.detected", *detections);
+                let tick = self.tick_of(*t_s);
+                if let Some(state) = self.shards[s].breaker.on_corruption(tick, &self.cfg.health) {
+                    self.timeline.record(*t_s, *shard, state);
+                    self.counters.inc(&format!("fleet.breaker.{state}"));
+                }
+            }
+            Record::Recomputed { shard, batch, rollbacks, t_s } => {
+                self.shard_index(*shard)?;
+                self.tick = self.tick.max(self.tick_of(*t_s));
+                self.corruption_r.insert(*batch);
+                self.counters.add("fleet.corruption.recomputed", *rollbacks);
             }
             Record::Heartbeat { shard, tick, t_s, ok } => {
                 let s = self.shard_index(*shard)?;
@@ -671,8 +720,18 @@ impl Fleet {
     /// The result hash of `job` in `batch` — `None` on modeled runs. Real
     /// runs hit the cache (filled by replayed `Completed` records, so
     /// journaled completions never re-execute); a miss re-executes the
-    /// batch once, purely, and caches every member.
-    fn hash_for(&mut self, batch: u64, job: u64) -> Result<Option<u64>, ServeError> {
+    /// batch once, purely, and caches every member. When the execution
+    /// absorbed corruption, the batch's `CorruptionDetected` / `Recomputed`
+    /// records are journaled here — before its first completion, and only
+    /// once per batch (resume replays them through `apply`, which marks
+    /// the guard sets).
+    fn hash_for(
+        &mut self,
+        shard: u32,
+        batch: u64,
+        job: u64,
+        t_s: f64,
+    ) -> Result<Option<u64>, ServeError> {
         if !(self.cfg.serve.execute_real || self.cfg.serve.chaos.is_some()) {
             return Ok(None);
         }
@@ -693,6 +752,17 @@ impl Fleet {
         // journal's Completed records, so this counter is the run's *real*
         // execution count — the replay-overhead measurement.
         self.counters.inc("fleet.exec.batch");
+        if run.detections > 0 && !self.corruption_x.contains(&batch) {
+            self.emit(Record::CorruptionDetected {
+                shard,
+                batch,
+                detections: run.detections,
+                t_s,
+            })?;
+        }
+        if run.detections > 0 && run.rollbacks > 0 && !self.corruption_r.contains(&batch) {
+            self.emit(Record::Recomputed { shard, batch, rollbacks: run.rollbacks, t_s })?;
+        }
         let entry = self.hash_cache.entry(batch).or_default();
         for m in &assembled.members {
             let range = &run.output.bands[m.band_start..m.band_start + m.request.bands];
@@ -704,7 +774,9 @@ impl Fleet {
     }
 
     /// Completes (or suppresses, when already completed elsewhere) one
-    /// member of a finished batch.
+    /// member of a finished batch. A suppressed zombie still hashes its
+    /// own result, so the journal carries the evidence the conservation
+    /// audit needs to catch a corrupted duplicate.
     fn complete_member(
         &mut self,
         shard: u32,
@@ -713,9 +785,10 @@ impl Fleet {
         done_s: f64,
     ) -> Result<(), ServeError> {
         if self.completed.contains(&job) {
-            return self.emit(Record::Suppressed { shard, batch, job, t_s: done_s });
+            let hash = self.hash_for(shard, batch, job, done_s)?;
+            return self.emit(Record::Suppressed { shard, batch, job, t_s: done_s, hash });
         }
-        let hash = self.hash_for(batch, job)?;
+        let hash = self.hash_for(shard, batch, job, done_s)?;
         self.emit(Record::Completed { shard, batch, job, done_s, hash })
     }
 
@@ -898,7 +971,10 @@ impl Fleet {
     }
 
     /// Phase 7: the brown-out ladder moves at most one level per tick on
-    /// the admitting shards' mean queue occupancy.
+    /// the admitting shards' mean queue occupancy, or — past
+    /// [`DegradeConfig::quarantine_at`] — on the fraction of started
+    /// batches whose results failed ABFT verification. Both pressures are
+    /// journal-derived, so the step is replay-stable.
     fn phase_degrade(&mut self, t: f64) -> Result<(), ServeError> {
         if self.degrade_t == Some(t) {
             return Ok(()); // transition already journaled this tick
@@ -915,7 +991,13 @@ impl Fleet {
                 .sum();
             depth as f64 / (admitting.len() * self.cfg.serve.admission.queue_cap) as f64
         };
-        if let Some(next) = self.ladder.next_level(pressure, &self.cfg.degrade) {
+        let started = self.counters.get("fleet.batches");
+        let corruption = if started == 0 {
+            0.0
+        } else {
+            self.corruption_x.len() as f64 / started as f64
+        };
+        if let Some(next) = self.ladder.next_level(pressure, corruption, &self.cfg.degrade) {
             self.emit(Record::Degraded { level: next.index(), t_s: t })?;
         }
         Ok(())
@@ -1154,6 +1236,77 @@ mod tests {
             r.conservation.suppressed as u64
         );
         assert!(r.conservation.open.is_empty(), "zero loss under split-brain");
+        assert_eq!(r.offered(), reqs.len());
+    }
+
+    fn corrupt_cfg(seed: u64) -> FleetConfig {
+        FleetConfig {
+            serve: ServeConfig {
+                mode: PlacementMode::Static(SchedulerPolicy::Serial),
+                chaos: Some(crate::exec::ServeChaos {
+                    seed,
+                    evict_batch: None,
+                    corrupt_per_mille: 1000,
+                }),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_journaled_and_resumes_bit_identically() {
+        let reqs = trace(7, 40.0);
+        let cfg = corrupt_cfg(21);
+        let full = run_fleet(&reqs, &cfg).expect("fleet");
+        assert!(
+            full.counters.get("fleet.corruption.detected") > 0,
+            "a saturating flip rate must trip the verifier"
+        );
+        assert_eq!(
+            full.conservation.corruption_detected,
+            full.counters.get("fleet.corruption.detected"),
+            "journal and counters agree on detections"
+        );
+        assert!(full.conservation.open.is_empty(), "zero loss under corruption");
+        assert!(full.conservation.hashed > 0, "real completions carry hashes");
+        assert_eq!(full.offered(), reqs.len());
+        // Resume across the X/R records stays byte-identical: the guard
+        // sets are rebuilt by replay, never double-emitted.
+        let n = full.journal.len();
+        for cut in [n / 3, n / 2, 2 * n / 3] {
+            let mut prefix = Journal::new();
+            for rec in &full.journal.records()[..cut] {
+                prefix.append(rec.clone());
+            }
+            let resumed = resume_fleet(&prefix, &reqs, &cfg).expect("resume");
+            assert_eq!(
+                resumed.journal.encode(),
+                full.journal.encode(),
+                "resume from record {cut}/{n} diverged under corruption"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_corruption_quarantines_the_fleet() {
+        let reqs = trace(7, 80.0);
+        let r = run_fleet(&reqs, &corrupt_cfg(5)).expect("fleet");
+        assert!(r.counters.get("fleet.corruption.detected") > 0);
+        assert!(
+            r.counters.get("fleet.degrade.quarantine") > 0,
+            "corruption pressure must climb the ladder past reject_new"
+        );
+        assert!(
+            r.counters.get("fleet.breaker.open") > 0,
+            "repeat-corrupting shards trip their breakers"
+        );
+        assert_eq!(
+            r.timeline.last_state(r.shards as u32),
+            Some("quarantine"),
+            "corruption never subsided, so the ladder must still be up"
+        );
+        assert!(r.conservation.open.is_empty(), "backlog still drains to zero loss");
         assert_eq!(r.offered(), reqs.len());
     }
 

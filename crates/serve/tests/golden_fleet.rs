@@ -179,6 +179,7 @@ fn node_death_with_transport_chaos_loses_nothing() {
     cfg.serve.chaos = Some(ServeChaos {
         seed: SEED,
         evict_batch: None,
+        corrupt_per_mille: 0,
     });
     let report = run_fleet(&requests, &cfg).expect("fleet");
     assert!(report.counters.get("fleet.shard_down") >= 1, "a shard must die");

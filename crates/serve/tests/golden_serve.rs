@@ -87,6 +87,7 @@ fn chaos_serving_completes_all_accepted_jobs_bit_identically() {
             chaos: Some(ServeChaos {
                 seed: 0xFF7C,
                 evict_batch: None,
+                corrupt_per_mille: 0,
             }),
             ..Default::default()
         },
@@ -119,6 +120,7 @@ fn eviction_on_the_serving_path_matches_direct_hashes() {
             chaos: Some(ServeChaos {
                 seed: 9,
                 evict_batch: Some(0),
+                corrupt_per_mille: 0,
             }),
             ..Default::default()
         },

@@ -31,6 +31,18 @@ pub enum TaskError {
         /// Task-graph wavefront at expiry: running / ready / blocked tasks.
         wavefront: String,
     },
+    /// The OS refused to spawn a worker thread (resource exhaustion at
+    /// pool construction — nothing has run yet, so the caller can retry
+    /// with a smaller pool).
+    Spawn {
+        /// Worker index whose spawn failed.
+        worker: usize,
+        /// Workers already running when the spawn failed (all joined
+        /// before this error is returned).
+        started: usize,
+        /// The OS error text.
+        message: String,
+    },
 }
 
 impl fmt::Display for TaskError {
@@ -52,6 +64,15 @@ impl fmt::Display for TaskError {
                 f,
                 "taskrt deadlock: taskwait timed out after {waited:?}; task-graph \
                  wavefront:\n{wavefront}"
+            ),
+            TaskError::Spawn {
+                worker,
+                started,
+                message,
+            } => write!(
+                f,
+                "taskrt: spawning worker {worker} failed after {started} workers \
+                 started: {message}"
             ),
         }
     }

@@ -200,7 +200,19 @@ impl RuntimeBuilder {
     }
 
     /// Starts the worker pool.
+    ///
+    /// # Panics
+    /// Panics if the OS refuses to spawn a worker thread;
+    /// [`RuntimeBuilder::try_build`] is the non-panicking variant.
     pub fn build(self) -> Runtime {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Starts the worker pool, reporting OS thread-spawn failure as a
+    /// typed [`TaskError::Spawn`] instead of panicking. On failure every
+    /// already-started worker is shut down and joined before the error is
+    /// returned, so nothing leaks.
+    pub fn try_build(self) -> Result<Runtime, TaskError> {
         let inner = Arc::new(Inner {
             sched: Mutex::new(Sched::default()),
             cv_ready: Condvar::new(),
@@ -211,16 +223,33 @@ impl RuntimeBuilder {
             taskwait_timeout: self.taskwait_timeout,
             retries: AtomicU64::new(0),
         });
-        let workers = (0..self.nthreads)
-            .map(|w| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("taskrt-r{}w{}", self.rank, w))
-                    .spawn(move || worker_loop(&inner, w))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Runtime { inner, workers }
+        let mut workers = Vec::with_capacity(self.nthreads);
+        for w in 0..self.nthreads {
+            let handle = std::thread::Builder::new()
+                .name(format!("taskrt-r{}w{}", self.rank, w))
+                .spawn({
+                    let inner = Arc::clone(&inner);
+                    move || worker_loop(&inner, w)
+                });
+            match handle {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    // Tear the partial pool down before reporting: no task
+                    // has run yet (nothing was spawned into the runtime),
+                    // so a plain drain-and-join leaves no state behind.
+                    let started = workers.len();
+                    let mut rt = Runtime { inner, workers };
+                    rt.shutdown_impl();
+                    drop(rt);
+                    return Err(TaskError::Spawn {
+                        worker: w,
+                        started,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Runtime { inner, workers })
     }
 }
 
@@ -691,6 +720,21 @@ mod tests {
         let rt = Runtime::new(2);
         rt.spawn("bad", &[], || panic!("task exploded"));
         rt.taskwait();
+    }
+
+    #[test]
+    fn try_build_starts_a_working_pool() {
+        let rt = Runtime::builder(3).try_build().expect("spawn succeeds");
+        let c = Arc::new(AtomicUsize::new(0));
+        for _ in 0..6 {
+            let c = Arc::clone(&c);
+            rt.spawn("t", &[], move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.try_taskwait().expect("no failures");
+        rt.try_shutdown().expect("clean shutdown");
+        assert_eq!(c.load(Ordering::Relaxed), 6);
     }
 
     #[test]

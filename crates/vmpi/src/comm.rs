@@ -29,6 +29,7 @@
 //! the chaos-determinism property tests pin down.
 
 use crate::error::VmpiError;
+use crate::integrity::{checksum_slice, Checksum};
 use crate::world::{
     CollKey, CollKind, CollSlot, Envelope, Mailbox, P2pKey, RankEvent, WorldShared,
 };
@@ -39,6 +40,10 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A rank's staged variable-length contribution: flat payload,
+/// per-destination counts, per-destination pack-time checksums.
+type VarStaged<T> = (Vec<T>, Vec<usize>, Vec<u64>);
 
 /// A group of ranks with a private communication context.
 #[derive(Clone)]
@@ -337,6 +342,32 @@ impl Communicator {
             .try_wait_inner()
     }
 
+    /// [`Communicator::try_collective`] with a fault-injection hook: after
+    /// the collective's sequence number is allocated (so the decision site
+    /// is fully identified), `tamper` may mutate the staged contribution in
+    /// place — this is where the seeded payload-corruption profile strikes
+    /// the "wire" copy, *after* pack-time checksums were computed.
+    fn try_collective_tampered<C, R, F, G>(
+        &self,
+        kind: CollKind,
+        tag: u32,
+        contribution: C,
+        tamper: G,
+        complete: F,
+    ) -> Result<R, VmpiError>
+    where
+        C: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(Vec<C>) -> Vec<R>,
+        G: FnOnce(&mut C, u64),
+    {
+        if let Some(cause) = self.shared.abort_cause() {
+            return Err(cause);
+        }
+        self.collective_post_tampered(kind, tag, contribution, tamper, complete)
+            .try_wait_inner()
+    }
+
     /// Posts one collective instance without waiting: deposits
     /// `contribution` (completing the operation if this is the last
     /// arrival) and returns a request to collect the result later — the
@@ -353,6 +384,25 @@ impl Communicator {
         C: Send + 'static,
         R: Send + 'static,
         F: FnOnce(Vec<C>) -> Vec<R>,
+    {
+        self.collective_post_tampered(kind, tag, contribution, |_c: &mut C, _seq| {}, complete)
+    }
+
+    /// [`Communicator::collective_post`] with the post-pack `tamper` hook
+    /// (see [`Communicator::try_collective_tampered`]).
+    fn collective_post_tampered<C, R, F, G>(
+        &self,
+        kind: CollKind,
+        tag: u32,
+        mut contribution: C,
+        tamper: G,
+        complete: F,
+    ) -> CollRequest<R>
+    where
+        C: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(Vec<C>) -> Vec<R>,
+        G: FnOnce(&mut C, u64),
     {
         if let Some(engine) = &self.shared.chaos {
             if let Some(pause) = engine.stall_before_collective(self.world_rank()) {
@@ -374,6 +424,9 @@ impl Communicator {
             tag,
             seq,
         };
+        // The staged copy is the NIC-buffer stand-in: anything that mangles
+        // it between here and result pickup models silent wire corruption.
+        tamper(&mut contribution, seq);
         self.shared
             .note(self.world_rank(), RankEvent::CollEnter { key });
         if self.shared.abort_cause().is_some() {
@@ -587,13 +640,13 @@ impl Communicator {
 
     /// `MPI_Alltoall`: `send.len()` must be `size * count`; chunk `j` goes to
     /// rank `j`. The result holds chunk `j` received from rank `j`.
-    pub fn alltoall<T: Clone + Send + 'static>(&self, send: &[T], tag: u32) -> Vec<T> {
+    pub fn alltoall<T: Clone + Send + Checksum + 'static>(&self, send: &[T], tag: u32) -> Vec<T> {
         self.try_alltoall(send, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Like [`Communicator::alltoall`], surfacing timeouts and world aborts
-    /// as [`VmpiError`] values.
-    pub fn try_alltoall<T: Clone + Send + 'static>(
+    /// Like [`Communicator::alltoall`], surfacing timeouts, world aborts
+    /// and checksum failures as [`VmpiError`] values.
+    pub fn try_alltoall<T: Clone + Send + Checksum + 'static>(
         &self,
         send: &[T],
         tag: u32,
@@ -607,9 +660,9 @@ impl Communicator {
     /// caller-owned `recv` (any previous contents replaced).
     ///
     /// # Panics
-    /// On timeout / world abort; [`Communicator::try_alltoall_into`] is the
-    /// non-panicking variant.
-    pub fn alltoall_into<T: Clone + Send + 'static>(
+    /// On timeout / world abort / checksum failure;
+    /// [`Communicator::try_alltoall_into`] is the non-panicking variant.
+    pub fn alltoall_into<T: Clone + Send + Checksum + 'static>(
         &self,
         send: &[T],
         recv: &mut Vec<T>,
@@ -624,11 +677,14 @@ impl Communicator {
     ///
     /// The transport stages exactly one owned copy of `send` (standing in
     /// for the NIC/MPI-internal send buffer — contributions must outlive
-    /// the caller under timeouts and split-phase waits); the completer then
-    /// transposes the staged buffers **in place** and hands each rank its
-    /// own staging buffer back as the receive storage, so the collective
-    /// itself allocates nothing beyond that one staging copy.
-    pub fn try_alltoall_into<T: Clone + Send + 'static>(
+    /// the caller under timeouts and split-phase waits) plus one `u64`
+    /// checksum per destination chunk, computed at pack time; the completer
+    /// then transposes the staged buffers **in place** and hands each rank
+    /// its own staging buffer back as the receive storage. Every chunk is
+    /// re-hashed at unpack; a mismatch with its pack-time checksum returns
+    /// [`VmpiError::Integrity`] naming the peer, and nothing is written to
+    /// `recv`.
+    pub fn try_alltoall_into<T: Clone + Send + Checksum + 'static>(
         &self,
         send: &[T],
         recv: &mut Vec<T>,
@@ -644,24 +700,52 @@ impl Communicator {
         let count = send.len() / size;
         let t0 = self.now();
         let bytes = std::mem::size_of_val(send);
-        let out = self.try_collective(
+        let (data, sums) = self.try_collective_tampered(
             CollKind::Alltoall,
             tag,
-            send.to_vec(),
-            move |mut contribs: Vec<Vec<T>>| {
-                transpose_chunks(&mut contribs, count);
-                contribs
-            },
+            (send.to_vec(), pack_sums_uniform(send, count, size)),
+            self.uniform_chunk_tamper(count, tag),
+            move |contribs: Vec<(Vec<T>, Vec<u64>)>| complete_alltoall_checksummed(contribs, count),
         )?;
-        *recv = out;
+        verify_uniform_chunks(&data, count, &sums, tag)?;
+        *recv = data;
         let t1 = self.now();
         self.record(CommOp::Alltoall, bytes, t0, t1);
         Ok(())
     }
 
+    /// The payload-corruption hook for uniform-chunk alltoalls: a tamper
+    /// closure that asks the chaos engine, per destination chunk, whether
+    /// the seeded corruption profile strikes this `(site, seq)` — and if so
+    /// flips one bit of the *staged* copy. A no-op without a chaos engine
+    /// or corruption profile.
+    fn uniform_chunk_tamper<T: Checksum + Send + 'static>(
+        &self,
+        count: usize,
+        tag: u32,
+    ) -> impl FnOnce(&mut (Vec<T>, Vec<u64>), u64) {
+        let chaos = self.shared.chaos.clone();
+        let comm = self.id;
+        let me = self.index;
+        let size = self.size();
+        move |staged, seq| {
+            let Some(engine) = chaos else { return };
+            for dst in 0..size {
+                if let Some(strike) = engine.plan_chunk_corruption(comm, me, dst, u64::from(tag), seq)
+                {
+                    let chunk = &mut staged.0[dst * count..(dst + 1) * count];
+                    if !chunk.is_empty() {
+                        let i = strike.index(chunk.len());
+                        chunk[i].flip_bit(strike.bit);
+                    }
+                }
+            }
+        }
+    }
+
     /// `MPI_Alltoallv`: `send[j]` is the (arbitrary-length) slice for rank
     /// `j`; the result's entry `j` is what rank `j` sent to the caller.
-    pub fn alltoallv<T: Clone + Send + Sync + 'static>(
+    pub fn alltoallv<T: Clone + Send + Sync + Checksum + 'static>(
         &self,
         send: Vec<Vec<T>>,
         tag: u32,
@@ -670,10 +754,10 @@ impl Communicator {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Like [`Communicator::alltoallv`], surfacing timeouts and world
-    /// aborts as [`VmpiError`] values. Thin wrapper over
+    /// Like [`Communicator::alltoallv`], surfacing timeouts, world aborts
+    /// and checksum failures as [`VmpiError`] values. Thin wrapper over
     /// [`Communicator::try_alltoallv_into`] (flatten, exchange, split).
-    pub fn try_alltoallv<T: Clone + Send + Sync + 'static>(
+    pub fn try_alltoallv<T: Clone + Send + Sync + Checksum + 'static>(
         &self,
         send: Vec<Vec<T>>,
         tag: u32,
@@ -698,8 +782,8 @@ impl Communicator {
     /// [`Communicator::try_alltoallv_into`]).
     ///
     /// # Panics
-    /// On timeout / world abort.
-    pub fn alltoallv_into<T: Clone + Send + Sync + 'static>(
+    /// On timeout / world abort / checksum failure.
+    pub fn alltoallv_into<T: Clone + Send + Sync + Checksum + 'static>(
         &self,
         send: &[T],
         send_counts: &[usize],
@@ -717,12 +801,15 @@ impl Communicator {
     /// offset `recv_counts[..j].sum()` (both caller-owned buffers are
     /// cleared and refilled, reusing their capacity).
     ///
-    /// The transport stages one owned copy of `(send, send_counts)`; the
-    /// completer shares the staged contributions among all participants
-    /// without copying or reshaping them (one `Arc` per collective), and
-    /// each rank gathers its own segments straight into `recv` at pickup —
-    /// no per-rank result buffers are ever built.
-    pub fn try_alltoallv_into<T: Clone + Send + Sync + 'static>(
+    /// The transport stages one owned copy of `(send, send_counts)` plus
+    /// one pack-time checksum per destination segment; the completer shares
+    /// the staged contributions among all participants without copying or
+    /// reshaping them (one `Arc` per collective), and each rank gathers its
+    /// own segments straight into `recv` at pickup — no per-rank result
+    /// buffers are ever built. Each segment is re-hashed at gather; on a
+    /// mismatch with the sender's pack-time checksum, `recv`/`recv_counts`
+    /// are left cleared and [`VmpiError::Integrity`] names the peer.
+    pub fn try_alltoallv_into<T: Clone + Send + Sync + Checksum + 'static>(
         &self,
         send: &[T],
         send_counts: &[usize],
@@ -743,11 +830,13 @@ impl Communicator {
         );
         let t0 = self.now();
         let bytes = std::mem::size_of_val(send);
-        let all: Arc<Vec<(Vec<T>, Vec<usize>)>> = self.try_collective(
+        let sums = pack_sums_var(send, send_counts);
+        let all: Arc<Vec<VarStaged<T>>> = self.try_collective_tampered(
             CollKind::Alltoallv,
             tag,
-            (send.to_vec(), send_counts.to_vec()),
-            move |contribs: Vec<(Vec<T>, Vec<usize>)>| {
+            (send.to_vec(), send_counts.to_vec(), sums),
+            self.var_chunk_tamper(tag),
+            move |contribs: Vec<VarStaged<T>>| {
                 let shared = Arc::new(contribs);
                 (0..size).map(|_| Arc::clone(&shared)).collect()
             },
@@ -755,16 +844,58 @@ impl Communicator {
         recv.clear();
         recv_counts.clear();
         let me = self.index;
-        for (flat, counts) in all.iter() {
+        for (peer, (flat, counts, sums)) in all.iter().enumerate() {
             assert_eq!(counts.len(), size, "alltoallv: peer count-vector size");
             let offset: usize = counts[..me].iter().sum();
             let len = counts[me];
-            recv.extend_from_slice(&flat[offset..offset + len]);
+            let segment = &flat[offset..offset + len];
+            let expected = sums[me];
+            let got = checksum_slice(segment);
+            if got != expected {
+                // Deliver nothing: a partially filled recv would hand the
+                // caller a mix of verified and unverified segments.
+                recv.clear();
+                recv_counts.clear();
+                return Err(VmpiError::Integrity {
+                    peer,
+                    tag,
+                    expected,
+                    got,
+                });
+            }
+            recv.extend_from_slice(segment);
             recv_counts.push(len);
         }
         let t1 = self.now();
         self.record(CommOp::Alltoallv, bytes, t0, t1);
         Ok(())
+    }
+
+    /// [`Communicator::uniform_chunk_tamper`] for variable-length segments:
+    /// strike offsets follow the staged count vector.
+    fn var_chunk_tamper<T: Checksum + Send + 'static>(
+        &self,
+        tag: u32,
+    ) -> impl FnOnce(&mut VarStaged<T>, u64) {
+        let chaos = self.shared.chaos.clone();
+        let comm = self.id;
+        let me = self.index;
+        move |staged, seq| {
+            let Some(engine) = chaos else { return };
+            let mut offset = 0;
+            for dst in 0..staged.1.len() {
+                let len = staged.1[dst];
+                if let Some(strike) = engine.plan_chunk_corruption(comm, me, dst, u64::from(tag), seq)
+                {
+                    let chunk = &mut staged.0[offset..offset + len];
+                    if !chunk.is_empty() {
+                        let i = strike.index(chunk.len());
+                        chunk[i].flip_bit(strike.bit);
+                    }
+                }
+                offset += len;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -818,7 +949,7 @@ impl Communicator {
     /// `(tag, sequence)` rules as [`Communicator::alltoall`] — the two may
     /// be mixed on one communicator as long as every rank issues them in
     /// the same order per tag.
-    pub fn ialltoall<T: Clone + Send + 'static>(
+    pub fn ialltoall<T: Clone + Send + Checksum + 'static>(
         &self,
         send: &[T],
         tag: u32,
@@ -832,19 +963,19 @@ impl Communicator {
         );
         let count = send.len() / size;
         let bytes = std::mem::size_of_val(send);
-        let inner = self.collective_post(
+        let inner = self.collective_post_tampered(
             CollKind::Alltoall,
             tag,
-            send.to_vec(),
-            move |mut contribs: Vec<Vec<T>>| {
-                transpose_chunks(&mut contribs, count);
-                contribs
-            },
+            (send.to_vec(), pack_sums_uniform(send, count, size)),
+            self.uniform_chunk_tamper(count, tag),
+            move |contribs: Vec<(Vec<T>, Vec<u64>)>| complete_alltoall_checksummed(contribs, count),
         );
         AlltoallRequest {
             inner,
             comm: self.clone(),
             bytes,
+            tag,
+            count,
         }
     }
 
@@ -935,6 +1066,65 @@ fn transpose_chunks<T>(contribs: &mut [Vec<T>], count: usize) {
                 .swap_with_slice(&mut b[0][i * count..(i + 1) * count]);
         }
     }
+}
+
+/// Pack-time checksums for a uniform-chunk alltoall: `sums[j]` hashes the
+/// chunk destined for rank `j`, computed from the caller's buffer *before*
+/// the staged copy can be tampered with.
+fn pack_sums_uniform<T: Checksum>(send: &[T], count: usize, size: usize) -> Vec<u64> {
+    (0..size)
+        .map(|j| checksum_slice(&send[j * count..(j + 1) * count]))
+        .collect()
+}
+
+/// Pack-time checksums for variable-length segments (`alltoallv`).
+fn pack_sums_var<T: Checksum>(send: &[T], counts: &[usize]) -> Vec<u64> {
+    let mut sums = Vec::with_capacity(counts.len());
+    let mut offset = 0;
+    for &len in counts {
+        sums.push(checksum_slice(&send[offset..offset + len]));
+        offset += len;
+    }
+    sums
+}
+
+/// Completer of a checksummed alltoall: transposes the staged data buffers
+/// in place (each rank's staging buffer becomes its receive buffer) and
+/// transposes the checksum matrix alongside, so rank `i`'s result carries
+/// `sums[j]` = the checksum rank `j` computed for the chunk it sent to `i`.
+fn complete_alltoall_checksummed<T>(
+    contribs: Vec<(Vec<T>, Vec<u64>)>,
+    count: usize,
+) -> Vec<(Vec<T>, Vec<u64>)> {
+    let (mut datas, sums): (Vec<Vec<T>>, Vec<Vec<u64>>) = contribs.into_iter().unzip();
+    transpose_chunks(&mut datas, count);
+    datas
+        .into_iter()
+        .enumerate()
+        .map(|(i, data)| (data, sums.iter().map(|s| s[i]).collect()))
+        .collect()
+}
+
+/// Unpack-time verification of a uniform-chunk alltoall: re-hashes every
+/// received chunk against its sender's pack-time checksum.
+fn verify_uniform_chunks<T: Checksum>(
+    data: &[T],
+    count: usize,
+    sums: &[u64],
+    tag: u32,
+) -> Result<(), VmpiError> {
+    for (peer, &expected) in sums.iter().enumerate() {
+        let got = checksum_slice(&data[peer * count..(peer + 1) * count]);
+        if got != expected {
+            return Err(VmpiError::Integrity {
+                peer,
+                tag,
+                expected,
+                got,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// splitmix64 finalizer — derives deterministic shrunk-communicator ids.
@@ -1120,12 +1310,16 @@ impl<R> Drop for CollRequest<R> {
 
 /// A pending nonblocking alltoall (see [`Communicator::ialltoall`]).
 pub struct AlltoallRequest<T> {
-    inner: CollRequest<Vec<T>>,
+    inner: CollRequest<(Vec<T>, Vec<u64>)>,
     comm: Communicator,
     bytes: usize,
+    /// Collective tag, reported by integrity errors at wait time.
+    tag: u32,
+    /// Per-peer chunk length, for checksum verification at wait time.
+    count: usize,
 }
 
-impl<T: Clone + Send + 'static> AlltoallRequest<T> {
+impl<T: Clone + Send + Checksum + 'static> AlltoallRequest<T> {
     /// True once every rank has posted and the exchange is complete.
     pub fn test(&self) -> bool {
         self.inner.test()
@@ -1145,16 +1339,20 @@ impl<T: Clone + Send + 'static> AlltoallRequest<T> {
         self.try_wait().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Like [`AlltoallRequest::wait`], surfacing timeouts and world aborts
-    /// (e.g. a peer dropping its request) as [`VmpiError`] values.
+    /// Like [`AlltoallRequest::wait`], surfacing timeouts, world aborts
+    /// (e.g. a peer dropping its request) and checksum failures as
+    /// [`VmpiError`] values.
     pub fn try_wait(self) -> Result<Vec<T>, VmpiError> {
         let t0 = self.comm.now();
         let bytes = self.bytes;
+        let tag = self.tag;
+        let count = self.count;
         let comm = self.comm.clone();
-        let out = self.inner.try_wait_inner()?;
+        let (data, sums) = self.inner.try_wait_inner()?;
+        verify_uniform_chunks(&data, count, &sums, tag)?;
         let t1 = comm.now();
         comm.record(CommOp::Alltoall, bytes, t0, t1);
-        Ok(out)
+        Ok(data)
     }
 
     /// [`AlltoallRequest::try_wait`] into a caller-owned buffer (previous

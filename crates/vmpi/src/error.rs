@@ -46,6 +46,22 @@ pub enum VmpiError {
         /// What was violated where.
         context: String,
     },
+    /// A checksummed exchange chunk failed verification at unpack: the
+    /// data `peer` packed does not match what arrived. Unlike the other
+    /// variants this one is *survivable* — nothing is wedged, the world
+    /// stays up, and the caller's recovery path (band-batch rollback,
+    /// recompute, eviction of a persistently flaky peer) replays the
+    /// exchange.
+    Integrity {
+        /// The rank whose chunk failed verification.
+        peer: usize,
+        /// Tag of the collective carrying the chunk.
+        tag: u32,
+        /// Checksum computed at pack time.
+        expected: u64,
+        /// Checksum recomputed at unpack.
+        got: u64,
+    },
 }
 
 impl fmt::Display for VmpiError {
@@ -73,6 +89,16 @@ impl fmt::Display for VmpiError {
             VmpiError::Protocol { context } => {
                 write!(f, "vmpi: collective protocol violation: {context}")
             }
+            VmpiError::Integrity {
+                peer,
+                tag,
+                expected,
+                got,
+            } => write!(
+                f,
+                "vmpi: integrity violation: chunk from rank {peer} (tag {tag}) failed \
+                 checksum verification at unpack (packed {expected:#018x}, got {got:#018x})"
+            ),
         }
     }
 }
@@ -103,6 +129,22 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("protocol violation"));
         assert!(s.contains("duplicate contribution"));
+    }
+
+    #[test]
+    fn integrity_names_peer_tag_and_both_checksums() {
+        let e = VmpiError::Integrity {
+            peer: 3,
+            tag: 12,
+            expected: 0xDEAD,
+            got: 0xBEEF,
+        };
+        let s = e.to_string();
+        assert!(s.contains("integrity violation"));
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("tag 12"));
+        assert!(s.contains("0x000000000000dead"));
+        assert!(s.contains("0x000000000000beef"));
     }
 
     #[test]

@@ -11,14 +11,21 @@
 //! Collectives are tag-qualified so that several can be in flight on one
 //! communicator at once (one per concurrently executing FFT task). Every
 //! operation can be recorded into an [`fftx_trace::TraceSink`].
+//!
+//! The alltoall family is *checksummed end to end*: every chunk is hashed
+//! when the transport stages it and verified before it reaches the caller's
+//! receive buffer, so silent payload corruption surfaces as a typed
+//! [`VmpiError::Integrity`] instead of wrong numbers (see [`integrity`]).
 
 #![warn(missing_docs)]
 
 pub mod comm;
 pub mod error;
+pub mod integrity;
 pub mod world;
 
 pub use comm::{AlltoallRequest, Communicator};
 pub use error::VmpiError;
+pub use integrity::{checksum_slice, Checksum};
 pub use fftx_fault::{ChaosConfig, FaultReport, StallConfig};
 pub use world::World;

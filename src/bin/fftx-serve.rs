@@ -34,6 +34,8 @@ const USAGE: &str = "usage: fftx-serve [options]
   --chaos SEED     inject chaos on the serving path (implies --real)
   --evict N        with --chaos: force batch N onto the 7x1 layout and
                    kill rank 1 mid-run (eviction demo)
+  --corrupt N      with --chaos: inject N-per-mille seeded bit flips per
+                   batch; results are ABFT-verified, never delivered corrupt
   --fleet N        serve through N supervised shard nodes: durable job
                    journal, heartbeat circuit breakers, node-death failover,
                    and the graceful-degradation ladder
@@ -58,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
     let mut serve = ServeConfig::default();
     let mut evict: Option<usize> = None;
     let mut chaos_seed: Option<u64> = None;
+    let mut corrupt: u32 = 0;
     let mut fleet: Option<usize> = None;
     let mut faults = FleetFaults { seed: 7, ..FleetFaults::default() };
     let mut faults_given = false;
@@ -120,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
             "--real" => serve.execute_real = true,
             "--chaos" => chaos_seed = Some(val("--chaos")?.parse().map_err(|e| format!("{e}"))?),
             "--evict" => evict = Some(val("--evict")?.parse().map_err(|e| format!("{e}"))?),
+            "--corrupt" => corrupt = val("--corrupt")?.parse().map_err(|e| format!("{e}"))?,
             "--why" => why = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
@@ -129,9 +133,10 @@ fn parse_args() -> Result<Args, String> {
         serve.chaos = Some(ServeChaos {
             seed,
             evict_batch: evict,
+            corrupt_per_mille: corrupt,
         });
-    } else if evict.is_some() {
-        return Err("--evict requires --chaos".into());
+    } else if evict.is_some() || corrupt > 0 {
+        return Err("--evict/--corrupt require --chaos".into());
     }
     if fleet.is_none() && (faults_given || replay_check) {
         return Err("--fault-seed/--p-death/--p-slow/--slow-max/--p-partition/--replay-check require --fleet".into());
