@@ -11,7 +11,7 @@
 //! variability is what dynamic scheduling absorbs; the network model carries
 //! the communication-efficiency decay.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness};
 use fftx_core::{run_modeled_with, FftxConfig, Mode};
 use fftx_knlsim::{CommModel, ContentionModel, KnlConfig};
 use fftx_trace::StateClass;
@@ -58,7 +58,8 @@ fn main() {
         rows.push_str(&format!("{name},ompss,{:.6},{:.4}\n", ompss.runtime, it));
         table.push((name.to_string(), orig.runtime, ompss.runtime, io, it));
     }
-    write_artifact("ablation_contention.csv", &rows);
+    let mut h = Harness::new("ablation_contention");
+    h.artifact("ablation_contention.csv", &rows, CheckKind::Byte);
     println!();
 
     let find = |n: &str| table.iter().find(|t| t.0 == n).expect("variant present");
@@ -67,39 +68,51 @@ fn main() {
     let nn = find("no noise");
     let ic = find("ideal network");
 
-    let checks = vec![
-        ShapeCheck::new(
-            "node contention causes the IPC collapse",
-            nc.3 > 1.2 * full_row.3,
-            format!(
-                "original main IPC {:.3} without contention vs {:.3} with",
-                nc.3, full_row.3
-            ),
-        ),
-        ShapeCheck::new(
-            "without contention the node is much faster",
-            nc.1 < 0.75 * full_row.1,
-            format!("{:.4}s vs {:.4}s", nc.1, full_row.1),
-        ),
-        ShapeCheck::new(
-            "per-band variability is what the dynamic scheduler absorbs",
-            {
-                // Without noise, the OmpSs advantage shrinks markedly.
-                let gain_full = 1.0 - full_row.2 / full_row.1;
-                let gain_nn = 1.0 - nn.2 / nn.1;
-                gain_nn < 0.6 * gain_full
-            },
-            format!(
-                "gain with noise {:+.1}%, without {:+.1}%",
-                (1.0 - full_row.2 / full_row.1) * 100.0,
-                (1.0 - nn.2 / nn.1) * 100.0
-            ),
-        ),
-        ShapeCheck::new(
-            "the network model carries a real share of the runtime",
-            ic.1 < full_row.1 * 0.99,
-            format!("ideal network {:.4}s vs {:.4}s", ic.1, full_row.1),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+    let gain_full = 1.0 - full_row.2 / full_row.1;
+    let gain_nn = 1.0 - nn.2 / nn.1;
+    println!(
+        "gain with noise {:+.1}%, without {:+.1}%; ideal network {:.4}s vs {:.4}s",
+        gain_full * 100.0,
+        gain_nn * 100.0,
+        ic.1,
+        full_row.1
+    );
+    h.metric_f64("full_original_s", full_row.1, 6)
+        .metric_f64("full_main_ipc", full_row.3, 4)
+        .metric_f64("no_contention_main_ipc", nc.3, 4)
+        .metric_f64("no_contention_ipc_ratio", nc.3 / full_row.3, 4)
+        .metric_f64("no_contention_runtime_ratio", nc.1 / full_row.1, 4)
+        .metric_f64("gain_with_noise", gain_full, 4)
+        .metric_f64("gain_without_noise", gain_nn, 4)
+        .metric_f64(
+            "noise_gain_ratio",
+            if gain_full != 0.0 { gain_nn / gain_full } else { f64::NAN },
+            4,
+        )
+        .metric_f64("ideal_network_runtime_ratio", ic.1 / full_row.1, 4);
+    h.gate(
+        "node contention causes the IPC collapse",
+        "no_contention_ipc_ratio",
+        GateOp::Ge,
+        1.2,
+    )
+    .gate(
+        "without contention the node is much faster",
+        "no_contention_runtime_ratio",
+        GateOp::Le,
+        0.75,
+    )
+    .gate(
+        "per-band variability is what the dynamic scheduler absorbs",
+        "noise_gain_ratio",
+        GateOp::Le,
+        0.6,
+    )
+    .gate(
+        "the network model carries a real share of the runtime",
+        "ideal_network_runtime_ratio",
+        GateOp::Le,
+        0.99,
+    );
+    std::process::exit(h.finish());
 }

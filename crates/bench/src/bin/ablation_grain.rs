@@ -4,7 +4,7 @@
 //! how the grain size trades scheduling overhead against load balance for
 //! the z-stick FFT batch — the workload those grains were chosen for.
 
-use fftx_bench::{report_checks, write_artifact_volatile, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness};
 use fftx_fft::{c64, cft_1z, Complex64, Direction, Fft};
 use fftx_taskrt::Runtime;
 use std::sync::Arc;
@@ -82,48 +82,64 @@ fn main() {
         rows.push_str(&format!("{g},{},{t:.6},{:.3}\n", nsl.div_ceil(g), serial / t));
         times.push(t);
     }
-    write_artifact_volatile("ablation_grain.csv", &rows);
+    let mut h = Harness::new_volatile("ablation_grain");
+    h.artifact("ablation_grain.csv", &rows, CheckKind::Structure);
     println!();
 
     // Paper grains: 10 (xy rows) and 200 (z sticks).
     let t10 = times[2];
     let t200 = times[4];
     let t1 = times[0];
+    let t2000 = times[6];
     let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("(host has {cores} core(s) — speedup checks only apply on multi-core hosts)
 ");
-    let mut checks = vec![
-        ShapeCheck::new(
-            "moderate grains (the paper's 10/200) are near-optimal",
-            t10.min(t200) < 1.35 * best,
-            format!("grain10 {t10:.4}s, grain200 {t200:.4}s, best {best:.4}s"),
-        ),
-        ShapeCheck::new(
-            "grain-1 pays visible scheduling overhead vs the best grain",
-            t1 > best,
-            format!("grain1 {t1:.4}s vs best {best:.4}s"),
-        ),
-        ShapeCheck::new(
-            "taskloop overhead at a sensible grain stays below ~35%",
-            t200 < 1.35 * serial,
-            format!("grain200 {t200:.4}s vs serial {serial:.4}s"),
-        ),
-    ];
+    h.metric_f64("serial_s", serial, 6)
+        .metric_f64("grain1_s", t1, 6)
+        .metric_f64("grain10_s", t10, 6)
+        .metric_f64("grain200_s", t200, 6)
+        .metric_f64("grain2000_s", t2000, 6)
+        .metric_f64("best_s", best, 6)
+        .metric_f64("paper_grain_vs_best_ratio", t10.min(t200) / best, 4)
+        .metric_f64("grain1_vs_best_ratio", t1 / best, 4)
+        .metric_f64("grain200_vs_serial_ratio", t200 / serial, 4)
+        .metric_u64("host_cores", cores as u64);
+    h.gate(
+        "moderate grains (the paper's 10/200) are near-optimal",
+        "paper_grain_vs_best_ratio",
+        GateOp::Le,
+        1.35,
+    )
+    .gate(
+        "grain-1 pays visible scheduling overhead vs the best grain",
+        "grain1_vs_best_ratio",
+        GateOp::Ge,
+        1.0,
+    )
+    .gate(
+        "taskloop overhead at a sensible grain stays below ~35%",
+        "grain200_vs_serial_ratio",
+        GateOp::Le,
+        1.35,
+    );
     if cores > 1 {
-        let t2000 = times[6];
-        checks.push(ShapeCheck::new(
+        h.metric_f64("grain2000_vs_best_ratio", t2000 / best, 4)
+            .metric_f64("best_vs_serial_ratio", best / serial, 4);
+        h.gate(
             "a single huge task cannot use the threads",
-            t2000 > 1.2 * best,
-            format!("grain2000 {t2000:.4}s vs best {best:.4}s"),
-        ));
-        checks.push(ShapeCheck::new(
+            "grain2000_vs_best_ratio",
+            GateOp::Ge,
+            1.2,
+        )
+        .gate(
             "parallel execution beats serial at a sensible grain",
-            best < serial,
-            format!("best {best:.4}s vs serial {serial:.4}s"),
-        ));
+            "best_vs_serial_ratio",
+            GateOp::Le,
+            1.0,
+        );
     }
-    std::process::exit(report_checks(&checks));
+    std::process::exit(h.finish());
 }

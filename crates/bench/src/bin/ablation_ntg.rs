@@ -4,7 +4,7 @@
 //! each rank FFTs whole bands alone). The paper: "All the options between
 //! these two extreme cases should be benchmarked" — this binary does.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness};
 use fftx_core::{run_modeled, FftxConfig, Mode};
 use fftx_trace::{render_bar_chart, CommOp};
 
@@ -73,41 +73,61 @@ fn main() {
         "{}",
         render_bar_chart("runtime vs task-group count (64 ranks)", &labels, &[("orig".into(), runtimes.clone())], 40)
     );
-    write_artifact("ablation_ntg.csv", &rows);
+    let mut h = Harness::new("ablation_ntg");
+    h.artifact("ablation_ntg.csv", &rows, CheckKind::Byte);
 
     let best = runtimes
         .iter()
         .cloned()
         .fold(f64::INFINITY, f64::min);
-    let checks = vec![
-        ShapeCheck::new(
-            "with ntg=1 the scatter dominates the communication",
-            scatter_times[0] > 5.0 * pack_times[0].max(1e-12),
-            format!("scatter {:.4}s vs pack {:.4}s", scatter_times[0], pack_times[0]),
-        ),
-        ShapeCheck::new(
-            "with ntg=64 the pack/unpack dominates the communication",
-            pack_times[6] > 5.0 * scatter_times[6].max(1e-12),
-            format!("pack {:.4}s vs scatter {:.4}s", pack_times[6], scatter_times[6]),
-        ),
-        ShapeCheck::new(
-            "task groups beat the no-task-group baseline (ntg=1)",
-            best < runtimes[0],
-            format!("best {best:.4}s vs ntg=1 {:.4}s", runtimes[0]),
-        ),
-        ShapeCheck::new(
-            "the paper's default ntg=8 is within 10% of the sweep's best",
-            runtimes[3] < 1.10 * best,
-            format!("ntg=8 {:.4}s vs best {best:.4}s", runtimes[3]),
-        ),
-        ShapeCheck::new(
-            "scatter time per rank shrinks as task groups grow",
+    h.metric_f64("best_runtime_s", best, 6)
+        .metric_f64("ntg1_runtime_s", runtimes[0], 6)
+        .metric_f64("ntg8_runtime_s", runtimes[3], 6)
+        .metric_f64(
+            "ntg1_scatter_vs_pack_ratio",
+            scatter_times[0] / pack_times[0].max(1e-12),
+            2,
+        )
+        .metric_f64(
+            "ntg64_pack_vs_scatter_ratio",
+            pack_times[6] / scatter_times[6].max(1e-12),
+            2,
+        )
+        .metric_bool("task_groups_beat_ntg1", best < runtimes[0])
+        .metric_f64("ntg8_vs_best_ratio", runtimes[3] / best, 4)
+        .metric_bool(
+            "scatter_shrinks_with_groups",
             scatter_times[0] > scatter_times[3] && scatter_times[3] > scatter_times[6],
-            format!(
-                "{:.4}s -> {:.4}s -> {:.4}s",
-                scatter_times[0], scatter_times[3], scatter_times[6]
-            ),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+        );
+    h.gate(
+        "with ntg=1 the scatter dominates the communication",
+        "ntg1_scatter_vs_pack_ratio",
+        GateOp::Ge,
+        5.0,
+    )
+    .gate(
+        "with ntg=64 the pack/unpack dominates the communication",
+        "ntg64_pack_vs_scatter_ratio",
+        GateOp::Ge,
+        5.0,
+    )
+    .gate(
+        "task groups beat the no-task-group baseline (ntg=1)",
+        "task_groups_beat_ntg1",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "the paper's default ntg=8 is within 10% of the sweep's best",
+        "ntg8_vs_best_ratio",
+        GateOp::Le,
+        1.10,
+    )
+    .gate(
+        "scatter time per rank shrinks as task groups grow",
+        "scatter_shrinks_with_groups",
+        GateOp::Eq,
+        1.0,
+    );
+    std::process::exit(h.finish());
 }

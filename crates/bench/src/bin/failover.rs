@@ -14,14 +14,14 @@
 //!   the run's real batch executions beyond what the live tail needs
 //!   anyway (the journal's completion hashes make replay execution-free).
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness};
 use fftx_serve::{
     generate, resume_fleet, run_fleet, AdmissionConfig, FleetConfig, FleetFaults, FleetReport,
     Journal, LoadProfile, Record, ServeConfig, TrafficConfig,
 };
 use std::fmt::Write as _;
 
-const SEED: u64 = 20170814;
+const SEED: u64 = fftx_bench::harness::SEED;
 /// Fault-injection seed for the death sweep (chosen so each fleet size
 /// loses at least one shard inside the horizon).
 const FAULT_SEED: u64 = 3;
@@ -112,7 +112,8 @@ fn main() {
         );
         sweep.push((shards, requests.len(), r));
     }
-    write_artifact("failover.csv", &csv);
+    let mut h = Harness::new("recovery");
+    h.artifact("failover.csv", &csv, CheckKind::Byte);
     let sweep_conserved = sweep.iter().all(|(_, n, r)| conserved(r, *n));
     let sweep_deaths = sweep.iter().all(|(_, _, r)| r.counters.get("fleet.shard_down") >= 1);
     let sweep_rerouted = sweep.iter().all(|(_, _, r)| r.counters.get("fleet.failover.jobs") >= 1);
@@ -202,64 +203,69 @@ fn main() {
     );
     println!();
 
-    // --- BENCH_recovery.json: headline numbers, stable formatting. ---
+    // --- BENCH_recovery.json through the shared harness: headline numbers
+    // plus the gates (thresholds travel with the artifact). ---
     let (_, _, r3) = &sweep[0];
     let mut fl3 = r3.failover_latencies();
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"seed\": {SEED},");
-    let _ = writeln!(json, "  \"fault_seed\": {FAULT_SEED},");
-    let _ = writeln!(json, "  \"p_death\": 0.6,");
-    let _ = writeln!(json, "  \"shard_deaths_3\": {},", r3.counters.get("fleet.shard_down"));
-    let _ = writeln!(json, "  \"jobs_rerouted_3\": {},", r3.counters.get("fleet.failover.jobs"));
-    let _ = writeln!(json, "  \"failover_p50_s\": {:.6},", fl3.p50());
-    let _ = writeln!(json, "  \"failover_p99_s\": {:.6},", fl3.p99());
-    let _ = writeln!(json, "  \"replay_cuts\": {:?},", cuts);
-    let _ = writeln!(json, "  \"replay_bit_identical\": {bit_identical},");
-    let _ = writeln!(json, "  \"replay_overhead_pct\": {max_overhead_pct:.4},");
-    let _ = writeln!(json, "  \"replay_real_executions\": {exec_full},");
-    let _ = writeln!(json, "  \"degrade_transitions\": {degrade_moves},");
-    let _ = writeln!(json, "  \"degrade_shed\": {degrade_shed},");
-    let _ = writeln!(json, "  \"degrade_recovered\": {degrade_recovered},");
-    let _ = writeln!(json, "  \"zero_loss\": {}", sweep_conserved && replay_conserved);
-    json.push_str("}\n");
-    write_artifact("BENCH_recovery.json", &json);
-    println!();
-
-    let checks = vec![
-        ShapeCheck::new(
-            "node death loses no accepted job (conservation audit)",
-            sweep_conserved && replay_conserved,
-            format!(
-                "3-shard: {} accepted = {} completed; 5-shard and replay runs audited too",
-                r3.conservation.accepted, r3.conservation.completed
-            ),
-        ),
-        ShapeCheck::new(
-            "death profile kills shards and failover re-routes their jobs",
+    h.metric_u64("fault_seed", FAULT_SEED)
+        .metric_f64("p_death", 0.6, 1)
+        .metric_u64("shard_deaths_3", r3.counters.get("fleet.shard_down"))
+        .metric_u64("jobs_rerouted_3", r3.counters.get("fleet.failover.jobs"))
+        .metric_f64("failover_p50_s", fl3.p50(), 6)
+        .metric_f64("failover_p99_s", fl3.p99(), 6)
+        .metric(
+            "replay_cuts",
+            fftx_bench::MetricValue::UInts(cuts.iter().map(|&c| c as u64).collect()),
+        )
+        .metric_bool("replay_bit_identical", bit_identical)
+        .metric_f64("replay_overhead_pct", max_overhead_pct, 4)
+        .metric_u64("replay_real_executions", exec_full)
+        .metric_u64("degrade_transitions", degrade_moves)
+        .metric_u64("degrade_shed", degrade_shed)
+        .metric_bool("degrade_recovered", degrade_recovered)
+        .metric_bool("zero_loss", sweep_conserved && replay_conserved)
+        .metric_bool(
+            "failover_engaged",
             sweep_deaths && sweep_rerouted,
-            format!(
-                "3-shard: {} dead / {} re-routed; 5-shard: {} dead / {} re-routed",
-                sweep[0].2.counters.get("fleet.shard_down"),
-                sweep[0].2.counters.get("fleet.failover.jobs"),
-                sweep[1].2.counters.get("fleet.shard_down"),
-                sweep[1].2.counters.get("fleet.failover.jobs"),
-            ),
-        ),
-        ShapeCheck::new(
-            "resume from every probed crash point is journal bit-identical",
-            bit_identical,
-            format!("cuts {cuts:?} of {n} records, real execution"),
-        ),
-        ShapeCheck::new(
-            "journal replay re-executes at most 5% beyond the live tail",
-            max_overhead_pct <= 5.0,
-            format!("max overhead {max_overhead_pct:.2}% of {exec_full} batch executions"),
-        ),
-        ShapeCheck::new(
-            "overload walks the degradation ladder and recovers",
+        )
+        .metric_bool(
+            "degrade_ladder_walked",
             degrade_moves > 0 && degrade_shed > 0 && degrade_recovered,
-            format!("{degrade_moves} transitions, {degrade_shed} shed, recovered {degrade_recovered}"),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+        );
+    println!(
+        "gates: 3-shard {} dead / {} re-routed; replay cuts {cuts:?} of {n} records",
+        r3.counters.get("fleet.shard_down"),
+        r3.counters.get("fleet.failover.jobs"),
+    );
+    h.gate(
+        "node death loses no accepted job (conservation audit)",
+        "zero_loss",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "death profile kills shards and failover re-routes their jobs",
+        "failover_engaged",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "resume from every probed crash point is journal bit-identical",
+        "replay_bit_identical",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "journal replay re-executes at most 5% beyond the live tail",
+        "replay_overhead_pct",
+        GateOp::Le,
+        5.0,
+    )
+    .gate(
+        "overload walks the degradation ladder and recovers",
+        "degrade_ladder_walked",
+        GateOp::Eq,
+        1.0,
+    );
+    std::process::exit(h.finish());
 }

@@ -1,0 +1,125 @@
+//! Real-engine FFT benchmark: throughput and correctness of the native
+//! kernels that every modeled run ultimately prices. Emits
+//! `BENCH_fft.json` — the throughput numbers are wall-clock (volatile, the
+//! artifact is structure-checked); the gates sit only on accuracy, which
+//! is deterministic.
+
+use fftx_bench::{CheckKind, GateOp, Harness};
+use fftx_fft::opcount::{fft_3d_flops, fft_flops};
+use fftx_fft::{c64, max_dist, naive_dft, scale_in_place, Complex64, Direction, Fft, Fft3};
+use std::time::Instant;
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+/// Best-of-3 wall seconds for `iters` repetitions of `f`.
+fn time3<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    println!("=== Real FFT engine: correctness and throughput ===\n");
+    let mut h = Harness::new_volatile("fft");
+    let mut rows = String::from("transform,n,seconds,mflops\n");
+
+    // --- Correctness: every fast path vs the O(n^2) oracle. Sizes cover
+    // the radix kernels, the mixed-radix path and Bluestein (prime 127).
+    let mut max_err = 0.0f64;
+    for &n in &[8usize, 60, 90, 125, 127, 128, 243] {
+        let x = signal(n);
+        let want = naive_dft(&x, Direction::Forward);
+        let mut got = x.clone();
+        Fft::new(n).forward(&mut got);
+        max_err = max_err.max(max_dist(&got, &want) / n as f64);
+    }
+    println!("1-D forward vs naive DFT: max normalized error {max_err:.3e}");
+
+    // Round trip: forward then inverse then 1/n scaling must reproduce the
+    // input to machine precision.
+    let mut rt_err = 0.0f64;
+    for &n in &[90usize, 128, 127] {
+        let x = signal(n);
+        let mut buf = x.clone();
+        let plan = Fft::new(n);
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        scale_in_place(&mut buf, 1.0 / n as f64);
+        rt_err = rt_err.max(max_dist(&buf, &x));
+    }
+    println!("1-D round trip: max error {rt_err:.3e}");
+
+    // 3-D round trip on the paper-like grid shape. `Fft3::forward` is
+    // already 1/N-scaled (QE convention) and `inverse` unnormalised, so
+    // forward→inverse is the identity with no extra scaling.
+    let (nx, ny, nz) = (30usize, 30, 32);
+    let plan3 = Fft3::new(nx, ny, nz);
+    let vol = plan3.volume();
+    let x3 = signal(vol);
+    let mut buf3 = x3.clone();
+    plan3.forward(&mut buf3);
+    plan3.inverse(&mut buf3);
+    let rt3_err = max_dist(&buf3, &x3);
+    println!("3-D ({nx}x{ny}x{nz}) round trip: max error {rt3_err:.3e}\n");
+
+    // --- Throughput: wall-clock, volatile. MFLOP/s from the shared op
+    // model so the number is comparable across runs and hosts.
+    let mut peak_1d = 0.0f64;
+    for &n in &[128usize, 512, 2048] {
+        let plan = Fft::new(n);
+        let mut buf = signal(n);
+        let s = time3(((1usize << 18) / n).max(64), || plan.forward(&mut buf));
+        let mflops = fft_flops(n) / s / 1e6;
+        peak_1d = peak_1d.max(mflops);
+        println!("1-D n={n:<5} {s:.3e}s/transform  {mflops:8.1} MFLOP/s");
+        rows.push_str(&format!("fft1d,{n},{s:.6e},{mflops:.1}\n"));
+    }
+    let mut buf3 = signal(vol);
+    let s3 = time3(8, || plan3.forward(&mut buf3));
+    let mflops3 = fft_3d_flops(nx, ny, nz) / s3 / 1e6;
+    println!("3-D {nx}x{ny}x{nz}  {s3:.3e}s/transform  {mflops3:8.1} MFLOP/s");
+    rows.push_str(&format!("fft3d,{vol},{s3:.6e},{mflops3:.1}\n"));
+
+    h.artifact("fft.csv", &rows, CheckKind::Structure);
+    h.metric_f64("max_norm_err_vs_naive", max_err, 18)
+        .metric_f64("roundtrip_err_1d", rt_err, 18)
+        .metric_f64("roundtrip_err_3d", rt3_err, 18)
+        .metric_f64("peak_1d_mflops", peak_1d, 1)
+        .metric_f64("fft3d_mflops", mflops3, 1)
+        .metric_bool("throughput_positive", peak_1d > 0.0 && mflops3 > 0.0);
+    h.gate(
+        "fast 1-D transforms match the naive DFT oracle",
+        "max_norm_err_vs_naive",
+        GateOp::Le,
+        1e-12,
+    )
+    .gate(
+        "1-D forward/inverse round trip is machine-precision",
+        "roundtrip_err_1d",
+        GateOp::Le,
+        1e-10,
+    )
+    .gate(
+        "3-D forward/inverse round trip is machine-precision",
+        "roundtrip_err_3d",
+        GateOp::Le,
+        1e-10,
+    )
+    .gate(
+        "the engine produced finite positive throughput",
+        "throughput_positive",
+        GateOp::Eq,
+        1.0,
+    );
+    std::process::exit(h.finish());
+}

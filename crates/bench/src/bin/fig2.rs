@@ -3,7 +3,7 @@
 //! hyper-threading). Paper claims: poor scaling with rank count, and no
 //! benefit — in fact a slowdown — from hyper-threading.
 
-use fftx_bench::{report_checks, sweep, write_artifact, ShapeCheck};
+use fftx_bench::{sweep, CheckKind, GateOp, Harness, MetricValue};
 use fftx_core::Mode;
 use fftx_trace::render_bar_chart;
 
@@ -35,32 +35,45 @@ fn main() {
             points[0].run.runtime / p.run.runtime
         ));
     }
-    write_artifact("fig2_runtime.csv", &csv);
 
-    // Shape criteria from the paper's discussion of Fig. 2.
+    let mut h = Harness::new("fig2");
+    h.artifact("fig2_runtime.csv", &csv, CheckKind::Byte);
+
+    // Shape criteria from the paper's discussion of Fig. 2, exported as
+    // gates whose thresholds live in BENCH_fig2.json.
     let r = |i: usize| points[i].run.runtime;
     let speedup_8x8 = r(0) / r(3);
-    let checks = vec![
-        ShapeCheck::new(
-            "runtime decreases up to 8 x 8",
+    h.metric("runtimes_s", MetricValue::Floats { v: runtimes.clone(), prec: 6 })
+        .metric_f64("speedup_8x8", speedup_8x8, 3)
+        .metric_bool(
+            "monotone_to_8x8",
             r(0) > r(1) && r(1) > r(2) && r(2) > r(3),
-            format!("{:.3} > {:.3} > {:.3} > {:.3}", r(0), r(1), r(2), r(3)),
-        ),
-        ShapeCheck::new(
-            "FFT phase does not scale well (speedup at 64 lanes << 8x)",
-            speedup_8x8 < 6.0,
-            format!("speedup 1x8 -> 8x8 = {speedup_8x8:.2} (ideal 8.0)"),
-        ),
-        ShapeCheck::new(
-            "2x hyper-threading brings no benefit (16 x 8 >= 8 x 8)",
-            r(4) >= r(3) * 0.995,
-            format!("16x8 {:.3}s vs 8x8 {:.3}s", r(4), r(3)),
-        ),
-        ShapeCheck::new(
-            "4x hyper-threading is worse again (32 x 8 >= 16 x 8)",
-            r(5) >= r(4) * 0.995,
-            format!("32x8 {:.3}s vs 16x8 {:.3}s", r(5), r(4)),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+        )
+        .metric_bool("ht2_no_benefit", r(4) >= r(3) * 0.995)
+        .metric_bool("ht4_worse_again", r(5) >= r(4) * 0.995);
+    h.gate(
+        "runtime decreases up to 8 x 8",
+        "monotone_to_8x8",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "FFT phase does not scale well (speedup at 64 lanes << 8x)",
+        "speedup_8x8",
+        GateOp::Le,
+        6.0,
+    )
+    .gate(
+        "2x hyper-threading brings no benefit (16 x 8 >= 8 x 8)",
+        "ht2_no_benefit",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "4x hyper-threading is worse again (32 x 8 >= 16 x 8)",
+        "ht4_worse_again",
+        GateOp::Eq,
+        1.0,
+    );
+    std::process::exit(h.finish());
 }

@@ -3,10 +3,11 @@
 //! z FFT → scatter → xy FFT/VOFR → and back), the per-phase IPC levels, the
 //! MPI calls, and the two sub-communicator families.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{results_dir, CheckKind, GateOp, Harness};
 use fftx_core::{run_modeled, FftxConfig, Mode};
 use fftx_trace::{
-    communicator_summary, render_timeline, timeline_csv, CommOp, StateClass, TimelineOptions,
+    communicator_summary, render_timeline, timeline_csv, CommOp, EventLog, StateClass,
+    TimelineOptions,
 };
 
 fn main() {
@@ -77,8 +78,22 @@ fn main() {
     }
     println!("  ...\n");
 
-    write_artifact("fig3_timeline.csv", &timeline_csv(trace));
-    write_artifact("fig3_phase_ipc.csv", &ipc_rows);
+    let mut h = Harness::new("fig3");
+    h.artifact("fig3_timeline.csv", &timeline_csv(trace), CheckKind::Byte);
+    h.artifact("fig3_phase_ipc.csv", &ipc_rows, CheckKind::Byte);
+
+    // The run's full event log in the columnar binary format: the .bin is a
+    // run product (gitignored), while the converter-generated summary is a
+    // committed, byte-checked artifact proving the encode→decode→query
+    // path reproduces the log.
+    let log = EventLog::from_trace(trace);
+    let bytes = log.encode();
+    let bin_path = results_dir().join("fig3_trace.bin");
+    std::fs::write(&bin_path, &bytes).expect("write fig3_trace.bin");
+    println!("[written] {} ({} bytes)", bin_path.display(), bytes.len());
+    let decoded = EventLog::decode(&bytes).expect("decode fig3_trace.bin");
+    let summary = fftx_trace::query::summary_csv(&decoded).expect("summary of decoded log");
+    h.artifact("fig3_trace_summary.csv", &summary, CheckKind::Byte);
 
     // Shape checks: phase IPC ordering and communicator families.
     let prep = trace.mean_ipc(StateClass::PsiPrep);
@@ -110,42 +125,68 @@ fn main() {
         .map(|r| r.comm_size)
         .collect();
 
-    let checks = vec![
-        ShapeCheck::new(
-            "psi preparation has very low IPC (paper: ~0.06)",
-            prep < 0.15,
-            format!("model {prep:.3}"),
-        ),
-        ShapeCheck::new(
-            "z-FFT IPC sits between prep and the main phase (paper: ~0.52)",
-            prep < z && z < xy,
-            format!("prep {prep:.2} < z {z:.2} < xy {xy:.2}"),
-        ),
-        ShapeCheck::new(
-            "main xy/VOFR phase is the high-IPC phase (paper: ~0.77)",
-            (0.6..1.0).contains(&xy),
-            format!("model {xy:.3}"),
-        ),
-        ShapeCheck::new(
-            "pack/unpack runs on 8 sub-communicators of 8 neighbouring ranks",
+    let rank0_scatters = trace
+        .comm
+        .iter()
+        .filter(|r| r.op == CommOp::Alltoall && r.lane.rank == 0)
+        .count() as u64;
+    h.metric_f64("prep_ipc", prep, 4)
+        .metric_f64("z_ipc", z, 4)
+        .metric_f64("xy_ipc", xy, 4)
+        .metric_bool("ipc_ordering_prep_z_xy", prep < z && z < xy)
+        .metric_u64("pack_communicators", pack_comms.len() as u64)
+        .metric_u64("scatter_communicators", scatter_comms.len() as u64)
+        .metric_bool(
+            "pack_family_8x8",
             pack_comms.len() == 8 && pack_sizes == BTreeSet::from([8usize]),
-            format!("{} communicators, sizes {pack_sizes:?}", pack_comms.len()),
-        ),
-        ShapeCheck::new(
-            "scatter runs on 8 sub-communicators of 8 strided ranks",
+        )
+        .metric_bool(
+            "scatter_family_8x8",
             scatter_comms.len() == 8 && scatter_sizes == BTreeSet::from([8usize]),
-            format!("{} communicators, sizes {scatter_sizes:?}", scatter_comms.len()),
-        ),
-        ShapeCheck::new(
-            "64 FFT executions in groups of 8 (16 repeating phases here: 128 bands)",
-            trace
-                .comm
-                .iter()
-                .filter(|r| r.op == CommOp::Alltoall && r.lane.rank == 0)
-                .count()
-                == 2 * 16,
-            "2 scatters per iteration x 16 iterations on rank 0".to_string(),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+        )
+        .metric_u64("rank0_scatters", rank0_scatters)
+        .metric_u64("log_bytes", bytes.len() as u64);
+    h.gate(
+        "psi preparation has very low IPC (paper: ~0.06)",
+        "prep_ipc",
+        GateOp::Le,
+        0.15,
+    )
+    .gate(
+        "z-FFT IPC sits between prep and the main phase (paper: ~0.52)",
+        "ipc_ordering_prep_z_xy",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "main xy/VOFR phase is the high-IPC phase (paper: ~0.77, >= 0.6)",
+        "xy_ipc",
+        GateOp::Ge,
+        0.6,
+    )
+    .gate(
+        "main xy/VOFR phase IPC stays below 1.0",
+        "xy_ipc",
+        GateOp::Le,
+        1.0,
+    )
+    .gate(
+        "pack/unpack runs on 8 sub-communicators of 8 neighbouring ranks",
+        "pack_family_8x8",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "scatter runs on 8 sub-communicators of 8 strided ranks",
+        "scatter_family_8x8",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "64 FFT executions in groups of 8 (2 scatters x 16 iterations on rank 0)",
+        "rank0_scatters",
+        GateOp::Eq,
+        32.0,
+    );
+    std::process::exit(h.finish());
 }

@@ -4,7 +4,7 @@
 //! synchronised blocks, the OmpSs version scatters them; the main compute
 //! phase's IPC rises from ~0.75 to ~0.85.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness};
 use fftx_core::{run_modeled, FftxConfig, Mode, ModeledRun};
 use fftx_trace::{render_timeline, IpcHistogram, StateClass, TimelineOptions};
 
@@ -41,6 +41,7 @@ fn main() {
     println!("=== Figure 7: de-synchronisation, original 8x8 vs OmpSs 8x8 ===\n");
     let orig = run_modeled(FftxConfig::paper(8, Mode::Original));
     let ompss = run_modeled(FftxConfig::paper(8, Mode::TaskPerFft));
+    let mut h = Harness::new("fig7");
 
     for (name, run) in [("original", &orig), ("ompss", &ompss)] {
         println!("--- {name} (runtime {:.4}s) ---", run.runtime);
@@ -75,10 +76,7 @@ fn main() {
         });
         println!("\n  main-phase mean IPC: {:.3}, spread (stddev): {:.3}\n",
             hist.weighted_mean_ipc(), hist.ipc_spread());
-        write_artifact(
-            &format!("fig7_hist_{name}.csv"),
-            &hist.to_csv(),
-        );
+        h.artifact(&format!("fig7_hist_{name}.csv"), &hist.to_csv(), CheckKind::Byte);
     }
 
     let ipc_orig = orig.trace.mean_ipc(StateClass::FftXy);
@@ -93,29 +91,50 @@ fn main() {
     let mut csv = String::from("version,main_ipc,ipc_spread,main_phase_concentration\n");
     csv.push_str(&format!("original,{ipc_orig:.4},{spread_orig:.4},{conc_orig:.2}\n"));
     csv.push_str(&format!("ompss,{ipc_ompss:.4},{spread_ompss:.4},{conc_ompss:.2}\n"));
-    write_artifact("fig7_summary.csv", &csv);
+    h.artifact("fig7_summary.csv", &csv, CheckKind::Byte);
 
-    let checks = vec![
-        ShapeCheck::new(
-            "main-phase IPC rises with de-synchronisation (paper: 0.75 -> 0.85)",
-            ipc_ompss > ipc_orig + 0.03,
-            format!("original {ipc_orig:.3} -> ompss {ipc_ompss:.3}"),
-        ),
-        ShapeCheck::new(
-            "OmpSs main-phase IPC lands near the paper's 0.85",
-            (0.78..0.95).contains(&ipc_ompss),
-            format!("model {ipc_ompss:.3}"),
-        ),
-        ShapeCheck::new(
-            "phases are de-synchronised (lower main-phase concentration)",
-            conc_ompss < conc_orig - 4.0,
-            format!("co-runners during main phase: {conc_orig:.1} -> {conc_ompss:.1} (of 64 lanes)"),
-        ),
-        ShapeCheck::new(
-            "OmpSs IPC distribution is more scattered (the 'chaotic' histogram)",
-            spread_ompss > spread_orig,
-            format!("IPC stddev {spread_orig:.3} -> {spread_ompss:.3}"),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+    println!(
+        "IPC {ipc_orig:.3} -> {ipc_ompss:.3}; main-phase co-runners {conc_orig:.1} -> \
+         {conc_ompss:.1} (of 64); IPC stddev {spread_orig:.3} -> {spread_ompss:.3}"
+    );
+    h.metric_f64("ipc_original", ipc_orig, 4)
+        .metric_f64("ipc_ompss", ipc_ompss, 4)
+        .metric_f64("ipc_gain", ipc_ompss - ipc_orig, 4)
+        .metric_f64("concentration_original", conc_orig, 2)
+        .metric_f64("concentration_ompss", conc_ompss, 2)
+        .metric_f64("concentration_drop", conc_orig - conc_ompss, 2)
+        .metric_f64("ipc_spread_original", spread_orig, 4)
+        .metric_f64("ipc_spread_ompss", spread_ompss, 4)
+        .metric_bool("ompss_spread_wider", spread_ompss > spread_orig);
+    h.gate(
+        "main-phase IPC rises with de-synchronisation (paper: 0.75 -> 0.85)",
+        "ipc_gain",
+        GateOp::Ge,
+        0.03,
+    )
+    .gate(
+        "OmpSs main-phase IPC lands near the paper's 0.85 (>= 0.78)",
+        "ipc_ompss",
+        GateOp::Ge,
+        0.78,
+    )
+    .gate(
+        "OmpSs main-phase IPC stays below 0.95",
+        "ipc_ompss",
+        GateOp::Le,
+        0.95,
+    )
+    .gate(
+        "phases are de-synchronised (lower main-phase concentration)",
+        "concentration_drop",
+        GateOp::Ge,
+        4.0,
+    )
+    .gate(
+        "OmpSs IPC distribution is more scattered (the 'chaotic' histogram)",
+        "ompss_spread_wider",
+        GateOp::Eq,
+        1.0,
+    );
+    std::process::exit(h.finish());
 }

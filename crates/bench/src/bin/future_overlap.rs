@@ -9,7 +9,7 @@
 //!   (post/wait in separate tasks), so transfers overlap other bands'
 //!   compute automatically.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness};
 use fftx_core::{run_modeled, FftxConfig, Mode};
 use fftx_trace::StateClass;
 
@@ -46,7 +46,8 @@ fn main() {
         }
         println!();
     }
-    write_artifact("future_overlap.csv", &rows);
+    let mut h = Harness::new("future_overlap");
+    h.artifact("future_overlap.csv", &rows, CheckKind::Byte);
 
     let get = |nr: usize, mode: Mode| {
         results
@@ -61,25 +62,38 @@ fn main() {
     let (steps16, _) = get(16, Mode::TaskPerStep);
     let (async16, _) = get(16, Mode::TaskAsync);
 
-    let checks = vec![
-        ShapeCheck::new(
-            "split-phase collectives cut the per-lane communication wait",
-            async8_wait < 0.8 * steps8_wait,
-            format!("steps {steps8_wait:.4}s -> async {async8_wait:.4}s per lane"),
-        ),
-        ShapeCheck::new(
-            "the future-work mode is at least as fast as strategy 1",
+    println!(
+        "8x8: async {async8:.4}s vs steps {steps8:.4}s vs original {orig8:.4}s; \
+         16x8: async {async16:.4}s vs steps {steps16:.4}s"
+    );
+    h.metric_f64("steps8_s", steps8, 6)
+        .metric_f64("async8_s", async8, 6)
+        .metric_f64("orig8_s", orig8, 6)
+        .metric_f64("steps8_wait_s", steps8_wait, 6)
+        .metric_f64("async8_wait_s", async8_wait, 6)
+        .metric_f64("wait_ratio_8x8", async8_wait / steps8_wait, 4)
+        .metric_bool(
+            "async_at_least_as_fast_as_steps",
             async8 <= steps8 * 1.005 && async16 <= steps16 * 1.005,
-            format!("8x8: {async8:.4}s vs {steps8:.4}s; 16x8: {async16:.4}s vs {steps16:.4}s"),
-        ),
-        ShapeCheck::new(
-            "the future-work mode beats the original",
-            async8 < orig8,
-            format!(
-                "{async8:.4}s vs {orig8:.4}s ({:+.1}%)",
-                (1.0 - async8 / orig8) * 100.0
-            ),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+        )
+        .metric_bool("async_beats_original", async8 < orig8);
+    h.gate(
+        "split-phase collectives cut the per-lane communication wait",
+        "wait_ratio_8x8",
+        GateOp::Le,
+        0.8,
+    )
+    .gate(
+        "the future-work mode is at least as fast as strategy 1",
+        "async_at_least_as_fast_as_steps",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "the future-work mode beats the original",
+        "async_beats_original",
+        GateOp::Eq,
+        1.0,
+    );
+    std::process::exit(h.finish());
 }

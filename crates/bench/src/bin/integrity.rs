@@ -16,7 +16,7 @@
 //!    the same conservative exchange-bandwidth convention as the recovery
 //!    bench.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness, MetricValue};
 use fftx_core::stages::StagePlan;
 use fftx_core::{
     run_original, run_verified, simulate_config, FftxConfig, Mode, Problem, VerifyMode,
@@ -33,7 +33,7 @@ use std::fmt::Write as _;
 
 /// Pinned fault seed (the paper's publication date) so CI commits a
 /// reproducible artifact.
-const SEED: u64 = 20170814;
+const SEED: u64 = fftx_bench::harness::SEED;
 
 /// Flip rates swept (strike probability per fault key, max 2 strikes).
 const RATES: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
@@ -247,74 +247,81 @@ fn main() {
         csv,
         "paper_8x8,{baseline_s:.6},{cheap_pct:.4},{pass_bytes},{ckpt_bytes}"
     );
-    write_artifact("integrity.csv", &csv);
+    let mut h = Harness::new("integrity");
+    h.artifact("integrity.csv", &csv, CheckKind::Byte);
     println!();
 
-    // --- BENCH_integrity.json: headline numbers, stable formatting. ---
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"seed\": {SEED},");
-    let _ = writeln!(json, "  \"flip_rates\": {RATES:?},");
-    let _ = writeln!(json, "  \"baseline_corrupts\": {baseline_corrupts},");
-    let _ = writeln!(json, "  \"all_corruption_detected\": {all_detected},");
-    let _ = writeln!(json, "  \"zero_corrupted_delivered\": {none_delivered},");
-    let _ = writeln!(json, "  \"serve_jobs\": {delivered},");
-    let _ = writeln!(json, "  \"serve_hash_mismatches\": {mismatched},");
-    let _ = writeln!(json, "  \"serve_detections\": {detections},");
-    let _ = writeln!(json, "  \"serve_quarantine_transitions\": {quarantines},");
-    let _ = writeln!(json, "  \"serve_breaker_opens\": {breaker_opens},");
-    let _ = writeln!(json, "  \"cheap_overhead_pct\": {cheap_pct:.4},");
-    let _ = writeln!(json, "  \"zero_loss\": {}", fleet.conservation.open.is_empty());
-    json.push_str("}\n");
-    write_artifact("BENCH_integrity.json", &json);
-    println!();
-
-    let checks = vec![
-        ShapeCheck::new(
-            "unverified (off) mode delivers corruption — the SDC baseline is real",
-            baseline_corrupts,
-            format!("corrupting rates: {corrupt_rates:?}"),
-        ),
-        ShapeCheck::new(
-            "100% of corrupting rates detected by cheap mode and repaired by full mode",
-            all_detected,
-            format!(
-                "rate 1.0: cheap detected {}, full repaired {}",
-                row(1.0, VerifyMode::Cheap).detected,
-                row(1.0, VerifyMode::Full).repaired
-            ),
-        ),
-        ShapeCheck::new(
-            "zero corrupted results delivered under cheap/full at every rate",
-            none_delivered,
-            "all verified deliveries bitwise identical to the fault-free run".to_string(),
-        ),
-        ShapeCheck::new(
-            "clean runs raise no false alarms",
-            clean_quiet,
-            format!(
-                "rate 0.0: cheap detected {}, full repaired {}",
-                row(0.0, VerifyMode::Cheap).detected,
-                row(0.0, VerifyMode::Full).repaired
-            ),
-        ),
-        ShapeCheck::new(
-            "serve chaos sweep delivers only clean-reproducible job hashes",
+    // --- BENCH_integrity.json through the shared harness. ---
+    println!(
+        "gates: corrupting rates {corrupt_rates:?}; rate 1.0 cheap detected {}, full \
+         repaired {}; rate 0.0 cheap detected {}, full repaired {}",
+        row(1.0, VerifyMode::Cheap).detected,
+        row(1.0, VerifyMode::Full).repaired,
+        row(0.0, VerifyMode::Cheap).detected,
+        row(0.0, VerifyMode::Full).repaired,
+    );
+    h.metric("flip_rates", MetricValue::Floats { v: RATES.to_vec(), prec: 2 })
+        .metric_bool("baseline_corrupts", baseline_corrupts)
+        .metric_bool("all_corruption_detected", all_detected)
+        .metric_bool("zero_corrupted_delivered", none_delivered)
+        .metric_bool("clean_runs_quiet", clean_quiet)
+        .metric_u64("serve_jobs", delivered as u64)
+        .metric_u64("serve_hash_mismatches", mismatched as u64)
+        .metric_u64("serve_detections", detections)
+        .metric_u64("serve_quarantine_transitions", quarantines)
+        .metric_u64("serve_breaker_opens", breaker_opens)
+        .metric_f64("cheap_overhead_pct", cheap_pct, 4)
+        .metric_bool("zero_loss", fleet.conservation.open.is_empty())
+        .metric_bool(
+            "serve_hashes_clean_reproducible",
             mismatched == 0 && delivered > 0 && fleet.conservation.open.is_empty(),
-            format!("{delivered} jobs, {mismatched} mismatches, zero loss"),
-        ),
-        ShapeCheck::new(
-            "fleet journals the detections and quarantines the corrupting shards",
+        )
+        .metric_bool(
+            "fleet_quarantines_corruption",
             detections > 0 && quarantines > 0 && breaker_opens > 0,
-            format!(
-                "{detections} detections, {quarantines} quarantine transitions, \
-                 {breaker_opens} breaker trips"
-            ),
-        ),
-        ShapeCheck::new(
-            "modeled cheap verify overhead stays at or under 5% of the 8x8 runtime",
-            cheap_overhead_s > 0.0 && cheap_pct <= 5.0,
-            format!("{cheap_pct:.3}% of {baseline_s:.4}s"),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+        );
+    h.gate(
+        "unverified (off) mode delivers corruption — the SDC baseline is real",
+        "baseline_corrupts",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "100% of corrupting rates detected by cheap mode and repaired by full mode",
+        "all_corruption_detected",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "zero corrupted results delivered under cheap/full at every rate",
+        "zero_corrupted_delivered",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate("clean runs raise no false alarms", "clean_runs_quiet", GateOp::Eq, 1.0)
+    .gate(
+        "serve chaos sweep delivers only clean-reproducible job hashes",
+        "serve_hashes_clean_reproducible",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "fleet journals the detections and quarantines the corrupting shards",
+        "fleet_quarantines_corruption",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "modeled cheap verify overhead stays at or under 5% of the 8x8 runtime",
+        "cheap_overhead_pct",
+        GateOp::Le,
+        5.0,
+    )
+    .gate(
+        "the verify layer's modeled cost is nonzero (the model is priced in)",
+        "cheap_overhead_pct",
+        GateOp::Ge,
+        1e-4,
+    );
+    std::process::exit(h.finish());
 }

@@ -22,7 +22,7 @@
 
 use fftx_core::steps;
 use fftx_core::{BufferArena, FftxConfig, Mode, Problem};
-use fftx_bench::write_artifact_volatile;
+use fftx_bench::{CheckKind, GateOp, Harness};
 use fftx_fft::{cft_1z, cft_2xy, Complex64, Direction};
 use fftx_knlsim::CommModel;
 use fftx_pw::{apply_potential_slab, TaskGroupLayout};
@@ -352,11 +352,25 @@ fn main() {
         "planned,{planned_min:.6},{priced_comm:.6},{:.6},{identical}",
         planned_min + priced_comm
     );
-    write_artifact_volatile("refactor.csv", &csv);
+    let mut h = Harness::new_volatile("refactor");
+    h.artifact("refactor.csv", &csv, CheckKind::Structure);
 
-    if regression_pct > 2.0 {
-        eprintln!("FAIL: planned engine regressed {regression_pct:+.2}% over the legacy path");
-        std::process::exit(1);
-    }
-    println!("OK: planned engine within the 2% gate");
+    h.metric_bool("bitwise_identical", identical)
+        .metric_f64("legacy_wall_s_per_iter", legacy_min, 6)
+        .metric_f64("planned_wall_s_per_iter", planned_min, 6)
+        .metric_f64("priced_comm_s_per_iter", priced_comm, 6)
+        .metric_f64("regression_pct", regression_pct, 2);
+    h.gate(
+        "planned engine produces bitwise-identical band shares",
+        "bitwise_identical",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "planned engine within 2% of the frozen legacy path",
+        "regression_pct",
+        GateOp::Le,
+        2.0,
+    );
+    std::process::exit(h.finish());
 }

@@ -19,7 +19,7 @@
 //!   bulk-synchronous kernel, so both modes degrade and this column is the
 //!   control showing the spikes' gracefulness is scheduling, not slack.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness, MetricValue};
 use fftx_core::{simulate_config_faulty, FftxConfig, Mode};
 use fftx_knlsim::{CommModel, ContentionModel, FaultPlan, KnlConfig};
 
@@ -111,34 +111,48 @@ fn main() {
             d_t * 100.0
         );
     }
-    write_artifact("resilience.csv", &csv);
+    let mut h = Harness::new("resilience");
+    h.artifact("resilience.csv", &csv, CheckKind::Byte);
     println!();
 
     let ratios: Vec<f64> = (1..severities.len())
         .map(|i| degr(&ompss, i) / degr(&orig, i))
         .collect();
     let orig_degs: Vec<f64> = (1..severities.len()).map(|i| degr(&orig, i)).collect();
-    let checks = vec![
-        ShapeCheck::new(
-            "spikes degrade the original monotonically with severity",
+    let max_ratio = ratios.iter().copied().fold(0.0f64, f64::max);
+    println!("original degradations {orig_degs:?}; degradation ratios (ompss/original) {ratios:?}");
+    h.metric("original_degradations", MetricValue::Floats { v: orig_degs.clone(), prec: 4 })
+        .metric("degradation_ratios", MetricValue::Floats { v: ratios.clone(), prec: 4 })
+        .metric_f64("max_degradation_ratio", max_ratio, 4)
+        .metric_bool(
+            "original_monotone",
             orig_degs.windows(2).all(|w| w[1] > w[0]) && orig_degs[0] > 0.0,
-            format!("original degradations {orig_degs:?}"),
-        ),
-        ShapeCheck::new(
-            "task-per-FFT degradation is at most half the original's at matched severity",
-            ratios.iter().all(|&r| r <= 0.5),
-            format!("degradation ratios (ompss/original) {ratios:?}"),
-        ),
-        ShapeCheck::new(
-            "control: a chronically slow rank hurts both modes (no free lunch)",
-            degr(&slow_orig, factors.len() - 1) > 0.10
-                && degr(&slow_ompss, factors.len() - 1) > 0.10,
-            format!(
-                "factor 2.0: original {:+.1}%, ompss {:+.1}%",
-                degr(&slow_orig, factors.len() - 1) * 100.0,
-                degr(&slow_ompss, factors.len() - 1) * 100.0
-            ),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+        )
+        .metric_f64("slow_rank_orig_degradation", degr(&slow_orig, factors.len() - 1), 4)
+        .metric_f64("slow_rank_ompss_degradation", degr(&slow_ompss, factors.len() - 1), 4);
+    h.gate(
+        "spikes degrade the original monotonically with severity",
+        "original_monotone",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "task-per-FFT degradation is at most half the original's at matched severity",
+        "max_degradation_ratio",
+        GateOp::Le,
+        0.5,
+    )
+    .gate(
+        "control: a chronically slow rank hurts the original too (no free lunch)",
+        "slow_rank_orig_degradation",
+        GateOp::Ge,
+        0.10,
+    )
+    .gate(
+        "control: a chronically slow rank hurts task-per-FFT too",
+        "slow_rank_ompss_degradation",
+        GateOp::Ge,
+        0.10,
+    );
+    std::process::exit(h.finish());
 }

@@ -15,7 +15,7 @@
 //!    paper's best measured strategy (the CI gate), and at least as fast as
 //!    the blocking step policy.
 
-use fftx_bench::{report_checks, write_artifact, write_artifact_volatile, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness};
 use fftx_core::{
     run_modeled, run_policy, FftxConfig, Problem, SchedulerPolicy, StageKind,
 };
@@ -29,6 +29,8 @@ fn stage_name(id: u32) -> String {
 
 fn main() {
     println!("=== Scheduler policies over the unified stage graph ===\n");
+    // BENCH_stages.json — this bin gates the stage-graph refactor.
+    let mut h = Harness::new("stages");
 
     // --- Real engine: bitwise equivalence + stage-span coverage. ---
     println!("--- real engine (2x2 small): bitwise cross-check ---");
@@ -68,9 +70,10 @@ fn main() {
             hist.stages.len(),
             if covered { "" } else { "  (MISSING STAGES)" },
         );
-        write_artifact_volatile(
+        h.artifact(
             &format!("schedulers_stages_{}.csv", policy.name()),
             &hist.csv(stage_name),
+            CheckKind::Structure,
         );
     }
     println!();
@@ -97,39 +100,54 @@ fn main() {
         ));
         runtime.insert(policy.name(), run.runtime);
     }
-    write_artifact("schedulers.csv", &rows);
+    h.artifact("schedulers.csv", &rows, CheckKind::Byte);
 
     let serial = runtime["serial"];
     let step = runtime["step"];
     let fft = runtime["fft"];
     let hybrid = runtime["hybrid"];
 
-    let checks = vec![
-        ShapeCheck::new(
-            "all scheduler policies produce bit-identical bands (real engine)",
-            bitwise_ok,
-            "FNV over f64 bit patterns, 2x2 small config",
-        ),
-        ShapeCheck::new(
-            "every stage-graph node id appears in every policy's span stream",
-            stage_cover_ok,
-            "StageHistogram over Trace.stages",
-        ),
-        ShapeCheck::new(
-            "hybrid within 2% of task-per-FFT, the paper's best strategy (CI gate)",
-            hybrid <= fft * 1.02,
-            format!("hybrid {hybrid:.4}s vs fft {fft:.4}s (x{:.4})", hybrid / fft),
-        ),
-        ShapeCheck::new(
-            "hybrid at least matches the blocking step policy",
-            hybrid <= step * 1.005,
-            format!("hybrid {hybrid:.4}s vs step {step:.4}s"),
-        ),
-        ShapeCheck::new(
-            "every task policy beats the original static schedule",
+    h.metric_bool("bitwise_identical_bands", bitwise_ok)
+        .metric_bool("stage_graph_fully_covered", stage_cover_ok)
+        .metric_f64("serial_s", serial, 6)
+        .metric_f64("step_s", step, 6)
+        .metric_f64("fft_s", fft, 6)
+        .metric_f64("hybrid_s", hybrid, 6)
+        .metric_f64("hybrid_vs_fft_ratio", hybrid / fft, 4)
+        .metric_f64("hybrid_vs_step_ratio", hybrid / step, 4)
+        .metric_bool(
+            "task_policies_beat_serial",
             [step, fft, hybrid].iter().all(|&t| t < serial),
-            format!("serial {serial:.4}s vs step {step:.4}/fft {fft:.4}/hybrid {hybrid:.4}"),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+        );
+    h.gate(
+        "all scheduler policies produce bit-identical bands (real engine)",
+        "bitwise_identical_bands",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "every stage-graph node id appears in every policy's span stream",
+        "stage_graph_fully_covered",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "hybrid within 2% of task-per-FFT, the paper's best strategy (CI gate)",
+        "hybrid_vs_fft_ratio",
+        GateOp::Le,
+        1.02,
+    )
+    .gate(
+        "hybrid at least matches the blocking step policy",
+        "hybrid_vs_step_ratio",
+        GateOp::Le,
+        1.005,
+    )
+    .gate(
+        "every task policy beats the original static schedule",
+        "task_policies_beat_serial",
+        GateOp::Eq,
+        1.0,
+    );
+    std::process::exit(h.finish());
 }

@@ -14,7 +14,7 @@
 //!   and one forced rank eviction) completes every accepted job with
 //!   results hash-identical to direct engine runs.
 
-use fftx_bench::{report_checks, write_artifact, ShapeCheck};
+use fftx_bench::{CheckKind, GateOp, Harness, MetricValue};
 use fftx_core::{run_policy, SchedulerPolicy};
 use fftx_serve::{
     band_hash, class_problem, generate, run_serve, LoadProfile, PlacementMode, ServeChaos,
@@ -22,7 +22,7 @@ use fftx_serve::{
 };
 use std::fmt::Write as _;
 
-const SEED: u64 = 20170814;
+const SEED: u64 = fftx_bench::harness::SEED;
 const RATES: [f64; 4] = [15.0, 40.0, 80.0, 160.0];
 
 fn traffic(rate_hz: f64) -> TrafficConfig {
@@ -126,7 +126,8 @@ fn main() {
             p99,
         );
     }
-    write_artifact("serve.csv", &csv);
+    let mut h = Harness::new("serve");
+    h.artifact("serve.csv", &csv, CheckKind::Byte);
     println!();
 
     // --- Gates: auto vs the static field, per load point. ---
@@ -243,87 +244,62 @@ fn main() {
         if chaos_ok { "intact" } else { "CORRUPTED" }
     );
 
-    // --- BENCH_serve.json: the headline numbers, stable formatting. ---
+    // --- BENCH_serve.json: the headline numbers through the shared
+    // harness, with the regression thresholds stored in the artifact. ---
+    println!("auto vs static: {}", gate_detail.trim());
     let auto_40 = points
         .iter()
         .position(|p| p.rate_hz == 40.0 && p.mode == PlacementMode::Auto)
         .expect("swept");
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"seed\": {SEED},");
-    let _ = writeln!(json, "  \"profile\": \"burst\",");
-    let _ = writeln!(json, "  \"rates_hz\": [15.0, 40.0, 80.0, 160.0],");
-    let _ = writeln!(
-        json,
-        "  \"auto_goodput_40hz\": {:.4},",
-        points[auto_40].report.goodput_hz()
+    let overload_conserved = overload.jobs.len() + overload.shed.len() == overload.offered();
+    h.metric_str("profile", "burst")
+        .metric("rates_hz", MetricValue::Floats { v: RATES.to_vec(), prec: 1 })
+        .metric_f64("auto_goodput_40hz", points[auto_40].report.goodput_hz(), 4)
+        .metric_f64("auto_p99_40hz_s", points[auto_40].report.latency().p99(), 6)
+        .metric_bool("auto_matches_best_static_goodput", auto_beats_goodput)
+        .metric_bool("auto_p99_within_5pct", auto_tail_ok)
+        .metric_u64("real_jobs", real.jobs.len() as u64)
+        .metric_bool("real_hashes_match_direct", real_ok)
+        .metric_u64("chaos_jobs_completed", chaos.jobs.len() as u64)
+        .metric_u64("chaos_recovery_events", recovered)
+        .metric_bool("chaos_zero_lost_jobs", chaos_ok)
+        .metric_f64("overload_shed_rate", overload.shed_rate(), 4)
+        .metric_bool("overload_conserved", overload_conserved);
+    h.gate(
+        "auto placement matches or beats every static policy's goodput",
+        "auto_matches_best_static_goodput",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "auto p99 latency within 5% of the best static policy",
+        "auto_p99_within_5pct",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "served results hash-match direct engine runs",
+        "real_hashes_match_direct",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "chaos-seeded serving completes all accepted jobs bit-identically",
+        "chaos_zero_lost_jobs",
+        GateOp::Eq,
+        1.0,
+    )
+    .gate(
+        "overload sheds typed rejections (backpressure engages)",
+        "overload_shed_rate",
+        GateOp::Ge,
+        0.01,
+    )
+    .gate(
+        "overload conserves requests (served + shed = offered)",
+        "overload_conserved",
+        GateOp::Eq,
+        1.0,
     );
-    let _ = writeln!(
-        json,
-        "  \"auto_p99_40hz_s\": {:.6},",
-        points[auto_40].report.latency().p99()
-    );
-    let _ = writeln!(
-        json,
-        "  \"auto_matches_best_static_goodput\": {auto_beats_goodput},"
-    );
-    let _ = writeln!(json, "  \"auto_p99_within_5pct\": {auto_tail_ok},");
-    let _ = writeln!(json, "  \"real_jobs\": {},", real.jobs.len());
-    let _ = writeln!(json, "  \"real_hashes_match_direct\": {real_ok},");
-    let _ = writeln!(json, "  \"chaos_jobs_completed\": {},", chaos.jobs.len());
-    let _ = writeln!(json, "  \"chaos_recovery_events\": {recovered},");
-    let _ = writeln!(json, "  \"chaos_zero_lost_jobs\": {chaos_ok},");
-    let _ = writeln!(
-        json,
-        "  \"overload_shed_rate\": {:.4},",
-        overload.shed_rate()
-    );
-    let _ = writeln!(
-        json,
-        "  \"overload_conserved\": {}",
-        overload.jobs.len() + overload.shed.len() == overload.offered()
-    );
-    json.push_str("}\n");
-    write_artifact("BENCH_serve.json", &json);
-    println!();
-
-    let checks = vec![
-        ShapeCheck::new(
-            "auto placement matches or beats every static policy's goodput",
-            auto_beats_goodput,
-            gate_detail.trim().to_string(),
-        ),
-        ShapeCheck::new(
-            "auto p99 latency within 5% of the best static policy",
-            auto_tail_ok,
-            "per-rate tail comparison over the sweep",
-        ),
-        ShapeCheck::new(
-            "served results hash-match direct engine runs",
-            real_ok,
-            format!("{} jobs, {} batches", real.jobs.len(), real.batches.len()),
-        ),
-        ShapeCheck::new(
-            "chaos-seeded serving completes all accepted jobs bit-identically",
-            chaos_ok,
-            format!(
-                "{} jobs, {} recovery events, {} evictions",
-                chaos.jobs.len(),
-                recovered,
-                chaos.counters.get("recovery.evictions")
-            ),
-        ),
-        ShapeCheck::new(
-            "admission backpressure engages under overload, conserving requests",
-            overload.shed_rate() > 0.0
-                && overload.jobs.len() + overload.shed.len() == overload.offered(),
-            format!(
-                "400Hz burst vs queue cap 8: {:.1}% shed, {} served + {} shed = {} offered",
-                overload.shed_rate() * 100.0,
-                overload.jobs.len(),
-                overload.shed.len(),
-                overload.offered()
-            ),
-        ),
-    ];
-    std::process::exit(report_checks(&checks));
+    std::process::exit(h.finish());
 }

@@ -7,6 +7,11 @@ use fftx_trace::{efficiency_factors, EfficiencyFactors};
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
 
+pub mod harness;
+pub mod json;
+
+pub use harness::{check_artifacts, Artifact, CheckKind, Gate, GateOp, Harness, MetricValue};
+
 /// Directory the harness writes CSV artefacts into (`./results`).
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var_os("FFTX_RESULTS_DIR")

@@ -131,6 +131,7 @@ pub fn run_retry(
         retries += n;
         plain.push((shares, span));
     }
+    sink.counter("recovery.retries", retries);
     let out = finish_run(problem, sink, plain);
     let stats = RecoveryStats {
         task_retries: retries,
@@ -253,6 +254,8 @@ pub fn run_rollback(
         ckpt_bytes += bytes;
         plain.push((shares, span));
     }
+    sink.counter("recovery.rollbacks", rollbacks);
+    sink.counter("recovery.checkpoint_bytes", ckpt_bytes);
     let out = finish_run(problem, sink, plain);
     let stats = RecoveryStats {
         batch_rollbacks: rollbacks,
@@ -398,6 +401,8 @@ pub fn run_eviction(
     assert_eq!(outcomes.len(), p - 1, "every survivor reports an outcome");
     outcomes.sort_by_key(|o| o.shrunk_rank);
     let ckpt_bytes = outcomes.iter().map(|o| o.ckpt_bytes).sum();
+    sink.counter("recovery.evictions", 1);
+    sink.counter("recovery.checkpoint_bytes", ckpt_bytes);
     let bands = (0..cfg.nbnd)
         .map(|b| {
             let shares: Vec<Vec<Complex64>> =

@@ -520,6 +520,11 @@ pub fn run_verified(
         totals.ckpt_bytes += t.ckpt_bytes;
         plain.push((shares, span));
     }
+    sink.counter("integrity.parseval_checks", totals.checks);
+    sink.counter("integrity.detected_batches", totals.detected);
+    sink.counter("integrity.recomputed_legs", totals.recomputes);
+    sink.counter("integrity.repaired_legs", totals.repaired);
+    sink.counter("recovery.rollbacks", totals.rollbacks);
     let out = finish_run(problem, sink, plain);
     stats.parseval_checks = totals.checks;
     stats.recomputed_legs = totals.recomputes;

@@ -22,7 +22,7 @@ use crate::exec::{Backend, ServeChaos};
 use crate::request::{band_hash, GeometryClass, RejectReason, Request};
 use crate::tuner::{Placement, Tuner, TunerConfig};
 use fftx_core::SchedulerPolicy;
-use fftx_trace::{stage_profile, CounterSet, DepthSeries, Quantiles};
+use fftx_trace::{stage_profile, CounterSet, DepthSeries, EventLog, Quantiles};
 use std::collections::BTreeMap;
 
 /// How the server picks a placement per batch.
@@ -207,6 +207,9 @@ pub struct Server {
     admission: Admission,
     tuner: Tuner,
     backend: Backend,
+    /// The run's telemetry store; the report's counter and depth views are
+    /// materialized from it when the run finishes.
+    log: EventLog,
 }
 
 impl Server {
@@ -216,6 +219,7 @@ impl Server {
             admission: Admission::new(cfg.admission),
             tuner: Tuner::new(cfg.tuner),
             backend: Backend::new(cfg.seed, cfg.chaos),
+            log: EventLog::new(),
             cfg,
         }
     }
@@ -293,16 +297,15 @@ impl Server {
                 hash: hashes[i],
                 deadline_met: latency_s <= m.request.deadline.budget_s(),
             });
-            report
-                .counters
-                .inc(&format!("served.tenant.{}", m.request.tenant));
+            self.log
+                .push_counter(&format!("served.tenant.{}", m.request.tenant), 1);
         }
-        report.counters.inc("batches");
-        report.counters.add("recovery.retries", recovery.0);
-        report.counters.add("recovery.rollbacks", recovery.1);
-        report.counters.add("recovery.evictions", recovery.2);
+        self.log.push_counter("batches", 1);
+        self.log.push_counter("recovery.retries", recovery.0);
+        self.log.push_counter("recovery.rollbacks", recovery.1);
+        self.log.push_counter("recovery.evictions", recovery.2);
         if escalated {
-            report.counters.inc("escalations");
+            self.log.push_counter("escalations", 1);
         }
         report.batches.push(BatchRecord {
             index,
@@ -363,15 +366,15 @@ impl Server {
             match self.admission.offer(*req, estimate) {
                 Ok(()) => {}
                 Err(reason) => {
-                    report.counters.inc(&format!("shed.{}", reason.kind()));
-                    report.counters.inc(&format!("shed.tenant.{}", req.tenant));
+                    self.log.push_counter(&format!("shed.{}", reason.kind()), 1);
+                    self.log.push_counter(&format!("shed.tenant.{}", req.tenant), 1);
                     report.shed.push(ShedRecord {
                         request: *req,
                         reason,
                     });
                 }
             }
-            report.depth.record(now, self.admission.depth());
+            self.log.push_gauge("queue.depth", now, self.admission.depth() as u64);
             // Idle server dispatches immediately on arrival.
             if self.admission.depth() > 0 && t_free <= now {
                 t_free = self.dispatch(now, &mut report)?;
@@ -391,6 +394,14 @@ impl Server {
             report.why.push_str(&self.tuner.why(GeometryClass::ALL[class_idx], nbnd));
             report.why.push('\n');
         }
+        report.counters = self
+            .log
+            .counters()
+            .map_err(|e| ServeError::Journal(format!("telemetry log: {e}")))?;
+        report.depth = self
+            .log
+            .gauge("queue.depth")
+            .map_err(|e| ServeError::Journal(format!("telemetry log: {e}")))?;
         Ok(report)
     }
 }

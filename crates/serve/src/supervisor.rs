@@ -42,7 +42,7 @@ use crate::server::{PlacementMode, ServeConfig};
 use crate::tuner::{Placement, Tuner};
 use fftx_core::SchedulerPolicy;
 use fftx_fault::{mix64, NodeDeath, Partition, SlowNode};
-use fftx_trace::{CounterSet, Quantiles, StateTimeline};
+use fftx_trace::{CounterSet, EventLog, Quantiles, StateTimeline};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Serve-level fault profiles, all pure in `(seed, shard)`.
@@ -263,8 +263,10 @@ pub struct Fleet {
     open: BTreeSet<u64>,
     jobs: Vec<FleetJob>,
     shed: Vec<(Request, String)>,
-    counters: CounterSet,
-    timeline: StateTimeline,
+    /// The one telemetry store of the supervisor: counters and shard-state
+    /// transitions are recorded here and materialized into the report's
+    /// [`CounterSet`] / [`StateTimeline`] views at the end of the run.
+    log: EventLog,
     /// batch id → job id → result hash; filled by `apply(Completed)`
     /// during replay (journaled completions never re-execute) or lazily by
     /// one pure re-execution per batch at first need.
@@ -359,8 +361,7 @@ impl Fleet {
             open: BTreeSet::new(),
             jobs: Vec::new(),
             shed: Vec::new(),
-            counters: CounterSet::new(),
-            timeline: StateTimeline::new(),
+            log: EventLog::new(),
             hash_cache: BTreeMap::new(),
             corruption_x: BTreeSet::new(),
             corruption_r: BTreeSet::new(),
@@ -502,7 +503,7 @@ impl Fleet {
                 self.open.insert(req.id);
                 self.shards[s].admission.push_back(*req);
                 self.arrival_cursor += 1;
-                self.counters.inc("fleet.accepted");
+                self.log.push_counter("fleet.accepted", 1);
             }
             Record::Shed { req, kind } => {
                 let expect = self.trace.get(self.arrival_cursor).ok_or_else(|| {
@@ -514,8 +515,8 @@ impl Fleet {
                         expect.id, req.id
                     )));
                 }
-                self.counters.inc(&format!("shed.{kind}"));
-                self.counters.inc(&format!("shed.tenant.{}", req.tenant));
+                self.log.push_counter(&format!("shed.{kind}"), 1);
+                self.log.push_counter(&format!("shed.tenant.{}", req.tenant), 1);
                 self.shed.push((*req, kind.clone()));
                 self.arrival_cursor += 1;
             }
@@ -529,7 +530,7 @@ impl Fleet {
                 );
                 self.shards[s].pending = Some(*batch);
                 self.next_batch = self.next_batch.max(batch + 1);
-                self.counters.inc("fleet.batches");
+                self.log.push_counter("fleet.batches", 1);
             }
             Record::Started { shard, batch, start_s, service_s, nr, ntg, policy } => {
                 let s = self.shard_index(*shard)?;
@@ -570,7 +571,7 @@ impl Fleet {
                     hash: *hash,
                     deadline_met: latency_s <= req.deadline.budget_s(),
                 });
-                self.counters.inc(&format!("served.tenant.{}", req.tenant));
+                self.log.push_counter(&format!("served.tenant.{}", req.tenant), 1);
                 self.makespan = self.makespan.max(*done_s);
                 self.remove_member(*shard, *batch, *job);
                 // Completions fire in a tick's first phase, before any
@@ -602,7 +603,7 @@ impl Fleet {
                         }
                     }
                 }
-                self.counters.inc("fleet.suppressed");
+                self.log.push_counter("fleet.suppressed", 1);
                 self.remove_member(*shard, *batch, *job);
                 self.tick = self.tick.max(self.tick_of(*t_s));
             }
@@ -611,42 +612,39 @@ impl Fleet {
                 self.tick = self.tick.max(self.tick_of(*t_s));
                 self.corruption_x.insert(*batch);
                 self.shards[s].corruptions += detections;
-                self.counters.add("fleet.corruption.detected", *detections);
+                self.log.push_counter("fleet.corruption.detected", *detections);
                 let tick = self.tick_of(*t_s);
                 if let Some(state) = self.shards[s].breaker.on_corruption(tick, &self.cfg.health) {
-                    self.timeline.record(*t_s, *shard, state);
-                    self.counters.inc(&format!("fleet.breaker.{state}"));
+                    self.log.push_state(*t_s, *shard, state);
+                    self.log.push_counter(&format!("fleet.breaker.{state}"), 1);
                 }
             }
             Record::Recomputed { shard, batch, rollbacks, t_s } => {
                 self.shard_index(*shard)?;
                 self.tick = self.tick.max(self.tick_of(*t_s));
                 self.corruption_r.insert(*batch);
-                self.counters.add("fleet.corruption.recomputed", *rollbacks);
+                self.log.push_counter("fleet.corruption.recomputed", *rollbacks);
             }
             Record::Heartbeat { shard, tick, t_s, ok } => {
                 let s = self.shard_index(*shard)?;
                 self.tick = *tick;
                 self.hb_tick = Some(*tick);
                 self.hb_from = s + 1;
-                self.counters.inc(if *ok {
-                    "fleet.heartbeat.ok"
-                } else {
-                    "fleet.heartbeat.miss"
-                });
+                let hb = if *ok { "fleet.heartbeat.ok" } else { "fleet.heartbeat.miss" };
+                self.log.push_counter(hb, 1);
                 if let Some(state) =
                     self.shards[s].breaker.on_heartbeat(*ok, *tick, &self.cfg.health)
                 {
-                    self.timeline.record(*t_s, *shard, state);
-                    self.counters.inc(&format!("fleet.breaker.{state}"));
+                    self.log.push_state(*t_s, *shard, state);
+                    self.log.push_counter(&format!("fleet.breaker.{state}"), 1);
                 }
             }
             Record::ShardDown { shard, t_s } => {
                 let s = self.shard_index(*shard)?;
                 self.tick = self.tick.max(self.tick_of(*t_s));
                 self.shards[s].down = true;
-                self.timeline.record(*t_s, *shard, "down");
-                self.counters.inc("fleet.shard_down");
+                self.log.push_state(*t_s, *shard, "down");
+                self.log.push_counter("fleet.shard_down", 1);
                 // Drain everything the shard still owes: its queue, a
                 // batch formed but not started, and the executing batch.
                 let mut drain: Vec<u64> = self.shards[s]
@@ -701,7 +699,7 @@ impl Fleet {
                     ServeError::Journal(format!("job {job} failed over but never accepted"))
                 })?;
                 self.shards[t].admission.restore_front(req);
-                self.counters.inc("fleet.failover.jobs");
+                self.log.push_counter("fleet.failover.jobs", 1);
             }
             Record::Degraded { level, t_s } => {
                 self.tick = self.tick.max(self.tick_of(*t_s));
@@ -710,8 +708,8 @@ impl Fleet {
                 })?;
                 self.ladder.set_level(lvl);
                 self.degrade_t = Some(*t_s);
-                self.counters.inc(&format!("fleet.degrade.{}", lvl.name()));
-                self.timeline.record(*t_s, self.cfg.shards as u32, lvl.name());
+                self.log.push_counter(&format!("fleet.degrade.{}", lvl.name()), 1);
+                self.log.push_state(*t_s, self.cfg.shards as u32, lvl.name());
             }
         }
         Ok(())
@@ -751,7 +749,7 @@ impl Fleet {
         // Not journaled: on resume the prefix's hashes come from the
         // journal's Completed records, so this counter is the run's *real*
         // execution count — the replay-overhead measurement.
-        self.counters.inc("fleet.exec.batch");
+        self.log.push_counter("fleet.exec.batch", 1);
         if run.detections > 0 && !self.corruption_x.contains(&batch) {
             self.emit(Record::CorruptionDetected {
                 shard,
@@ -991,7 +989,7 @@ impl Fleet {
                 .sum();
             depth as f64 / (admitting.len() * self.cfg.serve.admission.queue_cap) as f64
         };
-        let started = self.counters.get("fleet.batches");
+        let started = self.log.counter_total("fleet.batches");
         let corruption = if started == 0 {
             0.0
         } else {
@@ -1050,12 +1048,20 @@ impl Fleet {
 
     fn into_report(self) -> Result<FleetReport, ServeError> {
         let conservation = self.journal.conservation()?;
+        let counters = self
+            .log
+            .counters()
+            .map_err(|e| ServeError::Journal(format!("telemetry log: {e}")))?;
+        let timeline = self
+            .log
+            .state_timeline()
+            .map_err(|e| ServeError::Journal(format!("telemetry log: {e}")))?;
         Ok(FleetReport {
             shards: self.cfg.shards,
             jobs: self.jobs,
             shed: self.shed,
-            counters: self.counters,
-            timeline: self.timeline,
+            counters,
+            timeline,
             journal: self.journal,
             conservation,
             makespan_s: self.makespan,

@@ -1,0 +1,56 @@
+//! Typed errors for the trace crate — decoding a columnar log, schema
+//! lookups and I/O are fallible and must not panic the analysis pipeline.
+
+use std::fmt;
+
+/// Error type for columnar-log encoding/decoding and query lookups.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The byte stream is not a valid columnar log (bad magic, truncated
+    /// varint, out-of-range dictionary id, …).
+    Decode(String),
+    /// A query referenced a stream or column the log does not carry, or the
+    /// column has the wrong type.
+    Schema(String),
+    /// Reading or writing a log file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Decode(m) => write!(f, "columnar decode error: {m}"),
+            TraceError::Schema(m) => write!(f, "columnar schema error: {m}"),
+            TraceError::Io(e) => write!(f, "columnar io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(TraceError::Decode("x".into()).to_string().contains("decode"));
+        assert!(TraceError::Schema("y".into()).to_string().contains("schema"));
+        let io = TraceError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

@@ -54,6 +54,25 @@ impl StateClass {
         }
     }
 
+    /// Stable numeric code used by the columnar event log.
+    pub fn code(self) -> u32 {
+        match self {
+            StateClass::PsiPrep => 0,
+            StateClass::Pack => 1,
+            StateClass::FftZ => 2,
+            StateClass::FftXy => 3,
+            StateClass::Vofr => 4,
+            StateClass::Unpack => 5,
+            StateClass::Runtime => 6,
+            StateClass::Other => 7,
+        }
+    }
+
+    /// Inverse of [`StateClass::code`].
+    pub fn from_code(code: u32) -> Option<Self> {
+        StateClass::ALL.into_iter().find(|c| c.code() == code)
+    }
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -100,6 +119,35 @@ impl CommOp {
             CommOp::Gather => 'g',
             CommOp::SendRecv => 's',
         }
+    }
+
+    /// All operations, in a stable order.
+    pub const ALL: [CommOp; 7] = [
+        CommOp::Alltoall,
+        CommOp::Alltoallv,
+        CommOp::Barrier,
+        CommOp::Allreduce,
+        CommOp::Bcast,
+        CommOp::Gather,
+        CommOp::SendRecv,
+    ];
+
+    /// Stable numeric code used by the columnar event log.
+    pub fn code(self) -> u32 {
+        match self {
+            CommOp::Alltoall => 0,
+            CommOp::Alltoallv => 1,
+            CommOp::Barrier => 2,
+            CommOp::Allreduce => 3,
+            CommOp::Bcast => 4,
+            CommOp::Gather => 5,
+            CommOp::SendRecv => 6,
+        }
+    }
+
+    /// Inverse of [`CommOp::code`].
+    pub fn from_code(code: u32) -> Option<Self> {
+        CommOp::ALL.into_iter().find(|c| c.code() == code)
     }
 
     /// Human-readable name.

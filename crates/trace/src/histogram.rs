@@ -42,7 +42,11 @@ impl IpcHistogram {
                     continue;
                 }
             }
-            let li = lanes.iter().position(|&l| l == r.lane).expect("lane exists");
+            // `lanes` covers every record's lane by construction; skip the
+            // burst rather than panic if that invariant is ever broken.
+            let Some(li) = lanes.iter().position(|&l| l == r.lane) else {
+                continue;
+            };
             let ipc = r.ipc().clamp(ipc_min, ipc_max - 1e-12);
             let bi = ((ipc - ipc_min) * scale) as usize;
             cells[li][bi.min(bins - 1)] += r.duration();

@@ -6,6 +6,10 @@
 //!
 //! * [`event`] — record types: compute bursts with instruction/cycle
 //!   counters, MPI calls with communicator/byte info, task lifecycles;
+//! * [`columnar`] — the single columnar [`EventLog`] store behind every
+//!   producer (one [`Sink`] trait, self-describing binary encoding);
+//! * [`query`] — offline aggregation over the log (rollups, group-bys,
+//!   quantiles, rate windows, diff-vs-baseline);
 //! * [`trace`] — the trace container and the thread-safe [`TraceSink`]
 //!   every execution engine records into;
 //! * [`pop`] — the multiplicative efficiency model of Tables I and II;
@@ -20,9 +24,12 @@
 #![warn(missing_docs)]
 #![allow(clippy::module_inception)]
 
+pub mod columnar;
+pub mod error;
 pub mod event;
 pub mod lane_ctx;
 pub mod histogram;
+pub mod query;
 pub mod metrics;
 pub mod paraver;
 pub mod pop;
@@ -31,6 +38,8 @@ pub mod table;
 pub mod timeline;
 pub mod trace;
 
+pub use columnar::{EventLog, Sink};
+pub use error::TraceError;
 pub use lane_ctx::{current_thread, set_current_thread};
 pub use event::{CommOp, CommRecord, ComputeRecord, Lane, StateClass, TaskRecord};
 pub use histogram::IpcHistogram;

@@ -48,8 +48,9 @@ impl Quantiles {
             return f64::NAN;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+            // total_cmp keeps a stray NaN sample from panicking the
+            // analysis pipeline (NaNs sort last instead).
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let q = q.clamp(0.0, 1.0);
@@ -126,14 +127,16 @@ impl DepthSeries {
     /// Time-weighted mean over the observation span; `NaN` when fewer than
     /// two points were recorded (no span to integrate over).
     pub fn time_weighted_mean(&self) -> f64 {
-        if self.points.len() < 2 {
+        let (Some(&(first_t, _)), Some(&(last_t, _))) =
+            (self.points.first(), self.points.last())
+        else {
             return f64::NAN;
-        }
+        };
         let mut integral = 0.0;
         for w in self.points.windows(2) {
             integral += w[0].1 as f64 * (w[1].0 - w[0].0);
         }
-        let span = self.points.last().expect("non-empty").0 - self.points[0].0;
+        let span = last_t - first_t;
         if span <= 0.0 {
             f64::NAN
         } else {
@@ -201,7 +204,7 @@ impl CounterSet {
 /// analogue of the Paraver state records the execution tracer emits.
 #[derive(Debug, Clone, Default)]
 pub struct StateTimeline {
-    events: Vec<(f64, u32, &'static str)>,
+    events: Vec<(f64, u32, String)>,
 }
 
 impl StateTimeline {
@@ -212,11 +215,11 @@ impl StateTimeline {
 
     /// Records lane `lane` entering `state` at time `t` (seconds, must be
     /// non-decreasing across calls).
-    pub fn record(&mut self, t: f64, lane: u32, state: &'static str) {
+    pub fn record(&mut self, t: f64, lane: u32, state: &str) {
         if let Some(&(last_t, _, _)) = self.events.last() {
             assert!(t >= last_t, "StateTimeline: time must be non-decreasing");
         }
-        self.events.push((t, lane, state));
+        self.events.push((t, lane, state.to_string()));
     }
 
     /// Number of recorded transitions.
@@ -230,37 +233,37 @@ impl StateTimeline {
     }
 
     /// All transitions, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = (f64, u32, &'static str)> + '_ {
-        self.events.iter().copied()
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u32, &str)> + '_ {
+        self.events.iter().map(|(t, l, s)| (*t, *l, s.as_str()))
     }
 
     /// Transitions of one lane, oldest first.
-    pub fn lane(&self, lane: u32) -> impl Iterator<Item = (f64, &'static str)> + '_ {
+    pub fn lane(&self, lane: u32) -> impl Iterator<Item = (f64, &str)> + '_ {
         self.events
             .iter()
             .filter(move |&&(_, l, _)| l == lane)
-            .map(|&(t, _, s)| (t, s))
+            .map(|(t, _, s)| (*t, s.as_str()))
     }
 
     /// How many transitions entered `state` (across all lanes).
     pub fn count(&self, state: &str) -> usize {
-        self.events.iter().filter(|&&(_, _, s)| s == state).count()
+        self.events.iter().filter(|(_, _, s)| s == state).count()
     }
 
     /// The state of `lane` at the end of the timeline, if it ever
     /// transitioned.
-    pub fn last_state(&self, lane: u32) -> Option<&'static str> {
+    pub fn last_state(&self, lane: u32) -> Option<&str> {
         self.events
             .iter()
             .rev()
             .find(|&&(_, l, _)| l == lane)
-            .map(|&(_, _, s)| s)
+            .map(|(_, _, s)| s.as_str())
     }
 
     /// CSV rendering (`t_s,lane,state` rows in time order).
     pub fn csv(&self) -> String {
         let mut out = String::from("t_s,lane,state\n");
-        for &(t, lane, state) in &self.events {
+        for (t, lane, state) in &self.events {
             let _ = writeln!(out, "{t:.6},{lane},{state}");
         }
         out

@@ -77,8 +77,10 @@ pub fn export_paraver(trace: &Trace) -> ParaverBundle {
     let lanes = trace.lanes();
     let nlanes = lanes.len().max(1);
     let t_end = us(trace.t_max());
+    // `lanes` is built from the very records iterated below, so the lookup
+    // always succeeds; fall back to lane 1 rather than panic the exporter.
     let lane_index = |l: &crate::event::Lane| -> usize {
-        lanes.iter().position(|x| x == l).expect("lane exists") + 1
+        lanes.iter().position(|x| x == l).unwrap_or(0) + 1
     };
 
     // Header: #Paraver (dd/mm/yy at hh:mm):endTime_us:nNodes(cpus):nAppl:...

@@ -161,15 +161,11 @@ impl StageHistogram {
 
 /// Per-stage time rollup of one trace: `(stage id, span count, total
 /// seconds)` ascending by stage id — the POP-style profile over the stage
-/// graph instead of over state classes.
+/// graph instead of over state classes. Implemented as a columnar query
+/// ([`crate::query::stage_rollup`]) over the log form of the trace.
 pub fn stage_profile(trace: &Trace) -> Vec<(u32, usize, f64)> {
-    let mut acc: BTreeMap<u32, (usize, f64)> = BTreeMap::new();
-    for r in &trace.stages {
-        let e = acc.entry(r.stage).or_insert((0, 0.0));
-        e.0 += 1;
-        e.1 += r.duration().max(0.0);
-    }
-    acc.into_iter().map(|(s, (n, t))| (s, n, t)).collect()
+    crate::query::stage_rollup(&crate::columnar::EventLog::from_trace(trace))
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -1,7 +1,14 @@
 //! Trace container and the thread-safe collector the execution engines
 //! record into (the Extrae role).
+//!
+//! Since the columnar refactor the collector stores one [`EventLog`] —
+//! [`Trace`] is a *materialized view* extracted at [`TraceSink::finish`] /
+//! [`TraceSink::snapshot`] time, so execution records, serving counters,
+//! gauges and state transitions all share a single storage layer.
 
+use crate::columnar::{EventLog, Sink};
 use crate::event::{CommRecord, ComputeRecord, Lane, StateClass, TaskRecord};
+use crate::metrics::{CounterSet, DepthSeries, StateTimeline};
 use crate::stage::StageRecord;
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -156,10 +163,20 @@ impl Trace {
     }
 }
 
-/// Thread-safe trace collector shared by every rank/worker thread.
+/// Thread-safe trace collector shared by every rank/worker thread, backed
+/// by one columnar [`EventLog`].
 #[derive(Clone, Default)]
 pub struct TraceSink {
-    inner: Arc<Mutex<Trace>>,
+    inner: Arc<Mutex<EventLog>>,
+}
+
+/// Materializes the execution-trace view of an in-memory log. The log was
+/// built through the typed push API (valid class/op codes, interned labels
+/// by construction), so the conversion cannot fail; an empty trace is
+/// returned defensively if that invariant is ever broken.
+fn materialize(log: &EventLog) -> Trace {
+    debug_assert!(log.to_trace().is_ok(), "in-memory log must materialize");
+    log.to_trace().unwrap_or_default()
 }
 
 impl TraceSink {
@@ -177,8 +194,7 @@ impl TraceSink {
         self.inner
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .compute
-            .push(rec);
+            .push_compute(&rec);
     }
 
     /// Records a communication operation (poison-tolerant, see
@@ -187,8 +203,7 @@ impl TraceSink {
         self.inner
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .comm
-            .push(rec);
+            .push_comm(&rec);
     }
 
     /// Records a task lifecycle event (poison-tolerant, see
@@ -197,8 +212,7 @@ impl TraceSink {
         self.inner
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .tasks
-            .push(rec);
+            .push_task(&rec);
     }
 
     /// Records a stage-graph node span (poison-tolerant, see
@@ -207,32 +221,144 @@ impl TraceSink {
         self.inner
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .stages
-            .push(rec);
+            .push_stage(&rec);
+    }
+
+    /// Adds `n` to counter `key` (poison-tolerant, see
+    /// [`TraceSink::compute`]).
+    pub fn counter(&self, key: &str, n: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_counter(key, n);
+    }
+
+    /// Records a gauge observation (poison-tolerant).
+    pub fn gauge(&self, series: &str, t: f64, value: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_gauge(series, t, value);
+    }
+
+    /// Records a state transition of integer lane `lane` (poison-tolerant).
+    pub fn state(&self, t: f64, lane: u32, state: &str) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_state(t, lane, state);
+    }
+
+    /// Running total of counter `key`, served from the log's append-time
+    /// index (O(log k), no materialization).
+    pub fn counter_total(&self, key: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .counter_total(key)
     }
 
     /// Extracts the accumulated trace, sorted by time.
     pub fn finish(self) -> Trace {
-        let mut t = match Arc::try_unwrap(self.inner) {
+        let log = match Arc::try_unwrap(self.inner) {
             Ok(m) => m.into_inner().unwrap_or_else(PoisonError::into_inner),
             Err(arc) => arc
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .clone(),
         };
+        let mut t = materialize(&log);
         t.sort();
         t
     }
 
     /// Clones the current contents without consuming the sink.
     pub fn snapshot(&self) -> Trace {
-        let mut t = self
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
+        let mut t = materialize(
+            &self
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
         t.sort();
         t
+    }
+
+    /// Clones the underlying columnar log (for binary export and offline
+    /// queries).
+    pub fn snapshot_log(&self) -> EventLog {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Consumes the sink and hands out the columnar log itself.
+    pub fn finish_log(self) -> EventLog {
+        match Arc::try_unwrap(self.inner) {
+            Ok(m) => m.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Err(arc) => arc
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    /// Materializes the counter view (sorted labels).
+    pub fn counters(&self) -> CounterSet {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .counters()
+            .unwrap_or_default()
+    }
+
+    /// Materializes one gauge series.
+    pub fn gauge_series(&self, series: &str) -> DepthSeries {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .gauge(series)
+            .unwrap_or_default()
+    }
+
+    /// Materializes the state-transition view.
+    pub fn state_timeline(&self) -> StateTimeline {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .state_timeline()
+            .unwrap_or_default()
+    }
+}
+
+impl Sink for TraceSink {
+    fn compute(&self, r: ComputeRecord) {
+        TraceSink::compute(self, r);
+    }
+
+    fn comm(&self, r: CommRecord) {
+        TraceSink::comm(self, r);
+    }
+
+    fn task(&self, r: TaskRecord) {
+        TraceSink::task(self, r);
+    }
+
+    fn stage(&self, r: StageRecord) {
+        TraceSink::stage(self, r);
+    }
+
+    fn counter(&self, key: &str, n: u64) {
+        TraceSink::counter(self, key, n);
+    }
+
+    fn gauge(&self, series: &str, t: f64, value: u64) {
+        TraceSink::gauge(self, series, t, value);
+    }
+
+    fn state(&self, t: f64, lane: u32, state: &str) {
+        TraceSink::state(self, t, lane, state);
     }
 }
 

@@ -1,0 +1,180 @@
+//! Round-trip properties of the columnar event log:
+//!
+//! * `decode(encode_chunked(log, c)) == log` for any event mix and any
+//!   chunk size, including chunk sizes that straddle row counts (1, 2, 3,
+//!   the default 512),
+//! * the encoding is canonical: re-encoding a decoded log reproduces the
+//!   bytes exactly,
+//! * the string dictionary survives arbitrary growth (every task label /
+//!   counter key distinct) and the derived counter index is rebuilt to the
+//!   same totals,
+//! * a log round-tripped through `Trace` (the row-structured view) yields
+//!   the same downstream event streams.
+
+use fftx_trace::columnar::EventLog;
+use fftx_trace::{CommOp, CommRecord, ComputeRecord, Lane, StageRecord, StateClass, TaskRecord};
+use proptest::prelude::*;
+
+/// One abstract event, drawn from every stream the log knows.
+#[derive(Clone, Debug)]
+enum Ev {
+    Compute(u8, u8, u8, f64, f64),
+    Comm(u8, u8, u8, u64, u16, u32, f64),
+    Task(u8, u8, u64, u32, f64),
+    Stage(u8, u8, u8, u8, f64),
+    Counter(u32, u64),
+    Gauge(u8, f64, u64),
+    State(f64, u8, u8),
+}
+
+fn apply(log: &mut EventLog, ev: &Ev) {
+    match *ev {
+        Ev::Compute(rank, thread, class, t, dur) => log.push_compute(&ComputeRecord {
+            lane: Lane::new(rank as usize, thread as usize),
+            class: StateClass::from_code(class as u32 % 8).unwrap(),
+            t_start: t,
+            t_end: t + dur.abs(),
+            instructions: dur * 1.0e9,
+            cycles: dur * 1.4e9,
+        }),
+        Ev::Comm(rank, thread, op, comm_id, comm_size, bytes, t) => log.push_comm(&CommRecord {
+            lane: Lane::new(rank as usize, thread as usize),
+            op: CommOp::from_code(op as u32 % 7).unwrap(),
+            comm_id,
+            comm_size: comm_size as usize,
+            bytes: bytes as usize,
+            t_start: t,
+            t_end: t + 1.5e-4,
+        }),
+        Ev::Task(rank, thread, id, label, t) => log.push_task(&TaskRecord {
+            lane: Lane::new(rank as usize, thread as usize),
+            task_id: id,
+            label: format!("task-{label}"),
+            t_created: t,
+            t_start: t + 1e-6,
+            t_end: t + 2e-6,
+        }),
+        Ev::Stage(rank, thread, stage, band, t) => log.push_stage(&StageRecord {
+            lane: Lane::new(rank as usize, thread as usize),
+            stage: stage as u32,
+            band: band as u32,
+            t_start: t,
+            t_end: t + 3e-5,
+        }),
+        Ev::Counter(key, n) => log.push_counter(&format!("counter.key{key}"), n),
+        Ev::Gauge(series, t, v) => log.push_gauge(&format!("g{series}"), t, v),
+        Ev::State(t, lane, s) => log.push_state(t, lane as u32, &format!("s{s}")),
+    }
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    (
+        0u8..7,
+        0u8..8,
+        0u8..8,
+        0u32..10_000,
+        0u64..u64::MAX / 2,
+        0.0f64..100.0,
+        0.0f64..0.5,
+    )
+        .prop_map(|(kind, a, b, big, huge, t, dur)| match kind {
+            0 => Ev::Compute(a, b, (big % 8) as u8, t, dur),
+            1 => Ev::Comm(a, b, (big % 7) as u8, huge, (big % 512) as u16, big, t),
+            2 => Ev::Task(a, b, huge, big, t),
+            3 => Ev::Stage(a, b, (big % 64) as u8, (big % 128) as u8, t),
+            4 => Ev::Counter(big, huge % 1_000_000),
+            5 => Ev::Gauge(a, t, huge % 4096),
+            _ => Ev::State(t, a, b),
+        })
+}
+
+fn build(events: &[Ev]) -> EventLog {
+    let mut log = EventLog::new();
+    for ev in events {
+        apply(&mut log, ev);
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_round_trips_any_event_mix(
+        events in proptest::collection::vec(ev_strategy(), 0..200),
+        chunk_sel in 0usize..4,
+    ) {
+        let log = build(&events);
+        let chunk = [1usize, 2, 3, 512][chunk_sel];
+        let bytes = log.encode_chunked(chunk);
+        let decoded = EventLog::decode(&bytes).expect("decode");
+        prop_assert_eq!(&decoded, &log);
+        // Canonical: re-encoding with the same chunking is byte-identical.
+        prop_assert_eq!(decoded.encode_chunked(chunk), bytes);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_decoded_log(
+        events in proptest::collection::vec(ev_strategy(), 1..150),
+    ) {
+        let log = build(&events);
+        let via_default = EventLog::decode(&log.encode()).expect("default");
+        for chunk in [1usize, 2, 3, 7, 511, 512, 513] {
+            let via_chunk = EventLog::decode(&log.encode_chunked(chunk)).expect("chunked");
+            prop_assert_eq!(&via_chunk, &via_default);
+        }
+    }
+
+    #[test]
+    fn counter_index_is_rebuilt_from_the_wire(
+        keys in proptest::collection::vec((0u32..40, 1u64..1000), 1..120),
+    ) {
+        let mut log = EventLog::new();
+        let mut expect = std::collections::BTreeMap::new();
+        for &(k, n) in &keys {
+            let key = format!("counter.key{k}");
+            *expect.entry(key.clone()).or_insert(0u64) += n;
+            log.push_counter(&key, n);
+        }
+        let decoded = EventLog::decode(&log.encode_chunked(3)).expect("decode");
+        for (key, total) in &expect {
+            prop_assert_eq!(decoded.counter_total(key), *total);
+        }
+        prop_assert_eq!(decoded.counter_prefix_total("counter."),
+            expect.values().sum::<u64>());
+    }
+
+    #[test]
+    fn dictionary_growth_survives_round_trip(
+        n in 1usize..400,
+    ) {
+        // Every label distinct: the dictionary grows one entry per push.
+        let mut log = EventLog::new();
+        for i in 0..n {
+            log.push_state(i as f64, 0, &format!("unique-state-{i}"));
+        }
+        let decoded = EventLog::decode(&log.encode_chunked(2)).expect("decode");
+        prop_assert_eq!(decoded.dict_len(), log.dict_len());
+        prop_assert_eq!(&decoded, &log);
+    }
+
+    #[test]
+    fn trace_view_round_trips_event_streams(
+        events in proptest::collection::vec(ev_strategy(), 0..120),
+    ) {
+        // Keep only streams Trace models (compute/comm/task/stage).
+        let events: Vec<Ev> = events
+            .into_iter()
+            .filter(|e| matches!(e, Ev::Compute(..) | Ev::Comm(..) | Ev::Task(..) | Ev::Stage(..)))
+            .collect();
+        let log = build(&events);
+        let trace = log.to_trace().expect("to_trace");
+        let back = EventLog::from_trace(&trace);
+        let t2 = back.to_trace().expect("to_trace again");
+        prop_assert_eq!(trace.compute.len(), t2.compute.len());
+        prop_assert_eq!(&trace.compute, &t2.compute);
+        prop_assert_eq!(&trace.comm, &t2.comm);
+        prop_assert_eq!(&trace.tasks, &t2.tasks);
+        prop_assert_eq!(&trace.stages, &t2.stages);
+    }
+}

@@ -19,8 +19,8 @@ use fftxlib_repro::core::{
 use fftxlib_repro::fft::max_dist;
 use fftxlib_repro::pw::apply_vloc;
 use fftxlib_repro::trace::{
-    export_paraver, intra_factors, phase_profile, render_timeline, StateClass, TimelineOptions,
-    Trace,
+    export_paraver, intra_factors, phase_profile, render_timeline, EventLog, StateClass,
+    TimelineOptions, Trace,
 };
 use std::process::ExitCode;
 
@@ -31,6 +31,8 @@ struct Args {
     timeline: bool,
     metrics: bool,
     paraver: Option<String>,
+    trace_out: Option<String>,
+    trace_dump: Option<String>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -53,6 +55,8 @@ const USAGE: &str = "usage: fftx [options]
   --timeline       print an ASCII timeline of the run
   --metrics        print the POP efficiency factors
   --paraver PREFIX write PREFIX.prv/.pcf/.row (opens in BSC Paraver)
+  --trace-out FILE write the run's event log as a binary columnar trace
+  --trace-dump FILE decode a binary trace and print its summary CSV (no run)
   --help           this text";
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +78,8 @@ fn parse_args() -> Result<Args, String> {
     let mut timeline = false;
     let mut metrics = false;
     let mut paraver = None;
+    let mut trace_out = None;
+    let mut trace_dump = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -103,6 +109,8 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--paraver" => paraver = Some(val("--paraver")?),
+            "--trace-out" => trace_out = Some(val("--trace-out")?),
+            "--trace-dump" => trace_dump = Some(val("--trace-dump")?),
             "--verify" => verify = true,
             "--timeline" => timeline = true,
             "--metrics" => metrics = true,
@@ -129,6 +137,8 @@ fn parse_args() -> Result<Args, String> {
         timeline,
         metrics,
         paraver,
+        trace_out,
+        trace_dump,
     })
 }
 
@@ -155,6 +165,14 @@ fn print_header(config: &FftxConfig, problem: &Problem, engine: Engine) {
 }
 
 fn print_trace_extras(trace: &Trace, runtime: f64, ideal: Option<f64>, args: &Args) {
+    if let Some(path) = &args.trace_out {
+        let bytes = EventLog::from_trace(trace).encode();
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("error writing {path}: {e}");
+        } else {
+            println!("[written] {path} ({} bytes, columnar event log)", bytes.len());
+        }
+    }
     if let Some(prefix) = &args.paraver {
         let bundle = export_paraver(trace);
         for (ext, content) in [("prv", &bundle.prv), ("pcf", &bundle.pcf), ("row", &bundle.row)] {
@@ -213,6 +231,28 @@ fn main() -> ExitCode {
             return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
         }
     };
+    // --trace-dump is a standalone decoder: read, validate, summarize, exit.
+    if let Some(path) = &args.trace_dump {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match EventLog::decode(&bytes)
+            .and_then(|log| fftxlib_repro::trace::query::summary_csv(&log))
+        {
+            Ok(summary) => {
+                print!("{summary}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error decoding {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     args.config.validate();
     let problem = Problem::new(args.config);
     print_header(&args.config, &problem, args.engine);
