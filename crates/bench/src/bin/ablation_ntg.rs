@@ -5,7 +5,7 @@
 //! these two extreme cases should be benchmarked" — this binary does.
 
 use fftx_bench::{CheckKind, GateOp, Harness};
-use fftx_core::{run_modeled, FftxConfig, Mode};
+use fftx_core::{run_modeled, Decomposition, FftxConfig, Mode};
 use fftx_trace::{render_bar_chart, CommOp};
 
 fn main() {
@@ -26,6 +26,7 @@ fn main() {
             nr: total / ntg,
             ntg,
             mode: Mode::Original,
+            decomp: Decomposition::Slab,
             seed: 2017,
         };
         let run = run_modeled(cfg);

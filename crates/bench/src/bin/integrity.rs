@@ -165,13 +165,14 @@ fn main() {
             Record::Batched { batch, jobs, .. } => {
                 members.insert(*batch, jobs.iter().map(|j| by_id[j]).collect());
             }
-            Record::Started { batch, nr, ntg, policy, .. } => {
+            Record::Started { batch, nr, ntg, policy, decomp, .. } => {
                 placements.insert(
                     *batch,
                     Placement {
                         nr: *nr,
                         ntg: *ntg,
                         policy: fftx_core::SchedulerPolicy::ALL[*policy],
+                        decomp: fftx_core::Decomposition::ALL[*decomp],
                     },
                 );
             }

@@ -41,6 +41,99 @@ impl Mode {
     }
 }
 
+/// Data decomposition of the scatter exchange (sticks↔planes transpose).
+///
+/// `Slab` is the paper's QE layout: one padded alltoall over all R ranks of
+/// a scatter family. `Pencil` factors the family into a p1 × p2 process
+/// grid ([`fftx_pw::ProcessGrid`]) and runs two smaller transposes (row,
+/// then column) — roughly twice the volume but far fewer messages, the
+/// AccFFT trade-off that wins at high rank counts. Both lowerings produce
+/// bitwise-identical results; only the exchange schedule differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Decomposition {
+    /// Sticks↔planes via one full-family alltoall (the paper's layout).
+    Slab,
+    /// 2-D process grid with two transpose exchanges (row + column).
+    Pencil,
+}
+
+impl Decomposition {
+    /// Every decomposition, in presentation order.
+    pub const ALL: [Decomposition; 2] = [Decomposition::Slab, Decomposition::Pencil];
+
+    /// Short name used in reports and knobs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Decomposition::Slab => "slab",
+            Decomposition::Pencil => "pencil",
+        }
+    }
+
+    /// Parses a knob value (`slab` / `pencil`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "slab" => Some(Decomposition::Slab),
+            "pencil" => Some(Decomposition::Pencil),
+            _ => None,
+        }
+    }
+
+    /// Stable index (used in tuner candidate keys).
+    pub fn index(self) -> usize {
+        match self {
+            Decomposition::Slab => 0,
+            Decomposition::Pencil => 1,
+        }
+    }
+}
+
+/// A decomposition *request*: one of the fixed decompositions, or `Auto`
+/// (let the placement tuner / cost model choose per workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompChoice {
+    /// Force the slab lowering.
+    Slab,
+    /// Force the pencil lowering.
+    Pencil,
+    /// Pick per workload (tuner axis / comm-model comparison).
+    Auto,
+}
+
+impl DecompChoice {
+    /// Parses a knob value (`slab` / `pencil` / `auto`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "slab" => Some(DecompChoice::Slab),
+            "pencil" => Some(DecompChoice::Pencil),
+            "auto" => Some(DecompChoice::Auto),
+            _ => None,
+        }
+    }
+
+    /// Short name used in reports and knobs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecompChoice::Slab => "slab",
+            DecompChoice::Pencil => "pencil",
+            DecompChoice::Auto => "auto",
+        }
+    }
+
+    /// The fixed decomposition this choice pins, if any.
+    pub fn fixed(self) -> Option<Decomposition> {
+        match self {
+            DecompChoice::Slab => Some(Decomposition::Slab),
+            DecompChoice::Pencil => Some(Decomposition::Pencil),
+            DecompChoice::Auto => None,
+        }
+    }
+}
+
+/// The valid `FFTX_DECOMP` / `--decomp` values, for error messages.
+pub fn valid_decomps() -> &'static str {
+    "slab, pencil, auto"
+}
+
 /// Full configuration of one miniapp execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FftxConfig {
@@ -57,6 +150,8 @@ pub struct FftxConfig {
     pub ntg: usize,
     /// Execution strategy.
     pub mode: Mode,
+    /// Scatter-exchange decomposition (slab or pencil).
+    pub decomp: Decomposition,
     /// Seed for the synthetic bands and potential.
     pub seed: u64,
 }
@@ -72,6 +167,7 @@ impl FftxConfig {
             nr,
             ntg: 8,
             mode,
+            decomp: Decomposition::Slab,
             seed: 2017,
         }
     }
@@ -86,8 +182,15 @@ impl FftxConfig {
             nr,
             ntg,
             mode,
+            decomp: Decomposition::Slab,
             seed: 42,
         }
+    }
+
+    /// The same configuration with a different decomposition.
+    pub fn with_decomp(mut self, decomp: Decomposition) -> Self {
+        self.decomp = decomp;
+        self
     }
 
     /// MPI ranks the execution uses: R×T for the original static code,
@@ -190,6 +293,30 @@ mod tests {
         let mut c = FftxConfig::small(1, 3, Mode::Original);
         c.nbnd = 4;
         c.validate();
+    }
+
+    #[test]
+    fn decomp_parse_roundtrip() {
+        for d in Decomposition::ALL {
+            assert_eq!(Decomposition::parse(d.name()), Some(d));
+        }
+        assert_eq!(Decomposition::parse("ring"), None);
+        for c in [DecompChoice::Slab, DecompChoice::Pencil, DecompChoice::Auto] {
+            assert_eq!(DecompChoice::parse(c.name()), Some(c));
+        }
+        assert_eq!(DecompChoice::Slab.fixed(), Some(Decomposition::Slab));
+        assert_eq!(DecompChoice::Pencil.fixed(), Some(Decomposition::Pencil));
+        assert_eq!(DecompChoice::Auto.fixed(), None);
+        assert_eq!(valid_decomps(), "slab, pencil, auto");
+    }
+
+    #[test]
+    fn with_decomp_switches_only_the_decomposition() {
+        let base = FftxConfig::small(2, 2, Mode::Original);
+        assert_eq!(base.decomp, Decomposition::Slab);
+        let p = base.with_decomp(Decomposition::Pencil);
+        assert_eq!(p.decomp, Decomposition::Pencil);
+        assert_eq!(FftxConfig { decomp: Decomposition::Slab, ..p }, base);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! [`load`] up front and refuse to start on an invalid value instead of
 //! silently falling back — the failure mode this module exists to kill.
 
+use crate::config::{valid_decomps, DecompChoice};
 use crate::stages::SchedulerPolicy;
 use crate::verify::VerifyMode;
 use fftx_fault::{ChaosConfig, RecoveryConfig};
@@ -62,6 +63,10 @@ pub struct EnvKnobs {
     pub arena_poison: bool,
     /// `FFTX_VERIFY`: ABFT verification mode of the pipeline's FFT legs.
     pub verify: VerifyMode,
+    /// `FFTX_DECOMP`: scatter decomposition request (slab/pencil/auto),
+    /// when set. Callers keep their own default when unset — `slab` for
+    /// the direct driver, `auto` for the serving layer's tuner.
+    pub decomp: Option<DecompChoice>,
 }
 
 /// Parses every knob from the process environment. See [`load_from`].
@@ -148,12 +153,22 @@ pub fn load_from(get: impl Fn(&str) -> Option<String>) -> Result<EnvKnobs, EnvEr
         })?,
     };
 
+    let decomp = match get("FFTX_DECOMP") {
+        None => None,
+        Some(v) => Some(DecompChoice::parse(&v).ok_or_else(|| EnvError {
+            key: "FFTX_DECOMP",
+            value: v,
+            expected: format!("one of: {}", valid_decomps()),
+        })?),
+    };
+
     Ok(EnvKnobs {
         scheduler,
         chaos,
         recovery,
         arena_poison,
         verify,
+        decomp,
     })
 }
 
@@ -191,6 +206,25 @@ mod tests {
         assert_eq!(knobs.recovery, RecoveryConfig::default());
         assert!(!knobs.arena_poison);
         assert_eq!(knobs.verify, VerifyMode::Off);
+        assert_eq!(knobs.decomp, None);
+    }
+
+    #[test]
+    fn decomp_vocabulary_is_enforced() {
+        for (v, want) in [
+            ("slab", DecompChoice::Slab),
+            ("pencil", DecompChoice::Pencil),
+            ("auto", DecompChoice::Auto),
+        ] {
+            let knobs = load_from(env(&[("FFTX_DECOMP", v)])).expect("valid");
+            assert_eq!(knobs.decomp, Some(want));
+        }
+        let err = load_from(env(&[("FFTX_DECOMP", "ring")])).expect_err("strict");
+        assert_eq!(err.key, "FFTX_DECOMP");
+        let msg = err.to_string();
+        for name in ["slab", "pencil", "auto"] {
+            assert!(msg.contains(name), "message must list '{name}': {msg}");
+        }
     }
 
     #[test]

@@ -32,9 +32,9 @@ pub mod taskmodes;
 pub mod verify;
 
 pub use config::env::{load as load_env, valid_policies, EnvError, EnvKnobs};
-pub use config::{FftxConfig, Mode};
+pub use config::{valid_decomps, DecompChoice, Decomposition, FftxConfig, Mode};
 pub use original::{run_original, RunOutput};
-pub use plan::{BufferArena, ExecPlan};
+pub use plan::{BufferArena, ExecPlan, PencilTables};
 pub use recovery::{run_eviction, run_retry, run_rollback, RecoveryStats};
 pub use verify::{probe_fft_unit, run_verified, VerifyMode, VerifyStats, PARSEVAL_TOL};
 pub use problem::Problem;
@@ -43,11 +43,11 @@ pub use problem::Problem;
 // fftx-pw dependency.
 pub use fftx_pw::{Cell, FftGrid, DUAL};
 pub use modelplan::{
-    build_programs, run_modeled, run_modeled_with, simulate_config, simulate_config_faulty,
-    ModeledRun,
+    build_programs, choose_decomp, modeled_scatter_seconds, resolve_decomp, run_modeled,
+    run_modeled_with, simulate_config, simulate_config_faulty, ModeledRun,
 };
 pub use stages::{
-    run_policy, run_policy_chaotic, SchedulerPolicy, StageKind, StagePlan, StageRunner,
-    BAND_PIPELINE,
+    run_policy, run_policy_chaotic, ScatterComms, SchedulerPolicy, StageKind, StagePlan,
+    StageRunner, BAND_PIPELINE,
 };
 pub use taskmodes::{run, run_chaotic};

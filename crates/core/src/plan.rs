@@ -23,8 +23,9 @@
 //! ever read a padding slot the NaNs would propagate into the bands and the
 //! golden bitwise suite would fail.
 
+use crate::config::Decomposition;
 use fftx_fft::{cached_plan, Complex64, Fft};
-use fftx_pw::{FftGrid, GroupIndexMaps, TaskGroupLayout};
+use fftx_pw::{FftGrid, GroupIndexMaps, ProcessGrid, TaskGroupLayout};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -39,6 +40,30 @@ const POISON_VALUE: Complex64 = Complex64 {
     re: f64::NAN,
     im: f64::NAN,
 };
+
+/// Precomputed tables of the pencil lowering of the scatter exchange: the
+/// p1 × p2 factorisation of the scatter family and the chunk staging
+/// permutation that makes the two-phase (row, then column) transpose land
+/// its receive buffer in slab order. `None` on a slab plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PencilTables {
+    /// The p1 × p2 process grid over the scatter family.
+    pub pgrid: ProcessGrid,
+    /// Staging slot of the chunk destined to family-rank `gp`
+    /// (`pgrid.chunk_pos(gp)`, precomputed flat).
+    pub chunk_pos: Vec<usize>,
+}
+
+impl PencilTables {
+    /// Tables for a scatter family of `r` ranks.
+    pub fn for_family(r: usize) -> Self {
+        let pgrid = ProcessGrid::factor(r);
+        PencilTables {
+            pgrid,
+            chunk_pos: (0..r).map(|gp| pgrid.chunk_pos(gp)).collect(),
+        }
+    }
+}
 
 /// Everything static about one task group's pipeline, computed once:
 /// dimensions, flat index maps, chunk geometry and interned FFT plans.
@@ -75,12 +100,20 @@ pub struct ExecPlan {
     pub y: Arc<Fft>,
     /// Interned 1-D plan along z.
     pub z: Arc<Fft>,
+    /// Pencil-lowering tables (`None` = slab).
+    pub pencil: Option<PencilTables>,
 }
 
 impl ExecPlan {
-    /// Plans task group `g` of `l`: precomputes the index maps and interns
-    /// the FFT plans. Build once, execute many.
+    /// Plans task group `g` of `l` under the slab decomposition.
     pub fn for_layout(l: &TaskGroupLayout, g: usize) -> Self {
+        Self::for_layout_decomp(l, g, Decomposition::Slab)
+    }
+
+    /// Plans task group `g` of `l` under `decomp`: precomputes the index
+    /// maps (and, for pencil, the staging permutation) and interns the FFT
+    /// plans. Build once, execute many.
+    pub fn for_layout_decomp(l: &TaskGroupLayout, g: usize, decomp: Decomposition) -> Self {
         let grid = l.grid;
         ExecPlan {
             g,
@@ -99,7 +132,26 @@ impl ExecPlan {
             x: cached_plan(grid.nr1),
             y: cached_plan(grid.nr2),
             z: cached_plan(grid.nr3),
+            pencil: match decomp {
+                Decomposition::Slab => None,
+                Decomposition::Pencil => Some(PencilTables::for_family(l.r)),
+            },
         }
+    }
+
+    /// The decomposition this plan was lowered for.
+    pub fn decomp(&self) -> Decomposition {
+        if self.pencil.is_some() {
+            Decomposition::Pencil
+        } else {
+            Decomposition::Slab
+        }
+    }
+
+    /// Staging slot of the chunk destined to family-rank `gp`: `gp` under
+    /// slab, the pencil permutation otherwise.
+    fn chunk_slot(&self, gp: usize) -> usize {
+        self.pencil.as_ref().map_or(gp, |p| p.chunk_pos[gp])
     }
 
     /// z-stick buffer length (`nst * nr3`).
@@ -194,14 +246,16 @@ impl ExecPlan {
 
     /// Builds the padded forward-scatter send buffer in `send`: the chunk
     /// for peer `g'` holds this group's sticks restricted to `g'`'s plane
-    /// range, laid out `[stick][local z]` with stride `max_npp`.
+    /// range, laid out `[stick][local z]` with stride `max_npp`. Under the
+    /// pencil lowering the chunk sits at the staging slot the two-phase
+    /// exchange expects instead of slot `g'`.
     pub fn scatter_pack(&self, zbuf: &[Complex64], send: &mut Vec<Complex64>) {
         let nr3 = self.grid.nr3;
         assert_eq!(zbuf.len(), self.zbuf_len(), "scatter_pack: zbuf size");
         self.ensure_scatter(send);
         for gp in 0..self.r {
             let (gz0, gz1) = self.plane_range[gp];
-            let base = gp * self.chunk;
+            let base = self.chunk_slot(gp) * self.chunk;
             for s in 0..self.nst {
                 let col = s * nr3;
                 let dst = base + s * self.max_npp;
@@ -235,13 +289,36 @@ impl ExecPlan {
         assert_eq!(planes.len(), self.planes_len(), "planes_to_scatter: planes size");
         self.ensure_scatter(send);
         for gp in 0..self.r {
-            let base = gp * self.chunk;
+            let base = self.chunk_slot(gp) * self.chunk;
             for (si, &at) in self.maps.plane_cols[gp].iter().enumerate() {
                 let at = at as usize;
                 let dst = base + si * self.max_npp;
                 for zl in 0..self.npp {
                     send[dst + zl] = planes[zl * self.plane + at];
                 }
+            }
+        }
+    }
+
+    /// The mid-exchange restage of the pencil lowering: chunk-transposes
+    /// the row-phase receive buffer into column-phase send order
+    /// (`mid[(rp·p2 + c)·chunk] ← recv[(c·p1 + rp)·chunk]`), so that after
+    /// the column exchange every rank holds chunks in plain source order —
+    /// the slab order [`ExecPlan::scatter_unpack_to_planes`] and
+    /// [`ExecPlan::zbuf_from_scatter`] expect.
+    ///
+    /// # Panics
+    /// Panics on a slab plan, or when `recv` is not `r * chunk` long.
+    pub fn pencil_restage(&self, recv: &[Complex64], mid: &mut Vec<Complex64>) {
+        let tables = self.pencil.as_ref().expect("pencil_restage: slab plan");
+        let (p1, p2) = (tables.pgrid.p1, tables.pgrid.p2);
+        assert_eq!(recv.len(), self.scatter_len(), "pencil_restage: recv size");
+        self.ensure_scatter(mid);
+        for rp in 0..p1 {
+            for c in 0..p2 {
+                let dst = (rp * p2 + c) * self.chunk;
+                let src = (c * p1 + rp) * self.chunk;
+                mid[dst..dst + self.chunk].copy_from_slice(&recv[src..src + self.chunk]);
             }
         }
     }
@@ -295,6 +372,9 @@ pub struct BufferArena {
     pub scatter_send: Vec<Complex64>,
     /// Padded scatter receive buffer (`r * chunk`).
     pub scatter_recv: Vec<Complex64>,
+    /// Mid-exchange restage buffer of the pencil lowering (`r * chunk`;
+    /// stays empty under slab).
+    pub pencil_mid: Vec<Complex64>,
 }
 
 impl BufferArena {
@@ -404,6 +484,101 @@ mod tests {
                 for zl in 0..l.npp(g) {
                     let at = gp * plan.chunk + si * plan.max_npp + zl;
                     assert_eq!(bw[at], want_bw[at]);
+                }
+            }
+        }
+    }
+
+    /// Emulates one alltoall over a `members`-sized family: every rank's
+    /// block `m` of `send` lands as block `me` of member `m`'s receive.
+    fn emulate_alltoall(sends: &[Vec<Complex64>], members: usize) -> Vec<Vec<Complex64>> {
+        let total = sends[0].len();
+        let block = total / members;
+        (0..members)
+            .map(|me| {
+                let mut recv = vec![Complex64::ZERO; total];
+                for (m, s) in sends.iter().enumerate() {
+                    recv[m * block..(m + 1) * block]
+                        .copy_from_slice(&s[me * block..(me + 1) * block]);
+                }
+                recv
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pencil_two_phase_reproduces_slab_exchange() {
+        // Full-family emulation: pack every group's zbuf under both
+        // lowerings, run the slab alltoall vs the row exchange + restage +
+        // column exchange, and require the final receive buffers to be
+        // identical in every *read* slot — the bitwise-identity argument
+        // of DESIGN.md §18, checked at the table level.
+        for (r, t) in [(4usize, 1usize), (6, 1), (3, 2)] {
+            let l = layout(r, t);
+            let slab: Vec<ExecPlan> = (0..r).map(|g| ExecPlan::for_layout(&l, g)).collect();
+            let pencil: Vec<ExecPlan> = (0..r)
+                .map(|g| ExecPlan::for_layout_decomp(&l, g, Decomposition::Pencil))
+                .collect();
+            let pgrid = pencil[0].pencil.as_ref().unwrap().pgrid;
+            let (p1, p2) = (pgrid.p1, pgrid.p2);
+            let zbufs: Vec<Vec<Complex64>> = (0..r)
+                .map(|g| {
+                    (0..slab[g].zbuf_len())
+                        .map(|n| c64(g as f64 * 1e6 + n as f64, n as f64))
+                        .collect()
+                })
+                .collect();
+            // Slab: one full-family exchange.
+            let mut slab_sends = Vec::new();
+            for g in 0..r {
+                let mut s = Vec::new();
+                slab[g].scatter_pack(&zbufs[g], &mut s);
+                slab_sends.push(s);
+            }
+            let slab_recv = emulate_alltoall(&slab_sends, r);
+            // Pencil: row exchange (family index g has row g/p2, col g%p2;
+            // row peers are contiguous), restage, column exchange (column
+            // peers are strided by p2).
+            let mut pen_sends = Vec::new();
+            for g in 0..r {
+                let mut s = Vec::new();
+                pencil[g].scatter_pack(&zbufs[g], &mut s);
+                pen_sends.push(s);
+            }
+            let mut pen_recv = vec![Vec::new(); r];
+            for row in 0..p1 {
+                let family: Vec<Vec<Complex64>> =
+                    (0..p2).map(|c| pen_sends[row * p2 + c].clone()).collect();
+                for (c, recv) in emulate_alltoall(&family, p2).into_iter().enumerate() {
+                    pen_recv[row * p2 + c] = recv;
+                }
+            }
+            let mut mids = Vec::new();
+            for g in 0..r {
+                let mut mid = Vec::new();
+                pencil[g].pencil_restage(&pen_recv[g], &mut mid);
+                mids.push(mid);
+            }
+            let mut pen_final = vec![Vec::new(); r];
+            for col in 0..p2 {
+                let family: Vec<Vec<Complex64>> =
+                    (0..p1).map(|rp| mids[rp * p2 + col].clone()).collect();
+                for (rp, recv) in emulate_alltoall(&family, p1).into_iter().enumerate() {
+                    pen_final[rp * p2 + col] = recv;
+                }
+            }
+            // Compare the read slots of every chunk (padding may differ).
+            for g in 0..r {
+                for gp in 0..r {
+                    for s in 0..l.nst_group(gp) {
+                        let npp = l.npp(g);
+                        let at = gp * slab[g].chunk + s * slab[g].max_npp;
+                        assert_eq!(
+                            &pen_final[g][at..at + npp],
+                            &slab_recv[g][at..at + npp],
+                            "r={r} t={t} rank {g} chunk {gp} stick {s}"
+                        );
+                    }
                 }
             }
         }

@@ -51,7 +51,7 @@ impl Problem {
         layout.validate();
         let v = generate_potential(&grid, config.seed);
         let plans = (0..layout.r)
-            .map(|g| Arc::new(ExecPlan::for_layout(&layout, g)))
+            .map(|g| Arc::new(ExecPlan::for_layout_decomp(&layout, g, config.decomp)))
             .collect();
         Arc::new(Problem {
             config,

@@ -49,7 +49,7 @@ use crate::original::{finish_run, RunOutput};
 use crate::plan::BufferArena;
 use crate::problem::Problem;
 use crate::recorder::Recorder;
-use crate::stages::StagePlan;
+use crate::stages::{ScatterComms, StagePlan};
 use fftx_fault::{BatchAborts, RankDeath, RecoveryConfig, TaskCrashes};
 use fftx_fft::Complex64;
 use fftx_pw::{
@@ -154,6 +154,10 @@ fn rank_retry(
     let w = comm.rank();
     let g = w; // layout has t = 1: every rank is its own task group
     let sp = Arc::new(StagePlan::for_problem(problem, g));
+    // Collective: every rank constructs the scatter communicator set (and,
+    // under the pencil decomposition, its row/column sub-communicators)
+    // before any task runs.
+    let sc = Arc::new(ScatterComms::new(comm.clone(), cfg.decomp));
     let arenas: Arc<Vec<Shared<BufferArena>>> = Arc::new(
         (0..cfg.ntg).map(|_| Shared::new(BufferArena::new())).collect(),
     );
@@ -175,6 +179,7 @@ fn rank_retry(
         let problem = Arc::clone(problem);
         let comm = comm.clone();
         let sp = Arc::clone(&sp);
+        let sc = Arc::clone(&sc);
         let arenas = Arc::clone(&arenas);
         let share = share.clone();
         let attempts = Arc::new(AtomicU32::new(0));
@@ -201,7 +206,7 @@ fn rank_retry(
                 let runner = sp.runner(&problem.v, &rec);
                 let mut guard = arenas[fftx_trace::current_thread()].write();
                 runner
-                    .band_fused(b, &comm, &share, &mut guard)
+                    .band_fused(b, &sc, &share, &mut guard)
                     .unwrap_or_else(|e| panic!("{e}"));
             },
         );
@@ -280,7 +285,7 @@ fn rank_rollback(
     let i = l.member_of(w);
     let t = l.t;
     let pack_comm = comm.split(g as u64, i);
-    let scatter_comm = comm.split(i as u64, g);
+    let scatter_comm = ScatterComms::new(comm.split(i as u64, g), cfg.decomp);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
     let sp = StagePlan::for_problem(problem, g);
     let runner = sp.runner(&problem.v, &rec);
@@ -440,7 +445,7 @@ fn rank_eviction(
     let i = l.member_of(w);
     let t = l.t;
     let pack_comm = comm.split(g as u64, i);
-    let scatter_comm = comm.split(i as u64, g);
+    let scatter_comm = ScatterComms::new(comm.split(i as u64, g), cfg.decomp);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
     let sp = StagePlan::for_problem(problem, g);
     let runner = sp.runner(&problem.v, &rec);
@@ -540,8 +545,8 @@ fn rank_eviction(
     let g2 = new_l.task_group_of(me2);
     let i2 = new_l.member_of(me2);
     let pack2 = shrunk.split(g2 as u64, i2);
-    let scat2 = shrunk.split(i2 as u64, g2);
-    let sp2 = StagePlan::for_layout(new_l, g2);
+    let scat2 = ScatterComms::new(shrunk.split(i2 as u64, g2), cfg.decomp);
+    let sp2 = StagePlan::for_layout_decomp(new_l, g2, cfg.decomp);
     let runner2 = sp2.runner(&problem.v, &rec);
     let p2 = shrunk.size();
     let rem_batches = (cfg.nbnd - done_bands) / t2;

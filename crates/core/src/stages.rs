@@ -40,13 +40,13 @@
 //! (`taskrt`'s dependency-slot spawn API): the graph shape comes from
 //! [`BAND_PIPELINE`], the data placement from the policy.
 
-use crate::config::Mode;
+use crate::config::{Decomposition, Mode};
 use crate::original::{finish_run, RunOutput, StepFlops};
 use crate::plan::{BufferArena, ExecPlan};
 use crate::problem::Problem;
 use crate::recorder::Recorder;
 use fftx_fft::{cft_1z, cft_2xy_buf, Complex64, Direction};
-use fftx_pw::{apply_potential_slab, TaskGroupLayout};
+use fftx_pw::{apply_potential_slab, ProcessGrid, TaskGroupLayout};
 use fftx_taskrt::{Dep, Handle, Runtime, Shared, SlotArena, TaskGraph};
 use fftx_trace::{StateClass, TraceSink};
 use fftx_vmpi::{
@@ -276,6 +276,79 @@ impl StageNode {
 }
 
 // ---------------------------------------------------------------------
+// Scatter communicators (the decomposition axis at the transport level)
+// ---------------------------------------------------------------------
+
+/// The row/column communicator pair of the pencil lowering: `row` spans
+/// the p2 ranks sharing a process-grid row (member index = column),
+/// `col` the p1 ranks sharing a column (member index = row).
+pub struct PencilComms {
+    /// Row communicator (phase-1 exchange, size p2).
+    pub row: Communicator,
+    /// Column communicator (phase-2 exchange, size p1).
+    pub col: Communicator,
+}
+
+/// The communicator bundle of the scatter exchange — the transport half of
+/// the decomposition axis. Slab uses `full` directly; pencil additionally
+/// carries the row/column split of the family. Both row and column
+/// exchanges reuse the caller's tag: the communicators are distinct, so
+/// their matching spaces never collide.
+pub struct ScatterComms {
+    /// The whole scatter family.
+    pub full: Communicator,
+    /// The pencil split, when the plan is lowered for pencil.
+    pub pencil: Option<PencilComms>,
+}
+
+impl ScatterComms {
+    /// Builds the bundle over a scatter-family communicator. The pencil
+    /// splits are collective over `full`, so every family member must call
+    /// this in the same order (exactly like the splits that created `full`
+    /// itself).
+    pub fn new(full: Communicator, decomp: Decomposition) -> Self {
+        let pencil = match decomp {
+            Decomposition::Slab => None,
+            Decomposition::Pencil => {
+                let pg = ProcessGrid::factor(full.size());
+                let g = full.rank();
+                let row = full.split(pg.row(g) as u64, pg.col(g));
+                let col = full.split(pg.col(g) as u64, pg.row(g));
+                Some(PencilComms { row, col })
+            }
+        };
+        ScatterComms { full, pencil }
+    }
+
+    /// The communicator a scatter *post* goes out on: the row half under
+    /// pencil (phase 2 completes in the wait), the full family under slab.
+    pub fn post_comm(&self) -> &Communicator {
+        self.pencil.as_ref().map_or(&self.full, |p| &p.row)
+    }
+
+    /// The decomposition this bundle serves.
+    pub fn decomp(&self) -> Decomposition {
+        if self.pencil.is_some() {
+            Decomposition::Pencil
+        } else {
+            Decomposition::Slab
+        }
+    }
+}
+
+impl Clone for ScatterComms {
+    fn clone(&self) -> Self {
+        ScatterComms {
+            full: self.full.clone(),
+            pencil: self.pencil.as_ref().map(|p| PencilComms {
+                row: p.row.clone(),
+                col: p.col.clone(),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Plan bundle (the one re-plan path)
 // ---------------------------------------------------------------------
 
@@ -303,8 +376,15 @@ impl StagePlan {
     /// A plan for task group `g` of an explicit layout (the mid-run re-plan
     /// after a rank eviction, where the layout is only known at runtime).
     pub fn for_layout(l: &TaskGroupLayout, g: usize) -> Self {
+        Self::for_layout_decomp(l, g, Decomposition::Slab)
+    }
+
+    /// [`StagePlan::for_layout`] under an explicit decomposition — the
+    /// eviction re-plan must keep the surviving ranks on the decomposition
+    /// the run started with.
+    pub fn for_layout_decomp(l: &TaskGroupLayout, g: usize, decomp: Decomposition) -> Self {
         StagePlan {
-            plan: Arc::new(ExecPlan::for_layout(l, g)),
+            plan: Arc::new(ExecPlan::for_layout_decomp(l, g, decomp)),
             flops: StepFlops::for_layout(l, g),
         }
     }
@@ -495,25 +575,79 @@ impl StageRunner<'_> {
         })
     }
 
-    /// `ScatterFwd`, fused blocking form: pack sticks, padded alltoall,
-    /// unpack onto the plane slab.
+    /// The exchange leg of a blocking scatter: one full-family alltoall
+    /// under slab; row alltoall → chunk-transpose restage → column
+    /// alltoall under pencil. Phase 2 lands the receive buffer in slab
+    /// order (see [`ExecPlan::pencil_restage`]), so the unpack side is
+    /// decomposition-blind. Both phases reuse `tag` — the communicators
+    /// differ, so the matching spaces are disjoint.
+    fn scatter_exchange(
+        &self,
+        sc: &ScatterComms,
+        tag: u32,
+        send: &[Complex64],
+        recv: &mut Vec<Complex64>,
+        mid: &mut Vec<Complex64>,
+    ) -> Result<(), VmpiError> {
+        match &sc.pencil {
+            None => sc.full.try_alltoall_into(send, recv, tag),
+            Some(p) => {
+                p.row.try_alltoall_into(send, recv, tag)?;
+                self.rec
+                    .compute(StateClass::Other, self.flops.scatter_copy / 2.0, || {
+                        self.plan.pencil_restage(recv, mid);
+                    });
+                p.col.try_alltoall_into(mid, recv, tag)
+            }
+        }
+    }
+
+    /// Completes a split-phase scatter: wait for the posted phase (the row
+    /// alltoall under pencil, the whole exchange under slab), then run
+    /// pencil's restage + blocking column alltoall. The column exchange
+    /// inside a wait cannot deadlock: waits of band `b` carry deferred
+    /// priority `b + nbnd` on every rank, so all ranks order their
+    /// outstanding column collectives identically (see DESIGN.md §18).
+    fn scatter_finish(
+        &self,
+        sc: &ScatterComms,
+        tag: u32,
+        req: AlltoallRequest<Complex64>,
+        recv: &mut Vec<Complex64>,
+        mid: &mut Vec<Complex64>,
+    ) -> Result<(), VmpiError> {
+        req.wait_into(recv);
+        if let Some(p) = &sc.pencil {
+            self.rec
+                .compute(StateClass::Other, self.flops.scatter_copy / 2.0, || {
+                    self.plan.pencil_restage(recv, mid);
+                });
+            p.col.try_alltoall_into(mid, recv, tag)?;
+        }
+        Ok(())
+    }
+
+    /// `ScatterFwd`, fused blocking form: pack sticks, padded exchange
+    /// (one or two alltoalls per the decomposition), unpack onto the plane
+    /// slab.
     #[allow(clippy::too_many_arguments)]
     pub fn scatter_fwd(
         &self,
         band: usize,
-        comm: &Communicator,
+        sc: &ScatterComms,
         tag: u32,
         zbuf: &[Complex64],
         planes: &mut [Complex64],
         send: &mut Vec<Complex64>,
         recv: &mut Vec<Complex64>,
+        mid: &mut Vec<Complex64>,
     ) -> Result<(), VmpiError> {
         self.span(StageKind::ScatterFwd, band, || {
             self.rec
                 .compute(StateClass::Other, self.flops.scatter_copy / 2.0, || {
                     self.plan.scatter_pack(zbuf, send);
                 });
-            comm.try_alltoall_into(send, recv, tag)?;
+            self.scatter_exchange(sc, tag, send, recv, mid)?;
             self.rec
                 .compute(StateClass::Other, self.flops.scatter_copy / 2.0, || {
                     self.plan.scatter_unpack_to_planes(recv, planes);
@@ -524,11 +658,12 @@ impl StageRunner<'_> {
 
     /// `ScatterFwd`, split-phase post half: never blocks — the transport
     /// stages its own copy of the send, so the staging buffer is free for
-    /// reuse the moment the post returns.
+    /// reuse the moment the post returns. Under pencil this posts the row
+    /// phase; the wait half completes the column phase.
     pub fn scatter_fwd_post(
         &self,
         band: usize,
-        comm: &Communicator,
+        sc: &ScatterComms,
         tag: u32,
         zbuf: &[Complex64],
         send: &mut Vec<Complex64>,
@@ -538,25 +673,31 @@ impl StageRunner<'_> {
                 .compute(StateClass::Other, self.flops.scatter_copy / 4.0, || {
                     self.plan.scatter_pack(zbuf, send);
                 });
-            comm.ialltoall(send, tag)
+            sc.post_comm().ialltoall(send, tag)
         })
     }
 
     /// `ScatterFwd`, split-phase wait half: blocks only for the
-    /// unoverlapped remainder of the transfer.
+    /// unoverlapped remainder of the transfer (plus, under pencil, the
+    /// column exchange).
+    #[allow(clippy::too_many_arguments)]
     pub fn scatter_fwd_wait(
         &self,
         band: usize,
+        sc: &ScatterComms,
+        tag: u32,
         req: AlltoallRequest<Complex64>,
         planes: &mut [Complex64],
         recv: &mut Vec<Complex64>,
-    ) {
+        mid: &mut Vec<Complex64>,
+    ) -> Result<(), VmpiError> {
         self.span(StageKind::ScatterFwd, band, || {
-            req.wait_into(recv);
+            self.scatter_finish(sc, tag, req, recv, mid)?;
             self.rec
                 .compute(StateClass::Other, self.flops.scatter_copy / 4.0, || {
                     self.plan.scatter_unpack_to_planes(recv, planes);
                 });
+            Ok(())
         })
     }
 
@@ -565,19 +706,20 @@ impl StageRunner<'_> {
     pub fn scatter_bwd(
         &self,
         band: usize,
-        comm: &Communicator,
+        sc: &ScatterComms,
         tag: u32,
         planes: &[Complex64],
         zbuf: &mut [Complex64],
         send: &mut Vec<Complex64>,
         recv: &mut Vec<Complex64>,
+        mid: &mut Vec<Complex64>,
     ) -> Result<(), VmpiError> {
         self.span(StageKind::ScatterBwd, band, || {
             self.rec
                 .compute(StateClass::Other, self.flops.scatter_copy / 2.0, || {
                     self.plan.planes_to_scatter(planes, send);
                 });
-            comm.try_alltoall_into(send, recv, tag)?;
+            self.scatter_exchange(sc, tag, send, recv, mid)?;
             self.rec
                 .compute(StateClass::Other, self.flops.scatter_copy / 2.0, || {
                     self.plan.zbuf_from_scatter(recv, zbuf);
@@ -590,7 +732,7 @@ impl StageRunner<'_> {
     pub fn scatter_bwd_post(
         &self,
         band: usize,
-        comm: &Communicator,
+        sc: &ScatterComms,
         tag: u32,
         planes: &[Complex64],
         send: &mut Vec<Complex64>,
@@ -600,24 +742,29 @@ impl StageRunner<'_> {
                 .compute(StateClass::Other, self.flops.scatter_copy / 4.0, || {
                     self.plan.planes_to_scatter(planes, send);
                 });
-            comm.ialltoall(send, tag)
+            sc.post_comm().ialltoall(send, tag)
         })
     }
 
     /// `ScatterBwd`, split-phase wait half.
+    #[allow(clippy::too_many_arguments)]
     pub fn scatter_bwd_wait(
         &self,
         band: usize,
+        sc: &ScatterComms,
+        tag: u32,
         req: AlltoallRequest<Complex64>,
         zbuf: &mut [Complex64],
         recv: &mut Vec<Complex64>,
-    ) {
+        mid: &mut Vec<Complex64>,
+    ) -> Result<(), VmpiError> {
         self.span(StageKind::ScatterBwd, band, || {
-            req.wait_into(recv);
+            self.scatter_finish(sc, tag, req, recv, mid)?;
             self.rec
                 .compute(StateClass::Other, self.flops.scatter_copy / 4.0, || {
                     self.plan.zbuf_from_scatter(recv, zbuf);
                 });
+            Ok(())
         })
     }
 
@@ -663,7 +810,7 @@ impl StageRunner<'_> {
     pub fn transform(
         &self,
         band: usize,
-        scatter_comm: &Communicator,
+        sc: &ScatterComms,
         tag: u32,
         a: &mut BufferArena,
     ) -> Result<(), VmpiError> {
@@ -674,14 +821,15 @@ impl StageRunner<'_> {
             col,
             scatter_send,
             scatter_recv,
+            pencil_mid,
             ..
         } = a;
         self.fft_z(StageKind::FftZInv, band, zbuf, scratch);
-        self.scatter_fwd(band, scatter_comm, tag, zbuf, planes, scatter_send, scatter_recv)?;
+        self.scatter_fwd(band, sc, tag, zbuf, planes, scatter_send, scatter_recv, pencil_mid)?;
         self.fft_xy(StageKind::FftXyInv, band, planes, scratch, col);
         self.vofr(band, planes);
         self.fft_xy(StageKind::FftXyFwd, band, planes, scratch, col);
-        self.scatter_bwd(band, scatter_comm, tag, planes, zbuf, scatter_send, scatter_recv)?;
+        self.scatter_bwd(band, sc, tag, planes, zbuf, scatter_send, scatter_recv, pencil_mid)?;
         self.fft_z(StageKind::FftZFwd, band, zbuf, scratch);
         Ok(())
     }
@@ -699,7 +847,7 @@ impl StageRunner<'_> {
         &self,
         base: usize,
         pack_comm: &Communicator,
-        scatter_comm: &Communicator,
+        scatter_comm: &ScatterComms,
         shares: &mut [Vec<Complex64>],
         a: &mut BufferArena,
         inject_abort: bool,
@@ -726,13 +874,13 @@ impl StageRunner<'_> {
     pub fn band_fused(
         &self,
         band: usize,
-        comm: &Communicator,
+        sc: &ScatterComms,
         share: &Shared<Vec<Complex64>>,
         a: &mut BufferArena,
     ) -> Result<(), VmpiError> {
         self.prep(band, &mut a.zbuf, &mut a.planes);
         self.pack_local(band, &share.read(), &mut a.zbuf);
-        self.transform(band, comm, band as u32, a)?;
+        self.transform(band, sc, band as u32, a)?;
         self.unpack_local(band, &a.zbuf, &mut share.write());
         Ok(())
     }
@@ -875,7 +1023,7 @@ fn rank_serial(problem: &Problem, comm: &Communicator) -> (Vec<Vec<Complex64>>, 
     let i = l.member_of(w);
 
     let pack_comm = comm.split(g as u64, i);
-    let scatter_comm = comm.split(i as u64, g);
+    let scatter_comm = ScatterComms::new(comm.split(i as u64, g), cfg.decomp);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
     let sp = StagePlan::for_problem(problem, g);
     let runner = sp.runner(&problem.v, &rec);
@@ -898,6 +1046,7 @@ fn rank_serial(problem: &Problem, comm: &Communicator) -> (Vec<Vec<Complex64>>, 
 struct RankEnv {
     problem: Arc<Problem>,
     comm: Communicator,
+    sc: Arc<ScatterComms>,
     sp: Arc<StagePlan>,
     arenas: Arc<Vec<Shared<BufferArena>>>,
 }
@@ -918,6 +1067,7 @@ impl Clone for RankEnv {
         RankEnv {
             problem: Arc::clone(&self.problem),
             comm: self.comm.clone(),
+            sc: Arc::clone(&self.sc),
             sp: Arc::clone(&self.sp),
             arenas: Arc::clone(&self.arenas),
         }
@@ -937,6 +1087,9 @@ fn rank_tasks(
     let env = RankEnv {
         problem: Arc::clone(problem),
         comm: comm.clone(),
+        // Task layouts scatter over the whole world; the pencil split (a
+        // collective) happens here, before any task runs.
+        sc: Arc::new(ScatterComms::new(comm.clone(), cfg.decomp)),
         sp: Arc::new(StagePlan::for_problem(problem, g)),
         arenas: worker_arenas(cfg.ntg),
     };
@@ -1004,7 +1157,7 @@ fn push_band_fused(
             let runner = env.sp.runner(&env.problem.v, &rec);
             let mut guard = env.arena().write();
             runner
-                .band_fused(b, &env.comm, &share, &mut guard)
+                .band_fused(b, &env.sc, &share, &mut guard)
                 .unwrap_or_else(|e| panic!("{e}"));
         },
     );
@@ -1070,7 +1223,7 @@ fn push_band_steps(
                         let mut guard = env.arena().write();
                         *rq.write() = Some(runner.scatter_fwd_post(
                             b,
-                            &env.comm,
+                            &env.sc,
                             (2 * b) as u32,
                             &zbuf.read(),
                             &mut guard.scatter_send,
@@ -1094,8 +1247,19 @@ fn push_band_steps(
                         let rec = env.recorder();
                         let runner = env.sp.runner(&env.problem.v, &rec);
                         let mut guard = env.arena().write();
+                        let a = &mut *guard;
                         let req = rq.write().take().expect("posted request");
-                        runner.scatter_fwd_wait(b, req, &mut planes.write(), &mut guard.scatter_recv);
+                        runner
+                            .scatter_fwd_wait(
+                                b,
+                                &env.sc,
+                                (2 * b) as u32,
+                                req,
+                                &mut planes.write(),
+                                &mut a.scatter_recv,
+                                &mut a.pencil_mid,
+                            )
+                            .unwrap_or_else(|e| panic!("{e}"));
                     },
                 );
             }
@@ -1109,12 +1273,13 @@ fn push_band_steps(
                     runner
                         .scatter_fwd(
                             b,
-                            &env.comm,
+                            &env.sc,
                             (2 * b) as u32,
                             &zbuf.read(),
                             &mut planes.write(),
                             &mut a.scatter_send,
                             &mut a.scatter_recv,
+                            &mut a.pencil_mid,
                         )
                         .unwrap_or_else(|e| panic!("{e}"));
                 });
@@ -1150,7 +1315,7 @@ fn push_band_steps(
                         let mut guard = env.arena().write();
                         *rq.write() = Some(runner.scatter_bwd_post(
                             b,
-                            &env.comm,
+                            &env.sc,
                             (2 * b + 1) as u32,
                             &planes.read(),
                             &mut guard.scatter_send,
@@ -1170,8 +1335,19 @@ fn push_band_steps(
                         let rec = env.recorder();
                         let runner = env.sp.runner(&env.problem.v, &rec);
                         let mut guard = env.arena().write();
+                        let a = &mut *guard;
                         let req = rq.write().take().expect("posted request");
-                        runner.scatter_bwd_wait(b, req, &mut zbuf.write(), &mut guard.scatter_recv);
+                        runner
+                            .scatter_bwd_wait(
+                                b,
+                                &env.sc,
+                                (2 * b + 1) as u32,
+                                req,
+                                &mut zbuf.write(),
+                                &mut a.scatter_recv,
+                                &mut a.pencil_mid,
+                            )
+                            .unwrap_or_else(|e| panic!("{e}"));
                     },
                 );
             }
@@ -1185,12 +1361,13 @@ fn push_band_steps(
                     runner
                         .scatter_bwd(
                             b,
-                            &env.comm,
+                            &env.sc,
                             (2 * b + 1) as u32,
                             &planes.read(),
                             &mut zbuf.write(),
                             &mut a.scatter_send,
                             &mut a.scatter_recv,
+                            &mut a.pencil_mid,
                         )
                         .unwrap_or_else(|e| panic!("{e}"));
                 });
@@ -1260,7 +1437,7 @@ fn push_band_hybrid(
                 runner.fft_z(StageKind::FftZInv, b, &mut zb, &mut a.scratch);
                 *rq.write() = Some(runner.scatter_fwd_post(
                     b,
-                    &env.comm,
+                    &env.sc,
                     (2 * b) as u32,
                     &zb,
                     &mut a.scatter_send,
@@ -1288,13 +1465,23 @@ fn push_band_hybrid(
                 let mut guard = env.arena().write();
                 let a = &mut *guard;
                 let req = rqf.write().take().expect("posted request");
-                runner.scatter_fwd_wait(b, req, &mut pl, &mut a.scatter_recv);
+                runner
+                    .scatter_fwd_wait(
+                        b,
+                        &env.sc,
+                        (2 * b) as u32,
+                        req,
+                        &mut pl,
+                        &mut a.scatter_recv,
+                        &mut a.pencil_mid,
+                    )
+                    .unwrap_or_else(|e| panic!("{e}"));
                 runner.fft_xy(StageKind::FftXyInv, b, &mut pl, &mut a.scratch, &mut a.col);
                 runner.vofr(b, &mut pl);
                 runner.fft_xy(StageKind::FftXyFwd, b, &mut pl, &mut a.scratch, &mut a.col);
                 *rqb.write() = Some(runner.scatter_bwd_post(
                     b,
-                    &env.comm,
+                    &env.sc,
                     (2 * b + 1) as u32,
                     &pl,
                     &mut a.scatter_send,
@@ -1321,7 +1508,17 @@ fn push_band_hybrid(
                 let mut guard = env.arena().write();
                 let a = &mut *guard;
                 let req = rq.write().take().expect("posted request");
-                runner.scatter_bwd_wait(b, req, &mut zb, &mut a.scatter_recv);
+                runner
+                    .scatter_bwd_wait(
+                        b,
+                        &env.sc,
+                        (2 * b + 1) as u32,
+                        req,
+                        &mut zb,
+                        &mut a.scatter_recv,
+                        &mut a.pencil_mid,
+                    )
+                    .unwrap_or_else(|e| panic!("{e}"));
                 runner.fft_z(StageKind::FftZFwd, b, &mut zb, &mut a.scratch);
                 runner.unpack_local(b, &zb, &mut share.write());
             },
@@ -1389,5 +1586,29 @@ mod tests {
         assert_eq!(StageKind::ScatterBwd.name(), "scatter-bw");
         assert_eq!(StageKind::Vofr.class(), StateClass::Vofr);
         assert_eq!(StageKind::Prep.class(), StateClass::PsiPrep);
+    }
+
+    #[test]
+    fn pencil_decomposition_matches_slab_bitwise_across_policies() {
+        use crate::config::{Decomposition, FftxConfig};
+        use crate::problem::Problem;
+        // (4,1) and (6,1) factorise into real 2×2 / 2×3 process grids;
+        // (2,2) exercises the degenerate prime family (p2 = 1).
+        for policy in SchedulerPolicy::ALL {
+            for (nr, ntg) in [(4, 1), (6, 1), (2, 2)] {
+                let slab = FftxConfig::small(nr, ntg, policy.mode());
+                let pencil = slab.with_decomp(Decomposition::Pencil);
+                let a = run_policy(&Problem::new(slab), policy);
+                let b = run_policy(&Problem::new(pencil), policy);
+                assert_eq!(
+                    a.bands,
+                    b.bands,
+                    "pencil must be bitwise-identical to slab: {} {}x{}",
+                    policy.name(),
+                    nr,
+                    ntg
+                );
+            }
+        }
     }
 }

@@ -63,7 +63,7 @@ use crate::plan::BufferArena;
 use crate::problem::Problem;
 use crate::recorder::Recorder;
 use crate::recovery::run_eviction;
-use crate::stages::{StageKind, StagePlan, StageRunner};
+use crate::stages::{ScatterComms, StageKind, StagePlan, StageRunner};
 use fftx_fault::{mix64, CorruptionConfig, RankDeath, RecoveryConfig, Strike, StuckLane};
 use fftx_fft::{c64, cached_plan, cft_1z, Complex64, Direction};
 use fftx_trace::TraceSink;
@@ -377,7 +377,7 @@ fn verified_leg(
 fn verified_transform(
     r: &StageRunner<'_>,
     base: usize,
-    scatter_comm: &Communicator,
+    sc: &ScatterComms,
     tag: u32,
     a: &mut BufferArena,
     vx: &VerifyCtx,
@@ -391,6 +391,7 @@ fn verified_transform(
         col,
         scatter_send,
         scatter_recv,
+        pencil_mid,
         ..
     } = a;
     let nz = r.plan.grid.nr3 as f64;
@@ -398,7 +399,7 @@ fn verified_transform(
     verified_leg(vx, flags, leg_key(base, 0), attempt, nz, zbuf, |b| {
         r.fft_z(StageKind::FftZInv, base, b, scratch)
     });
-    r.scatter_fwd(base, scatter_comm, tag, zbuf, planes, scatter_send, scatter_recv)?;
+    r.scatter_fwd(base, sc, tag, zbuf, planes, scatter_send, scatter_recv, pencil_mid)?;
     verified_leg(vx, flags, leg_key(base, 1), attempt, nxy, planes, |b| {
         r.fft_xy(StageKind::FftXyInv, base, b, scratch, col)
     });
@@ -406,7 +407,7 @@ fn verified_transform(
     verified_leg(vx, flags, leg_key(base, 2), attempt, 1.0 / nxy, planes, |b| {
         r.fft_xy(StageKind::FftXyFwd, base, b, scratch, col)
     });
-    r.scatter_bwd(base, scatter_comm, tag, planes, zbuf, scatter_send, scatter_recv)?;
+    r.scatter_bwd(base, sc, tag, planes, zbuf, scatter_send, scatter_recv, pencil_mid)?;
     verified_leg(vx, flags, leg_key(base, 3), attempt, 1.0 / nz, zbuf, |b| {
         r.fft_z(StageKind::FftZFwd, base, b, scratch)
     });
@@ -421,7 +422,7 @@ fn verified_band_batch(
     r: &StageRunner<'_>,
     base: usize,
     pack_comm: &Communicator,
-    scatter_comm: &Communicator,
+    sc: &ScatterComms,
     shares: &mut [Vec<Complex64>],
     a: &mut BufferArena,
     vx: &VerifyCtx,
@@ -430,7 +431,7 @@ fn verified_band_batch(
 ) -> Result<(), VmpiError> {
     r.prep(base, &mut a.zbuf, &mut a.planes);
     r.pack_exchange(base, shares, pack_comm, a)?;
-    verified_transform(r, base, scatter_comm, 0, a, vx, attempt, flags)?;
+    verified_transform(r, base, sc, 0, a, vx, attempt, flags)?;
     r.unpack_exchange(base, shares, pack_comm, a)?;
     Ok(())
 }
@@ -549,7 +550,7 @@ fn rank_verified(
     let i = l.member_of(w);
     let t = l.t;
     let pack_comm = comm.split(g as u64, i);
-    let scatter_comm = comm.split(i as u64, g);
+    let scatter_comm = ScatterComms::new(comm.split(i as u64, g), cfg.decomp);
     let rec = Recorder::new(comm.trace_sink(), comm.clock(), w);
     let sp = StagePlan::for_problem(problem, g);
     let runner = sp.runner(&problem.v, &rec);

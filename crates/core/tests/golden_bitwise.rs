@@ -13,7 +13,10 @@
 //! never for a data-movement refactor):
 //! `FFTX_GOLDEN_BLESS=1 cargo test -p fftx-core --test golden_bitwise`
 
-use fftx_core::{run_chaotic, run_eviction, run_rollback, FftxConfig, Mode, Problem};
+use fftx_core::{
+    run_chaotic, run_eviction, run_rollback, Cell, Decomposition, FftGrid, FftxConfig, Mode,
+    Problem, DUAL,
+};
 use fftx_fault::{BatchAborts, RankDeath, RecoveryConfig};
 use fftx_fft::Complex64;
 use fftx_vmpi::{ChaosConfig, StallConfig};
@@ -56,6 +59,25 @@ fn eviction_config() -> FftxConfig {
     let mut c = FftxConfig::small(7, 1, Mode::Original);
     c.nbnd = 6;
     c
+}
+
+/// The pencil eviction geometry: 9 ranks as 9×1 (a real 3×3 process grid)
+/// over 6 bands; evicting one re-plans to 4×2 (a real 2×2 grid), so both
+/// phases of the eviction path run genuine two-step pencil exchanges.
+fn pencil_eviction_config(decomp: Decomposition) -> FftxConfig {
+    let mut c = FftxConfig::small(9, 1, Mode::Original);
+    c.nbnd = 6;
+    c.with_decomp(decomp)
+}
+
+/// A problem on a non-power-friendly grid: the z dimension is forced to 41
+/// (prime, above the direct-radix limit), so every z-FFT takes the
+/// Bluestein path while x/y keep the cutoff-derived sizes.
+fn prime41_problem(nr: usize, ntg: usize, mode: Mode, decomp: Decomposition) -> std::sync::Arc<Problem> {
+    let cfg = FftxConfig::small(nr, ntg, mode).with_decomp(decomp);
+    let cell = Cell::cubic(cfg.alat);
+    let base = FftGrid::from_cutoff(&cell, DUAL * cfg.ecutwfc);
+    Problem::with_grid(cfg, FftGrid::raw(base.nr1, base.nr2, 41))
 }
 
 /// Runs every golden scenario and returns `(name, bands-hash)` pairs.
@@ -119,6 +141,75 @@ fn scenarios() -> Vec<(String, u64)> {
     .expect("survivors finish the run");
     assert_eq!(stats.layout_after, (3, 2));
     out.push(("recovery/eviction/victim3@2".into(), hash_bands(&run.bands)));
+
+    // Pencil lowering, clean: every mode over factorisable rank counts
+    // ((4,1) = 2×2 grid, (6,1) = 2×3 grid). Pinned AND asserted equal to
+    // the slab run of the identical configuration — the tentpole identity.
+    for mode in modes {
+        for (nr, ntg) in [(4, 1), (6, 1)] {
+            let slab_cfg = FftxConfig::small(nr, ntg, mode);
+            let pencil_cfg = slab_cfg.with_decomp(Decomposition::Pencil);
+            let (slab, _) = run_chaotic(&Problem::new(slab_cfg), None);
+            let (pencil, _) = run_chaotic(&Problem::new(pencil_cfg), None);
+            let (hs, hp) = (hash_bands(&slab.bands), hash_bands(&pencil.bands));
+            assert_eq!(
+                hs, hp,
+                "pencil clean bits must match slab: {} {}x{}",
+                mode.name(), nr, ntg
+            );
+            out.push((format!("pencil/clean/{}/{}x{}", mode.name(), nr, ntg), hp));
+        }
+    }
+
+    // Pencil under seeded transport chaos: the two extra exchange hops of
+    // the pencil path must absorb the same faults to the same bits.
+    for mode in modes {
+        let slab_cfg = FftxConfig::small(4, 1, mode);
+        let pencil_cfg = slab_cfg.with_decomp(Decomposition::Pencil);
+        let (slab, _) = run_chaotic(&Problem::new(slab_cfg), Some(chaos(20170814)));
+        let (pencil, report) = run_chaotic(&Problem::new(pencil_cfg), Some(chaos(20170814)));
+        assert!(report.is_some(), "chaos must be active");
+        let (hs, hp) = (hash_bands(&slab.bands), hash_bands(&pencil.bands));
+        assert_eq!(hs, hp, "pencil chaos bits must match slab: {}", mode.name());
+        out.push((format!("pencil/chaos/{}/seed20170814", mode.name()), hp));
+    }
+
+    // Pencil through batch rollback ...
+    let slab_p = Problem::new(FftxConfig::small(4, 1, Mode::Original));
+    let pencil_p =
+        Problem::new(FftxConfig::small(4, 1, Mode::Original).with_decomp(Decomposition::Pencil));
+    let aborts = || Some(BatchAborts::new(9, 1.0, 2));
+    let (slab, _) = run_rollback(&slab_p, aborts(), &RecoveryConfig::default())
+        .expect("rollback budget absorbs the injected aborts");
+    let (pencil, stats) = run_rollback(&pencil_p, aborts(), &RecoveryConfig::default())
+        .expect("rollback budget absorbs the injected aborts");
+    assert!(stats.batch_rollbacks > 0, "profile must trigger rollbacks");
+    let (hs, hp) = (hash_bands(&slab.bands), hash_bands(&pencil.bands));
+    assert_eq!(hs, hp, "pencil rollback bits must match slab");
+    out.push(("pencil/recovery/rollback/seed9".into(), hp));
+
+    // ... and rank eviction with re-planning (9×1 → 4×2): both the 3×3
+    // pre-death grid and the re-planned 2×2 grid are genuine pencil grids.
+    let slab_p = Problem::new(pencil_eviction_config(Decomposition::Slab));
+    let pencil_p = Problem::new(pencil_eviction_config(Decomposition::Pencil));
+    let (slab, _) = run_eviction(&slab_p, RankDeath::at(3, 2), &RecoveryConfig::default())
+        .expect("survivors finish the run");
+    let (pencil, stats) = run_eviction(&pencil_p, RankDeath::at(3, 2), &RecoveryConfig::default())
+        .expect("survivors finish the run");
+    assert_eq!(stats.layout_after, (4, 2), "8 survivors re-plan to 4×2");
+    let (hs, hp) = (hash_bands(&slab.bands), hash_bands(&pencil.bands));
+    assert_eq!(hs, hp, "pencil eviction bits must match slab");
+    out.push(("pencil/recovery/eviction/victim3@2".into(), hp));
+
+    // Non-power-friendly geometry: z = 41 (prime, Bluestein path) under
+    // both decompositions, every mode.
+    for mode in modes {
+        let (slab, _) = run_chaotic(&prime41_problem(4, 1, mode, Decomposition::Slab), None);
+        let (pencil, _) = run_chaotic(&prime41_problem(4, 1, mode, Decomposition::Pencil), None);
+        let (hs, hp) = (hash_bands(&slab.bands), hash_bands(&pencil.bands));
+        assert_eq!(hs, hp, "prime-grid pencil bits must match slab: {}", mode.name());
+        out.push((format!("prime41/clean/{}/4x1", mode.name()), hp));
+    }
 
     out
 }

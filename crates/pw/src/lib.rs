@@ -14,6 +14,7 @@ pub mod gamma;
 pub mod grid;
 pub mod gvec;
 pub mod layout;
+pub mod pencil;
 pub mod potential;
 pub mod reference;
 pub mod sticks;
@@ -24,6 +25,7 @@ pub use gamma::{apply_vloc_gamma, GammaBand, HalfSphere};
 pub use grid::FftGrid;
 pub use gvec::{GSphere, GVector};
 pub use layout::{factorise_rt, GroupIndexMaps, TaskGroupLayout};
+pub use pencil::ProcessGrid;
 pub use potential::{apply_potential, apply_potential_slab, generate_potential};
 pub use reference::{apply_vloc, apply_vloc_band, coeffs_to_grid, grid_to_coeffs};
 pub use sticks::{Stick, StickDist, StickSet};

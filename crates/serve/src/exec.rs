@@ -66,7 +66,7 @@ pub struct Backend {
     seed: u64,
     chaos: Option<ServeChaos>,
     comm: CommModel,
-    problems: BTreeMap<(usize, usize, usize, &'static str), Arc<Problem>>,
+    problems: BTreeMap<(usize, usize, usize, &'static str, &'static str), Arc<Problem>>,
 }
 
 impl Backend {
@@ -99,7 +99,7 @@ impl Backend {
         nbnd: usize,
         p: &Placement,
     ) -> Arc<Problem> {
-        let key = (class.index(), p.nr, p.ntg, p.policy.name());
+        let key = (class.index(), p.nr, p.ntg, p.policy.name(), p.decomp.name());
         let seed = self.seed;
         let base = self
             .problems
@@ -260,7 +260,12 @@ mod tests {
     }
 
     fn placement() -> Placement {
-        Placement { nr: 2, ntg: 2, policy: SchedulerPolicy::Serial }
+        Placement {
+            nr: 2,
+            ntg: 2,
+            policy: SchedulerPolicy::Serial,
+            decomp: fftx_core::Decomposition::Slab,
+        }
     }
 
     #[test]

@@ -76,6 +76,8 @@ pub enum Record {
         ntg: usize,
         /// Placement: index into `SchedulerPolicy::ALL`.
         policy: usize,
+        /// Placement: index into `Decomposition::ALL`.
+        decomp: usize,
     },
     /// Job `job` of batch `batch` completed on `shard`.
     Completed {
@@ -259,10 +261,10 @@ impl Record {
                     let _ = write!(out, " {j}");
                 }
             }
-            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy } => {
+            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy, decomp } => {
                 let _ = write!(
                     out,
-                    "T {shard} {batch} {} {} {nr} {ntg} {policy}",
+                    "T {shard} {batch} {} {} {nr} {ntg} {policy} {decomp}",
                     f64_hex(*start_s),
                     f64_hex(*service_s),
                 );
@@ -358,6 +360,7 @@ impl Record {
                 nr: parse_usize(toks.next(), line)?,
                 ntg: parse_usize(toks.next(), line)?,
                 policy: parse_usize(toks.next(), line)?,
+                decomp: parse_usize(toks.next(), line)?,
             },
             "C" => {
                 let shard = parse_u64(toks.next(), line)? as u32;
@@ -663,6 +666,7 @@ mod tests {
                 nr: 2,
                 ntg: 2,
                 policy: 3,
+                decomp: 1,
             },
             Record::Heartbeat { shard: 0, tick: 3, t_s: 0.15, ok: true },
             Record::Heartbeat { shard: 1, tick: 3, t_s: 0.15, ok: false },
@@ -690,6 +694,7 @@ mod tests {
             nr: 1,
             ntg: 4,
             policy: 0,
+            decomp: 0,
         });
         // Hashless completion and zombie report (modeled-service journal).
         records.push(Record::Completed { shard: 0, batch: 7, job: 3, done_s: 0.4, hash: None });

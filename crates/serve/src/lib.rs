@@ -68,4 +68,7 @@ pub use server::{
     run_serve, BatchRecord, JobRecord, PlacementMode, ServeConfig, ServeReport, Server, ShedRecord,
 };
 pub use traffic::{generate, LoadProfile, TrafficConfig};
-pub use tuner::{candidates, serve_node, CandidateScore, Decision, Placement, Tuner, TunerConfig};
+pub use tuner::{
+    candidates, candidates_for, serve_node, CandidateScore, Decision, Placement, Tuner,
+    TunerConfig,
+};

@@ -2,7 +2,7 @@
 //! classes, the request record itself, and the typed rejection reasons the
 //! admission controller returns.
 
-use fftx_core::{Cell, FftGrid, FftxConfig, Mode, Problem, DUAL};
+use fftx_core::{Cell, Decomposition, FftGrid, FftxConfig, Mode, Problem, DUAL};
 use fftx_fft::Complex64;
 use std::sync::Arc;
 
@@ -108,6 +108,7 @@ impl GeometryClass {
             nr,
             ntg,
             mode,
+            decomp: Decomposition::Slab,
             seed,
         }
     }

@@ -21,7 +21,7 @@ use crate::error::ServeError;
 use crate::exec::{Backend, ServeChaos};
 use crate::request::{band_hash, GeometryClass, RejectReason, Request};
 use crate::tuner::{Placement, Tuner, TunerConfig};
-use fftx_core::SchedulerPolicy;
+use fftx_core::{DecompChoice, Decomposition, SchedulerPolicy};
 use fftx_trace::{stage_profile, CounterSet, DepthSeries, EventLog, Quantiles};
 use std::collections::BTreeMap;
 
@@ -64,6 +64,10 @@ pub struct ServeConfig {
     pub tuner: TunerConfig,
     /// Placement selection mode.
     pub mode: PlacementMode,
+    /// Decomposition selection: `Auto` lets the tuner search both
+    /// lowerings; a fixed choice restricts its candidate space — the
+    /// fixed-decomposition baselines the `decomp` bench gates against.
+    pub decomp: DecompChoice,
     /// Execute each batch for real on the stage-graph engines (hashes and
     /// stage profiles come back); otherwise service is purely modeled.
     pub execute_real: bool,
@@ -82,6 +86,7 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             tuner: TunerConfig::default(),
             mode: PlacementMode::Auto,
+            decomp: DecompChoice::Auto,
             execute_real: false,
             chaos: None,
             seed: 42,
@@ -146,6 +151,8 @@ pub struct BatchRecord {
 pub struct ServeReport {
     /// Placement mode the run used.
     pub mode: PlacementMode,
+    /// Decomposition choice the run used.
+    pub decomp: DecompChoice,
     /// Completed requests, in completion order.
     pub jobs: Vec<JobRecord>,
     /// Shed requests, in arrival order.
@@ -230,9 +237,13 @@ impl Server {
     }
 
     fn decide(&mut self, class: GeometryClass, nbnd: usize) -> Placement {
-        match self.cfg.mode {
-            PlacementMode::Auto => self.tuner.decide(class, nbnd).placement,
-            PlacementMode::Static(p) => self.tuner.decide_policy(class, nbnd, p).placement,
+        match (self.cfg.mode, self.cfg.decomp.fixed()) {
+            (PlacementMode::Auto, None) => self.tuner.decide(class, nbnd).placement,
+            (PlacementMode::Auto, Some(d)) => self.tuner.decide_decomp(class, nbnd, d).placement,
+            (PlacementMode::Static(p), None) => self.tuner.decide_policy(class, nbnd, p).placement,
+            (PlacementMode::Static(p), Some(d)) => {
+                self.tuner.decide_fixed(class, nbnd, p, d).placement
+            }
         }
     }
 
@@ -260,6 +271,9 @@ impl Server {
                 nr: 7,
                 ntg: 1,
                 policy: SchedulerPolicy::Serial,
+                // 7 ranks is prime, so the pencil grid would be degenerate
+                // anyway; pin the eviction layout to the slab lowering.
+                decomp: Decomposition::Slab,
             };
         }
         let base_service_s = self.tuner.service_s(batch.class, batch.nbnd, &placement);
@@ -338,6 +352,7 @@ impl Server {
         }
         let mut report = ServeReport {
             mode: self.cfg.mode,
+            decomp: self.cfg.decomp,
             jobs: Vec::new(),
             shed: Vec::new(),
             batches: Vec::new(),

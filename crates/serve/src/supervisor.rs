@@ -40,7 +40,7 @@ use crate::journal::{idempotency_key, Conservation, Journal, Record};
 use crate::request::{band_hash, GeometryClass, RejectReason, Request};
 use crate::server::{PlacementMode, ServeConfig};
 use crate::tuner::{Placement, Tuner};
-use fftx_core::SchedulerPolicy;
+use fftx_core::{Decomposition, SchedulerPolicy};
 use fftx_fault::{mix64, NodeDeath, Partition, SlowNode};
 use fftx_trace::{CounterSet, EventLog, Quantiles, StateTimeline};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -421,9 +421,13 @@ impl Fleet {
     }
 
     fn decide(&mut self, class: GeometryClass, nbnd: usize) -> Placement {
-        match self.cfg.serve.mode {
-            PlacementMode::Auto => self.tuner.decide(class, nbnd).placement,
-            PlacementMode::Static(p) => self.tuner.decide_policy(class, nbnd, p).placement,
+        match (self.cfg.serve.mode, self.cfg.serve.decomp.fixed()) {
+            (PlacementMode::Auto, None) => self.tuner.decide(class, nbnd).placement,
+            (PlacementMode::Auto, Some(d)) => self.tuner.decide_decomp(class, nbnd, d).placement,
+            (PlacementMode::Static(p), None) => self.tuner.decide_policy(class, nbnd, p).placement,
+            (PlacementMode::Static(p), Some(d)) => {
+                self.tuner.decide_fixed(class, nbnd, p, d).placement
+            }
         }
     }
 
@@ -532,16 +536,19 @@ impl Fleet {
                 self.next_batch = self.next_batch.max(batch + 1);
                 self.log.push_counter("fleet.batches", 1);
             }
-            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy } => {
+            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy, decomp } => {
                 let s = self.shard_index(*shard)?;
                 self.tick = self.tick.max(self.tick_of(*start_s));
                 let policy = *SchedulerPolicy::ALL.get(*policy).ok_or_else(|| {
                     ServeError::Journal(format!("batch {batch}: policy index {policy}"))
                 })?;
+                let decomp = *Decomposition::ALL.get(*decomp).ok_or_else(|| {
+                    ServeError::Journal(format!("batch {batch}: decomp index {decomp}"))
+                })?;
                 let info = self.batch_info.get_mut(batch).ok_or_else(|| {
                     ServeError::Journal(format!("batch {batch} started but never formed"))
                 })?;
-                info.placement = Some(Placement { nr: *nr, ntg: *ntg, policy });
+                info.placement = Some(Placement { nr: *nr, ntg: *ntg, policy, decomp });
                 let remaining = info.batch.members.iter().map(|m| m.request.id).collect();
                 self.shards[s].pending = None;
                 self.shards[s].inflight = Some(Inflight {
@@ -962,6 +969,7 @@ impl Fleet {
                     nr: placement.nr,
                     ntg: placement.ntg,
                     policy,
+                    decomp: placement.decomp.index(),
                 })?;
             }
         }

@@ -1,5 +1,5 @@
 //! The auto-tuned placement engine: picks (R×T layout, ntg, scheduler
-//! policy, hyper-threading degree) per workload class.
+//! policy, hyper-threading degree, decomposition) per workload class.
 //!
 //! Decisions are **seeded from the cost models**: every candidate placement
 //! is screened with the closed-form `knlsim` estimate
@@ -19,7 +19,7 @@
 //! full candidate table with quick/DES/observed costs and the winner.
 
 use crate::request::{class_problem, GeometryClass};
-use fftx_core::{build_programs, SchedulerPolicy};
+use fftx_core::{build_programs, Decomposition, SchedulerPolicy};
 use fftx_knlsim::{quick_estimate, simulate, CommModel, ContentionModel, KnlConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -34,6 +34,8 @@ pub struct Placement {
     pub ntg: usize,
     /// Scheduler policy over the unified stage graph.
     pub policy: SchedulerPolicy,
+    /// Scatter decomposition (slab or pencil lowering).
+    pub decomp: Decomposition,
 }
 
 impl Placement {
@@ -48,24 +50,26 @@ impl Placement {
         self.lanes().div_ceil(node.cores_used(self.lanes()))
     }
 
-    /// Stable display label, e.g. `2x4/fft`.
+    /// Stable display label, e.g. `2x4/fft/slab`.
     pub fn label(&self) -> String {
-        format!("{}x{}/{}", self.nr, self.ntg, self.policy.name())
+        format!("{}x{}/{}/{}", self.nr, self.ntg, self.policy.name(), self.decomp.name())
     }
 
     /// The batch configuration this placement executes: `nbnd` bands of
-    /// `class` geometry with the serving workload seed.
+    /// `class` geometry with the serving workload seed, under this
+    /// placement's decomposition.
     pub fn config(&self, class: GeometryClass, nbnd: usize, seed: u64) -> fftx_core::FftxConfig {
-        class.config(nbnd, self.nr, self.ntg, self.policy.mode(), seed)
+        class
+            .config(nbnd, self.nr, self.ntg, self.policy.mode(), seed)
+            .with_decomp(self.decomp)
     }
 }
 
-/// The candidate (R, T) layouts per scheduler policy. The union over all
-/// policies is the auto tuner's search space; a static baseline searches
-/// one policy's row only. Layouts are sized for the serving node slice
+/// The candidate (R, T) layouts of one scheduler policy under one
+/// decomposition. Layouts are sized for the serving node slice
 /// ([`serve_node`]): up to 16 lanes on 4 cores, so candidates span
 /// hyper-threading degrees 1–4 (the paper's Fig. 6 axis).
-pub fn candidates(policy: SchedulerPolicy) -> Vec<Placement> {
+pub fn candidates_for(policy: SchedulerPolicy, decomp: Decomposition) -> Vec<Placement> {
     let pairs: &[(usize, usize)] = match policy {
         // Original static code: R×T virtual ranks, T task groups.
         SchedulerPolicy::Serial => &[(1, 2), (2, 2), (1, 4), (2, 4)],
@@ -74,7 +78,17 @@ pub fn candidates(policy: SchedulerPolicy) -> Vec<Placement> {
     };
     pairs
         .iter()
-        .map(|&(nr, ntg)| Placement { nr, ntg, policy })
+        .map(|&(nr, ntg)| Placement { nr, ntg, policy, decomp })
+        .collect()
+}
+
+/// The candidate placements of one scheduler policy across every
+/// decomposition. The union over all policies is the auto tuner's search
+/// space; a static baseline searches one policy's rows only.
+pub fn candidates(policy: SchedulerPolicy) -> Vec<Placement> {
+    Decomposition::ALL
+        .iter()
+        .flat_map(|&d| candidates_for(policy, d))
         .collect()
 }
 
@@ -147,14 +161,14 @@ pub struct Decision {
 }
 
 /// Tuning-table key: one candidate configuration of one workload class.
-type CKey = (usize, usize, usize, usize, usize); // (class, nbnd, nr, ntg, policy)
+type CKey = (usize, usize, usize, usize, usize, usize); // (class, nbnd, nr, ntg, policy, decomp)
 
 fn ckey(class: GeometryClass, nbnd: usize, p: &Placement) -> CKey {
     let policy_idx = SchedulerPolicy::ALL
         .iter()
         .position(|q| *q == p.policy)
         .expect("policy in ALL");
-    (class.index(), nbnd, p.nr, p.ntg, policy_idx)
+    (class.index(), nbnd, p.nr, p.ntg, policy_idx, p.decomp.index())
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -237,15 +251,16 @@ impl Tuner {
             .unwrap_or_else(|| self.des_s(class, nbnd, p))
     }
 
-    /// Decides the placement for `(class, nbnd)` restricted to one
-    /// policy's candidate row — the static-baseline path.
-    pub fn decide_policy(
+    /// Scores one candidate row: closed-form screen on every member, the
+    /// top-k priced exactly on the DES (with any observed refinement).
+    /// (Stable sort + label tie-break keeps the order deterministic.)
+    fn score_row(
         &mut self,
         class: GeometryClass,
         nbnd: usize,
-        policy: SchedulerPolicy,
-    ) -> Decision {
-        let mut scored: Vec<CandidateScore> = candidates(policy)
+        row: Vec<Placement>,
+    ) -> Vec<CandidateScore> {
+        let mut scored: Vec<CandidateScore> = row
             .into_iter()
             .map(|p| {
                 let quick_s = self.quick_s(class, nbnd, &p);
@@ -257,8 +272,6 @@ impl Tuner {
                 }
             })
             .collect();
-        // Screen: price the top-k by quick estimate exactly on the DES.
-        // (Stable sort + label tie-break keeps the order deterministic.)
         let mut order: Vec<usize> = (0..scored.len()).collect();
         order.sort_by(|&a, &b| {
             scored[a]
@@ -271,14 +284,62 @@ impl Tuner {
             scored[i].des_s = Some(self.des_s(class, nbnd, &p));
             scored[i].observed_s = self.observed(class, nbnd, &p);
         }
+        scored
+    }
+
+    /// Decides the placement for `(class, nbnd)` restricted to one
+    /// policy's candidate rows (both decompositions) — the static-policy
+    /// baseline path. Each (policy, decomposition) row is screened
+    /// independently, so every decomposition always gets DES-priced
+    /// representation.
+    pub fn decide_policy(
+        &mut self,
+        class: GeometryClass,
+        nbnd: usize,
+        policy: SchedulerPolicy,
+    ) -> Decision {
+        let mut scored = Vec::new();
+        for decomp in Decomposition::ALL {
+            scored.extend(self.score_row(class, nbnd, candidates_for(policy, decomp)));
+        }
+        Self::pick(scored)
+    }
+
+    /// Decides the placement for `(class, nbnd)` restricted to one
+    /// decomposition across every policy row — the fixed-decomposition
+    /// baseline the `decomp` bench gates the auto path against.
+    pub fn decide_decomp(
+        &mut self,
+        class: GeometryClass,
+        nbnd: usize,
+        decomp: Decomposition,
+    ) -> Decision {
+        let mut scored = Vec::new();
+        for policy in SchedulerPolicy::ALL {
+            scored.extend(self.score_row(class, nbnd, candidates_for(policy, decomp)));
+        }
+        Self::pick(scored)
+    }
+
+    /// Decides the placement for `(class, nbnd)` restricted to a single
+    /// (policy, decomposition) candidate row — the fully pinned baseline
+    /// (`--mode` and `--decomp` both fixed on the serving CLI).
+    pub fn decide_fixed(
+        &mut self,
+        class: GeometryClass,
+        nbnd: usize,
+        policy: SchedulerPolicy,
+        decomp: Decomposition,
+    ) -> Decision {
+        let scored = self.score_row(class, nbnd, candidates_for(policy, decomp));
         Self::pick(scored)
     }
 
     /// Decides the placement for `(class, nbnd)` over the full candidate
-    /// space (every policy's row) — the auto path. By construction its
-    /// search space is a superset of every static baseline's, so the
-    /// decision's modeled service time is never worse than any static
-    /// policy's.
+    /// space (every policy × decomposition row) — the auto path. By
+    /// construction its scored set is a superset of every static
+    /// baseline's (fixed policy or fixed decomposition), so the decision's
+    /// modeled service time is never worse than any of theirs.
     pub fn decide(&mut self, class: GeometryClass, nbnd: usize) -> Decision {
         let mut scored = Vec::new();
         for policy in SchedulerPolicy::ALL {
@@ -375,19 +436,21 @@ impl Tuner {
 
     /// CSV dump of the deterministic tuning table (every priced candidate).
     pub fn table_csv(&self) -> String {
-        let mut out = String::from("class,nbnd,nr,ntg,policy,quick_s,des_s,observed_n,observed_mean_s\n");
-        for (&(class, nbnd, nr, ntg, policy), &quick) in &self.quick_table {
-            let key = (class, nbnd, nr, ntg, policy);
+        let mut out =
+            String::from("class,nbnd,nr,ntg,policy,decomp,quick_s,des_s,observed_n,observed_mean_s\n");
+        for (&(class, nbnd, nr, ntg, policy, decomp), &quick) in &self.quick_table {
+            let key = (class, nbnd, nr, ntg, policy, decomp);
             let des = self.des_table.get(&key);
             let obs = self.observations.get(&key);
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{:.6e},{},{},{}",
+                "{},{},{},{},{},{},{:.6e},{},{},{}",
                 GeometryClass::ALL[class].name(),
                 nbnd,
                 nr,
                 ntg,
                 SchedulerPolicy::ALL[policy].name(),
+                Decomposition::ALL[decomp].name(),
                 quick,
                 des.map_or_else(|| "-".into(), |s| format!("{s:.6e}")),
                 obs.map_or(0, |o| o.n),

@@ -9,7 +9,7 @@
 //! * node death plus seeded transport chaos loses no accepted job and
 //!   corrupts no result.
 
-use fftx_core::{run_policy, SchedulerPolicy};
+use fftx_core::{run_policy, Decomposition, SchedulerPolicy};
 use fftx_serve::{
     assemble, band_hash, class_problem, generate, resume_fleet, run_fleet, FleetConfig,
     FleetFaults, FleetReport, GeometryClass, Journal, LoadProfile, Placement, Record, Request,
@@ -67,7 +67,7 @@ fn direct_hashes(report: &FleetReport, cfg: &FleetConfig) -> BTreeMap<(u64, u64)
                 batches.insert(*batch, jobs.clone());
             }
             Record::Started {
-                batch, nr, ntg, policy, ..
+                batch, nr, ntg, policy, decomp, ..
             } => {
                 placements.insert(
                     *batch,
@@ -75,6 +75,7 @@ fn direct_hashes(report: &FleetReport, cfg: &FleetConfig) -> BTreeMap<(u64, u64)
                         nr: *nr,
                         ntg: *ntg,
                         policy: SchedulerPolicy::ALL[*policy],
+                        decomp: Decomposition::ALL[*decomp],
                     },
                 );
             }

@@ -7,10 +7,10 @@
 //! * the eviction demo re-plans a dying rank's work and still matches.
 
 use fftx_serve::{
-    band_hash, class_problem, generate, run_serve, LoadProfile, PlacementMode, ServeChaos,
-    ServeConfig, TrafficConfig,
+    band_hash, class_problem, generate, run_serve, DeadlineClass, GeometryClass, LoadProfile,
+    PlacementMode, Request, ServeChaos, ServeConfig, TrafficConfig,
 };
-use fftx_core::run_policy;
+use fftx_core::{run_policy, DecompChoice, Decomposition};
 
 fn trace(n: usize) -> Vec<fftx_serve::Request> {
     generate(&TrafficConfig {
@@ -109,6 +109,55 @@ fn chaos_serving_completes_all_accepted_jobs_bit_identically() {
             .expect("same job set");
         assert_eq!(j.hash, c.hash, "request {}", j.request.id);
     }
+}
+
+/// Serve-scale Bluestein coverage: a trace of pure `Prime`-class jobs
+/// (z = 41 grids, beyond the direct-radix limit) runs admission → batching
+/// → placement → real execution under both fixed decompositions and the
+/// auto choice, and all three deliver bit-identical results that also
+/// match direct engine runs.
+#[test]
+fn prime_grid_serving_is_decomposition_invariant() {
+    let requests: Vec<Request> = (0..6)
+        .map(|id| Request {
+            id,
+            tenant: id as u32 % 2,
+            class: GeometryClass::Prime,
+            bands: 2 + id as usize % 2,
+            deadline: DeadlineClass::Standard,
+            arrival_s: 0.05 * id as f64,
+        })
+        .collect();
+    let run = |decomp| {
+        let cfg = ServeConfig {
+            decomp,
+            execute_real: true,
+            ..Default::default()
+        };
+        run_serve(&requests, &cfg).expect("serve")
+    };
+    let slab = run(DecompChoice::Slab);
+    let pencil = run(DecompChoice::Pencil);
+    let auto = run(DecompChoice::Auto);
+    let hashes = |r: &fftx_serve::ServeReport| {
+        let mut v: Vec<(u64, u64)> = r
+            .jobs
+            .iter()
+            .map(|j| (j.request.id, j.hash.expect("real run hashes")))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(slab.jobs.len(), requests.len(), "every job completes");
+    assert_eq!(hashes(&slab), hashes(&pencil), "pencil serving diverged from slab");
+    assert_eq!(hashes(&slab), hashes(&auto), "auto serving diverged from slab");
+    // The fixed choices really pin every placement's lowering ...
+    assert!(slab.batches.iter().all(|b| b.placement.decomp == Decomposition::Slab));
+    assert!(pencil.batches.iter().all(|b| b.placement.decomp == Decomposition::Pencil));
+    // ... and the pencil run's delivered bands match direct engine runs of
+    // the identical (prime-grid, pencil-lowered) configurations.
+    let expect = direct_hashes(&pencil, 42);
+    assert_eq!(hashes(&pencil), expect);
 }
 
 #[test]

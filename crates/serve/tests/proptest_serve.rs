@@ -5,6 +5,7 @@
 //! * per-tenant submission order is preserved end to end,
 //! * a tuner decision replays bit-identically from its cached tables.
 
+use fftx_core::{DecompChoice, Decomposition};
 use fftx_serve::{
     generate, plan_batch, run_serve, BatchConfig, GeometryClass, LoadProfile, ServeConfig,
     TrafficConfig, Tuner, TunerConfig,
@@ -92,5 +93,58 @@ proptest! {
         prop_assert_eq!(&u.decide(GeometryClass::Small, nbnd), &first);
         // The dumped table is stable too.
         prop_assert_eq!(t.table_csv(), u.table_csv());
+    }
+
+    /// The auto decomposition choice prices a superset of every fixed
+    /// choice's candidates, so its modeled decision is never worse — on
+    /// the Bluestein (prime-grid) class included.
+    #[test]
+    fn auto_decomposition_never_loses_to_fixed(nbnd in 1usize..6) {
+        let nbnd = nbnd * 4;
+        for class in [GeometryClass::Small, GeometryClass::Prime] {
+            let mut t = Tuner::new(TunerConfig::default());
+            let auto = t.decide(class, nbnd).service_s;
+            for d in Decomposition::ALL {
+                let fixed = t.decide_decomp(class, nbnd, d).service_s;
+                prop_assert!(
+                    auto <= fixed + 1e-12,
+                    "{} nbnd {}: auto {} worse than fixed {} ({})",
+                    class.name(), nbnd, auto, fixed, d.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Real execution end to end (admission → batching → placement →
+    /// stage-graph engines) delivers bit-identical results whichever
+    /// decomposition the server is pinned to; the sampled traffic mixes
+    /// every geometry class, the Bluestein (z = 41) one included.
+    #[test]
+    fn serving_is_decomposition_invariant(seed in 1u64..100_000) {
+        let queue: Vec<_> = generate(&traffic(seed, LoadProfile::Steady))
+            .into_iter()
+            .take(8)
+            .collect();
+        let run = |decomp| {
+            run_serve(
+                &queue,
+                &ServeConfig { decomp, execute_real: true, ..Default::default() },
+            )
+            .expect("serve")
+        };
+        let slab = run(DecompChoice::Slab);
+        let pencil = run(DecompChoice::Pencil);
+        let hashes = |r: &fftx_serve::ServeReport| {
+            let mut v: Vec<(u64, Option<u64>)> =
+                r.jobs.iter().map(|j| (j.request.id, j.hash)).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert!(!slab.jobs.is_empty());
+        prop_assert_eq!(hashes(&slab), hashes(&pencil), "seed {}", seed);
     }
 }

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example task_groups`
 
-use fftxlib_repro::core::{run, FftxConfig, Mode, Problem};
+use fftxlib_repro::core::{run, Decomposition, FftxConfig, Mode, Problem};
 use fftxlib_repro::trace::{communicator_summary, CommOp};
 
 fn main() {
@@ -25,6 +25,7 @@ fn main() {
             nr: total_ranks / ntg,
             ntg,
             mode: Mode::Original,
+            decomp: Decomposition::Slab,
             seed: 42,
         };
         let problem = Problem::new(config);
@@ -72,6 +73,7 @@ fn main() {
         nr: 2,
         ntg: 2,
         mode: Mode::Original,
+        decomp: Decomposition::Slab,
         seed: 42,
     };
     let problem = Problem::new(config);

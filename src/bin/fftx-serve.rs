@@ -7,6 +7,7 @@
 //! per-tenant / per-deadline outcome plus, on request, the tuner's
 //! explainable placement dump.
 
+use fftxlib_repro::core::{load_env, valid_decomps, DecompChoice};
 use fftxlib_repro::serve::{
     resume_fleet, run_fleet, run_serve, FleetConfig, FleetFaults, FleetReport, Journal,
     LoadProfile, PlacementMode, ServeChaos, ServeConfig, ServeReport, TrafficConfig,
@@ -28,6 +29,8 @@ const USAGE: &str = "usage: fftx-serve [options]
   --tenants N      number of tenants                        (default 4)
   --profile P      steady | burst | diurnal                 (default steady)
   --mode M         auto | serial | step | fft | async | hybrid (default auto)
+  --decomp D       slab | pencil | auto             (default auto, or the
+                   FFTX_DECOMP env choice; auto lets the tuner pick per batch)
   --seed S         trace + workload seed                    (default 20170814)
   --queue-cap N    admission queue capacity                 (default 64)
   --real           execute batches for real (hashes + stage profile)
@@ -58,6 +61,10 @@ fn parse_args() -> Result<Args, String> {
         profile: LoadProfile::Steady,
     };
     let mut serve = ServeConfig::default();
+    // FFTX_DECOMP seeds the default; the --decomp flag still wins.
+    if let Some(d) = load_env().map_err(|e| e.to_string())?.decomp {
+        serve.decomp = d;
+    }
     let mut evict: Option<usize> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut corrupt: u32 = 0;
@@ -87,6 +94,12 @@ fn parse_args() -> Result<Args, String> {
                 let m = val("--mode")?;
                 serve.mode = PlacementMode::parse(&m).ok_or_else(|| {
                     format!("unknown mode '{m}' (valid: auto, serial, step, fft, async, hybrid)")
+                })?;
+            }
+            "--decomp" => {
+                let d = val("--decomp")?;
+                serve.decomp = DecompChoice::parse(&d).ok_or_else(|| {
+                    format!("unknown decomposition '{d}' (valid: {})", valid_decomps())
                 })?;
             }
             "--seed" => {
@@ -158,6 +171,7 @@ fn print_report(report: &ServeReport, traffic: &TrafficConfig) {
         traffic.rate_hz, traffic.duration_s, traffic.profile.name(), traffic.tenants, traffic.seed
     );
     println!("  mode    : {}", report.mode.name());
+    println!("  decomp  : {}", report.decomp.name());
     println!(
         "  offered {} | served {} | shed {} ({:.1} %)",
         report.offered(),

@@ -14,7 +14,8 @@
 //! (`serial|step|fft|async|hybrid`); an explicit `--mode` wins.
 
 use fftxlib_repro::core::{
-    load_env, run, run_modeled, valid_policies, FftxConfig, Mode, Problem, SchedulerPolicy,
+    load_env, resolve_decomp, run, run_modeled, valid_decomps, valid_policies, DecompChoice,
+    FftxConfig, Mode, Problem, SchedulerPolicy,
 };
 use fftxlib_repro::fft::max_dist;
 use fftxlib_repro::pw::apply_vloc;
@@ -49,6 +50,8 @@ const USAGE: &str = "usage: fftx [options]
   --ntg T          task groups / worker threads   (default 2 real / 8 model)
   --mode M         original | steps | ffts | async | hybrid
                    (default original, or the FFTX_SCHEDULER env policy)
+  --decomp D       slab | pencil | auto           (default slab, or the
+                   FFTX_DECOMP env choice; auto asks the network model)
   --engine E       real | model                   (default real)
   --seed S         workload seed                  (default 42)
   --verify         check against the serial reference (real engine only)
@@ -72,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         .scheduler
         .map(SchedulerPolicy::mode)
         .unwrap_or(Mode::Original);
+    // FFTX_DECOMP picks the default decomposition; an explicit --decomp wins.
+    let mut decomp = knobs.decomp.unwrap_or(DecompChoice::Slab);
     let mut engine = Engine::Real;
     let mut seed = 42u64;
     let mut verify = false;
@@ -101,6 +106,12 @@ fn parse_args() -> Result<Args, String> {
                         format!("unknown mode '{m}' (valid policies: {})", valid_policies())
                     })?;
             }
+            "--decomp" => {
+                let d = val("--decomp")?;
+                decomp = DecompChoice::parse(&d).ok_or_else(|| {
+                    format!("unknown decomposition '{d}' (valid: {})", valid_decomps())
+                })?;
+            }
             "--engine" => {
                 engine = match val("--engine")?.as_str() {
                     "real" => Engine::Real,
@@ -121,15 +132,19 @@ fn parse_args() -> Result<Args, String> {
 
     let model = engine == Engine::Model;
     let ntg = ntg.unwrap_or(if model { 8 } else { 2 });
-    let config = FftxConfig {
+    let mut config = FftxConfig {
         ecutwfc: ecutwfc.unwrap_or(if model { 80.0 } else { 6.0 }),
         alat: alat.unwrap_or(if model { 20.0 } else { 8.0 }),
         nbnd: nbnd.unwrap_or(if model { 128 } else { 2 * ntg }),
         nr,
         ntg,
         mode,
+        decomp: fftxlib_repro::core::Decomposition::Slab,
         seed,
     };
+    // `auto` compares the two decompositions on the calibrated network
+    // model for this exact geometry; fixed choices pass through.
+    config.decomp = resolve_decomp(decomp, &config);
     Ok(Args {
         config,
         engine,
@@ -147,6 +162,7 @@ fn print_header(config: &FftxConfig, problem: &Problem, engine: Engine) {
     println!("fftx — FFTXlib reproduction miniapp");
     println!("  engine : {}", if engine == Engine::Real { "real (virtual MPI + actual FFTs)" } else { "modeled KNL node (68 cores @ 1.4 GHz)" });
     println!("  mode   : {}", config.mode.name());
+    println!("  decomp : {}", config.decomp.name());
     println!("  cell   : cubic, alat {} bohr; ecutwfc {} Ry", config.alat, config.ecutwfc);
     println!("  grid   : {} x {} x {} ({} points)", grid.nr1, grid.nr2, grid.nr3, grid.volume());
     println!(
