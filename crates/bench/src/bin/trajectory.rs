@@ -15,6 +15,7 @@ const EXPECTED: &[&str] = &[
     "ablation_contention",
     "ablation_grain",
     "ablation_ntg",
+    "capacity",
     "decomp",
     "fft",
     "fig2",

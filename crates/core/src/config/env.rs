@@ -1,9 +1,11 @@
 //! Unified, strictly-typed parsing of the `FFTX_*` environment knobs.
 //!
 //! Every knob the workspace reads — `FFTX_SCHEDULER`, `FFTX_CHAOS_SEED` /
-//! `FFTX_CHAOS_PROFILE`, the `FFTX_RECOVERY_*` budgets, and
-//! `FFTX_ARENA_POISON` — is parsed here through one entry point with typed
-//! errors. The lower-level crates keep their historical lenient readers
+//! `FFTX_CHAOS_PROFILE`, the `FFTX_RECOVERY_*` budgets,
+//! `FFTX_ARENA_POISON`, and the fleet-capacity set (`FFTX_FLEET_MIN` /
+//! `FFTX_FLEET_MAX`, `FFTX_SCALE_UP_AT` / `FFTX_SCALE_DOWN_AT`,
+//! `FFTX_STEAL`, `FFTX_PLAN_ITERS` / `FFTX_PLAN_SEED`) — is parsed here
+//! through one entry point with typed errors. The lower-level crates keep their historical lenient readers
 //! (`ChaosConfig::from_env`, `RecoveryConfig::from_env`,
 //! `SchedulerPolicy::from_env`, `plan::arena_poison`) because library code
 //! deep in a run has no good way to report a typo; the *binaries* call
@@ -49,6 +51,30 @@ pub fn valid_policies() -> String {
         .join(", ")
 }
 
+/// The fleet-capacity knob set, all optional: unset knobs leave the
+/// consumer's own default in place (CLI flags override these in the
+/// serving binary). Cross-field consistency (`min <= max`,
+/// `down_at < up_at`) is validated where the values meet the autoscaler
+/// config; this parser enforces each knob's own domain.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FleetKnobs {
+    /// `FFTX_FLEET_MIN`: autoscaler floor on active shards (>= 1).
+    pub min: Option<usize>,
+    /// `FFTX_FLEET_MAX`: autoscaler ceiling on active shards (>= 1).
+    pub max: Option<usize>,
+    /// `FFTX_SCALE_UP_AT`: scale-up pressure threshold in (0, 1].
+    pub up_at: Option<f64>,
+    /// `FFTX_SCALE_DOWN_AT`: scale-down pressure threshold in (0, 1].
+    pub down_at: Option<f64>,
+    /// `FFTX_STEAL`: cross-shard work stealing, `on` or `off`.
+    pub steal: Option<bool>,
+    /// `FFTX_PLAN_ITERS`: Monte-Carlo iterations of the capacity planner
+    /// (>= 1).
+    pub plan_iters: Option<usize>,
+    /// `FFTX_PLAN_SEED`: base seed of the planner's traffic iterations.
+    pub plan_seed: Option<u64>,
+}
+
 /// The fully-parsed knob set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnvKnobs {
@@ -67,6 +93,9 @@ pub struct EnvKnobs {
     /// when set. Callers keep their own default when unset — `slab` for
     /// the direct driver, `auto` for the serving layer's tuner.
     pub decomp: Option<DecompChoice>,
+    /// The fleet-capacity knob set (autoscaler bounds and thresholds,
+    /// work stealing, planner iterations).
+    pub fleet: FleetKnobs,
 }
 
 /// Parses every knob from the process environment. See [`load_from`].
@@ -162,6 +191,34 @@ pub fn load_from(get: impl Fn(&str) -> Option<String>) -> Result<EnvKnobs, EnvEr
         })?),
     };
 
+    let fleet = FleetKnobs {
+        min: opt_knob(&get, "FFTX_FLEET_MIN", "a shard count >= 1", |n: &usize| *n >= 1)?,
+        max: opt_knob(&get, "FFTX_FLEET_MAX", "a shard count >= 1", |n: &usize| *n >= 1)?,
+        up_at: opt_knob(&get, "FFTX_SCALE_UP_AT", "a pressure fraction in (0, 1]", frac)?,
+        down_at: opt_knob(&get, "FFTX_SCALE_DOWN_AT", "a pressure fraction in (0, 1]", frac)?,
+        steal: match get("FFTX_STEAL").as_deref() {
+            None => None,
+            Some("on") => Some(true),
+            Some("off") => Some(false),
+            Some(v) => {
+                return Err(EnvError {
+                    key: "FFTX_STEAL",
+                    value: v.into(),
+                    expected: "one of: on, off".into(),
+                });
+            }
+        },
+        plan_iters: opt_knob(
+            &get,
+            "FFTX_PLAN_ITERS",
+            "an iteration count >= 1",
+            |n: &usize| *n >= 1,
+        )?,
+        plan_seed: opt_knob(&get, "FFTX_PLAN_SEED", "an unsigned 64-bit integer seed", |_| {
+            true
+        })?,
+    };
+
     Ok(EnvKnobs {
         scheduler,
         chaos,
@@ -169,7 +226,13 @@ pub fn load_from(get: impl Fn(&str) -> Option<String>) -> Result<EnvKnobs, EnvEr
         arena_poison,
         verify,
         decomp,
+        fleet,
     })
+}
+
+/// `true` when `x` is a usable pressure fraction: finite and in `(0, 1]`.
+fn frac(x: &f64) -> bool {
+    x.is_finite() && *x > 0.0 && *x <= 1.0
 }
 
 /// Parses one numeric knob strictly: unset → default, set-but-unparsable →
@@ -186,6 +249,27 @@ fn knob<T: std::str::FromStr + Copy>(
             value: v,
             expected: "an unsigned integer".into(),
         }),
+    }
+}
+
+/// Parses one optional knob with a per-key domain: unset → `None`,
+/// set-but-unparsable or outside `admit` → typed error naming `expected`.
+fn opt_knob<T: std::str::FromStr>(
+    get: &impl Fn(&str) -> Option<String>,
+    key: &'static str,
+    expected: &str,
+    admit: impl Fn(&T) -> bool,
+) -> Result<Option<T>, EnvError> {
+    match get(key) {
+        None => Ok(None),
+        Some(v) => match v.parse::<T>() {
+            Ok(parsed) if admit(&parsed) => Ok(Some(parsed)),
+            _ => Err(EnvError {
+                key,
+                value: v,
+                expected: expected.into(),
+            }),
+        },
     }
 }
 
@@ -207,6 +291,57 @@ mod tests {
         assert!(!knobs.arena_poison);
         assert_eq!(knobs.verify, VerifyMode::Off);
         assert_eq!(knobs.decomp, None);
+        assert_eq!(knobs.fleet, FleetKnobs::default());
+    }
+
+    #[test]
+    fn fleet_knobs_parse_when_set() {
+        let knobs = load_from(env(&[
+            ("FFTX_FLEET_MIN", "2"),
+            ("FFTX_FLEET_MAX", "6"),
+            ("FFTX_SCALE_UP_AT", "0.7"),
+            ("FFTX_SCALE_DOWN_AT", "0.2"),
+            ("FFTX_STEAL", "on"),
+            ("FFTX_PLAN_ITERS", "8"),
+            ("FFTX_PLAN_SEED", "2017"),
+        ]))
+        .expect("valid");
+        assert_eq!(
+            knobs.fleet,
+            FleetKnobs {
+                min: Some(2),
+                max: Some(6),
+                up_at: Some(0.7),
+                down_at: Some(0.2),
+                steal: Some(true),
+                plan_iters: Some(8),
+                plan_seed: Some(2017),
+            }
+        );
+        let off = load_from(env(&[("FFTX_STEAL", "off")])).expect("off");
+        assert_eq!(off.fleet.steal, Some(false));
+    }
+
+    #[test]
+    fn fleet_knob_domains_are_enforced() {
+        for (key, value) in [
+            ("FFTX_FLEET_MIN", "0"),
+            ("FFTX_FLEET_MAX", "lots"),
+            ("FFTX_SCALE_UP_AT", "1.5"),
+            ("FFTX_SCALE_UP_AT", "nan"),
+            ("FFTX_SCALE_DOWN_AT", "0"),
+            ("FFTX_SCALE_DOWN_AT", "-0.1"),
+            ("FFTX_PLAN_ITERS", "0"),
+            ("FFTX_PLAN_SEED", "lucky"),
+        ] {
+            let err = load_from(env(&[(key, value)])).expect_err(key);
+            assert_eq!(err.key, key, "{value}");
+            assert!(!err.expected.is_empty());
+        }
+        let err = load_from(env(&[("FFTX_STEAL", "maybe")])).expect_err("steal vocab");
+        assert_eq!(err.key, "FFTX_STEAL");
+        let msg = err.to_string();
+        assert!(msg.contains("on") && msg.contains("off"), "{msg}");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod steps;
 pub mod taskmodes;
 pub mod verify;
 
-pub use config::env::{load as load_env, valid_policies, EnvError, EnvKnobs};
+pub use config::env::{load as load_env, valid_policies, EnvError, EnvKnobs, FleetKnobs};
 pub use config::{valid_decomps, DecompChoice, Decomposition, FftxConfig, Mode};
 pub use original::{run_original, RunOutput};
 pub use plan::{BufferArena, ExecPlan, PencilTables};

@@ -1,0 +1,122 @@
+//! Capacity math over per-timestep work profiles.
+//!
+//! The fleet capacity planner reduces N simulated traffic traces to a
+//! per-window offered-work profile (work units per fixed window) and asks
+//! two questions this module answers in closed form:
+//!
+//! * [`required_rate`] — the smallest *constant* service rate that
+//!   finishes every unit of offered work by the end of the horizon. This
+//!   is the capacity constraint that reallocates work across timesteps: a
+//!   window offering more than the rate can serve carries its excess as
+//!   backlog into later windows, so the binding constraint is the worst
+//!   *suffix average* of the profile, not its peak.
+//! * [`backlog_profile`] — the backlog recurrence itself,
+//!   `backlog[t+1] = max(0, backlog[t] + work[t] − rate·window)`, which
+//!   shows *where* a candidate rate queues and for how long.
+//!
+//! [`peak_rate`] (the no-queueing rate) and [`fleet_floor`] (the smallest
+//! integer shard count whose aggregate rate covers a requirement) round
+//! the profile analysis into fleet sizes.
+
+/// The smallest constant service rate (work units per second) that leaves
+/// zero backlog at the end of the profile: the maximum over all suffixes
+/// of the suffix's average offered rate. Empty or all-zero profiles need
+/// rate 0. A non-positive `window_s` yields 0 (degenerate profile).
+pub fn required_rate(work: &[f64], window_s: f64) -> f64 {
+    if work.is_empty() || window_s <= 0.0 {
+        return 0.0;
+    }
+    let mut best = 0.0f64;
+    let mut suffix = 0.0f64;
+    for (back, &w) in work.iter().rev().enumerate() {
+        suffix += w;
+        let avg = suffix / ((back + 1) as f64 * window_s);
+        best = best.max(avg);
+    }
+    best
+}
+
+/// The rate that never queues: the single worst window's offered rate.
+pub fn peak_rate(work: &[f64], window_s: f64) -> f64 {
+    if window_s <= 0.0 {
+        return 0.0;
+    }
+    work.iter().copied().fold(0.0f64, f64::max) / window_s
+}
+
+/// The backlog recurrence under a constant service rate: entry `t` is the
+/// backlog carried *into* window `t`, with one trailing entry for the
+/// backlog left after the final window. `backlog[0]` is always 0.
+pub fn backlog_profile(work: &[f64], rate: f64, window_s: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(work.len() + 1);
+    let mut backlog = 0.0f64;
+    out.push(backlog);
+    for &w in work {
+        backlog = (backlog + w - rate * window_s).max(0.0);
+        out.push(backlog);
+    }
+    out
+}
+
+/// The smallest shard count whose aggregate rate `k · shard_rate` covers
+/// `required` (at least 1; saturates at `usize::MAX` when the per-shard
+/// rate is non-positive but work is offered).
+pub fn fleet_floor(required: f64, shard_rate: f64) -> usize {
+    if required <= 0.0 {
+        return 1;
+    }
+    if shard_rate <= 0.0 {
+        return usize::MAX;
+    }
+    ((required / shard_rate).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_rate_is_the_worst_suffix_average() {
+        // Uniform profile: required == offered.
+        assert!((required_rate(&[4.0, 4.0, 4.0], 1.0) - 4.0).abs() < 1e-12);
+        // A late burst cannot be amortised over the windows before it.
+        let bursty = [0.0, 0.0, 12.0];
+        assert!((required_rate(&bursty, 1.0) - 12.0).abs() < 1e-12);
+        // An early burst can: 12 units over 3 windows.
+        let early = [12.0, 0.0, 0.0];
+        assert!((required_rate(&early, 1.0) - 4.0).abs() < 1e-12);
+        assert_eq!(required_rate(&[], 1.0), 0.0);
+        assert_eq!(required_rate(&[1.0], 0.0), 0.0);
+    }
+
+    #[test]
+    fn required_rate_drains_exactly() {
+        let work = [3.0, 9.0, 0.0, 6.0, 1.0];
+        let r = required_rate(&work, 0.5);
+        let prof = backlog_profile(&work, r, 0.5);
+        assert!(prof.last().unwrap().abs() < 1e-9, "required rate must drain");
+        // Any lower rate leaves backlog.
+        let low = backlog_profile(&work, r * 0.95, 0.5);
+        assert!(*low.last().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn backlog_recurrence_carries_excess_forward() {
+        let prof = backlog_profile(&[5.0, 0.0, 7.0], 3.0, 1.0);
+        assert_eq!(prof.len(), 4);
+        assert_eq!(prof[0], 0.0);
+        assert!((prof[1] - 2.0).abs() < 1e-12);
+        assert_eq!(prof[2], 0.0); // the idle window absorbs the carry
+        assert!((prof[3] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_and_floor() {
+        assert!((peak_rate(&[2.0, 8.0, 4.0], 2.0) - 4.0).abs() < 1e-12);
+        assert_eq!(peak_rate(&[], 1.0), 0.0);
+        assert_eq!(fleet_floor(0.0, 5.0), 1);
+        assert_eq!(fleet_floor(10.0, 5.0), 2);
+        assert_eq!(fleet_floor(10.1, 5.0), 3);
+        assert_eq!(fleet_floor(1.0, 0.0), usize::MAX);
+    }
+}

@@ -12,12 +12,14 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod capacity;
 pub mod cost;
 pub mod des;
 pub mod model;
 pub mod program;
 
 pub use arch::KnlConfig;
+pub use capacity::{backlog_profile, fleet_floor, peak_rate, required_rate};
 pub use cost::{quick_estimate, CostBreakdown};
 pub use des::{simulate, simulate_faulty, SimResult};
 pub use fftx_fault::{BandSpikes, FaultPlan};

@@ -54,6 +54,9 @@ pub enum ServeError {
     },
     /// The durable job journal failed to decode or replay.
     Journal(String),
+    /// A configuration knob set is self-contradictory (autoscale bounds,
+    /// hysteresis thresholds, planner sweep ranges).
+    Config(String),
 }
 
 impl fmt::Display for ServeError {
@@ -80,6 +83,7 @@ impl fmt::Display for ServeError {
                 "fleet stalled: {open_jobs} accepted jobs still open at safety tick bound {tick}"
             ),
             ServeError::Journal(msg) => write!(f, "journal: {msg}"),
+            ServeError::Config(msg) => write!(f, "configuration: {msg}"),
         }
     }
 }
@@ -104,6 +108,7 @@ mod tests {
             (ServeError::UnorderedTrace { index: 2 }, "index 2"),
             (ServeError::Stalled { tick: 100, open_jobs: 3 }, "3 accepted jobs"),
             (ServeError::Journal("bad record".into()), "bad record"),
+            (ServeError::Config("min > max".into()), "min > max"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -1,0 +1,198 @@
+//! The reactive autoscaler policy: a pure hysteresis controller over
+//! fleet pressure.
+//!
+//! The supervisor's autoscale phase feeds the controller one observation
+//! per tick — the fleet's queue pressure (queued jobs / total admission
+//! capacity), its degrade-ladder level, and the active shard count — and
+//! receives a [`ScaleDecision`]. The *policy* is deliberately pure and
+//! journal-free; the supervisor turns `Up`/`Down` into journaled
+//! `ScaleUp`/`ScaleDown` records (picking the target shard through the
+//! health breakers), so crash replay reconstructs every elastic decision
+//! from the journal rather than from this controller's opinion at replay
+//! time.
+//!
+//! Stability comes from three guards, each journaling-compatible:
+//!
+//! * **hysteresis** — scale up at `up_at`, down only below the strictly
+//!   lower `down_at`, so pressure oscillating around one threshold cannot
+//!   flap the fleet;
+//! * **ladder gating** — never scale down unless the degrade ladder sits
+//!   at `Normal` (a browned-out fleet shrinking itself would shed harder),
+//!   and never scale up while the ladder is at `Quarantine` (adding
+//!   capacity to a corrupting fleet spreads the blast radius);
+//! * **warm-up and cooldown ticks** — a freshly added shard takes no
+//!   traffic for `warmup_ticks` (it joins the ring but `warm_until`
+//!   excludes it from dispatch), and no two scale decisions land within
+//!   `cooldown_ticks` of each other (≥ 1, which also makes the decision
+//!   idempotent across a crash on the decision tick).
+
+use crate::error::ServeError;
+
+/// Autoscaler knobs. See the module docs for the stability guards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Floor on active shards; the supervisor repairs below-min fleets
+    /// (e.g. after node deaths) with emergency scale-ups.
+    pub min: usize,
+    /// Ceiling on active shards: the provisioned pool size.
+    pub max: usize,
+    /// Queue pressure at or above which the fleet scales up.
+    pub up_at: f64,
+    /// Queue pressure at or below which the fleet scales down. Must be
+    /// strictly below [`AutoscaleConfig::up_at`] (hysteresis).
+    pub down_at: f64,
+    /// Ticks a freshly scaled-up shard warms before taking traffic
+    /// (effective minimum 1: the activation tick itself is always warm,
+    /// which keeps the heartbeat sweep identical on crash replay).
+    pub warmup_ticks: u64,
+    /// Minimum ticks between consecutive scale decisions (clamped ≥ 1).
+    pub cooldown_ticks: u64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            min: 1,
+            max: 8,
+            up_at: 0.60,
+            down_at: 0.15,
+            warmup_ticks: 2,
+            cooldown_ticks: 4,
+        }
+    }
+}
+
+impl AutoscaleConfig {
+    /// Validates the knob set: `1 ≤ min ≤ max` and `down_at < up_at`.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.min == 0 || self.min > self.max {
+            return Err(ServeError::Config(format!(
+                "autoscale bounds min={} max={} must satisfy 1 <= min <= max",
+                self.min, self.max
+            )));
+        }
+        if !self.up_at.is_finite() || !self.down_at.is_finite() || self.down_at >= self.up_at {
+            return Err(ServeError::Config(format!(
+                "autoscale hysteresis needs down_at < up_at, got down_at={} up_at={}",
+                self.down_at, self.up_at
+            )));
+        }
+        Ok(())
+    }
+
+    /// The effective cooldown: at least one tick, so a crash on the
+    /// decision tick cannot double-journal the decision on resume.
+    pub fn cooldown(&self) -> u64 {
+        self.cooldown_ticks.max(1)
+    }
+}
+
+/// What the controller wants done this tick. The supervisor chooses the
+/// target shard (through the breakers) and journals the transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Add one shard from the inactive pool.
+    Up,
+    /// Retire one active shard (drained by normal failover).
+    Down,
+    /// No change.
+    Hold,
+}
+
+/// One controller step. `pressure` is queued jobs over total admission
+/// capacity of the *active* fleet; `quarantined` / `normal` summarise the
+/// degrade ladder ends; `active` counts live, in-service shards.
+pub fn decide(
+    cfg: &AutoscaleConfig,
+    active: usize,
+    pressure: f64,
+    normal: bool,
+    quarantined: bool,
+) -> ScaleDecision {
+    if active < cfg.min {
+        return ScaleDecision::Up;
+    }
+    if pressure >= cfg.up_at && active < cfg.max && !quarantined {
+        return ScaleDecision::Up;
+    }
+    if pressure <= cfg.down_at && active > cfg.min && normal {
+        return ScaleDecision::Down;
+    }
+    ScaleDecision::Hold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AutoscaleConfig {
+        AutoscaleConfig {
+            min: 2,
+            max: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn validates_bounds_and_hysteresis() {
+        assert!(cfg().validate().is_ok());
+        assert!(AutoscaleConfig { min: 0, ..cfg() }.validate().is_err());
+        assert!(AutoscaleConfig { min: 7, ..cfg() }.validate().is_err());
+        assert!(AutoscaleConfig {
+            down_at: 0.8,
+            up_at: 0.6,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(AutoscaleConfig {
+            up_at: f64::NAN,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn repairs_below_min_regardless_of_pressure() {
+        assert_eq!(decide(&cfg(), 1, 0.0, true, false), ScaleDecision::Up);
+        // Even a quarantined fleet repairs to min: the alternative is an
+        // empty ring.
+        assert_eq!(decide(&cfg(), 0, 0.0, false, true), ScaleDecision::Up);
+    }
+
+    #[test]
+    fn hysteresis_band_holds() {
+        let c = cfg();
+        // Between down_at and up_at: hold in both directions.
+        let mid = (c.up_at + c.down_at) / 2.0;
+        assert_eq!(decide(&c, 3, mid, true, false), ScaleDecision::Hold);
+        assert_eq!(decide(&c, 3, c.up_at, true, false), ScaleDecision::Up);
+        assert_eq!(decide(&c, 3, c.down_at, true, false), ScaleDecision::Down);
+    }
+
+    #[test]
+    fn respects_fleet_bounds() {
+        let c = cfg();
+        assert_eq!(decide(&c, c.max, 1.0, true, false), ScaleDecision::Hold);
+        assert_eq!(decide(&c, c.min, 0.0, true, false), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn ladder_gates_both_directions() {
+        let c = cfg();
+        // Quarantine blocks scale-up above min.
+        assert_eq!(decide(&c, 3, 1.0, false, true), ScaleDecision::Hold);
+        // Any non-Normal level blocks scale-down.
+        assert_eq!(decide(&c, 4, 0.0, false, false), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn cooldown_is_never_zero() {
+        let c = AutoscaleConfig {
+            cooldown_ticks: 0,
+            ..cfg()
+        };
+        assert_eq!(c.cooldown(), 1);
+    }
+}

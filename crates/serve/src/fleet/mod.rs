@@ -1,0 +1,40 @@
+//! Fleet capacity: consistent-hash routing, work stealing, autoscaling,
+//! and offline capacity planning on top of the shard [`supervisor`].
+//!
+//! The PR 6 supervisor runs a *fixed* pool of shards and routes tenants by
+//! flat rendezvous hashing; this module grows it into an elastic fleet:
+//!
+//! * [`ring`] — the tenant→shard consistent-hash ring (virtual nodes,
+//!   bounded-load overflow, rendezvous tie-breaking, membership epochs).
+//!   The supervisor's dispatch phase routes through it, so joins and
+//!   leaves move the minimum set of tenants instead of reshuffling all.
+//! * [`autoscale`] — the reactive autoscaler policy: hysteresis
+//!   thresholds over fleet pressure, warm-up ticks before a new shard
+//!   takes traffic, and breaker/ladder integration so scale-up never
+//!   lands on a quarantined or corruption-striken node. Decisions are
+//!   journaled (`ScaleUp`/`ScaleDown`), making elastic runs exactly
+//!   replayable from any cut.
+//! * [`planner`] — the offline parallel Monte-Carlo capacity planner:
+//!   N seeded traffic iterations of the fleet DES run concurrently over
+//!   `taskrt`, per-timestep load/goodput/p99 profiles aggregated through
+//!   `trace::query`, a capacity constraint that reallocates work across
+//!   timesteps, and a recommended static fleet size plus autoscaler
+//!   policy envelope.
+//!
+//! Work stealing lives in the supervisor itself (its `phase_steal`): an
+//! idle shard pulls a whole journaled batch from the deepest backlog,
+//! re-places it through the tuner for its own geometry, and executes it
+//! bit-identically — execution is pure in (batch contents, placement,
+//! batch id), so the thief's hashes equal the origin's would-have-been
+//! hashes and the journal's conservation audit can hold stolen batches to
+//! exactly-once across origin and thief.
+//!
+//! [`supervisor`]: crate::supervisor
+
+pub mod autoscale;
+pub mod planner;
+pub mod ring;
+
+pub use autoscale::{AutoscaleConfig, ScaleDecision};
+pub use planner::{plan_capacity, PlanConfig, PlanReport, PolicyEnvelope};
+pub use ring::{load_bound, HashRing, RingConfig};

@@ -78,6 +78,13 @@ pub enum Record {
         policy: usize,
         /// Placement: index into `Decomposition::ALL`.
         decomp: usize,
+        /// Hash-ring membership epoch at dispatch: the number of
+        /// joins/leaves folded into the tenant→shard ring so far. Replay
+        /// validates it against the ring it reconstructed from the
+        /// membership records, so a resumed fleet that would route
+        /// differently after a resharding event fails loudly instead of
+        /// silently diverging.
+        epoch: u64,
     },
     /// Job `job` of batch `batch` completed on `shard`.
     Completed {
@@ -174,6 +181,39 @@ pub enum Record {
         /// Transition time (virtual seconds).
         t_s: f64,
     },
+    /// The autoscaler activated `shard` from the provisioned pool: it
+    /// joins the hash ring immediately and starts taking dispatches after
+    /// its warm-up ticks.
+    ScaleUp {
+        /// The activated shard.
+        shard: u32,
+        /// Decision time (virtual seconds).
+        t_s: f64,
+    },
+    /// The autoscaler retired `shard`: it leaves the hash ring and stops
+    /// taking traffic. Only a fully idle shard (empty queue, nothing
+    /// pending or in flight) is ever retired, so nothing needs draining.
+    ScaleDown {
+        /// The retired shard.
+        shard: u32,
+        /// Decision time (virtual seconds).
+        t_s: f64,
+    },
+    /// Idle shard `to` stole the journaled-but-not-yet-started batch
+    /// `batch` from busy shard `from`. The batch's members, placement, and
+    /// id are unchanged, so the thief's execution is bit-identical to what
+    /// the origin's would have been; the conservation audit holds every
+    /// stolen batch to exactly-once across origin and thief.
+    Stolen {
+        /// The busy origin shard the batch was formed on.
+        from: u32,
+        /// The idle thief that will start it.
+        to: u32,
+        /// The batch.
+        batch: u64,
+        /// Steal time (virtual seconds).
+        t_s: f64,
+    },
 }
 
 fn f64_hex(v: f64) -> String {
@@ -261,10 +301,10 @@ impl Record {
                     let _ = write!(out, " {j}");
                 }
             }
-            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy, decomp } => {
+            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy, decomp, epoch } => {
                 let _ = write!(
                     out,
-                    "T {shard} {batch} {} {} {nr} {ntg} {policy} {decomp}",
+                    "T {shard} {batch} {} {} {nr} {ntg} {policy} {decomp} {epoch}",
                     f64_hex(*start_s),
                     f64_hex(*service_s),
                 );
@@ -309,6 +349,15 @@ impl Record {
             }
             Record::Degraded { level, t_s } => {
                 let _ = write!(out, "G {level} {}", f64_hex(*t_s));
+            }
+            Record::ScaleUp { shard, t_s } => {
+                let _ = write!(out, "U {shard} {}", f64_hex(*t_s));
+            }
+            Record::ScaleDown { shard, t_s } => {
+                let _ = write!(out, "V {shard} {}", f64_hex(*t_s));
+            }
+            Record::Stolen { from, to, batch, t_s } => {
+                let _ = write!(out, "W {from} {to} {batch} {}", f64_hex(*t_s));
             }
         }
         out
@@ -361,6 +410,7 @@ impl Record {
                 ntg: parse_usize(toks.next(), line)?,
                 policy: parse_usize(toks.next(), line)?,
                 decomp: parse_usize(toks.next(), line)?,
+                epoch: parse_u64(toks.next(), line)?,
             },
             "C" => {
                 let shard = parse_u64(toks.next(), line)? as u32;
@@ -409,6 +459,20 @@ impl Record {
                 level: parse_usize(toks.next(), line)?,
                 t_s: parse_f64_bits(toks.next(), line)?,
             },
+            "U" => Record::ScaleUp {
+                shard: parse_u64(toks.next(), line)? as u32,
+                t_s: parse_f64_bits(toks.next(), line)?,
+            },
+            "V" => Record::ScaleDown {
+                shard: parse_u64(toks.next(), line)? as u32,
+                t_s: parse_f64_bits(toks.next(), line)?,
+            },
+            "W" => Record::Stolen {
+                from: parse_u64(toks.next(), line)? as u32,
+                to: parse_u64(toks.next(), line)? as u32,
+                batch: parse_u64(toks.next(), line)?,
+                t_s: parse_f64_bits(toks.next(), line)?,
+            },
             other => {
                 return Err(ServeError::Journal(format!(
                     "line {line}: unknown record tag '{other}'"
@@ -442,6 +506,12 @@ pub struct Conservation {
     pub corruption_detected: u64,
     /// Checkpoint rollbacks corruption recovery took (`Recomputed` sums).
     pub recomputed: u64,
+    /// Batches an idle shard stole from a busy origin (`Stolen` records).
+    /// Each is audited to exactly-once across origin and thief: only a
+    /// formed-but-not-started batch may move, only its current owner may
+    /// give it up, and every completion or zombie report of a stolen batch
+    /// must come from the shard that owned it when the report landed.
+    pub steals: usize,
     /// Accepted-but-not-completed request ids (empty on a finished run).
     pub open: Vec<u64>,
 }
@@ -514,6 +584,13 @@ impl Journal {
     /// a zombie report that re-executed the same batch and got different
     /// bits is silent-corruption evidence, not a benign duplicate.
     ///
+    /// Stolen batches are audited to exactly-once across origin and
+    /// thief: a `Stolen` record must name a formed-but-not-started batch
+    /// and its current owner, and every later report of that batch —
+    /// completion or suppressed zombie — must come from the owner at that
+    /// point. An origin that executed a batch it had already given up
+    /// would trip the audit, not silently double-serve.
+    ///
     /// # Errors
     /// [`ServeError::Journal`] naming the first violated invariant.
     pub fn conservation(&self) -> Result<Conservation, ServeError> {
@@ -524,6 +601,12 @@ impl Journal {
         let mut hashed = 0usize;
         let mut corruption_detected = 0u64;
         let mut recomputed = 0u64;
+        let mut steals = 0usize;
+        // Batch ownership: formed on a shard (`Batched`), possibly moved
+        // by `Stolen` records, frozen once `Started`.
+        let mut batch_owner: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut batch_started: BTreeSet<u64> = BTreeSet::new();
+        let mut batch_stolen: BTreeSet<u64> = BTreeSet::new();
         // Whether this journal's completions carry hashes (set by the
         // first completion, then enforced), and the per-(batch, job)
         // hash agreement map.
@@ -586,7 +669,53 @@ impl Journal {
                     }
                     shed.insert(req.id);
                 }
-                Record::Completed { batch, job, hash, .. } => {
+                Record::Batched { shard, batch, .. } => {
+                    let prev = batch_owner.insert(*batch, *shard);
+                    if prev.is_some() {
+                        return Err(ServeError::Journal(format!(
+                            "batch {batch} formed twice"
+                        )));
+                    }
+                }
+                Record::Started { shard, batch, .. } => {
+                    match batch_owner.get(batch) {
+                        Some(owner) if owner == shard => {}
+                        Some(owner) => {
+                            return Err(ServeError::Journal(format!(
+                                "batch {batch} started on shard {shard} but owned by {owner}"
+                            )))
+                        }
+                        // Batches formed before the journal prefix began
+                        // are unknown to the audit; tolerate them the way
+                        // the completion checks tolerate unknown batches.
+                        None => {}
+                    }
+                    batch_started.insert(*batch);
+                }
+                Record::Stolen { from, to, batch, .. } => {
+                    if batch_started.contains(batch) {
+                        return Err(ServeError::Journal(format!(
+                            "batch {batch} stolen after it started"
+                        )));
+                    }
+                    if from == to {
+                        return Err(ServeError::Journal(format!(
+                            "batch {batch} stolen from shard {from} by itself"
+                        )));
+                    }
+                    match batch_owner.get(batch) {
+                        Some(owner) if owner == from => {}
+                        other => {
+                            return Err(ServeError::Journal(format!(
+                                "batch {batch} stolen from shard {from} but owned by {other:?}"
+                            )))
+                        }
+                    }
+                    batch_owner.insert(*batch, *to);
+                    batch_stolen.insert(*batch);
+                    steals += 1;
+                }
+                Record::Completed { shard, batch, job, hash, .. } => {
                     if !accepted.contains_key(job) {
                         return Err(ServeError::Journal(format!(
                             "job {job} completed but never accepted"
@@ -597,15 +726,27 @@ impl Journal {
                             "job {job} completed twice"
                         )));
                     }
+                    if batch_stolen.contains(batch) && batch_owner.get(batch) != Some(shard) {
+                        return Err(ServeError::Journal(format!(
+                            "stolen batch {batch} completed job {job} on shard {shard}, \
+                             which does not own it — double service across origin and thief"
+                        )));
+                    }
                     check_hash(*batch, *job, hash, &mut hash_presence, "completion")?;
                     if hash.is_some() {
                         hashed += 1;
                     }
                 }
-                Record::Suppressed { batch, job, hash, .. } => {
+                Record::Suppressed { shard, batch, job, hash, .. } => {
                     if !completed.contains(job) {
                         return Err(ServeError::Journal(format!(
                             "job {job} suppressed before any completion"
+                        )));
+                    }
+                    if batch_stolen.contains(batch) && batch_owner.get(batch) != Some(shard) {
+                        return Err(ServeError::Journal(format!(
+                            "stolen batch {batch} produced a zombie report from shard {shard}, \
+                             which does not own it — the origin executed a batch it gave up"
                         )));
                     }
                     check_hash(*batch, *job, hash, &mut hash_presence, "zombie report")?;
@@ -633,6 +774,7 @@ impl Journal {
             hashed,
             corruption_detected,
             recomputed,
+            steals,
             open,
         })
     }
@@ -667,6 +809,7 @@ mod tests {
                 ntg: 2,
                 policy: 3,
                 decomp: 1,
+                epoch: 3,
             },
             Record::Heartbeat { shard: 0, tick: 3, t_s: 0.15, ok: true },
             Record::Heartbeat { shard: 1, tick: 3, t_s: 0.15, ok: false },
@@ -677,6 +820,10 @@ mod tests {
             Record::ShardDown { shard: 2, t_s: 0.2 },
             Record::Failover { from: 2, to: 1, job: 9, t_s: 0.2 },
             Record::Degraded { level: 1, t_s: 0.25 },
+            Record::ScaleUp { shard: 3, t_s: 0.25 },
+            Record::Batched { shard: 3, batch: 2, jobs: vec![] },
+            Record::Stolen { from: 3, to: 1, batch: 2, t_s: 0.3 },
+            Record::ScaleDown { shard: 3, t_s: 0.35 },
             Record::Completed { shard: 1, batch: 1, job: 9, done_s: 0.3, hash: Some(0x2b) },
         ]
     }
@@ -695,6 +842,7 @@ mod tests {
             ntg: 4,
             policy: 0,
             decomp: 0,
+            epoch: 0,
         });
         // Hashless completion and zombie report (modeled-service journal).
         records.push(Record::Completed { shard: 0, batch: 7, job: 3, done_s: 0.4, hash: None });
@@ -718,6 +866,12 @@ mod tests {
             "zombie report without its hash field"
         );
         assert!(Journal::decode("X 1 2 zz 0000000000000000\n").is_err(), "bad detections");
+        assert!(
+            Journal::decode("T 0 1 0000000000000000 0000000000000000 1 1 0 0\n").is_err(),
+            "dispatch without its ring epoch"
+        );
+        assert!(Journal::decode("U 0\n").is_err(), "scale-up without its time");
+        assert!(Journal::decode("W 0 1 zz 0000000000000000\n").is_err(), "bad stolen batch");
         assert!(
             Journal::decode("D 0 0000000000000000 junk\n").is_err(),
             "trailing fields"
@@ -751,7 +905,67 @@ mod tests {
         assert_eq!(c.hashed, 2, "every completion in a real journal is hashed");
         assert_eq!(c.corruption_detected, 2);
         assert_eq!(c.recomputed, 2);
+        assert_eq!(c.steals, 1);
         assert!(c.open.is_empty());
+    }
+
+    #[test]
+    fn conservation_holds_stolen_batches_to_exactly_once() {
+        let a = |id| Record::Accepted { req: req(id), key: idempotency_key(7, id), shard: 0 };
+        let formed = Record::Batched { shard: 0, batch: 4, jobs: vec![0] };
+        let steal = Record::Stolen { from: 0, to: 2, batch: 4, t_s: 0.1 };
+
+        // The legitimate shape: formed on the origin, stolen, completed
+        // by the thief.
+        let mut j = Journal::new();
+        j.append(a(0));
+        j.append(formed.clone());
+        j.append(steal.clone());
+        j.append(Record::Completed { shard: 2, batch: 4, job: 0, done_s: 0.2, hash: None });
+        let c = j.conservation().expect("thief completion is the owner's");
+        assert_eq!(c.steals, 1);
+
+        // The origin completing a batch it gave up is double service.
+        let mut j = Journal::new();
+        j.append(a(0));
+        j.append(formed.clone());
+        j.append(steal.clone());
+        j.append(Record::Completed { shard: 0, batch: 4, job: 0, done_s: 0.2, hash: None });
+        let err = j.conservation().expect_err("origin kept serving");
+        assert!(err.to_string().contains("does not own it"), "{err}");
+
+        // Stealing from a shard that does not own the batch.
+        let mut j = Journal::new();
+        j.append(a(0));
+        j.append(formed.clone());
+        j.append(Record::Stolen { from: 1, to: 2, batch: 4, t_s: 0.1 });
+        assert!(j.conservation().is_err(), "steal from a non-owner");
+
+        // Stealing a batch that already started.
+        let mut j = Journal::new();
+        j.append(a(0));
+        j.append(formed.clone());
+        j.append(Record::Started {
+            shard: 0,
+            batch: 4,
+            start_s: 0.05,
+            service_s: 0.01,
+            nr: 1,
+            ntg: 1,
+            policy: 0,
+            decomp: 0,
+            epoch: 1,
+        });
+        j.append(steal.clone());
+        let err = j.conservation().expect_err("steal after start");
+        assert!(err.to_string().contains("after it started"), "{err}");
+
+        // A self-steal is always inconsistent.
+        let mut j = Journal::new();
+        j.append(a(0));
+        j.append(formed);
+        j.append(Record::Stolen { from: 0, to: 0, batch: 4, t_s: 0.1 });
+        assert!(j.conservation().is_err(), "self-steal");
     }
 
     #[test]

@@ -35,6 +35,11 @@
 //!    journaled virtual-time loop, node-death failover through the
 //!    placement tuner, split-brain duplicate suppression, and exact
 //!    crash recovery by journal replay ([`resume_fleet`]).
+//! 10. [`fleet`] — fleet capacity: the tenant→shard consistent-hash ring
+//!     (bounded-load overflow, minimal movement on membership change),
+//!     the journaled reactive autoscaler, cross-shard work stealing, and
+//!     the offline parallel Monte-Carlo capacity planner
+//!     ([`plan_capacity`]).
 
 #![warn(missing_docs)]
 
@@ -43,6 +48,7 @@ pub mod batch;
 pub mod degrade;
 pub mod error;
 pub mod exec;
+pub mod fleet;
 pub mod health;
 pub mod journal;
 pub mod request;
@@ -55,6 +61,10 @@ pub use admission::{Admission, AdmissionConfig};
 pub use batch::{assemble, plan_batch, Batch, BatchConfig, BatchMember};
 pub use degrade::{DegradeConfig, DegradeLevel, Ladder};
 pub use error::ServeError;
+pub use fleet::{
+    load_bound, plan_capacity, AutoscaleConfig, HashRing, PlanConfig, PlanReport,
+    PolicyEnvelope, RingConfig, ScaleDecision,
+};
 pub use health::{Breaker, BreakerState, HealthConfig};
 pub use journal::{idempotency_key, Conservation, Journal, Record};
 pub use supervisor::{

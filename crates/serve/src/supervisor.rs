@@ -12,11 +12,27 @@
 //! crash point (pinned by the proptests).
 //!
 //! Time is virtual and tick-driven. Each tick runs a fixed phase order —
-//! completions, heartbeats, death declarations, failover, arrivals,
-//! dispatch, degradation — and every phase is idempotent given applied
-//! state (cursor fields such as the arrival index, the per-tick heartbeat
-//! position, and per-shard pending-batch markers are all maintained inside
-//! `apply`), so re-running the crash tick emits nothing twice.
+//! completions, heartbeats, death declarations, failover, autoscaling,
+//! arrivals, work stealing, dispatch, degradation — and every phase is
+//! idempotent given applied state (cursor fields such as the arrival
+//! index, the per-tick heartbeat position, and per-shard pending-batch
+//! markers are all maintained inside `apply`), so re-running the crash
+//! tick emits nothing twice.
+//!
+//! Routing is a consistent-hash ring ([`crate::fleet::ring`]): tenants
+//! map to the first ring member clockwise from their seeded point, with
+//! bounded-load overflow past saturated shards, so membership changes —
+//! node death, autoscaling — move the minimum set of tenants. Every
+//! `Started` record carries the ring's membership epoch and replay
+//! validates it, so a resumed fleet that would route differently after a
+//! resharding event fails loudly. With [`FleetConfig::autoscale`] set,
+//! the fleet is elastic: journaled `ScaleUp`/`ScaleDown` records grow and
+//! shrink the active set under the hysteresis controller in
+//! [`crate::fleet::autoscale`]. With [`FleetConfig::steal`], idle shards
+//! pull whole formed-but-unstarted batches from busy ones (`Stolen`
+//! records); execution is pure in (batch contents, placement, batch id),
+//! so a stolen batch's results are bit-identical to what the origin would
+//! have produced.
 //!
 //! Failure model (all pure functions of the fault seed, shared with the
 //! task-level chaos layer in `fftx_fault`): [`NodeDeath`] kills shards at
@@ -35,6 +51,8 @@ use crate::batch::plan_batch;
 use crate::degrade::{DegradeConfig, DegradeLevel, Ladder};
 use crate::error::ServeError;
 use crate::exec::Backend;
+use crate::fleet::autoscale::{self, AutoscaleConfig, ScaleDecision};
+use crate::fleet::ring::{load_bound, HashRing, RingConfig};
 use crate::health::{Breaker, HealthConfig};
 use crate::journal::{idempotency_key, Conservation, Journal, Record};
 use crate::request::{band_hash, GeometryClass, RejectReason, Request};
@@ -96,6 +114,16 @@ pub struct FleetConfig {
     /// Safety bound on supervisor ticks before the loop reports
     /// [`ServeError::Stalled`].
     pub max_ticks: u64,
+    /// Tenant→shard consistent-hash ring knobs (vnodes, bounded-load
+    /// factor; the ring seed is folded with the serve seed).
+    pub ring: RingConfig,
+    /// Elastic fleet: `Some` runs the reactive autoscaler between `min`
+    /// and `max` active shards over the provisioned pool of
+    /// [`FleetConfig::shards`]; `None` keeps every shard active (static).
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Cross-shard work stealing: idle shards pull whole
+    /// formed-but-unstarted batches from busy ones.
+    pub steal: bool,
 }
 
 impl Default for FleetConfig {
@@ -108,6 +136,9 @@ impl Default for FleetConfig {
             faults: FleetFaults::default(),
             horizon_s: 2.0,
             max_ticks: 100_000,
+            ring: RingConfig::default(),
+            autoscale: None,
+            steal: false,
         }
     }
 }
@@ -257,7 +288,21 @@ pub struct Fleet {
     /// Ground-truth death time per shard (None = survives), with the
     /// ≥1-survivor guarantee applied.
     death_time: Vec<Option<f64>>,
-    route_seed: u64,
+    /// The tenant→shard consistent-hash ring. Membership (= active,
+    /// not-down shards) is mutated only inside `apply` — by `ScaleUp`,
+    /// `ScaleDown`, and `ShardDown` records — so replay reconstructs the
+    /// exact routing table, validated by the epoch in every `Started`.
+    ring: HashRing,
+    /// Which pool shards are activated (autoscaled fleets start with
+    /// `min`; static fleets with all). A down shard stays `active` until
+    /// nothing — death does not retire it from the pool accounting.
+    active: Vec<bool>,
+    /// First tick each shard may execute batches at (warm-up after
+    /// `ScaleUp`; 0 for the initial active set).
+    warm_until: Vec<u64>,
+    /// Virtual time of the last scale decision: the cooldown guard, and
+    /// the crash-tick idempotency of the autoscale phase.
+    scale_t: Option<f64>,
     accepted: BTreeMap<u64, Request>,
     completed: BTreeSet<u64>,
     open: BTreeSet<u64>,
@@ -305,6 +350,15 @@ impl Fleet {
         if cfg.shards == 0 {
             return Err(ServeError::Journal("fleet needs at least one shard".into()));
         }
+        if let Some(a) = cfg.autoscale {
+            a.validate()?;
+            if a.max > cfg.shards {
+                return Err(ServeError::Config(format!(
+                    "autoscale max {} exceeds the provisioned pool of {}",
+                    a.max, cfg.shards
+                )));
+            }
+        }
         if let Some(i) = requests
             .windows(2)
             .position(|w| w[0].arrival_s > w[1].arrival_s)
@@ -345,6 +399,15 @@ impl Fleet {
                 down: false,
             })
             .collect();
+        let route_seed = mix64(cfg.serve.seed ^ 0xF1EE_7B0A_D5EB_A11D);
+        let initial = cfg.autoscale.map_or(cfg.shards, |a| a.min);
+        let mut ring = HashRing::new(RingConfig {
+            seed: mix64(route_seed ^ cfg.ring.seed),
+            ..cfg.ring
+        });
+        for s in 0..initial {
+            ring.insert(s as u32);
+        }
         Ok(Fleet {
             trace: requests.to_vec(),
             journal: Journal::new(),
@@ -355,7 +418,10 @@ impl Fleet {
             slow,
             partition,
             death_time,
-            route_seed: mix64(cfg.serve.seed ^ 0xF1EE_7B0A_D5EB_A11D),
+            ring,
+            active: (0..cfg.shards).map(|s| s < initial).collect(),
+            warm_until: vec![0; cfg.shards],
+            scale_t: None,
             accepted: BTreeMap::new(),
             completed: BTreeSet::new(),
             open: BTreeSet::new(),
@@ -404,20 +470,10 @@ impl Fleet {
         self.death_time[shard].is_none_or(|d| d > t_s)
     }
 
-    /// Rendezvous hash: the candidate shard (ascending indices) with the
-    /// highest seeded weight for `tenant`. Stable under membership change:
-    /// a tenant only moves when its own shard leaves the candidate set.
-    fn rendezvous(&self, tenant: u32, candidates: &[usize]) -> usize {
-        let mut best = candidates[0];
-        let mut best_w = 0u64;
-        for &s in candidates {
-            let w = mix64(self.route_seed ^ mix64(((tenant as u64) << 32) | (s as u64 + 1)));
-            if w > best_w {
-                best_w = w;
-                best = s;
-            }
-        }
-        best
+    /// Whether `shard` is still in its post-scale-up warm-up window: a
+    /// ring member that queues arrivals but executes nothing yet.
+    fn warming(&self, shard: usize) -> bool {
+        self.tick < self.warm_until[shard]
     }
 
     fn decide(&mut self, class: GeometryClass, nbnd: usize) -> Placement {
@@ -503,6 +559,12 @@ impl Fleet {
                         req.id
                     )));
                 }
+                if !self.ring.contains(*shard) {
+                    return Err(ServeError::Journal(format!(
+                        "job {} routed to shard {shard}, which is not a ring member",
+                        req.id
+                    )));
+                }
                 self.accepted.insert(req.id, *req);
                 self.open.insert(req.id);
                 self.shards[s].admission.push_back(*req);
@@ -536,9 +598,16 @@ impl Fleet {
                 self.next_batch = self.next_batch.max(batch + 1);
                 self.log.push_counter("fleet.batches", 1);
             }
-            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy, decomp } => {
+            Record::Started { shard, batch, start_s, service_s, nr, ntg, policy, decomp, epoch } => {
                 let s = self.shard_index(*shard)?;
                 self.tick = self.tick.max(self.tick_of(*start_s));
+                if *epoch != self.ring.epoch() {
+                    return Err(ServeError::Journal(format!(
+                        "batch {batch} started at ring epoch {epoch}, but replay \
+                         reconstructed epoch {} — routing would diverge",
+                        self.ring.epoch()
+                    )));
+                }
                 let policy = *SchedulerPolicy::ALL.get(*policy).ok_or_else(|| {
                     ServeError::Journal(format!("batch {batch}: policy index {policy}"))
                 })?;
@@ -650,6 +719,7 @@ impl Fleet {
                 let s = self.shard_index(*shard)?;
                 self.tick = self.tick.max(self.tick_of(*t_s));
                 self.shards[s].down = true;
+                self.ring.remove(*shard);
                 self.log.push_state(*t_s, *shard, "down");
                 self.log.push_counter("fleet.shard_down", 1);
                 // Drain everything the shard still owes: its queue, a
@@ -717,6 +787,69 @@ impl Fleet {
                 self.degrade_t = Some(*t_s);
                 self.log.push_counter(&format!("fleet.degrade.{}", lvl.name()), 1);
                 self.log.push_state(*t_s, self.cfg.shards as u32, lvl.name());
+            }
+            Record::ScaleUp { shard, t_s } => {
+                let s = self.shard_index(*shard)?;
+                if self.active[s] || self.shards[s].down {
+                    return Err(ServeError::Journal(format!(
+                        "scale-up of shard {shard}, which is already active or down"
+                    )));
+                }
+                self.tick = self.tick.max(self.tick_of(*t_s));
+                self.active[s] = true;
+                self.ring.insert(*shard);
+                // At least one warm tick: the activation tick itself must
+                // count as warm-up, because scale-up (phase 5) lands after
+                // the tick's heartbeat sweep (phase 2) — a shard probed on
+                // its own activation tick would diverge on crash replay.
+                self.warm_until[s] = self.tick_of(*t_s)
+                    + self.cfg.autoscale.map_or(1, |a| a.warmup_ticks.max(1));
+                self.scale_t = Some(*t_s);
+                self.log.push_counter("fleet.scale.up", 1);
+                self.log.push_state(*t_s, *shard, "warming");
+            }
+            Record::ScaleDown { shard, t_s } => {
+                let s = self.shard_index(*shard)?;
+                if !self.active[s] || self.shards[s].down {
+                    return Err(ServeError::Journal(format!(
+                        "scale-down of shard {shard}, which is not active"
+                    )));
+                }
+                if self.shards[s].admission.depth() > 0
+                    || self.shards[s].pending.is_some()
+                    || self.shards[s].inflight.is_some()
+                {
+                    return Err(ServeError::Journal(format!(
+                        "scale-down of shard {shard} while it still holds work"
+                    )));
+                }
+                self.tick = self.tick.max(self.tick_of(*t_s));
+                self.active[s] = false;
+                self.ring.remove(*shard);
+                self.scale_t = Some(*t_s);
+                self.log.push_counter("fleet.scale.down", 1);
+                self.log.push_state(*t_s, *shard, "standby");
+            }
+            Record::Stolen { from, to, batch, t_s } => {
+                let f = self.shard_index(*from)?;
+                let t = self.shard_index(*to)?;
+                if f == t {
+                    return Err(ServeError::Journal(format!("batch {batch} stolen by its owner")));
+                }
+                if self.shards[f].pending != Some(*batch) {
+                    return Err(ServeError::Journal(format!(
+                        "stolen batch {batch} is not pending on origin shard {from}"
+                    )));
+                }
+                if self.shards[t].pending.is_some() || self.shards[t].down || !self.active[t] {
+                    return Err(ServeError::Journal(format!(
+                        "batch {batch} stolen by shard {to}, which cannot take it"
+                    )));
+                }
+                self.tick = self.tick.max(self.tick_of(*t_s));
+                self.shards[f].pending = None;
+                self.shards[t].pending = Some(*batch);
+                self.log.push_counter("fleet.steal", 1);
             }
         }
         Ok(())
@@ -820,12 +953,15 @@ impl Fleet {
         Ok(())
     }
 
-    /// Phase 2: one heartbeat probe per monitored shard. The journaled
+    /// Phase 2: one heartbeat probe per monitored shard (standby and
+    /// still-warming shards are not probed — a warming shard serves
+    /// nothing yet, and its warm window always covers its activation
+    /// tick, keeping the sweep identical on crash replay). The journaled
     /// cursor (`hb_tick`, `hb_from`) re-enters a half-finished sweep.
     fn phase_heartbeats(&mut self, t: f64) -> Result<(), ServeError> {
         let start = if self.hb_tick == Some(self.tick) { self.hb_from } else { 0 };
         for s in start..self.cfg.shards {
-            if self.shards[s].down {
+            if self.shards[s].down || !self.active[s] || self.warming(s) {
                 continue;
             }
             let ok = self.alive_at(s, t) && !self.partition.cut_at(s as u64, t, self.cfg.horizon_s);
@@ -848,17 +984,32 @@ impl Fleet {
         Ok(())
     }
 
-    /// Phase 4: drain the failover queue onto surviving shards via
-    /// rendezvous routing. Breaker-open survivors are a last resort.
+    /// Phase 4: drain the failover queue onto the surviving ring members.
+    /// Breaker-open members are a last resort; an elastic fleet whose
+    /// ring emptied entirely repairs itself with an emergency scale-up
+    /// before giving up.
     fn phase_failover(&mut self, t: f64) -> Result<(), ServeError> {
         while let Some(&(from, job)) = self.pending_failover.front() {
-            let mut candidates: Vec<usize> = (0..self.cfg.shards)
-                .filter(|&s| !self.shards[s].down && self.shards[s].breaker.admits())
+            let mut candidates: Vec<u32> = self
+                .ring
+                .members()
+                .iter()
+                .copied()
+                .filter(|&s| self.shards[s as usize].breaker.admits())
                 .collect();
             if candidates.is_empty() {
-                candidates = (0..self.cfg.shards).filter(|&s| !self.shards[s].down).collect();
+                candidates = self.ring.members().to_vec();
             }
             if candidates.is_empty() {
+                if self.cfg.autoscale.is_some() {
+                    let target = self.scale_up_target().or_else(|| {
+                        (0..self.cfg.shards).find(|&s| !self.active[s] && !self.shards[s].down)
+                    });
+                    if let Some(s) = target {
+                        self.emit(Record::ScaleUp { shard: s as u32, t_s: t })?;
+                        continue;
+                    }
+                }
                 return Err(ServeError::Journal(format!(
                     "no surviving shard to fail job {job} over to"
                 )));
@@ -866,14 +1017,98 @@ impl Fleet {
             let req = *self.accepted.get(&job).ok_or_else(|| {
                 ServeError::Journal(format!("job {job} drained but never accepted"))
             })?;
-            let to = self.rendezvous(req.tenant, &candidates) as u32;
+            let to = self
+                .ring
+                .route(req.tenant as u64, |s| candidates.contains(&s))
+                .ok_or_else(|| {
+                    ServeError::Journal(format!("failover of job {job} found no route"))
+                })?;
             self.emit(Record::Failover { from, to, job, t_s: t })?;
         }
         Ok(())
     }
 
-    /// Phase 5: admit (or shed) every arrival due by `t`, routing by
-    /// rendezvous hash over the admitting shards.
+    /// The pool shard an elastic fleet would activate next: the lowest
+    /// standby index whose breaker admits with no corruption strikes —
+    /// scale-up never lands on a quarantined or corruption-striken node.
+    fn scale_up_target(&self) -> Option<usize> {
+        (0..self.cfg.shards).find(|&s| {
+            !self.active[s]
+                && !self.shards[s].down
+                && self.shards[s].breaker.admits()
+                && self.shards[s].breaker.corruption_strikes() == 0
+        })
+    }
+
+    /// The shard an elastic fleet would retire next: the highest active
+    /// index that is fully idle (nothing queued, pending, or in flight),
+    /// so retirement never needs a drain.
+    fn scale_down_target(&self) -> Option<usize> {
+        (0..self.cfg.shards).rev().find(|&s| {
+            self.active[s]
+                && !self.shards[s].down
+                && self.shards[s].admission.depth() == 0
+                && self.shards[s].pending.is_none()
+                && self.shards[s].inflight.is_none()
+        })
+    }
+
+    /// Phase 5: the reactive autoscaler — one journaled scale decision at
+    /// most every cooldown window, driven by the hysteresis controller
+    /// over active-fleet queue pressure, gated by the degrade ladder.
+    /// Every input is journal-derived, so replay reproduces each decision
+    /// exactly, and the ≥1-tick cooldown makes re-running the crash tick
+    /// a no-op after its decision was journaled.
+    fn phase_autoscale(&mut self, t: f64) -> Result<(), ServeError> {
+        let Some(a) = self.cfg.autoscale else { return Ok(()) };
+        if let Some(ts) = self.scale_t {
+            if self.tick < self.tick_of(ts) + a.cooldown() {
+                return Ok(());
+            }
+        }
+        let active_alive: Vec<usize> = (0..self.cfg.shards)
+            .filter(|&s| self.active[s] && !self.shards[s].down)
+            .collect();
+        let serving: Vec<usize> = active_alive
+            .iter()
+            .copied()
+            .filter(|&s| self.shards[s].breaker.admits())
+            .collect();
+        let pressure = if serving.is_empty() {
+            1.0
+        } else {
+            let depth: usize = serving.iter().map(|&s| self.shards[s].admission.depth()).sum();
+            depth as f64 / (serving.len() * self.cfg.serve.admission.queue_cap) as f64
+        };
+        let level = self.ladder.level();
+        let decision = autoscale::decide(
+            &a,
+            active_alive.len(),
+            pressure,
+            level == DegradeLevel::Normal,
+            level == DegradeLevel::Quarantine,
+        );
+        match decision {
+            ScaleDecision::Up => {
+                if let Some(s) = self.scale_up_target() {
+                    self.emit(Record::ScaleUp { shard: s as u32, t_s: t })?;
+                }
+            }
+            ScaleDecision::Down => {
+                if let Some(s) = self.scale_down_target() {
+                    self.emit(Record::ScaleDown { shard: s as u32, t_s: t })?;
+                }
+            }
+            ScaleDecision::Hold => {}
+        }
+        Ok(())
+    }
+
+    /// Phase 6: admit (or shed) every arrival due by `t`, routing over
+    /// the consistent-hash ring with bounded-load overflow: a tenant
+    /// whose home shard is saturated past the load bound spills clockwise
+    /// to the next admitting member instead of queueing behind the
+    /// hotspot.
     fn phase_arrivals(&mut self, t: f64) -> Result<(), ServeError> {
         while self
             .trace
@@ -887,14 +1122,25 @@ impl Fleet {
                 self.emit(Record::Shed { req, kind: kind.to_string() })?;
                 continue;
             }
-            let admitting: Vec<usize> = (0..self.cfg.shards)
-                .filter(|&s| !self.shards[s].down && self.shards[s].breaker.admits())
-                .collect();
-            if admitting.is_empty() {
+            let total: usize = self
+                .ring
+                .members()
+                .iter()
+                .map(|&m| self.shards[m as usize].admission.depth())
+                .sum();
+            let bound = load_bound(total, self.ring.members().len(), self.cfg.ring.load_factor);
+            let shards = &self.shards;
+            let target = self.ring.route_bounded(
+                req.tenant as u64,
+                bound,
+                |s| shards[s as usize].admission.depth(),
+                |s| shards[s as usize].breaker.admits(),
+            );
+            let Some(target) = target else {
                 self.emit(Record::Shed { req, kind: "no_shard".to_string() })?;
                 continue;
-            }
-            let target = self.rendezvous(req.tenant, &admitting);
+            };
+            let target = target as usize;
             // Completion estimate on the target: residual busy time, the
             // backlog ahead, and the request's own service.
             let mut estimate = self.shards[target]
@@ -920,12 +1166,94 @@ impl Fleet {
         Ok(())
     }
 
-    /// Phase 6: each idle shard forms its next batch (band cap halved at
+    /// Phase 7: idle, warm shards pull whole formed-but-unstarted batches
+    /// from busy ones. Two journaled steps per steal — `Batched` on the
+    /// victim, then `Stolen` moving it to the thief — so a crash between
+    /// them resumes unambiguously: a victim holding a pending batch
+    /// *while busy executing another* can only be mid-steal (dispatch
+    /// only forms batches for idle shards), and is drained first.
+    fn phase_steal(&mut self, t: f64) -> Result<(), ServeError> {
+        if !self.cfg.steal {
+            return Ok(());
+        }
+        let thieves: Vec<usize> = (0..self.cfg.shards)
+            .filter(|&s| {
+                self.active[s]
+                    && !self.shards[s].down
+                    && !self.warming(s)
+                    && self.shards[s].breaker.admits()
+                    && self.shards[s].inflight.is_none()
+                    && self.shards[s].pending.is_none()
+                    && self.shards[s].admission.depth() == 0
+            })
+            .collect();
+        for thief in thieves {
+            if self.shards[thief].pending.is_some() {
+                continue; // the journal prefix already gave this thief its batch
+            }
+            // A busy victim already holding a formed batch is a steal the
+            // crash interrupted between its two records: finish it first.
+            let mid = (0..self.cfg.shards).find(|&v| {
+                v != thief
+                    && self.active[v]
+                    && !self.shards[v].down
+                    && self.shards[v].inflight.is_some()
+                    && self.shards[v].pending.is_some()
+            });
+            let victim = match mid {
+                Some(v) => v,
+                None => {
+                    let mut best: Option<(usize, usize)> = None;
+                    for v in 0..self.cfg.shards {
+                        if v == thief
+                            || !self.active[v]
+                            || self.shards[v].down
+                            || self.warming(v)
+                            || self.shards[v].inflight.is_none()
+                            || self.shards[v].pending.is_some()
+                        {
+                            continue;
+                        }
+                        let d = self.shards[v].admission.depth();
+                        if d > 0 && best.is_none_or(|(_, bd)| d > bd) {
+                            best = Some((v, d));
+                        }
+                    }
+                    match best {
+                        Some((v, _)) => v,
+                        None => break, // no busy backlog anywhere: nothing to steal
+                    }
+                }
+            };
+            if self.shards[victim].pending.is_none() {
+                let mut bc = self.cfg.serve.batch;
+                if self.ladder.level().splits_batches() {
+                    bc.max_bands = (bc.max_bands / 2).max(1);
+                }
+                let queue: Vec<Request> = self.shards[victim].admission.queued().copied().collect();
+                let plan = plan_batch(queue.iter(), &bc);
+                if plan.is_empty() {
+                    continue;
+                }
+                let jobs: Vec<u64> = plan.iter().map(|&p| queue[p].id).collect();
+                let batch = self.next_batch;
+                self.emit(Record::Batched { shard: victim as u32, batch, jobs })?;
+            }
+            let batch = self.shards[victim].pending.ok_or_else(|| {
+                ServeError::Journal(format!("steal lost its formed batch on shard {victim}"))
+            })?;
+            self.emit(Record::Stolen { from: victim as u32, to: thief as u32, batch, t_s: t })?;
+        }
+        Ok(())
+    }
+
+    /// Phase 8: each idle shard forms its next batch (band cap halved at
     /// `SplitLarge` and above) and starts it — two journaled steps, so a
-    /// crash between them resumes with the identical member set.
+    /// crash between them resumes with the identical member set. Standby
+    /// and warming shards execute nothing.
     fn phase_dispatch(&mut self, t: f64) -> Result<(), ServeError> {
         for s in 0..self.cfg.shards {
-            if self.shards[s].down {
+            if self.shards[s].down || !self.active[s] || self.warming(s) {
                 continue;
             }
             if self.shards[s].pending.is_none() {
@@ -970,14 +1298,15 @@ impl Fleet {
                     ntg: placement.ntg,
                     policy,
                     decomp: placement.decomp.index(),
+                    epoch: self.ring.epoch(),
                 })?;
             }
         }
         Ok(())
     }
 
-    /// Phase 7: the brown-out ladder moves at most one level per tick on
-    /// the admitting shards' mean queue occupancy, or — past
+    /// Phase 9: the brown-out ladder moves at most one level per tick on
+    /// the admitting active shards' mean queue occupancy, or — past
     /// [`DegradeConfig::quarantine_at`] — on the fraction of started
     /// batches whose results failed ABFT verification. Both pressures are
     /// journal-derived, so the step is replay-stable.
@@ -986,7 +1315,9 @@ impl Fleet {
             return Ok(()); // transition already journaled this tick
         }
         let admitting: Vec<usize> = (0..self.cfg.shards)
-            .filter(|&s| !self.shards[s].down && self.shards[s].breaker.admits())
+            .filter(|&s| {
+                self.active[s] && !self.shards[s].down && self.shards[s].breaker.admits()
+            })
             .collect();
         let pressure = if admitting.is_empty() {
             1.0
@@ -1048,7 +1379,9 @@ impl Fleet {
         self.phase_heartbeats(t)?;
         self.phase_deaths(t)?;
         self.phase_failover(t)?;
+        self.phase_autoscale(t)?;
         self.phase_arrivals(t)?;
+        self.phase_steal(t)?;
         self.phase_dispatch(t)?;
         self.phase_degrade(t)?;
         Ok(())
@@ -1224,7 +1557,7 @@ mod tests {
         // shards are declared dead while work is still in flight: the
         // zombie completions then race their failover re-runs into the
         // idempotency guard.
-        let reqs = trace(7, 80.0);
+        let reqs = trace(7, 200.0);
         let cfg = FleetConfig {
             faults: FleetFaults {
                 seed: 19,
@@ -1325,20 +1658,142 @@ mod tests {
     }
 
     #[test]
-    fn rendezvous_routing_is_stable_under_membership_change() {
+    fn ring_routing_is_stable_under_membership_change() {
         let reqs = trace(7, 40.0);
-        let fleet = Fleet::new(&reqs, FleetConfig::default()).expect("fleet");
-        let all = [0usize, 1, 2];
-        for tenant in 0..16u32 {
-            let home = fleet.rendezvous(tenant, &all);
-            let survivors: Vec<usize> = all.iter().copied().filter(|&s| s != 0).collect();
-            let moved = fleet.rendezvous(tenant, &survivors);
+        let mut fleet = Fleet::new(&reqs, FleetConfig::default()).expect("fleet");
+        assert_eq!(fleet.ring.members(), &[0, 1, 2]);
+        assert_eq!(fleet.ring.epoch(), 3);
+        let before: Vec<u32> = (0..16u64)
+            .map(|t| fleet.ring.route(t, |_| true).expect("route"))
+            .collect();
+        fleet.ring.remove(0);
+        for (t, &home) in before.iter().enumerate() {
+            let now = fleet.ring.route(t as u64, |_| true).expect("route");
             if home != 0 {
-                assert_eq!(home, moved, "tenant {tenant} moved without cause");
+                assert_eq!(home, now, "tenant {t} moved without cause");
             } else {
-                assert!(survivors.contains(&moved));
+                assert_ne!(now, 0);
             }
         }
+        assert_eq!(fleet.ring.epoch(), 4, "membership change bumps the epoch");
+    }
+
+    fn autoscale_cfg(shards: usize, min: usize) -> FleetConfig {
+        FleetConfig {
+            shards,
+            autoscale: Some(crate::fleet::AutoscaleConfig {
+                min,
+                max: shards,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn autoscaler_grows_under_load_and_shrinks_back() {
+        let reqs = generate(&TrafficConfig {
+            seed: 7,
+            rate_hz: 200.0,
+            duration_s: 1.0,
+            tenants: 4,
+            profile: LoadProfile::Burst,
+        });
+        let cfg = autoscale_cfg(4, 1);
+        let r = run_fleet(&reqs, &cfg).expect("fleet");
+        assert!(r.counters.get("fleet.scale.up") >= 1, "the burst must trigger a scale-up");
+        assert!(
+            r.counters.get("fleet.scale.down") >= 1,
+            "the fleet must shrink once the backlog drains"
+        );
+        assert!(r.conservation.open.is_empty(), "zero loss across scale events");
+        assert_eq!(r.offered(), reqs.len());
+        let again = run_fleet(&reqs, &cfg).expect("fleet");
+        assert_eq!(r.journal.encode(), again.journal.encode());
+    }
+
+    #[test]
+    fn elastic_resume_is_bit_identical_across_scale_records() {
+        let reqs = generate(&TrafficConfig {
+            seed: 11,
+            rate_hz: 150.0,
+            duration_s: 1.0,
+            tenants: 3,
+            profile: LoadProfile::Burst,
+        });
+        let cfg = autoscale_cfg(3, 1);
+        let full = run_fleet(&reqs, &cfg).expect("fleet");
+        assert!(full.counters.get("fleet.scale.up") >= 1);
+        // Cut directly before and after every scale record, plus spread
+        // points: the elastic run must resume byte-identically from all.
+        let mut cuts: Vec<usize> = full
+            .journal
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Record::ScaleUp { .. } | Record::ScaleDown { .. }))
+            .flat_map(|(i, _)| [i, i + 1])
+            .collect();
+        let n = full.journal.len();
+        cuts.extend([0, n / 2, n]);
+        for cut in cuts {
+            let mut prefix = Journal::new();
+            for rec in &full.journal.records()[..cut] {
+                prefix.append(rec.clone());
+            }
+            let resumed = resume_fleet(&prefix, &reqs, &cfg).expect("resume");
+            assert_eq!(
+                resumed.journal.encode(),
+                full.journal.encode(),
+                "resume from record {cut}/{n} diverged across a scale record"
+            );
+        }
+    }
+
+    #[test]
+    fn work_stealing_moves_batches_and_stays_deterministic() {
+        // A 40x-slow shard builds a multi-tick backlog while another
+        // drains to idle — exactly the asymmetry stealing exists for.
+        let reqs = generate(&TrafficConfig {
+            seed: 7,
+            rate_hz: 200.0,
+            duration_s: 1.0,
+            tenants: 2,
+            profile: LoadProfile::Burst,
+        });
+        let cfg = FleetConfig {
+            steal: true,
+            faults: FleetFaults { seed: 7, p_slow: 0.6, slow_max: 40.0, ..Default::default() },
+            ..Default::default()
+        };
+        let r = run_fleet(&reqs, &cfg).expect("fleet");
+        assert!(r.counters.get("fleet.steal") >= 1, "an idle shard must steal");
+        assert_eq!(r.conservation.steals as u64, r.counters.get("fleet.steal"));
+        assert!(r.conservation.open.is_empty(), "zero loss across steals");
+        assert_eq!(r.offered(), reqs.len());
+        let again = run_fleet(&reqs, &cfg).expect("fleet");
+        assert_eq!(r.journal.encode(), again.journal.encode());
+        // Resume across the steal records: byte-identical.
+        let n = r.journal.len();
+        for cut in [n / 4, n / 2, 3 * n / 4] {
+            let mut prefix = Journal::new();
+            for rec in &r.journal.records()[..cut] {
+                prefix.append(rec.clone());
+            }
+            let resumed = resume_fleet(&prefix, &reqs, &cfg).expect("resume");
+            assert_eq!(resumed.journal.encode(), r.journal.encode());
+        }
+    }
+
+    #[test]
+    fn autoscale_bounds_are_validated() {
+        let mut cfg = autoscale_cfg(3, 1);
+        cfg.autoscale = Some(crate::fleet::AutoscaleConfig {
+            min: 1,
+            max: 9,
+            ..Default::default()
+        });
+        assert!(matches!(run_fleet(&[], &cfg), Err(ServeError::Config(_))));
     }
 
     #[test]

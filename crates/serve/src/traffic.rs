@@ -87,6 +87,18 @@ pub struct TrafficConfig {
     pub profile: LoadProfile,
 }
 
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 0,
+            rate_hz: 40.0,
+            duration_s: 1.0,
+            tenants: 3,
+            profile: LoadProfile::Steady,
+        }
+    }
+}
+
 /// Deterministic counter-mode splitmix64 stream.
 struct Stream {
     seed: u64,

@@ -7,13 +7,16 @@
 //! * crash recovery reproduces those hashes from the journal without
 //!   re-executing the already-completed work,
 //! * node death plus seeded transport chaos loses no accepted job and
-//!   corrupts no result.
+//!   corrupts no result,
+//! * an autoscaled, stealing fleet under that same fault stack scales up
+//!   out of its floor, loses nothing, still hash-matches the direct
+//!   engine, and recovers bit-identically from a mid-run crash.
 
 use fftx_core::{run_policy, Decomposition, SchedulerPolicy};
 use fftx_serve::{
-    assemble, band_hash, class_problem, generate, resume_fleet, run_fleet, FleetConfig,
-    FleetFaults, FleetReport, GeometryClass, Journal, LoadProfile, Placement, Record, Request,
-    ServeChaos, ServeConfig, TrafficConfig,
+    assemble, band_hash, class_problem, generate, resume_fleet, run_fleet, AutoscaleConfig,
+    FleetConfig, FleetFaults, FleetReport, GeometryClass, Journal, LoadProfile, Placement, Record,
+    Request, ServeChaos, ServeConfig, TrafficConfig,
 };
 use std::collections::BTreeMap;
 
@@ -191,4 +194,48 @@ fn node_death_with_transport_chaos_loses_nothing() {
     assert_eq!(report.offered(), requests.len());
     // ... and chaos cost time, never answers.
     assert_hashes_match(&report, &cfg);
+}
+
+#[test]
+fn autoscaled_fleet_under_chaos_and_node_death_stays_golden() {
+    // The full capacity stack at once: a 4-shard pool starting at its
+    // 1-shard floor, work stealing on, transport chaos, and a fatal fault
+    // profile — the flash-crowd-meets-bad-day scenario.
+    let requests = trace(100.0);
+    let mut cfg = real_cfg(FleetFaults {
+        seed: 3,
+        p_death: 0.6,
+        ..Default::default()
+    });
+    cfg.shards = 4;
+    cfg.autoscale = Some(AutoscaleConfig { min: 1, max: 4, ..Default::default() });
+    cfg.steal = true;
+    cfg.serve.chaos = Some(ServeChaos {
+        seed: SEED,
+        evict_batch: None,
+        corrupt_per_mille: 0,
+    });
+    let report = run_fleet(&requests, &cfg).expect("fleet");
+
+    // The fleet must actually scale out of its floor and lose a shard.
+    assert!(report.counters.get("fleet.scale.up") >= 1, "the fleet must scale up");
+    assert!(report.counters.get("fleet.shard_down") >= 1, "a shard must die");
+    // Zero loss across scale events, steals, chaos, and death.
+    assert!(report.conservation.open.is_empty());
+    assert_eq!(report.conservation.accepted, report.conservation.completed);
+    assert_eq!(report.offered(), requests.len());
+    assert_eq!(report.conservation.steals as u64, report.counters.get("fleet.steal"));
+    // Results still match the direct engine batch for batch.
+    assert_hashes_match(&report, &cfg);
+
+    // Crash at the midpoint — inside the scale/steal window — and the
+    // recovered journal is byte-identical without re-executing the prefix.
+    let cut = report.journal.len() / 2;
+    let mut prefix = Journal::new();
+    for rec in &report.journal.records()[..cut] {
+        prefix.append(rec.clone());
+    }
+    let resumed = resume_fleet(&prefix, &requests, &cfg).expect("resume");
+    assert_eq!(resumed.journal.encode(), report.journal.encode());
+    assert_hashes_match(&resumed, &cfg);
 }

@@ -21,4 +21,4 @@ pub mod runtime;
 pub use error::TaskError;
 pub use graph::{SlotArena, TaskGraph};
 pub use handle::{Access, Dep, Handle, Shared};
-pub use runtime::{RetryPolicy, Runtime, RuntimeBuilder};
+pub use runtime::{parallel_map, RetryPolicy, Runtime, RuntimeBuilder};

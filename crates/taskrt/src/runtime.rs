@@ -520,6 +520,42 @@ impl Drop for Runtime {
     }
 }
 
+/// Fans `f(0..n)` out over a private pool of `nthreads` workers and
+/// returns the results in slot order — the independent-task map the
+/// Monte-Carlo planner uses to run seeded fleet simulations concurrently.
+/// Each slot's value depends only on its index, so the output is
+/// deterministic regardless of execution interleaving. Panics propagate
+/// the first task failure, like [`Runtime::taskwait`].
+pub fn parallel_map<T, F>(nthreads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let rt = Runtime::new(nthreads.clamp(1, n));
+    let f = Arc::new(f);
+    let slots: Arc<Mutex<Vec<Option<T>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    for i in 0..n {
+        let f = Arc::clone(&f);
+        let slots = Arc::clone(&slots);
+        rt.spawn(&format!("pmap.{i}"), &[], move || {
+            let v = f(i);
+            slots.lock()[i] = Some(v);
+        });
+    }
+    rt.taskwait();
+    rt.shutdown();
+    let mut slots = slots.lock();
+    slots
+        .iter_mut()
+        .enumerate()
+        .map(|(i, s)| s.take().unwrap_or_else(|| panic!("parallel_map: slot {i} never filled")))
+        .collect()
+}
+
 fn worker_loop(inner: &Inner, worker_idx: usize) {
     set_current_thread(worker_idx);
     loop {
@@ -638,6 +674,15 @@ mod tests {
         }
         rt.taskwait();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn parallel_map_returns_slot_ordered_results() {
+        let out = parallel_map(4, 17, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert!(parallel_map(3, 0, |i| i).is_empty());
+        // More workers than slots clamps instead of spawning idle threads.
+        assert_eq!(parallel_map(64, 2, |i| i + 1), vec![1, 2]);
     }
 
     #[test]

@@ -518,12 +518,19 @@ impl EventLog {
         Ok(out)
     }
 
-    /// Materializes the state-transition view.
+    /// Materializes the state-transition view. Rows are stable-sorted by
+    /// timestamp first: a virtual-time loop can *discover* transitions
+    /// slightly out of time order within one tick (e.g. two shards'
+    /// batches completing at different virtual times, processed in shard
+    /// order), and the timeline view orders by when they happened, with
+    /// append order breaking ties deterministically.
     pub fn state_timeline(&self) -> Result<StateTimeline, TraceError> {
         let s = &self.streams[STREAM_STATE];
         let (ts, lanes, states) = (s.col_f64("t")?, s.col_u32("lane")?, s.col_str("state")?);
+        let mut order: Vec<usize> = (0..s.rows()).collect();
+        order.sort_by(|&a, &b| ts[a].total_cmp(&ts[b]));
         let mut out = StateTimeline::new();
-        for i in 0..s.rows() {
+        for i in order {
             out.record(ts[i], lanes[i], self.lookup(states[i])?);
         }
         Ok(out)

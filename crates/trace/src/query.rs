@@ -113,6 +113,28 @@ pub fn rate_windows(ts: &[f64], window: f64) -> Vec<usize> {
     out
 }
 
+/// Weighted rate windows: sums `ws[i]` into fixed time bins
+/// `[t0 + k·window, t0 + (k+1)·window)` over the paired timestamps — the
+/// per-timestep *work* profile where [`rate_windows`] gives the *count*
+/// profile. The slices are paired positionally; the shorter one bounds the
+/// aggregation. Empty input or a non-positive window yields an empty vec.
+pub fn window_sums(ts: &[f64], ws: &[f64], window: f64) -> Vec<f64> {
+    let n = ts.len().min(ws.len());
+    if n == 0 || window <= 0.0 {
+        return Vec::new();
+    }
+    let ts = &ts[..n];
+    let t0 = ts.iter().copied().fold(f64::INFINITY, f64::min);
+    let t1 = ts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let bins = (((t1 - t0) / window).floor() as usize) + 1;
+    let mut out = vec![0.0f64; bins];
+    for i in 0..n {
+        let b = (((ts[i] - t0) / window) as usize).min(bins - 1);
+        out[b] += ws[i];
+    }
+    out
+}
+
 /// Row counts grouped by a dictionary-encoded column of one stream
 /// (group-by on stage/policy/shard/tenant-style label columns). Keys are
 /// the decoded strings, sorted.
@@ -299,6 +321,16 @@ mod tests {
         assert_eq!(rate_windows(&[0.0, 0.1, 1.1, 2.7], 1.0), vec![2, 1, 1]);
         assert!(rate_windows(&[], 1.0).is_empty());
         assert!(rate_windows(&[1.0], 0.0).is_empty());
+    }
+
+    #[test]
+    fn window_sums_weight_the_bins() {
+        let s = window_sums(&[0.0, 0.1, 1.1, 2.7], &[1.0, 2.0, 4.0, 8.0], 1.0);
+        assert_eq!(s, vec![3.0, 4.0, 8.0]);
+        // The shorter slice bounds the pairing.
+        assert_eq!(window_sums(&[0.0, 0.5], &[5.0], 1.0), vec![5.0]);
+        assert!(window_sums(&[], &[], 1.0).is_empty());
+        assert!(window_sums(&[1.0], &[1.0], 0.0).is_empty());
     }
 
     #[test]

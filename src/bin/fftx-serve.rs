@@ -9,8 +9,9 @@
 
 use fftxlib_repro::core::{load_env, valid_decomps, DecompChoice};
 use fftxlib_repro::serve::{
-    resume_fleet, run_fleet, run_serve, FleetConfig, FleetFaults, FleetReport, Journal,
-    LoadProfile, PlacementMode, ServeChaos, ServeConfig, ServeReport, TrafficConfig,
+    plan_capacity, resume_fleet, run_fleet, run_serve, AutoscaleConfig, FleetConfig, FleetFaults,
+    FleetReport, Journal, LoadProfile, PlacementMode, PlanConfig, PlanReport, ServeChaos,
+    ServeConfig, ServeReport, TrafficConfig,
 };
 use std::process::ExitCode;
 
@@ -19,6 +20,11 @@ struct Args {
     serve: ServeConfig,
     fleet: Option<usize>,
     faults: FleetFaults,
+    autoscale: Option<AutoscaleConfig>,
+    steal: bool,
+    plan: Option<usize>,
+    plan_iters: usize,
+    plan_seed: u64,
     replay_check: bool,
     why: bool,
 }
@@ -49,8 +55,28 @@ const USAGE: &str = "usage: fftx-serve [options]
   --p-partition P  with --fleet: per-shard partition probability (default 0)
   --replay-check   with --fleet: crash the journal at its midpoint, resume,
                    and verify the replayed run is byte-identical
+  --autoscale M:N  with --fleet: run the reactive autoscaler between M and N
+                   active shards (N <= the provisioned --fleet pool);
+                   thresholds from FFTX_SCALE_UP_AT / FFTX_SCALE_DOWN_AT
+  --steal V        with --fleet: cross-shard work stealing, on | off
+                   (default off, or the FFTX_STEAL env choice)
+  --plan N         run the offline Monte-Carlo capacity planner over
+                   candidate fleet sizes 1..=N instead of serving
+                   (iterations / seed from FFTX_PLAN_ITERS / FFTX_PLAN_SEED)
   --why            print the tuner's placement explanations
   --help           this text";
+
+/// Parses the `--autoscale` bound pair `MIN:MAX`.
+fn parse_autoscale(v: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("bad autoscale bounds '{v}' (expected MIN:MAX with 1 <= MIN <= MAX, e.g. 1:4)");
+    let (lo, hi) = v.split_once(':').ok_or_else(bad)?;
+    let min: usize = lo.trim().parse().map_err(|_| bad())?;
+    let max: usize = hi.trim().parse().map_err(|_| bad())?;
+    if min == 0 || min > max {
+        return Err(bad());
+    }
+    Ok((min, max))
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut traffic = TrafficConfig {
@@ -61,8 +87,9 @@ fn parse_args() -> Result<Args, String> {
         profile: LoadProfile::Steady,
     };
     let mut serve = ServeConfig::default();
-    // FFTX_DECOMP seeds the default; the --decomp flag still wins.
-    if let Some(d) = load_env().map_err(|e| e.to_string())?.decomp {
+    // The FFTX_* knobs seed the defaults; explicit flags still win.
+    let knobs = load_env().map_err(|e| e.to_string())?;
+    if let Some(d) = knobs.decomp {
         serve.decomp = d;
     }
     let mut evict: Option<usize> = None;
@@ -71,6 +98,17 @@ fn parse_args() -> Result<Args, String> {
     let mut fleet: Option<usize> = None;
     let mut faults = FleetFaults { seed: 7, ..FleetFaults::default() };
     let mut faults_given = false;
+    // FFTX_FLEET_MIN + FFTX_FLEET_MAX together enable the autoscaler from
+    // the environment; --autoscale MIN:MAX overrides the bounds.
+    let mut bounds = match (knobs.fleet.min, knobs.fleet.max) {
+        (Some(min), Some(max)) => Some((min, max)),
+        _ => None,
+    };
+    let mut steal = knobs.fleet.steal.unwrap_or(false);
+    // Explicit flags in non-fleet mode are an error; env-only settings are
+    // silently inert there (the environment is shared across run modes).
+    let mut fleet_flags_given = false;
+    let mut plan: Option<usize> = None;
     let mut replay_check = false;
     let mut why = false;
 
@@ -132,6 +170,30 @@ fn parse_args() -> Result<Args, String> {
                 faults.p_partition = val("--p-partition")?.parse().map_err(|e| format!("{e}"))?;
                 faults_given = true;
             }
+            "--autoscale" => {
+                bounds = Some(parse_autoscale(&val("--autoscale")?)?);
+                fleet_flags_given = true;
+            }
+            "--steal" => {
+                let v = val("--steal")?;
+                steal = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!("unknown steal setting '{other}' (valid: on, off)"))
+                    }
+                };
+                fleet_flags_given = true;
+            }
+            "--plan" => {
+                let n: usize = val("--plan")?
+                    .parse()
+                    .map_err(|_| "bad --plan value (expected a candidate fleet size >= 1)".to_string())?;
+                if n == 0 {
+                    return Err("bad --plan value (expected a candidate fleet size >= 1)".into());
+                }
+                plan = Some(n);
+            }
             "--replay-check" => replay_check = true,
             "--real" => serve.execute_real = true,
             "--chaos" => chaos_seed = Some(val("--chaos")?.parse().map_err(|e| format!("{e}"))?),
@@ -151,14 +213,32 @@ fn parse_args() -> Result<Args, String> {
     } else if evict.is_some() || corrupt > 0 {
         return Err("--evict/--corrupt require --chaos".into());
     }
-    if fleet.is_none() && (faults_given || replay_check) {
+    if plan.is_none() && fleet.is_none() && (faults_given || replay_check) {
         return Err("--fault-seed/--p-death/--p-slow/--slow-max/--p-partition/--replay-check require --fleet".into());
     }
+    if fleet.is_none() && fleet_flags_given {
+        return Err("--autoscale/--steal require --fleet".into());
+    }
+    let autoscale = bounds.map(|(min, max)| {
+        let d = AutoscaleConfig::default();
+        AutoscaleConfig {
+            min,
+            max,
+            up_at: knobs.fleet.up_at.unwrap_or(d.up_at),
+            down_at: knobs.fleet.down_at.unwrap_or(d.down_at),
+            ..d
+        }
+    });
     Ok(Args {
         traffic,
         serve,
         fleet,
         faults,
+        autoscale,
+        steal,
+        plan,
+        plan_iters: knobs.fleet.plan_iters.unwrap_or(4),
+        plan_seed: knobs.fleet.plan_seed.unwrap_or(traffic.seed),
         replay_check,
         why,
     })
@@ -311,12 +391,77 @@ fn replay_check(
     }
 }
 
+fn print_plan_report(plan: &PlanReport, traffic: &TrafficConfig, k_max: usize) {
+    println!(
+        "fftx-serve — offline capacity plan (k = 1..={k_max}, {} iterations)",
+        plan.iterations
+    );
+    println!(
+        "  traffic : {} req/s x {:.1}s ({}), {} tenants",
+        traffic.rate_hz, traffic.duration_s, traffic.profile.name(), traffic.tenants
+    );
+    println!(
+        "  demand  : required {:.1} bands/s | peak {:.1} bands/s | {:.1} bands/s per shard",
+        plan.required_rate, plan.peak_rate, plan.shard_rate
+    );
+    println!("  floor   : analytic fleet floor {}", plan.analytic_floor);
+    println!("  candidates:");
+    for p in &plan.profiles {
+        println!(
+            "    k={}  goodput {:>7.2}/s  shed {:>5.1} % ({} total)  p99 {:.4}s",
+            p.k,
+            p.goodput_hz,
+            p.shed_rate * 100.0,
+            p.shed_total,
+            p.p99_latency_s
+        );
+    }
+    println!("  recommend: {} shards", plan.recommended);
+    let e = &plan.envelope;
+    println!(
+        "  envelope : autoscale {}..{} shards | scale up at {:.2}, down at {:.2}",
+        e.min, e.max, e.up_at, e.down_at
+    );
+}
+
+/// The `--plan N` mode: the offline Monte-Carlo capacity planner over
+/// candidate static fleets 1..=N, instead of serving live traffic.
+fn run_plan_mode(args: &Args, k_max: usize) -> ExitCode {
+    let cfg = PlanConfig {
+        iterations: args.plan_iters,
+        seed: args.plan_seed,
+        k_min: 1,
+        k_max,
+        fleet: FleetConfig {
+            shards: k_max,
+            serve: args.serve,
+            horizon_s: args.traffic.duration_s,
+            faults: args.faults,
+            ..FleetConfig::default()
+        },
+        traffic: args.traffic,
+        ..PlanConfig::default()
+    };
+    match plan_capacity(&cfg) {
+        Ok(plan) => {
+            print_plan_report(&plan, &args.traffic, k_max);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn run_fleet_mode(args: &Args, shards: usize) -> ExitCode {
     let cfg = FleetConfig {
         shards,
         serve: args.serve,
         horizon_s: args.traffic.duration_s,
         faults: args.faults,
+        autoscale: args.autoscale,
+        steal: args.steal,
         ..FleetConfig::default()
     };
     let requests = fftxlib_repro::serve::generate(&args.traffic);
@@ -348,6 +493,9 @@ fn main() -> ExitCode {
             return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
         }
     };
+    if let Some(k_max) = args.plan {
+        return run_plan_mode(&args, k_max);
+    }
     if let Some(shards) = args.fleet {
         return run_fleet_mode(&args, shards);
     }
